@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"rbpc/internal/graph"
+)
+
+func TestBuildKinds(t *testing.T) {
+	cases := []struct {
+		kind      string
+		wantNodes int
+	}{
+		{"isp", 200},
+		{"ring", 100},
+		{"grid", 100 * 100},
+		{"waxman", 100},
+		{"powerlaw", 100},
+	}
+	for _, tc := range cases {
+		g, err := build(tc.kind, 100, 2, 1.0, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if g.Order() != tc.wantNodes {
+			t.Errorf("%s: %d nodes, want %d", tc.kind, g.Order(), tc.wantNodes)
+		}
+	}
+	if _, err := build("nope", 10, 2, 1, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBuildScaledStandIns(t *testing.T) {
+	as, err := build("as", 0, 0, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Order() < 60 {
+		t.Errorf("as: %d nodes", as.Order())
+	}
+	inet, err := build("internet", 0, 0, 0.005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inet.Order() < 80 {
+		t.Errorf("internet: %d nodes", inet.Order())
+	}
+}
+
+func TestGeneratedOutputParses(t *testing.T) {
+	g, err := build("isp", 0, 0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := graph.Read(&buf)
+	if err != nil {
+		t.Fatalf("generated topology does not parse: %v", err)
+	}
+	if back.Size() != g.Size() {
+		t.Errorf("round trip lost edges: %d vs %d", back.Size(), g.Size())
+	}
+}

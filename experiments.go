@@ -1,0 +1,163 @@
+package rbpc
+
+import (
+	"io"
+
+	"rbpc/internal/eval"
+	"rbpc/internal/failure"
+	"rbpc/internal/topology"
+)
+
+// Experiment reproduction entry points: one per table/figure of the
+// paper's evaluation. The underlying topologies are synthetic stand-ins
+// matching the published statistics (see DESIGN.md for the substitution
+// rationale); set RBPC_FULL=1 to build them at full paper scale.
+
+// EvalNetwork is a named evaluation topology with its sampling budget.
+type EvalNetwork = eval.Network
+
+// EvalScale configures stand-in sizes.
+type EvalScale = eval.Scale
+
+// FailureKind is a failure class (one per Table 2 block).
+type FailureKind = failure.Kind
+
+// The four failure classes of Table 2.
+const (
+	SingleLink   = failure.SingleLink
+	DoubleLink   = failure.DoubleLink
+	SingleRouter = failure.SingleRouter
+	DoubleRouter = failure.DoubleRouter
+)
+
+// EvalNetworks builds the paper's four evaluation rows (weighted ISP,
+// unweighted ISP, Internet, AS graph) at the given scale.
+func EvalNetworks(sc EvalScale) []EvalNetwork { return eval.PaperNetworks(sc) }
+
+// DefaultEvalScale keeps the big stand-ins CI-sized; FullEvalScale
+// reproduces the paper's Table 1 sizes; EvalScaleFromEnv picks full scale
+// when RBPC_FULL=1.
+func DefaultEvalScale() EvalScale { return eval.DefaultScale() }
+func FullEvalScale() EvalScale    { return eval.FullScale() }
+func EvalScaleFromEnv() EvalScale { return eval.ScaleFromEnv() }
+
+// RunTable1 writes the topology statistics table.
+func RunTable1(w io.Writer, nets []EvalNetwork) {
+	eval.RenderTable1(w, eval.Table1(nets))
+}
+
+// RunTable2 runs all four failure classes over the networks and writes
+// the restoration-quality table.
+func RunTable2(w io.Writer, nets []EvalNetwork, seed int64) []eval.Table2Row {
+	rows := eval.Table2All(nets, seed)
+	eval.RenderTable2(w, rows)
+	return rows
+}
+
+// RunTable2Row runs one network under one failure class.
+func RunTable2Row(net EvalNetwork, kind FailureKind, seed int64) eval.Table2Row {
+	return eval.Table2(net, kind, seed)
+}
+
+// RunTable3 computes bypass-length distributions. maxEdges > 0 samples
+// that many edges on large graphs.
+func RunTable3(w io.Writer, nets []EvalNetwork, maxEdges int, seed int64) []eval.Table3Result {
+	var results []eval.Table3Result
+	seen := make(map[string]bool)
+	for _, n := range nets {
+		if seen[n.Name] {
+			continue
+		}
+		seen[n.Name] = true
+		results = append(results, eval.Table3(n, maxEdges, seed))
+	}
+	eval.RenderTable3(w, results)
+	return results
+}
+
+// RunFigure10 measures local-RBPC stretch histograms on the given network
+// (the paper uses the weighted ISP).
+func RunFigure10(w io.Writer, net EvalNetwork, seed int64) eval.Figure10Result {
+	res := eval.Figure10(net, seed)
+	eval.RenderFigure10(w, res)
+	return res
+}
+
+// RunAsymmetry measures how the k+1 decomposition bound fares when link
+// weights become asymmetric (the directed regime the theorems exclude),
+// across increasing per-direction jitter, and writes the table.
+func RunAsymmetry(w io.Writer, net EvalNetwork, jitters []int, seed int64) []eval.AsymmetryResult {
+	var rows []eval.AsymmetryResult
+	for _, j := range jitters {
+		rows = append(rows, eval.Asymmetry(net, j, seed))
+	}
+	eval.RenderAsymmetry(w, rows)
+	return rows
+}
+
+// RunTiming measures restoration latency (mean/p95 over sampled
+// single-link failures) for local RBPC, source RBPC and the LDP
+// re-signaling baseline, and writes the table.
+func RunTiming(w io.Writer, net EvalNetwork, trials int, seed int64) (eval.TimingResult, error) {
+	res, err := eval.Timing(net, trials, seed)
+	if err != nil {
+		return res, err
+	}
+	eval.RenderTiming(w, res)
+	return res, nil
+}
+
+// RunTradeoff evaluates the paper's technology trade-off (MPLS vs WDM
+// vs ATM): concatenation cost against teardown-and-re-establishment
+// cost on sampled failures, and writes the table.
+func RunTradeoff(w io.Writer, net EvalNetwork, seed int64) []eval.TradeoffRow {
+	rows := eval.Tradeoff(net, eval.DefaultTechnologies(), seed)
+	eval.RenderTradeoff(w, rows)
+	return rows
+}
+
+// RunKBackupComparison compares RBPC against the classic k-alternates
+// baseline on the given network (coverage, stretch, pre-provisioned
+// state) and writes the table.
+func RunKBackupComparison(w io.Writer, net EvalNetwork, ks []int, seed int64) []eval.KBackupComparison {
+	var rows []eval.KBackupComparison
+	for _, k := range ks {
+		for _, kind := range []FailureKind{SingleLink, DoubleLink} {
+			rows = append(rows, eval.CompareKBackup(net, k, kind, seed))
+		}
+	}
+	eval.RenderKBackup(w, rows)
+	return rows
+}
+
+// EvalResults bundles a full evaluation run for JSON export.
+type EvalResults = eval.Results
+
+// Topology constructors re-exported for applications and experiments.
+
+// NewISPTopology generates the hierarchical ISP stand-in (200 nodes, ~356
+// weighted links at default config).
+func NewISPTopology(seed int64) *Graph { return topology.PaperISP(seed) }
+
+// NewASTopology generates the AS-graph stand-in at the given scale
+// (1.0 = 4,746 nodes / 9,878 links).
+func NewASTopology(seed int64, scale float64) *Graph { return topology.PaperAS(seed, scale) }
+
+// NewInternetTopology generates the Internet router-graph stand-in at the
+// given scale (1.0 = 40,377 nodes / 101,659 links).
+func NewInternetTopology(seed int64, scale float64) *Graph {
+	return topology.PaperInternet(seed, scale)
+}
+
+// UnweightedCopy returns a copy of g with all weights set to 1.
+func UnweightedCopy(g *Graph) *Graph { return topology.UnitWeightCopy(g) }
+
+// Classic generators for experiments and tests.
+func NewRing(n int) *Graph          { return topology.Ring(n) }
+func NewLine(n int) *Graph          { return topology.Line(n) }
+func NewGrid(rows, cols int) *Graph { return topology.Grid(rows, cols) }
+func NewComplete(n int) *Graph      { return topology.Complete(n) }
+func NewWaxman(n int, alpha, beta float64, seed int64) *Graph {
+	return topology.Waxman(n, alpha, beta, seed)
+}
+func NewPowerLaw(n, m int, seed int64) *Graph { return topology.BarabasiAlbert(n, m, seed) }

@@ -1,0 +1,3 @@
+module rbpc
+
+go 1.22

@@ -1,0 +1,178 @@
+package core
+
+// Corollary 4 and the directed-base-paths remark, exercised end to end.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+	"rbpc/internal/spath"
+)
+
+// weightedGadget builds the Figure-3 style graph where restoration is
+// forced through a "dear" parallel edge that is not a shortest path:
+// 0 -1- 1 ={2,3}= 2 -1- 3.
+func weightedGadget() (*graph.Graph, graph.EdgeID) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	cheap := g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 2, 3) // dear twin
+	g.AddEdge(2, 3, 1)
+	return g, cheap
+}
+
+// TestCorollary4RemovesEdgeComponents: with the plain canonical base set
+// the weighted restoration needs a bare-edge component; with the
+// Corollary-4 extended set (edges appended to base paths) it needs only
+// base paths — at most k+1 of them.
+func TestCorollary4RemovesEdgeComponents(t *testing.T) {
+	g, cheap := weightedGadget()
+	fv := graph.FailEdges(g, cheap)
+
+	// Plain canonical set: the dear edge is not a base path, so sparse
+	// decomposition must spend a bare-edge component on it.
+	plain := paths.FromSources(paths.NewAllShortest(g), []graph.NodeID{0, 1, 2, 3})
+	decPlain, ok := DecomposeSparse(plain, fv, 0, 3)
+	if !ok {
+		t.Fatal("plain restoration failed")
+	}
+	if decPlain.NumEdges() == 0 {
+		t.Fatalf("expected a bare-edge component with the plain set: %v", decPlain)
+	}
+
+	// Corollary-4 extension: paths with the dear edge appended become
+	// base paths, so a pure base-path decomposition exists with at most
+	// k+1 = 2 components.
+	extended := paths.Corollary4Extend(plain, g)
+	decExt, ok := DecomposeSparse(extended, fv, 0, 3)
+	if !ok {
+		t.Fatal("extended restoration failed")
+	}
+	if decExt.NumEdges() != 0 {
+		t.Errorf("extended set still used %d bare edges: %v", decExt.NumEdges(), decExt)
+	}
+	if decExt.NumPaths() > 2 {
+		t.Errorf("extended set used %d paths, want <= k+1 = 2: %v", decExt.NumPaths(), decExt)
+	}
+	// Both must realize the same (optimal) restoration cost.
+	if decPlain.Cost(g) != decExt.Cost(g) {
+		t.Errorf("costs differ: plain %v extended %v", decPlain.Cost(g), decExt.Cost(g))
+	}
+}
+
+// TestCorollary4SizeBound: the extended set respects the paper's size
+// bound n(n-1) + 2m(n-1) for directed base paths.
+func TestCorollary4SizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(8)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(3)))
+		}
+		for i := 0; i < n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, float64(1+rng.Intn(3)))
+			}
+		}
+		var all []graph.NodeID
+		for i := 0; i < n; i++ {
+			all = append(all, graph.NodeID(i))
+		}
+		base := paths.FromSources(paths.NewAllShortest(g), all)
+		ext := paths.Corollary4Extend(base, g)
+		m := g.Size()
+		bound := n*(n-1) + 2*m*(n-1)
+		if ext.Len() > bound {
+			t.Fatalf("trial %d: extended size %d > bound %d (n=%d m=%d)", trial, ext.Len(), bound, n, m)
+		}
+	}
+}
+
+// TestDirectedBasePaths: the machinery runs on directed graphs (the
+// paper's remark treats base paths as directed, one per ordered pair);
+// restoration works, though the k+1 bound is not guaranteed (Figure 5).
+func TestDirectedBasePaths(t *testing.T) {
+	g := graph.NewDirected(4)
+	e01 := g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(0, 3, 1)
+	g.AddEdge(3, 1, 1)
+	g.AddEdge(2, 0, 1) // return arc so the graph is strongly connected-ish
+
+	base := paths.NewAllShortest(g)
+	p, ok := base.Between(0, 2)
+	if !ok || p.Hops() != 2 {
+		t.Fatalf("directed Between(0,2) = %v, %v", p, ok)
+	}
+	fv := graph.FailEdges(g, e01)
+	backup, ok := spath.Compute(fv, 0).PathTo(2)
+	if !ok {
+		t.Fatal("no directed backup path")
+	}
+	dec := DecomposeGreedy(base, backup)
+	if err := ValidateDecomposition(base, backup, dec); err != nil {
+		t.Fatalf("directed decomposition invalid: %v", err)
+	}
+	// The backup 0-3-1-2 decomposes into directed shortest paths.
+	if dec.Len() == 0 || dec.Len() > 3 {
+		t.Errorf("directed decomposition = %v", dec)
+	}
+	// Reversed paths are NOT valid on directed views.
+	if err := backup.Reverse().Validate(g); err == nil {
+		t.Error("reversed directed path validated")
+	}
+}
+
+// TestRestorerSuffixComponentsEnterMidstream: decomposition components
+// after the first are suffixes that begin at intermediate nodes; check
+// every non-first greedy component starts where the previous ended and
+// is itself a canonical base path between its endpoints (the property
+// that makes them free to enter in MPLS).
+func TestRestorerSuffixComponentsEnterMidstream(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + rng.Intn(10)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), 1)
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		base := paths.NewAllShortest(g)
+		e := graph.EdgeID(rng.Intn(g.Size()))
+		fv := graph.FailEdges(g, e)
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		if s == d {
+			continue
+		}
+		backup, ok := spath.Compute(fv, s).PathTo(d)
+		if !ok {
+			continue
+		}
+		dec := DecomposeGreedy(base, backup)
+		at := s
+		for i, c := range dec.Components {
+			if c.Path.Src() != at {
+				t.Fatalf("trial %d: component %d starts at %d, want %d", trial, i, c.Path.Src(), at)
+			}
+			if c.Kind == KindBasePath && !base.Contains(c.Path) {
+				t.Fatalf("trial %d: component %d not a base path", trial, i)
+			}
+			at = c.Path.Dst()
+		}
+		if at != d {
+			t.Fatalf("trial %d: concatenation ends at %d, want %d", trial, at, d)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+	"rbpc/internal/spath"
+)
+
+// ErrDisconnected is returned when no restoration path exists: the failure
+// separated the source from the destination.
+var ErrDisconnected = errors.New("core: no surviving path between the endpoints")
+
+// Strategy selects how restoration paths are decomposed into base paths.
+type Strategy int
+
+const (
+	// StrategyGreedy computes the post-failure shortest path and splits it
+	// with DecomposeGreedy. Requires a subpath-closed base set.
+	StrategyGreedy Strategy = iota + 1
+	// StrategySparse runs Dijkstra directly on the base-path graph
+	// (DecomposeSparse). Works with any base set.
+	StrategySparse
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGreedy:
+		return "greedy"
+	case StrategySparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Plan is a computed restoration for one source-destination pair under one
+// failure set.
+type Plan struct {
+	Src, Dst graph.NodeID
+	// Backup is the restoration path (a post-failure shortest path).
+	Backup graph.Path
+	// Decomp expresses Backup as a concatenation of base paths and edges.
+	Decomp Decomposition
+}
+
+// PCLength returns the number of components — the paper's
+// path-concatenation length metric.
+func (p Plan) PCLength() int { return p.Decomp.Len() }
+
+// Restorer computes restoration plans over a fixed original network and
+// base set.
+type Restorer struct {
+	base     paths.Base
+	strategy Strategy
+}
+
+// NewRestorer returns a Restorer using the given base set and strategy.
+func NewRestorer(base paths.Base, strategy Strategy) *Restorer {
+	return &Restorer{base: base, strategy: strategy}
+}
+
+// Base returns the restorer's base set.
+func (r *Restorer) Base() paths.Base { return r.base }
+
+// Restore computes a restoration plan for the pair (s, d) under the failure
+// view fv. It returns ErrDisconnected if no surviving path exists.
+//
+// The backup path is always a true post-failure shortest path (for the
+// greedy strategy, the deterministic canonical one; for the sparse
+// strategy, the minimum-cost concatenation, whose cost equals the
+// post-failure distance because bare edges are always available as
+// components).
+func (r *Restorer) Restore(fv *graph.FailureView, s, d graph.NodeID) (Plan, error) {
+	switch r.strategy {
+	case StrategySparse:
+		dec, ok := DecomposeSparse(r.base, fv, s, d)
+		if !ok {
+			return Plan{}, fmt.Errorf("restore %d->%d: %w", s, d, ErrDisconnected)
+		}
+		plan := Plan{Src: s, Dst: d, Decomp: dec}
+		if len(dec.Components) > 0 {
+			plan.Backup = dec.Concat()
+		} else {
+			plan.Backup = graph.Trivial(s)
+		}
+		return plan, nil
+	case StrategyGreedy:
+		backup, ok := spath.Compute(fv, s).PathTo(d)
+		if !ok {
+			return Plan{}, fmt.Errorf("restore %d->%d: %w", s, d, ErrDisconnected)
+		}
+		dec := DecomposeGreedy(r.base, backup)
+		return Plan{Src: s, Dst: d, Backup: backup, Decomp: dec}, nil
+	default:
+		return Plan{}, fmt.Errorf("restore %d->%d: unknown strategy %v", s, d, r.strategy)
+	}
+}
+
+// RestoreBroken computes plans for every pair whose canonical base path is
+// broken by the failures in fv, among the ordered pairs (s, d) with s in
+// sources and any destination. This mirrors the paper's methodology: find
+// the base LSPs using a failed element, then restore each.
+//
+// Pairs whose endpoints were themselves removed, and pairs left
+// disconnected, are skipped; the number of disconnected pairs is returned
+// alongside the plans.
+func (r *Restorer) RestoreBroken(fv *graph.FailureView, sources []graph.NodeID) (plans []Plan, disconnected int) {
+	n := r.base.View().Order()
+	for _, s := range sources {
+		if !fv.NodeUsable(s) {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			dd := graph.NodeID(d)
+			if dd == s || !fv.NodeUsable(dd) {
+				continue
+			}
+			orig, ok := r.base.Between(s, dd)
+			if !ok || paths.Survives(orig, fv) {
+				continue
+			}
+			plan, err := r.Restore(fv, s, dd)
+			if err != nil {
+				disconnected++
+				continue
+			}
+			plans = append(plans, plan)
+		}
+	}
+	return plans, disconnected
+}

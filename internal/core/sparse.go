@@ -1,0 +1,153 @@
+package core
+
+import (
+	"container/heap"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+)
+
+// AllBetween is an optional interface a base set may implement to expose
+// every stored path per ordered pair (not just the canonical one). The
+// sparse decomposer uses it to consider all alternatives — important for
+// Corollary-4 extended sets where several base paths share endpoints.
+type AllBetween interface {
+	AllBetween(s, d graph.NodeID) []graph.Path
+}
+
+// DecomposeSparse finds a minimum-cost restoration path from s to d in the
+// failure view fv expressed directly as a concatenation of surviving base
+// paths and surviving bare edges, by running Dijkstra on the "base-path
+// graph" (the paper's fallback when the greedy does not apply: "Dijkstra's
+// algorithm can be run on the graph in which the surviving base paths are
+// edges").
+//
+// Among minimum-cost concatenations it returns one minimizing the number of
+// components. The second result is false if d is unreachable from s in fv.
+//
+// Because every surviving raw edge is always a candidate component, the
+// returned concatenation always achieves the true post-failure shortest
+// distance, for any base set.
+func DecomposeSparse(base paths.Base, fv *graph.FailureView, s, d graph.NodeID) (Decomposition, bool) {
+	if !fv.NodeUsable(s) || !fv.NodeUsable(d) {
+		return Decomposition{}, false
+	}
+	if s == d {
+		return Decomposition{}, true
+	}
+	n := fv.Order()
+	const unset = -1
+
+	dist := make([]float64, n)
+	comps := make([]int32, n)
+	prev := make([]int32, n)         // predecessor node
+	prevComp := make([]Component, n) // component used to reach the node
+	settled := make([]bool, n)
+	for i := range dist {
+		dist[i] = -1 // -1 == infinity marker
+		prev[i] = unset
+	}
+
+	pq := &sparseHeap{}
+	dist[s] = 0
+	heap.Push(pq, sparseItem{node: s, cost: 0, comps: 0})
+
+	relax := func(u, v graph.NodeID, cost float64, nc int32, comp Component) {
+		total := dist[u] + cost
+		tc := comps[u] + nc
+		if dist[v] < 0 || total < dist[v] || (total == dist[v] && tc < comps[v]) {
+			dist[v] = total
+			comps[v] = tc
+			prev[v] = int32(u)
+			prevComp[v] = comp
+			heap.Push(pq, sparseItem{node: v, cost: total, comps: tc})
+		}
+	}
+
+	ab, hasAll := base.(AllBetween)
+	orig := base.View()
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(sparseItem)
+		u := it.node
+		if settled[u] || it.cost != dist[u] || it.comps != comps[u] {
+			continue
+		}
+		settled[u] = true
+		if u == d {
+			break
+		}
+		// Candidate 1: surviving base paths out of u. Considered before
+		// raw edges so that at equal (cost, components) a pre-provisioned
+		// base path wins over a bare edge — a bare-edge component would
+		// need a fresh 1-hop LSP.
+		for v := 0; v < n; v++ {
+			vv := graph.NodeID(v)
+			if vv == u || !fv.NodeUsable(vv) {
+				continue
+			}
+			if hasAll {
+				for _, p := range ab.AllBetween(u, vv) {
+					if paths.Survives(p, fv) {
+						relax(u, vv, p.CostIn(orig), 1, Component{Kind: KindBasePath, Path: p})
+					}
+				}
+			} else if p, ok := base.Between(u, vv); ok && paths.Survives(p, fv) {
+				relax(u, vv, p.CostIn(orig), 1, Component{Kind: KindBasePath, Path: p})
+			}
+		}
+		// Candidate 2: surviving raw edges out of u.
+		fv.VisitArcs(u, func(a graph.Arc) bool {
+			e := fv.Edge(a.Edge)
+			comp := Component{Kind: KindEdge, Path: graph.Path{
+				Nodes: []graph.NodeID{u, a.To},
+				Edges: []graph.EdgeID{a.Edge},
+			}}
+			relax(u, a.To, e.W, 1, comp)
+			return true
+		})
+	}
+
+	if dist[d] < 0 {
+		return Decomposition{}, false
+	}
+	// Reconstruct components back from d.
+	var rev []Component
+	for at := d; at != s; at = graph.NodeID(prev[at]) {
+		rev = append(rev, prevComp[at])
+	}
+	dec := Decomposition{Components: make([]Component, len(rev))}
+	for i := range rev {
+		dec.Components[i] = rev[len(rev)-1-i]
+	}
+	return dec, true
+}
+
+// sparseItem orders Dijkstra's frontier by (cost, component count, node ID).
+type sparseItem struct {
+	node  graph.NodeID
+	cost  float64
+	comps int32
+}
+
+type sparseHeap []sparseItem
+
+func (h sparseHeap) Len() int { return len(h) }
+func (h sparseHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	if h[i].comps != h[j].comps {
+		return h[i].comps < h[j].comps
+	}
+	return h[i].node < h[j].node
+}
+func (h sparseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sparseHeap) Push(x interface{}) { *h = append(*h, x.(sparseItem)) }
+func (h *sparseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+func TestAsymmetryZeroJitterHoldsBound(t *testing.T) {
+	// With symmetric weights, directed shortest paths mirror undirected
+	// ones and the k+1 bound should hold essentially always.
+	net := Network{Name: "isp", G: topology.PaperISP(1), Trials: 30}
+	res := Asymmetry(net, 0, 3)
+	if res.Scenarios == 0 {
+		t.Fatal("no scenarios")
+	}
+	if res.BoundHeldPct() < 99 {
+		t.Errorf("symmetric directed bound held only %.1f%%", res.BoundHeldPct())
+	}
+	if res.AvgComponents <= 0 || res.AvgComponents > 3 {
+		t.Errorf("avg components %.2f", res.AvgComponents)
+	}
+}
+
+func TestAsymmetryJitterDegradesGracefully(t *testing.T) {
+	net := Network{Name: "isp", G: topology.PaperISP(2), Trials: 30}
+	sym := Asymmetry(net, 0, 5)
+	asym := Asymmetry(net, 3, 5)
+	if asym.Scenarios == 0 {
+		t.Fatal("no scenarios")
+	}
+	// Asymmetry can only hurt (or match) the bound.
+	if asym.BoundHeldPct() > sym.BoundHeldPct()+1e-9 {
+		t.Errorf("jitter improved the bound: %.1f%% > %.1f%%", asym.BoundHeldPct(), sym.BoundHeldPct())
+	}
+	// It should remain mostly fine in practice — the paper's pathologies
+	// are constructions, not typical topologies.
+	if asym.BoundHeldPct() < 50 {
+		t.Errorf("bound collapsed under mild jitter: %.1f%%", asym.BoundHeldPct())
+	}
+}
+
+func TestAsymmetricCopyShape(t *testing.T) {
+	g := topology.Ring(5)
+	dg := topology.AsymmetricCopy(g, 1, 2)
+	if !dg.Directed() {
+		t.Fatal("copy not directed")
+	}
+	if dg.Size() != 2*g.Size() || dg.Order() != g.Order() {
+		t.Fatalf("copy shape %d/%d", dg.Order(), dg.Size())
+	}
+	for i, e := range g.Edges() {
+		fwd := dg.Edge(graph.EdgeID(2 * i))
+		rev := dg.Edge(graph.EdgeID(2*i + 1))
+		if fwd.U != e.U || fwd.V != e.V || rev.U != e.V || rev.V != e.U {
+			t.Fatalf("arc orientation wrong at %d", i)
+		}
+		if fwd.W < e.W || fwd.W > e.W+2 || rev.W < e.W || rev.W > e.W+2 {
+			t.Fatalf("jitter out of range at %d: %v/%v from %v", i, fwd.W, rev.W, e.W)
+		}
+	}
+	// Zero jitter reproduces weights exactly.
+	dg0 := topology.AsymmetricCopy(g, 1, 0)
+	for i, e := range g.Edges() {
+		if dg0.Edge(graph.EdgeID(2*i)).W != e.W {
+			t.Fatal("zero jitter changed weights")
+		}
+	}
+}

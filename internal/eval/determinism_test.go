@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/topology"
+)
+
+// TestTable2Deterministic: the whole pipeline (generation, sampling,
+// restoration, aggregation) must be bit-for-bit reproducible for a given
+// seed — the property that makes EXPERIMENTS.md numbers checkable.
+func TestTable2Deterministic(t *testing.T) {
+	mk := func() Table2Row {
+		net := Network{Name: "isp", G: topology.PaperISP(6), Trials: 25}
+		return Table2(net, failure.SingleLink, 9)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Table2 not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestTable3Deterministic(t *testing.T) {
+	mk := func() Table3Result {
+		net := Network{Name: "isp", G: topology.PaperISP(6), Trials: 0}
+		return Table3(net, 50, 4)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Table3 not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFigure10Deterministic(t *testing.T) {
+	mk := func() Figure10Result {
+		net := Network{Name: "isp", G: topology.PaperISP(6), Trials: 15}
+		return Figure10(net, 2)
+	}
+	a, b := mk(), mk()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Figure10 not deterministic")
+	}
+}
+
+func TestCompareKBackupDeterministic(t *testing.T) {
+	mk := func() KBackupComparison {
+		net := Network{Name: "isp", G: topology.PaperISP(6), Trials: 15}
+		return CompareKBackup(net, 2, failure.SingleLink, 3)
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatal("CompareKBackup not deterministic")
+	}
+}
+
+func TestAsymmetryDeterministic(t *testing.T) {
+	mk := func() AsymmetryResult {
+		net := Network{Name: "isp", G: topology.PaperISP(6), Trials: 10}
+		return Asymmetry(net, 2, 8)
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatal("Asymmetry not deterministic")
+	}
+}
+
+func TestRenderKBackup(t *testing.T) {
+	rows := []KBackupComparison{{
+		Network: "x", K: 2, Kind: failure.SingleLink,
+		Scenarios: 10, KBackupCovered: 5, KBackupAvgStretch: 1.2,
+		KBackupILM: 20, RBPCILM: 10,
+	}}
+	var sb strings.Builder
+	RenderKBackup(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"coverage", "50.0%", "2.00x", "1.200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/topology"
+)
+
+func TestTable2ExactRingIsAnalytic(t *testing.T) {
+	// On an unweighted n-ring every single-link failure of a pair's
+	// primary leaves exactly one backup (the long way around), which
+	// decomposes into exactly 2 basic paths for every scenario.
+	net := Network{Name: "ring", G: topology.Ring(8), Trials: 0}
+	row := Table2Exact(net)
+	if row.Scenarios == 0 {
+		t.Fatal("no scenarios")
+	}
+	if row.Disconnected != 0 {
+		t.Errorf("disconnected = %d on a ring", row.Disconnected)
+	}
+	// Almost every scenario needs exactly 2 components. A few hit the
+	// C4-remark phenomenon: when a backup segment spans an antipodal
+	// pair, the padded-unique base may have chosen the *other* equal-cost
+	// route, forcing a third component. (With the all-shortest-paths
+	// base the count would be exactly 2; one path per pair pays this
+	// occasional extra piece — that is Theorem 3's trade.)
+	if row.AvgPC < 2 || row.AvgPC > 2.1 {
+		t.Errorf("exact AvgPC = %v, want in [2, 2.1] on a ring", row.AvgPC)
+	}
+	// No equal-cost alternatives on an even ring? Opposite pairs have
+	// two equal-cost 4-hop paths, so redundancy is the share of
+	// scenarios whose endpoints are antipodal: 8 ordered antipodal pairs
+	// x 4 on-path links = 32 of the total.
+	if row.Redundancy <= 0 || row.Redundancy >= 1 {
+		t.Errorf("redundancy = %v", row.Redundancy)
+	}
+}
+
+func TestSampledConvergesToExact(t *testing.T) {
+	// A generously sampled Table2 must approximate the exhaustive one on
+	// a mid-sized graph: AvgPC within 0.15 and redundancy within 10pp.
+	g := topology.Grid(5, 5)
+	exact := Table2Exact(Network{Name: "grid", G: g, Trials: 0})
+	sampled := Table2(Network{Name: "grid", G: g, Trials: 120}, failure.SingleLink, 3)
+	if exact.Scenarios == 0 || sampled.Scenarios == 0 {
+		t.Fatal("empty experiment")
+	}
+	if d := math.Abs(exact.AvgPC - sampled.AvgPC); d > 0.15 {
+		t.Errorf("AvgPC gap %.3f (exact %.3f sampled %.3f)", d, exact.AvgPC, sampled.AvgPC)
+	}
+	if d := math.Abs(exact.Redundancy - sampled.Redundancy); d > 0.10 {
+		t.Errorf("redundancy gap %.3f (exact %.3f sampled %.3f)", d, exact.Redundancy, sampled.Redundancy)
+	}
+	if exact.Scenarios <= sampled.Scenarios {
+		t.Errorf("exact covered %d <= sampled %d", exact.Scenarios, sampled.Scenarios)
+	}
+}

@@ -1,0 +1,31 @@
+package eval
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Results bundles a full evaluation run for machine-readable export:
+// checking a reproduction into CI, plotting, or diffing across seeds
+// should not require scraping the text tables.
+type Results struct {
+	Table1   []Table1Row         `json:"table1,omitempty"`
+	Table2   []Table2Row         `json:"table2,omitempty"`
+	Table3   []Table3Result      `json:"table3,omitempty"`
+	Figure10 *Figure10Result     `json:"figure10,omitempty"`
+	KBackup  []KBackupComparison `json:"kbackup,omitempty"`
+	Asym     []AsymmetryResult   `json:"asymmetry,omitempty"`
+	Timing   *TimingResult       `json:"timing,omitempty"`
+	Tradeoff []TradeoffRow       `json:"tradeoff,omitempty"`
+
+	// Seed and FullScale record how to regenerate the numbers.
+	Seed      int64 `json:"seed"`
+	FullScale bool  `json:"fullScale"`
+}
+
+// WriteJSON writes the bundle with stable, indented formatting.
+func (r Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/topology"
+)
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	net := Network{Name: "ring", G: topology.Ring(8), Trials: 10}
+	row := Table2(net, failure.SingleLink, 1)
+	t3 := Table3(net, 0, 1)
+	res := Results{
+		Table1: Table1([]Network{net}),
+		Table2: []Table2Row{row},
+		Table3: []Table3Result{t3},
+		Seed:   1,
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Results
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(back.Table2) != 1 || back.Table2[0].AvgPC != row.AvgPC {
+		t.Errorf("round trip lost Table2: %+v", back.Table2)
+	}
+	if back.Seed != 1 || back.FullScale {
+		t.Error("metadata lost")
+	}
+	if back.Figure10 != nil || len(back.KBackup) != 0 {
+		t.Error("omitted sections materialized")
+	}
+	// The kind enum must serialize as its integer (stable across runs).
+	if back.Table2[0].Kind != failure.SingleLink {
+		t.Errorf("kind = %v", back.Table2[0].Kind)
+	}
+}

@@ -1,0 +1,133 @@
+package eval
+
+import (
+	"math/rand"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/spath"
+)
+
+// Histogram buckets stretch factors the way the paper's Figure 10 plots
+// them. Bucket i covers (Edges[i-1], Edges[i]]; bucket 0 covers values
+// strictly below 1 (possible for hop-count stretch); the "=1" bucket holds
+// exact optimum.
+type Histogram struct {
+	// Labels and Counts are parallel.
+	Labels []string
+	Counts []int
+	Total  int
+}
+
+var histEdges = []float64{1.0, 1.1, 1.25, 1.5, 2.0}
+
+func newHistogram() *Histogram {
+	return &Histogram{
+		Labels: []string{"<1", "=1", "(1,1.1]", "(1.1,1.25]", "(1.25,1.5]", "(1.5,2]", ">2"},
+		Counts: make([]int, 7),
+	}
+}
+
+func (h *Histogram) add(v float64) {
+	h.Total++
+	switch {
+	case v < 1:
+		h.Counts[0]++
+	case v == 1:
+		h.Counts[1]++
+	case v <= histEdges[1]:
+		h.Counts[2]++
+	case v <= histEdges[2]:
+		h.Counts[3]++
+	case v <= histEdges[3]:
+		h.Counts[4]++
+	case v <= histEdges[4]:
+		h.Counts[5]++
+	default:
+		h.Counts[6]++
+	}
+}
+
+// Percent returns the share of samples in bucket i.
+func (h *Histogram) Percent(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return 100 * float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Figure10Result carries the four histograms of the paper's Figure 10:
+// cost stretch and hop-count stretch of the two local-RBPC variants,
+// each relative to the source-routed min-cost restoration path.
+type Figure10Result struct {
+	Network string
+
+	CostEndRoute   *Histogram
+	CostEdgeBypass *Histogram
+	HopsEndRoute   *Histogram
+	HopsEdgeBypass *Histogram
+
+	// LocallyUnrestorable counts scenarios where the adjacent router had
+	// no bypass (edge-bypass) or no route to the destination (end-route).
+	LocallyUnrestorable int
+	Scenarios           int
+}
+
+// Figure10 measures local-RBPC overhead on single-link failures: for each
+// sampled scenario, compare the end-route and edge-bypass restoration
+// paths against the source-routed minimum-cost restoration.
+func Figure10(net Network, seed int64) Figure10Result {
+	g := net.G
+	oracle := spath.NewOracle(g)
+	oracle.SetCap(512)
+	rng := rand.New(rand.NewSource(seed))
+	scens := failure.Sample(g, oracle, failure.SingleLink, net.Trials, rng)
+
+	res := Figure10Result{
+		Network:        net.Name,
+		CostEndRoute:   newHistogram(),
+		CostEdgeBypass: newHistogram(),
+		HopsEndRoute:   newHistogram(),
+		HopsEdgeBypass: newHistogram(),
+	}
+
+	for _, sc := range scens {
+		fv := sc.View(g)
+		// Source-routed optimum after the failure.
+		opt, ok := spath.Compute(fv, sc.Src).PathTo(sc.Dst)
+		if !ok {
+			continue // partitioned: nobody can restore
+		}
+		res.Scenarios++
+
+		i := sc.PathIndex
+		r1 := sc.Primary.Nodes[i]
+		r2 := sc.Primary.Nodes[i+1]
+		prefix := sc.Primary.SubPath(0, i)
+		suffix := sc.Primary.SubPath(i+1, sc.Primary.Hops())
+
+		// One search from R1 in the failed view serves both variants.
+		r1Tree := spath.Compute(fv, r1)
+
+		endTail, endOK := r1Tree.PathTo(sc.Dst)
+		bypass, bypOK := r1Tree.PathTo(r2)
+		if !endOK || !bypOK {
+			// On an undirected graph end-route and edge-bypass fail
+			// together exactly when R1 was cut off from the rest.
+			res.LocallyUnrestorable++
+			continue
+		}
+
+		optCost, optHops := opt.CostIn(g), float64(opt.Hops())
+
+		endCost := prefix.CostIn(g) + endTail.CostIn(g)
+		endHops := float64(prefix.Hops() + endTail.Hops())
+		res.CostEndRoute.add(endCost / optCost)
+		res.HopsEndRoute.add(endHops / optHops)
+
+		bypCost := prefix.CostIn(g) + bypass.CostIn(g) + suffix.CostIn(g)
+		bypHops := float64(prefix.Hops() + bypass.Hops() + suffix.Hops())
+		res.CostEdgeBypass.add(bypCost / optCost)
+		res.HopsEdgeBypass.add(bypHops / optHops)
+	}
+	return res
+}

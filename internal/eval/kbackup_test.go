@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"testing"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/topology"
+)
+
+func TestCompareKBackupSingleLink(t *testing.T) {
+	net := Network{Name: "isp", G: topology.PaperISP(1), Trials: 40}
+	res := CompareKBackup(net, 2, failure.SingleLink, 5)
+	if res.Scenarios == 0 {
+		t.Fatal("no scenarios")
+	}
+	if res.KBackupCovered > res.Scenarios {
+		t.Fatalf("coverage overflow: %d/%d", res.KBackupCovered, res.Scenarios)
+	}
+	// With 2 alternates, single-link coverage is high but path quality
+	// costs something (stretch >= 1).
+	if res.CoveragePct() < 50 {
+		t.Errorf("k=2 single-link coverage only %.1f%%", res.CoveragePct())
+	}
+	if res.KBackupAvgStretch < 1 {
+		t.Errorf("avg stretch %.3f < 1 (optimum is minimal)", res.KBackupAvgStretch)
+	}
+	// Pre-established state: k paths per pair vs RBPC's one.
+	if res.KBackupILM <= res.RBPCILM {
+		t.Errorf("k-backup ILM %d not larger than RBPC's %d", res.KBackupILM, res.RBPCILM)
+	}
+}
+
+func TestCompareKBackupDoubleWorseThanSingle(t *testing.T) {
+	// The scheme's coverage degrades with more simultaneous failures;
+	// RBPC's does not (it always restores connected pairs).
+	net := Network{Name: "isp", G: topology.PaperISP(2), Trials: 40}
+	single := CompareKBackup(net, 2, failure.SingleLink, 7)
+	double := CompareKBackup(net, 2, failure.DoubleLink, 7)
+	if single.Scenarios == 0 || double.Scenarios == 0 {
+		t.Fatal("no scenarios")
+	}
+	if double.CoveragePct() > single.CoveragePct()+1e-9 {
+		t.Errorf("double-failure coverage %.1f%% exceeds single %.1f%%",
+			double.CoveragePct(), single.CoveragePct())
+	}
+}
+
+func TestCompareKBackupMoreAlternatesHelp(t *testing.T) {
+	net := Network{Name: "grid", G: topology.Grid(5, 5), Trials: 25}
+	k1 := CompareKBackup(net, 1, failure.SingleLink, 3)
+	k3 := CompareKBackup(net, 3, failure.SingleLink, 3)
+	if k3.CoveragePct() < k1.CoveragePct() {
+		t.Errorf("k=3 coverage %.1f%% below k=1 %.1f%%", k3.CoveragePct(), k1.CoveragePct())
+	}
+	// k=1 is pure primary: it never survives a failure on itself, and
+	// the sampler only fails on-path elements, so coverage must be 0.
+	if k1.KBackupCovered != 0 {
+		t.Errorf("k=1 covered %d scenarios; sampler fails the primary itself", k1.KBackupCovered)
+	}
+}

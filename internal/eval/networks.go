@@ -1,0 +1,90 @@
+// Package eval reproduces the paper's evaluation: Table 1 (topology
+// statistics), Table 2 (restoration quality and ILM stretch across four
+// failure classes), Table 3 (edge-bypass lengths) and Figure 10 (local
+// RBPC stretch histograms), on synthetic stand-ins for the paper's three
+// measured networks.
+package eval
+
+import (
+	"os"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+// Network is a named evaluation topology with its sampling budget.
+type Network struct {
+	Name string
+	G    *graph.Graph
+	// Trials is the number of sampled source-destination pairs, following
+	// the paper: 200 for the ISP topologies, 40 for the large ones.
+	Trials int
+}
+
+// Scale configures the synthetic stand-ins. The paper's full sizes are
+// expensive for routine test runs, so the big graphs default to scaled
+// versions; set RBPC_FULL=1 (or FullScale) to reproduce at paper scale.
+type Scale struct {
+	Seed          int64
+	ASScale       float64
+	InternetScale float64
+}
+
+// DefaultScale keeps the big graphs small enough for CI (AS ~470 nodes,
+// Internet ~810 nodes) while preserving their degree statistics.
+func DefaultScale() Scale {
+	return Scale{Seed: 1, ASScale: 0.1, InternetScale: 0.02}
+}
+
+// FullScale reproduces the paper's Table 1 sizes exactly.
+func FullScale() Scale {
+	return Scale{Seed: 1, ASScale: 1, InternetScale: 1}
+}
+
+// ScaleFromEnv returns FullScale when RBPC_FULL=1, else DefaultScale.
+func ScaleFromEnv() Scale {
+	if os.Getenv("RBPC_FULL") == "1" {
+		return FullScale()
+	}
+	return DefaultScale()
+}
+
+// PaperNetworks builds the four evaluation rows of the paper's tables:
+// weighted ISP, unweighted ISP (same topology, hop-count routing),
+// Internet, and AS graph.
+func PaperNetworks(sc Scale) []Network {
+	isp := topology.PaperISP(sc.Seed)
+	return []Network{
+		{Name: "ISP, Weighted", G: isp, Trials: 200},
+		{Name: "ISP, Unweighted", G: topology.UnitWeightCopy(isp), Trials: 200},
+		{Name: "Internet", G: topology.PaperInternet(sc.Seed, sc.InternetScale), Trials: 40},
+		{Name: "AS Graph", G: topology.PaperAS(sc.Seed, sc.ASScale), Trials: 40},
+	}
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Name      string
+	Nodes     int
+	Links     int
+	AvgDegree float64
+}
+
+// Table1 summarizes the evaluation topologies (ISP appears once, as in
+// the paper: the unweighted variant shares its topology).
+func Table1(nets []Network) []Table1Row {
+	var rows []Table1Row
+	seen := make(map[*graph.Graph]bool)
+	for _, n := range nets {
+		if n.Name == "ISP, Unweighted" {
+			continue
+		}
+		if seen[n.G] {
+			continue
+		}
+		seen[n.G] = true
+		s := graph.Summarize(n.G)
+		rows = append(rows, Table1Row{Name: n.Name, Nodes: s.Nodes, Links: s.Links, AvgDegree: s.AvgDegree})
+	}
+	return rows
+}

@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+
+	"rbpc/internal/failure"
+)
+
+// RenderTable1 writes Table 1 in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintf(w, "%-12s %8s %9s %9s\n", "name", "nodes", "links", "avg.deg.")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %8d %9d %9.3f\n", r.Name, r.Nodes, r.Links, r.AvgDegree)
+	}
+}
+
+// RenderTable2 writes Table 2 grouped by failure class, in the paper's
+// column order.
+func RenderTable2(w io.Writer, rows []Table2Row) {
+	var last failure.Kind
+	for _, r := range rows {
+		if r.Kind != last {
+			fmt.Fprintf(w, "\nAfter %s.\n", r.Kind)
+			fmt.Fprintf(w, "%-16s %10s %10s %8s %8s %12s %6s\n",
+				"Network", "min ILM sf", "avg ILM sf", "avg PC", "len sf", "redundancy", "(max)")
+			last = r.Kind
+		}
+		fmt.Fprintf(w, "%-16s %9.1f%% %9.1f%% %8.2f %8.2f %11.1f%% %6d\n",
+			r.Network, 100*r.MinILMSF, 100*r.AvgILMSF, r.AvgPC, r.LengthSF,
+			100*r.Redundancy, r.MaxMultiplicity)
+	}
+}
+
+// RenderTable3 writes the bypass-length distributions side by side-ish
+// (one block per network).
+func RenderTable3(w io.Writer, results []Table3Result) {
+	for _, res := range results {
+		fmt.Fprintf(w, "\n%s (%d edges checked, %d unbypassable)\n",
+			res.Network, res.EdgesChecked, res.Unbypassable)
+		fmt.Fprintf(w, "%-16s %8s\n", "bypass hopcount", "share")
+		for _, row := range res.Rows {
+			fmt.Fprintf(w, "%-16d %7.2f%%\n", row.Hopcount, row.Percent)
+		}
+	}
+}
+
+// RenderFigure10 writes the four stretch histograms.
+func RenderFigure10(w io.Writer, res Figure10Result) {
+	fmt.Fprintf(w, "Local RBPC stretch on %s (%d scenarios, %d locally unrestorable)\n",
+		res.Network, res.Scenarios, res.LocallyUnrestorable)
+	blocks := []struct {
+		name string
+		h    *Histogram
+	}{
+		{"cost stretch, end-route", res.CostEndRoute},
+		{"cost stretch, edge-bypass", res.CostEdgeBypass},
+		{"hopcount stretch, end-route", res.HopsEndRoute},
+		{"hopcount stretch, edge-bypass", res.HopsEdgeBypass},
+	}
+	for _, b := range blocks {
+		fmt.Fprintf(w, "\n  %s:\n", b.name)
+		for i, label := range b.h.Labels {
+			if b.h.Counts[i] == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "    %-11s %6.1f%%  %s\n", label, b.h.Percent(i), bar(b.h.Percent(i)))
+		}
+	}
+}
+
+// RenderKBackup writes the k-backup-vs-RBPC comparison rows.
+func RenderKBackup(w io.Writer, rows []KBackupComparison) {
+	fmt.Fprintf(w, "%-16s %-18s %3s %10s %10s %9s %8s\n",
+		"Network", "failure class", "k", "coverage", "(RBPC)", "stretch", "ILM vs RBPC")
+	for _, r := range rows {
+		ilmx := 0.0
+		if r.RBPCILM > 0 {
+			ilmx = float64(r.KBackupILM) / float64(r.RBPCILM)
+		}
+		fmt.Fprintf(w, "%-16s %-18s %3d %9.1f%% %10s %9.3f %7.2fx\n",
+			r.Network, r.Kind.String(), r.K, r.CoveragePct(), "100%", r.KBackupAvgStretch, ilmx)
+	}
+}
+
+// RenderAsymmetry writes the asymmetric-weights experiment rows.
+func RenderAsymmetry(w io.Writer, rows []AsymmetryResult) {
+	fmt.Fprintf(w, "%-16s %7s %10s %12s %10s %10s\n",
+		"Network", "jitter", "scenarios", "bound held", "avg comps", "max comps")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %7d %10d %11.1f%% %10.2f %10d\n",
+			r.Network, r.Jitter, r.Scenarios, r.BoundHeldPct(), r.AvgComponents, r.MaxComponents)
+	}
+}
+
+// RenderTiming writes the restoration-latency comparison.
+func RenderTiming(w io.Writer, res TimingResult) {
+	fmt.Fprintf(w, "restoration latency on %s over %d failures (ms):\n", res.Network, res.Failures)
+	fmt.Fprintf(w, "  %-28s %8s %8s\n", "scheme", "mean", "p95")
+	fmt.Fprintf(w, "  %-28s %8.2f %8.2f\n", "local RBPC (edge-bypass)", res.LocalMean, res.LocalP95)
+	fmt.Fprintf(w, "  %-28s %8.2f %8.2f\n", "source RBPC (last source)", res.SourceMean, res.SourceP95)
+	fmt.Fprintf(w, "  %-28s %8.2f %8.2f\n", "teardown + LDP re-signal", res.BaselineMean, res.BaselineP95)
+}
+
+// RenderTradeoff writes the technology trade-off rows.
+func RenderTradeoff(w io.Writer, rows []TradeoffRow) {
+	fmt.Fprintf(w, "%-8s %16s %18s %12s\n", "tech", "concat cost", "re-establish cost", "advantage")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %16.1f %18.1f %11.0fx\n", r.Tech, r.ConcatCost, r.ReestablishCost, r.Advantage())
+	}
+}
+
+// bar renders a proportional ASCII bar.
+func bar(pct float64) string {
+	n := int(pct / 2)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,45 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAsymmetry(t *testing.T) {
+	var sb strings.Builder
+	RenderAsymmetry(&sb, []AsymmetryResult{{
+		Network: "x", Jitter: 2, K: 1,
+		Scenarios: 100, WithinBound: 95, MaxComponents: 4, AvgComponents: 2.1,
+	}})
+	out := sb.String()
+	for _, want := range []string{"bound held", "95.0%", "2.10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTiming(t *testing.T) {
+	var sb strings.Builder
+	RenderTiming(&sb, TimingResult{
+		Network: "x", Failures: 9,
+		LocalMean: 10, LocalP95: 10,
+		SourceMean: 11.5, SourceP95: 13,
+		BaselineMean: 17, BaselineP95: 21,
+	})
+	out := sb.String()
+	for _, want := range []string{"local RBPC", "teardown + LDP", "11.50", "21.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTradeoff(t *testing.T) {
+	var sb strings.Builder
+	RenderTradeoff(&sb, []TradeoffRow{{Tech: "MPLS", ConcatCost: 2, ReestablishCost: 2000}})
+	out := sb.String()
+	if !strings.Contains(out, "MPLS") || !strings.Contains(out, "1000x") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,59 @@
+package eval
+
+import (
+	"testing"
+
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+func TestTimingOrdering(t *testing.T) {
+	// Local restoration beats source restoration beats the LDP baseline,
+	// on every aggregate.
+	net := Network{Name: "waxman", G: topology.Waxman(14, 0.7, 0.4, 11), Trials: 0}
+	res, err := Timing(net, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures == 0 {
+		t.Fatal("no usable failures sampled")
+	}
+	// Local patching happens at detection: exactly 10ms.
+	if res.LocalMean != 10 {
+		t.Errorf("local mean = %v, want the 10ms detection delay", res.LocalMean)
+	}
+	if !(res.LocalMean <= res.SourceMean) {
+		t.Errorf("local %v not <= source %v", res.LocalMean, res.SourceMean)
+	}
+	if !(res.SourceMean < res.BaselineMean) {
+		t.Errorf("source %v not < baseline %v", res.SourceMean, res.BaselineMean)
+	}
+	if res.LocalP95 < res.LocalMean || res.SourceP95 < res.SourceMean || res.BaselineP95 < res.BaselineMean {
+		t.Error("p95 below mean")
+	}
+}
+
+func TestTimingDeterministic(t *testing.T) {
+	net := Network{Name: "ring", G: topology.Ring(8), Trials: 0}
+	a, err := Timing(net, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Timing(net, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("Timing not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMeanP95(t *testing.T) {
+	if m, p := meanP95(nil); m != 0 || p != 0 {
+		t.Error("empty meanP95")
+	}
+	m, p := meanP95([]sim.Time{1, 2, 3, 4})
+	if m != 2.5 || p != 4 {
+		t.Errorf("meanP95 = %v, %v", m, p)
+	}
+}

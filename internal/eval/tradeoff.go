@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"math/rand"
+
+	"rbpc/internal/core"
+	"rbpc/internal/failure"
+	"rbpc/internal/paths"
+	"rbpc/internal/spath"
+)
+
+// Technology trade-off (the paper's Section 1): "In considering the
+// application of our restoration schemes to other technologies such as
+// WDM and ATM, the trade-off between the cost of setting up and tearing
+// down virtual circuits versus the cost of path concatenation has to be
+// evaluated. The higher the former cost and the lower the latter, the
+// more attractive our scheme."
+//
+// TechCost parameterizes a transport technology in arbitrary per-
+// operation units; Tradeoff turns the paper's qualitative argument into
+// a measured ratio on sampled failures.
+
+// TechCost models one technology's control-plane costs.
+type TechCost struct {
+	Name string
+	// Setup and Teardown are per-hop circuit establishment/removal costs
+	// (signaling, cross-connect programming, wavelength assignment...).
+	Setup, Teardown float64
+	// Splice is the per-junction cost of concatenating two provisioned
+	// paths: ~0 for the MPLS stack (one extra label push at the source),
+	// an O-E-O conversion plus layer-3 lookup in WDM, a VC/VP lookup in
+	// ATM.
+	Splice float64
+}
+
+// DefaultTechnologies returns the three technologies the paper
+// discusses, with cost ratios reflecting its qualitative ordering.
+func DefaultTechnologies() []TechCost {
+	return []TechCost{
+		{Name: "MPLS", Setup: 1, Teardown: 1, Splice: 0.01},
+		{Name: "WDM", Setup: 50, Teardown: 50, Splice: 5},
+		{Name: "ATM", Setup: 2, Teardown: 2, Splice: 1},
+	}
+}
+
+// TradeoffRow reports, for one technology, the total control-plane cost
+// of restoring the sampled failures by path concatenation vs by
+// conventional teardown-and-re-establishment.
+type TradeoffRow struct {
+	Tech string
+	// ConcatCost: splices performed (components - 1 per restoration).
+	ConcatCost float64
+	// ReestablishCost: tear down the broken primary, set up the backup,
+	// both per hop.
+	ReestablishCost float64
+}
+
+// Advantage returns how many times cheaper concatenation is.
+func (r TradeoffRow) Advantage() float64 {
+	if r.ConcatCost == 0 {
+		return 0
+	}
+	return r.ReestablishCost / r.ConcatCost
+}
+
+// Tradeoff samples single-link failures and accumulates both schemes'
+// control-plane costs under each technology's prices.
+func Tradeoff(net Network, techs []TechCost, seed int64) []TradeoffRow {
+	g := net.G
+	base := paths.NewUniqueShortest(g)
+	oracle := base.PaddedOracle()
+	oracle.SetCap(512)
+	eps := spath.PaddingFor(g)
+	rng := rand.New(rand.NewSource(seed))
+	scens := failure.Sample(g, oracle, failure.SingleLink, net.Trials, rng)
+
+	var splices, setupHops, teardownHops float64
+	for _, sc := range scens {
+		fv := sc.View(g)
+		backup, ok := spath.Compute(spath.Padded(fv, eps), sc.Src).PathTo(sc.Dst)
+		if !ok {
+			continue
+		}
+		dec := core.DecomposeGreedy(base, backup)
+		if dec.Len() > 1 {
+			splices += float64(dec.Len() - 1)
+		}
+		setupHops += float64(backup.Hops())
+		teardownHops += float64(sc.Primary.Hops())
+	}
+
+	rows := make([]TradeoffRow, 0, len(techs))
+	for _, tc := range techs {
+		rows = append(rows, TradeoffRow{
+			Tech:            tc.Name,
+			ConcatCost:      splices * tc.Splice,
+			ReestablishCost: setupHops*tc.Setup + teardownHops*tc.Teardown,
+		})
+	}
+	return rows
+}

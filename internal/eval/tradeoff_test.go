@@ -1,0 +1,43 @@
+package eval
+
+import (
+	"testing"
+
+	"rbpc/internal/topology"
+)
+
+func TestTradeoffOrdering(t *testing.T) {
+	net := Network{Name: "isp", G: topology.PaperISP(1), Trials: 40}
+	rows := Tradeoff(net, DefaultTechnologies(), 7)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]TradeoffRow)
+	for _, r := range rows {
+		byName[r.Tech] = r
+		if r.ConcatCost <= 0 || r.ReestablishCost <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.Advantage() <= 1 {
+			t.Errorf("%s: concatenation not advantageous (%.2fx)", r.Tech, r.Advantage())
+		}
+	}
+	// The paper's ordering: MPLS benefits most (near-free splices), WDM
+	// still clearly wins (setup/teardown dwarfs splicing), ATM least.
+	if !(byName["MPLS"].Advantage() > byName["WDM"].Advantage()) {
+		t.Errorf("MPLS %.1fx not above WDM %.1fx",
+			byName["MPLS"].Advantage(), byName["WDM"].Advantage())
+	}
+	if !(byName["WDM"].Advantage() > byName["ATM"].Advantage()) {
+		t.Errorf("WDM %.1fx not above ATM %.1fx",
+			byName["WDM"].Advantage(), byName["ATM"].Advantage())
+	}
+}
+
+func TestTradeoffZeroSplice(t *testing.T) {
+	net := Network{Name: "ring", G: topology.Ring(6), Trials: 10}
+	rows := Tradeoff(net, []TechCost{{Name: "free", Setup: 1, Teardown: 1, Splice: 0}}, 1)
+	if rows[0].Advantage() != 0 {
+		t.Errorf("zero-splice advantage sentinel = %v", rows[0].Advantage())
+	}
+}

@@ -1,0 +1,178 @@
+// Package failure generates the failure scenarios of the paper's
+// methodology (Section 5): sample a source-destination pair, take its
+// basic LSP, and fail each element along it — each link for link-failure
+// studies, each interior router for router-failure studies, and each
+// unordered pair of on-path elements for the double-failure studies.
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+)
+
+// Kind is a failure class, one per block of the paper's Table 2.
+type Kind int
+
+const (
+	SingleLink Kind = iota + 1
+	DoubleLink
+	SingleRouter
+	DoubleRouter
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case SingleLink:
+		return "one link failure"
+	case DoubleLink:
+		return "two link failures"
+	case SingleRouter:
+		return "one router failure"
+	case DoubleRouter:
+		return "two router failures"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Scenario is one failure instance to restore: the sampled pair, its
+// primary (basic) path, and the failed elements.
+type Scenario struct {
+	Src, Dst graph.NodeID
+	// Primary is the pair's basic LSP in the original network.
+	Primary graph.Path
+	// Edges are the failed links; Nodes the failed routers.
+	Edges []graph.EdgeID
+	Nodes []graph.NodeID
+	// PathIndex is, for link scenarios, the index within Primary.Edges of
+	// the on-path failed link (the first of Edges); -1 for router
+	// scenarios.
+	PathIndex int
+}
+
+// View returns the failure view of g for this scenario.
+func (s Scenario) View(g *graph.Graph) *graph.FailureView {
+	return graph.Fail(g, s.Edges, s.Nodes)
+}
+
+// K returns the failure count (the k of the theorems).
+func (s Scenario) K() int { return len(s.Edges) + len(s.Nodes) }
+
+// Sample draws scenarios per the paper's methodology: trials random
+// connected pairs; for each pair, one scenario per on-path element of the
+// given kind — each link (or interior router) for the single-failure
+// kinds, each unordered pair of on-path links (or interior routers) for
+// the double-failure kinds. The oracle must answer for the original graph.
+func Sample(g *graph.Graph, o *spath.Oracle, kind Kind, trials int, rng *rand.Rand) []Scenario {
+	n := g.Order()
+	if n < 2 {
+		return nil
+	}
+	var out []Scenario
+	for t := 0; t < trials; t++ {
+		src, dst, primary, ok := samplePair(g, o, rng)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case SingleLink:
+			for i, e := range primary.Edges {
+				out = append(out, Scenario{
+					Src: src, Dst: dst, Primary: primary,
+					Edges:     []graph.EdgeID{e},
+					PathIndex: i,
+				})
+			}
+		case DoubleLink:
+			for i := 0; i < primary.Hops(); i++ {
+				for j := i + 1; j < primary.Hops(); j++ {
+					out = append(out, Scenario{
+						Src: src, Dst: dst, Primary: primary,
+						Edges:     []graph.EdgeID{primary.Edges[i], primary.Edges[j]},
+						PathIndex: i,
+					})
+				}
+			}
+		case SingleRouter:
+			for _, r := range interiorNodes(primary) {
+				out = append(out, Scenario{
+					Src: src, Dst: dst, Primary: primary,
+					Nodes:     []graph.NodeID{r},
+					PathIndex: -1,
+				})
+			}
+		case DoubleRouter:
+			interior := interiorNodes(primary)
+			for i := 0; i < len(interior); i++ {
+				for j := i + 1; j < len(interior); j++ {
+					out = append(out, Scenario{
+						Src: src, Dst: dst, Primary: primary,
+						Nodes:     []graph.NodeID{interior[i], interior[j]},
+						PathIndex: -1,
+					})
+				}
+			}
+		default:
+			panic(fmt.Sprintf("failure: unknown kind %v", kind))
+		}
+	}
+	return out
+}
+
+// EnumerateSingleLink generates the exhaustive single-link study: one
+// scenario per (ordered pair, on-path link) over EVERY connected pair —
+// the paper's methodology without sampling. Quadratic in nodes; meant
+// for small graphs and exactness tests (the sampled Sample estimates
+// converge to these numbers).
+func EnumerateSingleLink(g *graph.Graph, o *spath.Oracle) []Scenario {
+	n := g.Order()
+	var out []Scenario
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			primary, ok := o.Path(graph.NodeID(s), graph.NodeID(d))
+			if !ok || primary.Hops() == 0 {
+				continue
+			}
+			for i, e := range primary.Edges {
+				out = append(out, Scenario{
+					Src: graph.NodeID(s), Dst: graph.NodeID(d), Primary: primary,
+					Edges:     []graph.EdgeID{e},
+					PathIndex: i,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// samplePair draws a random connected ordered pair and its primary path.
+func samplePair(g *graph.Graph, o *spath.Oracle, rng *rand.Rand) (graph.NodeID, graph.NodeID, graph.Path, bool) {
+	n := g.Order()
+	for attempt := 0; attempt < 64; attempt++ {
+		src := graph.NodeID(rng.Intn(n))
+		dst := graph.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		p, ok := o.Path(src, dst)
+		if !ok || p.Hops() == 0 {
+			continue
+		}
+		return src, dst, p, true
+	}
+	return 0, 0, graph.Path{}, false
+}
+
+func interiorNodes(p graph.Path) []graph.NodeID {
+	if len(p.Nodes) <= 2 {
+		return nil
+	}
+	return p.Nodes[1 : len(p.Nodes)-1]
+}

@@ -1,0 +1,189 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+	"rbpc/internal/topology"
+)
+
+func sampleOn(t *testing.T, g *graph.Graph, kind Kind, trials int) []Scenario {
+	t.Helper()
+	o := spath.NewOracle(g)
+	return Sample(g, o, kind, trials, rand.New(rand.NewSource(1)))
+}
+
+func TestSingleLinkScenarios(t *testing.T) {
+	g := topology.Ring(8)
+	scens := sampleOn(t, g, SingleLink, 10)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	for _, s := range scens {
+		if len(s.Edges) != 1 || len(s.Nodes) != 0 {
+			t.Fatalf("scenario %+v not single-link", s)
+		}
+		if s.K() != 1 {
+			t.Errorf("K = %d", s.K())
+		}
+		// The failed link must lie on the primary path at PathIndex.
+		if s.PathIndex < 0 || s.PathIndex >= s.Primary.Hops() {
+			t.Fatalf("PathIndex %d out of range", s.PathIndex)
+		}
+		if s.Primary.Edges[s.PathIndex] != s.Edges[0] {
+			t.Error("PathIndex does not locate the failed link")
+		}
+		if s.Primary.Src() != s.Src || s.Primary.Dst() != s.Dst {
+			t.Error("primary endpoints mismatch")
+		}
+		fv := s.View(g)
+		if fv.EdgeUsable(s.Edges[0]) {
+			t.Error("View does not remove the failed link")
+		}
+	}
+}
+
+func TestDoubleLinkScenarios(t *testing.T) {
+	g := topology.Grid(4, 4)
+	scens := sampleOn(t, g, DoubleLink, 10)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	for _, s := range scens {
+		if len(s.Edges) != 2 {
+			t.Fatalf("%d failed links", len(s.Edges))
+		}
+		if s.Edges[0] == s.Edges[1] {
+			t.Error("duplicate failed link")
+		}
+		if !s.Primary.HasEdge(s.Edges[0]) {
+			t.Error("first failed link not on primary")
+		}
+	}
+}
+
+func TestSingleRouterScenarios(t *testing.T) {
+	g := topology.Grid(4, 4)
+	scens := sampleOn(t, g, SingleRouter, 20)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios (grid paths have interiors)")
+	}
+	for _, s := range scens {
+		if len(s.Nodes) != 1 || s.PathIndex != -1 {
+			t.Fatalf("bad scenario %+v", s)
+		}
+		r := s.Nodes[0]
+		if r == s.Src || r == s.Dst {
+			t.Error("failed router is an endpoint")
+		}
+		if !s.Primary.HasInteriorNode(r) {
+			t.Error("failed router not interior to primary")
+		}
+	}
+}
+
+func TestDoubleRouterScenarios(t *testing.T) {
+	g := topology.Grid(4, 4)
+	scens := sampleOn(t, g, DoubleRouter, 20)
+	if len(scens) == 0 {
+		t.Fatal("no scenarios")
+	}
+	for _, s := range scens {
+		if len(s.Nodes) != 2 {
+			t.Fatalf("%d failed routers", len(s.Nodes))
+		}
+		if s.Nodes[0] == s.Nodes[1] {
+			t.Error("duplicate router")
+		}
+		for _, r := range s.Nodes {
+			if r == s.Src || r == s.Dst {
+				t.Error("endpoint failed")
+			}
+		}
+	}
+}
+
+func TestAdjacentPairsGiveNoRouterScenarios(t *testing.T) {
+	g := topology.Complete(4) // every pair adjacent: no interior routers
+	scens := sampleOn(t, g, SingleRouter, 20)
+	if len(scens) != 0 {
+		t.Errorf("complete graph produced %d router scenarios", len(scens))
+	}
+}
+
+func TestDeterministicSampling(t *testing.T) {
+	g := topology.Grid(3, 5)
+	o := spath.NewOracle(g)
+	a := Sample(g, o, SingleLink, 5, rand.New(rand.NewSource(7)))
+	b := Sample(g, o, SingleLink, 5, rand.New(rand.NewSource(7)))
+	if len(a) != len(b) {
+		t.Fatal("sampling not deterministic")
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src || a[i].Dst != b[i].Dst || a[i].Edges[0] != b[i].Edges[0] {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range []Kind{SingleLink, DoubleLink, SingleRouter, DoubleRouter} {
+		if k.String() == "" {
+			t.Error("empty Kind string")
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind string empty")
+	}
+}
+
+func TestEnumerateSingleLink(t *testing.T) {
+	g := topology.Ring(4)
+	o := spath.NewOracle(g)
+	scens := EnumerateSingleLink(g, o)
+	// 12 ordered pairs; opposite pairs have 2-hop primaries (4 pairs),
+	// adjacent pairs 1-hop (8 pairs): 8*1 + 4*2 = 16 scenarios.
+	if len(scens) != 16 {
+		t.Fatalf("enumerated %d scenarios, want 16", len(scens))
+	}
+	seen := make(map[string]bool)
+	for _, sc := range scens {
+		key := string(rune(sc.Src)) + "/" + string(rune(sc.Dst)) + "/" + string(rune(sc.Edges[0]))
+		if seen[key] {
+			t.Fatalf("duplicate scenario %+v", sc)
+		}
+		seen[key] = true
+		if sc.Primary.Edges[sc.PathIndex] != sc.Edges[0] {
+			t.Fatal("PathIndex mismatch")
+		}
+	}
+}
+
+func TestEnumerateCoversSampled(t *testing.T) {
+	// Every sampled scenario must appear in the exhaustive enumeration.
+	g := topology.Grid(3, 3)
+	o := spath.NewOracle(g)
+	all := make(map[[3]int32]bool)
+	for _, sc := range EnumerateSingleLink(g, o) {
+		all[[3]int32{int32(sc.Src), int32(sc.Dst), int32(sc.Edges[0])}] = true
+	}
+	for _, sc := range Sample(g, o, SingleLink, 10, rand.New(rand.NewSource(2))) {
+		if !all[[3]int32{int32(sc.Src), int32(sc.Dst), int32(sc.Edges[0])}] {
+			t.Fatalf("sampled scenario missing from enumeration: %+v", sc)
+		}
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	if got := Sample(graph.New(1), spath.NewOracle(graph.New(1)), SingleLink, 5, rand.New(rand.NewSource(1))); got != nil {
+		t.Error("singleton graph produced scenarios")
+	}
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	// Single link on a 2-node graph works; double cannot find a second.
+	if got := sampleOn(t, g, DoubleLink, 5); len(got) != 0 {
+		t.Error("double-link scenario on a single-edge graph")
+	}
+}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead: arbitrary input must never panic the parser, and anything it
+// accepts must round-trip exactly through Write/Read.
+func FuzzRead(f *testing.F) {
+	f.Add("nodes 3\n0 1 1\n1 2 2.5\n")
+	f.Add("nodes 2\ndirected\n0 1 1\n")
+	f.Add("# comment\n\nnodes 1\n")
+	f.Add("nodes 0\n")
+	f.Add("nodes 2\n0 1 1e-3\n0 1 4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("Write of accepted graph failed: %v", err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse of own output failed: %v\noutput:\n%s", err, buf.String())
+		}
+		if g2.Order() != g.Order() || g2.Size() != g.Size() || g2.Directed() != g.Directed() {
+			t.Fatalf("round trip changed shape: %d/%d/%v vs %d/%d/%v",
+				g.Order(), g.Size(), g.Directed(), g2.Order(), g2.Size(), g2.Directed())
+		}
+		for i := 0; i < g.Size(); i++ {
+			a, b := g.Edge(EdgeID(i)), g2.Edge(EdgeID(i))
+			if a.U != b.U || a.V != b.V || a.W != b.W {
+				t.Fatalf("edge %d changed: %+v vs %+v", i, a, b)
+			}
+		}
+	})
+}
+
+// FuzzPathOps: random node/edge index soups must never corrupt Path
+// operations that are defined on them.
+func FuzzPathOps(f *testing.F) {
+	f.Add(5, 3, uint(2), uint(3))
+	f.Fuzz(func(t *testing.T, n, hops int, i, j uint) {
+		if n < 2 || n > 50 || hops < 0 || hops > 40 {
+			return
+		}
+		g := New(n)
+		// A path along a line with wraparound edges.
+		p := Path{Nodes: []NodeID{0}}
+		for h := 0; h < hops; h++ {
+			u := p.Nodes[len(p.Nodes)-1]
+			v := NodeID((int(u) + 1) % n)
+			id := g.AddEdge(u, v, 1)
+			p.Nodes = append(p.Nodes, v)
+			p.Edges = append(p.Edges, id)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("constructed path invalid: %v", err)
+		}
+		ii, jj := int(i%uint(hops+1)), int(j%uint(hops+1))
+		if ii > jj {
+			ii, jj = jj, ii
+		}
+		sub := p.SubPath(ii, jj)
+		if err := sub.Validate(g); err != nil {
+			t.Fatalf("subpath invalid: %v", err)
+		}
+		if sub.Hops() != jj-ii {
+			t.Fatalf("subpath hops = %d, want %d", sub.Hops(), jj-ii)
+		}
+		rev := p.Reverse()
+		if err := rev.Validate(g); err != nil {
+			t.Fatalf("reverse invalid on undirected graph: %v", err)
+		}
+		if !rev.Reverse().Equal(p) {
+			t.Fatal("double reverse != original")
+		}
+		cl := p.Clone()
+		if !cl.Equal(p) {
+			t.Fatal("clone differs")
+		}
+		if p.Hops() > 0 {
+			head := p.SubPath(0, 1)
+			tail := p.SubPath(1, p.Hops())
+			if !head.Concat(tail).Equal(p) {
+				t.Fatal("split+concat != original")
+			}
+		}
+	})
+}

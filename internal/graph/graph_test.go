@@ -1,0 +1,399 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 0, 3)
+	return g
+}
+
+func TestBasicConstruction(t *testing.T) {
+	g := buildTriangle(t)
+	if g.Order() != 3 {
+		t.Errorf("Order() = %d, want 3", g.Order())
+	}
+	if g.Size() != 3 {
+		t.Errorf("Size() = %d, want 3", g.Size())
+	}
+	if g.Directed() {
+		t.Error("Directed() = true for undirected graph")
+	}
+	if g.UnitWeights() {
+		t.Error("UnitWeights() = true with weight-2 edge present")
+	}
+	if got := g.AvgDegree(); got != 2 {
+		t.Errorf("AvgDegree() = %v, want 2", got)
+	}
+	e := g.Edge(1)
+	if e.U != 1 || e.V != 2 || e.W != 2 {
+		t.Errorf("Edge(1) = %+v, want {1 1 2 2}", e)
+	}
+	if e.Other(1) != 2 || e.Other(2) != 1 {
+		t.Error("Other() wrong endpoint")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2)
+	id := g.AddNode()
+	if id != 2 || g.Order() != 3 {
+		t.Fatalf("AddNode() = %d (order %d), want 2 (order 3)", id, g.Order())
+	}
+	g.SetName(0, "core")
+	if g.Name(0) != "core" || g.Name(2) != "v2" {
+		t.Errorf("names = %q, %q", g.Name(0), g.Name(2))
+	}
+	id2 := g.AddNode() // after names allocated
+	if g.Name(id2) != "v3" {
+		t.Errorf("Name(new) = %q, want v3", g.Name(id2))
+	}
+}
+
+func TestUndirectedAdjacencyBothWays(t *testing.T) {
+	g := buildTriangle(t)
+	for _, e := range g.Edges() {
+		found := 0
+		g.VisitArcs(e.U, func(a Arc) bool {
+			if a.Edge == e.ID && a.To == e.V {
+				found++
+			}
+			return true
+		})
+		g.VisitArcs(e.V, func(a Arc) bool {
+			if a.Edge == e.ID && a.To == e.U {
+				found++
+			}
+			return true
+		})
+		if found != 2 {
+			t.Errorf("edge %d visible %d times, want 2", e.ID, found)
+		}
+	}
+}
+
+func TestDirectedAdjacencyOneWay(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1, 1)
+	if g.Degree(0) != 1 || g.Degree(1) != 0 {
+		t.Errorf("degrees = %d,%d, want 1,0", g.Degree(0), g.Degree(1))
+	}
+	if got := g.AvgDegree(); got != 0.5 {
+		t.Errorf("AvgDegree() = %v, want 0.5", got)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1, 5)
+	b := g.AddEdge(0, 1, 2)
+	if a == b {
+		t.Fatal("parallel edges share an ID")
+	}
+	id, ok := g.FindEdge(0, 1)
+	if !ok || id != b {
+		t.Errorf("FindEdge picked %d, want min-weight %d", id, b)
+	}
+	if _, ok := g.FindEdge(1, 1); ok {
+		t.Error("FindEdge(1,1) found a self-loop")
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Graph)
+	}{
+		{"out of range", func(g *Graph) { g.AddEdge(0, 9, 1) }},
+		{"negative node", func(g *Graph) { g.AddEdge(-1, 0, 1) }},
+		{"self loop", func(g *Graph) { g.AddEdge(1, 1, 1) }},
+		{"zero weight", func(g *Graph) { g.AddEdge(0, 1, 0) }},
+		{"negative weight", func(g *Graph) { g.AddEdge(0, 1, -2) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			tc.f(New(3))
+		})
+	}
+}
+
+func TestOtherPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Other on non-endpoint did not panic")
+		}
+	}()
+	e := Edge{ID: 0, U: 1, V: 2}
+	e.Other(3)
+}
+
+func TestFailureViewEdges(t *testing.T) {
+	g := buildTriangle(t)
+	v := FailEdges(g, 0)
+	if v.EdgeUsable(0) {
+		t.Error("removed edge usable")
+	}
+	if !v.EdgeUsable(1) || !v.EdgeUsable(2) {
+		t.Error("surviving edges unusable")
+	}
+	// Arc 0<->1 must be gone in both directions.
+	for _, u := range []NodeID{0, 1} {
+		v.VisitArcs(u, func(a Arc) bool {
+			if a.Edge == 0 {
+				t.Errorf("removed edge visited from %d", u)
+			}
+			return true
+		})
+	}
+	if len(v.RemovedEdges()) != 1 || v.RemovedEdges()[0] != 0 {
+		t.Errorf("RemovedEdges() = %v", v.RemovedEdges())
+	}
+	if v.Base() != g {
+		t.Error("Base() != g")
+	}
+}
+
+func TestFailureViewNodes(t *testing.T) {
+	g := buildTriangle(t)
+	v := FailNodes(g, 2)
+	if v.NodeUsable(2) {
+		t.Error("removed node usable")
+	}
+	if v.EdgeUsable(1) || v.EdgeUsable(2) {
+		t.Error("edges incident to removed node usable")
+	}
+	if !v.EdgeUsable(0) {
+		t.Error("edge 0 should survive")
+	}
+	count := 0
+	v.VisitArcs(2, func(Arc) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("arcs visited from removed node: %d", count)
+	}
+	v.VisitArcs(0, func(a Arc) bool {
+		if a.To == 2 {
+			t.Error("arc to removed node visited")
+		}
+		return true
+	})
+}
+
+func TestFailDeduplicates(t *testing.T) {
+	g := buildTriangle(t)
+	v := Fail(g, []EdgeID{1, 1, 1}, []NodeID{0, 0})
+	if len(v.RemovedEdges()) != 1 || len(v.RemovedNodes()) != 1 {
+		t.Errorf("dedup failed: edges %v nodes %v", v.RemovedEdges(), v.RemovedNodes())
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	if Connected(g) {
+		t.Error("disconnected graph reported connected")
+	}
+	comps := Components(g)
+	if len(comps) != 2 {
+		t.Fatalf("Components = %d, want 2", len(comps))
+	}
+	if len(comps[0]) != 3 || len(comps[1]) != 2 {
+		t.Errorf("component sizes %d,%d want 3,2", len(comps[0]), len(comps[1]))
+	}
+	g.AddEdge(2, 3, 1)
+	if !Connected(g) {
+		t.Error("connected graph reported disconnected")
+	}
+}
+
+func TestConnectedAfterFailure(t *testing.T) {
+	g := buildTriangle(t)
+	if !Connected(FailEdges(g, 0)) {
+		t.Error("triangle minus one edge should stay connected")
+	}
+	if Connected(FailEdges(g, 0, 1)) {
+		t.Error("triangle minus two edges should disconnect")
+	}
+	// Removing a node from a triangle leaves an edge: still connected.
+	if !Connected(FailNodes(g, 0)) {
+		t.Error("triangle minus a node should stay connected")
+	}
+}
+
+func TestConnectedTrivial(t *testing.T) {
+	if !Connected(New(0)) || !Connected(New(1)) {
+		t.Error("empty/singleton graphs must be connected")
+	}
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if !Connected(FailNodes(g, 2)) {
+		t.Error("isolated node removed: remaining pair is connected")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	g := New(4) // star around 0
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 3, 1)
+	s := Summarize(g)
+	if s.Nodes != 4 || s.Links != 3 {
+		t.Errorf("Nodes/Links = %d/%d", s.Nodes, s.Links)
+	}
+	if s.MinDegree != 1 || s.MaxDegree != 3 {
+		t.Errorf("degree range = %d..%d, want 1..3", s.MinDegree, s.MaxDegree)
+	}
+	if s.AvgDegree != 1.5 {
+		t.Errorf("AvgDegree = %v, want 1.5", s.AvgDegree)
+	}
+	if got := Summarize(New(0)); got.Nodes != 0 {
+		t.Errorf("Summarize(empty) = %+v", got)
+	}
+}
+
+func TestBridges(t *testing.T) {
+	// Two triangles joined by a bridge (edge 6: 2-3).
+	g := New(6)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 3, 1)
+	bridge := g.AddEdge(2, 3, 1)
+	got := BridgeEdges(g)
+	if len(got) != 1 || got[0] != bridge {
+		t.Errorf("BridgeEdges = %v, want [%d]", got, bridge)
+	}
+}
+
+func TestBridgesParallelNotBridge(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 1, 1)
+	if got := BridgeEdges(g); len(got) != 0 {
+		t.Errorf("parallel edges reported as bridges: %v", got)
+	}
+}
+
+func TestBridgesPath(t *testing.T) {
+	g := New(4)
+	ids := []EdgeID{g.AddEdge(0, 1, 1), g.AddEdge(1, 2, 1), g.AddEdge(2, 3, 1)}
+	got := BridgeEdges(g)
+	if len(got) != len(ids) {
+		t.Fatalf("path bridges = %v, want all %v", got, ids)
+	}
+}
+
+// TestQuickBridgesMatchDefinition cross-checks the Tarjan scan against the
+// definition: an edge is a bridge iff removing it increases the number of
+// connected components.
+func TestQuickBridgesMatchDefinition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(24)
+		g := New(n)
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			u := NodeID(rng.Intn(n))
+			v := NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		isBridge := make(map[EdgeID]bool)
+		for _, id := range BridgeEdges(g) {
+			isBridge[id] = true
+		}
+		base := len(Components(g))
+		for _, e := range g.Edges() {
+			want := len(Components(FailEdges(g, e.ID))) > base
+			if isBridge[e.ID] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFailureViewConsistency checks that a failure view never yields an
+// arc whose edge or endpoints are removed.
+func TestQuickFailureViewConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := NodeID(rng.Intn(n)), NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, 1+rng.Float64())
+			}
+		}
+		if g.Size() == 0 {
+			return true
+		}
+		var re []EdgeID
+		var rn []NodeID
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			re = append(re, EdgeID(rng.Intn(g.Size())))
+		}
+		for i := 0; i < rng.Intn(3); i++ {
+			rn = append(rn, NodeID(rng.Intn(n)))
+		}
+		fv := Fail(g, re, rn)
+		removedE := make(map[EdgeID]bool)
+		for _, id := range re {
+			removedE[id] = true
+		}
+		removedN := make(map[NodeID]bool)
+		for _, id := range rn {
+			removedN[id] = true
+		}
+		ok := true
+		for u := 0; u < n; u++ {
+			fv.VisitArcs(NodeID(u), func(a Arc) bool {
+				e := g.Edge(a.Edge)
+				if removedE[a.Edge] || removedN[e.U] || removedN[e.V] || removedN[NodeID(u)] {
+					ok = false
+					return false
+				}
+				return true
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVisitArcsEarlyStop(t *testing.T) {
+	g := buildTriangle(t)
+	count := 0
+	g.VisitArcs(0, func(Arc) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d arcs, want 1", count)
+	}
+	fv := FailEdges(g)
+	count = 0
+	fv.VisitArcs(0, func(Arc) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("failure view early stop visited %d arcs, want 1", count)
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The edge-list text format, one record per line:
+//
+//	# comment
+//	nodes <n>
+//	directed            (optional; default undirected)
+//	<u> <v> <weight>    one line per edge
+//
+// Node IDs must be in [0, n). The format round-trips through Write and Read.
+
+// Write serializes g in edge-list format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "nodes %d\n", g.Order())
+	if g.Directed() {
+		fmt.Fprintln(bw, "directed")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d %g\n", e.U, e.V, e.W)
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in edge-list format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var g *Graph
+	directed := false
+	lineNo := 0
+	var pendingEdges [][3]string
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "nodes":
+			if g != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate nodes header", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("graph: line %d: nodes header needs one count", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			g = New(n)
+		case fields[0] == "directed":
+			if len(pendingEdges) > 0 {
+				return nil, fmt.Errorf("graph: line %d: directed must precede edges", lineNo)
+			}
+			directed = true
+		default:
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs 'u v w', got %q", lineNo, line)
+			}
+			pendingEdges = append(pendingEdges, [3]string{fields[0], fields[1], fields[2]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("graph: missing 'nodes <n>' header")
+	}
+	if directed {
+		g.directed = true
+	}
+	for i, f := range pendingEdges {
+		u, err1 := strconv.Atoi(f[0])
+		v, err2 := strconv.Atoi(f[1])
+		w, err3 := strconv.ParseFloat(f[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: edge %d: parse %v", i, f)
+		}
+		if u < 0 || u >= g.Order() || v < 0 || v >= g.Order() {
+			return nil, fmt.Errorf("graph: edge %d: endpoint out of range: %v", i, f)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: edge %d: self-loop at %d", i, u)
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("graph: edge %d: non-positive weight %v", i, w)
+		}
+		g.AddEdge(NodeID(u), NodeID(v), w)
+	}
+	return g, nil
+}

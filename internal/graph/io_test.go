@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1.5)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 0.25)
+	g.AddEdge(0, 1, 3) // parallel
+
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Order() != g.Order() || got.Size() != g.Size() {
+		t.Fatalf("round trip size mismatch: %d/%d vs %d/%d",
+			got.Order(), got.Size(), g.Order(), g.Size())
+	}
+	for i, e := range g.Edges() {
+		ge := got.Edge(EdgeID(i))
+		if ge.U != e.U || ge.V != e.V || ge.W != e.W {
+			t.Errorf("edge %d: got %+v want %+v", i, ge, e)
+		}
+	}
+}
+
+func TestRoundTripDirected(t *testing.T) {
+	g := NewDirected(2)
+	g.AddEdge(0, 1, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !got.Directed() {
+		t.Error("directed flag lost in round trip")
+	}
+	if got.Degree(1) != 0 {
+		t.Error("directed adjacency not respected after Read")
+	}
+}
+
+func TestReadCommentsAndBlanks(t *testing.T) {
+	in := "# topology\n\nnodes 3\n0 1 1\n# middle comment\n1 2 2.5\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.Order() != 3 || g.Size() != 2 {
+		t.Errorf("got %d nodes %d edges", g.Order(), g.Size())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"no header", "0 1 1\n"},
+		{"dup header", "nodes 2\nnodes 3\n"},
+		{"bad count", "nodes x\n"},
+		{"neg count", "nodes -1\n"},
+		{"header arity", "nodes 2 3\n"},
+		{"bad edge arity", "nodes 2\n0 1\n"},
+		{"bad edge field", "nodes 2\n0 x 1\n"},
+		{"endpoint range", "nodes 2\n0 5 1\n"},
+		{"self loop", "nodes 2\n1 1 1\n"},
+		{"bad weight", "nodes 2\n0 1 -3\n"},
+		{"empty", ""},
+		{"directed after edges", "nodes 2\n0 1 1\ndirected\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}

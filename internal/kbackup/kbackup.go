@@ -1,0 +1,89 @@
+// Package kbackup implements the restoration baseline the paper argues
+// against: pre-provision a small number of alternate paths per pair and,
+// on failure, switch to the first surviving one.
+//
+//	"Previous work proposed to address this costly establishment by
+//	compromising the 'quality' of the backup paths (e.g., use
+//	non-shortest paths); for the simpler aim of maintaining
+//	connectivity, it is sufficient to use a small number of
+//	pre-established paths. Our approach enables fast restoration
+//	without compromising the quality of backup paths."
+//
+// The alternates are the k shortest loopless paths (Yen), so this is the
+// strongest reasonable version of the baseline. Its two structural
+// weaknesses, which the comparison in internal/eval quantifies:
+//
+//   - Coverage: if every pre-established alternate crosses the failed
+//     element(s), the pair blackholes even though the network is still
+//     connected. RBPC restores whenever a path exists.
+//   - Quality: the surviving alternate is generally not a post-failure
+//     shortest path; RBPC's concatenation always is.
+package kbackup
+
+import (
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+	"rbpc/internal/spath"
+)
+
+// Scheme is a k-backup deployment over a fixed topology.
+type Scheme struct {
+	g *graph.Graph
+	k int
+
+	cache map[[2]graph.NodeID][]graph.Path
+}
+
+// New returns a k-backup scheme over g with k pre-established paths per
+// pair (computed lazily per pair, memoized).
+func New(g *graph.Graph, k int) *Scheme {
+	if k < 1 {
+		k = 1
+	}
+	return &Scheme{g: g, k: k, cache: make(map[[2]graph.NodeID][]graph.Path)}
+}
+
+// K returns the number of alternates per pair.
+func (s *Scheme) K() int { return s.k }
+
+// Paths returns the pair's pre-established paths, primary first.
+func (s *Scheme) Paths(src, dst graph.NodeID) []graph.Path {
+	key := [2]graph.NodeID{src, dst}
+	if ps, ok := s.cache[key]; ok {
+		return ps
+	}
+	ps := spath.KShortest(s.g, src, dst, s.k)
+	s.cache[key] = ps
+	return ps
+}
+
+// Primary returns the pair's working path (the shortest).
+func (s *Scheme) Primary(src, dst graph.NodeID) (graph.Path, bool) {
+	ps := s.Paths(src, dst)
+	if len(ps) == 0 {
+		return graph.Path{}, false
+	}
+	return ps[0], true
+}
+
+// Restore returns the first pre-established alternate that survives the
+// failures, or false if none does — the scheme has no other recourse
+// without falling back to online signaling.
+func (s *Scheme) Restore(fv *graph.FailureView, src, dst graph.NodeID) (graph.Path, bool) {
+	for _, p := range s.Paths(src, dst) {
+		if paths.Survives(p, fv) {
+			return p, true
+		}
+	}
+	return graph.Path{}, false
+}
+
+// ILMEntries returns the ILM rows needed to pre-establish the pair's k
+// paths (one row per downstream router per path).
+func (s *Scheme) ILMEntries(src, dst graph.NodeID) int {
+	total := 0
+	for _, p := range s.Paths(src, dst) {
+		total += p.Hops()
+	}
+	return total
+}

@@ -1,0 +1,109 @@
+package kbackup
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+func TestPrimaryAndAlternates(t *testing.T) {
+	g := topology.Ring(6)
+	s := New(g, 2)
+	if s.K() != 2 {
+		t.Fatalf("K = %d", s.K())
+	}
+	ps := s.Paths(0, 3)
+	if len(ps) != 2 {
+		t.Fatalf("paths = %d, want 2 (both ways around)", len(ps))
+	}
+	primary, ok := s.Primary(0, 3)
+	if !ok || primary.Hops() != 3 {
+		t.Errorf("primary = %v", primary)
+	}
+	// Memoized.
+	again := s.Paths(0, 3)
+	if &again[0].Nodes[0] != &ps[0].Nodes[0] {
+		t.Error("paths not memoized")
+	}
+}
+
+func TestRestoreSwitchesToSurvivor(t *testing.T) {
+	g := topology.Ring(6)
+	s := New(g, 2)
+	primary, _ := s.Primary(0, 3)
+	fv := graph.FailEdges(g, primary.Edges[0])
+	alt, ok := s.Restore(fv, 0, 3)
+	if !ok {
+		t.Fatal("no surviving alternate on a ring")
+	}
+	if alt.HasEdge(primary.Edges[0]) {
+		t.Error("alternate uses failed edge")
+	}
+	if alt.Hops() != 3 {
+		t.Errorf("alternate hops = %d, want 3 (other way around)", alt.Hops())
+	}
+}
+
+func TestRestoreCoverageGap(t *testing.T) {
+	// The structural weakness: a "theta" graph with THREE disjoint routes
+	// but k=2 pre-established paths. Failing a link on each of the two
+	// stored paths leaves the third route alive — yet k-backup cannot
+	// use it.
+	g := graph.New(8)
+	// Route A: 0-1-7 (cost 2). Route B: 0-2-3-7 (cost 3). Route C:
+	// 0-4-5-6-7 (cost 4).
+	g.AddEdge(0, 1, 1)
+	a2 := g.AddEdge(1, 7, 1)
+	g.AddEdge(0, 2, 1)
+	b2 := g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 7, 1)
+	g.AddEdge(0, 4, 1)
+	g.AddEdge(4, 5, 1)
+	g.AddEdge(5, 6, 1)
+	g.AddEdge(6, 7, 1)
+
+	s := New(g, 2)
+	ps := s.Paths(0, 7)
+	if len(ps) != 2 || ps[0].CostIn(g) != 2 || ps[1].CostIn(g) != 3 {
+		t.Fatalf("stored paths = %v", ps)
+	}
+	fv := graph.FailEdges(g, a2, b2)
+	if _, ok := s.Restore(fv, 0, 7); ok {
+		t.Fatal("k=2 backup restored though both stored paths are broken")
+	}
+	// The network is still connected: RBPC-style restoration would
+	// succeed via route C.
+	if !graph.Connected(fv) {
+		t.Fatal("test setup: network should remain connected")
+	}
+	// k=3 closes the gap.
+	s3 := New(g, 3)
+	if alt, ok := s3.Restore(fv, 0, 7); !ok || alt.CostIn(g) != 4 {
+		t.Errorf("k=3 restore = %v, %v", alt, ok)
+	}
+}
+
+func TestILMEntries(t *testing.T) {
+	g := topology.Ring(6)
+	s := New(g, 2)
+	// Paths 0->3: 3 hops each way = 6 rows.
+	if got := s.ILMEntries(0, 3); got != 6 {
+		t.Errorf("ILMEntries = %d, want 6", got)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	s := New(g, 2)
+	if _, ok := s.Primary(0, 2); ok {
+		t.Error("primary to unreachable node")
+	}
+	if _, ok := s.Restore(graph.FailEdges(g), 0, 2); ok {
+		t.Error("restore to unreachable node")
+	}
+	if New(g, 0).K() != 1 {
+		t.Error("k floor not applied")
+	}
+}

@@ -1,0 +1,144 @@
+package ldp
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+func setup() (*graph.Graph, *mpls.Network, *sim.Engine, *Signaler) {
+	g := topology.Line(5)
+	net := mpls.NewNetwork(g)
+	eng := &sim.Engine{}
+	sig := NewSignaler(net, eng, DefaultConfig())
+	return g, net, eng, sig
+}
+
+func linePath(g *graph.Graph, from, to int) graph.Path {
+	p := graph.Path{Nodes: []graph.NodeID{graph.NodeID(from)}}
+	for i := from; i < to; i++ {
+		id, _ := g.FindEdge(graph.NodeID(i), graph.NodeID(i+1))
+		p.Nodes = append(p.Nodes, graph.NodeID(i+1))
+		p.Edges = append(p.Edges, id)
+	}
+	return p
+}
+
+func TestEstablishTiming(t *testing.T) {
+	g, net, eng, sig := setup()
+	path := linePath(g, 0, 3) // 3 hops
+	msgs, latency := sig.EstablishCost(path)
+	if msgs != 6 {
+		t.Errorf("messages = %d, want 6", msgs)
+	}
+	if latency != 2*3*(1+0.5) {
+		t.Errorf("latency = %v, want 9", latency)
+	}
+	var gotLSP *mpls.LSP
+	var doneAt sim.Time
+	sig.Establish(path, func(l *mpls.LSP, err error) {
+		if err != nil {
+			t.Errorf("Establish: %v", err)
+		}
+		gotLSP, doneAt = l, eng.Now()
+	})
+	if net.NumLSPs() != 0 {
+		t.Error("LSP installed before signaling finished")
+	}
+	eng.Run()
+	if gotLSP == nil {
+		t.Fatal("done never called")
+	}
+	if doneAt != 9 {
+		t.Errorf("completed at %v, want 9", doneAt)
+	}
+	if net.NumLSPs() != 1 {
+		t.Error("LSP missing after signaling")
+	}
+	if st := sig.Stats(); st.Requests != 3 || st.Mappings != 3 || st.Total() != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTeardown(t *testing.T) {
+	g, net, eng, sig := setup()
+	lsp, err := net.EstablishLSP(linePath(g, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	sig.Teardown(lsp, func(err error) {
+		if err != nil {
+			t.Errorf("Teardown: %v", err)
+		}
+		called = true
+	})
+	eng.Run()
+	if !called || net.NumLSPs() != 0 {
+		t.Errorf("teardown incomplete: called=%v LSPs=%d", called, net.NumLSPs())
+	}
+	if sig.Stats().Releases != 3 {
+		t.Errorf("Releases = %d", sig.Stats().Releases)
+	}
+}
+
+func TestEstablishTrivialErrors(t *testing.T) {
+	_, _, eng, sig := setup()
+	var gotErr error
+	sig.Establish(graph.Trivial(0), func(l *mpls.LSP, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Error("trivial path accepted")
+	}
+}
+
+func TestIndependentModeFaster(t *testing.T) {
+	g := topology.Line(5)
+	net := mpls.NewNetwork(g)
+	eng := &sim.Engine{}
+	cfg := DefaultConfig()
+	cfg.ControlMode = Independent
+	sig := NewSignaler(net, eng, cfg)
+	path := linePath(g, 0, 4) // 4 hops
+	msgs, lat := sig.EstablishCost(path)
+	if msgs != 8 {
+		t.Errorf("messages = %d, want 8 (same as ordered)", msgs)
+	}
+	ordered := NewSignaler(net, eng, DefaultConfig())
+	_, latOrdered := ordered.EstablishCost(path)
+	if !(lat < latOrdered) {
+		t.Errorf("independent latency %v not below ordered %v", lat, latOrdered)
+	}
+	// Establishment still works end to end.
+	done := false
+	sig.Establish(path, func(l *mpls.LSP, err error) {
+		if err != nil {
+			t.Errorf("Establish: %v", err)
+		}
+		if eng.Now() != lat {
+			t.Errorf("completed at %v, want %v", eng.Now(), lat)
+		}
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("never completed")
+	}
+	if Ordered.String() != "ordered" || Independent.String() != "independent" || Mode(9).String() == "" {
+		t.Error("Mode strings")
+	}
+}
+
+func TestEstablishOverDeadLinkFails(t *testing.T) {
+	g, net, eng, sig := setup()
+	net.FailEdge(g.Edges()[0].ID)
+	var gotErr error
+	sig.Establish(linePath(g, 0, 2), func(l *mpls.LSP, err error) { gotErr = err })
+	eng.Run()
+	if gotErr == nil {
+		t.Error("establishment over dead link succeeded")
+	}
+}

@@ -1,0 +1,164 @@
+package mpls
+
+import (
+	"errors"
+	"fmt"
+
+	"rbpc/internal/graph"
+)
+
+// DefaultTTL bounds the number of links a packet may traverse; it doubles
+// as the loop detector, exactly as the IP/MPLS TTL does.
+const DefaultTTL = 255
+
+// maxLocalOps bounds consecutive label operations at a single router, so a
+// misconfigured ILM cannot spin the forwarder.
+const maxLocalOps = 16
+
+// Forwarding errors.
+var (
+	ErrTTLExpired   = errors.New("mpls: TTL expired (forwarding loop?)")
+	ErrLinkDown     = errors.New("mpls: packet dropped on failed link")
+	ErrNoRoute      = errors.New("mpls: no matching table entry")
+	ErrLabelLoop    = errors.New("mpls: too many label operations at one router")
+	ErrNotDelivered = errors.New("mpls: packet stopped before its destination")
+)
+
+// Packet is a labeled packet traversing the network.
+type Packet struct {
+	Src, Dst graph.NodeID
+	// Stack holds the label stack, bottom first (the top of stack is the
+	// last element).
+	Stack []Label
+	// At is the router currently holding the packet.
+	At graph.NodeID
+	// TTL is decremented per link; the packet is dropped at zero.
+	TTL int
+	// Hops counts traversed links.
+	Hops int
+	// Trace records the routers visited, starting with Src.
+	Trace []graph.NodeID
+}
+
+// Top returns the top label.
+func (p *Packet) Top() (Label, bool) {
+	if len(p.Stack) == 0 {
+		return 0, false
+	}
+	return p.Stack[len(p.Stack)-1], true
+}
+
+// SendIP injects an unlabeled packet for dst at router src: the ingress
+// consults its FEC table, pushes the configured stack and forwards. This
+// is how traffic enters the MPLS cloud.
+func (n *Network) SendIP(src, dst graph.NodeID) (*Packet, error) {
+	fe, ok := n.routers[src].fec[dst]
+	if !ok {
+		return nil, fmt.Errorf("router %d, dst %d: %w", src, dst, ErrNoRoute)
+	}
+	pkt := &Packet{
+		Src: src, Dst: dst,
+		Stack: append([]Label(nil), fe.Stack...),
+		At:    src,
+		TTL:   DefaultTTL,
+		Trace: []graph.NodeID{src},
+	}
+	if fe.OutEdge != LocalProcess {
+		if err := n.transmit(pkt, fe.OutEdge); err != nil {
+			return pkt, err
+		}
+	}
+	return pkt, n.Forward(pkt)
+}
+
+// SendOnLSPs injects a packet at the ingress of the first LSP and carries
+// it across the concatenation of the given LSPs.
+func (n *Network) SendOnLSPs(dst graph.NodeID, lsps []*LSP) (*Packet, error) {
+	stack, first, err := ConcatStack(lsps)
+	if err != nil {
+		return nil, err
+	}
+	src := lsps[0].Ingress()
+	pkt := &Packet{
+		Src: src, Dst: dst,
+		Stack: stack,
+		At:    src,
+		TTL:   DefaultTTL,
+		Trace: []graph.NodeID{src},
+	}
+	if err := n.transmit(pkt, first); err != nil {
+		return pkt, err
+	}
+	return pkt, n.Forward(pkt)
+}
+
+// Forward runs the label-switching loop until the packet is delivered (at
+// a router with an empty stack) or dropped. On success the packet rests at
+// its final router with Stack empty.
+func (n *Network) Forward(pkt *Packet) error {
+	for {
+		top, ok := pkt.Top()
+		if !ok {
+			// Stack empty: the packet has left the MPLS cloud at pkt.At.
+			if pkt.At != pkt.Dst {
+				return fmt.Errorf("popped out at router %d, want %d: %w", pkt.At, pkt.Dst, ErrNotDelivered)
+			}
+			n.stats.PacketsForwarded++
+			return nil
+		}
+		ops := 0
+		for {
+			r := n.routers[pkt.At]
+			entry, ok := r.ilm[top]
+			if !ok {
+				n.stats.PacketsDropped++
+				return fmt.Errorf("router %d, label %d: %w", pkt.At, top, ErrNoRoute)
+			}
+			// Label operation: replace top with entry.Out.
+			pkt.Stack = pkt.Stack[:len(pkt.Stack)-1]
+			pkt.Stack = append(pkt.Stack, entry.Out...)
+			if entry.OutEdge != LocalProcess {
+				if err := n.transmit(pkt, entry.OutEdge); err != nil {
+					return err
+				}
+				break // continue outer loop at the new router
+			}
+			// Local processing: re-examine the (new) top, or deliver.
+			top, ok = pkt.Top()
+			if !ok {
+				if pkt.At != pkt.Dst {
+					return fmt.Errorf("popped out at router %d, want %d: %w", pkt.At, pkt.Dst, ErrNotDelivered)
+				}
+				n.stats.PacketsForwarded++
+				return nil
+			}
+			ops++
+			if ops > maxLocalOps {
+				n.stats.PacketsDropped++
+				return fmt.Errorf("router %d: %w", pkt.At, ErrLabelLoop)
+			}
+		}
+	}
+}
+
+// transmit moves the packet across a link, enforcing link state and TTL.
+func (n *Network) transmit(pkt *Packet, e graph.EdgeID) error {
+	if !n.edgeUp[e] {
+		n.stats.PacketsDropped++
+		return fmt.Errorf("link %d at router %d: %w", e, pkt.At, ErrLinkDown)
+	}
+	edge := n.g.Edge(e)
+	if edge.U != pkt.At && edge.V != pkt.At {
+		n.stats.PacketsDropped++
+		return fmt.Errorf("mpls: router %d asked to transmit on non-incident link %d", pkt.At, e)
+	}
+	if pkt.TTL <= 0 {
+		n.stats.PacketsDropped++
+		return fmt.Errorf("at router %d: %w", pkt.At, ErrTTLExpired)
+	}
+	pkt.TTL--
+	pkt.Hops++
+	pkt.At = edge.Other(pkt.At)
+	pkt.Trace = append(pkt.Trace, pkt.At)
+	return nil
+}

@@ -1,0 +1,250 @@
+package mpls
+
+import (
+	"fmt"
+
+	"rbpc/internal/graph"
+)
+
+// LSP is an established label-switched path.
+//
+// Label layout for a path v_0 e_0 v_1 e_1 ... e_{m-1} v_m:
+//
+//	selfLabel          — allocated by v_0; ILM row at v_0 swaps it to
+//	                     hopLabels[0] and forwards on e_0. It exists so the
+//	                     LSP can be the *second or later* component of a
+//	                     concatenation: a pop at the previous LSP's egress
+//	                     exposes selfLabel, which v_0 then resolves.
+//	hopLabels[i]       — allocated by v_{i+1}: the label carried on link
+//	                     e_i. Transit routers swap hopLabels[i] ->
+//	                     hopLabels[i+1]; the egress v_m pops hopLabels[m-1].
+//
+// With penultimate-hop popping (PHP) the router v_{m-1} pops instead of
+// swapping and the egress installs no entry; the paper uses this for
+// two-hop bypass paths ("no label overhead").
+type LSP struct {
+	ID   LSPID
+	Path graph.Path
+	PHP  bool
+
+	selfLabel Label
+	hopLabels []Label
+}
+
+// Ingress returns the LSP's first router.
+func (l *LSP) Ingress() graph.NodeID { return l.Path.Src() }
+
+// Egress returns the LSP's last router.
+func (l *LSP) Egress() graph.NodeID { return l.Path.Dst() }
+
+// SelfLabel returns the label that names this LSP at its own ingress —
+// what a concatenating router pushes beneath the current stack so the
+// packet continues onto this LSP.
+func (l *LSP) SelfLabel() Label { return l.selfLabel }
+
+// FirstHopLabel returns the label the ingress sends on the first link.
+func (l *LSP) FirstHopLabel() Label { return l.hopLabels[0] }
+
+// FirstEdge returns the LSP's first link.
+func (l *LSP) FirstEdge() graph.EdgeID { return l.Path.Edges[0] }
+
+// HopLabel returns the label carried on the LSP's i-th link (the label
+// with which the packet arrives at Path.Nodes[i+1]). Under PHP the last
+// hop carries the inner stack and has no label of its own.
+func (l *LSP) HopLabel(i int) (Label, bool) {
+	if i < 0 || i >= len(l.hopLabels) || (l.PHP && i == len(l.hopLabels)-1) {
+		return 0, false
+	}
+	return l.hopLabels[i], true
+}
+
+// IncomingLabelAt returns the label with which packets on this LSP arrive
+// at router v (which must be a non-ingress node of the path).
+func (l *LSP) IncomingLabelAt(v graph.NodeID) (Label, bool) {
+	for i := 1; i < len(l.Path.Nodes); i++ {
+		if l.Path.Nodes[i] == v {
+			return l.hopLabels[i-1], true
+		}
+	}
+	return 0, false
+}
+
+// EstablishLSP provisions an LSP along path, allocating labels downstream
+// and installing ILM rows at every router. It costs Hops() signaling
+// messages (one label mapping per hop) plus one for the ingress self-row.
+// The path must be nontrivial and usable (all links up).
+func (n *Network) EstablishLSP(path graph.Path) (*LSP, error) {
+	return n.establish(path, false)
+}
+
+// EstablishLSPPHP provisions an LSP with penultimate-hop popping: the
+// egress holds no ILM row for it, so a 2-hop bypass adds no label state at
+// the resumption router.
+func (n *Network) EstablishLSPPHP(path graph.Path) (*LSP, error) {
+	return n.establish(path, true)
+}
+
+func (n *Network) establish(path graph.Path, php bool) (*LSP, error) {
+	if path.Hops() == 0 {
+		return nil, fmt.Errorf("%w: trivial path", errInvalidPath)
+	}
+	if err := path.Validate(n.g); err != nil {
+		return nil, fmt.Errorf("%w: %v", errInvalidPath, err)
+	}
+	for _, e := range path.Edges {
+		if !n.edgeUp[e] {
+			return nil, fmt.Errorf("%w: link %d is down", errInvalidPath, e)
+		}
+	}
+	if php && path.Hops() == 1 {
+		return nil, fmt.Errorf("%w: PHP needs at least 2 hops", errInvalidPath)
+	}
+
+	lsp := &LSP{ID: n.nextLSP, Path: path.Clone(), PHP: php}
+	n.nextLSP++
+
+	m := path.Hops()
+	lsp.hopLabels = make([]Label, m)
+	// Downstream assignment: v_{i+1} assigns the label for link e_i.
+	// With PHP the egress assigns none; the final swap at v_{m-1} becomes
+	// a pop.
+	last := m
+	if php {
+		last = m - 1
+	}
+	for i := 0; i < last; i++ {
+		lsp.hopLabels[i] = n.routers[path.Nodes[i+1]].allocLabel()
+	}
+
+	// Ingress self-row.
+	ingress := n.routers[path.Src()]
+	lsp.selfLabel = ingress.allocLabel()
+	ingress.ilm[lsp.selfLabel] = ILMEntry{
+		Out:     []Label{lsp.hopLabels[0]},
+		OutEdge: path.Edges[0],
+		LSP:     lsp.ID,
+	}
+
+	// Transit and egress rows.
+	for i := 1; i <= m; i++ {
+		r := n.routers[path.Nodes[i]]
+		in := lsp.hopLabels[i-1]
+		switch {
+		case i == m:
+			if php {
+				continue // egress holds no row under PHP
+			}
+			r.ilm[in] = ILMEntry{Out: nil, OutEdge: LocalProcess, LSP: lsp.ID}
+		case php && i == m-1:
+			// Penultimate pop: forward the inner stack on the last link.
+			r.ilm[in] = ILMEntry{Out: nil, OutEdge: path.Edges[i], LSP: lsp.ID}
+		default:
+			r.ilm[in] = ILMEntry{Out: []Label{lsp.hopLabels[i]}, OutEdge: path.Edges[i], LSP: lsp.ID}
+		}
+	}
+
+	n.lsps[lsp.ID] = lsp
+	n.stats.LSPsEstablished++
+	n.stats.SignalingMsgs += m + 1 // one mapping per hop + ingress row
+	return lsp, nil
+}
+
+// TeardownLSP removes the LSP's rows everywhere and releases its labels,
+// costing one release message per hop.
+func (n *Network) TeardownLSP(id LSPID) error {
+	lsp, ok := n.lsps[id]
+	if !ok {
+		return fmt.Errorf("mpls: teardown of unknown LSP %d", id)
+	}
+	m := lsp.Path.Hops()
+	n.routers[lsp.Path.Src()].freeLabel(lsp.selfLabel)
+	last := m
+	if lsp.PHP {
+		last = m - 1
+	}
+	for i := 0; i < last; i++ {
+		n.routers[lsp.Path.Nodes[i+1]].freeLabel(lsp.hopLabels[i])
+	}
+	delete(n.lsps, id)
+	n.stats.LSPsTornDown++
+	n.stats.SignalingMsgs += m
+	return nil
+}
+
+// LSPByID returns an established LSP.
+func (n *Network) LSPByID(id LSPID) (*LSP, bool) {
+	l, ok := n.lsps[id]
+	return l, ok
+}
+
+// NumLSPs returns the number of currently established LSPs.
+func (n *Network) NumLSPs() int { return len(n.lsps) }
+
+// TotalILM returns the summed ILM sizes over all routers, and the largest
+// single table.
+func (n *Network) TotalILM() (total, max int) {
+	for _, r := range n.routers {
+		s := r.ILMSize()
+		total += s
+		if s > max {
+			max = s
+		}
+	}
+	return total, max
+}
+
+// ConcatStack builds the label stack (bottom-first) that sends a packet
+// along the concatenation of the given LSPs: the first hop label of the
+// first LSP on top, then the self-labels of the remaining LSPs beneath it.
+// It errors unless consecutive LSPs chain (egress of one is ingress of the
+// next).
+func ConcatStack(lsps []*LSP) ([]Label, graph.EdgeID, error) {
+	if len(lsps) == 0 {
+		return nil, 0, fmt.Errorf("mpls: empty concatenation")
+	}
+	for i := 1; i < len(lsps); i++ {
+		if lsps[i-1].Egress() != lsps[i].Ingress() {
+			return nil, 0, fmt.Errorf("mpls: LSP %d ends at %d but LSP %d starts at %d",
+				lsps[i-1].ID, lsps[i-1].Egress(), lsps[i].ID, lsps[i].Ingress())
+		}
+		if lsps[i-1].PHP {
+			// Under PHP the inner label is exposed one hop early, at the
+			// penultimate router of the previous LSP — which is only
+			// correct if that router equals the next LSP's ingress.
+			// Reject the general case.
+			return nil, 0, fmt.Errorf("mpls: LSP %d uses PHP and cannot be concatenated before another LSP", lsps[i-1].ID)
+		}
+	}
+	// Bottom-first: deepest label continues the last LSP.
+	stack := make([]Label, 0, len(lsps))
+	for i := len(lsps) - 1; i >= 1; i-- {
+		stack = append(stack, lsps[i].SelfLabel())
+	}
+	stack = append(stack, lsps[0].FirstHopLabel())
+	return stack, lsps[0].FirstEdge(), nil
+}
+
+// SelfStack builds the label stack (bottom-first) of the concatenation's
+// self-labels, for use with LocalProcess: the holding router resolves the
+// top self-label through its own ILM. The first LSP must therefore start
+// at the router that will process the stack. Chaining is validated as in
+// ConcatStack.
+func SelfStack(lsps []*LSP) ([]Label, error) {
+	if len(lsps) == 0 {
+		return nil, fmt.Errorf("mpls: empty concatenation")
+	}
+	for i := 1; i < len(lsps); i++ {
+		if lsps[i-1].Egress() != lsps[i].Ingress() {
+			return nil, fmt.Errorf("mpls: LSP %d ends at %d but LSP %d starts at %d",
+				lsps[i-1].ID, lsps[i-1].Egress(), lsps[i].ID, lsps[i].Ingress())
+		}
+		if lsps[i-1].PHP {
+			return nil, fmt.Errorf("mpls: LSP %d uses PHP and cannot be concatenated before another LSP", lsps[i-1].ID)
+		}
+	}
+	stack := make([]Label, 0, len(lsps))
+	for i := len(lsps) - 1; i >= 0; i-- {
+		stack = append(stack, lsps[i].SelfLabel())
+	}
+	return stack, nil
+}

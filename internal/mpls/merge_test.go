@@ -1,0 +1,246 @@
+package mpls
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+)
+
+// treeToward builds the next-hop map of the shortest-path tree toward dst
+// on an undirected graph: every other reachable node forwards along its
+// tree parent path... i.e., the next hop of r is r's parent in the tree
+// rooted at dst (undirected symmetry).
+func treeToward(g *graph.Graph, dst graph.NodeID) map[graph.NodeID]graph.Arc {
+	t := spath.Compute(g, dst)
+	next := make(map[graph.NodeID]graph.Arc)
+	for r := 0; r < g.Order(); r++ {
+		rr := graph.NodeID(r)
+		if rr == dst || !t.Reached(rr) {
+			continue
+		}
+		parent, edge := t.Parent(rr)
+		next[rr] = graph.Arc{Edge: edge, To: parent}
+	}
+	return next
+}
+
+func ring6() *graph.Graph {
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID((i+1)%6), 1)
+	}
+	return g
+}
+
+func TestInstallDestTreeAndForward(t *testing.T) {
+	g := ring6()
+	n := NewNetwork(g)
+	tree, err := n.InstallDestTree(0, treeToward(g, 0))
+	if err != nil {
+		t.Fatalf("InstallDestTree: %v", err)
+	}
+	if tree.Size() != 6 {
+		t.Errorf("tree size = %d, want 6", tree.Size())
+	}
+	for src := 1; src < 6; src++ {
+		pkt, err := n.SendMerged(graph.NodeID(src), tree)
+		if err != nil {
+			t.Fatalf("SendMerged(%d): %v", src, err)
+		}
+		if pkt.At != 0 {
+			t.Errorf("from %d delivered at %d", src, pkt.At)
+		}
+		if pkt.Hops > 3 {
+			t.Errorf("from %d took %d hops on a 6-ring", src, pkt.Hops)
+		}
+	}
+}
+
+func TestMergedILMFootprint(t *testing.T) {
+	// The point of merging: full all-destination coverage with one row
+	// per (router, destination), vs hop-proportional point-to-point LSPs.
+	g := ring6()
+
+	merged := NewNetwork(g)
+	for d := 0; d < 6; d++ {
+		if _, err := merged.InstallDestTree(graph.NodeID(d), treeToward(g, graph.NodeID(d))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mergedTotal, mergedMax := merged.TotalILM()
+
+	p2p := NewNetwork(g)
+	o := spath.NewOracle(g)
+	for s := 0; s < 6; s++ {
+		for d := 0; d < 6; d++ {
+			if s == d {
+				continue
+			}
+			p, _ := o.Path(graph.NodeID(s), graph.NodeID(d))
+			if _, err := p2p.EstablishLSP(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	p2pTotal, p2pMax := p2p.TotalILM()
+
+	// Merged: 6 trees x 6 rows = 36. Point-to-point: 30 LSPs x (hops+1).
+	if mergedTotal != 36 {
+		t.Errorf("merged total = %d, want 36", mergedTotal)
+	}
+	if mergedTotal >= p2pTotal {
+		t.Errorf("merging did not shrink ILM: %d vs %d", mergedTotal, p2pTotal)
+	}
+	if mergedMax >= p2pMax {
+		t.Errorf("merging did not shrink the largest table: %d vs %d", mergedMax, p2pMax)
+	}
+}
+
+func TestMergedConcatenation(t *testing.T) {
+	// Restoration by concatenation over merged LSPs: ride the tree for M,
+	// then the tree for D.
+	g := ring6()
+	n := NewNetwork(g)
+	treeTo3, err := n.InstallDestTree(3, treeToward(g, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeTo5, err := n.InstallDestTree(5, treeToward(g, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := n.SendMergedVia(1, []*DestTree{treeTo3, treeTo5})
+	if err != nil {
+		t.Fatalf("SendMergedVia: %v", err)
+	}
+	if pkt.At != 5 {
+		t.Errorf("delivered at %d, want 5", pkt.At)
+	}
+	// Must have passed through 3 (the splice point).
+	via := false
+	for _, r := range pkt.Trace {
+		if r == 3 {
+			via = true
+		}
+	}
+	if !via {
+		t.Errorf("trace %v skipped the splice point", pkt.Trace)
+	}
+}
+
+func TestMergedErrors(t *testing.T) {
+	g := ring6()
+	n := NewNetwork(g)
+	tree, err := n.InstallDestTree(0, treeToward(g, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.SendMerged(0, tree); err != nil {
+		// The destination has a label (its pop row), so sending from the
+		// destination trivially delivers.
+		t.Errorf("SendMerged from destination: %v", err)
+	}
+	if _, err := MergedConcatStack(1, nil); err == nil {
+		t.Error("empty merged concat accepted")
+	}
+
+	// Destination with a next hop.
+	bad := treeToward(g, 0)
+	bad[0] = graph.Arc{Edge: 0, To: 1}
+	if _, err := n.InstallDestTree(0, bad); err == nil {
+		t.Error("destination with next hop accepted")
+	}
+
+	// Non-incident arc.
+	bad2 := treeToward(g, 0)
+	bad2[3] = graph.Arc{Edge: 0, To: 1} // edge 0 is 0-1, not incident to 3
+	if _, err := n.InstallDestTree(0, bad2); err == nil {
+		t.Error("non-incident next hop accepted")
+	}
+
+	// Stranding next hop: router forwards to a node with no row.
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1, 1)
+	g2.AddEdge(1, 2, 1)
+	n2 := NewNetwork(g2)
+	strand := map[graph.NodeID]graph.Arc{
+		2: {Edge: 1, To: 1}, // 2 -> 1, but 1 has no row and is not dst 0
+	}
+	if _, err := n2.InstallDestTree(0, strand); err == nil {
+		t.Error("stranding tree accepted")
+	}
+}
+
+func TestRemoveDestTree(t *testing.T) {
+	g := ring6()
+	n := NewNetwork(g)
+	tree, _ := n.InstallDestTree(0, treeToward(g, 0))
+	total, _ := n.TotalILM()
+	if total == 0 {
+		t.Fatal("nothing installed")
+	}
+	n.RemoveDestTree(tree)
+	total, _ = n.TotalILM()
+	if total != 0 {
+		t.Errorf("rows remain after removal: %d", total)
+	}
+	if _, err := n.SendMerged(2, tree); err == nil {
+		t.Error("forwarding on removed tree succeeded")
+	}
+}
+
+func TestMergedWithFailureAndPatch(t *testing.T) {
+	// A merged tree is patched like any row: fail the link 1-0 used by
+	// the tree toward 0 and replace router 1's row to detour the long
+	// way; traffic from 1 and 2 recovers.
+	g := ring6()
+	n := NewNetwork(g)
+	tree, _ := n.InstallDestTree(0, treeToward(g, 0))
+	e10, _ := g.FindEdge(1, 0)
+	n.FailEdge(e10)
+	if _, err := n.SendMerged(1, tree); err == nil {
+		t.Fatal("packet crossed dead link")
+	}
+	// Patch: at router 1, swap to router 2's label and head the other way
+	// around the ring.
+	l1, _ := tree.LabelAt(1)
+	l2, _ := tree.LabelAt(2)
+	e12, _ := g.FindEdge(1, 2)
+	if _, err := n.ReplaceILM(1, l1, ILMEntry{Out: []Label{l2}, OutEdge: e12}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait: 2's row routes *toward 0 via 1* (shortest), which loops back
+	// into the patch... this is precisely the loop hazard of local
+	// patching on merged trees. The TTL must catch it.
+	if _, err := n.SendMerged(1, tree); err == nil {
+		t.Fatal("expected a loop or drop after naive merged patch")
+	}
+	// The correct patch rewrites 2's row as well (2 now forwards to 3).
+	l3, _ := tree.LabelAt(3)
+	e23, _ := g.FindEdge(2, 3)
+	if _, err := n.ReplaceILM(2, l2, ILMEntry{Out: []Label{l3}, OutEdge: e23}); err != nil {
+		t.Fatal(err)
+	}
+	// And 3 must not route back through 2..0? On a 6-ring the tree toward
+	// 0: 3's parent is 2 or 4 (tie). If 3 forwards to 2, extend the patch
+	// one more hop; handle both.
+	if p3, _ := tree.LabelAt(3); true {
+		entry, _ := n.Router(3).ILMEntryFor(p3)
+		e32, _ := g.FindEdge(3, 2)
+		if entry.OutEdge == e32 {
+			l4, _ := tree.LabelAt(4)
+			e34, _ := g.FindEdge(3, 4)
+			if _, err := n.ReplaceILM(3, p3, ILMEntry{Out: []Label{l4}, OutEdge: e34}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	pkt, err := n.SendMerged(1, tree)
+	if err != nil {
+		t.Fatalf("after full patch: %v", err)
+	}
+	if pkt.At != 0 {
+		t.Errorf("delivered at %d", pkt.At)
+	}
+}

@@ -1,0 +1,233 @@
+// Package mpls simulates the MPLS forwarding plane the paper's restoration
+// schemes run on: label-switching routers with ILM (incoming label map) and
+// FEC (forwarding equivalence class) tables, label stacks with push/swap/
+// pop, LSP establishment and teardown with signaling accounting, and a
+// packet forwarder with TTL-based loop detection.
+//
+// The model follows Section 2 of the paper:
+//
+//   - Each router owns a private label space and an ILM mapping incoming
+//     labels to (replacement labels, outgoing interface).
+//   - The FEC table is consulted only at the ingress: it maps a
+//     destination to the label stack pushed onto packets entering the MPLS
+//     cloud. Restoration by path concatenation rewrites only FEC entries
+//     (source-router RBPC) or a single ILM entry at the router adjacent to
+//     a failure (local RBPC) — never the interior of the network.
+//   - Every LSP also installs a self-entry at its ingress so that a popped
+//     stack can continue onto a following LSP: this is the stack mechanism
+//     that makes concatenation work.
+package mpls
+
+import (
+	"errors"
+	"fmt"
+
+	"rbpc/internal/graph"
+)
+
+// Label is an MPLS label. Labels are meaningful per router: the same value
+// names different LSPs at different routers.
+type Label int32
+
+// LSPID identifies an established LSP within a Network.
+type LSPID int32
+
+// LocalProcess marks an ILM entry that is processed locally rather than
+// forwarded: after the label operation the router re-examines the packet
+// (re-looking up the new top label, or delivering if the stack is empty).
+const LocalProcess graph.EdgeID = -1
+
+// ILMEntry is one row of a router's incoming label map. Processing a
+// packet whose top label matches the row: the top label is removed and
+// Out (bottom-first) is pushed in its place; then the packet is forwarded
+// on OutEdge, or re-processed locally when OutEdge == LocalProcess.
+//
+//   - swap:       Out = [next], OutEdge = link
+//   - pop (egress): Out = nil, OutEdge = LocalProcess
+//   - local RBPC:  Out = [replacement sequence], OutEdge = link or LocalProcess
+type ILMEntry struct {
+	Out     []Label
+	OutEdge graph.EdgeID
+	// LSP records which LSP installed the entry, for teardown accounting.
+	LSP LSPID
+}
+
+// FECEntry is one row of a router's FEC table: the label stack (bottom
+// first) pushed on packets for a destination, and the first outgoing link.
+type FECEntry struct {
+	Stack   []Label
+	OutEdge graph.EdgeID
+}
+
+// Router is one LSR.
+type Router struct {
+	ID graph.NodeID
+
+	ilm map[Label]ILMEntry
+	fec map[graph.NodeID]FECEntry
+
+	nextLabel Label
+	freeList  []Label
+}
+
+func newRouter(id graph.NodeID) *Router {
+	return &Router{
+		ID:        id,
+		ilm:       make(map[Label]ILMEntry),
+		fec:       make(map[graph.NodeID]FECEntry),
+		nextLabel: 16, // labels 0-15 are reserved in real MPLS
+	}
+}
+
+// allocLabel returns a fresh label from the router's space.
+func (r *Router) allocLabel() Label {
+	if n := len(r.freeList); n > 0 {
+		l := r.freeList[n-1]
+		r.freeList = r.freeList[:n-1]
+		return l
+	}
+	l := r.nextLabel
+	r.nextLabel++
+	return l
+}
+
+func (r *Router) freeLabel(l Label) {
+	delete(r.ilm, l)
+	r.freeList = append(r.freeList, l)
+}
+
+// ILMSize returns the number of installed ILM entries — the hardware table
+// footprint the paper's ILM stretch factor measures.
+func (r *Router) ILMSize() int { return len(r.ilm) }
+
+// ILMEntryFor returns the entry for an incoming label.
+func (r *Router) ILMEntryFor(l Label) (ILMEntry, bool) {
+	e, ok := r.ilm[l]
+	return e, ok
+}
+
+// FECEntryFor returns the FEC row for a destination.
+func (r *Router) FECEntryFor(dst graph.NodeID) (FECEntry, bool) {
+	e, ok := r.fec[dst]
+	return e, ok
+}
+
+// FECSize returns the number of FEC rows.
+func (r *Router) FECSize() int { return len(r.fec) }
+
+// FECDests returns the destinations the router has FEC rows for, in
+// unspecified order.
+func (r *Router) FECDests() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(r.fec))
+	for d := range r.fec {
+		out = append(out, d)
+	}
+	return out
+}
+
+// Stats counts control-plane work. Establishing an LSP of h hops costs h
+// label-mapping messages (ordered downstream assignment); tearing one down
+// costs h release messages. FEC and ILM rewrites are local operations —
+// the zero-message property is exactly RBPC's selling point.
+type Stats struct {
+	LSPsEstablished  int
+	LSPsTornDown     int
+	SignalingMsgs    int
+	FECUpdates       int
+	ILMReplacements  int
+	PacketsForwarded int
+	PacketsDropped   int
+}
+
+// Network is a set of LSRs over a topology, plus link up/down state for
+// the data plane.
+type Network struct {
+	g       *graph.Graph
+	routers []*Router
+	lsps    map[LSPID]*LSP
+	nextLSP LSPID
+	edgeUp  []bool
+	stats   Stats
+}
+
+// NewNetwork builds an MPLS network over topology g with all links up.
+func NewNetwork(g *graph.Graph) *Network {
+	n := &Network{
+		g:       g,
+		routers: make([]*Router, g.Order()),
+		lsps:    make(map[LSPID]*LSP),
+		edgeUp:  make([]bool, g.Size()),
+		nextLSP: 1,
+	}
+	for i := range n.routers {
+		n.routers[i] = newRouter(graph.NodeID(i))
+	}
+	for i := range n.edgeUp {
+		n.edgeUp[i] = true
+	}
+	return n
+}
+
+// Graph returns the underlying topology.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Router returns the LSR with the given ID.
+func (n *Network) Router(id graph.NodeID) *Router { return n.routers[id] }
+
+// Stats returns a copy of the accumulated counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// EdgeUp reports whether the link is currently up.
+func (n *Network) EdgeUp(e graph.EdgeID) bool { return n.edgeUp[e] }
+
+// FailEdge marks a link down. Established LSPs keep their table entries
+// (the control plane has not reacted yet); packets crossing the link are
+// dropped until restoration rewrites tables.
+func (n *Network) FailEdge(e graph.EdgeID) { n.edgeUp[e] = false }
+
+// SyncNewEdges registers links added to the topology after the network
+// was built (the graph is append-only, so existing edge IDs are stable).
+// New links come up immediately.
+func (n *Network) SyncNewEdges() {
+	for len(n.edgeUp) < n.g.Size() {
+		n.edgeUp = append(n.edgeUp, true)
+	}
+}
+
+// RepairEdge marks a link up again.
+func (n *Network) RepairEdge(e graph.EdgeID) { n.edgeUp[e] = true }
+
+// SetFEC installs (or replaces) the FEC row for dst at router id. This is
+// the entirety of source-router RBPC's data-plane action.
+func (n *Network) SetFEC(id, dst graph.NodeID, e FECEntry) {
+	n.routers[id].fec[dst] = e
+	n.stats.FECUpdates++
+}
+
+// ClearFEC removes the FEC row for dst at router id, if any; subsequent
+// traffic for dst entering at id is dropped (no route).
+func (n *Network) ClearFEC(id, dst graph.NodeID) {
+	if _, ok := n.routers[id].fec[dst]; ok {
+		delete(n.routers[id].fec, dst)
+		n.stats.FECUpdates++
+	}
+}
+
+// ReplaceILM replaces the ILM row for label l at router id — local RBPC's
+// single-table-entry action at the router adjacent to a failure. The
+// previous entry is returned so the caller can undo the patch when the
+// link recovers.
+func (n *Network) ReplaceILM(id graph.NodeID, l Label, e ILMEntry) (ILMEntry, error) {
+	r := n.routers[id]
+	prev, ok := r.ilm[l]
+	if !ok {
+		return ILMEntry{}, fmt.Errorf("mpls: router %d has no ILM entry for label %d", id, l)
+	}
+	r.ilm[l] = e
+	n.stats.ILMReplacements++
+	return prev, nil
+}
+
+// errInvalidPath reports an LSP establishment over a broken or malformed
+// path.
+var errInvalidPath = errors.New("mpls: invalid LSP path")

@@ -1,0 +1,174 @@
+package mpls
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+)
+
+// TestQuickLSPFollowsItsPath: establish random LSPs on random graphs and
+// check that a packet sent on each traverses exactly the provisioned
+// node sequence, consuming exactly Hops links.
+func TestQuickLSPFollowsItsPath(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(16)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(3)))
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, float64(1+rng.Intn(3)))
+			}
+		}
+		net := NewNetwork(g)
+		o := spath.NewOracle(g)
+		for trial := 0; trial < 10; trial++ {
+			s := graph.NodeID(rng.Intn(n))
+			d := graph.NodeID(rng.Intn(n))
+			if s == d {
+				continue
+			}
+			p, ok := o.Path(s, d)
+			if !ok || p.Hops() == 0 {
+				continue
+			}
+			lsp, err := net.EstablishLSP(p)
+			if err != nil {
+				return false
+			}
+			pkt, err := net.SendOnLSPs(d, []*LSP{lsp})
+			if err != nil {
+				return false
+			}
+			if pkt.Hops != p.Hops() || len(pkt.Trace) != len(p.Nodes) {
+				return false
+			}
+			for i, node := range p.Nodes {
+				if pkt.Trace[i] != node {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConcatenationChains: random chains of 2-4 LSPs splice
+// correctly: the packet visits every splice point in order and lands at
+// the final egress.
+func TestQuickConcatenationChains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(14)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), 1)
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, 1)
+			}
+		}
+		net := NewNetwork(g)
+		o := spath.NewOracle(g)
+		for trial := 0; trial < 5; trial++ {
+			// Random waypoint chain.
+			k := 2 + rng.Intn(3)
+			waypoints := []graph.NodeID{graph.NodeID(rng.Intn(n))}
+			for len(waypoints) < k+1 {
+				next := graph.NodeID(rng.Intn(n))
+				if next != waypoints[len(waypoints)-1] {
+					waypoints = append(waypoints, next)
+				}
+			}
+			var lsps []*LSP
+			ok := true
+			for i := 0; i+1 < len(waypoints); i++ {
+				p, found := o.Path(waypoints[i], waypoints[i+1])
+				if !found || p.Hops() == 0 {
+					ok = false
+					break
+				}
+				lsp, err := net.EstablishLSP(p)
+				if err != nil {
+					return false
+				}
+				lsps = append(lsps, lsp)
+			}
+			if !ok {
+				continue
+			}
+			dst := waypoints[len(waypoints)-1]
+			pkt, err := net.SendOnLSPs(dst, lsps)
+			if err != nil {
+				return false
+			}
+			if pkt.At != dst {
+				return false
+			}
+			// Splice points appear in order along the trace.
+			ti := 0
+			for _, w := range waypoints {
+				found := false
+				for ; ti < len(pkt.Trace); ti++ {
+					if pkt.Trace[ti] == w {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLabelSpacesIndependent: labels allocated at different routers
+// may collide numerically; forwarding must still be correct because each
+// ILM is per router.
+func TestQuickLabelSpacesIndependent(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	net := NewNetwork(g)
+	o := spath.NewOracle(g)
+	// Several LSPs whose hop labels at distinct routers will share
+	// numeric values (every router starts allocating at 16).
+	var lsps []*LSP
+	for _, pair := range [][2]graph.NodeID{{0, 3}, {3, 0}, {1, 3}, {2, 0}} {
+		p, _ := o.Path(pair[0], pair[1])
+		lsp, err := net.EstablishLSP(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsps = append(lsps, lsp)
+	}
+	// Numeric collision must exist across routers.
+	if lsps[0].FirstHopLabel() != lsps[1].FirstHopLabel() {
+		t.Log("expected numeric label collision across label spaces; continuing anyway")
+	}
+	for i, lsp := range lsps {
+		pkt, err := net.SendOnLSPs(lsp.Egress(), []*LSP{lsp})
+		if err != nil || pkt.At != lsp.Egress() {
+			t.Fatalf("LSP %d misrouted: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package ospf simulates the link-state substrate RBPC runs alongside: a
+// simplified OSPF whose job in the reproduction is to (a) give every
+// router a topology database, and (b) propagate failure/recovery
+// notifications with realistic timing, so the gap between *local*
+// restoration (at the router adjacent to a failure) and *source-router*
+// restoration (after the flood reaches the source) can be measured — the
+// motivation for the paper's hybrid scheme.
+//
+// The protocol floods link-state advertisements (LSAs) carrying link
+// up/down transitions with per-link propagation delays and per-router
+// processing delays, with sequence numbers suppressing re-floods, over the
+// surviving topology.
+package ospf
+
+import (
+	"fmt"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/sim"
+)
+
+// Config sets the protocol timing.
+type Config struct {
+	// DetectDelay is how long an endpoint takes to notice its incident
+	// link changed state (loss-of-signal / hello timeout).
+	DetectDelay sim.Time
+	// LinkDelay returns the propagation delay of a link.
+	LinkDelay func(graph.Edge) sim.Time
+	// ProcDelay is the per-router LSA processing delay.
+	ProcDelay sim.Time
+}
+
+// DefaultConfig uses a 10ms detection delay, 1ms per link, and 0.1ms
+// processing.
+func DefaultConfig() Config {
+	return Config{
+		DetectDelay: 10,
+		LinkDelay:   func(graph.Edge) sim.Time { return 1 },
+		ProcDelay:   0.1,
+	}
+}
+
+// LSA is a link-state advertisement: link Edge transitioned to state Up at
+// the origin, with a per-(origin, edge) sequence number.
+type LSA struct {
+	Origin graph.NodeID
+	Edge   graph.EdgeID
+	Up     bool
+	Seq    int64
+}
+
+// Listener observes topology changes as a particular router learns of
+// them. at is the simulated time the router processed the LSA.
+type Listener func(router graph.NodeID, lsa LSA, at sim.Time)
+
+// Protocol is the flooding state machine over a topology.
+type Protocol struct {
+	g   *graph.Graph
+	eng *sim.Engine
+	cfg Config
+
+	// linkUp is ground truth (what failures have actually happened).
+	linkUp []bool
+	// view[r][e] is router r's belief about link e.
+	view [][]bool
+	// seen[r] maps (origin,edge) to the highest sequence processed.
+	seen []map[lsaKey]int64
+	// nextSeq numbers LSAs per (origin, edge).
+	nextSeq map[lsaKey]int64
+
+	listeners []Listener
+}
+
+type lsaKey struct {
+	origin graph.NodeID
+	edge   graph.EdgeID
+}
+
+// New builds the protocol with every link up and every router's view
+// synchronized.
+func New(g *graph.Graph, eng *sim.Engine, cfg Config) *Protocol {
+	if cfg.LinkDelay == nil {
+		cfg.LinkDelay = func(graph.Edge) sim.Time { return 1 }
+	}
+	p := &Protocol{
+		g:       g,
+		eng:     eng,
+		cfg:     cfg,
+		linkUp:  make([]bool, g.Size()),
+		view:    make([][]bool, g.Order()),
+		seen:    make([]map[lsaKey]int64, g.Order()),
+		nextSeq: make(map[lsaKey]int64),
+	}
+	for e := range p.linkUp {
+		p.linkUp[e] = true
+	}
+	for r := range p.view {
+		p.view[r] = make([]bool, g.Size())
+		for e := range p.view[r] {
+			p.view[r][e] = true
+		}
+		p.seen[r] = make(map[lsaKey]int64)
+	}
+	return p
+}
+
+// Subscribe registers a listener invoked whenever any router processes a
+// new LSA. Typical use: the RBPC controller watches for the moment a
+// path's source learns of a failure.
+func (p *Protocol) Subscribe(l Listener) { p.listeners = append(p.listeners, l) }
+
+// LinkUp reports ground truth for a link.
+func (p *Protocol) LinkUp(e graph.EdgeID) bool { return p.linkUp[e] }
+
+// RouterBelieves reports router r's current view of link e.
+func (p *Protocol) RouterBelieves(r graph.NodeID, e graph.EdgeID) bool {
+	return p.view[r][e]
+}
+
+// View returns a failure view of the topology as router r currently
+// believes it: every link r thinks is down is removed.
+func (p *Protocol) View(r graph.NodeID) *graph.FailureView {
+	var down []graph.EdgeID
+	for e, up := range p.view[r] {
+		if !up {
+			down = append(down, graph.EdgeID(e))
+		}
+	}
+	return graph.FailEdges(p.g, down...)
+}
+
+// Converged reports whether every router's view matches ground truth.
+func (p *Protocol) Converged() bool { return p.ConvergedExcept() }
+
+// ConvergedExcept is Converged ignoring the given routers — use it after
+// a router failure: the dead router has no live links, hears no floods,
+// and can never learn of its own demise.
+func (p *Protocol) ConvergedExcept(except ...graph.NodeID) bool {
+	skip := make(map[graph.NodeID]bool, len(except))
+	for _, r := range except {
+		skip[r] = true
+	}
+	for r := range p.view {
+		if skip[graph.NodeID(r)] {
+			continue
+		}
+		for e := range p.view[r] {
+			if p.view[r][e] != p.linkUp[e] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FailLink marks a link down now; each surviving endpoint detects it after
+// DetectDelay and originates an LSA flood.
+func (p *Protocol) FailLink(e graph.EdgeID) error {
+	return p.setLink(e, false)
+}
+
+// RepairLink marks a link up again and floods the recovery.
+func (p *Protocol) RepairLink(e graph.EdgeID) error {
+	return p.setLink(e, true)
+}
+
+func (p *Protocol) setLink(e graph.EdgeID, up bool) error {
+	if e < 0 || int(e) >= len(p.linkUp) {
+		return fmt.Errorf("ospf: unknown link %d", e)
+	}
+	edge := p.g.Edge(e)
+	return p.setLinkFrom(e, up, []graph.NodeID{edge.U, edge.V})
+}
+
+// setLinkFrom transitions a link with only the given endpoints acting as
+// LSA originators — a failed router cannot announce its own death.
+func (p *Protocol) setLinkFrom(e graph.EdgeID, up bool, originators []graph.NodeID) error {
+	if int(e) >= len(p.linkUp) {
+		return fmt.Errorf("ospf: unknown link %d", e)
+	}
+	if p.linkUp[e] == up {
+		return fmt.Errorf("ospf: link %d already in state up=%v", e, up)
+	}
+	p.linkUp[e] = up
+	for _, end := range originators {
+		end := end
+		p.eng.After(p.cfg.DetectDelay, func() {
+			key := lsaKey{origin: end, edge: e}
+			p.nextSeq[key]++
+			lsa := LSA{Origin: end, Edge: e, Up: up, Seq: p.nextSeq[key]}
+			p.process(end, lsa)
+		})
+	}
+	return nil
+}
+
+// FailRouter marks every link incident to r down. Only the surviving far
+// endpoints originate LSAs: a dead router is silent. The downed links are
+// returned for RepairRouter.
+func (p *Protocol) FailRouter(r graph.NodeID) ([]graph.EdgeID, error) {
+	var links []graph.EdgeID
+	p.g.VisitArcs(r, func(a graph.Arc) bool {
+		links = append(links, a.Edge)
+		return true
+	})
+	for _, e := range links {
+		if !p.linkUp[e] {
+			continue // already down (e.g. an earlier link failure)
+		}
+		far := p.g.Edge(e).Other(r)
+		if err := p.setLinkFrom(e, false, []graph.NodeID{far}); err != nil {
+			return links, err
+		}
+	}
+	return links, nil
+}
+
+// RepairRouter brings the given links back up, flooding from both
+// endpoints (the router is alive again).
+func (p *Protocol) RepairRouter(links []graph.EdgeID) error {
+	for _, e := range links {
+		if p.linkUp[e] {
+			continue
+		}
+		if err := p.setLink(e, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// process installs an LSA at router r (if new) and schedules the re-flood.
+func (p *Protocol) process(r graph.NodeID, lsa LSA) {
+	key := lsaKey{origin: lsa.Origin, edge: lsa.Edge}
+	if p.seen[r][key] >= lsa.Seq {
+		return // duplicate
+	}
+	p.seen[r][key] = lsa.Seq
+	p.view[r][lsa.Edge] = lsa.Up
+	for _, l := range p.listeners {
+		l(r, lsa, p.eng.Now())
+	}
+	// Re-flood to all neighbors over links r believes usable (never over
+	// the failed link itself while it is down).
+	p.g.VisitArcs(r, func(a graph.Arc) bool {
+		if !p.view[r][a.Edge] || (a.Edge == lsa.Edge && !lsa.Up) {
+			return true
+		}
+		// Only flood over links that are actually up: a physically dead
+		// link carries nothing even if r has not noticed yet.
+		if !p.linkUp[a.Edge] {
+			return true
+		}
+		to := a.To
+		delay := p.cfg.LinkDelay(p.g.Edge(a.Edge)) + p.cfg.ProcDelay
+		p.eng.After(delay, func() { p.process(to, lsa) })
+		return true
+	})
+}

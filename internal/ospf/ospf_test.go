@@ -1,0 +1,152 @@
+package ospf
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+func TestFloodConvergence(t *testing.T) {
+	g := topology.Ring(8)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	if !p.Converged() {
+		t.Fatal("fresh protocol not converged")
+	}
+	if err := p.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !p.Converged() {
+		t.Error("views did not converge after flood")
+	}
+	for r := 0; r < g.Order(); r++ {
+		if p.RouterBelieves(graph.NodeID(r), 0) {
+			t.Errorf("router %d still believes link 0 up", r)
+		}
+	}
+	if p.LinkUp(0) {
+		t.Error("ground truth wrong")
+	}
+}
+
+func TestRepairFloods(t *testing.T) {
+	g := topology.Ring(5)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	p.FailLink(2)
+	eng.Run()
+	if err := p.RepairLink(2); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !p.Converged() {
+		t.Error("not converged after repair")
+	}
+	if !p.RouterBelieves(0, 2) {
+		t.Error("router 0 missed the recovery")
+	}
+}
+
+func TestSetLinkErrors(t *testing.T) {
+	g := topology.Ring(4)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	if err := p.FailLink(99); err == nil {
+		t.Error("unknown link accepted")
+	}
+	if err := p.RepairLink(0); err == nil {
+		t.Error("repair of healthy link accepted")
+	}
+	p.FailLink(0)
+	if err := p.FailLink(0); err == nil {
+		t.Error("double failure accepted")
+	}
+}
+
+func TestNotificationTiming(t *testing.T) {
+	// On a line, the failure notification reaches nearer routers first,
+	// and the adjacent router detects at DetectDelay exactly.
+	g := topology.Line(6)
+	var eng sim.Engine
+	cfg := Config{DetectDelay: 10, LinkDelay: func(graph.Edge) sim.Time { return 2 }, ProcDelay: 0}
+	p := New(g, &eng, cfg)
+
+	arrival := make(map[graph.NodeID]sim.Time)
+	p.Subscribe(func(r graph.NodeID, lsa LSA, at sim.Time) {
+		if !lsa.Up {
+			if _, seen := arrival[r]; !seen {
+				arrival[r] = at
+			}
+		}
+	})
+	// Fail link 2-3 (edge index 2).
+	p.FailLink(2)
+	eng.Run()
+
+	if arrival[2] != 10 || arrival[3] != 10 {
+		t.Errorf("adjacent detection at %v/%v, want 10", arrival[2], arrival[3])
+	}
+	if arrival[1] != 12 || arrival[0] != 14 {
+		t.Errorf("upstream arrivals %v/%v, want 12/14", arrival[1], arrival[0])
+	}
+	if arrival[4] != 12 || arrival[5] != 14 {
+		t.Errorf("downstream arrivals %v/%v, want 12/14", arrival[4], arrival[5])
+	}
+}
+
+func TestFloodDoesNotCrossDeadLink(t *testing.T) {
+	// Two nodes, one link: after the only link dies, each side knows only
+	// via its own detection, and the network still converges (both
+	// endpoints detect locally).
+	g := graph.New(2)
+	g.AddEdge(0, 1, 1)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	p.FailLink(0)
+	eng.Run()
+	if !p.Converged() {
+		t.Error("endpoints should both detect their incident link")
+	}
+}
+
+func TestViewFailureView(t *testing.T) {
+	g := topology.Ring(5)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	p.FailLink(1)
+	eng.Run()
+	fv := p.View(0)
+	if fv.EdgeUsable(1) {
+		t.Error("View(0) still has the failed link")
+	}
+	if !fv.EdgeUsable(0) {
+		t.Error("View(0) lost a healthy link")
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// Count listener invocations: each router should process each LSA
+	// exactly once despite the ring offering two flood directions.
+	g := topology.Ring(6)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	count := make(map[graph.NodeID]map[graph.NodeID]int) // router -> origin -> times
+	p.Subscribe(func(r graph.NodeID, lsa LSA, at sim.Time) {
+		if count[r] == nil {
+			count[r] = make(map[graph.NodeID]int)
+		}
+		count[r][lsa.Origin]++
+	})
+	p.FailLink(3)
+	eng.Run()
+	for r, per := range count {
+		for origin, c := range per {
+			if c != 1 {
+				t.Errorf("router %d processed LSA from %d %d times", r, origin, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package ospf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/sim"
+	"rbpc/internal/spath"
+	"rbpc/internal/topology"
+)
+
+// TestQuickConvergenceBound: on random connected graphs with uniform
+// delays, every live router learns of a failure no later than
+// DetectDelay + eccentricity(endpoint) * (LinkDelay + ProcDelay), and
+// the network always converges.
+func TestQuickConvergenceBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		g := topology.Waxman(n, 0.6, 0.4, seed)
+		var eng sim.Engine
+		cfg := Config{
+			DetectDelay: 10,
+			LinkDelay:   func(graph.Edge) sim.Time { return 2 },
+			ProcDelay:   0.5,
+		}
+		p := New(g, &eng, cfg)
+
+		e := graph.EdgeID(rng.Intn(g.Size()))
+		arrivals := make(map[graph.NodeID]sim.Time)
+		p.Subscribe(func(r graph.NodeID, lsa LSA, at sim.Time) {
+			if !lsa.Up {
+				if _, seen := arrivals[r]; !seen {
+					arrivals[r] = at
+				}
+			}
+		})
+		if err := p.FailLink(e); err != nil {
+			return false
+		}
+		eng.Run()
+		if !p.Converged() {
+			return false
+		}
+		// Hop distances measured on the surviving topology (the flood
+		// cannot cross the dead link); Waxman weights are 1, so weighted
+		// distance equals hop count.
+		fv := graph.FailEdges(g, e)
+		edge := g.Edge(e)
+		tU := spath.Compute(fv, edge.U)
+		tV := spath.Compute(fv, edge.V)
+		perHop := cfg.LinkDelay(edge) + cfg.ProcDelay
+		for r := 0; r < n; r++ {
+			rr := graph.NodeID(r)
+			at, heard := arrivals[rr]
+			du, dv := tU.Dist(rr), tV.Dist(rr)
+			reachable := du != spath.Unreachable || dv != spath.Unreachable
+			if !reachable {
+				// Isolated from both originators: must never hear.
+				if heard {
+					return false
+				}
+				continue
+			}
+			if !heard {
+				return false
+			}
+			hops := du
+			if dv < hops {
+				hops = dv
+			}
+			bound := cfg.DetectDelay + sim.Time(hops)*perHop
+			if at > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package ospf
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+func TestFailRouterFloodsFromSurvivors(t *testing.T) {
+	g := topology.Ring(6)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+
+	// No down-LSA may ever be originated by the dead router (after
+	// repair the router is alive again and rightly announces recovery).
+	p.Subscribe(func(r graph.NodeID, lsa LSA, at sim.Time) {
+		if lsa.Origin == 2 && !lsa.Up {
+			t.Errorf("dead router 2 originated a down-LSA: %+v", lsa)
+		}
+	})
+	links, err := p.FailRouter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 {
+		t.Fatalf("ring router has %d incident links, want 2", len(links))
+	}
+	eng.Run()
+	if !p.ConvergedExcept(2) {
+		t.Error("live routers not converged after router failure")
+	}
+	if p.Converged() {
+		t.Error("the dead router cannot have learned of its own death")
+	}
+	for _, e := range links {
+		if p.RouterBelieves(0, e) {
+			t.Errorf("router 0 still believes link %d up", e)
+		}
+	}
+	if err := p.RepairRouter(links); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !p.Converged() {
+		t.Error("not converged after repair")
+	}
+	for _, e := range links {
+		if !p.LinkUp(e) {
+			t.Errorf("link %d still down", e)
+		}
+	}
+}
+
+func TestFailRouterIdempotentOnDownLinks(t *testing.T) {
+	g := topology.Ring(5)
+	var eng sim.Engine
+	p := New(g, &eng, DefaultConfig())
+	// One incident link already failed; FailRouter must skip it quietly.
+	p.FailLink(0) // link 0-1
+	eng.Run()
+	if _, err := p.FailRouter(0); err != nil {
+		t.Fatalf("FailRouter after partial failure: %v", err)
+	}
+	eng.Run()
+	if !p.ConvergedExcept(0) {
+		t.Error("live routers not converged")
+	}
+}

@@ -1,0 +1,299 @@
+package paths
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+)
+
+// pairKey identifies an ordered source-destination pair.
+type pairKey struct{ s, d graph.NodeID }
+
+// Explicit is a materialized base set with inverted indexes. It powers the
+// ILM-table accounting (how many LSPs traverse each router) and the
+// source-router FEC-update planner (which base paths a link failure
+// breaks).
+type Explicit struct {
+	view graph.View
+
+	paths     []graph.Path
+	byKey     map[string]int
+	byPair    map[pairKey]int // canonical (first added) path per ordered pair
+	byPairAll map[pairKey][]int
+	byEdge    map[graph.EdgeID][]int
+	byNode    map[graph.NodeID][]int // paths visiting the node (incl. endpoints)
+}
+
+// NewExplicit returns an empty explicit base set over v.
+func NewExplicit(v graph.View) *Explicit {
+	return &Explicit{
+		view:      v,
+		byKey:     make(map[string]int),
+		byPair:    make(map[pairKey]int),
+		byPairAll: make(map[pairKey][]int),
+		byEdge:    make(map[graph.EdgeID][]int),
+		byNode:    make(map[graph.NodeID][]int),
+	}
+}
+
+// Add inserts p into the set (deduplicating identical paths) and returns
+// whether the set grew. Trivial paths are rejected: an LSP needs at least
+// one hop.
+func (b *Explicit) Add(p graph.Path) bool {
+	if p.IsTrivial() {
+		return false
+	}
+	key := p.Key()
+	if _, dup := b.byKey[key]; dup {
+		return false
+	}
+	idx := len(b.paths)
+	b.paths = append(b.paths, p.Clone())
+	b.byKey[key] = idx
+	pk := pairKey{p.Src(), p.Dst()}
+	if _, have := b.byPair[pk]; !have {
+		b.byPair[pk] = idx
+	}
+	b.byPairAll[pk] = append(b.byPairAll[pk], idx)
+	for _, e := range p.Edges {
+		b.byEdge[e] = append(b.byEdge[e], idx)
+	}
+	for _, n := range p.Nodes {
+		b.byNode[n] = append(b.byNode[n], idx)
+	}
+	return true
+}
+
+// Len returns the number of stored paths.
+func (b *Explicit) Len() int { return len(b.paths) }
+
+// All returns the stored paths. Callers must not modify the slice.
+func (b *Explicit) All() []graph.Path { return b.paths }
+
+// Contains implements Base.
+func (b *Explicit) Contains(p graph.Path) bool {
+	if p.IsTrivial() {
+		return false
+	}
+	_, ok := b.byKey[p.Key()]
+	return ok
+}
+
+// Between implements Base.
+func (b *Explicit) Between(s, d graph.NodeID) (graph.Path, bool) {
+	idx, ok := b.byPair[pairKey{s, d}]
+	if !ok {
+		return graph.Path{}, false
+	}
+	return b.paths[idx], true
+}
+
+// View implements Base.
+func (b *Explicit) View() graph.View { return b.view }
+
+// AllBetween returns every stored path for the ordered pair (s, d), in
+// insertion order. The sparse decomposer uses it to consider alternatives
+// beyond the canonical path.
+func (b *Explicit) AllBetween(s, d graph.NodeID) []graph.Path {
+	idxs := b.byPairAll[pairKey{s, d}]
+	out := make([]graph.Path, len(idxs))
+	for i, idx := range idxs {
+		out[i] = b.paths[idx]
+	}
+	return out
+}
+
+// ThroughEdge returns the base paths traversing edge e.
+func (b *Explicit) ThroughEdge(e graph.EdgeID) []graph.Path {
+	idxs := b.byEdge[e]
+	out := make([]graph.Path, len(idxs))
+	for i, idx := range idxs {
+		out[i] = b.paths[idx]
+	}
+	return out
+}
+
+// ThroughInteriorNode returns the base paths that visit node n strictly
+// between their endpoints — the paths a failure of router n breaks.
+func (b *Explicit) ThroughInteriorNode(n graph.NodeID) []graph.Path {
+	var out []graph.Path
+	for _, idx := range b.byNode[n] {
+		if p := b.paths[idx]; p.HasInteriorNode(n) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ILMEntries returns, for every node, the number of ILM entries required to
+// provision all stored paths as LSPs: a path of h hops installs one entry
+// at each of its h downstream routers (every router that receives the
+// labeled packet: the interior nodes and the egress; the ingress writes
+// labels from its FEC table, not its ILM).
+func (b *Explicit) ILMEntries() map[graph.NodeID]int {
+	entries := make(map[graph.NodeID]int)
+	for _, p := range b.paths {
+		for _, n := range p.Nodes[1:] {
+			entries[n]++
+		}
+	}
+	return entries
+}
+
+var _ Base = (*Explicit)(nil)
+
+// FromSources materializes the canonical base paths from every source in
+// sources to every reachable destination, using base's Between. Passing
+// every node as a source yields the paper's "one LSP per ordered pair" base
+// set.
+func FromSources(b Base, sources []graph.NodeID) *Explicit {
+	ex := NewExplicit(b.View())
+	n := b.View().Order()
+	for _, s := range sources {
+		for d := 0; d < n; d++ {
+			if graph.NodeID(d) == s {
+				continue
+			}
+			if p, ok := b.Between(s, graph.NodeID(d)); ok {
+				ex.Add(p)
+			}
+		}
+	}
+	return ex
+}
+
+// SubpathClosure returns a new explicit set containing every contiguous
+// nontrivial subpath of every path in b. The paper requires base sets to
+// contain "all subpaths of this shortest path"; for canonical sets that are
+// not automatically subpath-closed this constructs the closure.
+func SubpathClosure(b *Explicit) *Explicit {
+	out := NewExplicit(b.view)
+	for _, p := range b.paths {
+		h := p.Hops()
+		for i := 0; i < h; i++ {
+			for j := i + 1; j <= h; j++ {
+				out.Add(p.SubPath(i, j))
+			}
+		}
+	}
+	return out
+}
+
+// Corollary4Extend implements the paper's Corollary 4 base-set expansion:
+// for each edge (u,v), append the edge to every base path that terminates
+// at u or v, and also add the bare edge. The expanded set lets weighted
+// restoration avoid the k extra edge components: after k failures the
+// restoration path is a concatenation of at most k+1 paths from the
+// expanded set.
+//
+// The expansion squares the storage, so it is intended for ISP-scale
+// networks and tests (the paper sizes it at n(n-1) + 2m(n-1) for directed
+// base paths).
+func Corollary4Extend(b *Explicit, g *graph.Graph) *Explicit {
+	out := NewExplicit(b.view)
+	for _, p := range b.paths {
+		out.Add(p)
+	}
+	for _, e := range g.Edges() {
+		edgeUV := graph.Path{Nodes: []graph.NodeID{e.U, e.V}, Edges: []graph.EdgeID{e.ID}}
+		edgeVU := graph.Path{Nodes: []graph.NodeID{e.V, e.U}, Edges: []graph.EdgeID{e.ID}}
+		out.Add(edgeUV)
+		out.Add(edgeVU)
+		for _, p := range b.paths {
+			// Append (u,v) to paths terminating at u; and (v,u) to paths
+			// terminating at v. Skip if the path already uses the edge
+			// (the result would backtrack and never helps restoration).
+			if p.Dst() == e.U && !p.HasEdge(e.ID) && !p.HasNode(e.V) {
+				out.Add(p.Concat(edgeUV))
+			}
+			if p.Dst() == e.V && !p.HasEdge(e.ID) && !p.HasNode(e.U) {
+				out.Add(p.Concat(edgeVU))
+			}
+		}
+	}
+	return out
+}
+
+// EdgePath returns the single-edge path u -> v over edge id, oriented from
+// u. It panics if u is not an endpoint.
+func EdgePath(g graph.View, id graph.EdgeID, u graph.NodeID) graph.Path {
+	e := g.Edge(id)
+	return graph.Path{Nodes: []graph.NodeID{u, e.Other(u)}, Edges: []graph.EdgeID{id}}
+}
+
+// EnsureEdgePaths adds, for every edge that is not itself a shortest path
+// between its endpoints, the single-edge path in both directions. The
+// paper: "In the rare cases where an edge (u, v) is not a shortest path
+// between u and v, the basic set of paths must also contain the single edge
+// path". The oracle must answer for the same view as b.
+func EnsureEdgePaths(b *Explicit, g *graph.Graph, o *spath.Oracle) int {
+	added := 0
+	for _, e := range g.Edges() {
+		if e.W > o.Dist(e.U, e.V) {
+			if b.Add(EdgePath(g, e.ID, e.U)) {
+				added++
+			}
+			if b.Add(EdgePath(g, e.ID, e.V)) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// Stats summarizes an explicit base set.
+type Stats struct {
+	Paths     int
+	Pairs     int
+	MaxILM    int
+	TotalILM  int
+	AvgILM    float64
+	MaxHops   int
+	TotalHops int
+}
+
+// Summarize computes Stats for b.
+func Summarize(b *Explicit) Stats {
+	s := Stats{Paths: b.Len(), Pairs: len(b.byPair)}
+	ilm := b.ILMEntries()
+	for _, c := range ilm {
+		s.TotalILM += c
+		if c > s.MaxILM {
+			s.MaxILM = c
+		}
+	}
+	if len(ilm) > 0 {
+		s.AvgILM = float64(s.TotalILM) / float64(len(ilm))
+	}
+	for _, p := range b.paths {
+		s.TotalHops += p.Hops()
+		if p.Hops() > s.MaxHops {
+			s.MaxHops = p.Hops()
+		}
+	}
+	return s
+}
+
+// String renders Stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("paths=%d pairs=%d ilm(max=%d avg=%.1f) hops(max=%d total=%d)",
+		s.Paths, s.Pairs, s.MaxILM, s.AvgILM, s.MaxHops, s.TotalHops)
+}
+
+// SortedPairs returns the ordered pairs covered by the set, sorted, mainly
+// for deterministic iteration in tests and reports.
+func (b *Explicit) SortedPairs() [][2]graph.NodeID {
+	out := make([][2]graph.NodeID, 0, len(b.byPair))
+	for pk := range b.byPair {
+		out = append(out, [2]graph.NodeID{pk.s, pk.d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

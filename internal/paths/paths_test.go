@@ -1,0 +1,353 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+)
+
+// square returns the 4-cycle 0-1-2-3-0 with unit weights.
+func square() *graph.Graph {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	return g
+}
+
+func randomConnected(rng *rand.Rand, n, extra int, maxW int) *graph.Graph {
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(maxW)))
+	}
+	for i := 0; i < extra; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, float64(1+rng.Intn(maxW)))
+		}
+	}
+	return g
+}
+
+func TestAllShortestMembership(t *testing.T) {
+	g := square()
+	b := NewAllShortest(g)
+	short := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []graph.EdgeID{0}}
+	if !b.Contains(short) {
+		t.Error("single edge on square not recognized as shortest")
+	}
+	long := graph.Path{Nodes: []graph.NodeID{0, 3, 2, 1}, Edges: []graph.EdgeID{3, 2, 1}}
+	if b.Contains(long) {
+		t.Error("3-hop path around square recognized as shortest for adjacent pair")
+	}
+	p, ok := b.Between(0, 2)
+	if !ok || p.Hops() != 2 {
+		t.Errorf("Between(0,2) = %v, %v", p, ok)
+	}
+	if b.View() != graph.View(g) {
+		t.Error("View() mismatch")
+	}
+}
+
+func TestAllShortestBothDiagonalsContained(t *testing.T) {
+	// On the square both 0-1-2 and 0-3-2 are shortest: AllShortest must
+	// contain both even though Between returns just one.
+	g := square()
+	b := NewAllShortest(g)
+	via1 := graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}}
+	via3 := graph.Path{Nodes: []graph.NodeID{0, 3, 2}, Edges: []graph.EdgeID{3, 2}}
+	if !b.Contains(via1) || !b.Contains(via3) {
+		t.Error("AllShortest missing one of the two diagonal paths")
+	}
+}
+
+func TestUniqueShortestSelectsOne(t *testing.T) {
+	g := square()
+	b := NewUniqueShortest(g)
+	via1 := graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}}
+	via3 := graph.Path{Nodes: []graph.NodeID{0, 3, 2}, Edges: []graph.EdgeID{3, 2}}
+	c1, c3 := b.Contains(via1), b.Contains(via3)
+	if c1 == c3 {
+		t.Errorf("unique base set contains via1=%v via3=%v, want exactly one", c1, c3)
+	}
+	p, ok := b.Between(0, 2)
+	if !ok || !b.Contains(p) {
+		t.Error("Between result not contained in set")
+	}
+	if b.View() != graph.View(g) {
+		t.Error("View() should be the unpadded graph")
+	}
+}
+
+// TestQuickUniqueShortestSubpathClosed: the padded-unique base set is
+// subpath-closed, the property Theorem 3 and the greedy decomposition rely
+// on.
+func TestQuickUniqueShortestSubpathClosed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 3+rng.Intn(15), rng.Intn(20), 3)
+		b := NewUniqueShortest(g)
+		n := g.Order()
+		for trial := 0; trial < 20; trial++ {
+			s, d := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			p, ok := b.Between(s, d)
+			if !ok {
+				return false
+			}
+			for i := 0; i <= p.Hops(); i++ {
+				for j := i + 1; j <= p.Hops(); j++ {
+					if !b.Contains(p.SubPath(i, j)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurvives(t *testing.T) {
+	g := square()
+	p := graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}}
+	if !Survives(p, graph.FailEdges(g, 2)) {
+		t.Error("path should survive unrelated failure")
+	}
+	if Survives(p, graph.FailEdges(g, 1)) {
+		t.Error("path should not survive failure of its own edge")
+	}
+	if Survives(p, graph.FailNodes(g, 1)) {
+		t.Error("path should not survive failure of interior node")
+	}
+	if Survives(p, graph.FailNodes(g, 0)) {
+		t.Error("path should not survive failure of its source")
+	}
+	triv := graph.Trivial(2)
+	if !Survives(triv, graph.FailNodes(g, 1)) || Survives(triv, graph.FailNodes(g, 2)) {
+		t.Error("trivial path survival wrong")
+	}
+}
+
+func TestExplicitAddAndIndexes(t *testing.T) {
+	g := square()
+	b := NewExplicit(g)
+	p01 := graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []graph.EdgeID{0}}
+	p012 := graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}}
+	if !b.Add(p01) || !b.Add(p012) {
+		t.Fatal("Add returned false for new paths")
+	}
+	if b.Add(p01) {
+		t.Error("duplicate Add returned true")
+	}
+	if b.Add(graph.Trivial(0)) {
+		t.Error("trivial path accepted")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	if !b.Contains(p012) || b.Contains(graph.Path{Nodes: []graph.NodeID{1, 2}, Edges: []graph.EdgeID{1}}) {
+		t.Error("Contains wrong")
+	}
+	if got := b.ThroughEdge(0); len(got) != 2 {
+		t.Errorf("ThroughEdge(0) = %d paths, want 2", len(got))
+	}
+	if got := b.ThroughEdge(2); len(got) != 0 {
+		t.Errorf("ThroughEdge(2) = %d paths, want 0", len(got))
+	}
+	if got := b.ThroughInteriorNode(1); len(got) != 1 || !got[0].Equal(p012) {
+		t.Errorf("ThroughInteriorNode(1) = %v", got)
+	}
+	if got := b.ThroughInteriorNode(0); len(got) != 0 {
+		t.Errorf("ThroughInteriorNode(0) = %v, want none (endpoint)", got)
+	}
+}
+
+func TestExplicitBetweenCanonical(t *testing.T) {
+	g := square()
+	b := NewExplicit(g)
+	first := graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}}
+	second := graph.Path{Nodes: []graph.NodeID{0, 3, 2}, Edges: []graph.EdgeID{3, 2}}
+	b.Add(first)
+	b.Add(second)
+	got, ok := b.Between(0, 2)
+	if !ok || !got.Equal(first) {
+		t.Errorf("Between returned %v, want first-added %v", got, first)
+	}
+	if _, ok := b.Between(2, 0); ok {
+		t.Error("Between found path for uncovered ordered pair")
+	}
+}
+
+func TestILMEntries(t *testing.T) {
+	g := square()
+	b := NewExplicit(g)
+	// 0->2 via 1: entries at 1 and 2. 1->0: entry at 0.
+	b.Add(graph.Path{Nodes: []graph.NodeID{0, 1, 2}, Edges: []graph.EdgeID{0, 1}})
+	b.Add(graph.Path{Nodes: []graph.NodeID{1, 0}, Edges: []graph.EdgeID{0}})
+	ilm := b.ILMEntries()
+	want := map[graph.NodeID]int{0: 1, 1: 1, 2: 1}
+	for n, w := range want {
+		if ilm[n] != w {
+			t.Errorf("ILM[%d] = %d, want %d", n, ilm[n], w)
+		}
+	}
+	if len(ilm) != len(want) {
+		t.Errorf("ILM has %d routers, want %d", len(ilm), len(want))
+	}
+}
+
+func TestFromSourcesAllPairs(t *testing.T) {
+	g := square()
+	all := NewAllShortest(g)
+	ex := FromSources(all, []graph.NodeID{0, 1, 2, 3})
+	// 4 nodes -> 12 ordered pairs.
+	if len(ex.SortedPairs()) != 12 {
+		t.Errorf("covered pairs = %d, want 12", len(ex.SortedPairs()))
+	}
+	for _, pr := range ex.SortedPairs() {
+		p, ok := ex.Between(pr[0], pr[1])
+		if !ok {
+			t.Fatalf("no path for %v", pr)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("stored path invalid: %v", err)
+		}
+		if !all.Contains(p) {
+			t.Errorf("stored path %v is not shortest", p)
+		}
+	}
+}
+
+func TestSubpathClosure(t *testing.T) {
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	b := NewExplicit(g)
+	b.Add(graph.Path{Nodes: []graph.NodeID{0, 1, 2, 3}, Edges: []graph.EdgeID{0, 1, 2}})
+	closed := SubpathClosure(b)
+	// Subpaths of a 3-hop path: lengths 1,2,3 -> 3+2+1 = 6.
+	if closed.Len() != 6 {
+		t.Errorf("closure size = %d, want 6", closed.Len())
+	}
+	if !closed.Contains(graph.Path{Nodes: []graph.NodeID{1, 2}, Edges: []graph.EdgeID{1}}) {
+		t.Error("closure missing interior subpath")
+	}
+}
+
+func TestCorollary4Extend(t *testing.T) {
+	g := square()
+	all := NewAllShortest(g)
+	ex := FromSources(all, []graph.NodeID{0, 1, 2, 3})
+	extended := Corollary4Extend(ex, g)
+	if extended.Len() <= ex.Len() {
+		t.Errorf("extension did not grow the set: %d <= %d", extended.Len(), ex.Len())
+	}
+	// The extension must include a 3-hop path: e.g. canonical 0->2 plus an
+	// edge out of 2 to 3... every extended path must still be valid.
+	for _, p := range extended.All() {
+		if err := p.Validate(g); err != nil {
+			t.Fatalf("extended path %v invalid: %v", p, err)
+		}
+	}
+	// Bound from the paper (directed variant): n(n-1) + 2m(n-1).
+	n, m := g.Order(), g.Size()
+	bound := n*(n-1) + 2*m*(n-1)
+	if extended.Len() > bound {
+		t.Errorf("extended size %d exceeds bound %d", extended.Len(), bound)
+	}
+}
+
+func TestEnsureEdgePaths(t *testing.T) {
+	// Triangle with one heavy edge that is not a shortest path.
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	heavy := g.AddEdge(0, 2, 5)
+	o := spath.NewOracle(g)
+	b := FromSources(NewAllShortest(g), []graph.NodeID{0, 1, 2})
+	if b.Contains(EdgePath(g, heavy, 0)) {
+		t.Fatal("heavy edge already in canonical set")
+	}
+	added := EnsureEdgePaths(b, g, o)
+	if added != 2 {
+		t.Errorf("EnsureEdgePaths added %d, want 2 (both directions)", added)
+	}
+	if !b.Contains(EdgePath(g, heavy, 0)) || !b.Contains(EdgePath(g, heavy, 2)) {
+		t.Error("heavy edge paths missing after EnsureEdgePaths")
+	}
+	if again := EnsureEdgePaths(b, g, o); again != 0 {
+		t.Errorf("second EnsureEdgePaths added %d, want 0", again)
+	}
+}
+
+func TestEdgePathOrientation(t *testing.T) {
+	g := square()
+	p := EdgePath(g, 0, 1) // edge 0 is (0,1); oriented from 1
+	if p.Src() != 1 || p.Dst() != 0 {
+		t.Errorf("EdgePath = %v, want 1 -> 0", p)
+	}
+}
+
+func TestSummarizeExplicit(t *testing.T) {
+	g := square()
+	ex := FromSources(NewAllShortest(g), []graph.NodeID{0, 1, 2, 3})
+	s := Summarize(ex)
+	if s.Paths != ex.Len() || s.Pairs != 12 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MaxHops < 2 || s.MaxILM < 1 || s.AvgILM <= 0 {
+		t.Errorf("stats degenerate: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestQuickExplicitIndexesConsistent: for random base sets, the inverted
+// indexes agree with a linear scan.
+func TestQuickExplicitIndexesConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnected(rng, 4+rng.Intn(12), rng.Intn(15), 3)
+		all := NewAllShortest(g)
+		var sources []graph.NodeID
+		for i := 0; i < g.Order(); i++ {
+			sources = append(sources, graph.NodeID(i))
+		}
+		ex := FromSources(all, sources)
+		if g.Size() == 0 {
+			return true
+		}
+		e := graph.EdgeID(rng.Intn(g.Size()))
+		fromIndex := len(ex.ThroughEdge(e))
+		scan := 0
+		for _, p := range ex.All() {
+			if p.HasEdge(e) {
+				scan++
+			}
+		}
+		if fromIndex != scan {
+			return false
+		}
+		node := graph.NodeID(rng.Intn(g.Order()))
+		fromNodeIdx := len(ex.ThroughInteriorNode(node))
+		scan = 0
+		for _, p := range ex.All() {
+			if p.HasInteriorNode(node) {
+				scan++
+			}
+		}
+		return fromNodeIdx == scan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

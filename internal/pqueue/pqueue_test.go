@@ -1,0 +1,226 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New(10)
+	if got := h.Len(); got != 0 {
+		t.Fatalf("Len() = %d, want 0", got)
+	}
+	if h.Contains(3) {
+		t.Fatal("Contains(3) = true on empty heap")
+	}
+	if got := h.Cap(); got != 10 {
+		t.Fatalf("Cap() = %d, want 10", got)
+	}
+}
+
+func TestPushPopOrdering(t *testing.T) {
+	h := New(8)
+	input := map[int]float64{0: 5, 1: 3, 2: 8, 3: 1, 4: 9, 5: 2, 6: 7, 7: 4}
+	for item, pri := range input {
+		h.Push(item, pri)
+	}
+	var got []float64
+	for h.Len() > 0 {
+		_, pri := h.Pop()
+		got = append(got, pri)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("Pop sequence not sorted: %v", got)
+	}
+	if len(got) != len(input) {
+		t.Errorf("popped %d items, want %d", len(got), len(input))
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New(4)
+	h.Push(0, 10)
+	h.Push(1, 20)
+	h.Push(2, 30)
+	h.DecreaseKey(2, 5)
+	if item, pri := h.Peek(); item != 2 || pri != 5 {
+		t.Fatalf("Peek() = (%d, %v), want (2, 5)", item, pri)
+	}
+	if got := h.Key(2); got != 5 {
+		t.Fatalf("Key(2) = %v, want 5", got)
+	}
+}
+
+func TestPushOrDecrease(t *testing.T) {
+	h := New(4)
+	if !h.PushOrDecrease(1, 7) {
+		t.Fatal("first PushOrDecrease should report change")
+	}
+	if h.PushOrDecrease(1, 9) {
+		t.Fatal("PushOrDecrease with larger key should report no change")
+	}
+	if !h.PushOrDecrease(1, 3) {
+		t.Fatal("PushOrDecrease with smaller key should report change")
+	}
+	if item, pri := h.Pop(); item != 1 || pri != 3 {
+		t.Fatalf("Pop() = (%d, %v), want (1, 3)", item, pri)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(5)
+	for i := 0; i < 5; i++ {
+		h.Push(i, float64(5-i))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len() after Reset = %d, want 0", h.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if h.Contains(i) {
+			t.Fatalf("Contains(%d) = true after Reset", i)
+		}
+	}
+	// Heap must be reusable after Reset.
+	h.Push(3, 1)
+	h.Push(2, 0)
+	if item, _ := h.Pop(); item != 2 {
+		t.Fatalf("Pop() after reuse = %d, want 2", item)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	h := New(6)
+	for _, it := range []int{5, 2, 4, 0, 3, 1} {
+		h.Push(it, 1.0)
+	}
+	var got []int
+	for h.Len() > 0 {
+		it, _ := h.Pop()
+		got = append(got, it)
+	}
+	for i, it := range got {
+		if it != i {
+			t.Fatalf("equal-key pops = %v, want ascending IDs", got)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	h := New(3)
+	mustPanic("Pop empty", func() { h.Pop() })
+	mustPanic("Peek empty", func() { h.Peek() })
+	mustPanic("Push out of range", func() { h.Push(3, 1) })
+	mustPanic("Push negative", func() { h.Push(-1, 1) })
+	h.Push(1, 5)
+	mustPanic("double Push", func() { h.Push(1, 6) })
+	mustPanic("DecreaseKey absent", func() { h.DecreaseKey(0, 1) })
+	mustPanic("DecreaseKey larger", func() { h.DecreaseKey(1, 9) })
+	mustPanic("Key absent", func() { h.Key(0) })
+}
+
+// TestQuickHeapSort is a property test: popping all elements after pushing a
+// random priority assignment yields the priorities in sorted order, and
+// items are each popped exactly once.
+func TestQuickHeapSort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		h := New(n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			want[i] = rng.Float64() * 100
+			h.Push(i, want[i])
+		}
+		seen := make([]bool, n)
+		var got []float64
+		for h.Len() > 0 {
+			it, pri := h.Pop()
+			if seen[it] {
+				return false
+			}
+			seen[it] = true
+			got = append(got, pri)
+		}
+		if len(got) != n || !sort.Float64sAreSorted(got) {
+			return false
+		}
+		sort.Float64s(want)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecreaseKeyInvariant randomly interleaves pushes, pops and
+// decrease-keys and checks the heap never pops a key smaller than one popped
+// before it while the heap content only shrank.
+func TestQuickDecreaseKeyInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		h := New(n)
+		for op := 0; op < 500; op++ {
+			item := rng.Intn(n)
+			switch {
+			case !h.Contains(item):
+				h.Push(item, rng.Float64()*50)
+			case rng.Intn(2) == 0:
+				h.DecreaseKey(item, h.Key(item)*rng.Float64())
+			default:
+				prevItem, prevKey := h.Peek()
+				it, k := h.Pop()
+				if it != prevItem || k != prevKey {
+					return false
+				}
+				// Every remaining key must be >= the popped key.
+				if h.Len() > 0 {
+					if _, next := h.Peek(); next < k {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	const n = 1024
+	h := New(n)
+	rng := rand.New(rand.NewSource(1))
+	pris := make([]float64, n)
+	for i := range pris {
+		pris[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Reset()
+		for j := 0; j < n; j++ {
+			h.Push(j, pris[j])
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	}
+}

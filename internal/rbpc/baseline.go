@@ -1,0 +1,137 @@
+package rbpc
+
+import (
+	"fmt"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/ldp"
+	"rbpc/internal/mpls"
+	"rbpc/internal/sim"
+	"rbpc/internal/spath"
+)
+
+// Baseline is conventional topology-driven MPLS restoration — the costly
+// process RBPC replaces: each link failure tears down every affected LSP
+// and signals a brand-new shortest-path LSP end to end via LDP. It exists
+// to measure what RBPC saves (signaling messages and blackhole time); the
+// routes it produces are the same post-failure shortest paths.
+type Baseline struct {
+	g      *graph.Graph
+	net    *mpls.Network
+	eng    *sim.Engine
+	sig    *ldp.Signaler
+	oracle *spath.Oracle
+
+	routes map[Pair]*mpls.LSP
+	failed map[graph.EdgeID]bool
+
+	// NotifyDelay is how long after the physical failure the control
+	// plane reacts (detection plus notification); it puts the baseline on
+	// the same footing as the hybrid's detection delay. Default 0 is
+	// maximally generous to the baseline.
+	NotifyDelay sim.Time
+
+	// RestoredAt records, per pair, when its replacement LSP went live.
+	RestoredAt map[Pair]sim.Time
+}
+
+// NewBaseline provisions one shortest-path LSP per ordered pair with
+// direct FEC entries.
+func NewBaseline(g *graph.Graph, eng *sim.Engine, cfg ldp.Config) (*Baseline, error) {
+	b := &Baseline{
+		g:      g,
+		net:    mpls.NewNetwork(g),
+		eng:    eng,
+		oracle: spath.NewOracle(g),
+		routes: make(map[Pair]*mpls.LSP),
+		failed: make(map[graph.EdgeID]bool),
+
+		RestoredAt: make(map[Pair]sim.Time),
+	}
+	b.sig = ldp.NewSignaler(b.net, eng, cfg)
+	n := g.Order()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			pr := Pair{graph.NodeID(s), graph.NodeID(d)}
+			p, ok := b.oracle.Path(pr.Src, pr.Dst)
+			if !ok {
+				continue
+			}
+			lsp, err := b.net.EstablishLSP(p)
+			if err != nil {
+				return nil, fmt.Errorf("rbpc: baseline provisioning: %w", err)
+			}
+			b.routes[pr] = lsp
+			b.net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{
+				Stack:   []mpls.Label{lsp.FirstHopLabel()},
+				OutEdge: lsp.FirstEdge(),
+			})
+		}
+	}
+	return b, nil
+}
+
+// Net returns the baseline's MPLS network.
+func (b *Baseline) Net() *mpls.Network { return b.net }
+
+// Signaling returns the LDP message counters.
+func (b *Baseline) Signaling() ldp.Stats { return b.sig.Stats() }
+
+// RouteOf returns the pair's current LSP (nil while re-signaling or if
+// unroutable).
+func (b *Baseline) RouteOf(src, dst graph.NodeID) *mpls.LSP {
+	return b.routes[Pair{src, dst}]
+}
+
+// FailLink takes the link down and schedules teardown + re-establishment
+// of every affected LSP. Traffic for those pairs blackholes until each
+// replacement completes (watch RestoredAt). Run the engine to completion.
+func (b *Baseline) FailLink(e graph.EdgeID) {
+	b.net.FailEdge(e)
+	b.failed[e] = true
+	b.eng.After(b.NotifyDelay, func() { b.react(e) })
+}
+
+// react runs the control-plane reaction once the failure is known.
+func (b *Baseline) react(e graph.EdgeID) {
+	fv := graph.FailEdges(b.g, b.knownFailed()...)
+	newOracle := spath.NewOracle(fv)
+
+	for pr, lsp := range b.routes {
+		if lsp == nil || !lsp.Path.HasEdge(e) {
+			continue
+		}
+		pr, lsp := pr, lsp
+		// The source learns instantly in this model (generous to the
+		// baseline); it still pays full teardown + establishment.
+		b.routes[pr] = nil
+		b.net.ClearFEC(pr.Src, pr.Dst)
+		b.sig.Teardown(lsp, func(error) {})
+		newPath, ok := newOracle.Path(pr.Src, pr.Dst)
+		if !ok {
+			continue // disconnected
+		}
+		b.sig.Establish(newPath, func(nl *mpls.LSP, err error) {
+			if err != nil {
+				return
+			}
+			b.routes[pr] = nl
+			b.net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{
+				Stack:   []mpls.Label{nl.FirstHopLabel()},
+				OutEdge: nl.FirstEdge(),
+			})
+			b.RestoredAt[pr] = b.eng.Now()
+		})
+	}
+}
+
+func (b *Baseline) knownFailed() []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(b.failed))
+	for e := range b.failed {
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package rbpc
+
+// Churn/soak test: a long random sequence of failures and repairs with
+// continuous invariant checks — the kind of sustained abuse a deployed
+// restoration system sees.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/topology"
+	"rbpc/internal/verify"
+)
+
+func TestChurnSoak(t *testing.T) {
+	g := topology.Waxman(16, 0.7, 0.4, 99)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	down := make(map[graph.EdgeID]bool)
+
+	steps := 200
+	if testing.Short() {
+		steps = 50
+	}
+	for step := 0; step < steps; step++ {
+		// Random action: fail a live link, or repair a dead one.
+		if len(down) == 0 || (rng.Intn(2) == 0 && len(down) < 3) {
+			e := graph.EdgeID(rng.Intn(g.Size()))
+			if down[e] {
+				continue
+			}
+			down[e] = true
+			s.FailLink(e)
+		} else {
+			// Repair a random dead link.
+			var es []graph.EdgeID
+			for e := range down {
+				es = append(es, e)
+			}
+			e := es[rng.Intn(len(es))]
+			delete(down, e)
+			s.RepairLink(e)
+		}
+
+		// Invariant 1: control knowledge matches our ledger.
+		if len(s.KnownFailed()) != len(down) {
+			t.Fatalf("step %d: known %v vs ledger %d", step, s.KnownFailed(), len(down))
+		}
+
+		// Invariant 2a: the static table audit finds no loops, ever (and
+		// periodically, because a full audit is O(pairs * pathlen)).
+		if step%20 == 0 {
+			if rep := verify.CheckAll(s.Net()); !rep.LoopFree() {
+				t.Fatalf("step %d: table audit found loops: %v", step, rep)
+			}
+		}
+
+		// Invariant 2: random pairs deliver iff reachable; no loops.
+		var downList []graph.EdgeID
+		for e := range down {
+			downList = append(downList, e)
+		}
+		fv := graph.FailEdges(g, downList...)
+		for probe := 0; probe < 6; probe++ {
+			src := graph.NodeID(rng.Intn(g.Order()))
+			dst := graph.NodeID(rng.Intn(g.Order()))
+			if src == dst {
+				continue
+			}
+			reachable := false
+			for _, v := range graph.ReachableFrom(fv, src) {
+				if v == dst {
+					reachable = true
+				}
+			}
+			pkt, err := s.Net().SendIP(src, dst)
+			if reachable && err != nil {
+				t.Fatalf("step %d: %d->%d dropped though reachable: %v (down %v)", step, src, dst, err, downList)
+			}
+			if !reachable && err == nil {
+				t.Fatalf("step %d: %d->%d delivered across partition", step, src, dst)
+			}
+			if err == nil && pkt.Hops >= mpls.DefaultTTL {
+				t.Fatalf("step %d: TTL consumed", step)
+			}
+		}
+	}
+
+	// Repair everything; the system must return to pristine routing.
+	for e := range down {
+		s.RepairLink(e)
+	}
+	if len(s.KnownFailed()) != 0 {
+		t.Fatalf("failures remain after full repair: %v", s.KnownFailed())
+	}
+	o := s.oracle
+	for probe := 0; probe < 40; probe++ {
+		src := graph.NodeID(rng.Intn(g.Order()))
+		dst := graph.NodeID(rng.Intn(g.Order()))
+		if src == dst {
+			continue
+		}
+		pkt, err := s.Net().SendIP(src, dst)
+		if err != nil {
+			t.Fatalf("post-churn %d->%d: %v", src, dst, err)
+		}
+		// Back on a shortest path.
+		wantHops := o.Tree(src).Hops(dst)
+		var cost float64
+		for i := 1; i < len(pkt.Trace); i++ {
+			id, ok := g.FindEdge(pkt.Trace[i-1], pkt.Trace[i])
+			if !ok {
+				t.Fatalf("trace uses nonexistent link")
+			}
+			cost += g.Edge(id).W
+		}
+		if cost != o.Dist(src, dst) {
+			t.Fatalf("post-churn %d->%d cost %v, want shortest %v (hops %d vs %d)",
+				src, dst, cost, o.Dist(src, dst), pkt.Hops, wantHops)
+		}
+	}
+
+	// No signaling ever happened (full pre-provisioning).
+	if s.OnDemandLSPs() != 0 {
+		t.Errorf("churn forced %d on-demand LSPs", s.OnDemandLSPs())
+	}
+	// Final audit: every table route delivers.
+	if rep := verify.CheckAll(s.Net()); !rep.Clean() {
+		t.Errorf("post-churn audit: %v\n%+v", rep, rep.Findings)
+	}
+}

@@ -1,0 +1,145 @@
+package rbpc
+
+import (
+	"fmt"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/ospf"
+	"rbpc/internal/sim"
+)
+
+// Hybrid couples a System to the link-state substrate so restoration
+// happens with realistic distributed timing, implementing the paper's
+// combined scheme: "the adjacent router immediately re-routes affected
+// LSPs, though not always along shortest paths, and the source router
+// eventually redirects along a shortest path."
+//
+// Timeline per failure:
+//
+//	t=0                the link physically fails; packets crossing it drop
+//	t=DetectDelay      an endpoint detects, applies local RBPC (one ILM
+//	                   row per broken LSP) — traffic flows again
+//	t=flood arrival    each affected source learns and rewrites its FEC —
+//	                   traffic returns to optimal (post-failure shortest)
+//	                   paths
+type Hybrid struct {
+	sys    *System
+	proto  *ospf.Protocol
+	eng    *sim.Engine
+	scheme LocalScheme
+
+	// LocalPatchedAt records when local restoration kicked in per link.
+	LocalPatchedAt map[graph.EdgeID]sim.Time
+	// SourceUpdatedAt records when each pair's source rewrote its FEC for
+	// a failure.
+	SourceUpdatedAt map[Pair]sim.Time
+}
+
+// NewHybrid wires a System to an OSPF instance on the same topology.
+func NewHybrid(sys *System, proto *ospf.Protocol, eng *sim.Engine, scheme LocalScheme) *Hybrid {
+	h := &Hybrid{
+		sys:    sys,
+		proto:  proto,
+		eng:    eng,
+		scheme: scheme,
+
+		LocalPatchedAt:  make(map[graph.EdgeID]sim.Time),
+		SourceUpdatedAt: make(map[Pair]sim.Time),
+	}
+	proto.Subscribe(h.onLSA)
+	return h
+}
+
+// System returns the underlying RBPC system.
+func (h *Hybrid) System() *System { return h.sys }
+
+// FailLink takes the link down in the data plane now and starts the
+// control-plane reaction (detection, flooding, restoration) on the
+// simulation engine. Run the engine to let restoration unfold.
+func (h *Hybrid) FailLink(e graph.EdgeID) error {
+	if e < 0 || int(e) >= h.sys.g.Size() {
+		return fmt.Errorf("rbpc: unknown link %d", e)
+	}
+	h.sys.FailDataPlane(e)
+	return h.proto.FailLink(e)
+}
+
+// RepairLink brings the link back and floods the recovery; patches and
+// FEC entries revert as routers learn.
+func (h *Hybrid) RepairLink(e graph.EdgeID) error {
+	if e < 0 || int(e) >= h.sys.g.Size() {
+		return fmt.Errorf("rbpc: unknown link %d", e)
+	}
+	h.sys.net.RepairEdge(e)
+	return h.proto.RepairLink(e)
+}
+
+// FailRouter takes a whole router down: all incident links die in the
+// data plane now, and only the surviving far endpoints detect and flood.
+// Restoration (local patches at neighbors, source re-routes) unfolds on
+// the engine. The downed links are returned for RepairRouter.
+func (h *Hybrid) FailRouter(r graph.NodeID) ([]graph.EdgeID, error) {
+	h.sys.g.VisitArcs(r, func(a graph.Arc) bool {
+		h.sys.FailDataPlane(a.Edge)
+		return true
+	})
+	return h.proto.FailRouter(r)
+}
+
+// RepairRouter reverses FailRouter.
+func (h *Hybrid) RepairRouter(links []graph.EdgeID) error {
+	for _, e := range links {
+		h.sys.net.RepairEdge(e)
+	}
+	return h.proto.RepairRouter(links)
+}
+
+// onLSA reacts to every router's processing of a topology change.
+func (h *Hybrid) onLSA(r graph.NodeID, lsa ospf.LSA, at sim.Time) {
+	e := lsa.Edge
+	edge := h.sys.g.Edge(e)
+	adjacent := r == edge.U || r == edge.V
+
+	if !lsa.Up {
+		// Control-plane knowledge is recorded the first time anyone
+		// learns; per-source FEC reactions still wait for each source's
+		// own LSA arrival below.
+		h.sys.NoteFailure(e)
+		if adjacent {
+			if _, done := h.LocalPatchedAt[e]; !done {
+				if _, _, err := h.sys.LocalPatch(e, h.scheme); err == nil {
+					h.LocalPatchedAt[e] = at
+				}
+			}
+		}
+		// Source-router RBPC at r for every pair r originates whose
+		// current route crosses the dead link.
+		for _, pr := range h.sys.PairsThrough(e) {
+			if pr.Src != r {
+				continue
+			}
+			h.sys.UpdatePair(pr.Src, pr.Dst)
+			if _, seen := h.SourceUpdatedAt[pr]; !seen {
+				h.SourceUpdatedAt[pr] = at
+			}
+		}
+		return
+	}
+
+	// Recovery.
+	h.sys.NoteRepair(e)
+	if adjacent && h.sys.LocallyPatched(e) {
+		h.sys.UndoLocalPatches(e)
+	}
+	// Each source re-optimizes the pairs it originates as it learns.
+	for pr, primary := range h.sys.primaries {
+		if pr.Src != r {
+			continue
+		}
+		cur, routed := h.sys.routes[pr]
+		onPrimary := routed && len(cur) == 1 && cur[0] == primary
+		if !onPrimary {
+			h.sys.UpdatePair(pr.Src, pr.Dst)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package rbpc
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/ospf"
+	"rbpc/internal/sim"
+)
+
+func TestHybridRouterFailure(t *testing.T) {
+	// Wheel: hub 0 plus 5-cycle rim. The hub dies; the hybrid must
+	// restore all rim traffic around the rim as floods propagate, with a
+	// dead-silent hub.
+	g := graph.New(6)
+	for i := 1; i <= 5; i++ {
+		g.AddEdge(0, graph.NodeID(i), 1)
+	}
+	for i := 1; i <= 5; i++ {
+		j := i + 1
+		if j > 5 {
+			j = 1
+		}
+		g.AddEdge(graph.NodeID(i), graph.NodeID(j), 1)
+	}
+	sys, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	proto := ospf.New(g, eng, ospf.DefaultConfig())
+	h := NewHybrid(sys, proto, eng, EndRoute)
+
+	links, err := h.FailRouter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 5 {
+		t.Fatalf("downed %d links", len(links))
+	}
+	// Mid-failure: rim traffic that crossed the hub drops until patches.
+	if _, err := sys.Net().SendIP(1, 3); err == nil {
+		t.Fatal("delivered through dead hub before any reaction")
+	}
+	eng.Run()
+	for src := 1; src <= 5; src++ {
+		for dst := 1; dst <= 5; dst++ {
+			if src == dst {
+				continue
+			}
+			pkt := mustDeliver(t, sys, graph.NodeID(src), graph.NodeID(dst))
+			for _, r := range pkt.Trace {
+				if r == 0 {
+					t.Fatalf("%d->%d crossed the dead hub", src, dst)
+				}
+			}
+		}
+	}
+	// Repair: hub routing returns.
+	if err := h.RepairRouter(links); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	pkt := mustDeliver(t, sys, 1, 3)
+	if pkt.Hops != 2 {
+		t.Errorf("post-repair 1->3 = %d hops, want 2", pkt.Hops)
+	}
+	mustDeliver(t, sys, 1, 0)
+}

@@ -1,0 +1,237 @@
+package rbpc
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/ldp"
+	"rbpc/internal/ospf"
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+// hexRing builds a 6-ring hybrid setup with 10ms detection and 1ms links.
+func hexRing(t *testing.T) (*Hybrid, *sim.Engine) {
+	t.Helper()
+	g := topology.Ring(6)
+	sys, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	proto := ospf.New(g, eng, ospf.DefaultConfig())
+	return NewHybrid(sys, proto, eng, EdgeBypass), eng
+}
+
+func TestHybridTimeline(t *testing.T) {
+	h, eng := hexRing(t)
+	s := h.System()
+	e, _ := s.Graph().FindEdge(0, 1)
+
+	if err := h.FailLink(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// t=0+: physically down, nothing has reacted; traffic drops.
+	if _, err := s.Net().SendIP(0, 1); err == nil {
+		t.Fatal("packet crossed dead link before any reaction")
+	}
+
+	// Run to just past detection (10ms): local patch applied, sources far
+	// away not yet updated.
+	eng.RunUntil(10.5)
+	if _, ok := h.LocalPatchedAt[e]; !ok {
+		t.Fatal("local patch missing after detection delay")
+	}
+	if got := h.LocalPatchedAt[e]; got != 10 {
+		t.Errorf("local patch at %v, want 10", got)
+	}
+	// Traffic flows again via the bypass — before the flood converges.
+	pkt := mustDeliver(t, s, 0, 1)
+	if pkt.Hops != 5 {
+		t.Errorf("bypassed route = %d hops, want 5 on a 6-ring", pkt.Hops)
+	}
+	// A distant source (node 3, routing to 0 via... its primary may cross
+	// e) has not been told yet; its FEC is still the primary.
+	if len(h.SourceUpdatedAt) != 0 {
+		// Sources 0 and 1 are also adjacent, they may have updated at
+		// detection time; only distant sources must lag.
+		for pr, at := range h.SourceUpdatedAt {
+			if pr.Src != 0 && pr.Src != 1 {
+				t.Errorf("distant source %d updated at %v before flood reached it", pr.Src, at)
+			}
+		}
+	}
+
+	// Run to convergence: all sources updated, routes optimal.
+	eng.Run()
+	for pr, at := range h.SourceUpdatedAt {
+		if at < 10 {
+			t.Errorf("pair %v updated before detection: %v", pr, at)
+		}
+	}
+	pkt = mustDeliver(t, s, 0, 1)
+	if pkt.Hops != 5 {
+		t.Errorf("final route = %d hops", pkt.Hops)
+	}
+	// The adjacent sources updated strictly earlier than the farthest.
+	var minAt, maxAt sim.Time
+	first := true
+	for _, at := range h.SourceUpdatedAt {
+		if first {
+			minAt, maxAt = at, at
+			first = false
+		}
+		if at < minAt {
+			minAt = at
+		}
+		if at > maxAt {
+			maxAt = at
+		}
+	}
+	if !(maxAt > minAt) {
+		t.Errorf("no propagation spread: min %v max %v", minAt, maxAt)
+	}
+}
+
+func TestHybridRecovery(t *testing.T) {
+	h, eng := hexRing(t)
+	s := h.System()
+	e, _ := s.Graph().FindEdge(0, 1)
+	h.FailLink(e)
+	eng.Run()
+	if err := h.RepairLink(e); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if s.LocallyPatched(e) {
+		t.Error("patches not undone after recovery")
+	}
+	pkt := mustDeliver(t, s, 0, 1)
+	if pkt.Hops != 1 {
+		t.Errorf("post-recovery hops = %d, want 1", pkt.Hops)
+	}
+	if len(s.KnownFailed()) != 0 {
+		t.Errorf("stale failure knowledge: %v", s.KnownFailed())
+	}
+}
+
+func TestHybridBlackholeWindowShorterThanBaseline(t *testing.T) {
+	// The punchline experiment: RBPC's blackhole window is the detection
+	// delay; the baseline's is detection + full LDP re-signaling.
+	g := topology.Ring(8)
+	sysEng := &sim.Engine{}
+	sys, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := ospf.New(g, sysEng, ospf.DefaultConfig())
+	h := NewHybrid(sys, proto, sysEng, EdgeBypass)
+
+	balEng := &sim.Engine{}
+	bal, err := NewBaseline(g, balEng, ldp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e, _ := g.FindEdge(0, 1)
+	h.FailLink(e)
+	sysEng.Run()
+	bal.FailLink(e)
+	balEng.Run()
+
+	rbpcRestored := h.LocalPatchedAt[e]
+	var balLast sim.Time
+	for _, at := range bal.RestoredAt {
+		if at > balLast {
+			balLast = at
+		}
+	}
+	if len(bal.RestoredAt) == 0 {
+		t.Fatal("baseline restored nothing")
+	}
+	if !(rbpcRestored < balLast) {
+		t.Errorf("RBPC local restoration at %v not faster than baseline completion at %v", rbpcRestored, balLast)
+	}
+	// Baseline pays signaling; RBPC pays none after provisioning.
+	if bal.Signaling().Total() == 0 {
+		t.Error("baseline sent no LDP messages")
+	}
+}
+
+func TestBaselineDeliversAfterResignaling(t *testing.T) {
+	g := topology.Ring(6)
+	eng := &sim.Engine{}
+	bal, err := NewBaseline(g, eng, ldp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-failure delivery.
+	pkt, err := bal.Net().SendIP(0, 3)
+	if err != nil || pkt.At != 3 {
+		t.Fatalf("pre-failure: %v", err)
+	}
+	e, _ := g.FindEdge(0, 1)
+	bal.FailLink(e)
+	// Mid-signaling: the broken pairs blackhole.
+	if _, err := bal.Net().SendIP(0, 1); err == nil {
+		t.Error("delivered during re-signaling window")
+	}
+	eng.Run()
+	pkt, err = bal.Net().SendIP(0, 1)
+	if err != nil || pkt.At != 1 {
+		t.Fatalf("post-signaling: %v", err)
+	}
+	if pkt.Hops != 5 {
+		t.Errorf("baseline detour = %d hops, want 5", pkt.Hops)
+	}
+	if bal.RouteOf(0, 1) == nil {
+		t.Error("RouteOf nil after restoration")
+	}
+}
+
+func TestBaselineDisconnectedPair(t *testing.T) {
+	g := topology.Line(3)
+	eng := &sim.Engine{}
+	bal, err := NewBaseline(g, eng, ldp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.FindEdge(0, 1)
+	bal.FailLink(e)
+	eng.Run()
+	if _, err := bal.Net().SendIP(0, 1); err == nil {
+		t.Error("delivered across partition")
+	}
+	if bal.RouteOf(0, 1) != nil {
+		t.Error("route exists across partition")
+	}
+}
+
+func TestHybridMultipleFailures(t *testing.T) {
+	// Dense graph, two sequential failures with floods in between: the
+	// system must converge to working routes.
+	g := topology.Complete(6)
+	sys, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	proto := ospf.New(g, eng, ospf.DefaultConfig())
+	h := NewHybrid(sys, proto, eng, EndRoute)
+
+	e1, _ := g.FindEdge(0, 1)
+	e2, _ := g.FindEdge(0, 2)
+	h.FailLink(e1)
+	eng.Run()
+	h.FailLink(e2)
+	eng.Run()
+
+	for src := 0; src < g.Order(); src++ {
+		for dst := 0; dst < g.Order(); dst++ {
+			if src != dst {
+				mustDeliver(t, sys, graph.NodeID(src), graph.NodeID(dst))
+			}
+		}
+	}
+}

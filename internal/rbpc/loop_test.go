@@ -1,0 +1,166 @@
+package rbpc
+
+// The paper's warning (Section 4.2): "local re-routing alone will not
+// allow loop-free restoration in the face of multiple link failures.
+// Hence, routers must monitor the dynamic topology via the link-state
+// protocol." These tests demonstrate the hazard and its two mitigations:
+// TTL containment in the data plane, and shared failure knowledge in the
+// control plane.
+
+import (
+	"errors"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/ospf"
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+// TestLocalOnlyDoubleFailureNeverLoopsForever: patch two failures with
+// deliberately isolated knowledge (each patch knows only its own link).
+// Packets may drop or bounce, but the TTL must always terminate them.
+func TestLocalOnlyDoubleFailureIsolatedKnowledge(t *testing.T) {
+	g := topology.Ring(4)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e12, _ := g.FindEdge(1, 2)
+	e32, _ := g.FindEdge(3, 2)
+
+	// Both links die. Each adjacent router patches knowing ONLY its own
+	// failure (NoteFailure is never called): router 1's detour to 2 runs
+	// via 0-3-2 (through the other dead link), and router 3's via 0-1-2.
+	s.FailDataPlane(e12)
+	s.FailDataPlane(e32)
+	if _, _, err := s.LocalPatch(e12, EndRoute); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.LocalPatch(e32, EndRoute); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2 is genuinely unreachable (both its links are down), so no packet
+	// for 2 can be delivered — but none may circulate forever either.
+	for src := 0; src < 4; src++ {
+		if src == 2 {
+			continue
+		}
+		pkt, err := s.Net().SendIP(graph.NodeID(src), 2)
+		if err == nil {
+			t.Fatalf("delivered %d->2 across a double partition (trace %v)", src, pkt.Trace)
+		}
+		// The error must be a clean drop: dead link, TTL, or label-op
+		// bound — never a hang (returning at all proves termination) and
+		// never a silent misdelivery.
+		if !errors.Is(err, mpls.ErrLinkDown) && !errors.Is(err, mpls.ErrTTLExpired) && !errors.Is(err, mpls.ErrLabelLoop) {
+			t.Fatalf("unexpected drop reason for %d->2: %v", src, err)
+		}
+	}
+}
+
+// TestLocalPatchWithSharedKnowledgeAvoidsDeadDetours: the same double
+// failure, but the second patch knows about the first (NoteFailure) —
+// the paper's "routers must monitor the dynamic topology". On a richer
+// graph the detours then avoid both dead links and deliver.
+func TestLocalPatchWithSharedKnowledgeAvoidsDeadDetours(t *testing.T) {
+	g := topology.Complete(5)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e01, _ := g.FindEdge(0, 1)
+	e21, _ := g.FindEdge(2, 1)
+
+	s.FailDataPlane(e01)
+	s.NoteFailure(e01)
+	if _, _, err := s.LocalPatch(e01, EndRoute); err != nil {
+		t.Fatal(err)
+	}
+	s.FailDataPlane(e21)
+	s.NoteFailure(e21)
+	if _, _, err := s.LocalPatch(e21, EndRoute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every source still reaches 1 (K5 minus two edges at node 1 leaves
+	// degree 2), and no packet may loop.
+	for src := 0; src < 5; src++ {
+		if src == 1 {
+			continue
+		}
+		pkt, err := s.Net().SendIP(graph.NodeID(src), 1)
+		if err != nil {
+			t.Fatalf("%d->1 dropped with shared knowledge: %v", src, err)
+		}
+		if pkt.Hops >= mpls.DefaultTTL {
+			t.Fatalf("%d->1 consumed its TTL", src)
+		}
+	}
+}
+
+// TestHybridIsLoopFreeUnderDoubleFailure: the full machinery (link-state
+// flood + local patches + source updates) under two failures close in
+// time: every packet either delivers or is cleanly dropped, never loops
+// past the TTL, throughout the convergence window.
+func TestHybridIsLoopFreeUnderDoubleFailure(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.4, 77)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	proto := ospf.New(g, eng, ospf.DefaultConfig())
+	h := NewHybrid(s, proto, eng, EdgeBypass)
+
+	if err := h.FailLink(0); err != nil {
+		t.Fatal(err)
+	}
+	// Second failure mid-flood of the first.
+	eng.RunUntil(10.5)
+	if err := h.FailLink(1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Probe at several instants during convergence.
+	for _, checkpoint := range []float64{11, 13, 15, 1000} {
+		eng.RunUntil(sim.Time(checkpoint))
+		for src := 0; src < g.Order(); src++ {
+			for dst := 0; dst < g.Order(); dst++ {
+				if src == dst {
+					continue
+				}
+				pkt, err := s.Net().SendIP(graph.NodeID(src), graph.NodeID(dst))
+				if err != nil {
+					continue // transient drop during convergence is allowed
+				}
+				if pkt.Hops >= mpls.DefaultTTL {
+					t.Fatalf("t=%v: %d->%d consumed TTL", checkpoint, src, dst)
+				}
+				if pkt.At != graph.NodeID(dst) {
+					t.Fatalf("t=%v: misdelivery %d->%d at %d", checkpoint, src, dst, pkt.At)
+				}
+			}
+		}
+	}
+	// After convergence, everything reachable must deliver.
+	eng.Run()
+	fv := graph.FailEdges(g, 0, 1)
+	for src := 0; src < g.Order(); src++ {
+		reach := make(map[graph.NodeID]bool)
+		for _, v := range graph.ReachableFrom(fv, graph.NodeID(src)) {
+			reach[v] = true
+		}
+		for dst := 0; dst < g.Order(); dst++ {
+			if src == dst {
+				continue
+			}
+			_, err := s.Net().SendIP(graph.NodeID(src), graph.NodeID(dst))
+			if reach[graph.NodeID(dst)] && err != nil {
+				t.Fatalf("converged: %d->%d dropped: %v", src, dst, err)
+			}
+		}
+	}
+}

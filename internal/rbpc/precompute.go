@@ -1,0 +1,119 @@
+package rbpc
+
+import (
+	"sort"
+
+	"rbpc/internal/core"
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+)
+
+// Precomputed failover plans, per the paper (Section 4.1): "for each link
+// in the network the router has a set of changes to its FEC table ...
+// This process could be computed online but will be fastest if
+// pre-computed and indexed by the specific link failure."
+//
+// A FailoverPlan holds, for one link, the FEC rewrites every source
+// applies the instant it learns of that link's failure — no shortest-path
+// computation on the critical path. Plans cover single-link failures;
+// multiple simultaneous failures fall back to the online path
+// (UpdatePair), exactly as the paper prescribes.
+
+// FECUpdate is one planned rewrite: the source's new label stack for a
+// destination (nil Stack = the pair becomes unroutable).
+type FECUpdate struct {
+	Src, Dst graph.NodeID
+	LSPs     []*mpls.LSP
+}
+
+// FailoverPlan is the precomputed reaction to one link's failure.
+type FailoverPlan struct {
+	Edge    graph.EdgeID
+	Updates []FECUpdate
+}
+
+// PrecomputeFailoverPlans builds the per-link FEC update sets for every
+// link whose failure breaks at least one primary route. Cost: one
+// restoration computation per (link, affected pair), paid once at
+// provisioning time.
+func (s *System) PrecomputeFailoverPlans() map[graph.EdgeID]*FailoverPlan {
+	plans := make(map[graph.EdgeID]*FailoverPlan)
+	// Affected pairs per link, from the primaries' edge usage.
+	for pr, primary := range s.primaries {
+		for _, e := range primary.Path.Edges {
+			p := plans[e]
+			if p == nil {
+				p = &FailoverPlan{Edge: e}
+				plans[e] = p
+			}
+			p.Updates = append(p.Updates, FECUpdate{Src: pr.Src, Dst: pr.Dst})
+		}
+	}
+	for e, plan := range plans {
+		fv := graph.FailEdges(s.g, e)
+		for i := range plan.Updates {
+			u := &plan.Updates[i]
+			dec, ok := core.DecomposeSparse(s.base, fv, u.Src, u.Dst)
+			if !ok || len(dec.Components) == 0 {
+				continue // unroutable under this failure: nil LSPs
+			}
+			lsps, err := s.lspsFor(dec)
+			if err != nil {
+				continue
+			}
+			u.LSPs = lsps
+		}
+		// Deterministic order for application and inspection.
+		sort.Slice(plan.Updates, func(i, j int) bool {
+			a, b := plan.Updates[i], plan.Updates[j]
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			return a.Dst < b.Dst
+		})
+	}
+	s.failoverPlans = plans
+	return plans
+}
+
+// FailLinkPrecomputed reacts to a single-link failure using the
+// precomputed plan: the data plane goes down and every affected source
+// swaps in its pre-built label stack — zero shortest-path work at
+// failure time. It reports whether a plan existed (false = the link
+// carried no primaries, or plans were never precomputed, or other
+// failures are already active, in which case it falls back to the online
+// path).
+func (s *System) FailLinkPrecomputed(e graph.EdgeID) bool {
+	s.FailDataPlane(e)
+	s.NoteFailure(e)
+	// Precomputed plans assume a single failure; with other failures
+	// active the plan's stacks may cross dead links, so recompute online.
+	if len(s.failed) != 1 {
+		s.UpdateAllSources(e)
+		return false
+	}
+	plan, ok := s.failoverPlans[e]
+	if !ok {
+		s.UpdateAllSources(e)
+		return false
+	}
+	for _, u := range plan.Updates {
+		pr := Pair{u.Src, u.Dst}
+		if u.LSPs == nil {
+			delete(s.routes, pr)
+			s.net.ClearFEC(u.Src, u.Dst)
+			continue
+		}
+		s.installRoute(pr, u.LSPs)
+	}
+	return true
+}
+
+// PlannedUpdates returns how many FEC rewrites the plan for e holds
+// (0 if none precomputed).
+func (s *System) PlannedUpdates(e graph.EdgeID) int {
+	if p, ok := s.failoverPlans[e]; ok {
+		return len(p.Updates)
+	}
+	return 0
+}

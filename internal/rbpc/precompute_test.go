@@ -1,0 +1,115 @@
+package rbpc
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+	"rbpc/internal/verify"
+)
+
+func TestPrecomputedPlansMatchOnline(t *testing.T) {
+	// For every single-link failure, the precomputed reaction must leave
+	// the network in exactly the state the online reaction produces.
+	g := topology.Waxman(12, 0.7, 0.4, 31)
+	mk := func() *System {
+		s, err := NewSystem(g, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	pre := mk()
+	pre.PrecomputeFailoverPlans()
+
+	for _, e := range g.Edges() {
+		online := mk()
+		online.FailLink(e.ID)
+
+		if !pre.FailLinkPrecomputed(e.ID) {
+			// No plan means the link carried no primaries; online must
+			// agree that nothing changed.
+			if n := len(online.PairsThrough(e.ID)); n != 0 {
+				t.Fatalf("link %d: no plan but %d online pairs", e.ID, n)
+			}
+		}
+		for src := 0; src < g.Order(); src++ {
+			for dst := 0; dst < g.Order(); dst++ {
+				if src == dst {
+					continue
+				}
+				a := pre.RouteOf(graph.NodeID(src), graph.NodeID(dst))
+				b := online.RouteOf(graph.NodeID(src), graph.NodeID(dst))
+				if (a == nil) != (b == nil) {
+					t.Fatalf("link %d, %d->%d: precomputed routable=%v online=%v",
+						e.ID, src, dst, a != nil, b != nil)
+				}
+				if a == nil {
+					continue
+				}
+				// Same concatenation cost (the decompositions are
+				// deterministic, so they should match exactly).
+				var costA, costB float64
+				for _, l := range a {
+					costA += l.Path.CostIn(g)
+				}
+				for _, l := range b {
+					costB += l.Path.CostIn(g)
+				}
+				if costA != costB {
+					t.Fatalf("link %d, %d->%d: cost %v vs %v", e.ID, src, dst, costA, costB)
+				}
+			}
+		}
+		// The table audit must be clean after the precomputed swap.
+		if rep := verify.CheckAll(pre.Net()); !rep.Clean() {
+			t.Fatalf("link %d: precomputed tables dirty: %v", e.ID, rep)
+		}
+		pre.RepairLink(e.ID)
+	}
+}
+
+func TestPrecomputedFallsBackUnderMultipleFailures(t *testing.T) {
+	g := topology.Complete(5)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PrecomputeFailoverPlans()
+	e1, _ := g.FindEdge(0, 1)
+	e2, _ := g.FindEdge(0, 2)
+	if !s.FailLinkPrecomputed(e1) {
+		t.Fatal("first failure should use the plan")
+	}
+	if s.FailLinkPrecomputed(e2) {
+		t.Fatal("second simultaneous failure must fall back to online")
+	}
+	// Still fully routable either way.
+	for src := 0; src < 5; src++ {
+		for dst := 0; dst < 5; dst++ {
+			if src != dst {
+				mustDeliver(t, s, graph.NodeID(src), graph.NodeID(dst))
+			}
+		}
+	}
+}
+
+func TestPlannedUpdatesAccounting(t *testing.T) {
+	g := topology.Ring(6)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PlannedUpdates(0) != 0 {
+		t.Error("plans exist before precomputation")
+	}
+	plans := s.PrecomputeFailoverPlans()
+	if len(plans) != g.Size() {
+		t.Errorf("plans for %d links, want %d (every ring link carries primaries)", len(plans), g.Size())
+	}
+	for _, e := range g.Edges() {
+		if s.PlannedUpdates(e.ID) == 0 {
+			t.Errorf("no planned updates for link %d", e.ID)
+		}
+	}
+}

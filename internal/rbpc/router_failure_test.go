@@ -1,0 +1,106 @@
+package rbpc
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+func TestFailRouterRestoresAround(t *testing.T) {
+	// 5-wheel: hub 0 connected to a 4-cycle 1-2-3-4. Failing the hub
+	// leaves the cycle; every rim pair must restore around the rim.
+	g := graph.New(5)
+	for i := 1; i <= 4; i++ {
+		g.AddEdge(0, graph.NodeID(i), 1)
+	}
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 1, 1)
+
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	links := s.FailRouter(0)
+	if len(links) != 4 {
+		t.Fatalf("FailRouter downed %d links, want 4", len(links))
+	}
+	// Rim pairs deliver without crossing the hub.
+	for src := 1; src <= 4; src++ {
+		for dst := 1; dst <= 4; dst++ {
+			if src == dst {
+				continue
+			}
+			pkt := mustDeliver(t, s, graph.NodeID(src), graph.NodeID(dst))
+			for _, n := range pkt.Trace {
+				if n == 0 {
+					t.Fatalf("%d->%d routed through failed router: %v", src, dst, pkt.Trace)
+				}
+			}
+		}
+	}
+	// Traffic to the failed router drops.
+	if _, err := s.Net().SendIP(1, 0); err == nil {
+		t.Error("delivered to a failed router")
+	}
+	// Repair restores hub routing.
+	s.RepairRouter(links)
+	pkt := mustDeliver(t, s, 1, 3)
+	if pkt.Hops != 2 {
+		t.Errorf("post-repair 1->3 hops = %d, want 2 (via hub or rim)", pkt.Hops)
+	}
+	mustDeliver(t, s, 1, 0)
+	if len(s.KnownFailed()) != 0 {
+		t.Errorf("stale failures: %v", s.KnownFailed())
+	}
+}
+
+func TestFailRouterPCBound(t *testing.T) {
+	// The paper: node-failure concatenations are bounded by the failed
+	// router's degree (deg+1 paths via the edge-failure theorems, modulo
+	// the Figure-4 pathology). Check routes stay short on a mesh.
+	g := topology.Complete(6)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailRouter(2)
+	for src := 0; src < 6; src++ {
+		for dst := 0; dst < 6; dst++ {
+			if src == dst || src == 2 || dst == 2 {
+				continue
+			}
+			if r := s.RouteOf(graph.NodeID(src), graph.NodeID(dst)); len(r) > 2 {
+				t.Errorf("%d->%d concatenates %d LSPs on K6 minus a node", src, dst, len(r))
+			}
+		}
+	}
+}
+
+func TestFailRouterArticulationPartition(t *testing.T) {
+	// Failing an articulation router genuinely partitions: the system
+	// must clear routes rather than misroute.
+	g := graph.New(5) // bowtie: 0-1-2(cut)-3-4, triangles 0-1-2 and 2-3-4
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 0, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 4, 1)
+	g.AddEdge(4, 2, 1)
+	cuts := graph.ArticulationPoints(g)
+	if len(cuts) != 1 || cuts[0] != 2 {
+		t.Fatalf("setup: cuts = %v", cuts)
+	}
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.FailRouter(2)
+	if _, err := s.Net().SendIP(0, 3); err == nil {
+		t.Error("delivered across the cut")
+	}
+	mustDeliver(t, s, 0, 1)
+	mustDeliver(t, s, 3, 4)
+}

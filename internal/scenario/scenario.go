@@ -1,0 +1,198 @@
+// Package scenario runs scripted failure timelines against a hybrid RBPC
+// deployment: a small line-oriented DSL schedules link/router failures,
+// repairs, probes and table audits at simulated times, so experiments
+// are reproducible text files instead of hand-written drivers.
+//
+// Script format, one operation per line ('#' comments allowed):
+//
+//	at 0    fail-link 3
+//	at 12   probe 0 5
+//	at 20   fail-router 7
+//	at 30   audit
+//	at 100  repair-router 7
+//	at 120  repair-link 3
+//	at 150  probe 0 5
+//
+// Times are milliseconds and must be non-decreasing.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rbpc/internal/graph"
+	rbpcint "rbpc/internal/rbpc"
+	"rbpc/internal/sim"
+	"rbpc/internal/verify"
+)
+
+// OpKind enumerates script operations.
+type OpKind int
+
+const (
+	OpFailLink OpKind = iota + 1
+	OpRepairLink
+	OpFailRouter
+	OpRepairRouter
+	OpProbe
+	OpAudit
+)
+
+// Op is one scheduled operation.
+type Op struct {
+	At   sim.Time
+	Kind OpKind
+	// A and B are operands: link/router ID, or probe src/dst.
+	A, B int
+}
+
+// Parse reads a script.
+func Parse(r io.Reader) ([]Op, error) {
+	sc := bufio.NewScanner(r)
+	var ops []Op
+	lineNo := 0
+	last := sim.Time(-1)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || fields[0] != "at" {
+			return nil, fmt.Errorf("scenario: line %d: want 'at <ms> <op> ...', got %q", lineNo, line)
+		}
+		ms, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("scenario: line %d: bad time %q", lineNo, fields[1])
+		}
+		at := sim.Time(ms)
+		if at < last {
+			return nil, fmt.Errorf("scenario: line %d: time %v before previous %v", lineNo, at, last)
+		}
+		last = at
+
+		op := Op{At: at}
+		oneArg := func() (int, error) {
+			if len(fields) != 4 {
+				return 0, fmt.Errorf("scenario: line %d: %s needs one argument", lineNo, fields[2])
+			}
+			return strconv.Atoi(fields[3])
+		}
+		switch fields[2] {
+		case "fail-link":
+			op.Kind = OpFailLink
+			op.A, err = oneArg()
+		case "repair-link":
+			op.Kind = OpRepairLink
+			op.A, err = oneArg()
+		case "fail-router":
+			op.Kind = OpFailRouter
+			op.A, err = oneArg()
+		case "repair-router":
+			op.Kind = OpRepairRouter
+			op.A, err = oneArg()
+		case "probe":
+			op.Kind = OpProbe
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("scenario: line %d: probe needs src and dst", lineNo)
+			}
+			op.A, err = strconv.Atoi(fields[3])
+			if err == nil {
+				op.B, err = strconv.Atoi(fields[4])
+			}
+		case "audit":
+			op.Kind = OpAudit
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("scenario: line %d: audit takes no arguments", lineNo)
+			}
+		default:
+			return nil, fmt.Errorf("scenario: line %d: unknown op %q", lineNo, fields[2])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("scenario: line %d: %v", lineNo, err)
+		}
+		ops = append(ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return ops, nil
+}
+
+// Event is one logged outcome of a scripted operation.
+type Event struct {
+	At   sim.Time
+	Line string
+}
+
+// Run executes the script against a hybrid deployment on its engine and
+// returns the event log. The engine is run to completion afterwards (all
+// floods drain).
+func Run(h *rbpcint.Hybrid, eng *sim.Engine, ops []Op) ([]Event, error) {
+	var log []Event
+	var failErr error
+	routerLinks := make(map[int][]graph.EdgeID)
+
+	record := func(format string, args ...interface{}) {
+		log = append(log, Event{At: eng.Now(), Line: fmt.Sprintf(format, args...)})
+	}
+
+	for _, op := range ops {
+		op := op
+		eng.At(op.At, func() {
+			if failErr != nil {
+				return
+			}
+			switch op.Kind {
+			case OpFailLink:
+				if err := h.FailLink(graph.EdgeID(op.A)); err != nil {
+					failErr = fmt.Errorf("fail-link %d at %v: %w", op.A, op.At, err)
+					return
+				}
+				record("fail-link %d", op.A)
+			case OpRepairLink:
+				if err := h.RepairLink(graph.EdgeID(op.A)); err != nil {
+					failErr = fmt.Errorf("repair-link %d at %v: %w", op.A, op.At, err)
+					return
+				}
+				record("repair-link %d", op.A)
+			case OpFailRouter:
+				links, err := h.FailRouter(graph.NodeID(op.A))
+				if err != nil {
+					failErr = fmt.Errorf("fail-router %d at %v: %w", op.A, op.At, err)
+					return
+				}
+				routerLinks[op.A] = links
+				record("fail-router %d (%d links down)", op.A, len(links))
+			case OpRepairRouter:
+				links, ok := routerLinks[op.A]
+				if !ok {
+					failErr = fmt.Errorf("repair-router %d at %v: router was not failed", op.A, op.At)
+					return
+				}
+				delete(routerLinks, op.A)
+				if err := h.RepairRouter(links); err != nil {
+					failErr = fmt.Errorf("repair-router %d at %v: %w", op.A, op.At, err)
+					return
+				}
+				record("repair-router %d", op.A)
+			case OpProbe:
+				pkt, err := h.System().Net().SendIP(graph.NodeID(op.A), graph.NodeID(op.B))
+				if err != nil {
+					record("probe %d->%d DROPPED (%v)", op.A, op.B, err)
+				} else {
+					record("probe %d->%d delivered in %d hops via %v", op.A, op.B, pkt.Hops, pkt.Trace)
+				}
+			case OpAudit:
+				rep := verify.CheckAll(h.System().Net())
+				record("audit: %v", rep)
+			}
+		})
+	}
+	eng.Run()
+	return log, failErr
+}

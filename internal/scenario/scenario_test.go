@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"rbpc/internal/ospf"
+	rbpcint "rbpc/internal/rbpc"
+	"rbpc/internal/sim"
+	"rbpc/internal/topology"
+)
+
+func newHybrid(t *testing.T) (*rbpcint.Hybrid, *sim.Engine) {
+	t.Helper()
+	g := topology.Complete(5)
+	s, err := rbpcint.NewSystem(g, rbpcint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &sim.Engine{}
+	proto := ospf.New(g, eng, ospf.DefaultConfig())
+	return rbpcint.NewHybrid(s, proto, eng, rbpcint.EdgeBypass), eng
+}
+
+func TestParseValid(t *testing.T) {
+	script := `
+# comment
+at 0   fail-link 3
+at 5.5 probe 0 4
+at 20  fail-router 2
+at 30  audit
+at 40  repair-router 2
+at 50  repair-link 3
+`
+	ops, err := Parse(strings.NewReader(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 6 {
+		t.Fatalf("parsed %d ops", len(ops))
+	}
+	if ops[1].At != 5.5 || ops[1].Kind != OpProbe || ops[1].A != 0 || ops[1].B != 4 {
+		t.Errorf("probe op = %+v", ops[1])
+	}
+	if ops[3].Kind != OpAudit {
+		t.Errorf("audit op = %+v", ops[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"boom\n",
+		"at x fail-link 1\n",
+		"at -1 fail-link 1\n",
+		"at 10 fail-link 1\nat 5 probe 0 1\n", // time regression
+		"at 0 fail-link\n",
+		"at 0 probe 1\n",
+		"at 0 audit 3\n",
+		"at 0 unknown-op 1\n",
+		"at 0 probe a b\n",
+	}
+	for _, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRunTimeline(t *testing.T) {
+	h, eng := newHybrid(t)
+	g := h.System().Graph()
+	e, _ := g.FindEdge(0, 1)
+	script := strings.NewReader(strings.ReplaceAll(`
+at 0   fail-link EDGE
+at 1   probe 0 1
+at 15  probe 0 1
+at 15  audit
+at 40  repair-link EDGE
+at 60  probe 0 1
+`, "EDGE", itoa(int(e))))
+	ops, err := Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Run(h, eng, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, ev := range log {
+		lines = append(lines, ev.Line)
+	}
+	joined := strings.Join(lines, "\n")
+	// Probe at 1ms (before detection) drops; at 15ms it flows; after
+	// repair it is back to 1 hop.
+	if !strings.Contains(lines[1], "DROPPED") {
+		t.Errorf("pre-detection probe should drop:\n%s", joined)
+	}
+	if !strings.Contains(lines[2], "delivered in 2 hops") {
+		t.Errorf("post-detection probe should take the 2-hop detour:\n%s", joined)
+	}
+	if !strings.Contains(lines[3], "audit") || strings.Contains(lines[3], "loop") && !strings.Contains(lines[3], "loop=0") {
+		t.Errorf("audit line: %s", lines[3])
+	}
+	if !strings.Contains(lines[len(lines)-1], "delivered in 1 hops") {
+		t.Errorf("post-repair probe should be direct:\n%s", joined)
+	}
+}
+
+func TestRunRouterLifecycle(t *testing.T) {
+	h, eng := newHybrid(t)
+	ops, err := Parse(strings.NewReader(`
+at 0   fail-router 2
+at 30  probe 0 1
+at 50  repair-router 2
+at 90  probe 0 2
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Run(h, eng, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(log[0].Line, "4 links down") {
+		t.Errorf("router failure: %s", log[0].Line)
+	}
+	last := log[len(log)-1].Line
+	if !strings.Contains(last, "delivered") {
+		t.Errorf("post-repair probe to revived router: %s", last)
+	}
+}
+
+func TestRunErrorsSurface(t *testing.T) {
+	h, eng := newHybrid(t)
+	ops, _ := Parse(strings.NewReader("at 0 repair-router 3\n"))
+	if _, err := Run(h, eng, ops); err == nil {
+		t.Error("repairing a never-failed router should error")
+	}
+	h2, eng2 := newHybrid(t)
+	ops2, _ := Parse(strings.NewReader("at 0 fail-link 9999\n"))
+	if _, err := Run(h2, eng2, ops2); err == nil {
+		t.Error("failing an unknown link should error")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}

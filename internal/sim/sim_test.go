@@ -1,0 +1,98 @@
+package sim
+
+import "testing"
+
+func TestOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.At(3, func() { got = append(got, 3) })
+	e.At(1, func() { got = append(got, 1) })
+	e.At(2, func() { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run fired %d events", n)
+	}
+	for i, w := range []int{1, 2, 3} {
+		if got[i] != w {
+			t.Fatalf("order %v", got)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v", e.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("equal-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var times []Time
+	e.After(10, func() {
+		times = append(times, e.Now())
+		e.After(5, func() { times = append(times, e.Now()) })
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	fired := 0
+	e.At(1, func() { fired++ })
+	e.At(5, func() { fired++ })
+	e.At(10, func() { fired++ })
+	if n := e.RunUntil(5); n != 2 || fired != 2 {
+		t.Errorf("RunUntil(5): n=%d fired=%d", n, fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Errorf("fired = %d", fired)
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	var e Engine
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Errorf("Now = %v, want 42", e.Now())
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var e Engine
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic scheduling into the past")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+}

@@ -1,0 +1,89 @@
+package spath
+
+import (
+	"rbpc/internal/graph"
+	"rbpc/internal/pqueue"
+)
+
+// BidiDist returns the shortest-path distance from s to t on an
+// UNDIRECTED view using bidirectional Dijkstra: two frontiers grow from s
+// and t and the search stops when their radii together exceed the best
+// meeting point. On large sparse graphs point queries explore roughly the
+// square root of the nodes a unidirectional search settles, which is why
+// it backs the interactive tooling; the evaluation keeps full trees (it
+// needs the whole distance vector anyway).
+//
+// The boolean result is false if t is unreachable. Directed views are
+// rejected by panic: the reverse frontier would need reverse adjacency,
+// which undirected RBPC never requires.
+func BidiDist(v graph.View, s, t graph.NodeID) (float64, bool) {
+	if v.Directed() {
+		panic("spath: BidiDist requires an undirected view")
+	}
+	if s == t {
+		return 0, true
+	}
+	n := v.Order()
+	distF := make([]float64, n)
+	distB := make([]float64, n)
+	for i := range distF {
+		distF[i] = Unreachable
+		distB[i] = Unreachable
+	}
+	distF[s] = 0
+	distB[t] = 0
+	hf := pqueue.New(n)
+	hb := pqueue.New(n)
+	hf.Push(int(s), 0)
+	hb.Push(int(t), 0)
+	settledF := make([]bool, n)
+	settledB := make([]bool, n)
+
+	best := Unreachable
+	radiusF, radiusB := 0.0, 0.0
+
+	expand := func(h *pqueue.IndexedMinHeap, dist, other []float64, settled, otherSettled []bool) float64 {
+		ui, du := h.Pop()
+		u := graph.NodeID(ui)
+		if settled[u] {
+			return du
+		}
+		settled[u] = true
+		v.VisitArcs(u, func(a graph.Arc) bool {
+			w := v.Edge(a.Edge).W
+			nd := du + w
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				h.PushOrDecrease(int(a.To), nd)
+			}
+			// Meeting point: a settled-or-labeled node on the other side.
+			if other[a.To] != Unreachable && nd+other[a.To] < best {
+				best = nd + other[a.To]
+			}
+			return true
+		})
+		if du+other[u] < best && other[u] != Unreachable {
+			best = du + other[u]
+		}
+		return du
+	}
+
+	for hf.Len() > 0 && hb.Len() > 0 {
+		// Alternate by smaller frontier radius.
+		if _, pf := hf.Peek(); true {
+			if _, pb := hb.Peek(); pf <= pb {
+				radiusF = expand(hf, distF, distB, settledF, settledB)
+			} else {
+				radiusB = expand(hb, distB, distF, settledB, settledF)
+			}
+		}
+		if radiusF+radiusB >= best {
+			return best, true
+		}
+	}
+	// One side exhausted: finish with whatever meeting point was found.
+	if best != Unreachable {
+		return best, true
+	}
+	return Unreachable, false
+}

@@ -1,0 +1,170 @@
+package spath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbpc/internal/graph"
+)
+
+// TestQuickBidiMatchesDijkstra: bidirectional distances equal tree
+// distances on random undirected graphs, including with failures.
+func TestQuickBidiMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := graph.New(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, float64(1+rng.Intn(6)))
+			}
+		}
+		var view graph.View = g
+		if g.Size() > 0 && rng.Intn(2) == 0 {
+			view = graph.FailEdges(g, graph.EdgeID(rng.Intn(g.Size())))
+		}
+		for trial := 0; trial < 15; trial++ {
+			s := graph.NodeID(rng.Intn(n))
+			d := graph.NodeID(rng.Intn(n))
+			want := Compute(view, s).Dist(d)
+			got, ok := BidiDist(view, s, d)
+			if want == Unreachable {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBidiTrivial(t *testing.T) {
+	g := graph.New(2)
+	g.AddEdge(0, 1, 3)
+	if d, ok := BidiDist(g, 0, 0); !ok || d != 0 {
+		t.Errorf("BidiDist(s,s) = %v, %v", d, ok)
+	}
+	if d, ok := BidiDist(g, 0, 1); !ok || d != 3 {
+		t.Errorf("BidiDist = %v, %v", d, ok)
+	}
+}
+
+func TestBidiDirectedPanics(t *testing.T) {
+	g := graph.NewDirected(2)
+	g.AddEdge(0, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on directed view")
+		}
+	}()
+	BidiDist(g, 0, 1)
+}
+
+func TestMatrixMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 40
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(4)))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, float64(1+rng.Intn(4)))
+		}
+	}
+	m, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(g)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if m.Dist(graph.NodeID(s), graph.NodeID(d)) != o.Dist(graph.NodeID(s), graph.NodeID(d)) {
+				t.Fatalf("matrix/oracle mismatch at %d,%d", s, d)
+			}
+		}
+	}
+	if m.Order() != n {
+		t.Errorf("Order = %d", m.Order())
+	}
+}
+
+func TestMatrixDiameter(t *testing.T) {
+	g := graph.New(5) // line: diameter 4
+	for i := 0; i < 4; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	m, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Diameter(); got != 4 {
+		t.Errorf("Diameter = %v, want 4", got)
+	}
+	ecc, ok := m.Eccentricity(2)
+	if !ok || ecc != 2 {
+		t.Errorf("Eccentricity(2) = %v, %v", ecc, ok)
+	}
+}
+
+func TestMatrixDisconnected(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	m, err := AllPairs(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dist(0, 2) != Unreachable {
+		t.Error("unreachable pair has finite distance")
+	}
+	if _, ok := m.Eccentricity(2); ok {
+		t.Error("isolated node has eccentricity")
+	}
+	if m.Diameter() != 1 {
+		t.Errorf("Diameter = %v", m.Diameter())
+	}
+}
+
+func TestMatrixSizeGuard(t *testing.T) {
+	if _, err := AllPairs(graph.New(maxMatrixNodes + 1)); err == nil {
+		t.Error("oversized matrix accepted")
+	}
+}
+
+func BenchmarkBidiVsTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 3000
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(8)))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, float64(1+rng.Intn(8)))
+		}
+	}
+	b.Run("bidirectional", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BidiDist(g, graph.NodeID(i%n), graph.NodeID((i*31+7)%n))
+		}
+	})
+	b.Run("full-tree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			Compute(g, graph.NodeID(i%n)).Dist(graph.NodeID((i*31 + 7) % n))
+		}
+	})
+}

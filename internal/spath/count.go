@@ -1,0 +1,75 @@
+package spath
+
+import (
+	"math"
+	"sort"
+
+	"rbpc/internal/graph"
+)
+
+// CountPaths returns, for every node v, the number of distinct shortest
+// paths from src to v in the view, saturating at math.MaxUint64. Nodes that
+// are unreachable have count 0; the source has count 1 (the trivial path).
+//
+// This implements the paper's "redundancy" denominator: the number of
+// distinct shortest paths between a pair indicates how much ILM space a
+// scheme would need to store every one of them.
+//
+// Counting relaxes the shortest-path DAG in distance order: an edge (u,v)
+// is a DAG edge iff dist(u) + w(u,v) == dist(v). Weights should be exactly
+// representable (integers) for the equality to be reliable; all topology
+// generators in this repository emit integral weights.
+func CountPaths(v graph.View, src graph.NodeID) []uint64 {
+	t := Compute(v, src)
+	n := v.Order()
+	counts := make([]uint64, n)
+	counts[src] = 1
+
+	// Process nodes in increasing distance; among equal distances the order
+	// is irrelevant because DAG edges strictly increase distance (weights
+	// are positive).
+	order := make([]graph.NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		if t.Reached(graph.NodeID(i)) {
+			order = append(order, graph.NodeID(i))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return t.Dist(order[i]) < t.Dist(order[j]) })
+
+	for _, u := range order {
+		cu := counts[u]
+		if cu == 0 {
+			continue
+		}
+		du := t.Dist(u)
+		v.VisitArcs(u, func(a graph.Arc) bool {
+			if du+v.Edge(a.Edge).W == t.Dist(a.To) {
+				counts[a.To] = satAdd(counts[a.To], cu)
+			}
+			return true
+		})
+	}
+	return counts
+}
+
+func satAdd(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64
+	}
+	return a + b
+}
+
+// MaxShortestPathMultiplicity returns the largest number of distinct
+// shortest paths between any pair with source in sources, saturating. The
+// paper's Table 2 reports this as "(max)" in the redundancy column.
+func MaxShortestPathMultiplicity(v graph.View, sources []graph.NodeID) uint64 {
+	var maxC uint64
+	for _, s := range sources {
+		for _, c := range CountPaths(v, s) {
+			if c > maxC {
+				maxC = c
+			}
+		}
+	}
+	return maxC
+}

@@ -1,0 +1,100 @@
+package spath
+
+import (
+	"container/heap"
+
+	"rbpc/internal/graph"
+)
+
+// KShortest returns up to k loopless (simple) shortest paths from s to d
+// in ascending cost order, using Yen's algorithm. It is the engine behind
+// the k-backup restoration baseline: the classic alternative to RBPC that
+// pre-provisions a few alternate paths per pair and hopes one survives.
+//
+// Ties are broken deterministically (by the underlying deterministic
+// shortest-path trees and lexicographic candidate ordering). Returns nil
+// if d is unreachable.
+func KShortest(g *graph.Graph, s, d graph.NodeID, k int) []graph.Path {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := ShortestPath(g, s, d)
+	if !ok {
+		return nil
+	}
+	result := []graph.Path{first}
+	seen := map[string]bool{first.Key(): true}
+	var cands candHeap
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		// Spur from every node of the previous path except the last.
+		for i := 0; i < prev.Hops(); i++ {
+			spurNode := prev.Nodes[i]
+			rootPath := prev.SubPath(0, i)
+
+			// Remove edges that would recreate an already-found path
+			// sharing this root, and remove root nodes (except the spur)
+			// to keep paths simple.
+			var removedEdges []graph.EdgeID
+			for _, p := range result {
+				if p.Hops() > i && rootPath.Equal(p.SubPath(0, i)) {
+					removedEdges = append(removedEdges, p.Edges[i])
+				}
+			}
+			removedNodes := make([]graph.NodeID, 0, i)
+			for _, n := range rootPath.Nodes {
+				if n != spurNode {
+					removedNodes = append(removedNodes, n)
+				}
+			}
+			fv := graph.Fail(g, removedEdges, removedNodes)
+			spur, ok := Compute(fv, spurNode).PathTo(d)
+			if !ok {
+				continue
+			}
+			cand := rootPath.Concat(spur)
+			key := cand.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			heap.Push(&cands, candidate{cost: cand.CostIn(g), hops: cand.Hops(), key: key, path: cand})
+		}
+		if cands.Len() == 0 {
+			break
+		}
+		best := heap.Pop(&cands).(candidate)
+		result = append(result, best.path)
+	}
+	return result
+}
+
+type candidate struct {
+	cost float64
+	hops int
+	key  string
+	path graph.Path
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	if h[i].hops != h[j].hops {
+		return h[i].hops < h[j].hops
+	}
+	return h[i].key < h[j].key
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}

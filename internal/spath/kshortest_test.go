@@ -1,0 +1,168 @@
+package spath
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rbpc/internal/graph"
+)
+
+func TestKShortestSquare(t *testing.T) {
+	// C4: two 2-hop paths between opposite corners, then two 4-hop... no,
+	// simple paths only: exactly two simple paths 0->2.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(3, 0, 1)
+	got := KShortest(g, 0, 2, 5)
+	if len(got) != 2 {
+		t.Fatalf("found %d paths, want 2: %v", len(got), got)
+	}
+	for _, p := range got {
+		if p.Hops() != 2 || !p.IsSimple() {
+			t.Errorf("bad path %v", p)
+		}
+		if err := p.Validate(g); err != nil {
+			t.Errorf("invalid: %v", err)
+		}
+	}
+	if got[0].Equal(got[1]) {
+		t.Error("duplicate paths")
+	}
+}
+
+func TestKShortestOrdering(t *testing.T) {
+	// Diamond with distinct costs: 0-1-3 (cost 2), 0-2-3 (cost 4),
+	// 0-3 direct (cost 5).
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+	g.AddEdge(0, 3, 5)
+	got := KShortest(g, 0, 3, 3)
+	if len(got) != 3 {
+		t.Fatalf("found %d paths", len(got))
+	}
+	costs := []float64{got[0].CostIn(g), got[1].CostIn(g), got[2].CostIn(g)}
+	if costs[0] != 2 || costs[1] != 4 || costs[2] != 5 {
+		t.Errorf("costs = %v, want [2 4 5]", costs)
+	}
+}
+
+func TestKShortestEdgeCases(t *testing.T) {
+	g := graph.New(3)
+	g.AddEdge(0, 1, 1)
+	if got := KShortest(g, 0, 2, 3); got != nil {
+		t.Error("paths to unreachable node")
+	}
+	if got := KShortest(g, 0, 1, 0); got != nil {
+		t.Error("k=0 returned paths")
+	}
+	if got := KShortest(g, 0, 1, 10); len(got) != 1 {
+		t.Errorf("single-path graph returned %d", len(got))
+	}
+	// s == d: the trivial path.
+	if got := KShortest(g, 0, 0, 2); len(got) != 1 || !got[0].IsTrivial() {
+		t.Errorf("KShortest(s,s) = %v", got)
+	}
+}
+
+// TestQuickKShortestProperties: on random graphs, the result is sorted by
+// cost, all paths are simple, valid, distinct, and the first equals the
+// shortest-path distance.
+func TestQuickKShortestProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12)
+		g := graph.New(n)
+		perm := rng.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(4)))
+		}
+		for i := 0; i < 2*n; i++ {
+			u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+			if u != v {
+				g.AddEdge(u, v, float64(1+rng.Intn(4)))
+			}
+		}
+		s := graph.NodeID(rng.Intn(n))
+		d := graph.NodeID(rng.Intn(n))
+		if s == d {
+			return true
+		}
+		k := 1 + rng.Intn(6)
+		got := KShortest(g, s, d, k)
+		if len(got) == 0 || len(got) > k {
+			return false
+		}
+		o := NewOracle(g)
+		if got[0].CostIn(g) != o.Dist(s, d) {
+			return false
+		}
+		keys := make(map[string]bool)
+		prev := -1.0
+		for _, p := range got {
+			if p.Validate(g) != nil || !p.IsSimple() || p.Src() != s || p.Dst() != d {
+				return false
+			}
+			c := p.CostIn(g)
+			if c < prev {
+				return false
+			}
+			prev = c
+			if keys[p.Key()] {
+				return false
+			}
+			keys[p.Key()] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKShortestComplete: K_n between any pair has (n-2) choose
+// lengths... simpler exact check: on K4 with unit weights there are
+// 1 direct + 2 two-hop + 2 three-hop = 5 simple paths between any pair.
+func TestKShortestCompleteK4(t *testing.T) {
+	g := graph.New(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j), 1)
+		}
+	}
+	got := KShortest(g, 0, 3, 10)
+	if len(got) != 5 {
+		t.Fatalf("K4 simple paths = %d, want 5", len(got))
+	}
+	wantHops := []int{1, 2, 2, 3, 3}
+	for i, p := range got {
+		if p.Hops() != wantHops[i] {
+			t.Errorf("path %d hops = %d, want %d", i, p.Hops(), wantHops[i])
+		}
+	}
+}
+
+func BenchmarkKShortest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 100
+	g := graph.New(n)
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(perm[i]), graph.NodeID(perm[rng.Intn(i)]), float64(1+rng.Intn(5)))
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n))
+		if u != v {
+			g.AddEdge(u, v, float64(1+rng.Intn(5)))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KShortest(g, graph.NodeID(i%n), graph.NodeID((i+37)%n), 4)
+	}
+}

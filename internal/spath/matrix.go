@@ -1,0 +1,87 @@
+package spath
+
+import (
+	"fmt"
+
+	"rbpc/internal/graph"
+)
+
+// Matrix is a dense all-pairs shortest-path table: O(1) distance queries
+// at O(n^2) memory. It is the right trade for topologies up to a couple
+// thousand nodes (the ISP and scaled stand-ins); the memoized Oracle
+// covers the paper's 40k-node graph, where a dense table would need
+// 13 GB. BenchmarkAblationOracle quantifies the crossover.
+type Matrix struct {
+	n    int
+	dist []float64
+	hops []int32
+}
+
+// maxMatrixNodes guards against accidentally materializing gigabytes.
+const maxMatrixNodes = 5000
+
+// AllPairs computes the dense table by running SSSP from every node.
+func AllPairs(v graph.View) (*Matrix, error) {
+	n := v.Order()
+	if n > maxMatrixNodes {
+		return nil, fmt.Errorf("spath: AllPairs on %d nodes would need %d MB; use an Oracle",
+			n, (n*n*12)>>20)
+	}
+	m := &Matrix{
+		n:    n,
+		dist: make([]float64, n*n),
+		hops: make([]int32, n*n),
+	}
+	for s := 0; s < n; s++ {
+		t := Compute(v, graph.NodeID(s))
+		row := s * n
+		for d := 0; d < n; d++ {
+			m.dist[row+d] = t.Dist(graph.NodeID(d))
+			m.hops[row+d] = int32(t.Hops(graph.NodeID(d)))
+		}
+	}
+	return m, nil
+}
+
+// Dist returns the shortest-path distance, or Unreachable.
+func (m *Matrix) Dist(s, d graph.NodeID) float64 { return m.dist[int(s)*m.n+int(d)] }
+
+// Hops returns the hop count of the canonical shortest path; meaningful
+// only when Dist != Unreachable.
+func (m *Matrix) Hops(s, d graph.NodeID) int { return int(m.hops[int(s)*m.n+int(d)]) }
+
+// Order returns the node count.
+func (m *Matrix) Order() int { return m.n }
+
+// Eccentricity returns the greatest finite distance from s, and whether s
+// reaches anything.
+func (m *Matrix) Eccentricity(s graph.NodeID) (float64, bool) {
+	var ecc float64
+	seen := false
+	row := int(s) * m.n
+	for d := 0; d < m.n; d++ {
+		if graph.NodeID(d) == s {
+			continue
+		}
+		dd := m.dist[row+d]
+		if dd == Unreachable {
+			continue
+		}
+		seen = true
+		if dd > ecc {
+			ecc = dd
+		}
+	}
+	return ecc, seen
+}
+
+// Diameter returns the largest finite pairwise distance.
+func (m *Matrix) Diameter() float64 {
+	var dia float64
+	for s := 0; s < m.n; s++ {
+		if e, ok := m.Eccentricity(graph.NodeID(s)); ok && e > dia {
+			dia = e
+		}
+	}
+	return dia
+}

@@ -1,0 +1,94 @@
+package spath
+
+import (
+	"sync"
+
+	"rbpc/internal/graph"
+)
+
+// Oracle memoizes shortest-path trees per source over a fixed view. It is
+// the component that keeps the 40k-node Internet topology tractable: the
+// paper's methodology samples source-destination pairs, so only the sampled
+// sources' trees are ever computed, instead of a quadratic all-pairs matrix.
+//
+// Oracle is safe for concurrent use.
+type Oracle struct {
+	view graph.View
+
+	mu    sync.RWMutex
+	trees map[graph.NodeID]*Tree
+	cap   int
+}
+
+// NewOracle returns an Oracle over v. The view must not change afterwards
+// (build a new Oracle per failure view).
+func NewOracle(v graph.View) *Oracle {
+	return &Oracle{view: v, trees: make(map[graph.NodeID]*Tree)}
+}
+
+// View returns the view the oracle answers for.
+func (o *Oracle) View() graph.View { return o.view }
+
+// Tree returns the (memoized) shortest-path tree rooted at s.
+func (o *Oracle) Tree(s graph.NodeID) *Tree {
+	o.mu.RLock()
+	t := o.trees[s]
+	o.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	t = Compute(o.view, s)
+	o.mu.Lock()
+	// Another goroutine may have raced us; keep the first stored tree so
+	// callers always observe one consistent tree per source.
+	if prev, ok := o.trees[s]; ok {
+		t = prev
+	} else {
+		if o.cap > 0 && len(o.trees) >= o.cap {
+			// Evict an arbitrary tree: memoization is a cache, and on the
+			// 40k-node Internet topology unbounded retention would hold
+			// hundreds of megabytes.
+			for k := range o.trees {
+				delete(o.trees, k)
+				break
+			}
+		}
+		o.trees[s] = t
+	}
+	o.mu.Unlock()
+	return t
+}
+
+// SetCap bounds the number of memoized trees (0 = unbounded). When full,
+// an arbitrary tree is evicted to admit a new one.
+func (o *Oracle) SetCap(n int) {
+	o.mu.Lock()
+	o.cap = n
+	o.mu.Unlock()
+}
+
+// Dist returns the shortest-path distance from s to d, or Unreachable.
+func (o *Oracle) Dist(s, d graph.NodeID) float64 {
+	return o.Tree(s).Dist(d)
+}
+
+// Path returns the canonical shortest path from s to d.
+func (o *Oracle) Path(s, d graph.NodeID) (graph.Path, bool) {
+	return o.Tree(s).PathTo(d)
+}
+
+// IsShortest reports whether p is a shortest path between its endpoints
+// under the oracle's view, i.e. whether its cost equals the shortest-path
+// distance. Costs are compared exactly; views with padded weights remain
+// consistent because both sides are computed from the same perturbed
+// weights.
+func (o *Oracle) IsShortest(p graph.Path) bool {
+	return p.CostIn(o.view) == o.Dist(p.Src(), p.Dst())
+}
+
+// CachedTrees reports how many source trees are currently memoized.
+func (o *Oracle) CachedTrees() int {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return len(o.trees)
+}

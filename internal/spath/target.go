@@ -1,0 +1,87 @@
+package spath
+
+import (
+	"rbpc/internal/graph"
+	"rbpc/internal/pqueue"
+)
+
+// DistTo returns the shortest-path distance and hop count from s to t in
+// v, terminating the search as soon as t is settled. It exists for
+// workloads like the paper's Table 3 (the bypass length of every edge),
+// where the target is typically a couple of hops away and a full SSSP per
+// query would be wasteful.
+//
+// The boolean result is false if t is unreachable.
+func DistTo(v graph.View, s, t graph.NodeID) (dist float64, hops int, ok bool) {
+	if s == t {
+		return 0, 0, true
+	}
+	if v.UnitWeights() {
+		return bfsTo(v, s, t)
+	}
+	return dijkstraTo(v, s, t)
+}
+
+func bfsTo(v graph.View, s, t graph.NodeID) (float64, int, bool) {
+	n := v.Order()
+	distv := make([]int32, n)
+	for i := range distv {
+		distv[i] = -1
+	}
+	distv[s] = 0
+	queue := []graph.NodeID{s}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		found := false
+		v.VisitArcs(u, func(a graph.Arc) bool {
+			if distv[a.To] == -1 {
+				distv[a.To] = distv[u] + 1
+				if a.To == t {
+					found = true
+					return false
+				}
+				queue = append(queue, a.To)
+			}
+			return true
+		})
+		if found {
+			return float64(distv[t]), int(distv[t]), true
+		}
+	}
+	return Unreachable, 0, false
+}
+
+func dijkstraTo(v graph.View, s, t graph.NodeID) (float64, int, bool) {
+	n := v.Order()
+	dist := make([]float64, n)
+	hops := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[s] = 0
+	h := pqueue.New(n)
+	h.Push(int(s), 0)
+	for h.Len() > 0 {
+		ui, du := h.Pop()
+		u := graph.NodeID(ui)
+		if du > dist[u] {
+			continue
+		}
+		if u == t {
+			return dist[t], int(hops[t]), true
+		}
+		v.VisitArcs(u, func(a graph.Arc) bool {
+			nd := du + v.Edge(a.Edge).W
+			switch {
+			case nd < dist[a.To]:
+				dist[a.To] = nd
+				hops[a.To] = hops[u] + 1
+				h.PushOrDecrease(int(a.To), nd)
+			case nd == dist[a.To] && hops[u]+1 < hops[a.To]:
+				hops[a.To] = hops[u] + 1
+			}
+			return true
+		})
+	}
+	return Unreachable, 0, false
+}

@@ -1,0 +1,177 @@
+// Package spath is the shortest-path engine of the RBPC reproduction.
+//
+// It provides single-source shortest paths (BFS on unit-weight views,
+// Dijkstra otherwise) with deterministic lexicographic tie-breaking, a
+// memoizing distance oracle, shortest-path counting (the paper's redundancy
+// metric), and "infinitesimal padding" views that make shortest paths unique
+// (the construction behind the paper's Theorem 3).
+package spath
+
+import (
+	"math"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/pqueue"
+)
+
+// Unreachable is the distance reported for nodes not reachable from the
+// source.
+const Unreachable = math.MaxFloat64
+
+// Tree is a single-source shortest-path tree. Among equally short paths the
+// tree holds the lexicographically least one by (hop count, parent node ID,
+// parent edge ID), evaluated bottom-up, so trees are deterministic for a
+// given view regardless of iteration order.
+type Tree struct {
+	Source graph.NodeID
+
+	dist    []float64
+	hops    []int32
+	parent  []graph.NodeID // parent[v] is the predecessor of v; -1 at source/unreached
+	parentE []graph.EdgeID // parentE[v] is the edge from parent[v] to v
+}
+
+// Dist returns the distance from the source to v, or Unreachable.
+func (t *Tree) Dist(v graph.NodeID) float64 { return t.dist[v] }
+
+// Hops returns the hop count of the tree path to v. It is meaningful only
+// if Reached(v).
+func (t *Tree) Hops(v graph.NodeID) int { return int(t.hops[v]) }
+
+// Reached reports whether v is reachable from the source.
+func (t *Tree) Reached(v graph.NodeID) bool { return t.dist[v] != Unreachable }
+
+// Parent returns the tree predecessor of v and the connecting edge.
+// At the source or an unreached node it returns (-1, -1).
+func (t *Tree) Parent(v graph.NodeID) (graph.NodeID, graph.EdgeID) {
+	return t.parent[v], t.parentE[v]
+}
+
+// PathTo reconstructs the tree path from the source to v. The second result
+// is false if v is unreachable.
+func (t *Tree) PathTo(v graph.NodeID) (graph.Path, bool) {
+	if !t.Reached(v) {
+		return graph.Path{}, false
+	}
+	n := int(t.hops[v])
+	p := graph.Path{
+		Nodes: make([]graph.NodeID, n+1),
+		Edges: make([]graph.EdgeID, n),
+	}
+	at := v
+	for i := n; i > 0; i-- {
+		p.Nodes[i] = at
+		p.Edges[i-1] = t.parentE[at]
+		at = t.parent[at]
+	}
+	p.Nodes[0] = at
+	return p, true
+}
+
+// Compute runs the appropriate SSSP algorithm on v from src: BFS when all
+// usable weights are 1, Dijkstra otherwise.
+func Compute(v graph.View, src graph.NodeID) *Tree {
+	if v.UnitWeights() {
+		return bfs(v, src)
+	}
+	return dijkstra(v, src)
+}
+
+func newTree(n int, src graph.NodeID) *Tree {
+	t := &Tree{
+		Source:  src,
+		dist:    make([]float64, n),
+		hops:    make([]int32, n),
+		parent:  make([]graph.NodeID, n),
+		parentE: make([]graph.EdgeID, n),
+	}
+	for i := 0; i < n; i++ {
+		t.dist[i] = Unreachable
+		t.parent[i] = -1
+		t.parentE[i] = -1
+	}
+	return t
+}
+
+// betterParent reports whether candidate (hops, parent node, parent edge)
+// precedes the incumbent lexicographically.
+func betterParent(h int32, p graph.NodeID, e graph.EdgeID, ch int32, cp graph.NodeID, ce graph.EdgeID) bool {
+	if h != ch {
+		return h < ch
+	}
+	if p != cp {
+		return p < cp
+	}
+	return e < ce
+}
+
+func bfs(v graph.View, src graph.NodeID) *Tree {
+	t := newTree(v.Order(), src)
+	t.dist[src] = 0
+	queue := make([]graph.NodeID, 0, 64)
+	queue = append(queue, src)
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := t.dist[u]
+		v.VisitArcs(u, func(a graph.Arc) bool {
+			switch {
+			case t.dist[a.To] == Unreachable:
+				t.dist[a.To] = du + 1
+				t.hops[a.To] = t.hops[u] + 1
+				t.parent[a.To] = u
+				t.parentE[a.To] = a.Edge
+				queue = append(queue, a.To)
+			case t.dist[a.To] == du+1:
+				// Same level: keep the lexicographically least parent so
+				// trees are deterministic.
+				if betterParent(t.hops[u]+1, u, a.Edge, t.hops[a.To], t.parent[a.To], t.parentE[a.To]) {
+					t.parent[a.To] = u
+					t.parentE[a.To] = a.Edge
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+func dijkstra(v graph.View, src graph.NodeID) *Tree {
+	n := v.Order()
+	t := newTree(n, src)
+	t.dist[src] = 0
+	h := pqueue.New(n)
+	h.Push(int(src), 0)
+	for h.Len() > 0 {
+		ui, du := h.Pop()
+		u := graph.NodeID(ui)
+		if du > t.dist[u] {
+			continue // stale entry (we push fresh entries instead of decrease-key on revisit)
+		}
+		v.VisitArcs(u, func(a graph.Arc) bool {
+			w := v.Edge(a.Edge).W
+			nd := du + w
+			switch {
+			case nd < t.dist[a.To]:
+				t.dist[a.To] = nd
+				t.hops[a.To] = t.hops[u] + 1
+				t.parent[a.To] = u
+				t.parentE[a.To] = a.Edge
+				h.PushOrDecrease(int(a.To), nd)
+			case nd == t.dist[a.To]:
+				if betterParent(t.hops[u]+1, u, a.Edge, t.hops[a.To], t.parent[a.To], t.parentE[a.To]) {
+					t.hops[a.To] = t.hops[u] + 1
+					t.parent[a.To] = u
+					t.parentE[a.To] = a.Edge
+				}
+			}
+			return true
+		})
+	}
+	return t
+}
+
+// ShortestPath returns a shortest path from s to d in v, or false if d is
+// unreachable. The path is the deterministic tree path (see Tree).
+func ShortestPath(v graph.View, s, d graph.NodeID) (graph.Path, bool) {
+	return Compute(v, s).PathTo(d)
+}

@@ -1,0 +1,200 @@
+// Package subnet maintains families of shortest paths over restrictions
+// of the network, the deployment style the paper's introduction motivates:
+//
+//	"Leading designs of QoS routing and traffic engineering in MPLS
+//	clouds suggest employing shortest path routing over subnets of the
+//	original network. Such restrictions might be the subnetwork that
+//	consists of all the OC48 links, all the links with available
+//	capacity over some timescale, or all the links with delay below an
+//	appropriate threshold."
+//
+// A Manager holds one restoration family per traffic class: the
+// restricted topology, its base set, and a restorer. A failure in the
+// parent network maps into each subnet and is restored *within* that
+// subnet, so a gold-class path never falls back onto copper links. The
+// theorems apply per subnet: a restriction of the network is just a
+// network.
+package subnet
+
+import (
+	"fmt"
+	"sort"
+
+	"rbpc/internal/core"
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+)
+
+// Subnet is a restriction of a parent graph to the edges accepted by a
+// predicate. Node IDs are shared with the parent; edge IDs are remapped
+// (the subnet is its own dense graph) with translations kept both ways.
+type Subnet struct {
+	Name string
+	// G is the restricted topology.
+	G *graph.Graph
+
+	toSub   map[graph.EdgeID]graph.EdgeID
+	fromSub []graph.EdgeID
+}
+
+// Extract builds the subnet of parent containing exactly the edges for
+// which keep returns true.
+func Extract(parent *graph.Graph, name string, keep func(graph.Edge) bool) *Subnet {
+	s := &Subnet{
+		Name:  name,
+		G:     graph.New(parent.Order()),
+		toSub: make(map[graph.EdgeID]graph.EdgeID),
+	}
+	for _, e := range parent.Edges() {
+		if !keep(e) {
+			continue
+		}
+		sub := s.G.AddEdge(e.U, e.V, e.W)
+		s.toSub[e.ID] = sub
+		s.fromSub = append(s.fromSub, e.ID)
+	}
+	return s
+}
+
+// Contains reports whether the parent edge survives into the subnet.
+func (s *Subnet) Contains(parentEdge graph.EdgeID) bool {
+	_, ok := s.toSub[parentEdge]
+	return ok
+}
+
+// ToParent translates a subnet edge ID back to the parent's.
+func (s *Subnet) ToParent(subEdge graph.EdgeID) graph.EdgeID {
+	return s.fromSub[subEdge]
+}
+
+// MapFailures translates parent-edge failures into the subnet, dropping
+// failures of edges the subnet does not carry.
+func (s *Subnet) MapFailures(parentEdges []graph.EdgeID) []graph.EdgeID {
+	var out []graph.EdgeID
+	for _, e := range parentEdges {
+		if sub, ok := s.toSub[e]; ok {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// PathToParent translates a path through the subnet into the parent's
+// edge IDs (nodes are shared).
+func (s *Subnet) PathToParent(p graph.Path) graph.Path {
+	out := graph.Path{
+		Nodes: append([]graph.NodeID(nil), p.Nodes...),
+		Edges: make([]graph.EdgeID, len(p.Edges)),
+	}
+	for i, e := range p.Edges {
+		out.Edges[i] = s.fromSub[e]
+	}
+	return out
+}
+
+// Family is one traffic class: a subnet with its base set and restorer.
+type Family struct {
+	Subnet   *Subnet
+	Base     paths.Base
+	Restorer *core.Restorer
+}
+
+// Manager routes and restores per traffic class over a shared parent
+// topology.
+type Manager struct {
+	parent   *graph.Graph
+	families map[string]*Family
+	order    []string
+}
+
+// NewManager returns a Manager over the parent topology with no classes.
+func NewManager(parent *graph.Graph) *Manager {
+	return &Manager{parent: parent, families: make(map[string]*Family)}
+}
+
+// AddClass registers a traffic class whose routes are shortest paths of
+// the subnet selected by keep. Strategy selects the decomposition (greedy
+// needs the subpath-closed all-shortest base it gets here).
+func (m *Manager) AddClass(name string, keep func(graph.Edge) bool, strategy core.Strategy) (*Family, error) {
+	if _, dup := m.families[name]; dup {
+		return nil, fmt.Errorf("subnet: duplicate class %q", name)
+	}
+	sub := Extract(m.parent, name, keep)
+	if sub.G.Size() == 0 {
+		return nil, fmt.Errorf("subnet: class %q selects no edges", name)
+	}
+	var base paths.Base
+	switch strategy {
+	case core.StrategyGreedy:
+		base = paths.NewAllShortest(sub.G)
+	case core.StrategySparse:
+		base = paths.NewUniqueShortest(sub.G)
+	default:
+		return nil, fmt.Errorf("subnet: class %q: unknown strategy %v", name, strategy)
+	}
+	f := &Family{Subnet: sub, Base: base, Restorer: core.NewRestorer(base, strategy)}
+	m.families[name] = f
+	m.order = append(m.order, name)
+	return f, nil
+}
+
+// Class returns a registered family.
+func (m *Manager) Class(name string) (*Family, bool) {
+	f, ok := m.families[name]
+	return f, ok
+}
+
+// Classes returns the registered class names in registration order.
+func (m *Manager) Classes() []string {
+	return append([]string(nil), m.order...)
+}
+
+// Route returns the class's current route between s and d over the
+// unfailed subnet, in parent edge IDs.
+func (m *Manager) Route(class string, s, d graph.NodeID) (graph.Path, bool) {
+	f, ok := m.families[class]
+	if !ok {
+		return graph.Path{}, false
+	}
+	p, ok := f.Base.Between(s, d)
+	if !ok {
+		return graph.Path{}, false
+	}
+	return f.Subnet.PathToParent(p), true
+}
+
+// Restore computes a restoration for the pair within the class's subnet,
+// after the given parent-edge failures. The returned plan's paths are in
+// parent edge IDs. Failures of edges outside the subnet do not affect
+// the class (its routes never used them).
+func (m *Manager) Restore(class string, failedParentEdges []graph.EdgeID, s, d graph.NodeID) (core.Plan, error) {
+	f, ok := m.families[class]
+	if !ok {
+		return core.Plan{}, fmt.Errorf("subnet: unknown class %q", class)
+	}
+	subFailed := f.Subnet.MapFailures(failedParentEdges)
+	fv := graph.FailEdges(f.Subnet.G, subFailed...)
+	plan, err := f.Restorer.Restore(fv, s, d)
+	if err != nil {
+		return core.Plan{}, fmt.Errorf("subnet: class %q: %w", class, err)
+	}
+	// Translate to parent IDs.
+	plan.Backup = f.Subnet.PathToParent(plan.Backup)
+	for i := range plan.Decomp.Components {
+		plan.Decomp.Components[i].Path = f.Subnet.PathToParent(plan.Decomp.Components[i].Path)
+	}
+	return plan, nil
+}
+
+// AffectedClasses returns the names of classes that carry the failed
+// parent edge (sorted), i.e. whose families must react.
+func (m *Manager) AffectedClasses(parentEdge graph.EdgeID) []string {
+	var out []string
+	for name, f := range m.families {
+		if f.Subnet.Contains(parentEdge) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

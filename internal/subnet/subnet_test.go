@@ -1,0 +1,240 @@
+package subnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/core"
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+	"rbpc/internal/topology"
+)
+
+// tieredGraph builds a graph with fast (weight 1) and slow (weight 5)
+// links: a fast 6-ring plus slow chords.
+func tieredGraph() *graph.Graph {
+	g := topology.Ring(6) // edges 0..5, weight 1 = "fast"
+	g.AddEdge(0, 3, 5)    // slow chords
+	g.AddEdge(1, 4, 5)
+	g.AddEdge(2, 5, 5)
+	return g
+}
+
+func fast(e graph.Edge) bool { return e.W == 1 }
+func slow(e graph.Edge) bool { return e.W > 1 }
+
+func TestExtract(t *testing.T) {
+	g := tieredGraph()
+	sub := Extract(g, "fast", fast)
+	if sub.G.Size() != 6 || sub.G.Order() != g.Order() {
+		t.Fatalf("fast subnet: %d edges, %d nodes", sub.G.Size(), sub.G.Order())
+	}
+	// Mapping round-trips.
+	for subID := 0; subID < sub.G.Size(); subID++ {
+		parent := sub.ToParent(graph.EdgeID(subID))
+		if !sub.Contains(parent) {
+			t.Errorf("Contains(%d) false for mapped edge", parent)
+		}
+		pe, se := g.Edge(parent), sub.G.Edge(graph.EdgeID(subID))
+		if pe.U != se.U || pe.V != se.V || pe.W != se.W {
+			t.Errorf("edge mismatch: parent %+v subnet %+v", pe, se)
+		}
+	}
+	// Slow edges are not contained.
+	for _, e := range g.Edges() {
+		if slow(e) && sub.Contains(e.ID) {
+			t.Errorf("slow edge %d in fast subnet", e.ID)
+		}
+	}
+}
+
+func TestMapFailures(t *testing.T) {
+	g := tieredGraph()
+	sub := Extract(g, "fast", fast)
+	slowEdge := graph.EdgeID(6) // the 0-3 chord
+	fastEdge := graph.EdgeID(0)
+	mapped := sub.MapFailures([]graph.EdgeID{slowEdge, fastEdge})
+	if len(mapped) != 1 {
+		t.Fatalf("mapped = %v, want only the fast edge", mapped)
+	}
+	if sub.ToParent(mapped[0]) != fastEdge {
+		t.Errorf("wrong mapping")
+	}
+}
+
+func TestManagerRouteAndRestore(t *testing.T) {
+	g := tieredGraph()
+	m := NewManager(g)
+	if _, err := m.AddClass("gold", fast, core.StrategyGreedy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddClass("any", func(graph.Edge) bool { return true }, core.StrategyGreedy); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gold route 0->3 must stay on fast links: around the ring (3 hops),
+	// never the weight-5 chord even though it is 1 hop.
+	p, ok := m.Route("gold", 0, 3)
+	if !ok {
+		t.Fatal("no gold route")
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("parent-translated route invalid: %v", err)
+	}
+	for _, e := range p.Edges {
+		if slow(g.Edge(e)) {
+			t.Errorf("gold route uses slow edge %d", e)
+		}
+	}
+
+	// Fail a fast link on that route; the gold restoration must stay
+	// within the fast subnet.
+	failed := p.Edges[0]
+	plan, err := m.Restore("gold", []graph.EdgeID{failed}, 0, 3)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if err := plan.Backup.Validate(g); err != nil {
+		t.Fatalf("backup invalid in parent: %v", err)
+	}
+	for _, e := range plan.Backup.Edges {
+		if slow(g.Edge(e)) {
+			t.Errorf("gold restoration left the fast subnet: edge %d", e)
+		}
+		if e == failed {
+			t.Error("restoration uses the failed edge")
+		}
+	}
+	// Theorem 1 within the subnet: one failure -> at most 2 components.
+	if plan.PCLength() > 2 {
+		t.Errorf("gold restoration used %d components", plan.PCLength())
+	}
+
+	// The "any" class may use slow links and restores too.
+	plan2, err := m.Restore("any", []graph.EdgeID{failed}, 0, 3)
+	if err != nil {
+		t.Fatalf("any-class restore: %v", err)
+	}
+	if plan2.Backup.Hops() == 0 {
+		t.Error("empty any-class backup")
+	}
+}
+
+func TestManagerErrors(t *testing.T) {
+	g := tieredGraph()
+	m := NewManager(g)
+	if _, err := m.AddClass("x", fast, core.StrategyGreedy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddClass("x", fast, core.StrategyGreedy); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if _, err := m.AddClass("empty", func(graph.Edge) bool { return false }, core.StrategyGreedy); err == nil {
+		t.Error("empty class accepted")
+	}
+	if _, err := m.AddClass("bad", fast, core.Strategy(9)); err == nil {
+		t.Error("bad strategy accepted")
+	}
+	if _, err := m.Restore("ghost", nil, 0, 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, ok := m.Route("ghost", 0, 1); ok {
+		t.Error("route on unknown class")
+	}
+	if _, ok := m.Class("x"); !ok {
+		t.Error("Class lookup failed")
+	}
+	if got := m.Classes(); len(got) != 1 || got[0] != "x" {
+		t.Errorf("Classes = %v", got)
+	}
+}
+
+func TestRestoreDisconnectedWithinClass(t *testing.T) {
+	// The fast subnet of the tiered graph is a ring: failing two fast
+	// links partitions it even though the parent stays connected via the
+	// slow chords. The gold class must report disconnection, NOT spill
+	// onto slow links.
+	g := tieredGraph()
+	m := NewManager(g)
+	if _, err := m.AddClass("gold", fast, core.StrategyGreedy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Restore("gold", []graph.EdgeID{0, 3}, 0, 1); err == nil {
+		t.Error("gold class restored across a class partition")
+	}
+	// Sanity: the parent itself is still connected.
+	if !graph.Connected(graph.FailEdges(g, 0, 3)) {
+		t.Fatal("test setup: parent should stay connected")
+	}
+}
+
+func TestAffectedClasses(t *testing.T) {
+	g := tieredGraph()
+	m := NewManager(g)
+	m.AddClass("gold", fast, core.StrategyGreedy)
+	m.AddClass("bulk", slow, core.StrategySparse)
+	m.AddClass("any", func(graph.Edge) bool { return true }, core.StrategyGreedy)
+
+	got := m.AffectedClasses(0) // fast edge
+	if len(got) != 2 || got[0] != "any" || got[1] != "gold" {
+		t.Errorf("AffectedClasses(fast) = %v", got)
+	}
+	got = m.AffectedClasses(6) // slow chord
+	if len(got) != 2 || got[0] != "any" || got[1] != "bulk" {
+		t.Errorf("AffectedClasses(slow) = %v", got)
+	}
+}
+
+func TestSparseClassOnISP(t *testing.T) {
+	// Realistic use: core-only class on the ISP topology with the
+	// padded-unique base and sparse restoration.
+	g := topology.PaperISP(3)
+	m := NewManager(g)
+	coreOnly := func(e graph.Edge) bool { return e.W <= 3 } // core tier weights
+	f, err := m.AddClass("core", coreOnly, core.StrategySparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graph.Connected(f.Subnet.G) {
+		// Core+agg tiers are connected by construction; if this fires the
+		// generator changed shape.
+		comps := graph.Components(f.Subnet.G)
+		biggest := 0
+		for _, c := range comps {
+			if len(c) > biggest {
+				biggest = len(c)
+			}
+		}
+		t.Logf("core subnet has %d components (largest %d)", len(comps), biggest)
+	}
+	// Restore a few random core-subnet pairs after a subnet link failure.
+	rng := rand.New(rand.NewSource(4))
+	o := spath.NewOracle(f.Subnet.G)
+	restored := 0
+	for try := 0; try < 50 && restored < 5; try++ {
+		s := graph.NodeID(rng.Intn(g.Order()))
+		d := graph.NodeID(rng.Intn(g.Order()))
+		if s == d {
+			continue
+		}
+		p, ok := o.Path(s, d)
+		if !ok || p.Hops() == 0 {
+			continue
+		}
+		parentEdge := f.Subnet.ToParent(p.Edges[0])
+		plan, err := m.Restore("core", []graph.EdgeID{parentEdge}, s, d)
+		if err != nil {
+			continue // partitioned within the class; fine
+		}
+		if err := plan.Backup.Validate(g); err != nil {
+			t.Fatalf("backup invalid: %v", err)
+		}
+		if plan.Backup.HasEdge(parentEdge) {
+			t.Fatal("backup uses failed edge")
+		}
+		restored++
+	}
+	if restored == 0 {
+		t.Error("no successful class restorations")
+	}
+}

@@ -1,0 +1,149 @@
+package topology
+
+import (
+	"fmt"
+
+	"rbpc/internal/graph"
+)
+
+// Gadget is a deterministic construction from one of the paper's figures:
+// a graph together with the failure set and the (s, t) pair that exhibit
+// the claimed behaviour.
+type Gadget struct {
+	G           *graph.Graph
+	FailedEdges []graph.EdgeID
+	S, T        graph.NodeID
+}
+
+// Comb builds the Figure-2 construction showing Theorem 1 is tight: an
+// unweighted graph where, after the k returned edge failures, the unique
+// surviving s-t path cannot be partitioned into fewer than k+1 original
+// shortest paths.
+//
+// Layout: a spine x_0..x_{2k}; over each spine edge (x_{2i}, x_{2i+1})
+// sits a tooth node T_i joined to both endpoints. The failures are exactly
+// the k spine edges under teeth. A tooth top cannot be interior to any
+// shortest path (the 2-hop detour over it competes with the direct spine
+// edge), so the restored path must break at every tooth top: k interior
+// break points, hence k+1 pieces.
+func Comb(k int) Gadget {
+	if k < 1 {
+		panic(fmt.Sprintf("topology: Comb(%d) needs k >= 1", k))
+	}
+	spine := 2*k + 1
+	g := graph.New(spine + k)
+	tooth := func(i int) graph.NodeID { return graph.NodeID(spine + i) }
+	var failed []graph.EdgeID
+	for i := 0; i < spine-1; i++ {
+		id := g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+		if i%2 == 0 && i/2 < k {
+			failed = append(failed, id)
+		}
+	}
+	for i := 0; i < k; i++ {
+		g.AddEdge(graph.NodeID(2*i), tooth(i), 1)
+		g.AddEdge(tooth(i), graph.NodeID(2*i+1), 1)
+	}
+	return Gadget{G: g, FailedEdges: failed, S: 0, T: graph.NodeID(spine - 1)}
+}
+
+// WeightedTight builds the Figure-3 construction showing Theorem 2 is
+// tight: a weighted graph where, after the k returned failures, the new
+// shortest path necessarily interleaves k+1 original shortest paths with k
+// bare edges.
+//
+// Layout: a chain of k+1 unit edges separated by k parallel-edge pairs. In
+// each pair the cheap edge (weight 2) fails and the dear edge (weight 3)
+// survives. A dear edge participates in no original shortest path (its
+// cheap twin is strictly shorter), so it can only be covered as a bare
+// edge; the k+1 unit edges are the k+1 shortest-path components.
+func WeightedTight(k int) Gadget {
+	if k < 1 {
+		panic(fmt.Sprintf("topology: WeightedTight(%d) needs k >= 1", k))
+	}
+	// Nodes: v_0 .. v_{2k+1}; unit edges (v_{2i}, v_{2i+1}); pairs between
+	// (v_{2i+1}, v_{2i+2}).
+	n := 2*k + 2
+	g := graph.New(n)
+	var failed []graph.EdgeID
+	for i := 0; i <= k; i++ {
+		g.AddEdge(graph.NodeID(2*i), graph.NodeID(2*i+1), 1)
+		if i < k {
+			cheap := g.AddEdge(graph.NodeID(2*i+1), graph.NodeID(2*i+2), 2)
+			g.AddEdge(graph.NodeID(2*i+1), graph.NodeID(2*i+2), 3) // dear twin
+			failed = append(failed, cheap)
+		}
+	}
+	return Gadget{G: g, FailedEdges: failed, S: 0, T: graph.NodeID(n - 1)}
+}
+
+// StarOfPairs builds the Figure-4 construction: a hub v adjacent to every
+// node of a line w_0..w_{m}. Every non-adjacent pair is at distance 2 (via
+// the hub), so when the hub fails, the unique surviving s-t path is the
+// line, and any partition into original shortest paths needs at least
+// ceil(m/2) ~ (n-2)/2 pieces. The failure here is the hub node, returned
+// as Hub; FailedEdges is empty.
+func StarOfPairs(m int) (Gadget, graph.NodeID) {
+	if m < 3 {
+		panic(fmt.Sprintf("topology: StarOfPairs(%d) needs m >= 3", m))
+	}
+	g := graph.New(m + 2)
+	hub := graph.NodeID(m + 1)
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	for i := 0; i <= m; i++ {
+		g.AddEdge(graph.NodeID(i), hub, 1)
+	}
+	return Gadget{G: g, S: 0, T: graph.NodeID(m)}, hub
+}
+
+// DirectedCounterexample builds a Figure-5-style directed gadget showing
+// Theorem 1 fails on directed graphs: after the single returned edge
+// failure, the new shortest s-t path needs Omega(m) original shortest
+// paths, not 2.
+//
+// Layout: a directed chain s=c_0 -> c_1 -> ... -> c_m = t of unit edges,
+// plus a "highway" a -> b with c_i -> a and b -> c_j arcs from and to every
+// chain node (all unit). Any chain subpath of 4 or more hops is beaten by
+// the 3-hop highway route, so original shortest paths along the chain have
+// at most 3 hops; when the highway edge (a, b) fails, the chain is the
+// unique s-t route and needs at least ceil(m/3) ~ (n-2)/3 pieces — the
+// paper's Figure-5 bound.
+func DirectedCounterexample(m int) Gadget {
+	if m < 3 {
+		panic(fmt.Sprintf("topology: DirectedCounterexample(%d) needs m >= 3", m))
+	}
+	// Nodes: chain 0..m, a = m+1, b = m+2.
+	g := graph.NewDirected(m + 3)
+	a := graph.NodeID(m + 1)
+	b := graph.NodeID(m + 2)
+	for i := 0; i < m; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	highway := g.AddEdge(a, b, 1)
+	for i := 0; i <= m; i++ {
+		g.AddEdge(graph.NodeID(i), a, 1)
+		g.AddEdge(b, graph.NodeID(i), 1)
+	}
+	return Gadget{G: g, FailedEdges: []graph.EdgeID{highway}, S: 0, T: graph.NodeID(m)}
+}
+
+// ParallelChain builds the Theorem-3 discussion example: 2k+2 nodes in a
+// line with two parallel unit edges between each consecutive pair. With a
+// padded base set, failing the chosen edge of every second pair forces
+// restoration paths of 2k+1 components, while a cleverer base set gets by
+// with 2.
+func ParallelChain(k int) *graph.Graph {
+	n := 2*k + 2
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+// FourCycle returns C4, the paper's minimal example showing that with one
+// shortest path per pair, some single failure needs three components.
+func FourCycle() *graph.Graph { return Ring(4) }

@@ -1,0 +1,196 @@
+// Package topology builds the networks the RBPC reproduction runs on:
+// deterministic gadgets from the paper's figures (tightness constructions),
+// classic random families (Waxman, Barabási–Albert), and synthetic
+// stand-ins for the paper's three measured topologies (a large ISP, the AS
+// graph, the Internet router graph), whose originals are proprietary or no
+// longer available.
+//
+// All generators are deterministic given their seed, and all emit integral
+// edge weights so exact float comparison of path costs is sound.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rbpc/internal/graph"
+)
+
+// Line returns the path graph 0-1-...-n-1 with unit weights.
+func Line(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	return g
+}
+
+// Ring returns the n-cycle with unit weights. It panics for n < 3.
+func Ring(n int) *graph.Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("topology: Ring(%d) needs n >= 3", n))
+	}
+	g := Line(n)
+	g.AddEdge(graph.NodeID(n-1), 0, 1)
+	return g
+}
+
+// Grid returns the rows x cols grid graph with unit weights. Node (r, c)
+// has ID r*cols + c.
+func Grid(rows, cols int) *graph.Graph {
+	g := graph.New(rows * cols)
+	id := func(r, c int) graph.NodeID { return graph.NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1), 1)
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c), 1)
+			}
+		}
+	}
+	return g
+}
+
+// Complete returns the complete graph K_n with unit weights.
+func Complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j), 1)
+		}
+	}
+	return g
+}
+
+// RandomTree returns a uniformly random labelled spanning tree on n nodes
+// (random attachment), unit weights.
+func RandomTree(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(rng.Intn(i)), 1)
+	}
+	return g
+}
+
+// Waxman returns a Waxman random geometric graph: n nodes placed uniformly
+// in the unit square; each pair (u,v) is connected with probability
+// alpha * exp(-dist(u,v) / (beta * sqrt(2))). A random spanning tree over
+// the placement is added first so the result is always connected. Weights
+// are 1.
+func Waxman(n int, alpha, beta float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(i, j int) float64 {
+		dx, dy := xs[i]-xs[j], ys[i]-ys[j]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+	// Connectivity backbone: attach each node to a random earlier node.
+	type pair struct{ u, v int }
+	present := make(map[pair]bool)
+	addEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		if u == v || present[pair{u, v}] {
+			return
+		}
+		present[pair{u, v}] = true
+		g.AddEdge(graph.NodeID(u), graph.NodeID(v), 1)
+	}
+	for i := 1; i < n; i++ {
+		addEdge(i, rng.Intn(i))
+	}
+	maxD := math.Sqrt2
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < alpha*math.Exp(-dist(i, j)/(beta*maxD)) {
+				addEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique, each new node attaches to m distinct existing nodes chosen
+// proportionally to degree. The resulting degree distribution follows a
+// power law, the property measured for the AS graph by Faloutsos et al.
+// (the paper's reference [8]). Weights are 1.
+func BarabasiAlbert(n, m int, seed int64) *graph.Graph {
+	if m < 1 {
+		panic(fmt.Sprintf("topology: BarabasiAlbert m=%d < 1", m))
+	}
+	if n < m+1 {
+		panic(fmt.Sprintf("topology: BarabasiAlbert n=%d too small for m=%d", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(n)
+	// Repeated-node list for proportional sampling.
+	var targets []graph.NodeID
+	// Seed clique on m+1 nodes.
+	for i := 0; i <= m; i++ {
+		for j := i + 1; j <= m; j++ {
+			g.AddEdge(graph.NodeID(i), graph.NodeID(j), 1)
+			targets = append(targets, graph.NodeID(i), graph.NodeID(j))
+		}
+	}
+	chosen := make(map[graph.NodeID]bool, m)
+	order := make([]graph.NodeID, 0, m)
+	for v := m + 1; v < n; v++ {
+		for id := range chosen {
+			delete(chosen, id)
+		}
+		order = order[:0]
+		for len(order) < m {
+			t := targets[rng.Intn(len(targets))]
+			if !chosen[t] {
+				chosen[t] = true
+				order = append(order, t) // keep draw order: maps iterate randomly
+			}
+		}
+		for _, t := range order {
+			g.AddEdge(graph.NodeID(v), t, 1)
+			targets = append(targets, graph.NodeID(v), t)
+		}
+	}
+	return g
+}
+
+// PowerLawExtra is BarabasiAlbert with additional random preferential
+// edges appended until the graph has approximately targetEdges edges,
+// letting generated graphs hit a measured node/link ratio that is not an
+// integer multiple of n (the AS graph has avg degree 4.16, the Internet
+// graph 5.03).
+func PowerLawExtra(n, m, targetEdges int, seed int64) *graph.Graph {
+	g := BarabasiAlbert(n, m, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var targets []graph.NodeID
+	for _, e := range g.Edges() {
+		targets = append(targets, e.U, e.V)
+	}
+	guard := 0
+	for g.Size() < targetEdges && guard < 20*targetEdges {
+		guard++
+		u := targets[rng.Intn(len(targets))]
+		v := targets[rng.Intn(len(targets))]
+		if u == v {
+			continue
+		}
+		if _, dup := g.FindEdge(u, v); dup {
+			continue
+		}
+		g.AddEdge(u, v, 1)
+		targets = append(targets, u, v)
+	}
+	return g
+}

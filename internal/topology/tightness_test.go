@@ -1,0 +1,196 @@
+package topology
+
+// Tightness tests: the paper's figure constructions, checked against the
+// exact decomposition machinery in internal/core. These are the executable
+// versions of Figures 2, 3, 4 and 5.
+
+import (
+	"testing"
+
+	"rbpc/internal/core"
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+	"rbpc/internal/spath"
+)
+
+// TestTheorem1Tight: on the Comb gadget, after k failures the unique
+// restoration path needs exactly k+1 shortest-path components — matching
+// both Theorem 1's upper bound and Figure 2's lower bound.
+func TestTheorem1Tight(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		gd := Comb(k)
+		fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+		rep, err := core.CheckTheorem1(gd.G, fv, gd.S, gd.T)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !rep.Reachable {
+			t.Fatalf("k=%d: pair disconnected", k)
+		}
+		if !rep.WithinBound {
+			t.Errorf("k=%d: Theorem 1 bound violated: %+v", k, rep)
+		}
+		if rep.PathComps != k+1 {
+			t.Errorf("k=%d: min components = %d, want exactly %d (tight)", k, rep.PathComps, k+1)
+		}
+	}
+}
+
+// TestTheorem2Tight: on the WeightedTight gadget, the restoration needs
+// exactly k+1 shortest paths interleaved with exactly k bare edges, and
+// fewer edges do not suffice — Figure 3.
+func TestTheorem2Tight(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		gd := WeightedTight(k)
+		fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+		rep, err := core.CheckTheorem2(gd.G, fv, gd.S, gd.T)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !rep.Reachable || !rep.WithinBound {
+			t.Fatalf("k=%d: %+v", k, rep)
+		}
+		if rep.PathComps != k+1 {
+			t.Errorf("k=%d: path components = %d, want exactly %d", k, rep.PathComps, k+1)
+		}
+		// With only k-1 bare edges allowed, no decomposition exists.
+		base := paths.NewAllShortest(gd.G)
+		backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+		if !ok {
+			t.Fatal("no backup path")
+		}
+		if got := core.MinPathComponents(base, backup, k-1); got != -1 {
+			t.Errorf("k=%d: decomposition with %d edges exists (%d paths), want impossible", k, k-1, got)
+		}
+	}
+}
+
+// TestNodeFailureLowerBound: on the StarOfPairs gadget, a single router
+// failure forces ~(n-2)/2 components — Figure 4's pathology.
+func TestNodeFailureLowerBound(t *testing.T) {
+	const m = 10
+	gd, hub := StarOfPairs(m)
+	fv := graph.FailNodes(gd.G, hub)
+	backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+	if !ok {
+		t.Fatal("line should survive")
+	}
+	if backup.Hops() != m {
+		t.Fatalf("backup = %d hops, want the full line %d", backup.Hops(), m)
+	}
+	base := paths.NewAllShortest(gd.G)
+	minComps := core.MinPathComponents(base, backup, 0)
+	want := (m + 1) / 2 // pieces of <= 2 hops
+	if minComps < want {
+		t.Errorf("min components = %d, want >= %d", minComps, want)
+	}
+	// And the greedy decomposer achieves it exactly.
+	dec := core.DecomposeGreedy(base, backup)
+	if dec.Len() != minComps {
+		t.Errorf("greedy = %d components, DP minimum = %d", dec.Len(), minComps)
+	}
+}
+
+// TestDirectedCounterexample: on the directed gadget, a single failure
+// needs far more than k+1 = 2 original shortest paths — Theorem 1 does not
+// extend to directed graphs (Figure 5).
+func TestDirectedCounterexample(t *testing.T) {
+	const m = 9
+	gd := DirectedCounterexample(m)
+	fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+	backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+	if !ok {
+		t.Fatal("chain should survive highway failure")
+	}
+	if backup.Hops() != m {
+		t.Fatalf("backup = %d hops, want %d (the chain)", backup.Hops(), m)
+	}
+	base := paths.NewAllShortest(gd.G)
+	minComps := core.MinPathComponents(base, backup, 0)
+	want := (m + 2) / 3 // pieces of <= 3 hops
+	if minComps != want {
+		t.Errorf("min components = %d, want %d", minComps, want)
+	}
+	if minComps <= 2 {
+		t.Errorf("directed gadget did not violate the k+1 bound: %d components", minComps)
+	}
+}
+
+// TestParallelChainBaseSetChoice reproduces the Theorem-3 discussion: on
+// the parallel chain, the padded base set can be forced into 2k+1
+// components, while a handcrafted base set restores any single failure
+// with at most 2 components.
+func TestParallelChainBaseSetChoice(t *testing.T) {
+	const k = 3
+	g := ParallelChain(k)
+	// Pairs of parallel edges: between node i and i+1, edges 2i and 2i+1.
+	// The padded-unique base set picks one edge per pair; fail the chosen
+	// edge of every second pair (pairs 1, 3, 5 in the paper's indexing).
+	unique := paths.NewUniqueShortest(g)
+	n := g.Order()
+	var failed []graph.EdgeID
+	for pair := 1; pair < n-1; pair += 2 {
+		chosen, ok := unique.Between(graph.NodeID(pair), graph.NodeID(pair+1))
+		if !ok || chosen.Hops() != 1 {
+			t.Fatalf("no 1-hop canonical path for pair %d", pair)
+		}
+		failed = append(failed, chosen.Edges[0])
+	}
+	if len(failed) != k {
+		t.Fatalf("failed %d edges, want %d", len(failed), k)
+	}
+	fv := graph.Fail(g, failed, nil)
+
+	pfv := spath.Padded(fv, spath.PaddingFor(g))
+	backup, ok := spath.Compute(pfv, 0).PathTo(graph.NodeID(n - 1))
+	if !ok {
+		t.Fatal("chain disconnected")
+	}
+	dec := core.DecomposeGreedy(unique, backup)
+	if dec.Len() != 2*k+1 {
+		t.Errorf("padded base set: %d components, the discussion predicts exactly %d", dec.Len(), 2*k+1)
+	}
+
+	// Handcrafted alternative: for every pair of nodes (i, j), j > i+1,
+	// a base path that uses the *second* edge out of i and the *first*
+	// edge into j... here simply: include both parallel edges as base
+	// paths plus, per pair of nodes, both "mixed" two-edge choices at the
+	// ends. We emulate the paper's observation with an explicit set
+	// containing every single edge: then any restoration is at most
+	// backup.Hops() components, and for a single failure the sparse
+	// decomposer finds at most 2 components when given paths that cross
+	// the failure point using the surviving twin.
+	handcrafted := paths.NewExplicit(g)
+	for _, e := range g.Edges() {
+		handcrafted.Add(paths.EdgePath(g, e.ID, e.U))
+		handcrafted.Add(paths.EdgePath(g, e.ID, e.V))
+	}
+	// Long base paths: from node 0 rightwards always prefer the higher
+	// edge ID (the twin the padded set did not choose for failed pairs).
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			p := graph.Path{Nodes: []graph.NodeID{graph.NodeID(i)}}
+			for x := i; x < j; x++ {
+				// Edges between x and x+1 are 2x and 2x+1; prefer 2x+1
+				// except at the start where we prefer 2x.
+				id := graph.EdgeID(2*x + 1)
+				if x == i {
+					id = graph.EdgeID(2 * x)
+				}
+				p.Nodes = append(p.Nodes, graph.NodeID(x+1))
+				p.Edges = append(p.Edges, id)
+			}
+			handcrafted.Add(p)
+		}
+	}
+	// Single failure of the first chosen edge: restoration needs at most
+	// 2 components with the handcrafted set.
+	single := graph.Fail(g, failed[:1], nil)
+	dec2, ok := core.DecomposeSparse(handcrafted, single, 0, graph.NodeID(n-1))
+	if !ok {
+		t.Fatal("sparse failed")
+	}
+	if dec2.Len() > 2 {
+		t.Errorf("handcrafted base set: %d components for single failure, want <= 2 (%v)", dec2.Len(), dec2)
+	}
+}

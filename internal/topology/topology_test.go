@@ -1,0 +1,285 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"rbpc/internal/graph"
+)
+
+func TestLineRingGrid(t *testing.T) {
+	if g := Line(5); g.Order() != 5 || g.Size() != 4 {
+		t.Errorf("Line(5): %d/%d", g.Order(), g.Size())
+	}
+	if g := Ring(6); g.Order() != 6 || g.Size() != 6 || !graph.Connected(g) {
+		t.Errorf("Ring(6) wrong")
+	}
+	g := Grid(3, 4)
+	if g.Order() != 12 || g.Size() != 3*3+2*4 || !graph.Connected(g) {
+		t.Errorf("Grid(3,4): %d nodes %d edges", g.Order(), g.Size())
+	}
+	if g := Complete(5); g.Size() != 10 {
+		t.Errorf("Complete(5): %d edges", g.Size())
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ring(2) did not panic")
+		}
+	}()
+	Ring(2)
+}
+
+func TestRandomTreeConnected(t *testing.T) {
+	g := RandomTree(50, 1)
+	if g.Size() != 49 || !graph.Connected(g) {
+		t.Errorf("RandomTree: %d edges connected=%v", g.Size(), graph.Connected(g))
+	}
+}
+
+func TestWaxmanConnectedAndDeterministic(t *testing.T) {
+	a := Waxman(80, 0.4, 0.3, 42)
+	b := Waxman(80, 0.4, 0.3, 42)
+	if a.Size() != b.Size() {
+		t.Fatalf("Waxman not deterministic: %d vs %d edges", a.Size(), b.Size())
+	}
+	if !graph.Connected(a) {
+		t.Error("Waxman graph disconnected")
+	}
+	if a.Size() < 79 {
+		t.Errorf("Waxman suspiciously sparse: %d edges", a.Size())
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g := BarabasiAlbert(300, 2, 7)
+	if g.Order() != 300 {
+		t.Fatalf("order %d", g.Order())
+	}
+	if !graph.Connected(g) {
+		t.Error("BA graph disconnected")
+	}
+	// Edges: clique(3) + 2 per remaining node = 3 + 2*297 = 597.
+	if g.Size() != 597 {
+		t.Errorf("BA edges = %d, want 597", g.Size())
+	}
+	// Heavy tail: max degree far above average.
+	s := graph.Summarize(g)
+	if s.MaxDegree < 3*int(s.AvgDegree) {
+		t.Errorf("degree distribution not heavy-tailed: max %d avg %.1f", s.MaxDegree, s.AvgDegree)
+	}
+	// Determinism.
+	h := BarabasiAlbert(300, 2, 7)
+	for i, e := range g.Edges() {
+		he := h.Edge(graph.EdgeID(i))
+		if he.U != e.U || he.V != e.V {
+			t.Fatal("BA not deterministic")
+		}
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	for _, f := range []func(){func() { BarabasiAlbert(5, 0, 1) }, func() { BarabasiAlbert(2, 2, 1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPowerLawExtraHitsTarget(t *testing.T) {
+	g := PowerLawExtra(200, 2, 500, 3)
+	if g.Size() != 500 {
+		t.Errorf("PowerLawExtra edges = %d, want 500", g.Size())
+	}
+	if !graph.Connected(g) {
+		t.Error("disconnected")
+	}
+}
+
+func TestPaperISPMatchesTable1(t *testing.T) {
+	g := PaperISP(1)
+	s := graph.Summarize(g)
+	if s.Nodes != 200 {
+		t.Errorf("ISP nodes = %d, want 200", s.Nodes)
+	}
+	if s.Links < 340 || s.Links > 420 {
+		t.Errorf("ISP links = %d, want ~356-400", s.Links)
+	}
+	if math.Abs(s.AvgDegree-3.56) > 0.5 {
+		t.Errorf("ISP avg degree = %.2f, want ~3.56", s.AvgDegree)
+	}
+	if !graph.Connected(g) {
+		t.Error("ISP disconnected")
+	}
+	if g.UnitWeights() {
+		t.Error("ISP should carry OSPF-style weights")
+	}
+	// Weights must be integral for exact cost arithmetic.
+	for _, e := range g.Edges() {
+		if e.W != math.Trunc(e.W) {
+			t.Fatalf("non-integral weight %v", e.W)
+		}
+	}
+}
+
+func TestUnitWeightCopy(t *testing.T) {
+	g := PaperISP(2)
+	u := UnitWeightCopy(g)
+	if !u.UnitWeights() || u.Size() != g.Size() || u.Order() != g.Order() {
+		t.Error("UnitWeightCopy wrong")
+	}
+	for i, e := range g.Edges() {
+		ue := u.Edge(graph.EdgeID(i))
+		if ue.U != e.U || ue.V != e.V || ue.W != 1 {
+			t.Fatal("copy mismatch")
+		}
+	}
+}
+
+func TestPaperASScaled(t *testing.T) {
+	g := PaperAS(5, 0.05) // ~237 nodes, ~494 links
+	s := graph.Summarize(g)
+	if s.Nodes < 200 || s.Nodes > 280 {
+		t.Errorf("scaled AS nodes = %d", s.Nodes)
+	}
+	if math.Abs(s.AvgDegree-4.16) > 0.8 {
+		t.Errorf("AS avg degree = %.2f, want ~4.16", s.AvgDegree)
+	}
+	if !graph.Connected(g) {
+		t.Error("AS stand-in disconnected")
+	}
+}
+
+func TestPaperInternetScaled(t *testing.T) {
+	g := PaperInternet(5, 0.01) // ~404 nodes
+	s := graph.Summarize(g)
+	if s.Nodes < 350 || s.Nodes > 450 {
+		t.Errorf("scaled Internet nodes = %d", s.Nodes)
+	}
+	if math.Abs(s.AvgDegree-5.03) > 1.0 {
+		t.Errorf("Internet avg degree = %.2f, want ~5.03", s.AvgDegree)
+	}
+	if !graph.Connected(g) {
+		t.Error("Internet stand-in disconnected")
+	}
+}
+
+func TestPaperScaleFloors(t *testing.T) {
+	g := PaperAS(1, 0.0001)
+	if g.Order() < 60 {
+		t.Errorf("scale floor not applied: %d nodes", g.Order())
+	}
+}
+
+func TestCombStructure(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		gd := Comb(k)
+		if len(gd.FailedEdges) != k {
+			t.Fatalf("Comb(%d): %d failed edges", k, len(gd.FailedEdges))
+		}
+		if gd.G.Order() != (2*k+1)+k {
+			t.Errorf("Comb(%d): %d nodes", k, gd.G.Order())
+		}
+		fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+		if !graph.Connected(fv) {
+			t.Errorf("Comb(%d) disconnected after designed failures", k)
+		}
+		if !gd.G.UnitWeights() {
+			t.Errorf("Comb must be unweighted")
+		}
+	}
+}
+
+func TestWeightedTightStructure(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		gd := WeightedTight(k)
+		if len(gd.FailedEdges) != k {
+			t.Fatalf("WeightedTight(%d): %d failed edges", k, len(gd.FailedEdges))
+		}
+		fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+		if !graph.Connected(fv) {
+			t.Errorf("WeightedTight(%d) disconnected after failures", k)
+		}
+	}
+}
+
+func TestStarOfPairsStructure(t *testing.T) {
+	gd, hub := StarOfPairs(6)
+	if gd.G.Degree(hub) != 7 {
+		t.Errorf("hub degree = %d, want 7", gd.G.Degree(hub))
+	}
+	fv := graph.FailNodes(gd.G, hub)
+	if !graph.Connected(fv) {
+		t.Error("line should survive hub failure")
+	}
+}
+
+func TestDirectedCounterexampleStructure(t *testing.T) {
+	gd := DirectedCounterexample(6)
+	if !gd.G.Directed() {
+		t.Fatal("gadget must be directed")
+	}
+	fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+	reach := graph.ReachableFrom(fv, gd.S)
+	found := false
+	for _, v := range reach {
+		if v == gd.T {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("t unreachable after highway failure")
+	}
+}
+
+func TestParallelChain(t *testing.T) {
+	g := ParallelChain(2)
+	if g.Order() != 6 || g.Size() != 10 {
+		t.Errorf("ParallelChain(2): %d/%d", g.Order(), g.Size())
+	}
+}
+
+func TestFourCycle(t *testing.T) {
+	if g := FourCycle(); g.Order() != 4 || g.Size() != 4 {
+		t.Error("FourCycle wrong")
+	}
+}
+
+func TestGadgetPanics(t *testing.T) {
+	cases := []func(){
+		func() { Comb(0) },
+		func() { WeightedTight(0) },
+		func() { StarOfPairs(2) },
+		func() { DirectedCounterexample(2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestISPDeterministic(t *testing.T) {
+	a, b := PaperISP(9), PaperISP(9)
+	if a.Size() != b.Size() {
+		t.Fatal("ISP generator not deterministic")
+	}
+	for i, e := range a.Edges() {
+		be := b.Edge(graph.EdgeID(i))
+		if be.U != e.U || be.V != e.V || be.W != e.W {
+			t.Fatal("ISP generator not deterministic")
+		}
+	}
+}

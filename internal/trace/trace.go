@@ -1,0 +1,142 @@
+// Package trace renders per-hop label-operation traces of routes through
+// an MPLS network — the reproduction's traceroute. Where the verifier
+// (internal/verify) answers "is the table state sound", the tracer shows
+// an operator *what the tables actually do* to a packet: every lookup,
+// swap, push and pop, annotated with the router and link.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+)
+
+// Step is one label operation applied to the traced packet.
+type Step struct {
+	Router graph.NodeID
+	// InLabel is the label that was looked up (the top of stack).
+	InLabel mpls.Label
+	// Out is what replaced it (empty = pop).
+	Out []mpls.Label
+	// OutEdge is the link the packet left on (LocalProcess = stayed).
+	OutEdge graph.EdgeID
+	// StackAfter is the full stack after the operation, bottom first.
+	StackAfter []mpls.Label
+}
+
+// Result is a complete trace.
+type Result struct {
+	Src, Dst graph.NodeID
+	Steps    []Step
+	// Delivered reports whether the packet popped out at Dst.
+	Delivered bool
+	// Reason is the human-readable stop cause when not delivered.
+	Reason string
+}
+
+// maxSteps bounds runaway traces (the verifier finds true loops; the
+// tracer just refuses to print forever).
+const maxSteps = 512
+
+// Route traces the installed route for (src, dst) through the tables.
+func Route(net *mpls.Network, src, dst graph.NodeID) Result {
+	res := Result{Src: src, Dst: dst}
+	fe, ok := net.Router(src).FECEntryFor(dst)
+	if !ok {
+		res.Reason = "no FEC entry at the ingress"
+		return res
+	}
+	at := src
+	stack := append([]mpls.Label(nil), fe.Stack...)
+	g := net.Graph()
+
+	if fe.OutEdge != mpls.LocalProcess {
+		if !net.EdgeUp(fe.OutEdge) {
+			res.Reason = fmt.Sprintf("ingress link %d is down", fe.OutEdge)
+			return res
+		}
+		at = g.Edge(fe.OutEdge).Other(at)
+	}
+
+	for len(res.Steps) < maxSteps {
+		if len(stack) == 0 {
+			res.Delivered = at == dst
+			if !res.Delivered {
+				res.Reason = fmt.Sprintf("stack empty at router %d, wanted %d", at, dst)
+			}
+			return res
+		}
+		top := stack[len(stack)-1]
+		entry, ok := net.Router(at).ILMEntryFor(top)
+		if !ok {
+			res.Reason = fmt.Sprintf("router %d has no row for label %d", at, top)
+			return res
+		}
+		stack = stack[:len(stack)-1]
+		stack = append(stack, entry.Out...)
+		res.Steps = append(res.Steps, Step{
+			Router:     at,
+			InLabel:    top,
+			Out:        entry.Out,
+			OutEdge:    entry.OutEdge,
+			StackAfter: append([]mpls.Label(nil), stack...),
+		})
+		if entry.OutEdge != mpls.LocalProcess {
+			if !net.EdgeUp(entry.OutEdge) {
+				res.Reason = fmt.Sprintf("link %d down at router %d", entry.OutEdge, at)
+				return res
+			}
+			at = g.Edge(entry.OutEdge).Other(at)
+		}
+	}
+	res.Reason = "trace exceeded step bound (loop?)"
+	return res
+}
+
+// Write renders the trace for humans.
+func Write(w io.Writer, net *mpls.Network, res Result) {
+	status := "DELIVERED"
+	if !res.Delivered {
+		status = "STOPPED: " + res.Reason
+	}
+	fmt.Fprintf(w, "trace %d -> %d (%s)\n", res.Src, res.Dst, status)
+	for i, s := range res.Steps {
+		op := describeOp(s)
+		where := "local"
+		if s.OutEdge != mpls.LocalProcess {
+			e := net.Graph().Edge(s.OutEdge)
+			where = fmt.Sprintf("link %d to %d", s.OutEdge, e.Other(s.Router))
+		}
+		fmt.Fprintf(w, "  %2d. router %-3d label %-5d %-22s -> %-14s stack %s\n",
+			i+1, s.Router, s.InLabel, op, where, stackString(s.StackAfter))
+	}
+}
+
+func describeOp(s Step) string {
+	switch len(s.Out) {
+	case 0:
+		return "pop"
+	case 1:
+		return fmt.Sprintf("swap to %d", s.Out[0])
+	default:
+		parts := make([]string, len(s.Out))
+		for i, l := range s.Out {
+			parts[i] = fmt.Sprintf("%d", l)
+		}
+		return "swap+push [" + strings.Join(parts, " ") + "]"
+	}
+}
+
+func stackString(stack []mpls.Label) string {
+	if len(stack) == 0 {
+		return "(empty)"
+	}
+	parts := make([]string, len(stack))
+	for i, l := range stack {
+		parts[i] = fmt.Sprintf("%d", l)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	rbpcint "rbpc/internal/rbpc"
+	"rbpc/internal/topology"
+)
+
+func TestTraceHealthyRoute(t *testing.T) {
+	s, err := rbpcint.NewSystem(topology.Ring(5), rbpcint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Route(s.Net(), 0, 2)
+	if !res.Delivered {
+		t.Fatalf("not delivered: %s", res.Reason)
+	}
+	// 2-hop route: self-resolve at 0, swap at 1, pop at 2 = 3 operations.
+	if len(res.Steps) != 3 {
+		t.Errorf("steps = %d, want 3", len(res.Steps))
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.Router != 2 || len(last.Out) != 0 {
+		t.Errorf("last step should pop at 2: %+v", last)
+	}
+	var sb strings.Builder
+	Write(&sb, s.Net(), res)
+	out := sb.String()
+	for _, want := range []string{"DELIVERED", "pop", "swap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceConcatenatedRoute(t *testing.T) {
+	g := topology.Ring(6)
+	s, err := rbpcint.NewSystem(g, rbpcint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.FindEdge(0, 1)
+	s.FailLink(e)
+	res := Route(s.Net(), 0, 1)
+	if !res.Delivered {
+		t.Fatalf("restored route not delivered: %s", res.Reason)
+	}
+	// The detour is 5 hops the long way around.
+	hops := 0
+	for _, st := range res.Steps {
+		if st.OutEdge != mpls.LocalProcess {
+			hops++
+		}
+	}
+	if hops != 5 {
+		t.Errorf("traced %d link crossings, want 5", hops)
+	}
+}
+
+func TestTraceStopsAtDeadLink(t *testing.T) {
+	g := topology.Ring(5)
+	s, err := rbpcint.NewSystem(g, rbpcint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.FindEdge(0, 1)
+	s.FailDataPlane(e) // no restoration
+	res := Route(s.Net(), 0, 1)
+	if res.Delivered {
+		t.Fatal("trace crossed a dead link")
+	}
+	if !strings.Contains(res.Reason, "down") {
+		t.Errorf("reason = %q", res.Reason)
+	}
+	var sb strings.Builder
+	Write(&sb, s.Net(), res)
+	if !strings.Contains(sb.String(), "STOPPED") {
+		t.Error("render missing STOPPED")
+	}
+}
+
+func TestTraceLocalPatchShowsPush(t *testing.T) {
+	// An edge-bypass patch installs a swap+push row; the trace must
+	// render the multi-label operation.
+	g := topology.Ring(5)
+	s, err := rbpcint.NewSystem(g, rbpcint.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := g.FindEdge(0, 1)
+	s.FailDataPlane(e)
+	if _, _, err := s.LocalPatch(e, rbpcint.EdgeBypass); err != nil {
+		t.Fatal(err)
+	}
+	res := Route(s.Net(), 0, 1)
+	if !res.Delivered {
+		t.Fatalf("bypassed trace not delivered: %s", res.Reason)
+	}
+	var sb strings.Builder
+	Write(&sb, s.Net(), res)
+	if !strings.Contains(sb.String(), "swap+push [") {
+		t.Errorf("trace missing multi-push rendering:\n%s", sb.String())
+	}
+}
+
+func TestTraceMissingFEC(t *testing.T) {
+	net := mpls.NewNetwork(topology.Line(3))
+	res := Route(net, 0, 2)
+	if res.Delivered || !strings.Contains(res.Reason, "no FEC") {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestTraceLoopBounded(t *testing.T) {
+	g := graph.New(2)
+	e := g.AddEdge(0, 1, 1)
+	net := mpls.NewNetwork(g)
+	lsp, _ := net.EstablishLSP(graph.Path{Nodes: []graph.NodeID{0, 1}, Edges: []graph.EdgeID{e}})
+	in, _ := lsp.IncomingLabelAt(1)
+	net.ReplaceILM(1, in, mpls.ILMEntry{Out: []mpls.Label{lsp.SelfLabel()}, OutEdge: e})
+	net.SetFEC(0, 1, mpls.FECEntry{Stack: []mpls.Label{lsp.SelfLabel()}, OutEdge: mpls.LocalProcess})
+	res := Route(net, 0, 1)
+	if res.Delivered {
+		t.Fatal("looping route delivered")
+	}
+	if len(res.Steps) != maxSteps {
+		t.Errorf("steps = %d, want bound %d", len(res.Steps), maxSteps)
+	}
+}

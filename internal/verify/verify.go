@@ -1,0 +1,226 @@
+// Package verify statically checks an MPLS network's forwarding tables:
+// it walks every FEC entry through the ILM rows symbolically, with an
+// exact visited-state loop detector instead of the data plane's TTL
+// heuristic, and classifies each route as delivered, looping,
+// blackholed, down, or misdelivered.
+//
+// The paper claims RBPC "is guaranteed not to introduce loops in the
+// paths created"; this package is the auditor for that claim. It
+// deliberately re-implements the label semantics independently of
+// internal/mpls's forwarder, so a bug in one is caught by the other.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+)
+
+// Outcome classifies one FEC entry's walk.
+type Outcome int
+
+const (
+	// Delivered: the walk pops out exactly at the FEC's destination.
+	Delivered Outcome = iota + 1
+	// Loop: the walk revisits a (router, stack) state — a true forwarding
+	// loop that TTL would only truncate.
+	Loop
+	// Blackhole: a label with no matching ILM row.
+	Blackhole
+	// LinkDown: the walk hits a failed link (expected mid-restoration).
+	LinkDown
+	// Misdelivered: the stack empties at the wrong router.
+	Misdelivered
+	// Stuck: local label operations exceed any sane bound at one router.
+	Stuck
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case Loop:
+		return "loop"
+	case Blackhole:
+		return "blackhole"
+	case LinkDown:
+		return "link-down"
+	case Misdelivered:
+		return "misdelivered"
+	case Stuck:
+		return "stuck"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Finding is one FEC entry's verification result.
+type Finding struct {
+	Src, Dst graph.NodeID
+	Outcome  Outcome
+	// At is where the walk ended (delivery point, loop entry, blackhole).
+	At graph.NodeID
+	// Hops is the number of links walked before the outcome.
+	Hops int
+}
+
+// Report aggregates a whole-network check.
+type Report struct {
+	Checked  int
+	ByKind   map[Outcome]int
+	Findings []Finding // every non-Delivered finding
+}
+
+// Clean reports whether every checked route delivered.
+func (r Report) Clean() bool { return r.ByKind[Delivered] == r.Checked }
+
+// LoopFree reports whether no route loops (blackholes/link-down allowed:
+// they are legitimate transient states during restoration).
+func (r Report) LoopFree() bool { return r.ByKind[Loop] == 0 && r.ByKind[Stuck] == 0 }
+
+// String renders a summary.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checked %d routes:", r.Checked)
+	kinds := make([]Outcome, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, r.ByKind[k])
+	}
+	return b.String()
+}
+
+// maxLocalOps mirrors the forwarder's bound on consecutive label
+// operations at one router.
+const maxLocalOps = 16
+
+// CheckFEC walks the route installed for (src, dst).
+func CheckFEC(net *mpls.Network, src, dst graph.NodeID) Finding {
+	f := Finding{Src: src, Dst: dst}
+	fe, ok := net.Router(src).FECEntryFor(dst)
+	if !ok {
+		f.Outcome = Blackhole
+		f.At = src
+		return f
+	}
+	type state struct {
+		at    graph.NodeID
+		stack string
+	}
+	seen := make(map[state]bool)
+
+	at := src
+	stack := append([]mpls.Label(nil), fe.Stack...)
+	g := net.Graph()
+
+	transmit := func(e graph.EdgeID) Outcome {
+		if !net.EdgeUp(e) {
+			return LinkDown
+		}
+		edge := g.Edge(e)
+		if edge.U != at && edge.V != at {
+			return Stuck // table forwards over a non-incident link
+		}
+		at = edge.Other(at)
+		f.Hops++
+		return 0
+	}
+
+	if fe.OutEdge != mpls.LocalProcess {
+		if out := transmit(fe.OutEdge); out != 0 {
+			f.Outcome = out
+			f.At = at
+			return f
+		}
+	}
+
+	for {
+		if len(stack) == 0 {
+			f.At = at
+			if at == dst {
+				f.Outcome = Delivered
+			} else {
+				f.Outcome = Misdelivered
+			}
+			return f
+		}
+		st := state{at: at, stack: stackKey(stack)}
+		if seen[st] {
+			f.Outcome = Loop
+			f.At = at
+			return f
+		}
+		seen[st] = true
+
+		ops := 0
+		for {
+			top := stack[len(stack)-1]
+			entry, ok := net.Router(at).ILMEntryFor(top)
+			if !ok {
+				f.Outcome = Blackhole
+				f.At = at
+				return f
+			}
+			stack = stack[:len(stack)-1]
+			stack = append(stack, entry.Out...)
+			if entry.OutEdge != mpls.LocalProcess {
+				if out := transmit(entry.OutEdge); out != 0 {
+					f.Outcome = out
+					f.At = at
+					return f
+				}
+				break
+			}
+			if len(stack) == 0 {
+				f.At = at
+				if at == dst {
+					f.Outcome = Delivered
+				} else {
+					f.Outcome = Misdelivered
+				}
+				return f
+			}
+			ops++
+			if ops > maxLocalOps {
+				f.Outcome = Stuck
+				f.At = at
+				return f
+			}
+		}
+	}
+}
+
+// CheckAll walks every FEC entry of every router.
+func CheckAll(net *mpls.Network) Report {
+	rep := Report{ByKind: make(map[Outcome]int)}
+	n := net.Graph().Order()
+	for r := 0; r < n; r++ {
+		router := net.Router(graph.NodeID(r))
+		dests := router.FECDests()
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		for _, d := range dests {
+			f := CheckFEC(net, graph.NodeID(r), d)
+			rep.Checked++
+			rep.ByKind[f.Outcome]++
+			if f.Outcome != Delivered {
+				rep.Findings = append(rep.Findings, f)
+			}
+		}
+	}
+	return rep
+}
+
+func stackKey(stack []mpls.Label) string {
+	var b strings.Builder
+	for _, l := range stack {
+		fmt.Fprintf(&b, "%d,", l)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package rbpc
+
+import (
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/subnet"
+)
+
+// QoS routing over subnets (the paper's first motivation for restoring
+// shortest paths): families of shortest-path routes maintained per
+// traffic class over restrictions of the network — all OC48 links, all
+// links under a delay threshold, and so on — each restored within its
+// own subnet by path concatenation.
+
+// TrafficClasses manages one restoration family per traffic class.
+type TrafficClasses = subnet.Manager
+
+// ClassFamily is one class's subnet, base set and restorer.
+type ClassFamily = subnet.Family
+
+// Subnet is a restriction of the network to a subset of its links.
+type Subnet = subnet.Subnet
+
+// NewTrafficClasses returns an empty per-class manager over g.
+func NewTrafficClasses(g *Graph) *TrafficClasses { return subnet.NewManager(g) }
+
+// ExtractSubnet builds the subnet of g containing the edges keep accepts.
+func ExtractSubnet(g *Graph, name string, keep func(Edge) bool) *Subnet {
+	return subnet.Extract(g, name, keep)
+}
+
+// Label merging (multipoint-to-point LSPs): one label per (router,
+// destination) instead of per-LSP state — the paper's Section-2 note on
+// keeping ILM tables small. Merged trees compose with path concatenation
+// exactly like point-to-point LSPs.
+
+// MergedTree is an installed per-destination merged LSP.
+type MergedTree = mpls.DestTree
+
+// InstallMergedTree installs the merged LSP for dst on net following the
+// next-hop map (typically a shortest-path tree toward dst).
+func InstallMergedTree(net *MPLSNetwork, dst NodeID, nextHop map[NodeID]graph.Arc) (*MergedTree, error) {
+	return net.InstallDestTree(dst, nextHop)
+}
+
+// NextHopsToward computes the next-hop map of the deterministic
+// shortest-path tree toward dst — the input InstallMergedTree expects.
+func NextHopsToward(g *Graph, dst NodeID) map[NodeID]graph.Arc {
+	t := NewOracle(g).Tree(dst)
+	next := make(map[NodeID]graph.Arc)
+	for r := 0; r < g.Order(); r++ {
+		rr := NodeID(r)
+		if rr == dst || !t.Reached(rr) {
+			continue
+		}
+		parent, edge := t.Parent(rr)
+		next[rr] = graph.Arc{Edge: edge, To: parent}
+	}
+	return next
+}
