@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet race verify bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/graph/... ./internal/spath/... ./internal/eval/...
+
+# The full pre-commit gate: build + vet + tests + race detector.
+verify:
+	sh scripts/verify.sh
+
+# Kernel benchmarks (ns/edge and allocs/op for the SSSP hot path).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSSSPKernel -benchmem ./internal/spath/

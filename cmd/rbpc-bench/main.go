@@ -11,13 +11,59 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
 	"time"
 
 	"rbpc"
 )
+
+// benchRecord is the machine-readable timing of one pipeline stage,
+// written as BENCH_<name>.json so perf trajectories can be tracked across
+// commits by any tooling that can read JSON.
+type benchRecord struct {
+	Name      string  `json:"name"`
+	Seconds   float64 `json:"seconds"`
+	Seed      int64   `json:"seed"`
+	FullScale bool    `json:"full_scale"`
+	MaxProcs  int     `json:"gomaxprocs"`
+	GoVersion string  `json:"go_version"`
+}
+
+// benchWriter accumulates stage timings and, when enabled with a target
+// directory, persists each as its own BENCH_*.json file.
+type benchWriter struct {
+	dir  string
+	seed int64
+	full bool
+}
+
+func (b benchWriter) record(name string, d time.Duration) {
+	if b.dir == "" {
+		return
+	}
+	rec := benchRecord{
+		Name:      name,
+		Seconds:   d.Seconds(),
+		Seed:      b.seed,
+		FullScale: b.full,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion: runtime.Version(),
+	}
+	path := filepath.Join(b.dir, "BENCH_"+name+".json")
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbpc-bench: marshal bench record:", err)
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "rbpc-bench: write bench record:", err)
+	}
+}
 
 func main() {
 	table := flag.Int("table", 0, "regenerate a table (1, 2 or 3)")
@@ -28,6 +74,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for topologies and sampling")
 	maxEdges := flag.Int("max-edges", 20000, "edge sample cap for table 3 (0 = all edges)")
 	jsonPath := flag.String("json", "", "also write all computed results as JSON to this file")
+	benchDir := flag.String("bench-dir", "", "write per-stage timings as BENCH_*.json files into this directory")
 	flag.Parse()
 
 	if !*all && *table == 0 && *figure == 0 && !*ablations {
@@ -40,14 +87,18 @@ func main() {
 	}
 	sc.Seed = *seed
 
+	fullScale := *full || os.Getenv("RBPC_FULL") == "1"
+	bench := benchWriter{dir: *benchDir, seed: *seed, full: fullScale}
+
 	fmt.Printf("Building evaluation topologies (seed=%d, AS scale=%.3f, Internet scale=%.3f)...\n",
 		sc.Seed, sc.ASScale, sc.InternetScale)
 	start := time.Now()
 	nets := rbpc.EvalNetworks(sc)
 	fmt.Printf("done in %v\n\n", time.Since(start).Round(time.Millisecond))
+	bench.record("build", time.Since(start))
 
 	out := os.Stdout
-	results := rbpc.EvalResults{Seed: *seed, FullScale: *full || os.Getenv("RBPC_FULL") == "1"}
+	results := rbpc.EvalResults{Seed: *seed, FullScale: fullScale}
 	if *all || *table == 1 {
 		fmt.Println("=== Table 1: networks used in this article ===")
 		rbpc.RunTable1(out, nets)
@@ -58,12 +109,14 @@ func main() {
 		t := time.Now()
 		results.Table2 = rbpc.RunTable2(out, nets, *seed)
 		fmt.Printf("\n(table 2 computed in %v)\n\n", time.Since(t).Round(time.Millisecond))
+		bench.record("table2", time.Since(t))
 	}
 	if *all || *table == 3 {
 		fmt.Println("=== Table 3: length of the bypass of an edge ===")
 		t := time.Now()
 		results.Table3 = rbpc.RunTable3(out, nets, *maxEdges, *seed)
 		fmt.Printf("\n(table 3 computed in %v)\n\n", time.Since(t).Round(time.Millisecond))
+		bench.record("table3", time.Since(t))
 	}
 	if *all || *figure == 10 {
 		fmt.Println("=== Figure 10: restoration overhead of local RBPC (weighted ISP) ===")
@@ -71,6 +124,7 @@ func main() {
 		fig := rbpc.RunFigure10(out, nets[0], *seed)
 		results.Figure10 = &fig
 		fmt.Printf("\n(figure 10 computed in %v)\n\n", time.Since(t).Round(time.Millisecond))
+		bench.record("figure10", time.Since(t))
 	}
 	if *all || *ablations {
 		fmt.Println("=== Ablation: RBPC vs pre-established k-backup paths (weighted ISP) ===")

@@ -85,6 +85,13 @@ func Table2Exact(net Network) Table2Row {
 	base := paths.NewUniqueShortest(net.G)
 	oracle := base.PaddedOracle()
 	oracle.SetCap(1024)
+	// The enumeration reads every source's tree in sequence; warm them in
+	// parallel first (bounded by the oracle's cap).
+	all := make([]graph.NodeID, net.G.Order())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	oracle.Precompute(all, 0)
 	scens := failure.EnumerateSingleLink(net.G, oracle)
 	return table2From(net, failure.SingleLink, base, scens)
 }
@@ -113,6 +120,19 @@ func table2From(net Network, kind failure.Kind, base *paths.UniqueShortest, scen
 	if workers > len(scens) {
 		workers = len(scens)
 	}
+
+	// Warm the shared padded oracle with every scenario source before the
+	// fan-out, so workers decompose against cached trees instead of racing
+	// to compute the same ones.
+	sources := make([]graph.NodeID, 0, len(scens))
+	for _, sc := range scens {
+		if !srcSet[sc.Src] {
+			srcSet[sc.Src] = true
+			sources = append(sources, sc.Src)
+		}
+	}
+	base.PaddedOracle().Precompute(sources, workers)
+
 	work := make(chan failure.Scenario)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -128,27 +148,39 @@ func table2From(net Network, kind failure.Kind, base *paths.UniqueShortest, scen
 					continue
 				}
 				dec := core.DecomposeGreedy(base, backup)
+				// Everything that walks a path — cost sums, hop counts,
+				// string keys — happens outside the mutex so workers don't
+				// serialize on it.
+				equal := backup.CostIn(g) == sc.Primary.CostIn(g)
+				backupKey := backup.Key()
+				primaryKey := sc.Primary.Key()
+				compKeys := make([]string, len(dec.Components))
+				for i, c := range dec.Components {
+					compKeys[i] = c.Path.Key()
+				}
+				backupHops, primaryHops := backup.Hops(), sc.Primary.Hops()
+				decLen := dec.Len()
+
 				mu.Lock()
 				row.Scenarios++
-				sumPC += dec.Len()
-				sumBackupHops += backup.Hops()
-				sumPrimaryHops += sc.Primary.Hops()
-				if backup.CostIn(g) == sc.Primary.CostIn(g) {
+				sumPC += decLen
+				sumBackupHops += backupHops
+				sumPrimaryHops += primaryHops
+				if equal {
 					equalCost++
 				}
-				backups[backup.Key()] = backup
+				backups[backupKey] = backup
 				backupCases = append(backupCases, backup)
-				primaries[sc.Primary.Key()] = sc.Primary
-				usedBase[sc.Primary.Key()] = sc.Primary // the pair's basic LSP itself
-				for _, c := range dec.Components {
-					usedBase[c.Path.Key()] = c.Path
+				primaries[primaryKey] = sc.Primary
+				usedBase[primaryKey] = sc.Primary // the pair's basic LSP itself
+				for i, c := range dec.Components {
+					usedBase[compKeys[i]] = c.Path
 				}
 				mu.Unlock()
 			}
 		}()
 	}
 	for _, sc := range scens {
-		srcSet[sc.Src] = true
 		work <- sc
 	}
 	close(work)
@@ -164,14 +196,9 @@ func table2From(net Network, kind failure.Kind, base *paths.UniqueShortest, scen
 	row.Redundancy = float64(equalCost) / float64(row.Scenarios)
 
 	row.MinILMSF, row.AvgILMSF = ilmStretch(primaries, backupCases)
-	_ = usedBase // retained for BasicLSPsUsed accounting below
 	row.BasicLSPsUsed = len(usedBase)
 	row.BackupLSPs = len(backups)
 
-	sources := make([]graph.NodeID, 0, len(srcSet))
-	for s := range srcSet {
-		sources = append(sources, s)
-	}
 	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
 	row.MaxMultiplicity = spath.MaxShortestPathMultiplicity(g, sources)
 	return row

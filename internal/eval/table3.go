@@ -2,7 +2,10 @@ package eval
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"rbpc/internal/graph"
 	"rbpc/internal/spath"
@@ -44,17 +47,57 @@ func Table3(net Network, maxEdges int, seed int64) Table3Result {
 		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
 	}
 
-	counts := make(map[int]int)
+	// One bounded search per edge, independent of every other edge: fan
+	// out across cores. Each worker holds its own counts and the results
+	// merge after the join, so no lock sits on the hot path; the merged
+	// histogram is deterministic regardless of scheduling. The searches
+	// themselves run on pooled spath Solvers, so the whole sweep allocates
+	// one FailureView per edge and nothing else.
 	res := Table3Result{Network: net.Name, EdgesChecked: len(edges)}
-	for _, id := range edges {
-		e := g.Edge(id)
-		fv := graph.FailEdges(g, id)
-		_, hops, ok := spath.DistTo(fv, e.U, e.V)
-		if !ok {
-			res.Unbypassable++
-			continue
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(edges) {
+		workers = len(edges)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	type shard struct {
+		counts       map[int]int
+		unbypassable int
+	}
+	shards := make([]shard, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := shard{counts: make(map[int]int)}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(edges) {
+					break
+				}
+				id := edges[i]
+				e := g.Edge(id)
+				fv := graph.FailEdges(g, id)
+				_, hops, ok := spath.DistTo(fv, e.U, e.V)
+				if !ok {
+					local.unbypassable++
+					continue
+				}
+				local.counts[hops]++
+			}
+			shards[w] = local
+		}(w)
+	}
+	wg.Wait()
+	counts := make(map[int]int)
+	for _, s := range shards {
+		res.Unbypassable += s.unbypassable
+		for h, c := range s.counts {
+			counts[h] += c
 		}
-		counts[hops]++
 	}
 	bypassable := len(edges) - res.Unbypassable
 	if bypassable == 0 {

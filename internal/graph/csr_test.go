@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCSRMatchesAdjacency: the flat kernel enumerates exactly the arcs of
+// the adjacency lists, in the same order, with the right inlined weights.
+func TestCSRMatchesAdjacency(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 3)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(0, 1, 7) // parallel edge
+	c := g.CSR()
+	if c.Order() != 5 {
+		t.Fatalf("Order = %d, want 5", c.Order())
+	}
+	if c.NumArcs() != 2*g.Size() {
+		t.Fatalf("NumArcs = %d, want %d", c.NumArcs(), 2*g.Size())
+	}
+	for u := 0; u < g.Order(); u++ {
+		adj := g.Arcs(NodeID(u))
+		flat := c.Arcs(NodeID(u))
+		if len(adj) != len(flat) {
+			t.Fatalf("node %d: %d flat arcs, want %d", u, len(flat), len(adj))
+		}
+		for i, a := range adj {
+			f := flat[i]
+			if f.To != a.To || f.Edge != a.Edge || f.W != g.Edge(a.Edge).W {
+				t.Errorf("node %d arc %d: flat %+v, adjacency %+v (w=%v)", u, i, f, a, g.Edge(a.Edge).W)
+			}
+		}
+	}
+}
+
+func TestCSRDirected(t *testing.T) {
+	g := NewDirected(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 1, 1)
+	c := g.CSR()
+	if c.NumArcs() != 2 {
+		t.Fatalf("directed NumArcs = %d, want 2", c.NumArcs())
+	}
+	if len(c.Arcs(1)) != 0 {
+		t.Error("directed CSR gave node 1 outgoing arcs")
+	}
+}
+
+// TestCSRInvalidation: mutating the graph drops the compiled kernel, and
+// the next CSR() sees the new topology.
+func TestCSRInvalidation(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	c1 := g.CSR()
+	if c1.NumArcs() != 2 {
+		t.Fatalf("NumArcs = %d, want 2", c1.NumArcs())
+	}
+	if g.CSR() != c1 {
+		t.Error("CSR not cached between reads")
+	}
+	g.AddEdge(0, 1, 2)
+	c2 := g.CSR()
+	if c2 == c1 {
+		t.Error("CSR not invalidated by AddEdge")
+	}
+	if c2.NumArcs() != 4 {
+		t.Fatalf("NumArcs after AddEdge = %d, want 4", c2.NumArcs())
+	}
+	g.AddNode()
+	c3 := g.CSR()
+	if c3 == c2 || c3.Order() != 3 {
+		t.Errorf("CSR not invalidated by AddNode: order %d", c3.Order())
+	}
+}
+
+// TestCSRConcurrentBuild: many goroutines asking for the kernel of a
+// freshly built graph race on the lazy build; run under -race this proves
+// the double-checked cache.
+func TestCSRConcurrentBuild(t *testing.T) {
+	g := New(100)
+	for i := 0; i < 99; i++ {
+		g.AddEdge(NodeID(i), NodeID(i+1), 1)
+	}
+	var wg sync.WaitGroup
+	got := make([]*CSR, 16)
+	for w := range got {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = g.CSR()
+		}(w)
+	}
+	wg.Wait()
+	for _, c := range got[1:] {
+		if c != got[0] {
+			t.Fatal("concurrent CSR() returned different kernels")
+		}
+	}
+}
+
+func TestCompileView(t *testing.T) {
+	g := New(4)
+	e01 := g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+
+	k, ok := CompileView(g)
+	if !ok || k.CSR == nil || k.EdgeOff != nil || k.NodeOff != nil {
+		t.Fatalf("CompileView(graph) = %+v, %v", k, ok)
+	}
+	if k.EdgeRemoved(e01) || k.NodeRemoved(0) {
+		t.Error("bare graph kernel reports removals")
+	}
+
+	fv := FailEdges(g, e01)
+	k, ok = CompileView(fv)
+	if !ok || k.EdgeOff == nil || k.NodeOff != nil {
+		t.Fatalf("CompileView(failed edges) = %+v, %v", k, ok)
+	}
+	if !k.EdgeRemoved(e01) || k.EdgeRemoved(1) {
+		t.Error("edge mask wrong")
+	}
+	if k.ArcUsable(CSRArc{To: 1, Edge: e01, W: 1}) {
+		t.Error("removed edge's arc usable")
+	}
+	if !k.ArcUsable(CSRArc{To: 2, Edge: 1, W: 1}) {
+		t.Error("surviving arc not usable")
+	}
+
+	nv := FailNodes(g, 2)
+	k, ok = CompileView(nv)
+	if !ok || k.NodeOff == nil || k.EdgeOff != nil {
+		t.Fatalf("CompileView(failed nodes) = %+v, %v", k, ok)
+	}
+	if !k.NodeRemoved(2) || k.NodeRemoved(1) {
+		t.Error("node mask wrong")
+	}
+
+	// Non-kernel views fall through.
+	if _, ok := CompileView(otherView{g}); ok {
+		t.Error("CompileView compiled an unknown view type")
+	}
+}
+
+type otherView struct{ View }

@@ -62,7 +62,8 @@ type Graph struct {
 	edges    []Edge
 	adj      [][]Arc // outgoing arcs per node (both directions if undirected)
 	names    []string
-	unit     bool // true while every edge has weight exactly 1
+	unit     bool     // true while every edge has weight exactly 1
+	csr      csrCache // lazily compiled flat adjacency (see CSR)
 }
 
 // New returns an empty undirected graph with n nodes (IDs 0..n-1).
@@ -91,6 +92,7 @@ func (g *Graph) Size() int { return len(g.edges) }
 
 // AddNode appends a new node and returns its ID.
 func (g *Graph) AddNode() NodeID {
+	g.csr.invalidate()
 	g.adj = append(g.adj, nil)
 	if g.names != nil {
 		g.names = append(g.names, "")
@@ -111,6 +113,7 @@ func (g *Graph) AddEdge(u, v NodeID, w float64) EdgeID {
 	if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
 		panic(fmt.Sprintf("graph: AddEdge weight %v must be positive and finite", w))
 	}
+	g.csr.invalidate()
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, U: u, V: v, W: w})
 	g.adj[u] = append(g.adj[u], Arc{Edge: id, To: v})

@@ -13,6 +13,10 @@ import (
 // it backs the interactive tooling; the evaluation keeps full trees (it
 // needs the whole distance vector anyway).
 //
+// Kernel-compilable views (graphs, failure overlays, padded wrappers) run
+// on a pair of pooled Solvers over the flat CSR adjacency; other views run
+// the generic implementation.
+//
 // The boolean result is false if t is unreachable. Directed views are
 // rejected by panic: the reverse frontier would need reverse adjacency,
 // which undirected RBPC never requires.
@@ -23,6 +27,94 @@ func BidiDist(v graph.View, s, t graph.NodeID) (float64, bool) {
 	if s == t {
 		return 0, true
 	}
+	k, eps, ok := compileView(v)
+	if !ok {
+		return bidiGeneric(v, s, t)
+	}
+	if k.NodeRemoved(s) || k.NodeRemoved(t) {
+		return Unreachable, false
+	}
+	n := v.Order()
+	f := AcquireSolver(n)
+	b := AcquireSolver(n)
+	defer ReleaseSolver(f)
+	defer ReleaseSolver(b)
+	f.begin(n, s)
+	b.begin(n, t)
+	f.label(s)
+	f.dist[s] = 0
+	b.label(t)
+	b.dist[t] = 0
+	f.heap.Push(int(s), 0)
+	b.heap.Push(int(t), 0)
+
+	best := Unreachable
+	radiusF, radiusB := 0.0, 0.0
+	for f.heap.Len() > 0 && b.heap.Len() > 0 {
+		// Alternate by smaller frontier radius.
+		_, pf := f.heap.Peek()
+		_, pb := b.heap.Peek()
+		if pf <= pb {
+			radiusF = f.bidiExpand(&k, eps, b, &best)
+		} else {
+			radiusB = b.bidiExpand(&k, eps, f, &best)
+		}
+		if radiusF+radiusB >= best {
+			return best, true
+		}
+	}
+	// One side exhausted: finish with whatever meeting point was found.
+	if best != Unreachable {
+		return best, true
+	}
+	return Unreachable, false
+}
+
+// bidiExpand settles one node of s's frontier against the opposite
+// frontier o, updating *best with any meeting point found, and returns the
+// settled radius. The solver's mark stamps play the settled-flag role.
+func (s *Solver) bidiExpand(k *graph.Kernel, eps float64, o *Solver, best *float64) float64 {
+	ui, du := s.heap.Pop()
+	u := graph.NodeID(ui)
+	if s.marked(u) {
+		return du
+	}
+	s.setMark(u)
+	eoff, noff := k.EdgeOff, k.NodeOff
+	for _, a := range k.CSR.Arcs(u) {
+		if eoff != nil && eoff[uint32(a.Edge)>>6]&(1<<(uint32(a.Edge)&63)) != 0 {
+			continue
+		}
+		to := a.To
+		if noff != nil && noff[uint32(to)>>6]&(1<<(uint32(to)&63)) != 0 {
+			continue
+		}
+		w := a.W
+		if eps != 0 {
+			w += eps * unitHash(uint64(a.Edge))
+		}
+		nd := du + w
+		if s.gen[to] != s.cur {
+			s.label(to)
+		}
+		if nd < s.dist[to] {
+			s.dist[to] = nd
+			s.heap.PushOrDecrease(int(to), nd)
+		}
+		// Meeting point: a settled-or-labeled node on the other side.
+		if o.labeled(to) && o.dist[to] != Unreachable && nd+o.dist[to] < *best {
+			*best = nd + o.dist[to]
+		}
+	}
+	if o.labeled(u) && o.dist[u] != Unreachable && du+o.dist[u] < *best {
+		*best = du + o.dist[u]
+	}
+	return du
+}
+
+// bidiGeneric is the interface-based implementation for views without a
+// compiled kernel.
+func bidiGeneric(v graph.View, s, t graph.NodeID) (float64, bool) {
 	n := v.Order()
 	distF := make([]float64, n)
 	distB := make([]float64, n)
@@ -42,7 +134,7 @@ func BidiDist(v graph.View, s, t graph.NodeID) (float64, bool) {
 	best := Unreachable
 	radiusF, radiusB := 0.0, 0.0
 
-	expand := func(h *pqueue.IndexedMinHeap, dist, other []float64, settled, otherSettled []bool) float64 {
+	expand := func(h *pqueue.IndexedMinHeap, dist, other []float64, settled []bool) float64 {
 		ui, du := h.Pop()
 		u := graph.NodeID(ui)
 		if settled[u] {
@@ -69,19 +161,17 @@ func BidiDist(v graph.View, s, t graph.NodeID) (float64, bool) {
 	}
 
 	for hf.Len() > 0 && hb.Len() > 0 {
-		// Alternate by smaller frontier radius.
 		if _, pf := hf.Peek(); true {
 			if _, pb := hb.Peek(); pf <= pb {
-				radiusF = expand(hf, distF, distB, settledF, settledB)
+				radiusF = expand(hf, distF, distB, settledF)
 			} else {
-				radiusB = expand(hb, distB, distF, settledB, settledF)
+				radiusB = expand(hb, distB, distF, settledB)
 			}
 		}
 		if radiusF+radiusB >= best {
 			return best, true
 		}
 	}
-	// One side exhausted: finish with whatever meeting point was found.
 	if best != Unreachable {
 		return best, true
 	}

@@ -1,0 +1,91 @@
+package spath_test
+
+// BenchmarkSSSPKernel measures the SSSP hot path on the paper's evaluation
+// topologies, in two flavors per topology:
+//
+//   - compute: the public spath.Compute entry point, which returns a fresh
+//     standalone *Tree per call (what the Oracle memoizes).
+//   - solver:  a reused spath.Solver, the zero-allocation kernel that the
+//     evaluation workers and the Oracle's Precompute run on.
+//
+// ns/edge is reported so numbers are comparable across topologies of
+// different sizes; allocs/op is the headline regression guard (the solver
+// flavor must stay at 0 steady-state allocations).
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/spath"
+	"rbpc/internal/topology"
+)
+
+func kernelTopologies(b *testing.B) []struct {
+	name string
+	g    *graph.Graph
+} {
+	b.Helper()
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"ISP", topology.PaperISP(1)},
+		{"AS", topology.PaperAS(1, 0.1)},
+		{"Internet", topology.PaperInternet(1, 0.02)},
+	}
+}
+
+// arcCount is the number of directed arcs traversed per SSSP (2m undirected).
+func arcCount(g *graph.Graph) int {
+	if g.Directed() {
+		return g.Size()
+	}
+	return 2 * g.Size()
+}
+
+func BenchmarkSSSPKernel(b *testing.B) {
+	for _, tc := range kernelTopologies(b) {
+		arcs := float64(arcCount(tc.g))
+		b.Run(tc.name+"/compute", func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spath.Compute(tc.g, graph.NodeID(i%tc.g.Order()))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arcs, "ns/edge")
+		})
+		b.Run(tc.name+"/solver", func(b *testing.B) {
+			s := spath.NewSolver(tc.g.Order())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Solve(tc.g, graph.NodeID(i%tc.g.Order()))
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arcs, "ns/edge")
+		})
+	}
+}
+
+// BenchmarkSSSPKernelFailure is the Table-2 shape of the hot path: SSSP on a
+// failure overlay of the AS graph (bitset-masked CSR).
+func BenchmarkSSSPKernelFailure(b *testing.B) {
+	g := topology.PaperAS(1, 0.1)
+	fv := graph.FailEdges(g, 0, 1, 2)
+	arcs := float64(arcCount(g))
+	b.Run("compute", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spath.Compute(fv, graph.NodeID(i%g.Order()))
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arcs, "ns/edge")
+	})
+	b.Run("solver", func(b *testing.B) {
+		s := spath.NewSolver(g.Order())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Solve(fv, graph.NodeID(i%g.Order()))
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/arcs, "ns/edge")
+	})
+}

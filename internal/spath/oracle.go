@@ -1,29 +1,48 @@
 package spath
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rbpc/internal/graph"
 )
+
+// oracleEntry is one cached tree plus its CLOCK reference bit. The bit is
+// set on every hit (outside the oracle lock) and cleared by the sweeping
+// hand, giving recently used trees a second chance before eviction.
+type oracleEntry struct {
+	tree *Tree
+	ref  atomic.Bool
+}
 
 // Oracle memoizes shortest-path trees per source over a fixed view. It is
 // the component that keeps the 40k-node Internet topology tractable: the
 // paper's methodology samples source-destination pairs, so only the sampled
 // sources' trees are ever computed, instead of a quadratic all-pairs matrix.
 //
+// When capped (SetCap), eviction is CLOCK second-chance over insertion
+// order: the hand sweeps the ring, clears reference bits of recently hit
+// trees, and evicts the first tree not hit since the last sweep. This keeps
+// hot trees (sampled sources queried repeatedly) resident, unlike the
+// previous arbitrary-map-key eviction, and is deterministic given the same
+// access sequence.
+//
 // Oracle is safe for concurrent use.
 type Oracle struct {
 	view graph.View
 
 	mu    sync.RWMutex
-	trees map[graph.NodeID]*Tree
+	trees map[graph.NodeID]*oracleEntry
+	ring  []graph.NodeID // cached sources in insertion order (the clock ring)
+	hand  int            // next ring position the clock hand examines
 	cap   int
 }
 
 // NewOracle returns an Oracle over v. The view must not change afterwards
 // (build a new Oracle per failure view).
 func NewOracle(v graph.View) *Oracle {
-	return &Oracle{view: v, trees: make(map[graph.NodeID]*Tree)}
+	return &Oracle{view: v, trees: make(map[graph.NodeID]*oracleEntry)}
 }
 
 // View returns the view the oracle answers for.
@@ -32,39 +51,129 @@ func (o *Oracle) View() graph.View { return o.view }
 // Tree returns the (memoized) shortest-path tree rooted at s.
 func (o *Oracle) Tree(s graph.NodeID) *Tree {
 	o.mu.RLock()
-	t := o.trees[s]
+	e := o.trees[s]
 	o.mu.RUnlock()
-	if t != nil {
-		return t
+	if e != nil {
+		e.ref.Store(true)
+		return e.tree
 	}
-	t = Compute(o.view, s)
+	t := Compute(o.view, s)
 	o.mu.Lock()
 	// Another goroutine may have raced us; keep the first stored tree so
 	// callers always observe one consistent tree per source.
 	if prev, ok := o.trees[s]; ok {
-		t = prev
-	} else {
-		if o.cap > 0 && len(o.trees) >= o.cap {
-			// Evict an arbitrary tree: memoization is a cache, and on the
-			// 40k-node Internet topology unbounded retention would hold
-			// hundreds of megabytes.
-			for k := range o.trees {
-				delete(o.trees, k)
-				break
-			}
-		}
-		o.trees[s] = t
+		o.mu.Unlock()
+		prev.ref.Store(true)
+		return prev.tree
 	}
+	if o.cap > 0 {
+		for len(o.trees) >= o.cap {
+			o.evictOneLocked()
+		}
+	}
+	o.trees[s] = &oracleEntry{tree: t}
+	o.ring = append(o.ring, s)
 	o.mu.Unlock()
 	return t
 }
 
-// SetCap bounds the number of memoized trees (0 = unbounded). When full,
-// an arbitrary tree is evicted to admit a new one.
+// evictOneLocked advances the clock hand until it finds a tree whose
+// reference bit is clear, clearing bits as it passes, and evicts it. Must
+// be called with o.mu held and len(o.trees) > 0.
+func (o *Oracle) evictOneLocked() {
+	for {
+		if o.hand >= len(o.ring) {
+			o.hand = 0
+		}
+		s := o.ring[o.hand]
+		e := o.trees[s]
+		if e.ref.CompareAndSwap(true, false) {
+			o.hand++ // second chance: recently hit, spare it this sweep
+			continue
+		}
+		delete(o.trees, s)
+		o.ring = append(o.ring[:o.hand], o.ring[o.hand+1:]...)
+		return
+	}
+}
+
+// SetCap bounds the number of memoized trees (0 = unbounded). Shrinking
+// below the current population immediately evicts down to the new cap via
+// the clock sweep, so the cache never exceeds the cap once SetCap returns.
 func (o *Oracle) SetCap(n int) {
 	o.mu.Lock()
 	o.cap = n
+	if n > 0 {
+		for len(o.trees) > n {
+			o.evictOneLocked()
+		}
+	}
 	o.mu.Unlock()
+}
+
+// Precompute warms the cache with the trees of the given sources in
+// parallel, using the given number of workers (<= 0 means GOMAXPROCS).
+// Duplicate and already-cached sources are skipped; when the oracle is
+// capped, only the first cap sources are warmed (warming more would evict
+// the earlier ones before they are ever read). It returns the number of
+// trees computed.
+//
+// Evaluation drivers call this before fanning scenario workers out, so the
+// workers hit a warm cache instead of racing to compute the same trees.
+func (o *Oracle) Precompute(sources []graph.NodeID, workers int) int {
+	o.mu.RLock()
+	capLeft := -1 // unbounded
+	if o.cap > 0 {
+		capLeft = o.cap - len(o.trees)
+	}
+	todo := make([]graph.NodeID, 0, len(sources))
+	seen := make(map[graph.NodeID]bool, len(sources))
+	for _, s := range sources {
+		if seen[s] || o.trees[s] != nil {
+			continue
+		}
+		if capLeft == 0 {
+			break
+		}
+		if capLeft > 0 {
+			capLeft--
+		}
+		seen[s] = true
+		todo = append(todo, s)
+	}
+	o.mu.RUnlock()
+	if len(todo) == 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, s := range todo {
+			o.Tree(s)
+		}
+		return len(todo)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(todo) {
+					return
+				}
+				o.Tree(todo[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return len(todo)
 }
 
 // Dist returns the shortest-path distance from s to d, or Unreachable.

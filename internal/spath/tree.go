@@ -11,7 +11,6 @@ import (
 	"math"
 
 	"rbpc/internal/graph"
-	"rbpc/internal/pqueue"
 )
 
 // Unreachable is the distance reported for nodes not reachable from the
@@ -70,11 +69,16 @@ func (t *Tree) PathTo(v graph.NodeID) (graph.Path, bool) {
 
 // Compute runs the appropriate SSSP algorithm on v from src: BFS when all
 // usable weights are 1, Dijkstra otherwise.
+//
+// Each call materializes a standalone *Tree. Hot loops that only need the
+// distances and parents of the latest run should hold a Solver (or use
+// AcquireSolver) and skip the materialization.
 func Compute(v graph.View, src graph.NodeID) *Tree {
-	if v.UnitWeights() {
-		return bfs(v, src)
-	}
-	return dijkstra(v, src)
+	s := AcquireSolver(v.Order())
+	s.Solve(v, src)
+	t := s.Tree()
+	ReleaseSolver(s)
+	return t
 }
 
 func newTree(n int, src graph.NodeID) *Tree {
@@ -105,68 +109,21 @@ func betterParent(h int32, p graph.NodeID, e graph.EdgeID, ch int32, cp graph.No
 	return e < ce
 }
 
+// bfs and dijkstra force one algorithm regardless of UnitWeights; they back
+// Compute's dispatch tests and the unit-weight cross-checks.
 func bfs(v graph.View, src graph.NodeID) *Tree {
-	t := newTree(v.Order(), src)
-	t.dist[src] = 0
-	queue := make([]graph.NodeID, 0, 64)
-	queue = append(queue, src)
-	for qi := 0; qi < len(queue); qi++ {
-		u := queue[qi]
-		du := t.dist[u]
-		v.VisitArcs(u, func(a graph.Arc) bool {
-			switch {
-			case t.dist[a.To] == Unreachable:
-				t.dist[a.To] = du + 1
-				t.hops[a.To] = t.hops[u] + 1
-				t.parent[a.To] = u
-				t.parentE[a.To] = a.Edge
-				queue = append(queue, a.To)
-			case t.dist[a.To] == du+1:
-				// Same level: keep the lexicographically least parent so
-				// trees are deterministic.
-				if betterParent(t.hops[u]+1, u, a.Edge, t.hops[a.To], t.parent[a.To], t.parentE[a.To]) {
-					t.parent[a.To] = u
-					t.parentE[a.To] = a.Edge
-				}
-			}
-			return true
-		})
-	}
+	s := AcquireSolver(v.Order())
+	s.solveBFS(v, src)
+	t := s.Tree()
+	ReleaseSolver(s)
 	return t
 }
 
 func dijkstra(v graph.View, src graph.NodeID) *Tree {
-	n := v.Order()
-	t := newTree(n, src)
-	t.dist[src] = 0
-	h := pqueue.New(n)
-	h.Push(int(src), 0)
-	for h.Len() > 0 {
-		ui, du := h.Pop()
-		u := graph.NodeID(ui)
-		if du > t.dist[u] {
-			continue // stale entry (we push fresh entries instead of decrease-key on revisit)
-		}
-		v.VisitArcs(u, func(a graph.Arc) bool {
-			w := v.Edge(a.Edge).W
-			nd := du + w
-			switch {
-			case nd < t.dist[a.To]:
-				t.dist[a.To] = nd
-				t.hops[a.To] = t.hops[u] + 1
-				t.parent[a.To] = u
-				t.parentE[a.To] = a.Edge
-				h.PushOrDecrease(int(a.To), nd)
-			case nd == t.dist[a.To]:
-				if betterParent(t.hops[u]+1, u, a.Edge, t.hops[a.To], t.parent[a.To], t.parentE[a.To]) {
-					t.hops[a.To] = t.hops[u] + 1
-					t.parent[a.To] = u
-					t.parentE[a.To] = a.Edge
-				}
-			}
-			return true
-		})
-	}
+	s := AcquireSolver(v.Order())
+	s.solveDijkstra(v, src)
+	t := s.Tree()
+	ReleaseSolver(s)
 	return t
 }
 

@@ -1,0 +1,23 @@
+#!/bin/sh
+# verify.sh — the full local gate: build, vet, tests, and the race
+# detector over the packages with real concurrency (the SSSP solver pool,
+# the CSR lazy build, the oracle's CLOCK cache, and the eval fan-outs).
+#
+# Usage: scripts/verify.sh   (or: make verify)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test ./..."
+go test ./...
+
+echo "==> go test -race (concurrent packages)"
+go test -race ./internal/graph/... ./internal/spath/... ./internal/eval/...
+
+echo "verify: OK"
