@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench
+.PHONY: all build test vet race verify bench serve-bench
 
 all: build
 
@@ -14,7 +14,8 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/graph/... ./internal/spath/... ./internal/eval/...
+	$(GO) test -race ./internal/graph/... ./internal/spath/... ./internal/eval/... \
+		./internal/engine/... ./internal/rbpc/... ./internal/mpls/...
 
 # The full pre-commit gate: build + vet + tests + race detector.
 verify:
@@ -23,3 +24,8 @@ verify:
 # Kernel benchmarks (ns/edge and allocs/op for the SSSP hot path).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSSSPKernel -benchmem ./internal/spath/
+
+# Serving benchmark: the online engine under open-loop load with failure
+# churn; writes BENCH_engine.json into the repo root.
+serve-bench:
+	$(GO) run ./cmd/rbpc-serve -topology as -scale 0.1 -qps 150000 -duration 3s -bench-dir .

@@ -1,0 +1,257 @@
+// Command rbpc-serve runs the online restoration engine under load: it
+// provisions an RBPC system over a chosen topology, hands it to
+// internal/engine, and drives it with an open-loop query generator while a
+// failure injector walks a churn schedule. At the end it prints a latency
+// and epoch report and (with -bench-dir) writes BENCH_engine.json in the
+// same stage-timing format rbpc-bench emits, extended with serving
+// metrics.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/topology"
+)
+
+// engineBench is the BENCH_engine.json payload: the rbpc-bench stage
+// record (name/seconds/seed/full_scale/gomaxprocs/go_version) plus the
+// serving metrics this binary exists to measure.
+type engineBench struct {
+	Name      string  `json:"name"`
+	Seconds   float64 `json:"seconds"`
+	Seed      int64   `json:"seed"`
+	FullScale bool    `json:"full_scale"`
+	MaxProcs  int     `json:"gomaxprocs"`
+	GoVersion string  `json:"go_version"`
+
+	Topology  string  `json:"topology"`
+	Nodes     int     `json:"nodes"`
+	Links     int     `json:"links"`
+	TargetQPS float64 `json:"target_qps"`
+
+	Queries      int64   `json:"queries"`
+	QPS          float64 `json:"qps"`
+	Dropped      int64   `json:"dropped"`
+	Unroutable   int64   `json:"unroutable"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	Epochs       int64   `json:"epochs"`
+	BuildP50Secs float64 `json:"epoch_build_p50_seconds"`
+	BuildP99Secs float64 `json:"epoch_build_p99_seconds"`
+	CacheHitRate float64 `json:"plan_cache_hit_rate"`
+	OnDemandLSPs int64   `json:"on_demand_lsps"`
+	ProvisionSec float64 `json:"provision_seconds"`
+}
+
+func buildTopology(kind string, scale float64, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "as":
+		return topology.PaperAS(seed, scale), nil
+	case "isp":
+		return topology.PaperISP(seed), nil
+	case "waxman":
+		n := int(400 * scale)
+		if n < 16 {
+			n = 16
+		}
+		return topology.Waxman(n, 0.8, 0.5, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want as, isp, or waxman)", kind)
+	}
+}
+
+func main() {
+	var (
+		topo      = flag.String("topology", "as", "topology: as, isp, or waxman")
+		scale     = flag.Float64("scale", 0.1, "topology scale factor (as/waxman)")
+		seed      = flag.Int64("seed", 1, "deterministic seed for topology and churn")
+		closure   = flag.Bool("closure", false, "provision the full subpath closure (quadratic; small topologies only)")
+		qps       = flag.Float64("qps", 150_000, "target open-loop query rate")
+		duration  = flag.Duration("duration", 3*time.Second, "measured serving window")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "engine query workers")
+		queue     = flag.Int("queue", 8192, "engine query queue depth")
+		failEvery = flag.Duration("fail-every", 50*time.Millisecond, "interval between injected churn events (0 = no churn)")
+		maxDown   = flag.Int("max-down", 3, "max links concurrently down during churn")
+		coalesce  = flag.Duration("coalesce", time.Millisecond, "writer coalesce window for failure bursts")
+		benchDir  = flag.String("bench-dir", "", "write BENCH_engine.json into this directory")
+	)
+	flag.Parse()
+
+	g, err := buildTopology(*topo, *scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("topology %s: %d nodes, %d links\n", *topo, g.Order(), g.Size())
+
+	fmt.Print("provisioning RBPC system... ")
+	provStart := time.Now()
+	sys, err := rbpc.NewSystem(g, rbpc.Config{SubpathClosure: *closure, EdgeLSPs: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: provision:", err)
+		os.Exit(1)
+	}
+	provisionTime := time.Since(provStart)
+	fmt.Printf("done in %v (%d LSPs)\n", provisionTime.Round(time.Millisecond), sys.Net().NumLSPs())
+
+	eng, err := engine.New(sys.Export(), engine.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CoalesceWindow: *coalesce,
+		WarmOracle:     false, // serving reads rows, not the oracle
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: engine:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	// Failure injector: one churn event per tick, schedule long enough to
+	// outlast the window.
+	stopChurn := make(chan struct{})
+	churnDone := make(chan struct{})
+	if *failEvery > 0 {
+		steps := int(*duration / *failEvery)
+		events := failure.ChurnSchedule(g, steps+1, *maxDown, rand.New(rand.NewSource(*seed)))
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(*failEvery)
+			defer tick.Stop()
+			for _, ev := range events {
+				select {
+				case <-stopChurn:
+					return
+				case <-tick.C:
+				}
+				if ev.Repair {
+					eng.Repair(ev.Edge)
+				} else {
+					eng.Fail(ev.Edge)
+				}
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+
+	// Open-loop load: generators submit on a fixed arrival schedule,
+	// batching catch-up when the OS timer lags, and never waiting for
+	// answers. Submit sheds (drops) when the queue is full.
+	nGens := runtime.GOMAXPROCS(0) / 2
+	if nGens < 1 {
+		nGens = 1
+	}
+	perGen := *qps / float64(nGens)
+	interval := time.Duration(float64(time.Second) / perGen)
+	genDone := make(chan struct{}, nGens)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	n := g.Order()
+	for gen := 0; gen < nGens; gen++ {
+		go func(seed int64) {
+			defer func() { genDone <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			sent := 0
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				due := int(now.Sub(start)/interval) + 1
+				for ; sent < due; sent++ {
+					src := graph.NodeID(rng.Intn(n))
+					dst := graph.NodeID(rng.Intn(n))
+					if src == dst {
+						continue
+					}
+					eng.Submit(src, dst)
+				}
+				next := start.Add(time.Duration(sent) * interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}(*seed + int64(gen) + 1000)
+	}
+	for gen := 0; gen < nGens; gen++ {
+		<-genDone
+	}
+	close(stopChurn)
+	<-churnDone
+	eng.Flush()
+	elapsed := time.Since(start)
+	// Let workers drain the residual queue before scraping.
+	for eng.Stats().QueueDepth > 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	st := eng.Stats()
+	served := st.Queries
+	achieved := float64(served) / elapsed.Seconds()
+	hitRate := 0.0
+	if st.PlanCacheHits+st.PlanCacheMiss > 0 {
+		hitRate = float64(st.PlanCacheHits) / float64(st.PlanCacheHits+st.PlanCacheMiss)
+	}
+
+	fmt.Printf("\nserved %d queries in %v (%.0f qps, target %.0f; %d dropped)\n",
+		served, elapsed.Round(time.Millisecond), achieved, *qps, st.Dropped)
+	fmt.Printf("query latency: p50 %v  p99 %v  max %v\n",
+		st.QueryLatency.P50, st.QueryLatency.P99, st.QueryLatency.Max)
+	fmt.Printf("epochs: %d published (build p50 %v, p99 %v), plan cache hit rate %.2f, %d on-demand LSPs\n",
+		st.Epochs, st.EpochBuild.P50, st.EpochBuild.P99, hitRate, st.OnDemandLSPs)
+	fmt.Printf("unroutable answers: %d; final epoch %d with %d links down\n",
+		st.Unroutable, st.Epoch, len(eng.Snapshot().Failed()))
+
+	if *benchDir != "" {
+		rec := engineBench{
+			Name:      "engine",
+			Seconds:   elapsed.Seconds(),
+			Seed:      *seed,
+			FullScale: *scale >= 1.0,
+			MaxProcs:  runtime.GOMAXPROCS(0),
+			GoVersion: runtime.Version(),
+
+			Topology:  *topo,
+			Nodes:     g.Order(),
+			Links:     g.Size(),
+			TargetQPS: *qps,
+
+			Queries:      served,
+			QPS:          achieved,
+			Dropped:      st.Dropped,
+			Unroutable:   st.Unroutable,
+			P50Seconds:   st.QueryLatency.P50.Seconds(),
+			P99Seconds:   st.QueryLatency.P99.Seconds(),
+			MaxSeconds:   st.QueryLatency.Max.Seconds(),
+			Epochs:       st.Epochs,
+			BuildP50Secs: st.EpochBuild.P50.Seconds(),
+			BuildP99Secs: st.EpochBuild.P99.Seconds(),
+			CacheHitRate: hitRate,
+			OnDemandLSPs: st.OnDemandLSPs,
+			ProvisionSec: provisionTime.Seconds(),
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve: marshal bench record:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*benchDir, "BENCH_engine.json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve: write bench record:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -15,6 +15,73 @@ type AllBetween interface {
 	AllBetween(s, d graph.NodeID) []graph.Path
 }
 
+// BySource is an optional interface exposing every stored path out of a
+// node along with its precomputed base-view cost. When available, the
+// sparse decomposer iterates a node's outgoing paths directly instead of
+// probing all n possible endpoints through per-pair lookups — the
+// difference between an allocation-heavy O(n) map scan and a flat slice
+// walk per settled node.
+type BySource interface {
+	FromSource(s graph.NodeID) []paths.SourcePath
+}
+
+// DeadIndexed extends BySource with a per-failure-view dead-path mask (see
+// paths.Explicit.DeadUnder): survival of a candidate becomes one bit load
+// instead of an edge scan.
+type DeadIndexed interface {
+	BySource
+	DeadUnder(fv *graph.FailureView) []bool
+}
+
+// SparseSolver runs minimum-cost restoration-path searches on the
+// "base-path graph" (surviving base paths and surviving bare edges as
+// arcs) for one failure view, amortizing across calls everything that
+// depends only on (base, fv): the dead-path mask and the Dijkstra scratch
+// arrays. The online engine keeps one solver per build worker per epoch.
+//
+// A SparseSolver is not safe for concurrent use.
+type SparseSolver struct {
+	base paths.Base
+	fv   *graph.FailureView
+	orig graph.View
+
+	bs     BySource
+	hasSrc bool
+	ab     AllBetween
+	hasAll bool
+	dead   []bool // nil unless base implements DeadIndexed
+
+	dist     []float64
+	comps    []int32
+	prev     []int32
+	prevComp []Component
+	settled  []bool
+	isTarget []bool
+	pq       sparseHeap
+}
+
+// NewSparseSolver builds a solver for repeated decompositions against fv.
+func NewSparseSolver(base paths.Base, fv *graph.FailureView) *SparseSolver {
+	n := fv.Order()
+	ss := &SparseSolver{
+		base:     base,
+		fv:       fv,
+		orig:     base.View(),
+		dist:     make([]float64, n),
+		comps:    make([]int32, n),
+		prev:     make([]int32, n),
+		prevComp: make([]Component, n),
+		settled:  make([]bool, n),
+		isTarget: make([]bool, n),
+	}
+	ss.bs, ss.hasSrc = base.(BySource)
+	ss.ab, ss.hasAll = base.(AllBetween)
+	if di, ok := base.(DeadIndexed); ok {
+		ss.dead = di.DeadUnder(fv)
+	}
+	return ss
+}
+
 // DecomposeSparse finds a minimum-cost restoration path from s to d in the
 // failure view fv expressed directly as a concatenation of surviving base
 // paths and surviving bare edges, by running Dijkstra on the "base-path
@@ -29,71 +96,124 @@ type AllBetween interface {
 // returned concatenation always achieves the true post-failure shortest
 // distance, for any base set.
 func DecomposeSparse(base paths.Base, fv *graph.FailureView, s, d graph.NodeID) (Decomposition, bool) {
-	if !fv.NodeUsable(s) || !fv.NodeUsable(d) {
-		return Decomposition{}, false
+	decs, oks := NewSparseSolver(base, fv).From(s, []graph.NodeID{d})
+	return decs[0], oks[0]
+}
+
+// DecomposeSparseFrom solves the base-path shortest path problem for one
+// source against many destinations with a single Dijkstra run, stopping as
+// soon as every requested destination is settled. It returns one
+// decomposition per entry of dsts (aligned), with oks[i] false when
+// dsts[i] is unreachable from s in fv.
+//
+// This is the batched form the online engine uses: after a failure burst,
+// all affected pairs sharing a source are decomposed in one search instead
+// of |dsts| independent ones. Callers making repeated calls against the
+// same view should hold a SparseSolver and call From directly.
+func DecomposeSparseFrom(base paths.Base, fv *graph.FailureView, s graph.NodeID, dsts []graph.NodeID) ([]Decomposition, []bool) {
+	return NewSparseSolver(base, fv).From(s, dsts)
+}
+
+// From runs one multi-destination search. See DecomposeSparseFrom.
+func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decomposition, []bool) {
+	decs := make([]Decomposition, len(dsts))
+	oks := make([]bool, len(dsts))
+	if len(dsts) == 0 {
+		return decs, oks
 	}
-	if s == d {
-		return Decomposition{}, true
-	}
+	fv := ss.fv
 	n := fv.Order()
-	const unset = -1
-
-	dist := make([]float64, n)
-	comps := make([]int32, n)
-	prev := make([]int32, n)         // predecessor node
-	prevComp := make([]Component, n) // component used to reach the node
-	settled := make([]bool, n)
-	for i := range dist {
-		dist[i] = -1 // -1 == infinity marker
-		prev[i] = unset
+	if !fv.NodeUsable(s) {
+		return decs, oks
 	}
 
-	pq := &sparseHeap{}
-	dist[s] = 0
-	heap.Push(pq, sparseItem{node: s, cost: 0, comps: 0})
+	// Reset scratch.
+	const unset = -1
+	for i := 0; i < n; i++ {
+		ss.dist[i] = -1 // -1 == infinity marker
+		ss.prev[i] = unset
+		ss.settled[i] = false
+		ss.isTarget[i] = false
+	}
+	ss.pq = ss.pq[:0]
 
-	relax := func(u, v graph.NodeID, cost float64, nc int32, comp Component) {
-		total := dist[u] + cost
-		tc := comps[u] + nc
-		if dist[v] < 0 || total < dist[v] || (total == dist[v] && tc < comps[v]) {
-			dist[v] = total
-			comps[v] = tc
-			prev[v] = int32(u)
-			prevComp[v] = comp
-			heap.Push(pq, sparseItem{node: v, cost: total, comps: tc})
+	// Pending destinations still to settle; s==d pairs are trivially done.
+	pending := 0
+	for i, d := range dsts {
+		if d == s {
+			oks[i] = true
+			continue
+		}
+		if fv.NodeUsable(d) && !ss.isTarget[d] {
+			ss.isTarget[d] = true
+			pending++
 		}
 	}
+	if pending == 0 {
+		return decs, oks
+	}
 
-	ab, hasAll := base.(AllBetween)
-	orig := base.View()
+	pq := &ss.pq
+	ss.dist[s] = 0
+	ss.comps[s] = 0
+	heap.Push(pq, sparseItem{node: s, cost: 0, comps: 0})
 
 	for pq.Len() > 0 {
 		it := heap.Pop(pq).(sparseItem)
 		u := it.node
-		if settled[u] || it.cost != dist[u] || it.comps != comps[u] {
+		if ss.settled[u] || it.cost != ss.dist[u] || it.comps != ss.comps[u] {
 			continue
 		}
-		settled[u] = true
-		if u == d {
-			break
+		ss.settled[u] = true
+		if ss.isTarget[u] {
+			pending--
+			if pending == 0 {
+				break
+			}
 		}
 		// Candidate 1: surviving base paths out of u. Considered before
 		// raw edges so that at equal (cost, components) a pre-provisioned
 		// base path wins over a bare edge — a bare-edge component would
 		// need a fresh 1-hop LSP.
-		for v := 0; v < n; v++ {
-			vv := graph.NodeID(v)
-			if vv == u || !fv.NodeUsable(vv) {
-				continue
+		switch {
+		case ss.hasSrc && ss.dead != nil:
+			for _, sp := range ss.bs.FromSource(u) {
+				if ss.dead[sp.Index] {
+					continue
+				}
+				ss.relax(u, sp.Path.Dst(), sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
 			}
-			if hasAll {
-				for _, p := range ab.AllBetween(u, vv) {
+		case ss.hasSrc:
+			for _, sp := range ss.bs.FromSource(u) {
+				vv := sp.Path.Dst()
+				if !fv.NodeUsable(vv) {
+					continue
+				}
+				if paths.Survives(sp.Path, fv) {
+					ss.relax(u, vv, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
+				}
+			}
+		case ss.hasAll:
+			for v := 0; v < n; v++ {
+				vv := graph.NodeID(v)
+				if vv == u || !fv.NodeUsable(vv) {
+					continue
+				}
+				for _, p := range ss.ab.AllBetween(u, vv) {
 					if paths.Survives(p, fv) {
-						relax(u, vv, p.CostIn(orig), 1, Component{Kind: KindBasePath, Path: p})
+						ss.relax(u, vv, p.CostIn(ss.orig), 1, Component{Kind: KindBasePath, Path: p})
 					}
 				}
-			} else if p, ok := base.Between(u, vv); ok && paths.Survives(p, fv) {
-				relax(u, vv, p.CostIn(orig), 1, Component{Kind: KindBasePath, Path: p})
+			}
+		default:
+			for v := 0; v < n; v++ {
+				vv := graph.NodeID(v)
+				if vv == u || !fv.NodeUsable(vv) {
+					continue
+				}
+				if p, ok := ss.base.Between(u, vv); ok && paths.Survives(p, fv) {
+					ss.relax(u, vv, p.CostIn(ss.orig), 1, Component{Kind: KindBasePath, Path: p})
+				}
 			}
 		}
 		// Candidate 2: surviving raw edges out of u.
@@ -103,24 +223,39 @@ func DecomposeSparse(base paths.Base, fv *graph.FailureView, s, d graph.NodeID) 
 				Nodes: []graph.NodeID{u, a.To},
 				Edges: []graph.EdgeID{a.Edge},
 			}}
-			relax(u, a.To, e.W, 1, comp)
+			ss.relax(u, a.To, e.W, 1, comp)
 			return true
 		})
 	}
 
-	if dist[d] < 0 {
-		return Decomposition{}, false
+	for i, d := range dsts {
+		if d == s || !fv.NodeUsable(d) || ss.dist[d] < 0 || !ss.settled[d] {
+			continue
+		}
+		// Reconstruct components back from d.
+		var rev []Component
+		for at := d; at != s; at = graph.NodeID(ss.prev[at]) {
+			rev = append(rev, ss.prevComp[at])
+		}
+		dec := Decomposition{Components: make([]Component, len(rev))}
+		for j := range rev {
+			dec.Components[j] = rev[len(rev)-1-j]
+		}
+		decs[i], oks[i] = dec, true
 	}
-	// Reconstruct components back from d.
-	var rev []Component
-	for at := d; at != s; at = graph.NodeID(prev[at]) {
-		rev = append(rev, prevComp[at])
+	return decs, oks
+}
+
+func (ss *SparseSolver) relax(u, v graph.NodeID, cost float64, nc int32, comp Component) {
+	total := ss.dist[u] + cost
+	tc := ss.comps[u] + nc
+	if ss.dist[v] < 0 || total < ss.dist[v] || (total == ss.dist[v] && tc < ss.comps[v]) {
+		ss.dist[v] = total
+		ss.comps[v] = tc
+		ss.prev[v] = int32(u)
+		ss.prevComp[v] = comp
+		heap.Push(&ss.pq, sparseItem{node: v, cost: total, comps: tc})
 	}
-	dec := Decomposition{Components: make([]Component, len(rev))}
-	for i := range rev {
-		dec.Components[i] = rev[len(rev)-1-i]
-	}
-	return dec, true
 }
 
 // sparseItem orders Dijkstra's frontier by (cost, component count, node ID).

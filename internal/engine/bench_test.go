@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+// BenchmarkEngineQuery measures the steady-state lock-free read path under
+// parallel load, with a failure in place so answers cross the COW rows.
+func BenchmarkEngineQuery(b *testing.B) {
+	g := topology.Waxman(64, 0.8, 0.5, 13)
+	e, _ := newEngine(b, g, Config{})
+	e.Fail(0)
+	e.Fail(3)
+	e.Flush()
+
+	n := uint64(g.Order())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i uint64
+		for pb.Next() {
+			i++
+			src := graph.NodeID(i % n)
+			dst := graph.NodeID((i*7 + 3) % n)
+			e.Query(src, dst)
+		}
+	})
+}
+
+// BenchmarkEpochBuild measures writer-side epoch publication: cold (every
+// failed-set new) vs hot (plans cached from a prior pass over the same
+// schedule).
+func BenchmarkEpochBuild(b *testing.B) {
+	g := topology.Waxman(64, 0.8, 0.5, 29)
+	events := failure.ChurnSchedule(g, 64, 3, rand.New(rand.NewSource(11)))
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			e, _ := newEngine(b, g, Config{})
+			b.StartTimer()
+			for _, ev := range events {
+				if ev.Repair {
+					e.Repair(ev.Edge)
+				} else {
+					e.Fail(ev.Edge)
+				}
+				e.Flush()
+			}
+			b.StopTimer()
+			e.Close()
+			b.StartTimer()
+		}
+	})
+	b.Run("hot", func(b *testing.B) {
+		e, _ := newEngine(b, g, Config{})
+		// Prime the plan cache with one full pass.
+		for _, ev := range events {
+			if ev.Repair {
+				e.Repair(ev.Edge)
+			} else {
+				e.Fail(ev.Edge)
+			}
+		}
+		e.Flush()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ev := range events {
+				if ev.Repair {
+					e.Repair(ev.Edge)
+				} else {
+					e.Fail(ev.Edge)
+				}
+				e.Flush()
+			}
+		}
+	})
+}

@@ -1,0 +1,530 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpc/internal/core"
+	"rbpc/internal/engine/metrics"
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/paths"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/spath"
+)
+
+// Config tunes the engine. The zero value is usable; New fills defaults.
+type Config struct {
+	// Workers is the number of goroutines draining the async query queue
+	// (Submit). Default GOMAXPROCS-ish small constant.
+	Workers int
+	// QueueDepth bounds the async query queue; Submit drops (returns
+	// false) when it is full. Default 4096.
+	QueueDepth int
+	// CoalesceWindow is how long the writer keeps absorbing further
+	// failure events after the first of a burst before building the epoch.
+	// Zero coalesces only events already queued (no added latency).
+	CoalesceWindow time.Duration
+	// PlanCacheCap bounds the failed-set plan cache (0 = unbounded). Under
+	// churn that revisits failed-sets — repairs walking back to pristine —
+	// cached plans make epoch builds O(FEC writes).
+	PlanCacheCap int
+	// WarmOracle precomputes post-failure shortest-path trees for every
+	// affected source at epoch build, so reader Dist calls never take the
+	// Dijkstra hit.
+	WarmOracle bool
+	// OracleCap caps each epoch oracle's resident trees (0 = unbounded).
+	OracleCap int
+	// BuildWorkers parallelizes per-source decomposition during plan
+	// computation. Default GOMAXPROCS.
+	BuildWorkers int
+	// OnResult receives async query answers from the worker pool. Must be
+	// safe for concurrent calls. Nil discards answers (the queue still
+	// exercises the serving path and metrics).
+	OnResult func(Result)
+}
+
+// Result is one answered query.
+type Result struct {
+	Src, Dst graph.NodeID
+	// Route is nil when the pair was unroutable in the answering epoch.
+	Route *Route
+	// Snap is the epoch the answer was read from; the route is guaranteed
+	// consistent with exactly this epoch's failed-set.
+	Snap *Snapshot
+}
+
+// Stats is a point-in-time scrape of the engine's counters.
+type Stats struct {
+	Epoch         uint64
+	SnapshotAge   time.Duration
+	Queries       int64
+	Unroutable    int64
+	Submitted     int64
+	Dropped       int64
+	QueueDepth    int
+	Epochs        int64
+	PlanCacheHits int64
+	PlanCacheMiss int64
+	OnDemandLSPs  int64
+	QueryLatency  metrics.Summary
+	EpochBuild    metrics.Summary
+}
+
+// Engine serves restoration queries from immutable epoch snapshots while
+// a single writer goroutine applies failure churn. See the package comment
+// for the concurrency model.
+type Engine struct {
+	g    *graph.Graph
+	base paths.Base
+	cfg  Config
+
+	snap atomic.Pointer[Snapshot]
+
+	// Writer-owned state (only the writer goroutine touches these after New).
+	lspOf           map[string]*mpls.LSP
+	primariesByEdge map[graph.EdgeID][]rbpc.Pair
+	canonical       [][]*Route
+	planCache       map[string]*plan
+	prevPlan        *plan
+	onDemand        int64
+
+	events  chan writerMsg
+	queries chan queryReq
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closed  sync.Once
+
+	mQueries    metrics.Counter
+	mUnroutable metrics.Counter
+	mSubmitted  metrics.Counter
+	mDropped    metrics.Counter
+	mEpochs     metrics.Counter
+	mCacheHits  metrics.Counter
+	mCacheMiss  metrics.Counter
+	mLatency    metrics.Histogram
+	mBuild      metrics.Histogram
+}
+
+type writerMsg struct {
+	ev    failure.Event
+	flush chan struct{} // non-nil: barrier marker, no event
+}
+
+type queryReq struct {
+	src, dst graph.NodeID
+	at       time.Time
+}
+
+// netHandle wraps the epoch's writable network clone for plan resolution.
+type netHandle struct {
+	net *mpls.Network
+}
+
+// New builds an engine over a pristine provisioned export (p.Failed must
+// be empty: the engine owns all failure state from here on) and starts its
+// writer and query workers.
+func New(p rbpc.Provision, cfg Config) (*Engine, error) {
+	if len(p.Failed) != 0 {
+		return nil, fmt.Errorf("engine: provision has %d pre-existing failures; export a pristine system", len(p.Failed))
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 4
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 4096
+	}
+	if cfg.BuildWorkers < 1 {
+		cfg.BuildWorkers = runtime.GOMAXPROCS(0)
+	}
+
+	n := p.Graph.Order()
+	e := &Engine{
+		g:               p.Graph,
+		base:            p.Base,
+		cfg:             cfg,
+		lspOf:           p.LSPs,
+		primariesByEdge: make(map[graph.EdgeID][]rbpc.Pair),
+		canonical:       make([][]*Route, n),
+		planCache:       map[string]*plan{"": emptyPlan},
+		prevPlan:        emptyPlan,
+		events:          make(chan writerMsg, 256),
+		queries:         make(chan queryReq, cfg.QueueDepth),
+		done:            make(chan struct{}),
+	}
+
+	// Static index: failed link -> pairs whose primary crosses it.
+	// Primaries never change, so this is built once.
+	for pr, lsp := range p.Primaries {
+		for _, ed := range lsp.Path.Edges {
+			e.primariesByEdge[ed] = append(e.primariesByEdge[ed], pr)
+		}
+	}
+	for ed := range e.primariesByEdge {
+		prs := e.primariesByEdge[ed]
+		sort.Slice(prs, func(i, j int) bool {
+			if prs[i].Src != prs[j].Src {
+				return prs[i].Src < prs[j].Src
+			}
+			return prs[i].Dst < prs[j].Dst
+		})
+	}
+
+	// Canonical routing matrix from the provisioned routes.
+	for i := range e.canonical {
+		e.canonical[i] = make([]*Route, n)
+	}
+	for pr, lsps := range p.Routes {
+		stack, err := mpls.SelfStack(lsps)
+		if err != nil {
+			return nil, fmt.Errorf("engine: provision route %v: %w", pr, err)
+		}
+		var cost float64
+		for _, l := range lsps {
+			cost += l.Path.CostIn(p.Graph)
+		}
+		e.canonical[pr.Src][pr.Dst] = &Route{LSPs: lsps, Stack: stack, Cost: cost}
+	}
+
+	// Epoch 0: the pristine snapshot. The provision's network is cloned
+	// (copy-on-write) so the exporting System and the engine part ways.
+	s0 := &Snapshot{
+		epoch:   0,
+		failed:  nil,
+		key:     "",
+		fv:      graph.FailEdges(p.Graph),
+		net:     p.Net.Clone(),
+		oracle:  spath.NewOracle(graph.FailEdges(p.Graph)),
+		rows:    e.canonical,
+		created: time.Now(),
+	}
+	if cfg.OracleCap > 0 {
+		s0.oracle.SetCap(cfg.OracleCap)
+	}
+	e.snap.Store(s0)
+
+	e.wg.Add(1)
+	go e.writer()
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.queryWorker(uint64(w))
+	}
+	return e, nil
+}
+
+// Snapshot returns the current serving epoch. The returned snapshot stays
+// valid (immutable) even after later epochs are published.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Query answers synchronously from the current epoch: lock-free and
+// allocation-free. The result's Route is nil for unroutable pairs.
+func (e *Engine) Query(src, dst graph.NodeID) Result {
+	s := e.snap.Load()
+	r := s.rows[src][dst]
+	key := uint64(src)*0x9e3779b1 + uint64(dst)
+	e.mQueries.Add(key, 1)
+	if r == nil && src != dst {
+		e.mUnroutable.Add(key, 1)
+	}
+	return Result{Src: src, Dst: dst, Route: r, Snap: s}
+}
+
+// Dist returns the post-failure shortest distance for the pair in the
+// current epoch (+Inf if disconnected), via the epoch's oracle.
+func (e *Engine) Dist(src, dst graph.NodeID) float64 {
+	return e.snap.Load().oracle.Dist(src, dst)
+}
+
+// Submit enqueues an async query for the worker pool. It reports false —
+// without blocking — when the queue is full (the open-loop load shed).
+func (e *Engine) Submit(src, dst graph.NodeID) bool {
+	key := uint64(src)*0x9e3779b1 + uint64(dst)
+	e.mSubmitted.Add(key, 1)
+	select {
+	case e.queries <- queryReq{src: src, dst: dst, at: time.Now()}:
+		return true
+	default:
+		e.mDropped.Add(key, 1)
+		return false
+	}
+}
+
+func (e *Engine) queryWorker(id uint64) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case q := <-e.queries:
+			res := e.Query(q.src, q.dst)
+			e.mLatency.Record(id, time.Since(q.at))
+			if e.cfg.OnResult != nil {
+				e.cfg.OnResult(res)
+			}
+		}
+	}
+}
+
+// Fail injects a link failure. The epoch including it is published
+// asynchronously; use Flush to wait.
+func (e *Engine) Fail(ed graph.EdgeID) { e.send(failure.Event{Edge: ed}) }
+
+// Repair injects a link repair.
+func (e *Engine) Repair(ed graph.EdgeID) { e.send(failure.Event{Repair: true, Edge: ed}) }
+
+// ApplyEvents injects a burst of churn events; the writer coalesces them
+// into as few epochs as its timing allows (often one).
+func (e *Engine) ApplyEvents(evs []failure.Event) {
+	for _, ev := range evs {
+		e.send(ev)
+	}
+}
+
+func (e *Engine) send(ev failure.Event) {
+	select {
+	case e.events <- writerMsg{ev: ev}:
+	case <-e.done:
+	}
+}
+
+// Flush blocks until every event sent before the call is reflected in the
+// published snapshot.
+func (e *Engine) Flush() {
+	ch := make(chan struct{})
+	select {
+	case e.events <- writerMsg{flush: ch}:
+	case <-e.done:
+		return
+	}
+	select {
+	case <-ch:
+	case <-e.done:
+	}
+}
+
+// Close stops the writer and workers. Queries against already-obtained
+// snapshots remain valid; Engine methods must not be called after Close.
+func (e *Engine) Close() {
+	e.closed.Do(func() { close(e.done) })
+	e.wg.Wait()
+}
+
+// Stats scrapes the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := e.snap.Load()
+	return Stats{
+		Epoch:         s.epoch,
+		SnapshotAge:   s.Age(),
+		Queries:       e.mQueries.Load(),
+		Unroutable:    e.mUnroutable.Load(),
+		Submitted:     e.mSubmitted.Load(),
+		Dropped:       e.mDropped.Load(),
+		QueueDepth:    len(e.queries),
+		Epochs:        e.mEpochs.Load(),
+		PlanCacheHits: e.mCacheHits.Load(),
+		PlanCacheMiss: e.mCacheMiss.Load(),
+		OnDemandLSPs:  atomic.LoadInt64(&e.onDemand),
+		QueryLatency:  e.mLatency.Summarize(),
+		EpochBuild:    e.mBuild.Summarize(),
+	}
+}
+
+// writer is the single mutator: it drains failure events, coalesces
+// bursts, and publishes epochs.
+func (e *Engine) writer() {
+	defer e.wg.Done()
+	downSet := make(map[graph.EdgeID]bool)
+	for {
+		var first writerMsg
+		select {
+		case <-e.done:
+			return
+		case first = <-e.events:
+		}
+		flushes, changed := e.absorb(first, downSet)
+		if changed {
+			e.publish(downSet)
+		}
+		for _, ch := range flushes {
+			close(ch)
+		}
+	}
+}
+
+// absorb applies msg and then keeps absorbing queued events — plus, if
+// configured, events arriving within the coalesce window — into downSet.
+// It returns the flush barriers seen and whether the failed-set changed.
+func (e *Engine) absorb(msg writerMsg, downSet map[graph.EdgeID]bool) (flushes []chan struct{}, changed bool) {
+	apply := func(m writerMsg) {
+		if m.flush != nil {
+			flushes = append(flushes, m.flush)
+			return
+		}
+		if m.ev.Repair {
+			if downSet[m.ev.Edge] {
+				delete(downSet, m.ev.Edge)
+				changed = true
+			}
+		} else if !downSet[m.ev.Edge] {
+			downSet[m.ev.Edge] = true
+			changed = true
+		}
+	}
+	apply(msg)
+
+	var window <-chan time.Time
+	if e.cfg.CoalesceWindow > 0 {
+		window = time.After(e.cfg.CoalesceWindow)
+	}
+	for {
+		select {
+		case m := <-e.events:
+			apply(m)
+		case <-window:
+			return flushes, changed
+		case <-e.done:
+			return flushes, changed
+		default:
+			if window == nil {
+				return flushes, changed
+			}
+			// Window still open: block for more events (or the deadline).
+			select {
+			case m := <-e.events:
+				apply(m)
+			case <-window:
+				return flushes, changed
+			case <-e.done:
+				return flushes, changed
+			}
+		}
+	}
+}
+
+// publish builds and swaps in the epoch for the given failed-set.
+func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
+	start := time.Now()
+	prev := e.snap.Load()
+
+	failed := make([]graph.EdgeID, 0, len(downSet))
+	for ed := range downSet {
+		failed = append(failed, ed)
+	}
+	sort.Slice(failed, func(i, j int) bool { return failed[i] < failed[j] })
+	key := failedKey(failed)
+	if key == prev.key {
+		return // coalesced burst cancelled out
+	}
+
+	// The net lineage is linear: always clone the latest snapshot's net,
+	// so ILM rows of LSPs signaled on demand in any earlier epoch persist
+	// (cached plans rely on this).
+	net := prev.net.Clone()
+	for _, ed := range prev.failed {
+		if !downSet[ed] {
+			net.RepairEdge(ed)
+		}
+	}
+	for _, ed := range failed {
+		net.FailEdge(ed)
+	}
+
+	nh := &netHandle{net: net}
+	pl, hit := e.cachedPlan(failed, nh)
+	if hit {
+		e.mCacheHits.Add(0, 1)
+	} else {
+		e.mCacheMiss.Add(0, 1)
+	}
+
+	// Routing matrix: fresh top-level slice over shared canonical rows,
+	// deep-copying only the rows this transition touches.
+	rows := make([][]*Route, len(e.canonical))
+	copy(rows, e.canonical)
+	touched := make(map[graph.NodeID][]*Route)
+	row := func(src graph.NodeID) []*Route {
+		r, ok := touched[src]
+		if !ok {
+			r = make([]*Route, len(e.canonical[src]))
+			copy(r, e.canonical[src])
+			touched[src] = r
+			rows[src] = r
+		}
+		return r
+	}
+
+	// Apply the new plan; pairs in the previous plan but not this one fall
+	// back to canonical simply by starting from canonical rows — their FEC
+	// entries are rewritten below.
+	for pr, rt := range pl.routes {
+		row(pr.Src)[pr.Dst] = rt
+	}
+
+	// Forwarding plane: rewrite the FEC entry of every pair in either
+	// plan to match the new matrix.
+	writeFEC := func(pr rbpc.Pair) {
+		rt := rows[pr.Src][pr.Dst]
+		if rt == nil {
+			net.ClearFEC(pr.Src, pr.Dst)
+			return
+		}
+		net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{Stack: rt.Stack, OutEdge: mpls.LocalProcess})
+	}
+	for pr := range pl.routes {
+		writeFEC(pr)
+	}
+	for pr := range e.prevPlan.routes {
+		if _, covered := pl.routes[pr]; !covered {
+			writeFEC(pr)
+		}
+	}
+
+	fv := graph.FailEdges(e.g, failed...)
+	oracle := spath.NewOracle(fv)
+	if e.cfg.OracleCap > 0 {
+		oracle.SetCap(e.cfg.OracleCap)
+	}
+	if e.cfg.WarmOracle {
+		srcs := make([]graph.NodeID, 0, len(touched))
+		for s := range touched {
+			srcs = append(srcs, s)
+		}
+		oracle.Precompute(srcs, e.cfg.BuildWorkers)
+	}
+
+	next := &Snapshot{
+		epoch:   prev.epoch + 1,
+		failed:  failed,
+		key:     key,
+		fv:      fv,
+		net:     net,
+		oracle:  oracle,
+		rows:    rows,
+		created: time.Now(),
+	}
+	e.prevPlan = pl
+	e.snap.Store(next)
+	e.mEpochs.Add(0, 1)
+	e.mBuild.Record(0, time.Since(start))
+}
+
+// resolveRoute maps a decomposition onto LSPs via the shared resolver,
+// establishing missing components on the epoch's net.
+func (e *Engine) resolveRoute(dec core.Decomposition, nh *netHandle) (*Route, error) {
+	r := rbpc.Resolver{Net: nh.net, LSPs: e.lspOf}
+	lsps, err := r.Resolve(dec)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&e.onDemand, int64(r.OnDemand))
+	stack, err := mpls.SelfStack(lsps)
+	if err != nil {
+		return nil, err
+	}
+	return &Route{LSPs: lsps, Stack: stack, Cost: dec.Cost(e.g)}, nil
+}

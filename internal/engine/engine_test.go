@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/spath"
+	"rbpc/internal/topology"
+)
+
+func newEngine(t testing.TB, g *graph.Graph, cfg Config) (*Engine, *rbpc.System) {
+	t.Helper()
+	sys, err := rbpc.NewSystem(g, rbpc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys.Export(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e, sys
+}
+
+// agreeWithSystem compares every pair's engine answer against a reference
+// System holding the same failed-set: same routability, same cost.
+func agreeWithSystem(t *testing.T, e *Engine, ref *rbpc.System, tag string) {
+	t.Helper()
+	g := ref.Graph()
+	for s := 0; s < g.Order(); s++ {
+		for d := 0; d < g.Order(); d++ {
+			if s == d {
+				continue
+			}
+			src, dst := graph.NodeID(s), graph.NodeID(d)
+			got := e.Query(src, dst).Route
+			want := ref.RouteOf(src, dst)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("%s: pair %d->%d routable mismatch: engine %v, system %v",
+					tag, s, d, got != nil, want != nil)
+			}
+			if got == nil {
+				continue
+			}
+			var wantCost float64
+			for _, l := range want {
+				wantCost += l.Path.CostIn(g)
+			}
+			if got.Cost != wantCost {
+				t.Fatalf("%s: pair %d->%d cost %v, system %v", tag, s, d, got.Cost, wantCost)
+			}
+		}
+	}
+}
+
+func TestEngineMatchesSystemUnderChurn(t *testing.T) {
+	g := topology.Waxman(16, 0.8, 0.5, 3)
+	e, _ := newEngine(t, g, Config{})
+	ref, err := rbpc.NewSystem(g, rbpc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agreeWithSystem(t, e, ref, "pristine")
+
+	events := failure.ChurnSchedule(g, 40, 3, rand.New(rand.NewSource(5)))
+	for i, ev := range events {
+		if ev.Repair {
+			e.Repair(ev.Edge)
+			ref.RepairLink(ev.Edge)
+		} else {
+			e.Fail(ev.Edge)
+			ref.FailLink(ev.Edge)
+		}
+		e.Flush()
+		snap := e.Snapshot()
+		if len(snap.Failed()) != len(ref.KnownFailed()) {
+			t.Fatalf("event %d: engine sees %v failed, system %v", i, snap.Failed(), ref.KnownFailed())
+		}
+		agreeWithSystem(t, e, ref, "after event")
+	}
+	// Full schedule drains to pristine.
+	if got := e.Snapshot().Failed(); len(got) != 0 {
+		t.Fatalf("failures survive full schedule: %v", got)
+	}
+}
+
+func TestPlanCacheHitsOnRevisitedFailedSet(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 9)
+	e, _ := newEngine(t, g, Config{})
+	ed := graph.EdgeID(0)
+
+	for i := 0; i < 3; i++ {
+		e.Fail(ed)
+		e.Flush()
+		e.Repair(ed)
+		e.Flush()
+	}
+	st := e.Stats()
+	// First fail misses; the two re-fails hit. Every repair hits the
+	// pre-seeded pristine plan.
+	if st.PlanCacheMiss != 1 {
+		t.Fatalf("plan cache misses = %d, want 1", st.PlanCacheMiss)
+	}
+	if st.PlanCacheHits != 5 {
+		t.Fatalf("plan cache hits = %d, want 5", st.PlanCacheHits)
+	}
+	if st.Epochs != 6 {
+		t.Fatalf("epochs = %d, want 6", st.Epochs)
+	}
+}
+
+func TestCoalescedBurstCancelsOut(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 2)
+	e, _ := newEngine(t, g, Config{CoalesceWindow: 100 * time.Millisecond})
+	ed := graph.EdgeID(1)
+
+	// Fail+repair inside one coalesce window: the failed-set is unchanged,
+	// so no epoch may be published.
+	e.ApplyEvents([]failure.Event{{Edge: ed}, {Repair: true, Edge: ed}})
+	e.Flush()
+	if st := e.Stats(); st.Epochs != 0 || st.Epoch != 0 {
+		t.Fatalf("cancelled burst published an epoch: %+v", st)
+	}
+}
+
+func TestUnroutablePair(t *testing.T) {
+	// A line graph: failing any edge cuts the pairs across it.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(2, 3, 1)
+	e, _ := newEngine(t, g, Config{})
+
+	e.Fail(1) // cut 1-2
+	e.Flush()
+	res := e.Query(0, 3)
+	if res.Route != nil {
+		t.Fatalf("pair 0->3 routable across a cut: %+v", res.Route)
+	}
+	if d := e.Dist(0, 3); d != spath.Unreachable {
+		t.Fatalf("Dist across cut = %v", d)
+	}
+	if st := e.Stats(); st.Unroutable == 0 {
+		t.Fatal("unroutable counter not incremented")
+	}
+
+	e.Repair(1)
+	e.Flush()
+	if res := e.Query(0, 3); res.Route == nil {
+		t.Fatal("pair 0->3 still unroutable after repair")
+	}
+}
+
+func TestSubmitDrainsToCallback(t *testing.T) {
+	g := topology.Waxman(10, 0.8, 0.5, 4)
+	got := make(chan Result, 64)
+	e, _ := newEngine(t, g, Config{Workers: 2, OnResult: func(r Result) { got <- r }})
+
+	const want = 20
+	sent := 0
+	for d := 1; d <= want; d++ {
+		if e.Submit(0, graph.NodeID(d%g.Order())) {
+			sent++
+		}
+	}
+	for i := 0; i < sent; i++ {
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d results arrived", i, sent)
+		}
+	}
+	st := e.Stats()
+	if st.Submitted != int64(want) || st.Dropped != int64(want-sent) {
+		t.Fatalf("submitted=%d dropped=%d, want %d/%d", st.Submitted, st.Dropped, want, want-sent)
+	}
+	if st.QueryLatency.Count != int64(sent) {
+		t.Fatalf("latency samples = %d, want %d", st.QueryLatency.Count, sent)
+	}
+}
+
+func TestSnapshotImmutableAcrossEpochs(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 6)
+	e, _ := newEngine(t, g, Config{})
+	old := e.Snapshot()
+	oldRoute := old.Route(0, graph.NodeID(g.Order()-1))
+
+	events := failure.ChurnSchedule(g, 20, 2, rand.New(rand.NewSource(3)))
+	e.ApplyEvents(events)
+	e.Flush()
+
+	// The pristine snapshot still answers exactly as before.
+	if got := old.Route(0, graph.NodeID(g.Order()-1)); got != oldRoute {
+		t.Fatal("held snapshot changed under churn")
+	}
+	if old.Epoch() != 0 || len(old.Failed()) != 0 {
+		t.Fatal("held snapshot's identity changed")
+	}
+}
+
+func TestQueryZeroAllocs(t *testing.T) {
+	g := topology.Waxman(16, 0.8, 0.5, 8)
+	e, _ := newEngine(t, g, Config{})
+	e.Fail(0)
+	e.Flush()
+
+	n := int(testing.AllocsPerRun(1000, func() {
+		e.Query(2, 9)
+	}))
+	if n != 0 {
+		t.Fatalf("Query allocates %d times per op, want 0", n)
+	}
+}
+
+func TestNewRejectsFailedProvision(t *testing.T) {
+	g := topology.Waxman(10, 0.8, 0.5, 1)
+	sys, err := rbpc.NewSystem(g, rbpc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.FailLink(0)
+	if _, err := New(sys.Export(), Config{}); err == nil {
+		t.Fatal("New accepted a provision with live failures")
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics provides the allocation-free instrumentation the online
+// restoration engine hangs off its hot paths: sharded counters that absorb
+// concurrent increments without cache-line ping-pong, and log-bucketed
+// latency histograms cheap enough to record every query.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// nShards is the number of independent counter cells. A power of two so
+// shard selection is a mask. More shards than typical GOMAXPROCS so that
+// even a fully loaded machine rarely collides two hot goroutines on one
+// cell.
+const nShards = 32
+
+// cell is one cache-line-padded counter shard. 64-byte alignment keeps a
+// busy shard's invalidations away from its neighbours.
+type cell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a sharded monotonic counter. Add is wait-free and touches a
+// single cache line; Load sums all shards and is intended for scrape-time
+// use, not hot paths.
+type Counter struct {
+	cells [nShards]cell
+}
+
+// Add increments the counter by d on the shard chosen by key. Callers pass
+// any cheap per-goroutine-ish value (a worker index, a hashed pair); the
+// spread only affects contention, never correctness.
+func (c *Counter) Add(key uint64, d int64) {
+	c.cells[key&(nShards-1)].v.Add(d)
+}
+
+// Load returns the counter's total.
+func (c *Counter) Load() int64 {
+	var t int64
+	for i := range c.cells {
+		t += c.cells[i].v.Load()
+	}
+	return t
+}
+
+// histBuckets covers 1ns..~4.3s in power-of-two buckets, with a final
+// overflow bucket.
+const histBuckets = 33
+
+// Histogram is a concurrent log-bucketed latency histogram: bucket i holds
+// observations in [2^(i-1), 2^i) nanoseconds (bucket 0 holds <1ns). Record
+// is a single sharded atomic add; quantiles are reconstructed at scrape
+// time with one power-of-two of resolution, which is plenty for p50/p99
+// over many decades of latency.
+type Histogram struct {
+	buckets [histBuckets]Counter
+}
+
+// bucketOf maps a duration to its bucket index.
+func bucketOf(d time.Duration) int {
+	n := uint64(d)
+	if d < 0 {
+		n = 0
+	}
+	b := bits.Len64(n)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Record adds one observation. key picks the counter shard (see
+// Counter.Add).
+func (h *Histogram) Record(key uint64, d time.Duration) {
+	h.buckets[bucketOf(d)].Add(key, 1)
+}
+
+// Summary is a scrape-time digest of a Histogram. Quantile values are the
+// upper bound of the bucket containing the quantile, so they overestimate
+// by at most 2x (one power-of-two bucket).
+type Summary struct {
+	Count int64
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// upperBound returns the top of bucket i in nanoseconds.
+func upperBound(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// Summarize digests the histogram's current contents. Concurrent Records
+// during a Summarize are attributed to either side of the scrape, never
+// lost.
+func (h *Histogram) Summarize() Summary {
+	var counts [histBuckets]int64
+	var s Summary
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+		if counts[i] > 0 {
+			s.Max = upperBound(i)
+		}
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.P50 = quantile(counts[:], s.Count, 0.50)
+	s.P90 = quantile(counts[:], s.Count, 0.90)
+	s.P99 = quantile(counts[:], s.Count, 0.99)
+	return s
+}
+
+func quantile(counts []int64, total int64, q float64) time.Duration {
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return upperBound(i)
+		}
+	}
+	return upperBound(len(counts) - 1)
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrentSum(t *testing.T) {
+	var c Counter
+	const workers, per = 16, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Add(uint64(w), 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("Load = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{-5, 0}, // negative clamps to the zero bucket
+		{time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1µs, 10 at ~1ms, 1 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.Record(uint64(i), time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(uint64(i), time.Millisecond)
+	}
+	h.Record(0, time.Second)
+
+	s := h.Summarize()
+	if s.Count != 111 {
+		t.Fatalf("Count = %d, want 111", s.Count)
+	}
+	// Bucket upper bounds overestimate by at most 2x.
+	if s.P50 < time.Microsecond || s.P50 > 2*time.Microsecond {
+		t.Errorf("P50 = %v, want ~1µs", s.P50)
+	}
+	if s.P99 < time.Millisecond || s.P99 > 2*time.Millisecond {
+		t.Errorf("P99 = %v, want ~1ms", s.P99)
+	}
+	if s.Max < time.Second || s.Max > 2*time.Second {
+		t.Errorf("Max = %v, want ~1s", s.Max)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Summarize()
+	if s.Count != 0 || s.P50 != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(uint64(w), time.Duration(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Summarize(); s.Count != workers*per {
+		t.Fatalf("Count = %d, want %d", s.Count, workers*per)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		var key uint64
+		for pb.Next() {
+			key++
+			c.Add(key, 1)
+		}
+	})
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		var key uint64
+		for pb.Next() {
+			key++
+			h.Record(key, time.Duration(key)*17)
+		}
+	})
+}

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"rbpc/internal/core"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+)
+
+// plan is the canonical-relative restoration plan for one failed-set: for
+// every pair whose primary crosses a failed link, the route replacing it
+// (nil = unroutable under this failed-set). Pairs absent from the plan
+// ride their canonical primaries untouched.
+//
+// Keying plans by failed-set makes arbitrary churn transitions correct by
+// construction: moving from failed-set A to failed-set S applies plan(S)
+// and restores the canonical route for every pair in plan(A) that plan(S)
+// does not cover. Plans are immutable once built and safe to cache — they
+// hold routes only, never forwarding state.
+type plan struct {
+	key    string
+	routes map[rbpc.Pair]*Route
+}
+
+// emptyPlan is plan("") — the pristine network needs no overrides. Having
+// it pre-cached makes "repair everything" transitions free.
+var emptyPlan = &plan{key: "", routes: nil}
+
+// failedKey canonicalizes a sorted failed-set into a cache key.
+func failedKey(failed []graph.EdgeID) string {
+	if len(failed) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, 4*len(failed))
+	for i, e := range failed {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(e), 10)
+	}
+	return string(b)
+}
+
+// affectedPairs returns the pairs whose primary crosses any failed link,
+// grouped by source, using the static primary->edge index (primaries never
+// change, so the index is built once).
+func (e *Engine) affectedPairs(failed []graph.EdgeID) map[graph.NodeID][]graph.NodeID {
+	seen := make(map[rbpc.Pair]bool)
+	bySrc := make(map[graph.NodeID][]graph.NodeID)
+	for _, ed := range failed {
+		for _, pr := range e.primariesByEdge[ed] {
+			if !seen[pr] {
+				seen[pr] = true
+				bySrc[pr.Src] = append(bySrc[pr.Src], pr.Dst)
+			}
+		}
+	}
+	return bySrc
+}
+
+// computePlan builds plan(failed) from scratch: batched sparse
+// decomposition per affected source (parallel, pure), then serial
+// resolution of components into LSPs on net (which receives any on-demand
+// establishment — the engine's net lineage is linear, so rows signaled
+// here persist into every later epoch).
+func (e *Engine) computePlan(failed []graph.EdgeID, net *netHandle) *plan {
+	bySrc := e.affectedPairs(failed)
+	if len(bySrc) == 0 {
+		return &plan{key: failedKey(failed), routes: nil}
+	}
+	fv := graph.FailEdges(e.g, failed...)
+
+	srcs := make([]graph.NodeID, 0, len(bySrc))
+	for s := range bySrc {
+		srcs = append(srcs, s)
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+
+	// Phase 1 — decomposition fan-out. Each source's affected destinations
+	// are covered by one multi-destination Dijkstra on the base-path graph.
+	type srcDecs struct {
+		decs []core.Decomposition
+		oks  []bool
+	}
+	out := make([]srcDecs, len(srcs))
+	workers := e.cfg.BuildWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One solver per worker: the dead-path mask and Dijkstra
+			// scratch are computed once and reused across this worker's
+			// share of the affected sources.
+			solver := core.NewSparseSolver(e.base, fv)
+			for i := range next {
+				s := srcs[i]
+				decs, oks := solver.From(s, bySrc[s])
+				out[i] = srcDecs{decs, oks}
+			}
+		}()
+	}
+	for i := range srcs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	// Phase 2 — serial resolution into LSPs. On-demand components are
+	// signaled into the epoch's writable net and recorded in the shared
+	// registry so later plans find them provisioned.
+	routes := make(map[rbpc.Pair]*Route)
+	for i, s := range srcs {
+		for j, d := range bySrc[s] {
+			pr := rbpc.Pair{Src: s, Dst: d}
+			if !out[i].oks[j] {
+				routes[pr] = nil
+				continue
+			}
+			r, err := e.resolveRoute(out[i].decs[j], net)
+			if err != nil {
+				routes[pr] = nil
+				continue
+			}
+			routes[pr] = r
+		}
+	}
+	return &plan{key: failedKey(failed), routes: routes}
+}
+
+// cachedPlan returns plan(failed), consulting the cache first. The bool
+// reports whether it was a hit.
+func (e *Engine) cachedPlan(failed []graph.EdgeID, net *netHandle) (*plan, bool) {
+	key := failedKey(failed)
+	if p, ok := e.planCache[key]; ok {
+		return p, true
+	}
+	p := e.computePlan(failed, net)
+	if e.cfg.PlanCacheCap > 0 && len(e.planCache) >= e.cfg.PlanCacheCap {
+		for k := range e.planCache {
+			if k == "" {
+				continue // never evict the pristine plan
+			}
+			delete(e.planCache, k)
+			break
+		}
+	}
+	e.planCache[key] = p
+	return p, false
+}

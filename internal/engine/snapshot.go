@@ -1,0 +1,79 @@
+// Package engine is the online serving layer over the RBPC machinery: a
+// long-running process that owns a provisioned System export and answers
+// path/restoration queries at high rate while link failures and repairs
+// churn underneath it.
+//
+// The concurrency model is single-writer, many-readers. All mutation goes
+// through one writer goroutine that coalesces bursts of failure events
+// into an epoch, builds an immutable Snapshot for the new failed-set, and
+// publishes it with one atomic pointer swap. Readers load the pointer and
+// serve entirely from the snapshot — no locks, no allocation, and no torn
+// state: every answer is consistent with exactly one epoch.
+package engine
+
+import (
+	"time"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/spath"
+)
+
+// Route is one served answer: the LSP concatenation currently restoring
+// the pair, its label stack as pushed by the source router, and its cost
+// in the original graph (which, by construction, is the true post-failure
+// shortest distance).
+type Route struct {
+	LSPs  []*mpls.LSP
+	Stack []mpls.Label
+	Cost  float64
+}
+
+// Snapshot is one epoch's immutable serving state. Everything reachable
+// from a Snapshot is frozen: readers may use it concurrently and hold it
+// across epochs (the writer never mutates a published snapshot, it builds
+// a successor and swaps the pointer).
+type Snapshot struct {
+	epoch  uint64
+	failed []graph.EdgeID // sorted
+	key    string         // canonical cache key of failed
+	fv     *graph.FailureView
+	net    *mpls.Network
+	oracle *spath.Oracle // shortest paths in fv (post-failure distances)
+
+	// rows is the routing matrix, [src][dst]. The top-level slice is fresh
+	// per epoch; inner rows are shared with the canonical matrix except for
+	// sources the epoch's plan touched (copy-on-write at row granularity).
+	// A nil entry is an unroutable (or self) pair.
+	rows [][]*Route
+
+	created time.Time
+}
+
+// Epoch returns the snapshot's sequence number (0 = pristine).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Failed returns the links down in this epoch, sorted. Callers must not
+// modify the returned slice.
+func (s *Snapshot) Failed() []graph.EdgeID { return s.failed }
+
+// View returns the epoch's failure view of the topology.
+func (s *Snapshot) View() *graph.FailureView { return s.fv }
+
+// Net returns the epoch's forwarding plane. It is safe for concurrent
+// packet forwarding (reads); it must not be mutated.
+func (s *Snapshot) Net() *mpls.Network { return s.net }
+
+// Oracle returns shortest-path distances in the epoch's failure view,
+// computed lazily per source and memoized. Safe for concurrent use.
+func (s *Snapshot) Oracle() *spath.Oracle { return s.oracle }
+
+// Route returns the pair's current concatenation, or nil if the pair is
+// unroutable in this epoch. The returned Route is immutable.
+func (s *Snapshot) Route(src, dst graph.NodeID) *Route {
+	return s.rows[src][dst]
+}
+
+// Age reports how long this snapshot has been the serving epoch (time
+// since it was published).
+func (s *Snapshot) Age() time.Duration { return time.Since(s.created) }

@@ -1,0 +1,184 @@
+package mpls
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rbpc/internal/graph"
+)
+
+// lineNet builds a line graph of n routers with one LSP spanning each
+// adjacent pair and a full-span LSP, plus a FEC row at every router for
+// the far end.
+func lineNet(tb testing.TB, n int) (*graph.Graph, *Network) {
+	tb.Helper()
+	g := graph.New(n)
+	for i := 0; i < n-1; i++ {
+		g.AddEdge(graph.NodeID(i), graph.NodeID(i+1), 1)
+	}
+	net := NewNetwork(g)
+	var nodes []graph.NodeID
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, graph.NodeID(i))
+	}
+	full, err := net.EstablishLSP(pathOf(g, nodes...))
+	if err != nil {
+		tb.Fatalf("EstablishLSP: %v", err)
+	}
+	for i := 0; i < n-1; i++ {
+		if _, err := net.EstablishLSP(pathOf(g, nodes[i], nodes[i+1])); err != nil {
+			tb.Fatalf("EstablishLSP: %v", err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		net.SetFEC(graph.NodeID(i), graph.NodeID(n-1), FECEntry{
+			Stack:   []Label{full.SelfLabel()},
+			OutEdge: LocalProcess,
+		})
+	}
+	return g, net
+}
+
+func mapPtr(v any) uintptr { return reflect.ValueOf(v).Pointer() }
+
+func TestCloneSharesUntouchedTables(t *testing.T) {
+	_, net := lineNet(t, 8)
+	c := net.Clone()
+
+	for i := range net.routers {
+		if mapPtr(c.routers[i].ilm) != mapPtr(net.routers[i].ilm) {
+			t.Fatalf("router %d: ILM not shared after clone", i)
+		}
+		if mapPtr(c.routers[i].fec) != mapPtr(net.routers[i].fec) {
+			t.Fatalf("router %d: FEC not shared after clone", i)
+		}
+	}
+	if mapPtr(c.lsps) != mapPtr(net.lsps) {
+		t.Fatal("LSP registry not shared after clone")
+	}
+
+	// One FEC write on the clone un-shares exactly that router's FEC map.
+	c.SetFEC(3, 0, FECEntry{OutEdge: LocalProcess})
+	if mapPtr(c.routers[3].fec) == mapPtr(net.routers[3].fec) {
+		t.Fatal("written FEC map still shared")
+	}
+	if mapPtr(c.routers[3].ilm) != mapPtr(net.routers[3].ilm) {
+		t.Fatal("ILM map of written router should remain shared")
+	}
+	for i := range net.routers {
+		if i == 3 {
+			continue
+		}
+		if mapPtr(c.routers[i].fec) != mapPtr(net.routers[i].fec) {
+			t.Fatalf("untouched router %d un-shared by a write to router 3", i)
+		}
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	g, net := lineNet(t, 6)
+	c := net.Clone()
+
+	// Writes to the clone are invisible to the original, and vice versa.
+	c.SetFEC(0, 5, FECEntry{Stack: []Label{99}, OutEdge: LocalProcess})
+	if e, _ := net.Router(0).FECEntryFor(5); len(e.Stack) == 1 && e.Stack[0] == 99 {
+		t.Fatal("clone FEC write leaked into original")
+	}
+	net.ClearFEC(1, 5)
+	if _, ok := c.Router(1).FECEntryFor(5); !ok {
+		t.Fatal("original ClearFEC leaked into clone")
+	}
+
+	// ILM writes are isolated too.
+	var lbl Label
+	for l := range net.routers[2].ilm {
+		lbl = l
+		break
+	}
+	if _, err := net.ReplaceILM(2, lbl, ILMEntry{Out: nil, OutEdge: LocalProcess}); err != nil {
+		t.Fatalf("ReplaceILM: %v", err)
+	}
+	orig, _ := net.Router(2).ILMEntryFor(lbl)
+	cl, _ := c.Router(2).ILMEntryFor(lbl)
+	if orig.OutEdge == cl.OutEdge && len(orig.Out) == len(cl.Out) {
+		t.Fatal("original ILM replacement leaked into clone")
+	}
+
+	// LSP establishment on the clone does not grow the original registry.
+	before := net.NumLSPs()
+	if _, err := c.EstablishLSP(pathOf(g, 2, 3, 4)); err != nil {
+		t.Fatalf("EstablishLSP on clone: %v", err)
+	}
+	if net.NumLSPs() != before {
+		t.Fatalf("clone establishment grew original registry: %d -> %d", before, net.NumLSPs())
+	}
+
+	// Link state is independent.
+	c.FailEdge(0)
+	if !net.EdgeUp(0) {
+		t.Fatal("clone FailEdge leaked into original")
+	}
+}
+
+func TestCloneForwardingMatchesOriginal(t *testing.T) {
+	_, net := lineNet(t, 6)
+	c := net.Clone()
+	p1, err1 := net.SendIP(0, 5)
+	p2, err2 := c.SendIP(0, 5)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("forward: %v / %v", err1, err2)
+	}
+	if p1.At != 5 || p2.At != 5 || p1.Hops != p2.Hops {
+		t.Fatalf("forwarding diverged: %v vs %v", p1, p2)
+	}
+}
+
+func TestCloneLabelSpacesIndependent(t *testing.T) {
+	g, net := lineNet(t, 6)
+	c := net.Clone()
+	// Establish distinct LSPs on both lineages; each network's tables must
+	// stay internally consistent (forwarding still delivers on both).
+	if _, err := net.EstablishLSP(pathOf(g, 1, 2, 3)); err != nil {
+		t.Fatalf("EstablishLSP original: %v", err)
+	}
+	if _, err := c.EstablishLSP(pathOf(g, 3, 4, 5)); err != nil {
+		t.Fatalf("EstablishLSP clone: %v", err)
+	}
+	for _, n := range []*Network{net, c} {
+		pkt, err := n.SendIP(0, 5)
+		if err != nil || pkt.At != 5 {
+			t.Fatalf("post-establish forwarding broken: %v (%v)", pkt, err)
+		}
+	}
+}
+
+// BenchmarkNetworkClone measures the snapshot cost alone: it must scale
+// with router/link count only, not with installed table rows.
+func BenchmarkNetworkClone(b *testing.B) {
+	_, net := lineNet(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net = net.Clone()
+	}
+}
+
+// BenchmarkClonePatch proves the copy-on-write claim: clone the network
+// and rewrite FEC rows at k routers. Cost grows with k (the changed
+// tables), not with the ~2n untouched tables.
+func BenchmarkClonePatch(b *testing.B) {
+	for _, k := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("patched=%d", k), func(b *testing.B) {
+			_, net := lineNet(b, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := net.Clone()
+				for r := 0; r < k; r++ {
+					c.SetFEC(graph.NodeID(r), 0, FECEntry{OutEdge: LocalProcess})
+				}
+			}
+		})
+	}
+}

@@ -103,7 +103,7 @@ func (n *Network) Forward(pkt *Packet) error {
 			if pkt.At != pkt.Dst {
 				return fmt.Errorf("popped out at router %d, want %d: %w", pkt.At, pkt.Dst, ErrNotDelivered)
 			}
-			n.stats.PacketsForwarded++
+			n.stats.packetsForwarded.Add(1)
 			return nil
 		}
 		ops := 0
@@ -111,7 +111,7 @@ func (n *Network) Forward(pkt *Packet) error {
 			r := n.routers[pkt.At]
 			entry, ok := r.ilm[top]
 			if !ok {
-				n.stats.PacketsDropped++
+				n.stats.packetsDropped.Add(1)
 				return fmt.Errorf("router %d, label %d: %w", pkt.At, top, ErrNoRoute)
 			}
 			// Label operation: replace top with entry.Out.
@@ -129,12 +129,12 @@ func (n *Network) Forward(pkt *Packet) error {
 				if pkt.At != pkt.Dst {
 					return fmt.Errorf("popped out at router %d, want %d: %w", pkt.At, pkt.Dst, ErrNotDelivered)
 				}
-				n.stats.PacketsForwarded++
+				n.stats.packetsForwarded.Add(1)
 				return nil
 			}
 			ops++
 			if ops > maxLocalOps {
-				n.stats.PacketsDropped++
+				n.stats.packetsDropped.Add(1)
 				return fmt.Errorf("router %d: %w", pkt.At, ErrLabelLoop)
 			}
 		}
@@ -144,16 +144,16 @@ func (n *Network) Forward(pkt *Packet) error {
 // transmit moves the packet across a link, enforcing link state and TTL.
 func (n *Network) transmit(pkt *Packet, e graph.EdgeID) error {
 	if !n.edgeUp[e] {
-		n.stats.PacketsDropped++
+		n.stats.packetsDropped.Add(1)
 		return fmt.Errorf("link %d at router %d: %w", e, pkt.At, ErrLinkDown)
 	}
 	edge := n.g.Edge(e)
 	if edge.U != pkt.At && edge.V != pkt.At {
-		n.stats.PacketsDropped++
+		n.stats.packetsDropped.Add(1)
 		return fmt.Errorf("mpls: router %d asked to transmit on non-incident link %d", pkt.At, e)
 	}
 	if pkt.TTL <= 0 {
-		n.stats.PacketsDropped++
+		n.stats.packetsDropped.Add(1)
 		return fmt.Errorf("at router %d: %w", pkt.At, ErrTTLExpired)
 	}
 	pkt.TTL--

@@ -119,7 +119,7 @@ func (n *Network) establish(path graph.Path, php bool) (*LSP, error) {
 	// Ingress self-row.
 	ingress := n.routers[path.Src()]
 	lsp.selfLabel = ingress.allocLabel()
-	ingress.ilm[lsp.selfLabel] = ILMEntry{
+	ingress.writableILM()[lsp.selfLabel] = ILMEntry{
 		Out:     []Label{lsp.hopLabels[0]},
 		OutEdge: path.Edges[0],
 		LSP:     lsp.ID,
@@ -134,18 +134,18 @@ func (n *Network) establish(path graph.Path, php bool) (*LSP, error) {
 			if php {
 				continue // egress holds no row under PHP
 			}
-			r.ilm[in] = ILMEntry{Out: nil, OutEdge: LocalProcess, LSP: lsp.ID}
+			r.writableILM()[in] = ILMEntry{Out: nil, OutEdge: LocalProcess, LSP: lsp.ID}
 		case php && i == m-1:
 			// Penultimate pop: forward the inner stack on the last link.
-			r.ilm[in] = ILMEntry{Out: nil, OutEdge: path.Edges[i], LSP: lsp.ID}
+			r.writableILM()[in] = ILMEntry{Out: nil, OutEdge: path.Edges[i], LSP: lsp.ID}
 		default:
-			r.ilm[in] = ILMEntry{Out: []Label{lsp.hopLabels[i]}, OutEdge: path.Edges[i], LSP: lsp.ID}
+			r.writableILM()[in] = ILMEntry{Out: []Label{lsp.hopLabels[i]}, OutEdge: path.Edges[i], LSP: lsp.ID}
 		}
 	}
 
-	n.lsps[lsp.ID] = lsp
-	n.stats.LSPsEstablished++
-	n.stats.SignalingMsgs += m + 1 // one mapping per hop + ingress row
+	n.writableLSPs()[lsp.ID] = lsp
+	n.stats.lspsEstablished.Add(1)
+	n.stats.signalingMsgs.Add(int64(m) + 1) // one mapping per hop + ingress row
 	return lsp, nil
 }
 
@@ -165,9 +165,9 @@ func (n *Network) TeardownLSP(id LSPID) error {
 	for i := 0; i < last; i++ {
 		n.routers[lsp.Path.Nodes[i+1]].freeLabel(lsp.hopLabels[i])
 	}
-	delete(n.lsps, id)
-	n.stats.LSPsTornDown++
-	n.stats.SignalingMsgs += m
+	delete(n.writableLSPs(), id)
+	n.stats.lspsTornDown.Add(1)
+	n.stats.signalingMsgs.Add(int64(m))
 	return nil
 }
 

@@ -78,10 +78,10 @@ func (n *Network) InstallDestTree(dst graph.NodeID, nextHop map[graph.NodeID]gra
 			n.uninstallPartial(tree)
 			return nil, fmt.Errorf("mpls: InstallDestTree: router %d forwards to %d which has no row", r, arc.To)
 		}
-		n.routers[r].ilm[tree.labels[r]] = ILMEntry{Out: []Label{next}, OutEdge: arc.Edge}
+		n.routers[r].writableILM()[tree.labels[r]] = ILMEntry{Out: []Label{next}, OutEdge: arc.Edge}
 	}
-	n.routers[dst].ilm[tree.labels[dst]] = ILMEntry{Out: nil, OutEdge: LocalProcess}
-	n.stats.SignalingMsgs += len(tree.labels)
+	n.routers[dst].writableILM()[tree.labels[dst]] = ILMEntry{Out: nil, OutEdge: LocalProcess}
+	n.stats.signalingMsgs.Add(int64(len(tree.labels)))
 	return tree, nil
 }
 
@@ -96,7 +96,7 @@ func (n *Network) RemoveDestTree(tree *DestTree) {
 	for r, l := range tree.labels {
 		n.routers[r].freeLabel(l)
 	}
-	n.stats.SignalingMsgs += len(tree.labels)
+	n.stats.signalingMsgs.Add(int64(len(tree.labels)))
 }
 
 // SendMerged injects a packet at src carrying the merged label toward the

@@ -21,6 +21,8 @@ package mpls
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"sync/atomic"
 
 	"rbpc/internal/graph"
 )
@@ -66,6 +68,12 @@ type Router struct {
 	ilm map[Label]ILMEntry
 	fec map[graph.NodeID]FECEntry
 
+	// sharedILM/sharedFEC mark the maps as shared with a Clone of the
+	// network: the next write copies the map first (copy-on-write at
+	// router granularity), so the other lineage keeps its view.
+	sharedILM bool
+	sharedFEC bool
+
 	nextLabel Label
 	freeList  []Label
 }
@@ -92,8 +100,27 @@ func (r *Router) allocLabel() Label {
 }
 
 func (r *Router) freeLabel(l Label) {
-	delete(r.ilm, l)
+	delete(r.writableILM(), l)
 	r.freeList = append(r.freeList, l)
+}
+
+// writableILM returns the ILM map, un-sharing it first if a Clone holds a
+// reference. All ILM writes must go through it.
+func (r *Router) writableILM() map[Label]ILMEntry {
+	if r.sharedILM {
+		r.ilm = maps.Clone(r.ilm)
+		r.sharedILM = false
+	}
+	return r.ilm
+}
+
+// writableFEC is writableILM for the FEC table.
+func (r *Router) writableFEC() map[graph.NodeID]FECEntry {
+	if r.sharedFEC {
+		r.fec = maps.Clone(r.fec)
+		r.sharedFEC = false
+	}
+	return r.fec
 }
 
 // ILMSize returns the number of installed ILM entries — the hardware table
@@ -139,15 +166,54 @@ type Stats struct {
 	PacketsDropped   int
 }
 
+// netStats is the live, atomically updated form of Stats. Data-plane
+// counters (packets forwarded/dropped) are bumped by concurrent readers
+// forwarding on a shared immutable network snapshot, so every counter is
+// atomic.
+type netStats struct {
+	lspsEstablished  atomic.Int64
+	lspsTornDown     atomic.Int64
+	signalingMsgs    atomic.Int64
+	fecUpdates       atomic.Int64
+	ilmReplacements  atomic.Int64
+	packetsForwarded atomic.Int64
+	packetsDropped   atomic.Int64
+}
+
+func (s *netStats) snapshot() Stats {
+	return Stats{
+		LSPsEstablished:  int(s.lspsEstablished.Load()),
+		LSPsTornDown:     int(s.lspsTornDown.Load()),
+		SignalingMsgs:    int(s.signalingMsgs.Load()),
+		FECUpdates:       int(s.fecUpdates.Load()),
+		ILMReplacements:  int(s.ilmReplacements.Load()),
+		PacketsForwarded: int(s.packetsForwarded.Load()),
+		PacketsDropped:   int(s.packetsDropped.Load()),
+	}
+}
+
+func (s *netStats) copyFrom(o *netStats) {
+	s.lspsEstablished.Store(o.lspsEstablished.Load())
+	s.lspsTornDown.Store(o.lspsTornDown.Load())
+	s.signalingMsgs.Store(o.signalingMsgs.Load())
+	s.fecUpdates.Store(o.fecUpdates.Load())
+	s.ilmReplacements.Store(o.ilmReplacements.Load())
+	s.packetsForwarded.Store(o.packetsForwarded.Load())
+	s.packetsDropped.Store(o.packetsDropped.Load())
+}
+
 // Network is a set of LSRs over a topology, plus link up/down state for
 // the data plane.
 type Network struct {
 	g       *graph.Graph
 	routers []*Router
 	lsps    map[LSPID]*LSP
-	nextLSP LSPID
-	edgeUp  []bool
-	stats   Stats
+	// sharedLSPs marks the lsps map as shared with a Clone; the next
+	// write copies it first.
+	sharedLSPs bool
+	nextLSP    LSPID
+	edgeUp     []bool
+	stats      netStats
 }
 
 // NewNetwork builds an MPLS network over topology g with all links up.
@@ -175,7 +241,17 @@ func (n *Network) Graph() *graph.Graph { return n.g }
 func (n *Network) Router(id graph.NodeID) *Router { return n.routers[id] }
 
 // Stats returns a copy of the accumulated counters.
-func (n *Network) Stats() Stats { return n.stats }
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
+
+// writableLSPs returns the LSP registry, un-sharing it first if a Clone
+// holds a reference.
+func (n *Network) writableLSPs() map[LSPID]*LSP {
+	if n.sharedLSPs {
+		n.lsps = maps.Clone(n.lsps)
+		n.sharedLSPs = false
+	}
+	return n.lsps
+}
 
 // EdgeUp reports whether the link is currently up.
 func (n *Network) EdgeUp(e graph.EdgeID) bool { return n.edgeUp[e] }
@@ -200,16 +276,16 @@ func (n *Network) RepairEdge(e graph.EdgeID) { n.edgeUp[e] = true }
 // SetFEC installs (or replaces) the FEC row for dst at router id. This is
 // the entirety of source-router RBPC's data-plane action.
 func (n *Network) SetFEC(id, dst graph.NodeID, e FECEntry) {
-	n.routers[id].fec[dst] = e
-	n.stats.FECUpdates++
+	n.routers[id].writableFEC()[dst] = e
+	n.stats.fecUpdates.Add(1)
 }
 
 // ClearFEC removes the FEC row for dst at router id, if any; subsequent
 // traffic for dst entering at id is dropped (no route).
 func (n *Network) ClearFEC(id, dst graph.NodeID) {
 	if _, ok := n.routers[id].fec[dst]; ok {
-		delete(n.routers[id].fec, dst)
-		n.stats.FECUpdates++
+		delete(n.routers[id].writableFEC(), dst)
+		n.stats.fecUpdates.Add(1)
 	}
 }
 
@@ -223,8 +299,8 @@ func (n *Network) ReplaceILM(id graph.NodeID, l Label, e ILMEntry) (ILMEntry, er
 	if !ok {
 		return ILMEntry{}, fmt.Errorf("mpls: router %d has no ILM entry for label %d", id, l)
 	}
-	r.ilm[l] = e
-	n.stats.ILMReplacements++
+	r.writableILM()[l] = e
+	n.stats.ilmReplacements.Add(1)
 	return prev, nil
 }
 

@@ -24,6 +24,17 @@ type Explicit struct {
 	byPairAll map[pairKey][]int
 	byEdge    map[graph.EdgeID][]int
 	byNode    map[graph.NodeID][]int // paths visiting the node (incl. endpoints)
+	bySrc     map[graph.NodeID][]SourcePath
+}
+
+// SourcePath is one entry of the by-source index: a stored path plus its
+// cost in the base view, precomputed so hot consumers (the sparse
+// decomposer's Dijkstra) never rescan edges to price a candidate. Index is
+// the path's position in the set (stable; see DeadUnder).
+type SourcePath struct {
+	Path  graph.Path
+	Cost  float64
+	Index int
 }
 
 // NewExplicit returns an empty explicit base set over v.
@@ -35,6 +46,7 @@ func NewExplicit(v graph.View) *Explicit {
 		byPairAll: make(map[pairKey][]int),
 		byEdge:    make(map[graph.EdgeID][]int),
 		byNode:    make(map[graph.NodeID][]int),
+		bySrc:     make(map[graph.NodeID][]SourcePath),
 	}
 }
 
@@ -63,7 +75,36 @@ func (b *Explicit) Add(p graph.Path) bool {
 	for _, n := range p.Nodes {
 		b.byNode[n] = append(b.byNode[n], idx)
 	}
+	src := p.Src()
+	b.bySrc[src] = append(b.bySrc[src], SourcePath{Path: b.paths[idx], Cost: b.paths[idx].CostIn(b.view), Index: idx})
 	return true
+}
+
+// FromSource returns every stored path starting at s with its precomputed
+// base-view cost, in insertion order. The returned slice is shared index
+// state: callers must not modify it.
+func (b *Explicit) FromSource(s graph.NodeID) []SourcePath { return b.bySrc[s] }
+
+// DeadUnder returns a Len()-sized mask marking every stored path broken by
+// fv's removed edges and nodes: dead[i] == !Survives(paths[i], fv). It
+// costs O(paths through the removed elements), not O(total paths), so
+// consumers doing many survival checks against one failure view (the
+// sparse decomposer) can trade a per-check edge scan for one bit load.
+func (b *Explicit) DeadUnder(fv *graph.FailureView) []bool {
+	dead := make([]bool, len(b.paths))
+	for _, e := range fv.RemovedEdges() {
+		for _, idx := range b.byEdge[e] {
+			dead[idx] = true
+		}
+	}
+	// A stored path visiting a removed node is dead: it is nontrivial, so
+	// it traverses an edge incident to that node.
+	for _, nd := range fv.RemovedNodes() {
+		for _, idx := range b.byNode[nd] {
+			dead[idx] = true
+		}
+	}
+	return dead
 }
 
 // Len returns the number of stored paths.

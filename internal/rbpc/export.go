@@ -1,0 +1,48 @@
+package rbpc
+
+import (
+	"maps"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/paths"
+)
+
+// Provision is a point-in-time export of a System's provisioned state —
+// everything an external serving layer (internal/engine) needs to take
+// over restoration: the topology, the forwarding plane, the base set and
+// LSP registry, the per-pair primaries and current routes, and the
+// control plane's failure knowledge.
+//
+// Maps are copied so later System mutations do not disturb the export;
+// the pointed-to values (graph, network, LSPs, base set) are shared. A
+// consumer that intends to keep serving from the export while the System
+// keeps mutating should Clone the Network (copy-on-write) — *LSP values
+// and the base set are immutable after provisioning and safe to share.
+type Provision struct {
+	Graph     *graph.Graph
+	Net       *mpls.Network
+	Config    Config
+	Base      *paths.Explicit
+	LSPs      map[string]*mpls.LSP
+	Primaries map[Pair]*mpls.LSP
+	Routes    map[Pair][]*mpls.LSP
+	Failed    []graph.EdgeID
+	OnDemand  int
+}
+
+// Export snapshots the system's provisioned state. See Provision for the
+// sharing contract.
+func (s *System) Export() Provision {
+	return Provision{
+		Graph:     s.g,
+		Net:       s.net,
+		Config:    s.cfg,
+		Base:      s.base,
+		LSPs:      maps.Clone(s.lspOf),
+		Primaries: maps.Clone(s.primaries),
+		Routes:    maps.Clone(s.routes),
+		Failed:    s.KnownFailed(),
+		OnDemand:  s.onDemandLSPs,
+	}
+}

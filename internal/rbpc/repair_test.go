@@ -1,0 +1,201 @@
+package rbpc
+
+// Repair-direction coverage: failure *removal* must be as correct as
+// failure addition. The online engine drives both directions under churn,
+// so every repair entry point is exercised here: RepairLink,
+// RepairRouter, UndoLocalPatches, and partial repair of a multi-failure.
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/topology"
+	"rbpc/internal/verify"
+)
+
+// routeCost sums the original-graph cost of a concatenation.
+func routeCost(g *graph.Graph, lsps []*mpls.LSP) float64 {
+	var c float64
+	for _, l := range lsps {
+		c += l.Path.CostIn(g)
+	}
+	return c
+}
+
+// assertPristine checks that every pair rides its primary again and that
+// the forwarding tables audit clean.
+func assertPristine(t *testing.T, s *System) {
+	t.Helper()
+	for pr, primary := range s.primaries {
+		cur := s.RouteOf(pr.Src, pr.Dst)
+		if len(cur) != 1 || cur[0] != primary {
+			t.Fatalf("pair %v not back on its primary: %d components", pr, len(cur))
+		}
+	}
+	if rep := verify.CheckAll(s.Net()); !rep.LoopFree() {
+		t.Fatalf("table audit after repair: %v", rep)
+	}
+}
+
+func TestRepairLinkRestoresPrimaries(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 3)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail every link once, repairing after each: the system must return
+	// to the pristine primary routing every time.
+	for e := 0; e < g.Size(); e++ {
+		s.FailLink(graph.EdgeID(e))
+		s.RepairLink(graph.EdgeID(e))
+		if len(s.KnownFailed()) != 0 {
+			t.Fatalf("edge %d: failures survive repair: %v", e, s.KnownFailed())
+		}
+		assertPristine(t, s)
+	}
+}
+
+func TestPartialRepairReroutesOptimally(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 5)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := graph.EdgeID(0), graph.EdgeID(g.Size()/2)
+	s.FailLink(e1)
+	s.FailLink(e2)
+	s.RepairLink(e1)
+
+	// A reference system that only ever saw e2 fail must agree with the
+	// partially repaired one on every pair: same routability, same cost.
+	ref, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.FailLink(e2)
+
+	for pr := range s.primaries {
+		got := s.RouteOf(pr.Src, pr.Dst)
+		want := ref.RouteOf(pr.Src, pr.Dst)
+		if (got == nil) != (want == nil) {
+			t.Fatalf("pair %v: routable mismatch after partial repair (got %v, want %v)", pr, got != nil, want != nil)
+		}
+		if got != nil && routeCost(g, got) != routeCost(g, want) {
+			t.Fatalf("pair %v: cost %v after partial repair, reference %v",
+				pr, routeCost(g, got), routeCost(g, want))
+		}
+	}
+}
+
+func TestRepairRouterRestoresRoutes(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 7)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the highest-degree router so the failure actually reroutes.
+	var r graph.NodeID
+	best := -1
+	for v := 0; v < g.Order(); v++ {
+		if d := g.Degree(graph.NodeID(v)); d > best {
+			best, r = d, graph.NodeID(v)
+		}
+	}
+	links := s.FailRouter(r)
+	if len(links) != best {
+		t.Fatalf("FailRouter downed %d links, degree %d", len(links), best)
+	}
+	if len(s.KnownFailed()) != len(links) {
+		t.Fatalf("control plane knows %d failures, want %d", len(s.KnownFailed()), len(links))
+	}
+	s.RepairRouter(links)
+	if len(s.KnownFailed()) != 0 {
+		t.Fatalf("failures survive router repair: %v", s.KnownFailed())
+	}
+	assertPristine(t, s)
+}
+
+func TestUndoLocalPatchesRestoresILMRows(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 9)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a link carried by at least one multi-hop primary so a local
+	// patch has a row to replace.
+	for e := 0; e < g.Size(); e++ {
+		id := graph.EdgeID(e)
+		if len(s.PairsThrough(id)) == 0 {
+			continue
+		}
+		// Record the upstream ILM rows the patch will touch.
+		type row struct {
+			router graph.NodeID
+			label  mpls.Label
+		}
+		before := make(map[row]mpls.ILMEntry)
+		s.FailDataPlane(id)
+		patched, _, err := s.LocalPatch(id, EndRoute)
+		if err != nil {
+			t.Fatalf("LocalPatch(%d): %v", id, err)
+		}
+		if patched == 0 {
+			// Nothing replaced (all LSPs through e were unrestorable);
+			// undo must still clear the record.
+			s.UndoLocalPatches(id)
+			s.net.RepairEdge(id)
+			continue
+		}
+		for _, p := range s.patches[id] {
+			before[row{p.router, p.label}] = p.prev
+		}
+		if !s.LocallyPatched(id) {
+			t.Fatalf("link %d not marked patched", id)
+		}
+		undone := s.UndoLocalPatches(id)
+		if undone != patched {
+			t.Fatalf("undid %d rows, patched %d", undone, patched)
+		}
+		if s.LocallyPatched(id) {
+			t.Fatalf("link %d still marked patched after undo", id)
+		}
+		for k, want := range before {
+			got, ok := s.Net().Router(k.router).ILMEntryFor(k.label)
+			if !ok {
+				t.Fatalf("router %d label %d: row vanished after undo", k.router, k.label)
+			}
+			if got.OutEdge != want.OutEdge || len(got.Out) != len(want.Out) {
+				t.Fatalf("router %d label %d: row not restored (got %+v want %+v)", k.router, k.label, got, want)
+			}
+			for i := range got.Out {
+				if got.Out[i] != want.Out[i] {
+					t.Fatalf("router %d label %d: stack not restored", k.router, k.label)
+				}
+			}
+		}
+		s.net.RepairEdge(id)
+		return
+	}
+	t.Skip("no patchable link found")
+}
+
+func TestRepeatedFailRepairIsIdempotent(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 11)
+	s, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := graph.EdgeID(1)
+	for i := 0; i < 5; i++ {
+		s.FailLink(e)
+		s.RepairLink(e)
+	}
+	assertPristine(t, s)
+	// Fail/repair must not leak on-demand LSPs when the base set is
+	// closed: restoration under one failure always finds provisioned
+	// components.
+	if got := s.OnDemandLSPs(); got != 0 {
+		t.Fatalf("on-demand LSPs leaked under closed base set: %d", got)
+	}
+}

@@ -319,25 +319,11 @@ func (s *System) revertAllSources() {
 	}
 }
 
-// lspsFor maps decomposition components to provisioned LSPs, signaling
-// missing ones on demand.
+// lspsFor maps decomposition components to provisioned LSPs via a
+// Resolver over the system's own network and registry.
 func (s *System) lspsFor(dec core.Decomposition) ([]*mpls.LSP, error) {
-	lsps := make([]*mpls.LSP, 0, len(dec.Components))
-	for _, c := range dec.Components {
-		key := c.Path.Key()
-		lsp, ok := s.lspOf[key]
-		if !ok {
-			// Multiple failures may force an online computation (paper,
-			// Section 4.1): signal the missing component now.
-			var err error
-			lsp, err = s.net.EstablishLSP(c.Path)
-			if err != nil {
-				return nil, fmt.Errorf("rbpc: on-demand LSP %v: %w", c.Path, err)
-			}
-			s.lspOf[key] = lsp
-			s.onDemandLSPs++
-		}
-		lsps = append(lsps, lsp)
-	}
-	return lsps, nil
+	r := Resolver{Net: s.net, LSPs: s.lspOf}
+	lsps, err := r.Resolve(dec)
+	s.onDemandLSPs += r.OnDemand
+	return lsps, err
 }

@@ -1,7 +1,9 @@
 #!/bin/sh
 # verify.sh — the full local gate: build, vet, tests, and the race
 # detector over the packages with real concurrency (the SSSP solver pool,
-# the CSR lazy build, the oracle's CLOCK cache, and the eval fan-outs).
+# the CSR lazy build, the oracle's CLOCK cache, the eval fan-outs, and the
+# online engine: epoch snapshots under churn, COW network clones, and the
+# sharded metrics).
 #
 # Usage: scripts/verify.sh   (or: make verify)
 set -eu
@@ -18,6 +20,7 @@ echo "==> go test ./..."
 go test ./...
 
 echo "==> go test -race (concurrent packages)"
-go test -race ./internal/graph/... ./internal/spath/... ./internal/eval/...
+go test -race ./internal/graph/... ./internal/spath/... ./internal/eval/... \
+	./internal/engine/... ./internal/rbpc/... ./internal/mpls/...
 
 echo "verify: OK"
