@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench serve-bench
+.PHONY: all build test vet lint race verify bench serve-bench
 
 all: build
 
@@ -13,11 +13,20 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The rbpc-lint invariant checkers (see internal/analysis and DESIGN.md §10):
+# whole-module direct mode first (one cross-package annotation index), then
+# the same binary through go vet's unit protocol, which also covers _test.go
+# files and caches per-package results.
+lint:
+	$(GO) build -o bin/rbpc-lint ./cmd/rbpc-lint
+	./bin/rbpc-lint ./...
+	$(GO) vet -vettool=$(CURDIR)/bin/rbpc-lint ./...
+
 race:
 	$(GO) test -race ./internal/graph/... ./internal/spath/... ./internal/eval/... \
 		./internal/engine/... ./internal/rbpc/... ./internal/mpls/...
 
-# The full pre-commit gate: build + vet + tests + race detector.
+# The full pre-commit gate: build + vet + lint + tests + race detector.
 verify:
 	sh scripts/verify.sh
 

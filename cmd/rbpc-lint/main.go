@@ -1,0 +1,226 @@
+// Command rbpc-lint runs the repository's invariant checker suite (see
+// internal/analysis): immutable, hotpath, guardedby, and atomicmix.
+//
+// Two modes:
+//
+//	rbpc-lint ./...                     whole-module mode: loads every
+//	                                    matched package, builds the
+//	                                    module-wide annotation index, and
+//	                                    checks each package against it.
+//	                                    This is what `make lint` runs.
+//
+//	go vet -vettool=$(which rbpc-lint) ./...
+//	                                    vet-tool mode: rbpc-lint speaks the
+//	                                    cmd/go vet config protocol (one
+//	                                    *.cfg per compilation unit), reads
+//	                                    dependency annotations from vet
+//	                                    facts files, and writes its own for
+//	                                    packages that depend on it.
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"rbpc/internal/analysis"
+)
+
+// selfID hashes the running binary into the actionID/contentID shape
+// cmd/go expects after "buildID=", so vet's result cache is keyed by the
+// tool's actual contents and a rebuilt rbpc-lint invalidates stale
+// results.
+func selfID() string {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	sum := fmt.Sprintf("%x", h.Sum(nil))[:32]
+	return sum + "/" + sum
+}
+
+func main() {
+	// cmd/go probes vet tools with -V=full before handing them work; the
+	// reply has to look like "name version stamp" for the build cache key.
+	versionFlag := flag.Bool("V", false, "print version and exit (vet tool protocol)")
+	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rbpc-lint [packages]   or   go vet -vettool=rbpc-lint [packages]\n")
+		flag.PrintDefaults()
+	}
+	// Accept -V=full without choking on the "full" value, and answer the
+	// -flags probe (cmd/go asks vet tools for their flag schema as JSON;
+	// rbpc-lint exposes none to vet).
+	args := os.Args[1:]
+	for i, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			args[i] = "-V"
+		}
+		if a == "-flags" || a == "--flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(1)
+	}
+	if *versionFlag {
+		fmt.Printf("rbpc-lint version devel buildID=%s\n", selfID())
+		return
+	}
+
+	rest := flag.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(vetUnit(rest[0]))
+	}
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	os.Exit(direct(rest, *jsonFlag))
+}
+
+// direct is whole-module mode.
+func direct(patterns []string, asJSON bool) int {
+	diags, err := analysis.AnalyzeModule(analysis.All, ".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbpc-lint: %v\n", err)
+		return 1
+	}
+	return report(diags, asJSON)
+}
+
+func report(diags []analysis.Diagnostic, asJSON bool) int {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "rbpc-lint: %v\n", err)
+			return 1
+		}
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rbpc-lint: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// vetConfig mirrors the fields of cmd/go's vet config file this tool
+// needs (the same JSON unitchecker reads).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit is vet-tool mode: analyze one compilation unit described by a
+// cfg file, exchanging annotation facts with dependency units.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbpc-lint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "rbpc-lint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.ExportDataImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	pkg, err := analysis.CheckPackage(fset, imp, cfg.ImportPath, "", cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "rbpc-lint: %v\n", err)
+		return 1
+	}
+
+	// Own annotations plus every dependency's exported facts.
+	idx := analysis.NewIndex()
+	analysis.ScanPackage(fset, pkg.Files, pkg.Info, idx)
+	depPaths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		depPaths = append(depPaths, path)
+	}
+	sort.Strings(depPaths)
+	for _, path := range depPaths {
+		raw, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			continue // dependency ran an older tool or produced no facts
+		}
+		depIdx, err := analysis.UnmarshalFacts(raw)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbpc-lint: facts of %s: %v\n", path, err)
+			return 1
+		}
+		idx.Merge(depIdx)
+	}
+
+	// Facts out: the merged index, so facts propagate transitively.
+	if cfg.VetxOutput != "" {
+		facts, err := idx.MarshalFacts()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, facts, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbpc-lint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags := analysis.RunAnalyzers(analysis.All, fset, pkg.Files, pkg.Types, pkg.Info, idx)
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", relPos(d.Pos, cfg.Dir), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// relPos trims the unit's directory prefix for readable vet output.
+func relPos(pos token.Position, dir string) string {
+	s := pos.String()
+	if dir != "" && strings.HasPrefix(s, dir+string(os.PathSeparator)) {
+		return s[len(dir)+1:]
+	}
+	return s
+}

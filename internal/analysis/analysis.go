@@ -1,0 +1,127 @@
+// Package analysis is rbpc's invariant checker suite: a small, self-
+// contained go/analysis-style framework plus four custom analyzers that
+// machine-check the hand-enforced invariants the online serving engine's
+// correctness and performance claims rest on.
+//
+// The paper's "fast recovery" story (restoration answered from immutable
+// epoch snapshots, allocation-free on the query path) only holds in
+// production if invariants that today live in comments — "Snapshot is
+// immutable after publish", "Query is 0 allocs/op", "trees is guarded by
+// mu", "onDemand is only touched atomically" — never regress. The
+// analyzers turn those comments into machine-checked annotations:
+//
+//   - immutable  (//rbpc:immutable on a type): fields must not be written
+//     outside constructor/build functions.
+//   - hotpath    (//rbpc:hotpath on a function): no allocating constructs,
+//     and only calls to other hotpath or allowlisted functions.
+//   - guardedby  (//rbpc:guardedby mu on a field): accesses only in
+//     functions that lock mu (intra-procedural; //rbpc:locked escape).
+//   - atomicmix: a field accessed via sync/atomic anywhere must never be
+//     accessed non-atomically elsewhere.
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library only,
+// because this repository vendors no dependencies. Cross-package
+// information (which functions are hotpath, which fields are atomic) flows
+// through a string-keyed Index instead of typed Facts: in whole-module
+// mode (cmd/rbpc-lint ./...) the index is built over every package before
+// any analyzer runs; in `go vet -vettool` mode it is serialized to the
+// vet facts files.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //rbpc:allow
+	// suppressions.
+	Name string
+	// Doc is a one-paragraph description of the invariant checked.
+	Doc string
+	// Run reports the analyzer's diagnostics for one package via
+	// pass.Report.
+	Run func(pass *Pass)
+}
+
+// All is the full rbpc-lint suite in reporting order.
+var All = []*Analyzer{Immutable, Hotpath, GuardedBy, AtomicMix}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one package: its syntax, type
+// information, and the (possibly module-wide) annotation index.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// Index holds annotations and atomic-access facts for this package and
+	// every package it can see (the whole module in direct mode, this
+	// package plus its dependencies' facts in vettool mode).
+	Index *Index
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless a //rbpc:allow comment on the
+// same source line suppresses this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.Index.allowed(position, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers runs each analyzer over the package and returns the
+// combined diagnostics sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, idx *Index) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			Index:    idx,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The //rbpc:* annotation vocabulary (see DESIGN.md §10):
+//
+//	//rbpc:immutable            on a type declaration
+//	//rbpc:hotpath              on a function declaration
+//	//rbpc:ctor                 on a function allowed to build annotated types
+//	//rbpc:locked               on a function whose callers hold the guard
+//	//rbpc:guardedby <field>    on a struct field
+//	//rbpc:allow <checks> [-- reason]   trailing on a flagged line
+//
+// Annotations are directive comments (no space after //), so gofmt leaves
+// them alone and they are excluded from rendered documentation.
+
+// Index is the cross-package annotation and atomic-access fact base the
+// analyzers consult. Keys are universe-independent strings so the index
+// survives serialization between `go vet` compilation units:
+//
+//	type:      pkgpath.TypeName
+//	function:  pkgpath.FuncName or pkgpath.RecvTypeName.MethodName
+//	field:     pkgpath.StructName.fieldName
+type Index struct {
+	// Immutable marks types annotated //rbpc:immutable.
+	Immutable map[string]bool `json:"immutable,omitempty"`
+	// Hotpath marks functions annotated //rbpc:hotpath.
+	Hotpath map[string]bool `json:"hotpath,omitempty"`
+	// Ctor marks functions annotated //rbpc:ctor (build-phase writers).
+	Ctor map[string]bool `json:"ctor,omitempty"`
+	// Locked marks functions annotated //rbpc:locked (guard held by caller).
+	Locked map[string]bool `json:"locked,omitempty"`
+	// Guard maps an annotated field to the name of its guarding mutex field.
+	Guard map[string]string `json:"guard,omitempty"`
+	// Atomic maps a raw (non-atomic-typed) field to one example position
+	// where it is accessed through a sync/atomic call.
+	Atomic map[string]string `json:"atomic,omitempty"`
+
+	// allow maps "filename:line" to the analyzer names a //rbpc:allow
+	// comment on that line suppresses. Local to a package; not serialized.
+	allow map[string][]string
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		Immutable: map[string]bool{},
+		Hotpath:   map[string]bool{},
+		Ctor:      map[string]bool{},
+		Locked:    map[string]bool{},
+		Guard:     map[string]string{},
+		Atomic:    map[string]string{},
+		allow:     map[string][]string{},
+	}
+}
+
+// Merge folds facts from another index (e.g. a dependency's serialized
+// facts) into idx. Line suppressions are not merged: they are local to the
+// package being checked.
+func (idx *Index) Merge(o *Index) {
+	for k := range o.Immutable {
+		idx.Immutable[k] = true
+	}
+	for k := range o.Hotpath {
+		idx.Hotpath[k] = true
+	}
+	for k := range o.Ctor {
+		idx.Ctor[k] = true
+	}
+	for k := range o.Locked {
+		idx.Locked[k] = true
+	}
+	for k, v := range o.Guard {
+		idx.Guard[k] = v
+	}
+	for k, v := range o.Atomic {
+		if _, ok := idx.Atomic[k]; !ok {
+			idx.Atomic[k] = v
+		}
+	}
+}
+
+// MarshalFacts serializes the shareable part of the index for a vet facts
+// file.
+func (idx *Index) MarshalFacts() ([]byte, error) { return json.Marshal(idx) }
+
+// UnmarshalFacts parses a facts file produced by MarshalFacts.
+func UnmarshalFacts(data []byte) (*Index, error) {
+	idx := NewIndex()
+	if len(data) == 0 {
+		return idx, nil
+	}
+	if err := json.Unmarshal(data, idx); err != nil {
+		return nil, err
+	}
+	// Maps elided by omitempty come back nil; restore invariants.
+	base := NewIndex()
+	base.Merge(idx)
+	return base, nil
+}
+
+func (idx *Index) allowed(pos token.Position, analyzer string) bool {
+	for _, name := range idx.allow[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeKey returns the index key of a named type.
+func TypeKey(tn *types.TypeName) string {
+	if tn.Pkg() == nil {
+		return tn.Name()
+	}
+	return tn.Pkg().Path() + "." + tn.Name()
+}
+
+// FuncKey returns the index key of a function or method.
+func FuncKey(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path() + "."
+	}
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		if named := namedOf(recv.Type()); named != nil {
+			return pkg + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// fieldKey returns the index key for the field selected by sel (x.f where f
+// is a struct field), resolving the receiver's named type. It reports ok =
+// false for non-field selections. Fields reached through embedding are
+// keyed by the outermost named type, which is the annotation-carrying type
+// in every use this repository has.
+func fieldKey(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return "", false
+	}
+	return TypeKey(named.Obj()) + "." + sel.Sel.Name, true
+}
+
+// namedOf unwraps pointers and aliases down to the *types.Named beneath t,
+// or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// ctorPrefixes are function-name prefixes treated as constructor/build
+// functions: they may write fields of //rbpc:immutable types and may touch
+// guarded or atomic fields of objects they are still building. Anything
+// else needs an explicit //rbpc:ctor.
+var ctorPrefixes = []string{"new", "build", "make", "compile"}
+
+// IsCtor reports whether the function is a constructor/build function:
+// annotated //rbpc:ctor or named with a conventional constructor prefix.
+func (idx *Index) IsCtor(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if idx.Ctor[FuncKey(fn)] {
+		return true
+	}
+	name := strings.ToLower(fn.Name())
+	for _, p := range ctorPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// directive splits an //rbpc: comment into its verb and argument string,
+// reporting ok = false for any other comment.
+func directive(c *ast.Comment) (verb, args string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, "//rbpc:")
+	if !found {
+		return "", "", false
+	}
+	verb, args, _ = strings.Cut(text, " ")
+	return verb, strings.TrimSpace(args), true
+}
+
+// groupDirectives yields the directives of the given comment groups.
+func groupDirectives(groups ...*ast.CommentGroup) [][2]string {
+	var out [][2]string
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if verb, args, ok := directive(c); ok {
+				out = append(out, [2]string{verb, args})
+			}
+		}
+	}
+	return out
+}
+
+// ScanPackage records the package's annotations, //rbpc:allow
+// suppressions, and sync/atomic field-access facts into idx. It must run
+// for a package before any analyzer runs over it, and — for whole-module
+// analysis — for every package before any analyzer runs at all.
+func ScanPackage(fset *token.FileSet, files []*ast.File, info *types.Info, idx *Index) {
+	for _, f := range files {
+		scanAllows(fset, f, idx)
+		scanDecls(f, info, idx)
+		scanAtomicAccesses(fset, f, info, idx)
+	}
+}
+
+func scanAllows(fset *token.FileSet, f *ast.File, idx *Index) {
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			verb, args, ok := directive(c)
+			if !ok || verb != "allow" {
+				continue
+			}
+			names, _, _ := strings.Cut(args, "--") // strip trailing reason
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+			for _, n := range strings.Split(names, ",") {
+				if n = strings.TrimSpace(n); n != "" {
+					idx.allow[key] = append(idx.allow[key], n)
+				}
+			}
+		}
+	}
+}
+
+func scanDecls(f *ast.File, info *types.Info, idx *Index) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			fn, _ := info.Defs[d.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			for _, dir := range groupDirectives(d.Doc) {
+				switch dir[0] {
+				case "hotpath":
+					idx.Hotpath[FuncKey(fn)] = true
+				case "ctor":
+					idx.Ctor[FuncKey(fn)] = true
+				case "locked":
+					idx.Locked[FuncKey(fn)] = true
+				}
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, _ := info.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				// A declaration group's doc applies to a lone spec.
+				docs := []*ast.CommentGroup{ts.Doc, ts.Comment}
+				if len(d.Specs) == 1 {
+					docs = append(docs, d.Doc)
+				}
+				for _, dir := range groupDirectives(docs...) {
+					if dir[0] == "immutable" {
+						idx.Immutable[TypeKey(tn)] = true
+					}
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					scanFields(tn, st, idx)
+				}
+			}
+		}
+	}
+}
+
+func scanFields(tn *types.TypeName, st *ast.StructType, idx *Index) {
+	for _, field := range st.Fields.List {
+		for _, dir := range groupDirectives(field.Doc, field.Comment) {
+			if dir[0] != "guardedby" || dir[1] == "" {
+				continue
+			}
+			for _, name := range field.Names {
+				idx.Guard[TypeKey(tn)+"."+name.Name] = dir[1]
+			}
+		}
+	}
+}
+
+// scanAtomicAccesses records every struct field whose address is passed to
+// a sync/atomic function — the raw-atomics usage the atomicmix analyzer
+// polices. Fields of the typed atomics (atomic.Int64 etc.) are not
+// recorded: their method set already forbids non-atomic access.
+func scanAtomicAccesses(fset *token.FileSet, f *ast.File, info *types.Info, idx *Index) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := fieldKey(info, sel); ok {
+				if _, have := idx.Atomic[key]; !have {
+					idx.Atomic[key] = fset.Position(sel.Pos()).String()
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the statically known *types.Func a call targets
+// (package function or method), or nil for builtins, conversions, and
+// calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// forEachFunc visits every function declaration with a body, pairing the
+// syntax with its type object. Analyzers drive their per-function walks
+// from here; FuncLits belong to the enclosing declaration.
+func forEachFunc(files []*ast.File, info *types.Info, visit func(fn *types.Func, decl *ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			visit(fn, fd)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix checks that a struct field accessed through sync/atomic
+// anywhere in the module is never accessed non-atomically elsewhere — the
+// mixed-access bug class the race detector only catches when a test
+// happens to interleave the two sides. The atomic side is collected during
+// the annotation scan (ScanPackage) and travels across packages in the
+// index, so a plain read added in a different package from the atomic
+// writes is still caught.
+//
+// One additional rule covers the typed atomics: a field whose type is
+// atomic.Int64/atomic.Pointer[T]/... must not be assigned directly (its
+// method set is the only sound access), except inside constructor/build
+// functions where the value is not yet shared.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must never be accessed non-atomically",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Selector nodes that ARE the atomic access (&x.f passed to a
+	// sync/atomic call) are exempt from the plain-access rule.
+	atomicSites := collectAtomicSites(pass)
+
+	forEachFunc(pass.Files, pass.Info, func(fn *types.Func, fd *ast.FuncDecl) {
+		if pass.Index.IsCtor(fn) {
+			return // initialization before the value is shared
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicSites[e] {
+					return true
+				}
+				key, ok := fieldKey(pass.Info, e)
+				if !ok {
+					return true
+				}
+				if at, mixed := pass.Index.Atomic[key]; mixed {
+					pass.Reportf(e.Sel.Pos(),
+						"non-atomic access to %s, which is accessed atomically at %s", key, at)
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range e.Lhs {
+					if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+						if isTypedAtomicField(pass.Info, sel) {
+							pass.Reportf(sel.Sel.Pos(),
+								"assignment to atomic-typed field %s bypasses its method set", sel.Sel.Name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// collectAtomicSites returns the selector expressions in this package that
+// appear as &x.f arguments to sync/atomic calls.
+func collectAtomicSites(pass *Pass) map[*ast.SelectorExpr]bool {
+	sites := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+					if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+						sites[sel] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sites
+}
+
+// isTypedAtomicField reports whether sel selects a struct field whose type
+// is one of sync/atomic's typed atomics.
+func isTypedAtomicField(info *types.Info, sel *ast.SelectorExpr) bool {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	named := namedOf(s.Obj().Type())
+	return named != nil && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync/atomic"
+}

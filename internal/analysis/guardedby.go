@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GuardedBy checks that fields annotated //rbpc:guardedby mu are only
+// accessed in functions that lock mu. The check is intra-procedural and
+// deliberately simple: a function "locks mu" if its body contains a call
+// to Lock, RLock, TryLock, or TryRLock on a selector whose receiver chain
+// ends in the guard's name (o.mu.Lock(), s.cache.mu.RLock(), ...). It does
+// not prove the lock is held at the access — it proves the function is
+// lock-aware at all, which is the regression this codebase actually risks:
+// a new helper reading Oracle.trees with no locking anywhere.
+//
+// Functions annotated //rbpc:locked assert their callers hold the guard
+// (the evictOneLocked pattern); constructor/build functions are exempt
+// because the value is not yet shared.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "//rbpc:guardedby fields may only be accessed in functions that lock their guard",
+	Run:  runGuardedBy,
+}
+
+var lockMethodNames = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func runGuardedBy(pass *Pass) {
+	if len(pass.Index.Guard) == 0 {
+		return
+	}
+	forEachFunc(pass.Files, pass.Info, func(fn *types.Func, fd *ast.FuncDecl) {
+		if pass.Index.Locked[FuncKey(fn)] || pass.Index.IsCtor(fn) {
+			return
+		}
+		locked := lockedGuards(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key, ok := fieldKey(pass.Info, sel)
+			if !ok {
+				return true
+			}
+			guard, guarded := pass.Index.Guard[key]
+			if guarded && !locked[guard] {
+				pass.Reportf(sel.Sel.Pos(),
+					"access to %s without locking its guard %q (annotate //rbpc:locked if the caller holds it)",
+					key, guard)
+			}
+			return true
+		})
+	})
+}
+
+// lockedGuards returns the guard names the function body acquires.
+func lockedGuards(body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !lockMethodNames[method.Sel.Name] {
+			return true
+		}
+		switch recv := ast.Unparen(method.X).(type) {
+		case *ast.SelectorExpr:
+			locked[recv.Sel.Name] = true
+		case *ast.Ident:
+			locked[recv.Name] = true
+		}
+		return true
+	})
+	return locked
+}

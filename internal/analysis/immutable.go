@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Immutable checks that fields of types annotated //rbpc:immutable are
+// never written outside constructor/build functions. The engine's epoch
+// snapshots, the materialized base-set indexes, and the compiled CSR views
+// are all published to concurrent readers with no synchronization beyond
+// an atomic pointer; their safety argument is exactly "nobody writes after
+// publish", which this analyzer machine-checks.
+//
+// A write is an assignment (including op= and ++/--) whose left-hand side
+// reaches a field selection of an annotated type — directly (s.f = x),
+// through indexing (s.rows[i] = x), or through a deeper selection
+// (s.sub.f = x) — and a builtin copy/clear/delete whose first argument is
+// such a field. Writes inside constructor/build functions (//rbpc:ctor or
+// a new*/build*/make*/compile* name) are the sanctioned build phase.
+var Immutable = &Analyzer{
+	Name: "immutable",
+	Doc:  "fields of //rbpc:immutable types must not be written outside constructors",
+	Run:  runImmutable,
+}
+
+func runImmutable(pass *Pass) {
+	if len(pass.Index.Immutable) == 0 {
+		return
+	}
+	forEachFunc(pass.Files, pass.Info, func(fn *types.Func, fd *ast.FuncDecl) {
+		if pass.Index.IsCtor(fn) {
+			return // build phase: writes are how the value comes to exist
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range stmt.Lhs {
+					checkImmutableWrite(pass, lhs, "write to")
+				}
+			case *ast.IncDecStmt:
+				checkImmutableWrite(pass, stmt.X, "write to")
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(stmt.Fun).(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && len(stmt.Args) > 0 {
+						switch b.Name() {
+						case "copy", "clear", "delete":
+							checkImmutableWrite(pass, stmt.Args[0], b.Name()+" on")
+						}
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkImmutableWrite walks the written expression down to the field
+// selections it mutates through and reports the first one owned by an
+// immutable type.
+func checkImmutableWrite(pass *Pass, expr ast.Expr, action string) {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SliceExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if named := namedOf(sel.Recv()); named != nil {
+					key := TypeKey(named.Obj())
+					if pass.Index.Immutable[key] {
+						pass.Reportf(e.Sel.Pos(),
+							"%s field %s.%s of immutable type %s outside a constructor",
+							action, named.Obj().Name(), e.Sel.Name, key)
+						return
+					}
+				}
+			}
+			expr = e.X // keep looking: s.sub.f mutates state reachable from s
+		default:
+			return
+		}
+	}
+}

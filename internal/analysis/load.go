@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages loads and type-checks the packages matched by the patterns
+// (plus nothing else: dependencies are imported from compiler export data,
+// not re-parsed). It shells out to `go list -export`, so it works offline
+// against the local build cache, exactly like `go vet` does.
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, *token.FileSet, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+
+	var loaded []*LoadedPackage
+	for _, t := range targets {
+		lp, err := CheckPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, fset, nil
+}
+
+// ExportDataImporter returns a types importer that resolves every import
+// from compiler export data located by resolve (an import path to file
+// mapping — `go list -export` output in direct mode, the vet config's
+// PackageFile in vettool mode).
+func ExportDataImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// CheckPackage parses and type-checks one package's files with the given
+// importer, returning the loaded package with full type information.
+func CheckPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		name := gf
+		if dir != "" && !filepath.IsAbs(gf) {
+			name = filepath.Join(dir, gf)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
+	}
+	return &LoadedPackage{Path: importPath, Files: files, Types: pkg, Info: info}, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// AnalyzeModule is the whole-module entry point cmd/rbpc-lint uses: load
+// every matched package, build the module-wide annotation index, then run
+// the analyzers over each package against that shared index. This is the
+// most precise mode — every cross-package edge (a hotpath call into
+// another package, an atomic access far from a plain one) is visible.
+func AnalyzeModule(analyzers []*Analyzer, dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, fset, err := LoadPackages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	idx := NewIndex()
+	for _, p := range pkgs {
+		ScanPackage(fset, p.Files, p.Info, idx)
+	}
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, RunAnalyzers(analyzers, fset, p.Files, p.Types, p.Info, idx)...)
+	}
+	return diags, nil
+}

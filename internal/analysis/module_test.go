@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestModuleClean runs the full analyzer suite over the real module, so a
+// plain `go test ./...` enforces the annotated invariants even when the
+// lint gate is not run separately. It is the regression test for every
+// first-run finding the suite has ever flagged: reintroducing one (an
+// unprotected snapshot-field write, an allocation in a hotpath function,
+// an unlocked guarded-field access, a mixed atomic/plain access) fails
+// this test.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping whole-module analysis in -short mode")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := AnalyzeModule(All, root, "./...")
+	if err != nil {
+		t.Fatalf("analyzing module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestImmutableFixture(t *testing.T) {
+	RunFixture(t, fixture("immutable"), Immutable)
+}
+
+func TestHotpathFixture(t *testing.T) {
+	RunFixture(t, fixture("hotpath"), Hotpath)
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	RunFixture(t, fixture("guardedby"), GuardedBy)
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	RunFixture(t, fixture("atomicmix"), AtomicMix)
+}
+
+// TestSuiteNames pins the analyzer names: they are part of the
+// //rbpc:allow vocabulary, so renaming one silently disables suppressions.
+func TestSuiteNames(t *testing.T) {
+	want := map[string]bool{
+		"immutable": true, "hotpath": true, "guardedby": true, "atomicmix": true,
+	}
+	if len(All) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(All), len(want))
+	}
+	for _, a := range All {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer name %q", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}
+
+func TestFactsRoundTrip(t *testing.T) {
+	idx := NewIndex()
+	idx.Immutable["p.T"] = true
+	idx.Hotpath["p.T.Get"] = true
+	idx.Ctor["p.NewT"] = true
+	idx.Locked["p.T.evictLocked"] = true
+	idx.Guard["p.T.trees"] = "mu"
+	idx.Atomic["p.T.n"] = "a.go:10:5"
+
+	data, err := idx.MarshalFacts()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got, err := UnmarshalFacts(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !got.Immutable["p.T"] || !got.Hotpath["p.T.Get"] || !got.Ctor["p.NewT"] ||
+		!got.Locked["p.T.evictLocked"] || got.Guard["p.T.trees"] != "mu" ||
+		got.Atomic["p.T.n"] != "a.go:10:5" {
+		t.Errorf("facts did not survive the round trip: %+v", got)
+	}
+
+	// Merging into an empty index preserves everything and stays usable.
+	merged := NewIndex()
+	merged.Merge(got)
+	if !merged.Immutable["p.T"] || merged.Guard["p.T.trees"] != "mu" {
+		t.Errorf("merge lost facts: %+v", merged)
+	}
+
+	// An empty facts file is valid (a package with no annotations).
+	if _, err := UnmarshalFacts(nil); err != nil {
+		t.Errorf("empty facts: %v", err)
+	}
+}

@@ -1,0 +1,62 @@
+// Package fixture exercises the atomicmix analyzer.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	served  int64 // accessed via sync/atomic: every access must be atomic
+	dropped int64 // likewise
+	plain   int64 // never touched atomically: free-form access is fine
+	typed   atomic.Int64
+}
+
+// bump is the atomic side; these accesses define the discipline.
+func bump(c *counters) {
+	atomic.AddInt64(&c.served, 1)
+	atomic.AddInt64(&c.dropped, 1)
+	c.typed.Add(1)
+}
+
+// scrape reads atomically: clean.
+func scrape(c *counters) (int64, int64) {
+	return atomic.LoadInt64(&c.served), atomic.LoadInt64(&c.dropped)
+}
+
+// newCounters initializes raw fields directly: constructors are exempt.
+func newCounters() *counters {
+	c := &counters{}
+	c.served = 0
+	c.typed = atomic.Int64{}
+	return c
+}
+
+// mixedRead reads an atomically-written field without atomics: flagged.
+func mixedRead(c *counters) int64 {
+	return c.served // want "non-atomic access to fixture.counters.served"
+}
+
+// mixedWrite writes one without atomics: flagged.
+func mixedWrite(c *counters) {
+	c.dropped = 0 // want "non-atomic access to fixture.counters.dropped"
+}
+
+// overwriteTyped reassigns a typed atomic outside a constructor: flagged.
+func overwriteTyped(c *counters) {
+	c.typed = atomic.Int64{} // want "assignment to atomic-typed field typed bypasses its method set"
+}
+
+// plainAccess touches the never-atomic field: fine.
+func plainAccess(c *counters) {
+	c.plain += 2
+	_ = c.plain
+}
+
+// typedMethods uses the typed atomic's method set: fine.
+func typedMethods(c *counters) int64 {
+	return c.typed.Load()
+}
+
+// suppressed documents a deliberate pre-publication plain write.
+func suppressed(c *counters) {
+	c.served = 0 //rbpc:allow atomicmix -- reset before the goroutines start
+}

@@ -1,0 +1,63 @@
+// Package fixture exercises the guardedby analyzer.
+package fixture
+
+import "sync"
+
+type cache struct {
+	mu sync.RWMutex
+
+	entries map[int]int //rbpc:guardedby mu
+	order   []int       //rbpc:guardedby mu
+
+	hits int // unguarded: free to access
+}
+
+// get locks the guard before touching the guarded fields: clean.
+func (c *cache) get(k int) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.entries[k]
+	return v, ok
+}
+
+// put write-locks: clean.
+func (c *cache) put(k, v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[k] = v
+	c.order = append(c.order, k)
+}
+
+// newCache is a constructor: the value is not shared yet.
+func newCache() *cache {
+	c := &cache{entries: map[int]int{}}
+	c.order = nil
+	return c
+}
+
+// evictLocked documents that its caller holds the guard.
+//
+//rbpc:locked
+func (c *cache) evictLocked() {
+	for len(c.order) > 4 {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// size reads a guarded field with no locking anywhere: flagged.
+func (c *cache) size() int {
+	return len(c.entries) // want "access to fixture.cache.entries without locking its guard \"mu\""
+}
+
+// drain writes guarded fields with no locking: flagged on each access.
+func (c *cache) drain() {
+	c.order = nil    // want "access to fixture.cache.order without locking its guard \"mu\""
+	clear(c.entries) // want "access to fixture.cache.entries without locking its guard \"mu\""
+	c.hits++         // unguarded field: fine
+}
+
+// peekSuppressed documents an intentional unlocked read.
+func (c *cache) peekSuppressed() int {
+	return len(c.order) //rbpc:allow guardedby -- racy size estimate is acceptable here
+}

@@ -1,0 +1,85 @@
+// Package fixture exercises the hotpath analyzer.
+package fixture
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type table struct {
+	rows  []int
+	index map[int]int
+	n     atomic.Int64
+	raw   int64
+}
+
+// lookup is a clean hot path: index reads, atomic methods, raw atomics,
+// math, and calls to other hotpath functions.
+//
+//rbpc:hotpath
+func lookup(t *table, i int) int {
+	t.n.Add(1)
+	atomic.AddInt64(&t.raw, 1)
+	if i < 0 || i >= len(t.rows) {
+		return -1
+	}
+	return t.rows[i] + helperHot(i)
+}
+
+// helperHot is hotpath, so lookup may call it.
+//
+//rbpc:hotpath
+func helperHot(i int) int { return i * 2 }
+
+// helperCold is NOT hotpath.
+func helperCold(i int) int { return i * 3 }
+
+// coldAllocs is unannotated: nothing in it is flagged.
+func coldAllocs() []int {
+	s := make([]int, 8)
+	s = append(s, 1)
+	return s
+}
+
+// allocs is a hot path full of allocating constructs.
+//
+//rbpc:hotpath
+func allocs(t *table, s string) {
+	_ = make([]int, 4)         // want "make allocates"
+	t.rows = append(t.rows, 1) // want "append may grow its backing array"
+	t.index[1] = 2             // want "map write may allocate"
+	_ = s + "!"                // want "string concatenation allocates"
+	_ = []byte(s)              // want "string/slice conversion allocates"
+	_ = []int{1, 2}            // want "slice composite literal allocates"
+	_ = &table{}               // want "&composite literal escapes to the heap"
+}
+
+// badCalls calls outside the verified set.
+//
+//rbpc:hotpath
+func badCalls(t *table, f func() int) {
+	helperCold(1)     // want "call to non-hotpath function fixture.helperCold"
+	fmt.Sprintln("x") // want "call to non-allowlisted function fmt.Sprintln"
+	f()               // want "dynamic call through a function value"
+	go helperHot(1)   // want "go statement spawns a goroutine"
+	x := 1
+	_ = func() int { // want "closure captures variables"
+		return x
+	}
+}
+
+// suppressed shows the per-line escape hatch: the append is amortized
+// away by a preallocated capacity, so it is allowed with a reason.
+//
+//rbpc:hotpath
+func suppressed(t *table) {
+	t.rows = append(t.rows, 1) //rbpc:allow hotpath -- capacity preallocated, growth amortized
+}
+
+// nonCapturing closures and struct-valued composite literals are fine.
+//
+//rbpc:hotpath
+func nonCapturing(t *table) table {
+	_ = func() int { return 42 }
+	return table{raw: 1}
+}

@@ -1,0 +1,87 @@
+// Package fixture exercises the immutable analyzer.
+package fixture
+
+// Snapshot mimics the engine's epoch snapshot.
+//
+//rbpc:immutable
+type Snapshot struct {
+	epoch uint64
+	rows  [][]int
+	meta  map[string]int
+	sub   inner
+}
+
+type inner struct{ n int }
+
+// Mutable has no annotation: writes to it are never flagged.
+type Mutable struct {
+	epoch uint64
+	rows  [][]int
+}
+
+// NewSnapshot is a constructor by naming convention: writes allowed.
+func NewSnapshot() *Snapshot {
+	s := &Snapshot{}
+	s.epoch = 1
+	s.rows = make([][]int, 4)
+	s.meta = map[string]int{}
+	return s
+}
+
+// buildRows is a build function by naming convention: writes allowed.
+func buildRows(s *Snapshot) {
+	s.rows[0] = []int{1}
+}
+
+// seed is annotated as a constructor: writes allowed.
+//
+//rbpc:ctor
+func seed(s *Snapshot) {
+	s.meta["x"] = 1
+	s.epoch++
+}
+
+// mutateDirect writes a field outside any constructor.
+func mutateDirect(s *Snapshot) {
+	s.epoch = 2 // want "write to field Snapshot.epoch of immutable type fixture.Snapshot"
+}
+
+// mutateThroughIndex writes through an index expression.
+func mutateThroughIndex(s *Snapshot) {
+	s.rows[3] = nil // want "write to field Snapshot.rows of immutable type fixture.Snapshot"
+}
+
+// mutateDeep writes a field of a struct field: still reachable from the
+// immutable value.
+func mutateDeep(s *Snapshot) {
+	s.sub.n = 7 // want "write to field Snapshot.sub of immutable type fixture.Snapshot"
+}
+
+// mutateIncDec increments a field.
+func mutateIncDec(s *Snapshot) {
+	s.epoch++ // want "write to field Snapshot.epoch of immutable type fixture.Snapshot"
+}
+
+// mutateBuiltin clears a map field.
+func mutateBuiltin(s *Snapshot) {
+	clear(s.meta) // want "clear on field Snapshot.meta of immutable type fixture.Snapshot"
+}
+
+// mutateSuppressed carries an explicit allow: not flagged.
+func mutateSuppressed(s *Snapshot) {
+	s.epoch = 9 //rbpc:allow immutable -- fixture exercises the escape hatch
+}
+
+// mutateOther writes an unannotated type: not flagged.
+func mutateOther(m *Mutable) {
+	m.epoch = 3
+	m.rows[0] = nil
+}
+
+// readOnly reads are always fine.
+func readOnly(s *Snapshot) uint64 {
+	if len(s.rows) > 0 {
+		return s.epoch
+	}
+	return 0
+}

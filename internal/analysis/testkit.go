@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// RunFixture is this package's miniature analysistest: it loads the
+// fixture package in testdata/src/<name>, runs the analyzers over it, and
+// matches the diagnostics against `// want "regexp"` comments, exactly
+// like golang.org/x/tools/go/analysis/analysistest:
+//
+//   - every diagnostic must land on a line carrying a want comment whose
+//     pattern matches the message, and
+//   - every want comment must be matched by some diagnostic.
+//
+// Fixture packages import only the standard library, which is typechecked
+// from GOROOT source, so fixture tests need no build cache or network.
+func RunFixture(t *testing.T, fixtureDir string, analyzers ...*Analyzer) {
+	t.Helper()
+
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatalf("no .go files in %s", fixtureDir)
+	}
+	sort.Strings(goFiles)
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	pkg, err := CheckPackage(fset, imp, "fixture", fixtureDir, goFiles)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+
+	idx := NewIndex()
+	ScanPackage(fset, pkg.Files, pkg.Info, idx)
+	diags := RunAnalyzers(analyzers, fset, pkg.Files, pkg.Types, pkg.Info, idx)
+
+	wants := collectWants(t, fset, fixtureDir, goFiles)
+	matched := make([]bool, len(wants))
+
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if w.file == filepath.Base(d.Pos.Filename) && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s (%s)",
+				filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("no diagnostic matched want %q at %s:%d", w.re, w.file, w.line)
+		}
+	}
+}
+
+type wantComment struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// collectWants parses `// want "re"` comments. Multiple want clauses on
+// one line each expect a separate diagnostic.
+func collectWants(t *testing.T, fset *token.FileSet, dir string, goFiles []string) []wantComment {
+	t.Helper()
+	var wants []wantComment
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s for want comments: %v", gf, err)
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := unquoteWant(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", gf, m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", gf, pat, err)
+					}
+					wants = append(wants, wantComment{
+						file: gf,
+						line: fset.Position(c.Pos()).Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// unquoteWant undoes the \" escaping the want pattern needed to sit
+// inside a quoted string; other backslash sequences (regexp escapes) pass
+// through untouched.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			if s[i+1] == '"' {
+				i++
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -219,10 +219,14 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 
 // Snapshot returns the current serving epoch. The returned snapshot stays
 // valid (immutable) even after later epochs are published.
+//
+//rbpc:hotpath
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
 // Query answers synchronously from the current epoch: lock-free and
 // allocation-free. The result's Route is nil for unroutable pairs.
+//
+//rbpc:hotpath
 func (e *Engine) Query(src, dst graph.NodeID) Result {
 	s := e.snap.Load()
 	r := s.rows[src][dst]
@@ -242,6 +246,8 @@ func (e *Engine) Dist(src, dst graph.NodeID) float64 {
 
 // Submit enqueues an async query for the worker pool. It reports false —
 // without blocking — when the queue is full (the open-loop load shed).
+//
+//rbpc:hotpath
 func (e *Engine) Submit(src, dst graph.NodeID) bool {
 	key := uint64(src)*0x9e3779b1 + uint64(dst)
 	e.mSubmitted.Add(key, 1)

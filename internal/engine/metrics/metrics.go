@@ -33,6 +33,8 @@ type Counter struct {
 // Add increments the counter by d on the shard chosen by key. Callers pass
 // any cheap per-goroutine-ish value (a worker index, a hashed pair); the
 // spread only affects contention, never correctness.
+//
+//rbpc:hotpath
 func (c *Counter) Add(key uint64, d int64) {
 	c.cells[key&(nShards-1)].v.Add(d)
 }
@@ -60,6 +62,8 @@ type Histogram struct {
 }
 
 // bucketOf maps a duration to its bucket index.
+//
+//rbpc:hotpath
 func bucketOf(d time.Duration) int {
 	n := uint64(d)
 	if d < 0 {
@@ -74,6 +78,8 @@ func bucketOf(d time.Duration) int {
 
 // Record adds one observation. key picks the counter shard (see
 // Counter.Add).
+//
+//rbpc:hotpath
 func (h *Histogram) Record(key uint64, d time.Duration) {
 	h.buckets[bucketOf(d)].Add(key, 1)
 }

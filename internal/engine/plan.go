@@ -20,6 +20,8 @@ import (
 // and restores the canonical route for every pair in plan(A) that plan(S)
 // does not cover. Plans are immutable once built and safe to cache — they
 // hold routes only, never forwarding state.
+//
+//rbpc:immutable
 type plan struct {
 	key    string
 	routes map[rbpc.Pair]*Route

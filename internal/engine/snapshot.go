@@ -33,6 +33,8 @@ type Route struct {
 // from a Snapshot is frozen: readers may use it concurrently and hold it
 // across epochs (the writer never mutates a published snapshot, it builds
 // a successor and swaps the pointer).
+//
+//rbpc:immutable
 type Snapshot struct {
 	epoch  uint64
 	failed []graph.EdgeID // sorted
@@ -51,6 +53,8 @@ type Snapshot struct {
 }
 
 // Epoch returns the snapshot's sequence number (0 = pristine).
+//
+//rbpc:hotpath
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Failed returns the links down in this epoch, sorted. Callers must not
@@ -70,6 +74,8 @@ func (s *Snapshot) Oracle() *spath.Oracle { return s.oracle }
 
 // Route returns the pair's current concatenation, or nil if the pair is
 // unroutable in this epoch. The returned Route is immutable.
+//
+//rbpc:hotpath
 func (s *Snapshot) Route(src, dst graph.NodeID) *Route {
 	return s.rows[src][dst]
 }

@@ -1,0 +1,81 @@
+package failure
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+// FuzzChurnScheduleDeterminism drives ChurnSchedule with fuzzer-chosen
+// topology seeds, schedule lengths, concurrency caps, and RNG seeds, and
+// checks the two properties the engine's replay machinery depends on:
+//
+//  1. Determinism — two runs from identically-seeded RNGs produce
+//     byte-identical schedules (the serving benchmarks and the epoch replay
+//     tests both assume a seed pins the whole failure trace).
+//  2. The documented invariants — at most maxDown links concurrently down,
+//     no link fails while down or is repaired while up, every edge in
+//     range, and the schedule drains back to pristine.
+func FuzzChurnScheduleDeterminism(f *testing.F) {
+	f.Add(int64(1), int64(7), 50, 3)
+	f.Add(int64(2), int64(0), 1, 1)
+	f.Add(int64(9), int64(-4), 200, 8)
+	f.Add(int64(42), int64(1<<40), 17, 0)
+
+	f.Fuzz(func(t *testing.T, topoSeed, rngSeed int64, steps, maxDown int) {
+		// Bound the work per input: small graphs, short schedules.
+		if steps < 0 {
+			steps = -steps
+		}
+		steps %= 256
+		if maxDown < 0 {
+			maxDown = -maxDown
+		}
+		maxDown %= 16
+		g := topology.Waxman(12+int(uint64(topoSeed)%8), 0.8, 0.5, topoSeed)
+
+		a := ChurnSchedule(g, steps, maxDown, rand.New(rand.NewSource(rngSeed)))
+		b := ChurnSchedule(g, steps, maxDown, rand.New(rand.NewSource(rngSeed)))
+		if len(a) != len(b) {
+			t.Fatalf("non-deterministic: lengths %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("non-deterministic: event %d differs: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+
+		if steps > 0 && len(a) < steps {
+			t.Fatalf("%d events, want >= %d", len(a), steps)
+		}
+		cap := maxDown
+		if cap < 1 {
+			cap = 1 // ChurnSchedule clamps maxDown to at least one.
+		}
+		down := make(map[graph.EdgeID]bool)
+		for i, ev := range a {
+			if ev.Repair {
+				if !down[ev.Edge] {
+					t.Fatalf("event %d: repair of up link %d", i, ev.Edge)
+				}
+				delete(down, ev.Edge)
+				continue
+			}
+			if ev.Edge < 0 || int(ev.Edge) >= g.Size() {
+				t.Fatalf("event %d: edge %d out of range [0,%d)", i, ev.Edge, g.Size())
+			}
+			if down[ev.Edge] {
+				t.Fatalf("event %d: failure of down link %d", i, ev.Edge)
+			}
+			down[ev.Edge] = true
+			if len(down) > cap {
+				t.Fatalf("event %d: %d concurrent failures, cap %d", i, len(down), cap)
+			}
+		}
+		if len(down) != 0 {
+			t.Fatalf("%d links still down after full schedule", len(down))
+		}
+	})
+}

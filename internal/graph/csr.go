@@ -23,18 +23,26 @@ type CSRArc struct {
 // on either representation.
 //
 // A CSR is immutable after construction and safe for concurrent use.
+//
+//rbpc:immutable
 type CSR struct {
 	off  []int32 // len n+1; arcs of node u are arcs[off[u]:off[u+1]]
 	arcs []CSRArc
 }
 
 // Arcs returns the flat adjacency slice of u. Callers must not modify it.
+//
+//rbpc:hotpath
 func (c *CSR) Arcs(u NodeID) []CSRArc { return c.arcs[c.off[u]:c.off[u+1]] }
 
 // NumArcs returns the total number of arcs (2m for an undirected graph).
+//
+//rbpc:hotpath
 func (c *CSR) NumArcs() int { return len(c.arcs) }
 
 // Order returns the number of nodes the CSR was built for.
+//
+//rbpc:hotpath
 func (c *CSR) Order() int { return len(c.off) - 1 }
 
 // buildCSR compiles the graph's slice-of-slices adjacency into flat form.
@@ -92,6 +100,8 @@ func (g *Graph) CSR() *CSR {
 // failure overlay's removal bitsets (nil when nothing of that kind is
 // removed). A zero EdgeOff/NodeOff word test replaces the per-arc visitor
 // closure of the View interface.
+//
+//rbpc:immutable
 type Kernel struct {
 	CSR     *CSR
 	EdgeOff []uint64 // removed-edge bitset, nil if no edges removed
@@ -99,11 +109,15 @@ type Kernel struct {
 }
 
 // EdgeRemoved reports whether edge id is masked off.
+//
+//rbpc:hotpath
 func (k *Kernel) EdgeRemoved(id EdgeID) bool {
 	return k.EdgeOff != nil && k.EdgeOff[uint32(id)>>6]&(1<<(uint32(id)&63)) != 0
 }
 
 // NodeRemoved reports whether node id is masked off.
+//
+//rbpc:hotpath
 func (k *Kernel) NodeRemoved(id NodeID) bool {
 	return k.NodeOff != nil && k.NodeOff[uint32(id)>>6]&(1<<(uint32(id)&63)) != 0
 }
@@ -111,6 +125,8 @@ func (k *Kernel) NodeRemoved(id NodeID) bool {
 // ArcUsable reports whether a survives the overlay: neither its edge nor its
 // head node is removed. (The tail node is the responsibility of the caller,
 // which never expands a removed node.)
+//
+//rbpc:hotpath
 func (k *Kernel) ArcUsable(a CSRArc) bool {
 	return !k.EdgeRemoved(a.Edge) && !k.NodeRemoved(a.To)
 }

@@ -5,6 +5,8 @@ package graph
 // theorems.
 //
 // A FailureView is immutable after construction and safe for concurrent use.
+//
+//rbpc:immutable
 type FailureView struct {
 	g            *Graph
 	edgeRemoved  bitset
@@ -17,6 +19,8 @@ type FailureView struct {
 // Fail returns a view of g with the given edges and nodes removed. Removing
 // a node implicitly removes all of its incident edges from traversal (their
 // IDs are not listed in RemovedEdges). Duplicate IDs are tolerated.
+//
+//rbpc:ctor
 func Fail(g *Graph, edges []EdgeID, nodes []NodeID) *FailureView {
 	v := &FailureView{
 		g:           g,

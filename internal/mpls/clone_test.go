@@ -153,6 +153,85 @@ func TestCloneLabelSpacesIndependent(t *testing.T) {
 	}
 }
 
+// tableImage deep-copies every router's ILM and FEC table plus the link
+// state, so a later comparison detects any in-place mutation of the maps a
+// clone shares with its parent.
+type tableImage struct {
+	ilm    []map[Label]ILMEntry
+	fec    []map[graph.NodeID]FECEntry
+	edgeUp []bool
+	lsps   int
+}
+
+func imageOf(n *Network) tableImage {
+	img := tableImage{
+		ilm:    make([]map[Label]ILMEntry, len(n.routers)),
+		fec:    make([]map[graph.NodeID]FECEntry, len(n.routers)),
+		edgeUp: append([]bool(nil), n.edgeUp...),
+		lsps:   n.NumLSPs(),
+	}
+	for i, r := range n.routers {
+		img.ilm[i] = make(map[Label]ILMEntry, len(r.ilm))
+		for l, e := range r.ilm {
+			img.ilm[i][l] = ILMEntry{Out: append([]Label(nil), e.Out...), OutEdge: e.OutEdge, LSP: e.LSP}
+		}
+		img.fec[i] = make(map[graph.NodeID]FECEntry, len(r.fec))
+		for d, e := range r.fec {
+			img.fec[i][d] = FECEntry{Stack: append([]Label(nil), e.Stack...), OutEdge: e.OutEdge}
+		}
+	}
+	return img
+}
+
+// TestCloneParentTablesBitIdentical is the aliasing regression test for the
+// copy-on-write snapshot: after aggressive mutation of a clone — FEC
+// rewrites and clears at every router, an ILM replacement, LSP
+// establishment and teardown, and link failures — the parent's ILM and FEC
+// tables, link state, and LSP registry must compare deep-equal to a
+// pre-clone image. Any shared map mutated in place (a missed un-share in
+// writableILM/writableFEC/writableLSPs) shows up as a diff here.
+func TestCloneParentTablesBitIdentical(t *testing.T) {
+	g, net := lineNet(t, 8)
+	before := imageOf(net)
+
+	c := net.Clone()
+	for i := 0; i < 8; i++ {
+		c.SetFEC(graph.NodeID(i), 0, FECEntry{Stack: []Label{42}, OutEdge: LocalProcess})
+		c.ClearFEC(graph.NodeID(i), 7)
+	}
+	var lbl Label
+	for l := range c.routers[4].ilm {
+		lbl = l
+		break
+	}
+	if _, err := c.ReplaceILM(4, lbl, ILMEntry{Out: []Label{7, 8, 9}, OutEdge: LocalProcess}); err != nil {
+		t.Fatalf("ReplaceILM on clone: %v", err)
+	}
+	lsp, err := c.EstablishLSP(pathOf(g, 1, 2, 3, 4))
+	if err != nil {
+		t.Fatalf("EstablishLSP on clone: %v", err)
+	}
+	if err := c.TeardownLSP(lsp.ID); err != nil {
+		t.Fatalf("TeardownLSP on clone: %v", err)
+	}
+	c.FailEdge(2)
+	c.FailEdge(5)
+
+	after := imageOf(net)
+	if !reflect.DeepEqual(before.ilm, after.ilm) {
+		t.Error("parent ILM tables changed after clone mutation")
+	}
+	if !reflect.DeepEqual(before.fec, after.fec) {
+		t.Error("parent FEC tables changed after clone mutation")
+	}
+	if !reflect.DeepEqual(before.edgeUp, after.edgeUp) {
+		t.Error("parent link state changed after clone mutation")
+	}
+	if before.lsps != after.lsps {
+		t.Errorf("parent LSP registry size changed: %d -> %d", before.lsps, after.lsps)
+	}
+}
+
 // BenchmarkNetworkClone measures the snapshot cost alone: it must scale
 // with router/link count only, not with installed table rows.
 func BenchmarkNetworkClone(b *testing.B) {

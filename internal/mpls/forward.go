@@ -41,6 +41,8 @@ type Packet struct {
 }
 
 // Top returns the top label.
+//
+//rbpc:hotpath
 func (p *Packet) Top() (Label, bool) {
 	if len(p.Stack) == 0 {
 		return 0, false

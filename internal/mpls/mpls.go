@@ -125,21 +125,29 @@ func (r *Router) writableFEC() map[graph.NodeID]FECEntry {
 
 // ILMSize returns the number of installed ILM entries — the hardware table
 // footprint the paper's ILM stretch factor measures.
+//
+//rbpc:hotpath
 func (r *Router) ILMSize() int { return len(r.ilm) }
 
 // ILMEntryFor returns the entry for an incoming label.
+//
+//rbpc:hotpath
 func (r *Router) ILMEntryFor(l Label) (ILMEntry, bool) {
 	e, ok := r.ilm[l]
 	return e, ok
 }
 
 // FECEntryFor returns the FEC row for a destination.
+//
+//rbpc:hotpath
 func (r *Router) FECEntryFor(dst graph.NodeID) (FECEntry, bool) {
 	e, ok := r.fec[dst]
 	return e, ok
 }
 
 // FECSize returns the number of FEC rows.
+//
+//rbpc:hotpath
 func (r *Router) FECSize() int { return len(r.fec) }
 
 // FECDests returns the destinations the router has FEC rows for, in
@@ -238,6 +246,8 @@ func NewNetwork(g *graph.Graph) *Network {
 func (n *Network) Graph() *graph.Graph { return n.g }
 
 // Router returns the LSR with the given ID.
+//
+//rbpc:hotpath
 func (n *Network) Router(id graph.NodeID) *Router { return n.routers[id] }
 
 // Stats returns a copy of the accumulated counters.
@@ -254,6 +264,8 @@ func (n *Network) writableLSPs() map[LSPID]*LSP {
 }
 
 // EdgeUp reports whether the link is currently up.
+//
+//rbpc:hotpath
 func (n *Network) EdgeUp(e graph.EdgeID) bool { return n.edgeUp[e] }
 
 // FailEdge marks a link down. Established LSPs keep their table entries

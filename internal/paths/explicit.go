@@ -15,6 +15,12 @@ type pairKey struct{ s, d graph.NodeID }
 // ILM-table accounting (how many LSPs traverse each router) and the
 // source-router FEC-update planner (which base paths a link failure
 // breaks).
+//
+// Once populated (Add is the build phase), an Explicit is read-only: every
+// consumer — decomposers, planners, evaluation fan-outs — shares it
+// concurrently without locking.
+//
+//rbpc:immutable
 type Explicit struct {
 	view graph.View
 
@@ -53,6 +59,8 @@ func NewExplicit(v graph.View) *Explicit {
 // Add inserts p into the set (deduplicating identical paths) and returns
 // whether the set grew. Trivial paths are rejected: an LSP needs at least
 // one hop.
+//
+//rbpc:ctor
 func (b *Explicit) Add(p graph.Path) bool {
 	if p.IsTrivial() {
 		return false
@@ -83,6 +91,8 @@ func (b *Explicit) Add(p graph.Path) bool {
 // FromSource returns every stored path starting at s with its precomputed
 // base-view cost, in insertion order. The returned slice is shared index
 // state: callers must not modify it.
+//
+//rbpc:hotpath
 func (b *Explicit) FromSource(s graph.NodeID) []SourcePath { return b.bySrc[s] }
 
 // DeadUnder returns a Len()-sized mask marking every stored path broken by

@@ -12,6 +12,17 @@ import "fmt"
 // notInHeap marks an item that is currently not resident in the heap.
 const notInHeap = -1
 
+// panicf raises a formatted panic. Keeping the fmt call out of line keeps
+// the heap operations that can panic (Push, Key, DecreaseKey) within the
+// compiler's inlining budget — they sit in the Dijkstra inner loop, and
+// the panic branches are never taken on valid input.
+//
+//go:noinline
+//rbpc:hotpath
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf(format, args...)) //rbpc:allow hotpath -- cold panic path, unreachable on valid input
+}
+
 // IndexedMinHeap is a binary min-heap over the item IDs 0..n-1 keyed by
 // float64 priorities. The zero value is not usable; construct with New.
 //
@@ -40,42 +51,54 @@ func New(n int) *IndexedMinHeap {
 }
 
 // Len reports the number of items currently in the heap.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Len() int { return len(h.heap) }
 
 // Cap reports the maximum item ID the heap can hold plus one.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Cap() int { return len(h.pos) }
 
 // Contains reports whether item is currently in the heap.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Contains(item int) bool {
 	return item >= 0 && item < len(h.pos) && h.pos[item] != notInHeap
 }
 
 // Key returns the current priority of item. It panics if the item is not in
 // the heap.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Key(item int) float64 {
 	if !h.Contains(item) {
-		panic(fmt.Sprintf("pqueue: Key of item %d not in heap", item))
+		panicf("pqueue: Key of item %d not in heap", item)
 	}
 	return h.key[item]
 }
 
 // Push inserts item with the given priority. It panics if the item is already
 // in the heap or out of range.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Push(item int, priority float64) {
 	if item < 0 || item >= len(h.pos) {
-		panic(fmt.Sprintf("pqueue: Push item %d out of range [0,%d)", item, len(h.pos)))
+		panicf("pqueue: Push item %d out of range [0,%d)", item, len(h.pos))
 	}
 	if h.pos[item] != notInHeap {
-		panic(fmt.Sprintf("pqueue: Push of item %d already in heap", item))
+		panicf("pqueue: Push of item %d already in heap", item)
 	}
 	h.key[item] = priority
 	h.pos[item] = int32(len(h.heap))
-	h.heap = append(h.heap, int32(item))
+	h.heap = append(h.heap, int32(item)) //rbpc:allow hotpath -- backing array presized to capacity n in New
 	h.siftUp(len(h.heap) - 1)
 }
 
 // Pop removes and returns the item with the minimum priority and that
 // priority. It panics on an empty heap.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Pop() (item int, priority float64) {
 	if len(h.heap) == 0 {
 		panic("pqueue: Pop from empty heap")
@@ -94,6 +117,8 @@ func (h *IndexedMinHeap) Pop() (item int, priority float64) {
 
 // Peek returns the minimum item and its priority without removing it. It
 // panics on an empty heap.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Peek() (item int, priority float64) {
 	if len(h.heap) == 0 {
 		panic("pqueue: Peek of empty heap")
@@ -104,12 +129,14 @@ func (h *IndexedMinHeap) Peek() (item int, priority float64) {
 // DecreaseKey lowers the priority of an item already in the heap. It panics
 // if the item is absent or if the new priority is greater than the current
 // one.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) DecreaseKey(item int, priority float64) {
 	if !h.Contains(item) {
-		panic(fmt.Sprintf("pqueue: DecreaseKey of item %d not in heap", item))
+		panicf("pqueue: DecreaseKey of item %d not in heap", item)
 	}
 	if priority > h.key[item] {
-		panic(fmt.Sprintf("pqueue: DecreaseKey of item %d from %v to larger %v", item, h.key[item], priority))
+		panicf("pqueue: DecreaseKey of item %d from %v to larger %v", item, h.key[item], priority)
 	}
 	h.key[item] = priority
 	h.siftUp(int(h.pos[item]))
@@ -118,6 +145,8 @@ func (h *IndexedMinHeap) DecreaseKey(item int, priority float64) {
 // PushOrDecrease inserts the item if absent, lowers its key if the new
 // priority improves on the current one, and otherwise does nothing. It
 // reports whether the heap changed.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) PushOrDecrease(item int, priority float64) bool {
 	if !h.Contains(item) {
 		h.Push(item, priority)
@@ -132,6 +161,8 @@ func (h *IndexedMinHeap) PushOrDecrease(item int, priority float64) bool {
 
 // Reset empties the heap, retaining capacity, so it can be reused without
 // reallocating.
+//
+//rbpc:hotpath
 func (h *IndexedMinHeap) Reset() {
 	for _, it := range h.heap {
 		h.pos[it] = notInHeap
@@ -139,12 +170,14 @@ func (h *IndexedMinHeap) Reset() {
 	h.heap = h.heap[:0]
 }
 
+//rbpc:hotpath
 func (h *IndexedMinHeap) swap(i, j int) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
 	h.pos[h.heap[i]] = int32(i)
 	h.pos[h.heap[j]] = int32(j)
 }
 
+//rbpc:hotpath
 func (h *IndexedMinHeap) less(i, j int) bool {
 	ki, kj := h.key[h.heap[i]], h.key[h.heap[j]]
 	if ki != kj {
@@ -154,6 +187,7 @@ func (h *IndexedMinHeap) less(i, j int) bool {
 	return h.heap[i] < h.heap[j]
 }
 
+//rbpc:hotpath
 func (h *IndexedMinHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -165,6 +199,7 @@ func (h *IndexedMinHeap) siftUp(i int) {
 	}
 }
 
+//rbpc:hotpath
 func (h *IndexedMinHeap) siftDown(i int) {
 	n := len(h.heap)
 	for {

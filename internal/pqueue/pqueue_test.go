@@ -130,6 +130,36 @@ func TestPanics(t *testing.T) {
 	mustPanic("Key absent", func() { h.Key(0) })
 }
 
+// TestPanicMessages pins the formatted panic values: the panics are raised
+// through the out-of-line panicf helper (which keeps the fmt machinery off
+// the inlinable fast paths), and this guards the messages against that
+// indirection losing their diagnostic detail.
+func TestPanicMessages(t *testing.T) {
+	panicValue := func(f func()) (v any) {
+		defer func() { v = recover() }()
+		f()
+		return nil
+	}
+	h := New(3)
+	h.Push(1, 5)
+	cases := []struct {
+		name string
+		f    func()
+		want string
+	}{
+		{"Push out of range", func() { h.Push(3, 1) }, "pqueue: Push item 3 out of range [0,3)"},
+		{"double Push", func() { h.Push(1, 6) }, "pqueue: Push of item 1 already in heap"},
+		{"Key absent", func() { h.Key(0) }, "pqueue: Key of item 0 not in heap"},
+		{"DecreaseKey absent", func() { h.DecreaseKey(0, 1) }, "pqueue: DecreaseKey of item 0 not in heap"},
+		{"DecreaseKey larger", func() { h.DecreaseKey(1, 9) }, "pqueue: DecreaseKey of item 1 from 5 to larger 9"},
+	}
+	for _, tc := range cases {
+		if got := panicValue(tc.f); got != tc.want {
+			t.Errorf("%s: panic value = %v, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
 // TestQuickHeapSort is a property test: popping all elements after pushing a
 // random priority assignment yields the priorities in sorted order, and
 // items are each popped exactly once.

@@ -33,10 +33,12 @@ type Oracle struct {
 	view graph.View
 
 	mu    sync.RWMutex
-	trees map[graph.NodeID]*oracleEntry
-	ring  []graph.NodeID // cached sources in insertion order (the clock ring)
-	hand  int            // next ring position the clock hand examines
-	cap   int
+	trees map[graph.NodeID]*oracleEntry //rbpc:guardedby mu
+	// ring holds the cached sources in insertion order (the clock ring);
+	// hand is the next ring position the clock hand examines.
+	ring []graph.NodeID //rbpc:guardedby mu
+	hand int            //rbpc:guardedby mu
+	cap  int            //rbpc:guardedby mu
 }
 
 // NewOracle returns an Oracle over v. The view must not change afterwards
@@ -80,6 +82,8 @@ func (o *Oracle) Tree(s graph.NodeID) *Tree {
 // evictOneLocked advances the clock hand until it finds a tree whose
 // reference bit is clear, clearing bits as it passes, and evicts it. Must
 // be called with o.mu held and len(o.trees) > 0.
+//
+//rbpc:locked
 func (o *Oracle) evictOneLocked() {
 	for {
 		if o.hand >= len(o.ring) {

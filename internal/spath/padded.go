@@ -63,6 +63,8 @@ func (p *PaddedView) VisitArcs(u graph.NodeID, visit func(graph.Arc) bool) {
 var _ graph.View = (*PaddedView)(nil)
 
 // unitHash maps x to a deterministic value in (0, 1) via splitmix64.
+//
+//rbpc:hotpath
 func unitHash(x uint64) float64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -122,6 +122,8 @@ func (s *Solver) Source() graph.NodeID { return s.src }
 func (s *Solver) Order() int { return s.n }
 
 // Dist returns the distance from the source to v, or Unreachable.
+//
+//rbpc:hotpath
 func (s *Solver) Dist(v graph.NodeID) float64 {
 	if s.gen[v] != s.cur {
 		return Unreachable
@@ -139,6 +141,8 @@ func (s *Solver) Hops(v graph.NodeID) int {
 }
 
 // Reached reports whether v was reached by the last Solve.
+//
+//rbpc:hotpath
 func (s *Solver) Reached(v graph.NodeID) bool {
 	return s.gen[v] == s.cur && s.dist[v] != Unreachable
 }
@@ -176,6 +180,8 @@ func (s *Solver) PathTo(v graph.NodeID) (graph.Path, bool) {
 
 // Tree materializes the last Solve's result as a standalone shortest-path
 // tree, detached from the solver's scratch.
+//
+//rbpc:ctor
 func (s *Solver) Tree() *Tree {
 	t := newTree(s.n, s.src)
 	for _, v := range s.touched {
@@ -238,6 +244,8 @@ func (s *Solver) solveDijkstra(v graph.View, src graph.NodeID) {
 // generic version exactly so tie-breaking is identical. Scratch fields are
 // hoisted into locals so the inner loop indexes slices directly instead of
 // re-loading them through the receiver per relaxation.
+//
+//rbpc:hotpath
 func (s *Solver) bfsKernel(k *graph.Kernel, src graph.NodeID) {
 	if k.NodeRemoved(src) {
 		return // removed source: only itself, at distance 0
@@ -246,7 +254,7 @@ func (s *Solver) bfsKernel(k *graph.Kernel, src graph.NodeID) {
 	masked := eoff != nil || noff != nil
 	dist, hops, parent, parentE := s.dist, s.hops, s.parent, s.parentE
 	gen, cur, touched := s.gen, s.cur, s.touched
-	queue := append(s.queue, src)
+	queue := append(s.queue, src) //rbpc:allow hotpath -- scratch presized to the view's order by grow
 	for qi := 0; qi < len(queue); qi++ {
 		u := queue[qi]
 		du := dist[u]
@@ -268,8 +276,8 @@ func (s *Solver) bfsKernel(k *graph.Kernel, src graph.NodeID) {
 				hops[to] = hu + 1
 				parent[to] = u
 				parentE[to] = a.Edge
-				touched = append(touched, to)
-				queue = append(queue, to)
+				touched = append(touched, to) //rbpc:allow hotpath -- amortized: reaches high-water capacity and is reused
+				queue = append(queue, to)     //rbpc:allow hotpath -- scratch presized to the view's order by grow
 			case dist[to] == du+1:
 				// Same level: keep the lexicographically least parent so
 				// trees are deterministic.
@@ -316,6 +324,8 @@ func (s *Solver) bfsGeneric(v graph.View, src graph.NodeID) {
 // dijkstraKernel is the flat-adjacency Dijkstra with inlined weights and
 // optional padding. eps != 0 applies the PaddedView perturbation using the
 // same expression as PaddedView.Edge, so padded runs are bit-identical.
+//
+//rbpc:hotpath
 func (s *Solver) dijkstraKernel(k *graph.Kernel, eps float64, src graph.NodeID) {
 	if k.NodeRemoved(src) {
 		return
@@ -354,7 +364,7 @@ func (s *Solver) dijkstraKernel(k *graph.Kernel, eps float64, src graph.NodeID) 
 				hops[to] = 0
 				parent[to] = -1
 				parentE[to] = -1
-				touched = append(touched, to)
+				touched = append(touched, to) //rbpc:allow hotpath -- amortized: reaches high-water capacity and is reused
 			}
 			switch {
 			case nd < dist[to]:

@@ -26,6 +26,7 @@ func referenceCompute(v graph.View, src graph.NodeID) *Tree {
 	return referenceDijkstra(v, src)
 }
 
+//rbpc:ctor
 func referenceBFS(v graph.View, src graph.NodeID) *Tree {
 	t := newTree(v.Order(), src)
 	t.dist[src] = 0
@@ -54,6 +55,7 @@ func referenceBFS(v graph.View, src graph.NodeID) *Tree {
 	return t
 }
 
+//rbpc:ctor
 func referenceDijkstra(v graph.View, src graph.NodeID) *Tree {
 	n := v.Order()
 	t := newTree(n, src)

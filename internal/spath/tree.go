@@ -21,6 +21,8 @@ const Unreachable = math.MaxFloat64
 // tree holds the lexicographically least one by (hop count, parent node ID,
 // parent edge ID), evaluated bottom-up, so trees are deterministic for a
 // given view regardless of iteration order.
+//
+//rbpc:immutable
 type Tree struct {
 	Source graph.NodeID
 
@@ -31,17 +33,25 @@ type Tree struct {
 }
 
 // Dist returns the distance from the source to v, or Unreachable.
+//
+//rbpc:hotpath
 func (t *Tree) Dist(v graph.NodeID) float64 { return t.dist[v] }
 
 // Hops returns the hop count of the tree path to v. It is meaningful only
 // if Reached(v).
+//
+//rbpc:hotpath
 func (t *Tree) Hops(v graph.NodeID) int { return int(t.hops[v]) }
 
 // Reached reports whether v is reachable from the source.
+//
+//rbpc:hotpath
 func (t *Tree) Reached(v graph.NodeID) bool { return t.dist[v] != Unreachable }
 
 // Parent returns the tree predecessor of v and the connecting edge.
 // At the source or an unreached node it returns (-1, -1).
+//
+//rbpc:hotpath
 func (t *Tree) Parent(v graph.NodeID) (graph.NodeID, graph.EdgeID) {
 	return t.parent[v], t.parentE[v]
 }
@@ -99,6 +109,8 @@ func newTree(n int, src graph.NodeID) *Tree {
 
 // betterParent reports whether candidate (hops, parent node, parent edge)
 // precedes the incumbent lexicographically.
+//
+//rbpc:hotpath
 func betterParent(h int32, p graph.NodeID, e graph.EdgeID, ch int32, cp graph.NodeID, ce graph.EdgeID) bool {
 	if h != ch {
 		return h < ch

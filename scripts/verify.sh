@@ -1,20 +1,40 @@
 #!/bin/sh
-# verify.sh — the full local gate: build, vet, tests, and the race
-# detector over the packages with real concurrency (the SSSP solver pool,
-# the CSR lazy build, the oracle's CLOCK cache, the eval fan-outs, and the
-# online engine: epoch snapshots under churn, COW network clones, and the
-# sharded metrics).
+# verify.sh — the full local gate: formatting, build, vet, the rbpc-lint
+# invariant checkers, tests, and the race detector over the packages with
+# real concurrency (the SSSP solver pool, the CSR lazy build, the oracle's
+# CLOCK cache, the eval fan-outs, and the online engine: epoch snapshots
+# under churn, COW network clones, and the sharded metrics).
 #
 # Usage: scripts/verify.sh   (or: make verify)
 set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> gofmt -l"
+unformatted=$(gofmt -l ./cmd ./internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "==> go build ./..."
 go build ./...
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> rbpc-lint (invariant checkers: immutable, hotpath, guardedby, atomicmix)"
+go build -o bin/rbpc-lint ./cmd/rbpc-lint
+./bin/rbpc-lint ./...
+go vet -vettool="$(pwd)/bin/rbpc-lint" ./...
+
+echo "==> govulncheck (soft-fail if not installed)"
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || echo "govulncheck reported findings (non-blocking)" >&2
+else
+	echo "govulncheck not installed; skipping"
+fi
 
 echo "==> go test ./..."
 go test ./...
