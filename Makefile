@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race verify bench serve-bench
+.PHONY: all build test vet lint race chaos verify bench serve-bench
 
 all: build
 
@@ -25,6 +25,12 @@ lint:
 race:
 	$(GO) test -race ./internal/graph/... ./internal/spath/... ./internal/eval/... \
 		./internal/engine/... ./internal/rbpc/... ./internal/mpls/...
+
+# The long fault-injection conformance suite (DESIGN.md §11): seeded chaos
+# schedules against the online engine under -race, with the theorem oracles
+# armed. Plain `go test ./internal/chaos` runs the bounded smoke variant.
+chaos:
+	$(GO) test -race -tags chaos -count=1 ./internal/chaos/
 
 # The full pre-commit gate: build + vet + lint + tests + race detector.
 verify:

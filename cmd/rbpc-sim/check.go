@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+
+	"rbpc"
+)
+
+// checkConverged compares the converged deployment against the reference
+// model: the failed graph's true shortest paths. Every pair the reference
+// says is connected must be delivered by the data plane (at the reference
+// hop count on unit-weight topologies), every disconnected pair must be
+// dropped, and the forwarding tables must be loop-free. It returns an
+// error describing the first divergence found, nil if the deployment
+// matches the model on all pairs.
+func checkConverged(g *rbpc.Graph, net *rbpc.MPLSNetwork, failed ...rbpc.EdgeID) error {
+	if rep := rbpc.VerifyTables(net); !rep.LoopFree() {
+		return fmt.Errorf("forwarding tables not loop-free: %v", rep)
+	}
+	fv := rbpc.FailEdges(g, failed...)
+	n := g.Order()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			src, dst := rbpc.NodeID(s), rbpc.NodeID(d)
+			ref, connected := rbpc.ShortestPath(fv, src, dst)
+			pkt, err := net.SendIP(src, dst)
+			switch {
+			case connected && err != nil:
+				return fmt.Errorf("pair %d->%d: data plane dropped the packet (%v), reference model reaches it in %d hops",
+					s, d, err, ref.Hops())
+			case !connected && err == nil:
+				return fmt.Errorf("pair %d->%d: data plane delivered in %d hops, reference model says the pair is disconnected",
+					s, d, pkt.Hops)
+			case connected && g.UnitWeights() && pkt.Hops != ref.Hops():
+				return fmt.Errorf("pair %d->%d: data plane took %d hops, reference shortest path is %d hops",
+					s, d, pkt.Hops, ref.Hops())
+			}
+		}
+	}
+	return nil
+}

@@ -122,6 +122,16 @@ func main() {
 	}
 	probe("source-router RBPC")
 
+	// Conformance gate: the converged deployment must match the reference
+	// model (true shortest paths of the failed graph) on every pair. A
+	// divergence is a bug, not a log line — print the seed that exposes it
+	// and exit non-zero so scripted sweeps fail loudly.
+	if err := checkConverged(g, dep.Net(), failEdge); err != nil {
+		fmt.Fprintf(os.Stderr, "rbpc-sim: divergence (seed %d): %v\n", *seed, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nreference-model check: all pairs match the failed graph's shortest paths")
+
 	// Baseline comparison.
 	fmt.Println("\nconventional baseline (teardown + LDP re-signaling):")
 	var balEng rbpc.Engine

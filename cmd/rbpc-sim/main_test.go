@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"rbpc"
+)
+
+// converge builds the hybrid deployment on a Waxman topology, fails the
+// first non-bridge link, and runs the simulation to convergence —
+// exactly the rbpc-sim main flow.
+func converge(t *testing.T, seed int64) (*rbpc.Graph, *rbpc.Deployment, rbpc.EdgeID) {
+	t.Helper()
+	g := rbpc.NewWaxman(16, 0.7, 0.4, seed)
+	dep, err := rbpc.NewDeployment(g, rbpc.DefaultDeployConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng rbpc.Engine
+	proto := rbpc.NewLinkState(g, &eng, rbpc.DefaultLinkStateConfig())
+	hyb := rbpc.NewHybridDeployment(dep, proto, &eng, rbpc.EdgeBypass)
+
+	failEdge := rbpc.EdgeID(-1)
+	for _, e := range g.Edges() {
+		if rbpc.Connected(rbpc.FailEdges(g, e.ID)) {
+			failEdge = e.ID
+			break
+		}
+	}
+	if failEdge < 0 {
+		t.Fatal("topology has only bridges")
+	}
+	if err := hyb.FailLink(failEdge); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	return g, dep, failEdge
+}
+
+// TestCheckConvergedClean: after convergence the deployment matches the
+// reference model — the divergence gate must stay silent on a healthy
+// run.
+func TestCheckConvergedClean(t *testing.T) {
+	for _, seed := range []int64{7, 11, 23} {
+		g, dep, failEdge := converge(t, seed)
+		if err := checkConverged(g, dep.Net(), failEdge); err != nil {
+			t.Errorf("seed %d: healthy run flagged as divergent: %v", seed, err)
+		}
+	}
+}
+
+// TestCheckConvergedCatchesSabotage is the regression test for the
+// divergence exit path: a corrupted forwarding table must be detected,
+// where the old rbpc-sim would have merely logged a dropped probe.
+func TestCheckConvergedCatchesSabotage(t *testing.T) {
+	g, dep, failEdge := converge(t, 7)
+
+	// Sabotage: remove the ingress FEC mapping of the failed link's
+	// endpoints (a pair that is provably still connected — the failed
+	// link is a non-bridge).
+	e := g.Edge(failEdge)
+	dep.Net().ClearFEC(e.U, e.V)
+
+	err := checkConverged(g, dep.Net(), failEdge)
+	if err == nil {
+		t.Fatal("checkConverged accepted a deployment with a deleted FEC entry")
+	}
+	if !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("unexpected divergence kind: %v", err)
+	}
+}

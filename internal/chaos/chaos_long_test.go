@@ -1,0 +1,82 @@
+//go:build chaos
+
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rbpc/internal/engine"
+)
+
+// The long conformance run, enabled by `go test -tags chaos` and wired
+// into the verify gate under -race. It widens every budget the smoke
+// variant bounds: bigger topology, more schedule seeds, longer schedules,
+// deeper concurrent-failure bursts, and the coalescing window exercised
+// on half the runs (Hunt alternates it).
+
+func longCfg() Config {
+	return Config{Nodes: 24, TopoSeed: 7, Steps: 150, MaxDown: 4}
+}
+
+// TestLongConformanceClean: the production engine over 20 seeds of long
+// schedules, every oracle green.
+func TestLongConformanceClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos run")
+	}
+	c, v, err := Hunt(longCfg(), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("production engine violated an oracle:\n%v\nschedule:\n%s", v, c.Schedule)
+	}
+}
+
+// TestLongConformanceCoalesced: a dedicated pass with a wide coalescing
+// window on every run, so bursts collapse inside one rebuild and events
+// cancel out before publication.
+func TestLongConformanceCoalesced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos run")
+	}
+	cfg := longCfg()
+	cfg.CoalesceWindow = 2 * time.Millisecond
+	c, v, err := Hunt(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("coalescing engine violated an oracle:\n%v\nschedule:\n%s", v, c.Schedule)
+	}
+}
+
+// TestLongHarnessCatchesEveryFault: fault detection at the long budget,
+// with shrunk counterexamples replaying deterministically.
+func TestLongHarnessCatchesEveryFault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos run")
+	}
+	for _, f := range engine.Faults() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := longCfg()
+			cfg.Fault = f
+			c, v, err := Hunt(cfg, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil {
+				t.Fatalf("harness did not catch injected fault %v within budget", f)
+			}
+			t.Logf("caught %v as %s (shrunk to %d steps)", f, v.Kind, len(c.Schedule))
+			_, rerr := c.Run()
+			var rv *Violation
+			if !errors.As(rerr, &rv) || rv.Kind != v.Kind {
+				t.Fatalf("shrunk case does not replay: %v", rerr)
+			}
+		})
+	}
+}

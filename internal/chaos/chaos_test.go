@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rbpc/internal/engine"
+)
+
+// smokeCfg is the bounded budget used in plain `go test`. The long
+// harness (chaos_long_test.go, build tag "chaos") runs the same suite
+// with a much larger budget under -race in the verify gate.
+func smokeCfg() Config {
+	return Config{Nodes: 14, TopoSeed: 3, Steps: 30, MaxDown: 3}
+}
+
+// TestConformanceClean: the production engine (FaultNone) survives the
+// chaos schedules with every oracle green.
+func TestConformanceClean(t *testing.T) {
+	c, v, err := Hunt(smokeCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("production engine violated an oracle:\n%v\nschedule:\n%s", v, c.Schedule)
+	}
+}
+
+// TestHarnessCatchesEveryFault is the harness's own conformance proof:
+// for each injectable engine defect, the hunt must find a violation
+// within the default budget, the shrunk counterexample must replay
+// deterministically, and the corpus encoding must round-trip to an
+// equally-failing case.
+func TestHarnessCatchesEveryFault(t *testing.T) {
+	for _, f := range engine.Faults() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := smokeCfg()
+			cfg.Fault = f
+			c, v, err := Hunt(cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil {
+				t.Fatalf("harness did not catch injected fault %v within budget", f)
+			}
+			t.Logf("caught %v as %s (shrunk to %d steps)", f, v.Kind, len(c.Schedule))
+
+			// Deterministic replay: the shrunk case fails the same way twice.
+			for i := 0; i < 2; i++ {
+				_, err := c.Run()
+				var rv *Violation
+				if !errors.As(err, &rv) {
+					t.Fatalf("replay %d of shrunk case did not fail: %v", i, err)
+				}
+				if rv.Kind != v.Kind || rv.Step != v.Step {
+					t.Fatalf("replay %d diverged: got %v, want %v", i, rv, v)
+				}
+			}
+
+			// Corpus round-trip: encode, decode, and the decoded case still
+			// fails identically.
+			var buf bytes.Buffer
+			if err := WriteCase(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			rc, err := ReadCase(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadCase: %v\ncorpus:\n%s", err, buf.String())
+			}
+			if !reflect.DeepEqual(rc, c) {
+				t.Fatalf("corpus round-trip changed the case:\ngot  %+v\nwant %+v", rc, c)
+			}
+			_, err = rc.Run()
+			var rv *Violation
+			if !errors.As(err, &rv) || rv.Kind != v.Kind {
+				t.Fatalf("decoded case does not reproduce: %v", err)
+			}
+		})
+	}
+}
+
+// TestShrinkMinimal: the canonical stale-plan counterexample shrinks to a
+// handful of steps — a shrinker that returns the full schedule is not
+// doing its job.
+func TestShrinkMinimal(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Fault = engine.FaultDropEpoch
+	c, v, err := Hunt(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("drop-epoch not caught")
+	}
+	// The minimal drop-epoch reproduction is fail, repair, flush (3
+	// steps); give the shrinker slack but insist on a real reduction.
+	if len(c.Schedule) > 6 {
+		t.Fatalf("shrunk schedule still has %d steps:\n%s", len(c.Schedule), c.Schedule)
+	}
+}
+
+// TestRunTraceDeterministic: two runs of the same case produce identical
+// discrete-event traces — the replayability guarantee corpus files rely
+// on.
+func TestRunTraceDeterministic(t *testing.T) {
+	c, err := Generate(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := c.Run()
+	r2, err2 := c.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("clean case failed: %v / %v", err1, err2)
+	}
+	if len(r1.Trace) == 0 {
+		t.Fatal("run recorded no trace")
+	}
+	if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+		t.Fatal("two runs of the same case produced different event traces")
+	}
+	if r1.Queries == 0 || r1.Churn == 0 || r1.Probes == 0 {
+		t.Fatalf("schedule exercised nothing: %+v", r1)
+	}
+}
+
+// TestGenerateDeterministic: Generate is a pure function of the config.
+func TestGenerateDeterministic(t *testing.T) {
+	c1, err1 := Generate(smokeCfg())
+	c2, err2 := Generate(smokeCfg())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("Generate: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("Generate is not deterministic for a fixed config")
+	}
+}
+
+// TestCorpusRejectsGarbage: malformed corpus files fail loudly.
+func TestCorpusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",                                  // empty: no schedule section
+		"nodes 12\n",                        // header only
+		"nodes 12\nwibble 3\nschedule\n",    // unknown key
+		"nodes 12\nfault lying\nschedule\n", // unknown fault
+		"nodes 12\nschedule\nexplode 1\n",   // unknown step
+		"schedule\nfail 1\n",                // missing nodes
+		"nodes twelve\nschedule\nfail 1\n",  // non-numeric value
+		"nodes 12 13\nschedule\nfail 1\n",   // extra operand
+		"nodes 12\nschedule\nquery 1\n",     // short query
+	} {
+		if _, err := ReadCase(bytes.NewReader([]byte(bad))); err == nil {
+			t.Errorf("ReadCase accepted garbage %q", bad)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/failure"
+)
+
+// Corpus format: a short header of "key value" lines fixing the world and
+// engine configuration, a "schedule" marker, then the schedule in
+// failure.Schedule's line format. Blank lines and '#' comments are
+// ignored throughout. The file is self-contained: cmd/rbpc-chaos -replay
+// re-runs it byte-for-byte deterministically.
+
+// WriteCase writes c in the corpus format.
+func WriteCase(w io.Writer, c Case) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# rbpc-chaos case")
+	fmt.Fprintf(bw, "nodes %d\n", c.Nodes)
+	fmt.Fprintf(bw, "topo-seed %d\n", c.TopoSeed)
+	fmt.Fprintf(bw, "sched-seed %d\n", c.Seed)
+	fmt.Fprintf(bw, "max-down %d\n", c.MaxDown)
+	fmt.Fprintf(bw, "coalesce-us %d\n", c.CoalesceWindow.Microseconds())
+	fmt.Fprintf(bw, "fault %s\n", c.Fault)
+	fmt.Fprintln(bw, "schedule")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return c.Schedule.Encode(w)
+}
+
+// ReadCase parses the corpus format.
+func ReadCase(r io.Reader) (Case, error) {
+	sc := bufio.NewScanner(r)
+	var c Case
+	lineNo := 0
+	inSchedule := false
+	var sched strings.Builder
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if inSchedule {
+			sched.WriteString(line)
+			sched.WriteByte('\n')
+			continue
+		}
+		fields := strings.Fields(line)
+		key := fields[0]
+		if key == "schedule" {
+			inSchedule = true
+			continue
+		}
+		if len(fields) != 2 {
+			return Case{}, fmt.Errorf("chaos: corpus line %d: %q takes one value", lineNo, key)
+		}
+		if key == "fault" {
+			f, err := engine.ParseFault(fields[1])
+			if err != nil {
+				return Case{}, fmt.Errorf("chaos: corpus line %d: %v", lineNo, err)
+			}
+			c.Fault = f
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return Case{}, fmt.Errorf("chaos: corpus line %d: %s: %v", lineNo, key, err)
+		}
+		switch key {
+		case "nodes":
+			c.Nodes = int(n)
+		case "topo-seed":
+			c.TopoSeed = n
+		case "sched-seed":
+			c.Seed = n
+		case "max-down":
+			c.MaxDown = int(n)
+		case "coalesce-us":
+			c.CoalesceWindow = time.Duration(n) * time.Microsecond
+		default:
+			return Case{}, fmt.Errorf("chaos: corpus line %d: unknown key %q", lineNo, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Case{}, fmt.Errorf("chaos: %w", err)
+	}
+	if !inSchedule {
+		return Case{}, fmt.Errorf("chaos: corpus has no schedule section")
+	}
+	if c.Nodes <= 0 {
+		return Case{}, fmt.Errorf("chaos: corpus missing nodes")
+	}
+	s, err := failure.DecodeSchedule(strings.NewReader(sched.String()))
+	if err != nil {
+		return Case{}, err
+	}
+	c.Schedule = s
+	return c, nil
+}
+
+// SaveCase writes c to path, creating parent directories as needed.
+func SaveCase(path string, c Case) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCase(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCase reads the case at path.
+func LoadCase(path string) (Case, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Case{}, err
+	}
+	defer f.Close()
+	return ReadCase(f)
+}

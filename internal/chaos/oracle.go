@@ -1,0 +1,218 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rbpc/internal/core"
+	"rbpc/internal/engine"
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+)
+
+// costEps is the tolerance for cost comparisons. Topology weights are
+// small integers (Waxman links are unit weight), so any true divergence
+// is at least 1; the epsilon only absorbs float association noise on
+// weighted graphs.
+const costEps = 1e-6
+
+// checker holds the oracle state for one run. The harness calls it from
+// the single schedule-execution goroutine, so it needs no locking.
+type checker struct {
+	g    *graph.Graph
+	all  *paths.AllShortest // all-shortest base of the original graph (theorem DP)
+	base *paths.Explicit    // provisioned base set (membership oracle)
+
+	lastEpoch uint64
+	probes    int
+
+	// Dijkstra scratch, reused across checks.
+	dist []float64
+	done []bool
+}
+
+func newChecker(w *world) *checker {
+	n := w.g.Order()
+	return &checker{
+		g:    w.g,
+		all:  w.all,
+		base: w.sys.Base(),
+		dist: make([]float64, n),
+		done: make([]bool, n),
+	}
+}
+
+// bruteDist is the independent reference: a naive O(n^2) Dijkstra over
+// the original adjacency minus the down edges. It deliberately shares no
+// code with internal/spath (no heap, no CSR, no failure views), so a bug
+// in the optimized solvers cannot hide itself here.
+func (ck *checker) bruteDist(down map[graph.EdgeID]bool, s, d graph.NodeID) float64 {
+	n := ck.g.Order()
+	inf := math.Inf(1)
+	for i := 0; i < n; i++ {
+		ck.dist[i] = inf
+		ck.done[i] = false
+	}
+	ck.dist[s] = 0
+	for {
+		u := graph.NodeID(-1)
+		best := inf
+		for v := 0; v < n; v++ {
+			if !ck.done[v] && ck.dist[v] < best {
+				best, u = ck.dist[v], graph.NodeID(v)
+			}
+		}
+		if u < 0 {
+			return ck.dist[d]
+		}
+		if u == d {
+			return ck.dist[u]
+		}
+		ck.done[u] = true
+		for _, a := range ck.g.Arcs(u) {
+			if down[a.Edge] {
+				continue
+			}
+			if w := ck.dist[u] + ck.g.Edge(a.Edge).W; w < ck.dist[a.To] {
+				ck.dist[a.To] = w
+			}
+		}
+	}
+}
+
+// checkResult validates one served answer against the epoch it was
+// served from. All checks are relative to res.Snap, so they are sound
+// regardless of which epoch a racing query happened to observe.
+func (ck *checker) checkResult(step int, res engine.Result) *Violation {
+	snap := res.Snap
+	vio := func(kind, format string, args ...interface{}) *Violation {
+		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: kind,
+			Detail: fmt.Sprintf("%d->%d ", res.Src, res.Dst) + fmt.Sprintf(format, args...)}
+	}
+
+	// Oracle (d), first half: the serial query stream must never walk
+	// backwards in epochs — the atomic snapshot swap makes published
+	// epochs immediately and permanently visible.
+	if snap.Epoch() < ck.lastEpoch {
+		return vio("monotonicity", "observed epoch %d after epoch %d", snap.Epoch(), ck.lastEpoch)
+	}
+	ck.lastEpoch = snap.Epoch()
+
+	failed := snap.Failed()
+	k := len(failed)
+	down := make(map[graph.EdgeID]bool, k)
+	for _, e := range failed {
+		down[e] = true
+	}
+
+	if res.Route == nil {
+		if res.Src != res.Dst && !math.IsInf(ck.bruteDist(down, res.Src, res.Dst), 1) {
+			return vio("unroutable-but-connected", "reported unroutable, but a path survives %v", failed)
+		}
+		return nil
+	}
+	rt := res.Route
+
+	// Structural validity: the components chain src to dst and ride only
+	// links alive in this epoch.
+	at := res.Src
+	for i, l := range rt.LSPs {
+		if l.Path.Src() != at {
+			return vio("chain", "component %d starts at %d, want %d", i, l.Path.Src(), at)
+		}
+		for _, e := range l.Path.Edges {
+			if down[e] {
+				return vio("dead-edge", "component %d rides failed link %d (failed-set %v)", i, e, failed)
+			}
+		}
+		at = l.Path.Dst()
+	}
+	if at != res.Dst {
+		return vio("chain", "concatenation ends at %d", at)
+	}
+
+	// Oracle (c): Corollary-4 membership. Restoration only concatenates
+	// pre-provisioned base paths and bare edges — every multi-hop
+	// component must be a member of the provisioned base set.
+	for i, l := range rt.LSPs {
+		if l.Path.Hops() > 1 && !ck.base.Contains(l.Path) {
+			return vio("membership", "component %d (%v) is not a provisioned base path", i, l.Path)
+		}
+	}
+
+	// Oracle (b), served form: at most k+1 base paths interleaved with at
+	// most k bare edges means at most 2k+1 components in total.
+	if len(rt.LSPs) > 2*k+1 {
+		return vio("interleaving-bound", "%d components for k=%d failures (bound %d)", len(rt.LSPs), k, 2*k+1)
+	}
+
+	// Oracle (a): the served cost must be the true post-failure shortest
+	// distance, per the independent Dijkstra.
+	want := ck.bruteDist(down, res.Src, res.Dst)
+	if math.IsInf(want, 1) {
+		return vio("optimality", "served a route but the pair is disconnected under %v", failed)
+	}
+	if math.Abs(rt.Cost-want) > costEps {
+		return vio("optimality", "served cost %v, post-failure shortest %v (failed %v)", rt.Cost, want, failed)
+	}
+
+	// Oracle (b), theorem form: the served path must admit a
+	// decomposition into at most k+1 original shortest paths with at most
+	// k bare edges — the exact DP behind Theorems 2/3.
+	full := rt.LSPs[0].Path
+	for _, l := range rt.LSPs[1:] {
+		full = full.Concat(l.Path)
+	}
+	if min := core.MinPathComponents(ck.all, full, k); min < 0 || min > k+1 {
+		return vio("theorem-bound", "served path needs %d shortest-path components with <= %d edges (bound %d)", min, k, k+1)
+	}
+
+	// End-to-end forwarding on the epoch's own data plane: the installed
+	// label stacks must deliver, and on unit-weight topologies must walk
+	// exactly the served cost.
+	ck.probes++
+	pkt, err := snap.Net().SendIP(res.Src, res.Dst)
+	if err != nil {
+		return vio("forwarding", "data plane dropped the packet: %v", err)
+	}
+	if pkt.At != res.Dst {
+		return vio("forwarding", "data plane delivered to %d", pkt.At)
+	}
+	if ck.g.UnitWeights() && math.Abs(float64(pkt.Hops)-rt.Cost) > costEps {
+		return vio("forwarding", "data plane walked %d hops, served cost %v (stale forwarding state)", pkt.Hops, rt.Cost)
+	}
+	return nil
+}
+
+// checkFlush validates the snapshot after a flush barrier: oracle (d),
+// second half. Every event sent before the flush is reflected, so the
+// snapshot's failed-set must equal the reference model exactly.
+func (ck *checker) checkFlush(step int, snap *engine.Snapshot, model map[graph.EdgeID]bool) *Violation {
+	if snap.Epoch() < ck.lastEpoch {
+		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: "monotonicity",
+			Detail: fmt.Sprintf("flushed epoch %d after epoch %d", snap.Epoch(), ck.lastEpoch)}
+	}
+	ck.lastEpoch = snap.Epoch()
+
+	failed := snap.Failed()
+	agree := len(failed) == len(model)
+	if agree {
+		for _, e := range failed {
+			if !model[e] {
+				agree = false
+				break
+			}
+		}
+	}
+	if !agree {
+		want := make([]graph.EdgeID, 0, len(model))
+		for e := range model {
+			want = append(want, e)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: "flush-agreement",
+			Detail: fmt.Sprintf("snapshot failed-set %v, event stream says %v", failed, want)}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"errors"
+
+	"rbpc/internal/failure"
+)
+
+// Shrink minimizes a failing case's schedule by delta debugging (ddmin):
+// it repeatedly tries removing contiguous chunks of steps, keeping any
+// candidate that still trips an oracle, halving the chunk size until
+// single steps no longer come out. Subsets are always valid schedules
+// because the engine absorbs redundant events (failing a down link or
+// repairing an up link is a no-op), matching the reference model's map
+// semantics.
+//
+// Shrink returns the smallest failing case found and its violation. A
+// nil violation means the input case did not fail on re-run (the
+// original failure was a non-deterministic scheduling race); the input
+// case is returned unchanged.
+func Shrink(c Case) (Case, *Violation) {
+	fails := func(sched failure.Schedule) *Violation {
+		cand := c
+		cand.Schedule = sched
+		_, err := cand.Run()
+		if err == nil {
+			return nil
+		}
+		var v *Violation
+		if errors.As(err, &v) {
+			return v
+		}
+		return nil
+	}
+
+	best := c.Schedule
+	lastV := fails(best)
+	if lastV == nil {
+		return c, nil
+	}
+
+	for chunk := (len(best) + 1) / 2; chunk >= 1; {
+		removed := false
+		for lo := 0; lo < len(best); lo += chunk {
+			hi := lo + chunk
+			if hi > len(best) {
+				hi = len(best)
+			}
+			cand := make(failure.Schedule, 0, len(best)-(hi-lo))
+			cand = append(cand, best[:lo]...)
+			cand = append(cand, best[hi:]...)
+			if v := fails(cand); v != nil {
+				best, lastV = cand, v
+				removed = true
+				lo -= chunk // the window shifted left; retry this offset
+			}
+		}
+		if !removed {
+			if chunk == 1 {
+				break
+			}
+			chunk = (chunk + 1) / 2
+			if chunk < 1 {
+				chunk = 1
+			}
+		}
+	}
+
+	c.Schedule = best
+	return c, lastV
+}

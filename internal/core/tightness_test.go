@@ -1,0 +1,207 @@
+package core
+
+// Table-driven tightness suite: every lower-bound construction from the
+// paper's figures, checked against the exact decomposition DP
+// (MinPathComponents). Each row pins the minimum number of base-path
+// components to the figure's exact value — not just "within bound" — so a
+// regression in either direction (a too-loose decomposer or a too-strong
+// base set) fails the table.
+//
+// internal/topology owns the constructions and their structural tests;
+// this file owns the core-side bound arithmetic.
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/paths"
+	"rbpc/internal/spath"
+	"rbpc/internal/topology"
+)
+
+// tightnessRow is one figure instance: a base set, the post-failure
+// restoration path, the edge-component allowance, and the exact minimum
+// component count the figure proves.
+type tightnessRow struct {
+	name string
+	// setup returns the base set, the restoration path to decompose, and
+	// the number of bare-edge components the theorem allows.
+	setup func(t *testing.T) (base paths.Base, backup graph.Path, maxEdges int)
+	// wantComps is the exact DP minimum (-1 = no decomposition exists).
+	wantComps int
+}
+
+// combRow builds the Figure-2 comb for k failures: Theorem 1 tight at
+// exactly k+1 shortest-path components, zero bare edges.
+func combRow(k int) tightnessRow {
+	return tightnessRow{
+		name: "comb-fig2-k" + string(rune('0'+k)),
+		setup: func(t *testing.T) (paths.Base, graph.Path, int) {
+			gd := topology.Comb(k)
+			fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+			backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+			if !ok {
+				t.Fatal("comb disconnected")
+			}
+			return paths.NewAllShortest(gd.G), backup, 0
+		},
+		wantComps: k + 1,
+	}
+}
+
+// weightedRow builds the Figure-3 weighted construction: Theorem 2 tight
+// at exactly k+1 shortest paths when k bare edges are allowed. With
+// allowance e < k the decomposition must not exist at all (wantComps -1),
+// which is what makes the k of the bound necessary.
+func weightedRow(k, allowance, want int) tightnessRow {
+	suffix := ""
+	if allowance < k {
+		suffix = "-starved"
+	}
+	return tightnessRow{
+		name: "weighted-fig3-k" + string(rune('0'+k)) + suffix,
+		setup: func(t *testing.T) (paths.Base, graph.Path, int) {
+			gd := topology.WeightedTight(k)
+			fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+			backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+			if !ok {
+				t.Fatal("weighted gadget disconnected")
+			}
+			return paths.NewAllShortest(gd.G), backup, allowance
+		},
+		wantComps: want,
+	}
+}
+
+// starRow builds the Figure-4 star-of-pairs: one router failure forces
+// exactly ceil(m/2) components — the Theta(n) node-failure pathology.
+func starRow(m int) tightnessRow {
+	return tightnessRow{
+		name: "star-of-pairs-fig4",
+		setup: func(t *testing.T) (paths.Base, graph.Path, int) {
+			gd, hub := topology.StarOfPairs(m)
+			fv := graph.FailNodes(gd.G, hub)
+			backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+			if !ok {
+				t.Fatal("line disconnected")
+			}
+			if backup.Hops() != m {
+				t.Fatalf("backup = %d hops, want the full %d-hop line", backup.Hops(), m)
+			}
+			return paths.NewAllShortest(gd.G), backup, 0
+		},
+		wantComps: (m + 1) / 2,
+	}
+}
+
+// directedRow builds the Figure-5 directed counterexample: one failure,
+// exactly ceil(m/3) components — far beyond k+1 = 2, so Theorem 1 does
+// not extend to directed graphs.
+func directedRow(m int) tightnessRow {
+	return tightnessRow{
+		name: "directed-fig5",
+		setup: func(t *testing.T) (paths.Base, graph.Path, int) {
+			gd := topology.DirectedCounterexample(m)
+			fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+			backup, ok := spath.Compute(fv, gd.S).PathTo(gd.T)
+			if !ok {
+				t.Fatal("chain disconnected")
+			}
+			return paths.NewAllShortest(gd.G), backup, 0
+		},
+		wantComps: (m + 2) / 3,
+	}
+}
+
+// fourCycleBadEdge finds the edge of C4 that lies on both padded-unique
+// canonical paths between opposite corners. Whatever the tiebreak, the
+// two chosen 2-hop paths share exactly one edge; failing it leaves a
+// 3-hop restoration whose interior 2-hop subpaths are both non-canonical.
+func fourCycleBadEdge(t *testing.T, g *graph.Graph, unique *paths.UniqueShortest) (graph.EdgeID, graph.Path) {
+	t.Helper()
+	for _, e := range g.Edges() {
+		fv := graph.FailEdges(g, e.ID)
+		pfv := spath.Padded(fv, spath.PaddingFor(g))
+		backup, ok := spath.Compute(pfv, e.U).PathTo(e.V)
+		if !ok || backup.Hops() != 3 {
+			continue
+		}
+		if MinPathComponents(unique, backup, 0) == 3 {
+			return e.ID, backup
+		}
+	}
+	t.Fatal("no C4 edge forces a 3-component restoration — the unique base set is too strong")
+	return 0, graph.Path{}
+}
+
+func TestTightnessTable(t *testing.T) {
+	fourCycle := topology.FourCycle()
+	unique := paths.NewUniqueShortest(fourCycle)
+
+	rows := []tightnessRow{
+		combRow(1), combRow(2), combRow(3),
+		weightedRow(1, 1, 2), weightedRow(2, 2, 3), weightedRow(3, 3, 4),
+		// With only k-1 bare edges the Figure-3 decomposition is impossible.
+		weightedRow(2, 1, -1), weightedRow(3, 2, -1),
+		starRow(10),
+		directedRow(9),
+		// The 4-cycle, the paper's minimal one-path-per-pair example: with
+		// the unique base set some single failure needs 3 total components
+		// (= 2k+1, Theorem 3 tight): 3 base paths with no bare edge, or 2
+		// base paths once the one allowed bare edge is spent.
+		{
+			name: "four-cycle-no-bare-edges",
+			setup: func(t *testing.T) (paths.Base, graph.Path, int) {
+				_, backup := fourCycleBadEdge(t, fourCycle, unique)
+				return unique, backup, 0
+			},
+			wantComps: 3,
+		},
+		{
+			name: "four-cycle-one-bare-edge",
+			setup: func(t *testing.T) (paths.Base, graph.Path, int) {
+				_, backup := fourCycleBadEdge(t, fourCycle, unique)
+				return unique, backup, 1
+			},
+			wantComps: 2,
+		},
+	}
+
+	for _, row := range rows {
+		row := row
+		t.Run(row.name, func(t *testing.T) {
+			base, backup, maxEdges := row.setup(t)
+			if got := MinPathComponents(base, backup, maxEdges); got != row.wantComps {
+				t.Errorf("MinPathComponents = %d, want exactly %d (path %v, <= %d bare edges)",
+					got, row.wantComps, backup, maxEdges)
+			}
+		})
+	}
+}
+
+// TestTightnessTheoremReports cross-checks the same figures through the
+// end-to-end theorem verifiers: the bounds hold, and the reported
+// component counts equal the figures' exact values.
+func TestTightnessTheoremReports(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		gd := topology.Comb(k)
+		fv := graph.Fail(gd.G, gd.FailedEdges, nil)
+		rep, err := CheckTheorem1(gd.G, fv, gd.S, gd.T)
+		if err != nil {
+			t.Fatalf("comb k=%d: %v", k, err)
+		}
+		if !rep.Reachable || !rep.WithinBound || rep.PathComps != k+1 {
+			t.Errorf("comb k=%d: %+v, want reachable within-bound with exactly %d components", k, rep, k+1)
+		}
+
+		wd := topology.WeightedTight(k)
+		wfv := graph.Fail(wd.G, wd.FailedEdges, nil)
+		wrep, err := CheckTheorem2(wd.G, wfv, wd.S, wd.T)
+		if err != nil {
+			t.Fatalf("weighted k=%d: %v", k, err)
+		}
+		if !wrep.Reachable || !wrep.WithinBound || wrep.PathComps != k+1 {
+			t.Errorf("weighted k=%d: %+v, want reachable within-bound with exactly %d components", k, wrep, k+1)
+		}
+	}
+}

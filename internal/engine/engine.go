@@ -47,6 +47,15 @@ type Config struct {
 	// safe for concurrent calls. Nil discards answers (the queue still
 	// exercises the serving path and metrics).
 	OnResult func(Result)
+	// OnEpoch, when non-nil, is invoked synchronously by the writer
+	// immediately after each epoch publish, with the snapshot just made
+	// current. It is the conformance harness's oracle tap: every published
+	// epoch can be observed exactly once, in publish order. It runs on the
+	// writer goroutine — keep it brief or epoch build latency suffers.
+	OnEpoch func(*Snapshot)
+	// Fault injects a deliberate writer defect (see Fault). Only the
+	// chaos conformance harness sets this; leave FaultNone in production.
+	Fault Fault
 }
 
 // Result is one answered query.
@@ -426,6 +435,10 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	if key == prev.key {
 		return // coalesced burst cancelled out
 	}
+	shrunk := len(failed) < len(prev.failed)
+	if e.cfg.Fault == FaultDropEpoch && shrunk {
+		return // injected defect: repairs absorbed but never surfaced
+	}
 
 	// The net lineage is linear: always clone the latest snapshot's net,
 	// so ILM rows of LSPs signaled on demand in any earlier epoch persist
@@ -441,7 +454,14 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	}
 
 	nh := &netHandle{net: net}
-	pl, hit := e.cachedPlan(failed, nh)
+	var pl *plan
+	var hit bool
+	if e.cfg.Fault == FaultStalePlanOnRepair && shrunk {
+		// Injected defect: keep serving the previous failed-set's plan.
+		pl, hit = e.prevPlan, true
+	} else {
+		pl, hit = e.cachedPlan(failed, nh)
+	}
 	if hit {
 		e.mCacheHits.Add(0, 1)
 	} else {
@@ -484,9 +504,11 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	for pr := range pl.routes {
 		writeFEC(pr)
 	}
-	for pr := range e.prevPlan.routes {
-		if _, covered := pl.routes[pr]; !covered {
-			writeFEC(pr)
+	if e.cfg.Fault != FaultSkipFECRewrite {
+		for pr := range e.prevPlan.routes {
+			if _, covered := pl.routes[pr]; !covered {
+				writeFEC(pr)
+			}
 		}
 	}
 
@@ -517,6 +539,9 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	e.snap.Store(next)
 	e.mEpochs.Add(0, 1)
 	e.mBuild.Record(0, time.Since(start))
+	if e.cfg.OnEpoch != nil {
+		e.cfg.OnEpoch(next)
+	}
 }
 
 // resolveRoute maps a decomposition onto LSPs via the shared resolver,

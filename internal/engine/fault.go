@@ -1,0 +1,65 @@
+package engine
+
+import "fmt"
+
+// Fault selects a deliberately injected writer defect. The chaos
+// conformance harness (internal/chaos) runs the engine with each fault to
+// prove its runtime oracles catch the corresponding class of real bug —
+// a conformance suite that cannot detect its own target defects proves
+// nothing. Production configurations leave it at FaultNone; the fault
+// only ever perturbs the writer goroutine, so a faulty engine is still
+// race-free, just wrong.
+type Fault int
+
+const (
+	// FaultNone is the correct engine.
+	FaultNone Fault = iota
+	// FaultStalePlanOnRepair reuses the previous epoch's plan whenever a
+	// repair shrinks the failed-set, skipping the plan-cache lookup the
+	// transition needs. Pairs keep riding restoration detours after their
+	// primaries come back, so served costs exceed the true post-failure
+	// shortest distance (optimality-oracle violation).
+	FaultStalePlanOnRepair
+	// FaultSkipFECRewrite skips rewriting the forwarding entries of pairs
+	// that leave the plan on an epoch transition: the routing matrix
+	// returns to canonical but the data plane keeps the old label stack
+	// (forwarding-oracle violation).
+	FaultSkipFECRewrite
+	// FaultDropEpoch silently skips publishing epochs whose failed-set
+	// shrank: repairs are absorbed but never surface, so after a flush
+	// the snapshot disagrees with the event stream (snapshot-agreement
+	// oracle violation).
+	FaultDropEpoch
+)
+
+// String implements fmt.Stringer; the names double as the CLI vocabulary
+// of cmd/rbpc-chaos -fault and the corpus file encoding.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultStalePlanOnRepair:
+		return "stale-plan-on-repair"
+	case FaultSkipFECRewrite:
+		return "skip-fec-rewrite"
+	case FaultDropEpoch:
+		return "drop-epoch"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Faults lists every injectable defect (FaultNone excluded).
+func Faults() []Fault {
+	return []Fault{FaultStalePlanOnRepair, FaultSkipFECRewrite, FaultDropEpoch}
+}
+
+// ParseFault maps a Fault name back to its value.
+func ParseFault(name string) (Fault, error) {
+	for _, f := range append(Faults(), FaultNone) {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("engine: unknown fault %q", name)
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	for _, f := range append(Faults(), FaultNone) {
+		got, err := ParseFault(f.String())
+		if err != nil || got != f {
+			t.Fatalf("ParseFault(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+	if _, err := ParseFault("torn-everything"); err == nil {
+		t.Fatal("ParseFault accepted an unknown name")
+	}
+}
+
+// TestOnEpochTapSeesEveryPublish: the oracle tap fires once per published
+// epoch, in order, with the snapshot just made current.
+func TestOnEpochTapSeesEveryPublish(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 6)
+	var last atomic.Uint64
+	var taps atomic.Int64
+	e, _ := newEngine(t, g, Config{OnEpoch: func(s *Snapshot) {
+		if prev := last.Load(); s.Epoch() != prev+1 {
+			t.Errorf("tap saw epoch %d after %d", s.Epoch(), prev)
+		}
+		last.Store(s.Epoch())
+		taps.Add(1)
+	}})
+	for _, ed := range []graph.EdgeID{0, 1, 2} {
+		e.Fail(ed)
+		e.Flush()
+	}
+	for _, ed := range []graph.EdgeID{2, 1, 0} {
+		e.Repair(ed)
+		e.Flush()
+	}
+	if got := taps.Load(); got != 6 {
+		t.Fatalf("tap fired %d times, want 6", got)
+	}
+}
+
+// TestFaultDropEpochSuppressesRepairs: the injected defect is visible as
+// a snapshot that disagrees with the event stream after a flush — the
+// exact symptom the chaos harness's flush-agreement oracle keys on.
+func TestFaultDropEpochSuppressesRepairs(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 6)
+	e, _ := newEngine(t, g, Config{Fault: FaultDropEpoch})
+	e.Fail(0)
+	e.Flush()
+	e.Repair(0)
+	e.Flush()
+	if got := e.Snapshot().Failed(); len(got) != 1 {
+		t.Fatalf("faulty engine surfaced the repair: failed = %v", got)
+	}
+}
+
+// TestFaultStalePlanKeepsDetours: after fail+repair of one link, the
+// faulty engine still serves the restoration-era plan.
+func TestFaultStalePlanKeepsDetours(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 9)
+	good, _ := newEngine(t, g, Config{})
+	bad, _ := newEngine(t, g, Config{Fault: FaultStalePlanOnRepair})
+
+	for _, e := range []*Engine{good, bad} {
+		e.Fail(0)
+		e.Flush()
+		e.Repair(0)
+		e.Flush()
+	}
+	// The correct engine returns to canonical everywhere; the faulty one
+	// must disagree on at least one pair that the failure had detoured.
+	diverged := false
+	for s := 0; s < g.Order() && !diverged; s++ {
+		for d := 0; d < g.Order(); d++ {
+			if s == d {
+				continue
+			}
+			gr := good.Query(graph.NodeID(s), graph.NodeID(d)).Route
+			br := bad.Query(graph.NodeID(s), graph.NodeID(d)).Route
+			if (gr == nil) != (br == nil) || (gr != nil && br != nil && gr.Cost != br.Cost) {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("stale-plan fault produced no observable divergence on this topology")
+	}
+}

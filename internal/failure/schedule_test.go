@@ -1,0 +1,99 @@
+package failure
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+func TestChaosScheduleInvariants(t *testing.T) {
+	g := topology.Waxman(18, 0.8, 0.5, 11)
+	for _, seed := range []int64{1, 2, 3, 40} {
+		rng := rand.New(rand.NewSource(seed))
+		s := ChaosSchedule(g, 80, 3, rng)
+		if s.Churn() < 80 {
+			t.Fatalf("seed %d: %d churn steps, want >= 80", seed, s.Churn())
+		}
+		if s.Queries() == 0 {
+			t.Fatalf("seed %d: no query steps", seed)
+		}
+		down := map[graph.EdgeID]bool{}
+		for i, st := range s {
+			switch st.Kind {
+			case StepFail:
+				if down[st.Edge] {
+					t.Fatalf("seed %d: step %d fails already-down edge %d", seed, i, st.Edge)
+				}
+				down[st.Edge] = true
+				if len(down) > 3 {
+					t.Fatalf("seed %d: step %d exceeds maxDown", seed, i)
+				}
+			case StepRepair:
+				if !down[st.Edge] {
+					t.Fatalf("seed %d: step %d repairs up edge %d", seed, i, st.Edge)
+				}
+				delete(down, st.Edge)
+			case StepQuery:
+				if st.Src == st.Dst {
+					t.Fatalf("seed %d: step %d queries self-pair", seed, i)
+				}
+			}
+		}
+		if len(down) != 0 {
+			t.Fatalf("seed %d: schedule does not drain: %v still down", seed, down)
+		}
+		if s[len(s)-1].Kind != StepQuery {
+			t.Fatalf("seed %d: schedule should end with a query burst", seed)
+		}
+	}
+}
+
+func TestChaosScheduleDeterministic(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 5)
+	a := ChaosSchedule(g, 50, 2, rand.New(rand.NewSource(9)))
+	b := ChaosSchedule(g, 50, 2, rand.New(rand.NewSource(9)))
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different schedules")
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	g := topology.Waxman(10, 0.8, 0.5, 2)
+	s := ChaosSchedule(g, 30, 2, rand.New(rand.NewSource(4)))
+	enc := s.String()
+	dec, err := DecodeSchedule(strings.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(dec), len(s))
+	}
+	for i := range s {
+		if dec[i] != s[i] {
+			t.Fatalf("step %d round-tripped to %+v, want %+v", i, dec[i], s[i])
+		}
+	}
+	// Comments and blank lines are tolerated.
+	dec2, err := DecodeSchedule(strings.NewReader("# header\n\n" + enc))
+	if err != nil || len(dec2) != len(s) {
+		t.Fatalf("decode with comments: %v (%d steps)", err, len(dec2))
+	}
+}
+
+func TestDecodeScheduleRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"explode 3",
+		"fail",
+		"fail x",
+		"query 1",
+		"flush now",
+		"repair 1 2",
+	} {
+		if _, err := DecodeSchedule(strings.NewReader(bad)); err == nil {
+			t.Errorf("decoded %q without error", bad)
+		}
+	}
+}

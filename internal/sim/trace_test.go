@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// TestTraceDeterministicReplay: the trace hook sees the identical (time,
+// seq) sequence across two runs of the same schedule — the property the
+// chaos harness's replay check is built on.
+func TestTraceDeterministicReplay(t *testing.T) {
+	type entry struct {
+		at  Time
+		seq int64
+	}
+	run := func() []entry {
+		var e Engine
+		var got []entry
+		e.SetTrace(func(at Time, seq int64) { got = append(got, entry{at, seq}) })
+		e.At(5, func() {})
+		e.At(1, func() { e.After(2, func() {}) })
+		e.At(1, func() {}) // same time: fires in scheduling order
+		e.Run()
+		return got
+	}
+	a, b := run(), run()
+	if len(a) != 4 {
+		t.Fatalf("trace has %d entries, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Equal-time events fired in scheduling order.
+	if !(a[0].at == 1 && a[1].at == 1 && a[0].seq < a[1].seq) {
+		t.Fatalf("equal-time ordering wrong: %+v", a[:2])
+	}
+	if a[2].at != 3 || a[3].at != 5 {
+		t.Fatalf("trace times wrong: %+v", a)
+	}
+}
+
+// TestTraceNilHookIsNoop: tracing defaults off and can be disabled again.
+func TestTraceNilHookIsNoop(t *testing.T) {
+	var e Engine
+	n := 0
+	e.SetTrace(func(Time, int64) { n++ })
+	e.At(1, func() {})
+	e.SetTrace(nil)
+	e.Run()
+	if n != 0 {
+		t.Fatalf("disabled trace fired %d times", n)
+	}
+}

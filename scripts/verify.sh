@@ -43,4 +43,7 @@ echo "==> go test -race (concurrent packages)"
 go test -race ./internal/graph/... ./internal/spath/... ./internal/eval/... \
 	./internal/engine/... ./internal/rbpc/... ./internal/mpls/...
 
+echo "==> chaos conformance suite (long, -race, tagged)"
+go test -race -tags chaos -count=1 ./internal/chaos/
+
 echo "verify: OK"
