@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race chaos verify bench serve-bench
+.PHONY: all build test vet lint race chaos verify bench serve-bench bench-smoke
 
 all: build
 
@@ -43,4 +43,10 @@ bench:
 # Serving benchmark: the online engine under open-loop load with failure
 # churn; writes BENCH_engine.json into the repo root.
 serve-bench:
-	$(GO) run ./cmd/rbpc-serve -topology as -scale 0.1 -qps 150000 -duration 3s -bench-dir .
+	$(GO) run ./cmd/rbpc-serve -topology as -scale 0.1 -qps 165000 -duration 3s -bench-dir .
+
+# Reduced-scale benchmark smoke for CI: rbpc-serve (strict: any dropped or
+# unroutable query fails) and rbpc-bench -engine on GOMAXPROCS 1 and 4.
+# Timings are reported, not gated.
+bench-smoke:
+	sh scripts/bench_smoke.sh

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// runCompare loads an old BENCH_*.json record, resolves the current record
+// of the same name (from dir, the old file's directory if dir is empty),
+// and prints an old -> new delta for every numeric field. Seconds-like
+// fields get a percentage so regressions jump out in CI logs; string
+// fields are printed only when they differ (e.g. a Go version bump).
+func runCompare(out io.Writer, oldPath, dir string) error {
+	old, err := loadRecord(oldPath)
+	if err != nil {
+		return err
+	}
+	name, _ := old["name"].(string)
+	if name == "" {
+		return fmt.Errorf("%s has no \"name\" field; not a BENCH record", oldPath)
+	}
+	if dir == "" {
+		dir = filepath.Dir(oldPath)
+	}
+	newPath := filepath.Join(dir, "BENCH_"+name+".json")
+	cur, err := loadRecord(newPath)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "=== Compare %q: %s -> %s ===\n", name, oldPath, newPath)
+	keys := make([]string, 0, len(old))
+	for k := range old {
+		keys = append(keys, k)
+	}
+	for k := range cur {
+		if _, ok := old[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	for _, k := range keys {
+		ov, oldHas := old[k]
+		nv, curHas := cur[k]
+		switch {
+		case !oldHas:
+			fmt.Fprintf(out, "  %-28s (new) %v\n", k, nv)
+		case !curHas:
+			fmt.Fprintf(out, "  %-28s %v (dropped)\n", k, ov)
+		default:
+			of, oNum := ov.(float64)
+			nf, nNum := nv.(float64)
+			if oNum && nNum {
+				line := fmt.Sprintf("  %-28s %v -> %v", k, of, nf)
+				if of != 0 && of != nf {
+					line += fmt.Sprintf("  (%+.1f%%)", 100*(nf-of)/math.Abs(of))
+				}
+				fmt.Fprintln(out, line)
+			} else if fmt.Sprint(ov) != fmt.Sprint(nv) {
+				fmt.Fprintf(out, "  %-28s %v -> %v\n", k, ov, nv)
+			}
+		}
+	}
+	return nil
+}
+
+func loadRecord(path string) (map[string]interface{}, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec map[string]interface{}
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
+}

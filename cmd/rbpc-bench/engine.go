@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/failure"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/topology"
+)
+
+// engineChurnRecord is the BENCH_engine_churn.json payload: the common
+// stage-record header plus the incremental epoch builder's per-stage
+// timings and reuse counters, measured over a deterministic synchronous
+// churn schedule (no open-loop load — every epoch build is flushed and
+// timed on its own, so the numbers isolate the writer pipeline).
+type engineChurnRecord struct {
+	Name      string  `json:"name"`
+	Seconds   float64 `json:"seconds"`
+	Seed      int64   `json:"seed"`
+	FullScale bool    `json:"full_scale"`
+	MaxProcs  int     `json:"gomaxprocs"`
+	GoVersion string  `json:"go_version"`
+
+	Nodes  int   `json:"nodes"`
+	Links  int   `json:"links"`
+	Steps  int   `json:"steps"`
+	Epochs int64 `json:"epochs"`
+
+	BuildP50Secs float64 `json:"epoch_build_p50_seconds"`
+	BuildP99Secs float64 `json:"epoch_build_p99_seconds"`
+	CacheHitRate float64 `json:"plan_cache_hit_rate"`
+
+	RowsReused       int64   `json:"rows_reused"`
+	RowsRecomputed   int64   `json:"rows_recomputed"`
+	AffectedEntering int64   `json:"affected_entering"`
+	AffectedLeaving  int64   `json:"affected_leaving"`
+	StaleRoutes      int64   `json:"stale_routes"`
+	RepairImproved   int64   `json:"repair_improved"`
+	TreesAdopted     int64   `json:"trees_adopted"`
+	StageAffectedSec float64 `json:"stage_affected_seconds"`
+	StageSolveSec    float64 `json:"stage_solve_seconds"`
+	StageResolveSec  float64 `json:"stage_resolve_seconds"`
+	StageAssembleSec float64 `json:"stage_assemble_seconds"`
+}
+
+// runEngineChurn provisions the AS stand-in at the given scale, drives the
+// online engine through a seeded churn schedule synchronously (fail/repair
+// + flush per event), and reports where the epoch-build time went. It
+// returns an error instead of exiting so -compare can still run.
+func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, full bool) error {
+	g := topology.PaperAS(seed, scale)
+	fmt.Fprintf(out, "engine churn: AS stand-in, %d nodes, %d links, %d events (max %d down)\n",
+		g.Order(), g.Size(), steps, maxDown)
+
+	t := time.Now()
+	sys, err := rbpc.NewSystem(g, rbpc.Config{EdgeLSPs: true})
+	if err != nil {
+		return fmt.Errorf("provision: %w", err)
+	}
+	fmt.Fprintf(out, "provisioned in %v\n", time.Since(t).Round(time.Millisecond))
+
+	eng, err := engine.New(sys.Export(), engine.Config{})
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	defer eng.Close()
+
+	events := failure.ChurnSchedule(g, steps, maxDown, rand.New(rand.NewSource(seed)))
+	start := time.Now()
+	for _, ev := range events {
+		if ev.Repair {
+			eng.Repair(ev.Edge)
+		} else {
+			eng.Fail(ev.Edge)
+		}
+		eng.Flush()
+	}
+	elapsed := time.Since(start)
+
+	st := eng.Stats()
+	inc := st.Incremental
+	hitRate := 0.0
+	if st.PlanCacheHits+st.PlanCacheMiss > 0 {
+		hitRate = float64(st.PlanCacheHits) / float64(st.PlanCacheHits+st.PlanCacheMiss)
+	}
+	fmt.Fprintf(out, "%d epochs in %v (build p50 %v, p99 %v), plan cache hit rate %.2f\n",
+		st.Epochs, elapsed.Round(time.Millisecond), st.EpochBuild.P50, st.EpochBuild.P99, hitRate)
+	fmt.Fprintf(out, "incremental: %d rows reused / %d recomputed (%d entering, %d leaving, %d stale, %d repair-improved), %d trees adopted\n",
+		inc.PairsReused, inc.PairsRecomputed, inc.Entering, inc.Leaving, inc.StaleRoutes, inc.RepairImproved, inc.TreesAdopted)
+	fmt.Fprintf(out, "build stages: affected %v  solve %v  resolve %v  assemble %v\n",
+		time.Duration(inc.AffectedNanos), time.Duration(inc.SolveNanos),
+		time.Duration(inc.ResolveNanos), time.Duration(inc.AssembleNanos))
+
+	if dir == "" {
+		return nil
+	}
+	rec := engineChurnRecord{
+		Name:      "engine_churn",
+		Seconds:   elapsed.Seconds(),
+		Seed:      seed,
+		FullScale: full,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion: runtime.Version(),
+
+		Nodes:  g.Order(),
+		Links:  g.Size(),
+		Steps:  steps,
+		Epochs: st.Epochs,
+
+		BuildP50Secs: st.EpochBuild.P50.Seconds(),
+		BuildP99Secs: st.EpochBuild.P99.Seconds(),
+		CacheHitRate: hitRate,
+
+		RowsReused:       inc.PairsReused,
+		RowsRecomputed:   inc.PairsRecomputed,
+		AffectedEntering: inc.Entering,
+		AffectedLeaving:  inc.Leaving,
+		StaleRoutes:      inc.StaleRoutes,
+		RepairImproved:   inc.RepairImproved,
+		TreesAdopted:     inc.TreesAdopted,
+		StageAffectedSec: time.Duration(inc.AffectedNanos).Seconds(),
+		StageSolveSec:    time.Duration(inc.SolveNanos).Seconds(),
+		StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
+		StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal bench record: %w", err)
+	}
+	path := filepath.Join(dir, "BENCH_engine_churn.json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write bench record: %w", err)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}

@@ -75,9 +75,14 @@ func main() {
 	maxEdges := flag.Int("max-edges", 20000, "edge sample cap for table 3 (0 = all edges)")
 	jsonPath := flag.String("json", "", "also write all computed results as JSON to this file")
 	benchDir := flag.String("bench-dir", "", "write per-stage timings as BENCH_*.json files into this directory")
+	engineRun := flag.Bool("engine", false, "benchmark the incremental epoch builder under churn (writes BENCH_engine_churn.json)")
+	engineScale := flag.Float64("engine-scale", 0.1, "AS stand-in scale for the -engine churn benchmark")
+	engineSteps := flag.Int("engine-steps", 40, "churn events for the -engine benchmark")
+	engineMaxDown := flag.Int("engine-max-down", 4, "concurrently-down link bound for the -engine benchmark")
+	compare := flag.String("compare", "", "compare an old BENCH_*.json against the current record of the same name and print deltas")
 	flag.Parse()
 
-	if !*all && *table == 0 && *figure == 0 && !*ablations {
+	if !*all && *table == 0 && *figure == 0 && !*ablations && !*engineRun && *compare == "" {
 		*all = true
 	}
 
@@ -89,6 +94,24 @@ func main() {
 
 	fullScale := *full || os.Getenv("RBPC_FULL") == "1"
 	bench := benchWriter{dir: *benchDir, seed: *seed, full: fullScale}
+
+	if *engineRun {
+		fmt.Println("=== Engine: incremental epoch builds under churn (AS stand-in) ===")
+		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, fullScale); err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench: engine churn:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if *compare != "" {
+		if err := runCompare(os.Stdout, *compare, *benchDir); err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench: compare:", err)
+			os.Exit(1)
+		}
+	}
+	if !*all && *table == 0 && *figure == 0 && !*ablations {
+		return
+	}
 
 	fmt.Printf("Building evaluation topologies (seed=%d, AS scale=%.3f, Internet scale=%.3f)...\n",
 		sc.Seed, sc.ASScale, sc.InternetScale)

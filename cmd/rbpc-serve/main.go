@@ -53,6 +53,20 @@ type engineBench struct {
 	CacheHitRate float64 `json:"plan_cache_hit_rate"`
 	OnDemandLSPs int64   `json:"on_demand_lsps"`
 	ProvisionSec float64 `json:"provision_seconds"`
+
+	// Incremental epoch-builder telemetry: how much of each epoch was
+	// reused versus recomputed, and where the build time went.
+	RowsReused       int64   `json:"rows_reused"`
+	RowsRecomputed   int64   `json:"rows_recomputed"`
+	AffectedEntering int64   `json:"affected_entering"`
+	AffectedLeaving  int64   `json:"affected_leaving"`
+	StaleRoutes      int64   `json:"stale_routes"`
+	RepairImproved   int64   `json:"repair_improved"`
+	TreesAdopted     int64   `json:"trees_adopted"`
+	StageAffectedSec float64 `json:"stage_affected_seconds"`
+	StageSolveSec    float64 `json:"stage_solve_seconds"`
+	StageResolveSec  float64 `json:"stage_resolve_seconds"`
+	StageAssembleSec float64 `json:"stage_assemble_seconds"`
 }
 
 func buildTopology(kind string, scale float64, seed int64) (*graph.Graph, error) {
@@ -86,6 +100,7 @@ func main() {
 		maxDown   = flag.Int("max-down", 3, "max links concurrently down during churn")
 		coalesce  = flag.Duration("coalesce", time.Millisecond, "writer coalesce window for failure bursts")
 		benchDir  = flag.String("bench-dir", "", "write BENCH_engine.json into this directory")
+		strict    = flag.Bool("strict", false, "exit non-zero if any query was dropped or answered unroutable (CI smoke gate)")
 	)
 	flag.Parse()
 
@@ -213,6 +228,12 @@ func main() {
 		st.Epochs, st.EpochBuild.P50, st.EpochBuild.P99, hitRate, st.OnDemandLSPs)
 	fmt.Printf("unroutable answers: %d; final epoch %d with %d links down\n",
 		st.Unroutable, st.Epoch, len(eng.Snapshot().Failed()))
+	inc := st.Incremental
+	fmt.Printf("incremental: %d rows reused / %d recomputed (%d entering, %d leaving, %d stale, %d repair-improved), %d trees adopted\n",
+		inc.PairsReused, inc.PairsRecomputed, inc.Entering, inc.Leaving, inc.StaleRoutes, inc.RepairImproved, inc.TreesAdopted)
+	fmt.Printf("build stages: affected %v  solve %v  resolve %v  assemble %v\n",
+		time.Duration(inc.AffectedNanos), time.Duration(inc.SolveNanos),
+		time.Duration(inc.ResolveNanos), time.Duration(inc.AssembleNanos))
 
 	if *benchDir != "" {
 		rec := engineBench{
@@ -241,6 +262,18 @@ func main() {
 			CacheHitRate: hitRate,
 			OnDemandLSPs: st.OnDemandLSPs,
 			ProvisionSec: provisionTime.Seconds(),
+
+			RowsReused:       inc.PairsReused,
+			RowsRecomputed:   inc.PairsRecomputed,
+			AffectedEntering: inc.Entering,
+			AffectedLeaving:  inc.Leaving,
+			StaleRoutes:      inc.StaleRoutes,
+			RepairImproved:   inc.RepairImproved,
+			TreesAdopted:     inc.TreesAdopted,
+			StageAffectedSec: time.Duration(inc.AffectedNanos).Seconds(),
+			StageSolveSec:    time.Duration(inc.SolveNanos).Seconds(),
+			StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
+			StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
 		}
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
@@ -253,5 +286,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", path)
+	}
+
+	if *strict && (st.Dropped > 0 || st.Unroutable > 0) {
+		fmt.Fprintf(os.Stderr, "rbpc-serve: strict mode: %d dropped, %d unroutable\n", st.Dropped, st.Unroutable)
+		os.Exit(1)
 	}
 }

@@ -16,7 +16,15 @@
 //     never invents paths, it concatenates pre-provisioned ones);
 //   - monotonicity: the serial query stream never observes an epoch older
 //     than one it has already seen, and after a flush the snapshot's
-//     failed-set equals the reference model of the event stream.
+//     failed-set equals the reference model of the event stream;
+//   - equivalence: a lockstep reference engine running in FullRebuild mode
+//     (every plan computed from scratch, no cache, no incremental reuse)
+//     receives the same event stream, and at every flush barrier the two
+//     serving matrices must be bit-identical — same per-pair routability,
+//     cost bits, and LSP path sequences, same sampled post-failure
+//     distances. This is the machine check of the incremental epoch
+//     builder's contract: reuse is legal only when a from-scratch build
+//     would reproduce the snapshot exactly.
 //
 // Failing schedules are shrunk to a minimal event sequence by delta
 // debugging (Shrink) and emitted as a replayable corpus file that
@@ -122,7 +130,7 @@ type Violation struct {
 	Epoch uint64
 	// Kind names the oracle: optimality, theorem-bound,
 	// interleaving-bound, membership, monotonicity, flush-agreement,
-	// chain, dead-edge, forwarding, unroutable-but-connected.
+	// chain, dead-edge, forwarding, unroutable-but-connected, equivalence.
 	Kind string
 	// Detail is the human-readable specifics.
 	Detail string
@@ -204,6 +212,20 @@ func (c Case) Run() (Report, error) {
 	}
 	defer eng.Close()
 
+	// The equivalence oracle's reference: a correct engine fed the same
+	// event stream, rebuilding every plan from scratch. Flush barriers
+	// compare its serving matrix bit-for-bit against the engine under
+	// test — incremental reuse (or an injected defect) may never produce
+	// a snapshot a from-scratch build would not.
+	ref, err := engine.New(w.sys.Export(), engine.Config{
+		CoalesceWindow: c.CoalesceWindow,
+		FullRebuild:    true,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	defer ref.Close()
+
 	ck := newChecker(w)
 	rep := Report{Steps: len(c.Schedule)}
 	model := make(map[graph.EdgeID]bool) // reference failed-set of the event stream
@@ -223,10 +245,12 @@ func (c Case) Run() (Report, error) {
 			switch st.Kind {
 			case failure.StepFail:
 				eng.Fail(st.Edge)
+				ref.Fail(st.Edge)
 				model[st.Edge] = true
 				rep.Churn++
 			case failure.StepRepair:
 				eng.Repair(st.Edge)
+				ref.Repair(st.Edge)
 				delete(model, st.Edge)
 				rep.Churn++
 			case failure.StepQuery:
@@ -235,7 +259,11 @@ func (c Case) Run() (Report, error) {
 				rep.Probes = ck.probes
 			case failure.StepFlush:
 				eng.Flush()
+				ref.Flush()
 				vio = ck.checkFlush(i, eng.Snapshot(), model)
+				if vio == nil {
+					vio = ck.checkEquivalence(i, eng.Snapshot(), ref.Snapshot())
+				}
 			}
 		})
 	}

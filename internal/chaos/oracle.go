@@ -185,6 +185,68 @@ func (ck *checker) checkResult(step int, res engine.Result) *Violation {
 	return nil
 }
 
+// checkEquivalence compares the flushed snapshot of the engine under test
+// against the lockstep FullRebuild reference: same failed-set, and for
+// every pair the same routability, the same cost bits, and the same
+// component path sequences. Label stacks are deliberately excluded (label
+// numbers depend on signaling order, which the contract does not cover);
+// a deterministic per-flush sample of oracle distances is compared at the
+// bit level too. Intermediate epoch counts are not compared — the two
+// writers may coalesce bursts differently — but flushed serving state is
+// path-independent for a correct engine, which is exactly the property
+// the incremental builder must preserve.
+func (ck *checker) checkEquivalence(step int, got, want *engine.Snapshot) *Violation {
+	vio := func(format string, args ...interface{}) *Violation {
+		return &Violation{Step: step, Epoch: got.Epoch(), Kind: "equivalence",
+			Detail: fmt.Sprintf(format, args...)}
+	}
+	gf, wf := got.Failed(), want.Failed()
+	if len(gf) != len(wf) {
+		return vio("failed-set %v, reference %v", gf, wf)
+	}
+	for i := range gf {
+		if gf[i] != wf[i] {
+			return vio("failed-set %v, reference %v", gf, wf)
+		}
+	}
+	n := ck.g.Order()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			src, dst := graph.NodeID(s), graph.NodeID(d)
+			a, b := got.Route(src, dst), want.Route(src, dst)
+			if (a == nil) != (b == nil) {
+				return vio("pair %d->%d routable %v, reference %v (failed %v)", s, d, a != nil, b != nil, gf)
+			}
+			if a == nil {
+				continue
+			}
+			if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) {
+				return vio("pair %d->%d cost %v, reference %v (failed %v)", s, d, a.Cost, b.Cost, gf)
+			}
+			if len(a.LSPs) != len(b.LSPs) {
+				return vio("pair %d->%d has %d components, reference %d", s, d, len(a.LSPs), len(b.LSPs))
+			}
+			for i := range a.LSPs {
+				if !a.LSPs[i].Path.Equal(b.LSPs[i].Path) {
+					return vio("pair %d->%d component %d path %v, reference %v", s, d, i, a.LSPs[i].Path, b.LSPs[i].Path)
+				}
+			}
+		}
+	}
+	for k := 0; k < 8; k++ {
+		src := graph.NodeID((step*5 + k*3) % n)
+		dst := graph.NodeID((step*7 + k*11 + 1) % n)
+		da, db := got.Oracle().Dist(src, dst), want.Oracle().Dist(src, dst)
+		if math.Float64bits(da) != math.Float64bits(db) {
+			return vio("dist %d->%d = %v, reference %v (failed %v)", src, dst, da, db, gf)
+		}
+	}
+	return nil
+}
+
 // checkFlush validates the snapshot after a flush barrier: oracle (d),
 // second half. Every event sent before the flush is reflected, so the
 // snapshot's failed-set must equal the reference model exactly.

@@ -1,11 +1,20 @@
 package core
 
 import (
-	"container/heap"
+	"math"
 
 	"rbpc/internal/graph"
 	"rbpc/internal/paths"
 )
+
+// boundSlack is the comparison slack FromBounded allows when testing an
+// offer against a distance bound: the bound comes from a CSR SSSP whose
+// additions may associate differently than the base-path-graph sums, so a
+// strict comparison could misjudge an exact tie by a few ulps. The slack is
+// relative (≈1e-9·bound) — far above accumulated rounding, far below any
+// genuine cost difference on the weight scales in use — and only ever
+// retains extra transient offers, never changing final labels.
+func boundSlack(b float64) float64 { return 1e-9 * (b + 1) }
 
 // AllBetween is an optional interface a base set may implement to expose
 // every stored path per ordered pair (not just the canonical one). The
@@ -33,6 +42,34 @@ type DeadIndexed interface {
 	DeadUnder(fv *graph.FailureView) []bool
 }
 
+// DeadIndexedInto extends DeadIndexed with the scratch-reusing mask builder
+// (see paths.Explicit.DeadUnderInto), letting a pooled solver rebuild its
+// dead mask on Rebind without a per-epoch allocation.
+type DeadIndexedInto interface {
+	DeadIndexed
+	DeadUnderInto(fv *graph.FailureView, dead []bool) []bool
+}
+
+// ByCost is an optional candidate source ordered by ascending (cost,
+// insertion index) — see paths.CostIndex. With a ByCost source installed
+// (SetCostIndex), bounded searches scan each settled node's candidates
+// cheapest-first and stop at the first candidate that cannot reach any
+// pending destination within its distance bound.
+type ByCost interface {
+	FromSourceByCost(u graph.NodeID) []paths.SourcePath
+}
+
+// ByCostColumns is an optional extension of ByCost exposing the index's
+// flat structure-of-arrays layout (see paths.CostIndex.Columns). When
+// available, the solver's candidate scan reads only the three rejection
+// columns — cost, destination, dead-mask index — and fetches the path
+// value solely for candidates it actually relaxes.
+type ByCostColumns interface {
+	ByCost
+	Columns() (off []int32, costs []float64, dsts []int32, idx []int32)
+	PathAt(k int32) graph.Path
+}
+
 // SparseSolver runs minimum-cost restoration-path searches on the
 // "base-path graph" (surviving base paths and surviving bare edges as
 // arcs) for one failure view, amortizing across calls everything that
@@ -49,6 +86,12 @@ type SparseSolver struct {
 	hasSrc bool
 	ab     AllBetween
 	hasAll bool
+	ci     ByCost // nil unless installed with SetCostIndex
+	cc     ByCostColumns
+	ciOff  []int32 // SoA hot columns when ci implements ByCostColumns
+	ciCost []float64
+	ciDst  []int32
+	ciIdx  []int32
 	dead   []bool // nil unless base implements DeadIndexed
 
 	dist     []float64
@@ -57,6 +100,7 @@ type SparseSolver struct {
 	prevComp []Component
 	settled  []bool
 	isTarget []bool
+	boundAdj []float64 // bound[v]+boundSlack(bound[v]), filled per bounded search
 	pq       sparseHeap
 }
 
@@ -80,6 +124,47 @@ func NewSparseSolver(base paths.Base, fv *graph.FailureView) *SparseSolver {
 		ss.dead = di.DeadUnder(fv)
 	}
 	return ss
+}
+
+// Rebind points an existing solver at a new failure view over the same
+// base set, reusing every scratch allocation (the Dijkstra arrays, the
+// heap, and — when the base supports DeadUnderInto — the dead-path mask).
+// The online engine's worker pool holds one solver per worker across
+// epochs and rebinds instead of rebuilding.
+func (ss *SparseSolver) Rebind(fv *graph.FailureView) {
+	if n := fv.Order(); n != len(ss.dist) {
+		ss.dist = make([]float64, n)
+		ss.comps = make([]int32, n)
+		ss.prev = make([]int32, n)
+		ss.prevComp = make([]Component, n)
+		ss.settled = make([]bool, n)
+		ss.isTarget = make([]bool, n)
+	}
+	ss.fv = fv
+	switch di := ss.base.(type) {
+	case DeadIndexedInto:
+		ss.dead = di.DeadUnderInto(fv, ss.dead)
+	case DeadIndexed:
+		ss.dead = di.DeadUnder(fv)
+	}
+}
+
+// SetCostIndex installs a cost-sorted candidate source built over the same
+// base set (paths.CostIndex). Searches then iterate each settled node's
+// candidates cheapest-first — results are identical to insertion-order
+// iteration (the Dijkstra labels are path properties and the (Cost, Index)
+// sort preserves the first-best-offer tie-break) — and bounded searches
+// additionally stop a node's scan at the first candidate whose cost already
+// exceeds the remaining budget.
+func (ss *SparseSolver) SetCostIndex(ci ByCost) {
+	ss.ci = ci
+	if cc, ok := ci.(ByCostColumns); ok {
+		ss.cc = cc
+		ss.ciOff, ss.ciCost, ss.ciDst, ss.ciIdx = cc.Columns()
+	} else {
+		ss.cc = nil
+		ss.ciOff, ss.ciCost, ss.ciDst, ss.ciIdx = nil, nil, nil, nil
+	}
 }
 
 // DecomposeSparse finds a minimum-cost restoration path from s to d in the
@@ -116,6 +201,36 @@ func DecomposeSparseFrom(base paths.Base, fv *graph.FailureView, s graph.NodeID,
 
 // From runs one multi-destination search. See DecomposeSparseFrom.
 func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decomposition, []bool) {
+	return ss.search(s, dsts, nil, 0)
+}
+
+// FromBounded is From pruned by known true distances: bound[v] must be the
+// post-failure shortest distance from s to v in the solver's failure view
+// (values ≥ inf meaning unreachable), as produced by a CSR SSSP over the
+// same view. Because the base-path graph always contains every surviving
+// bare edge, its shortest distances coincide with the view's, so offers
+// that exceed a node's bound are transient labels Dijkstra would overwrite
+// anyway — pruning them (plus skipping provably-unreachable destinations
+// and, with a cost index installed, cutting each candidate scan at the
+// remaining budget) changes nothing in the returned decompositions, which
+// stay bit-identical to From. A small relative slack absorbs float
+// association noise between the two cost sums.
+//
+// This is the online engine's incremental-rebuild kernel: the true
+// distances come nearly free from the epoch's oracle trees, and turn the
+// dominant per-source scan from O(all candidates) into O(candidates within
+// the affected radius).
+func (ss *SparseSolver) FromBounded(s graph.NodeID, dsts []graph.NodeID, bound []float64, inf float64) ([]Decomposition, []bool) {
+	if len(bound) < ss.fv.Order() {
+		return ss.search(s, dsts, nil, 0) // malformed bound: fall back to exact unbounded search
+	}
+	return ss.search(s, dsts, bound, inf)
+}
+
+// search is the shared multi-destination Dijkstra over the base-path
+// graph. bound == nil runs it unbounded (From); otherwise offers beyond
+// bound[v] are pruned (FromBounded).
+func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []float64, inf float64) ([]Decomposition, []bool) {
 	decs := make([]Decomposition, len(dsts))
 	oks := make([]bool, len(dsts))
 	if len(dsts) == 0 {
@@ -136,30 +251,59 @@ func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decompositi
 		ss.isTarget[i] = false
 	}
 	ss.pq = ss.pq[:0]
+	if bound != nil {
+		// Hoist the slack adjustment out of the candidate scan: the inner
+		// loops compare against bound[v]+boundSlack(bound[v]) once per
+		// candidate, and the scan visits each node many times.
+		if len(ss.boundAdj) < n {
+			ss.boundAdj = make([]float64, n)
+		}
+		for i := 0; i < n; i++ {
+			b := bound[i]
+			ss.boundAdj[i] = b + boundSlack(b)
+		}
+	}
 
-	// Pending destinations still to settle; s==d pairs are trivially done.
+	// Pending destinations still to settle; s==d pairs are trivially done,
+	// and destinations the bound proves unreachable need no settling.
 	pending := 0
+	maxBound := 0.0
 	for i, d := range dsts {
 		if d == s {
 			oks[i] = true
 			continue
 		}
-		if fv.NodeUsable(d) && !ss.isTarget[d] {
+		if !fv.NodeUsable(d) {
+			continue
+		}
+		if bound != nil && bound[d] >= inf {
+			continue
+		}
+		if !ss.isTarget[d] {
 			ss.isTarget[d] = true
 			pending++
+		}
+		if bound != nil && bound[d] > maxBound {
+			maxBound = bound[d]
 		}
 	}
 	if pending == 0 {
 		return decs, oks
 	}
+	// Every node on an optimal concatenation to a pending destination sits
+	// within maxTotal of s; offers beyond it cannot influence any result.
+	maxTotal := math.Inf(1)
+	if bound != nil {
+		maxTotal = maxBound + boundSlack(maxBound)
+	}
 
 	pq := &ss.pq
 	ss.dist[s] = 0
 	ss.comps[s] = 0
-	heap.Push(pq, sparseItem{node: s, cost: 0, comps: 0})
+	pq.push(sparseItem{node: s, cost: 0, comps: 0})
 
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(sparseItem)
+	for len(*pq) > 0 {
+		it := pq.pop()
 		u := it.node
 		if ss.settled[u] || it.cost != ss.dist[u] || it.comps != ss.comps[u] {
 			continue
@@ -171,22 +315,78 @@ func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decompositi
 				break
 			}
 		}
+		du := ss.dist[u]
 		// Candidate 1: surviving base paths out of u. Considered before
 		// raw edges so that at equal (cost, components) a pre-provisioned
 		// base path wins over a bare edge — a bare-edge component would
 		// need a fresh 1-hop LSP.
 		switch {
+		case ss.ciOff != nil && ss.dead != nil:
+			// Hottest path: structure-of-arrays scan over the cost index's
+			// rejection columns. Identical candidate order and identical
+			// accept/reject decisions as the SourcePath walk below — only
+			// the memory traffic per rejected candidate changes.
+			end := ss.ciOff[u+1]
+			for k := ss.ciOff[u]; k < end; k++ {
+				c := ss.ciCost[k]
+				if du+c > maxTotal {
+					break // cheapest-first: every later candidate is dearer
+				}
+				if ss.dead[ss.ciIdx[k]] {
+					continue
+				}
+				v := graph.NodeID(ss.ciDst[k])
+				if bound != nil && du+c > ss.boundAdj[v] {
+					continue
+				}
+				ss.relax(u, v, c, 1, Component{Kind: KindBasePath, Path: ss.cc.PathAt(k)})
+			}
+		case ss.ci != nil && ss.dead != nil:
+			for _, sp := range ss.ci.FromSourceByCost(u) {
+				if du+sp.Cost > maxTotal {
+					break // cheapest-first: every later candidate is dearer
+				}
+				if ss.dead[sp.Index] {
+					continue
+				}
+				v := sp.Path.Dst()
+				if bound != nil && du+sp.Cost > bound[v]+boundSlack(bound[v]) {
+					continue
+				}
+				ss.relax(u, v, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
+			}
+		case ss.ci != nil:
+			for _, sp := range ss.ci.FromSourceByCost(u) {
+				if du+sp.Cost > maxTotal {
+					break
+				}
+				v := sp.Path.Dst()
+				if !fv.NodeUsable(v) || !paths.Survives(sp.Path, fv) {
+					continue
+				}
+				if bound != nil && du+sp.Cost > bound[v]+boundSlack(bound[v]) {
+					continue
+				}
+				ss.relax(u, v, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
+			}
 		case ss.hasSrc && ss.dead != nil:
 			for _, sp := range ss.bs.FromSource(u) {
 				if ss.dead[sp.Index] {
 					continue
 				}
-				ss.relax(u, sp.Path.Dst(), sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
+				v := sp.Path.Dst()
+				if bound != nil && (du+sp.Cost > maxTotal || du+sp.Cost > bound[v]+boundSlack(bound[v])) {
+					continue
+				}
+				ss.relax(u, v, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
 			}
 		case ss.hasSrc:
 			for _, sp := range ss.bs.FromSource(u) {
 				vv := sp.Path.Dst()
 				if !fv.NodeUsable(vv) {
+					continue
+				}
+				if bound != nil && (du+sp.Cost > maxTotal || du+sp.Cost > bound[vv]+boundSlack(bound[vv])) {
 					continue
 				}
 				if paths.Survives(sp.Path, fv) {
@@ -219,6 +419,9 @@ func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decompositi
 		// Candidate 2: surviving raw edges out of u.
 		fv.VisitArcs(u, func(a graph.Arc) bool {
 			e := fv.Edge(a.Edge)
+			if bound != nil && (du+e.W > maxTotal || du+e.W > ss.boundAdj[a.To]) {
+				return true
+			}
 			comp := Component{Kind: KindEdge, Path: graph.Path{
 				Nodes: []graph.NodeID{u, a.To},
 				Edges: []graph.EdgeID{a.Edge},
@@ -254,7 +457,7 @@ func (ss *SparseSolver) relax(u, v graph.NodeID, cost float64, nc int32, comp Co
 		ss.comps[v] = tc
 		ss.prev[v] = int32(u)
 		ss.prevComp[v] = comp
-		heap.Push(&ss.pq, sparseItem{node: v, cost: total, comps: tc})
+		ss.pq.push(sparseItem{node: v, cost: total, comps: tc})
 	}
 }
 
@@ -265,24 +468,59 @@ type sparseItem struct {
 	comps int32
 }
 
+// sparseHeap is a concrete binary min-heap over sparseItem. It replaces
+// container/heap on the solver's hottest loop: the interface-based API
+// boxes every pushed item onto the heap (one allocation per relaxation).
+// The (cost, comps, node) key is a total order and relax never pushes the
+// same triple twice, so the pop sequence is uniquely determined by the
+// item set — any conforming heap, this one included, is observationally
+// identical to the previous implementation.
 type sparseHeap []sparseItem
 
-func (h sparseHeap) Len() int { return len(h) }
-func (h sparseHeap) Less(i, j int) bool {
-	if h[i].cost != h[j].cost {
-		return h[i].cost < h[j].cost
+func sparseLess(a, b sparseItem) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
 	}
-	if h[i].comps != h[j].comps {
-		return h[i].comps < h[j].comps
+	if a.comps != b.comps {
+		return a.comps < b.comps
 	}
-	return h[i].node < h[j].node
+	return a.node < b.node
 }
-func (h sparseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *sparseHeap) Push(x interface{}) { *h = append(*h, x.(sparseItem)) }
-func (h *sparseHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *sparseHeap) push(it sparseItem) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !sparseLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *sparseHeap) pop() sparseItem {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	for i := 0; ; {
+		m := i
+		if l := 2*i + 1; l < len(s) && sparseLess(s[l], s[m]) {
+			m = l
+		}
+		if r := 2*i + 2; r < len(s) && sparseLess(s[r], s[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return top
 }

@@ -43,6 +43,13 @@ type Config struct {
 	// BuildWorkers parallelizes per-source decomposition during plan
 	// computation. Default GOMAXPROCS.
 	BuildWorkers int
+	// FullRebuild forces every epoch's plan to be computed from scratch,
+	// bypassing both the plan cache and the incremental affected-pair
+	// builder. It is the reference mode of the equivalence oracle: a
+	// correct incremental engine publishes snapshots bit-identical to a
+	// FullRebuild engine fed the same event sequence. Production leaves
+	// it false.
+	FullRebuild bool
 	// OnResult receives async query answers from the worker pool. Must be
 	// safe for concurrent calls. Nil discards answers (the queue still
 	// exercises the serving path and metrics).
@@ -83,6 +90,7 @@ type Stats struct {
 	OnDemandLSPs  int64
 	QueryLatency  metrics.Summary
 	EpochBuild    metrics.Summary
+	Incremental   IncrementalStats
 }
 
 // Engine serves restoration queries from immutable epoch snapshots while
@@ -96,12 +104,23 @@ type Engine struct {
 	snap atomic.Pointer[Snapshot]
 
 	// Writer-owned state (only the writer goroutine touches these after New).
-	lspOf           map[string]*mpls.LSP
-	primariesByEdge map[graph.EdgeID][]rbpc.Pair
-	canonical       [][]*Route
-	planCache       map[string]*plan
-	prevPlan        *plan
-	onDemand        int64
+	lspOf     map[string]*mpls.LSP
+	pairIndex *graph.PairIndex // failed link -> pairs whose primary crosses it
+	costIndex *paths.CostIndex // cost-sorted candidate order for bounded solves
+	canonical [][]*Route
+	planCache map[string]*plan
+	prevPlan  *plan
+	// downCount tracks, per pair, how many edges of its canonical primary
+	// are currently down in the published snapshot. It is the membership
+	// side of the affected-pair delta: a pair enters the plan when its
+	// count leaves zero and falls back to canonical when it returns there.
+	downCount map[rbpc.Pair]int
+	// solvers is the writer's pool of warm sparse solvers, one per build
+	// worker; Rebind reuses their Dijkstra scratch and dead-path masks
+	// across epochs instead of reallocating per plan.
+	solvers  []*core.SparseSolver
+	onDemand int64
+	inc      incCounters
 
 	events  chan writerMsg
 	queries chan queryReq
@@ -154,28 +173,31 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 
 	n := p.Graph.Order()
 	e := &Engine{
-		g:               p.Graph,
-		base:            p.Base,
-		cfg:             cfg,
-		lspOf:           p.LSPs,
-		primariesByEdge: make(map[graph.EdgeID][]rbpc.Pair),
-		canonical:       make([][]*Route, n),
-		planCache:       map[string]*plan{"": emptyPlan},
-		prevPlan:        emptyPlan,
-		events:          make(chan writerMsg, 256),
-		queries:         make(chan queryReq, cfg.QueueDepth),
-		done:            make(chan struct{}),
+		g:         p.Graph,
+		base:      p.Base,
+		cfg:       cfg,
+		lspOf:     p.LSPs,
+		costIndex: paths.NewCostIndex(p.Base),
+		canonical: make([][]*Route, n),
+		planCache: map[string]*plan{"": emptyPlan},
+		prevPlan:  emptyPlan,
+		downCount: make(map[rbpc.Pair]int),
+		events:    make(chan writerMsg, 256),
+		queries:   make(chan queryReq, cfg.QueueDepth),
+		done:      make(chan struct{}),
 	}
 
-	// Static index: failed link -> pairs whose primary crosses it.
-	// Primaries never change, so this is built once.
+	// Static index: failed link -> pairs whose primary crosses it, packed
+	// flat (CSR) so the hot affected-pair scan is one contiguous slice per
+	// edge. Primaries never change, so the index is built once; per-edge
+	// lists are (src, dst)-sorted for deterministic plan construction.
+	lists := make(map[graph.EdgeID][]graph.NodePair)
 	for pr, lsp := range p.Primaries {
 		for _, ed := range lsp.Path.Edges {
-			e.primariesByEdge[ed] = append(e.primariesByEdge[ed], pr)
+			lists[ed] = append(lists[ed], graph.NodePair{Src: pr.Src, Dst: pr.Dst})
 		}
 	}
-	for ed := range e.primariesByEdge {
-		prs := e.primariesByEdge[ed]
+	for _, prs := range lists {
 		sort.Slice(prs, func(i, j int) bool {
 			if prs[i].Src != prs[j].Src {
 				return prs[i].Src < prs[j].Src
@@ -183,6 +205,7 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 			return prs[i].Dst < prs[j].Dst
 		})
 	}
+	e.pairIndex = graph.BuildPairIndex(p.Graph.Size(), lists)
 
 	// Canonical routing matrix from the provisioned routes.
 	for i := range e.canonical {
@@ -346,6 +369,7 @@ func (e *Engine) Stats() Stats {
 		OnDemandLSPs:  atomic.LoadInt64(&e.onDemand),
 		QueryLatency:  e.mLatency.Summarize(),
 		EpochBuild:    e.mBuild.Summarize(),
+		Incremental:   e.inc.snapshot(),
 	}
 }
 
@@ -440,76 +464,67 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 		return // injected defect: repairs absorbed but never surfaced
 	}
 
+	// Transition delta against the published snapshot: the edges that just
+	// went down and the ones that just came back. Everything incremental
+	// below is phrased in terms of this delta, never the full failed-set.
+	prevDown := make(map[graph.EdgeID]bool, len(prev.failed))
+	for _, ed := range prev.failed {
+		prevDown[ed] = true
+	}
+	var newlyDown []graph.EdgeID
+	for _, ed := range failed {
+		if !prevDown[ed] {
+			newlyDown = append(newlyDown, ed)
+		}
+	}
+	var repairedIDs []graph.EdgeID
+	var repaired []graph.Edge
+	for _, ed := range prev.failed {
+		if !downSet[ed] {
+			repairedIDs = append(repairedIDs, ed)
+			repaired = append(repaired, e.g.Edge(ed))
+		}
+	}
+
+	// Affected-pair membership: bump downCount for newly-failed primary
+	// edges before decrementing repaired ones, so "entering" (count leaves
+	// zero) and "leaving" (count returns to zero) are unambiguous — a pair
+	// crossing both a new failure and a repair keeps a positive count
+	// throughout and is classified as staying. This bookkeeping runs on
+	// every published transition, cache hits and fault paths included, so
+	// it always mirrors the serving snapshot's failed-set.
+	var entering, leaving []rbpc.Pair
+	for _, ed := range newlyDown {
+		for _, np := range e.pairIndex.Pairs(ed) {
+			pr := rbpc.Pair{Src: np.Src, Dst: np.Dst}
+			if e.downCount[pr] == 0 {
+				entering = append(entering, pr)
+			}
+			e.downCount[pr]++
+		}
+	}
+	for _, ed := range repairedIDs {
+		for _, np := range e.pairIndex.Pairs(ed) {
+			pr := rbpc.Pair{Src: np.Src, Dst: np.Dst}
+			e.downCount[pr]--
+			if e.downCount[pr] == 0 {
+				delete(e.downCount, pr)
+				leaving = append(leaving, pr)
+			}
+		}
+	}
+	e.inc.entering.Add(int64(len(entering)))
+	e.inc.leaving.Add(int64(len(leaving)))
+
 	// The net lineage is linear: always clone the latest snapshot's net,
 	// so ILM rows of LSPs signaled on demand in any earlier epoch persist
 	// (cached plans rely on this).
 	net := prev.net.Clone()
-	for _, ed := range prev.failed {
-		if !downSet[ed] {
-			net.RepairEdge(ed)
-		}
+	for _, ed := range repairedIDs {
+		net.RepairEdge(ed)
 	}
 	for _, ed := range failed {
 		net.FailEdge(ed)
-	}
-
-	nh := &netHandle{net: net}
-	var pl *plan
-	var hit bool
-	if e.cfg.Fault == FaultStalePlanOnRepair && shrunk {
-		// Injected defect: keep serving the previous failed-set's plan.
-		pl, hit = e.prevPlan, true
-	} else {
-		pl, hit = e.cachedPlan(failed, nh)
-	}
-	if hit {
-		e.mCacheHits.Add(0, 1)
-	} else {
-		e.mCacheMiss.Add(0, 1)
-	}
-
-	// Routing matrix: fresh top-level slice over shared canonical rows,
-	// deep-copying only the rows this transition touches.
-	rows := make([][]*Route, len(e.canonical))
-	copy(rows, e.canonical)
-	touched := make(map[graph.NodeID][]*Route)
-	row := func(src graph.NodeID) []*Route {
-		r, ok := touched[src]
-		if !ok {
-			r = make([]*Route, len(e.canonical[src]))
-			copy(r, e.canonical[src])
-			touched[src] = r
-			rows[src] = r
-		}
-		return r
-	}
-
-	// Apply the new plan; pairs in the previous plan but not this one fall
-	// back to canonical simply by starting from canonical rows — their FEC
-	// entries are rewritten below.
-	for pr, rt := range pl.routes {
-		row(pr.Src)[pr.Dst] = rt
-	}
-
-	// Forwarding plane: rewrite the FEC entry of every pair in either
-	// plan to match the new matrix.
-	writeFEC := func(pr rbpc.Pair) {
-		rt := rows[pr.Src][pr.Dst]
-		if rt == nil {
-			net.ClearFEC(pr.Src, pr.Dst)
-			return
-		}
-		net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{Stack: rt.Stack, OutEdge: mpls.LocalProcess})
-	}
-	for pr := range pl.routes {
-		writeFEC(pr)
-	}
-	if e.cfg.Fault != FaultSkipFECRewrite {
-		for pr := range e.prevPlan.routes {
-			if _, covered := pl.routes[pr]; !covered {
-				writeFEC(pr)
-			}
-		}
 	}
 
 	fv := graph.FailEdges(e.g, failed...)
@@ -517,12 +532,137 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	if e.cfg.OracleCap > 0 {
 		oracle.SetCap(e.cfg.OracleCap)
 	}
-	if e.cfg.WarmOracle {
-		srcs := make([]graph.NodeID, 0, len(touched))
-		for s := range touched {
-			srcs = append(srcs, s)
+	if !e.cfg.FullRebuild {
+		// Seed the epoch's oracle with every previous-epoch tree that
+		// provably survives the transition; adopted trees double as the
+		// pruning bounds of the incremental plan build below.
+		e.inc.treesAdopted.Add(int64(oracle.AdoptFrom(prev.oracle, newlyDown, repaired)))
+	}
+
+	nh := &netHandle{net: net}
+	var pl *plan
+	var changed []rbpc.Pair
+	delta := false
+	hit := false
+	switch {
+	case e.cfg.Fault == FaultStalePlanOnRepair && shrunk:
+		// Injected defect: keep serving the previous failed-set's plan.
+		pl, hit = e.prevPlan, true
+	case e.cfg.FullRebuild:
+		// Reference mode: from-scratch plan, no cache, no reuse.
+		pl = e.computePlan(failed, nh)
+		e.inc.fullRebuilds.Add(1)
+	default:
+		if p, ok := e.lookupPlan(key); ok {
+			pl, hit = p, true
+		} else {
+			pl, changed = e.incrementalPlan(key, fv, oracle, newlyDown, entering, leaving, repaired, nh)
+			e.storePlan(pl)
+			delta = true
 		}
-		oracle.Precompute(srcs, e.cfg.BuildWorkers)
+	}
+	if hit {
+		e.mCacheHits.Add(0, 1)
+	} else {
+		e.mCacheMiss.Add(0, 1)
+	}
+
+	assembleStart := time.Now()
+	var rows [][]*Route
+	var warmSrcs []graph.NodeID
+	if delta {
+		// Delta apply: share every untouched row of the previous snapshot
+		// (copy-on-write), rewriting only the pairs whose route changed —
+		// recomputed plan entries and pairs leaving the plan. Reused plan
+		// entries are already in the previous rows by construction.
+		rows = make([][]*Route, len(prev.rows))
+		copy(rows, prev.rows)
+		touched := make(map[graph.NodeID][]*Route)
+		row := func(src graph.NodeID) []*Route {
+			r, ok := touched[src]
+			if !ok {
+				r = make([]*Route, len(prev.rows[src]))
+				copy(r, prev.rows[src])
+				touched[src] = r
+				rows[src] = r
+			}
+			return r
+		}
+		for _, pr := range changed {
+			if rt, covered := pl.routes[pr]; covered {
+				row(pr.Src)[pr.Dst] = rt
+			} else {
+				row(pr.Src)[pr.Dst] = e.canonical[pr.Src][pr.Dst]
+			}
+		}
+		// Forwarding plane: only changed pairs need their FEC rewritten;
+		// reused routes kept their entries in the cloned net.
+		for _, pr := range changed {
+			if _, covered := pl.routes[pr]; !covered && e.cfg.Fault == FaultSkipFECRewrite {
+				continue // injected defect: leaving pairs keep stale labels
+			}
+			if rt := rows[pr.Src][pr.Dst]; rt == nil {
+				net.ClearFEC(pr.Src, pr.Dst)
+			} else {
+				net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{Stack: rt.Stack, OutEdge: mpls.LocalProcess})
+			}
+		}
+		for s := range touched {
+			warmSrcs = append(warmSrcs, s)
+		}
+	} else {
+		// Full apply (cache hits, reference mode, fault paths): fresh
+		// top-level slice over shared canonical rows, deep-copying only
+		// the rows this transition touches.
+		rows = make([][]*Route, len(e.canonical))
+		copy(rows, e.canonical)
+		touched := make(map[graph.NodeID][]*Route)
+		row := func(src graph.NodeID) []*Route {
+			r, ok := touched[src]
+			if !ok {
+				r = make([]*Route, len(e.canonical[src]))
+				copy(r, e.canonical[src])
+				touched[src] = r
+				rows[src] = r
+			}
+			return r
+		}
+
+		// Apply the new plan; pairs in the previous plan but not this one
+		// fall back to canonical simply by starting from canonical rows —
+		// their FEC entries are rewritten below.
+		for pr, rt := range pl.routes {
+			row(pr.Src)[pr.Dst] = rt
+		}
+
+		// Forwarding plane: rewrite the FEC entry of every pair in either
+		// plan to match the new matrix.
+		writeFEC := func(pr rbpc.Pair) {
+			rt := rows[pr.Src][pr.Dst]
+			if rt == nil {
+				net.ClearFEC(pr.Src, pr.Dst)
+				return
+			}
+			net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{Stack: rt.Stack, OutEdge: mpls.LocalProcess})
+		}
+		for pr := range pl.routes {
+			writeFEC(pr)
+		}
+		if e.cfg.Fault != FaultSkipFECRewrite {
+			for pr := range e.prevPlan.routes {
+				if _, covered := pl.routes[pr]; !covered {
+					writeFEC(pr)
+				}
+			}
+		}
+		for s := range touched {
+			warmSrcs = append(warmSrcs, s)
+		}
+	}
+	e.inc.assembleNs.Add(time.Since(assembleStart).Nanoseconds())
+
+	if e.cfg.WarmOracle {
+		oracle.Precompute(warmSrcs, e.cfg.BuildWorkers)
 	}
 
 	next := &Snapshot{

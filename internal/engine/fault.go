@@ -30,6 +30,14 @@ const (
 	// the snapshot disagrees with the event stream (snapshot-agreement
 	// oracle violation).
 	FaultDropEpoch
+	// FaultSkipRepairRescan makes the incremental builder skip the
+	// repair-improvement rescan: surviving restoration routes are reused
+	// even when a repaired link offers a shorter path, so served costs
+	// exceed the true post-failure shortest distance (optimality- and
+	// equivalence-oracle violation). The from-scratch reference path is
+	// unaffected, which is exactly what the incremental-vs-full
+	// equivalence oracle exists to catch.
+	FaultSkipRepairRescan
 )
 
 // String implements fmt.Stringer; the names double as the CLI vocabulary
@@ -44,6 +52,8 @@ func (f Fault) String() string {
 		return "skip-fec-rewrite"
 	case FaultDropEpoch:
 		return "drop-epoch"
+	case FaultSkipRepairRescan:
+		return "skip-repair-rescan"
 	default:
 		return fmt.Sprintf("Fault(%d)", int(f))
 	}
@@ -51,7 +61,7 @@ func (f Fault) String() string {
 
 // Faults lists every injectable defect (FaultNone excluded).
 func Faults() []Fault {
-	return []Fault{FaultStalePlanOnRepair, FaultSkipFECRewrite, FaultDropEpoch}
+	return []Fault{FaultStalePlanOnRepair, FaultSkipFECRewrite, FaultDropEpoch, FaultSkipRepairRescan}
 }
 
 // ParseFault maps a Fault name back to its value.

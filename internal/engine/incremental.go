@@ -1,0 +1,298 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpc/internal/core"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/spath"
+)
+
+// repairSlack scales the float-noise margin of the repair-improvement
+// rescan: a repaired edge whose best s–x–e–y–t bound lands within slack of
+// the served cost is conservatively treated as an improvement and the pair
+// recomputed — an exact tie could change the deterministic route choice,
+// so only strictly-worse detours may be reused.
+const repairSlack = 1e-9
+
+// incCounters is the writer's incremental-build telemetry. Fields are
+// atomic because Stats() scrapes them from arbitrary goroutines while the
+// writer publishes.
+type incCounters struct {
+	pairsReused     atomic.Int64
+	pairsRecomputed atomic.Int64
+	entering        atomic.Int64
+	leaving         atomic.Int64
+	stale           atomic.Int64
+	improved        atomic.Int64
+	treesAdopted    atomic.Int64
+	fullRebuilds    atomic.Int64
+	affectedNs      atomic.Int64
+	solveNs         atomic.Int64
+	resolveNs       atomic.Int64
+	assembleNs      atomic.Int64
+}
+
+// IncrementalStats is a point-in-time scrape of the incremental epoch
+// builder's counters, cumulative since engine start.
+type IncrementalStats struct {
+	// PairsReused counts plan entries carried verbatim from the previous
+	// epoch's plan; PairsRecomputed counts entries re-solved (entering,
+	// stale, or repair-improvable pairs).
+	PairsReused     int64
+	PairsRecomputed int64
+	// Entering/Leaving count pairs whose primary crossed into / out of
+	// the failed-set across all published transitions.
+	Entering int64
+	Leaving  int64
+	// StaleRoutes counts reuses rejected because the served route crossed
+	// a newly-failed edge; RepairImproved counts reuses rejected because a
+	// repaired edge offered a route at least as good.
+	StaleRoutes    int64
+	RepairImproved int64
+	// TreesAdopted counts distance-oracle trees carried across epochs
+	// without recomputation; FullRebuilds counts reference-mode plans.
+	TreesAdopted int64
+	FullRebuilds int64
+	// Per-stage cumulative build time: affected-pair classification,
+	// bounded decomposition solves, LSP resolution, and snapshot assembly
+	// (row copy-on-write plus FEC rewrite).
+	AffectedNanos int64
+	SolveNanos    int64
+	ResolveNanos  int64
+	AssembleNanos int64
+}
+
+func (c *incCounters) snapshot() IncrementalStats {
+	return IncrementalStats{
+		PairsReused:     c.pairsReused.Load(),
+		PairsRecomputed: c.pairsRecomputed.Load(),
+		Entering:        c.entering.Load(),
+		Leaving:         c.leaving.Load(),
+		StaleRoutes:     c.stale.Load(),
+		RepairImproved:  c.improved.Load(),
+		TreesAdopted:    c.treesAdopted.Load(),
+		FullRebuilds:    c.fullRebuilds.Load(),
+		AffectedNanos:   c.affectedNs.Load(),
+		SolveNanos:      c.solveNs.Load(),
+		ResolveNanos:    c.resolveNs.Load(),
+		AssembleNanos:   c.assembleNs.Load(),
+	}
+}
+
+// routeUses reports whether the route's concrete paths cross any edge of
+// the set — the staleness test of the incremental builder. The route is
+// the actual label chain the previous epoch's search settled, so a route
+// avoiding every newly-failed edge has its entire winning offer chain
+// intact: failing other edges only deletes losing candidates.
+//
+//rbpc:hotpath
+func routeUses(rt *Route, down map[graph.EdgeID]bool) bool {
+	if len(down) == 0 {
+		return false
+	}
+	for _, l := range rt.LSPs {
+		for _, ed := range l.Path.Edges {
+			if down[ed] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// repairImproves reports whether some repaired edge could hand pr a
+// restoration route at least as good as rt (or, for an unroutable pair,
+// any route at all). The bound d(s,x)+w+d(y,t) over both orientations of
+// a repaired edge (x,y,w) is the shortest new-view s–t distance through
+// that edge; distances come from the epoch oracle's trees rooted at the
+// edge endpoints (the graph is undirected, so d(s,x) = Tree(x).Dist(s)),
+// which means a burst repairing R edges prices every surviving pair with
+// only 2|R| tree builds. Comparisons are ≤ cost+slack: ties count as
+// improvements, because an equal-cost path through a repaired edge could
+// win the deterministic tie-break and change the canonical decomposition.
+func repairImproves(oracle *spath.Oracle, pr rbpc.Pair, rt *Route, repaired []graph.Edge) bool {
+	for _, ed := range repaired {
+		du := oracle.Tree(ed.U).Dists()
+		dv := oracle.Tree(ed.V).Dists()
+		dsu, dvt := du[pr.Src], dv[pr.Dst]
+		dsv, dut := dv[pr.Src], du[pr.Dst]
+		if rt == nil {
+			// Any new s–t connection must traverse a repaired edge, so the
+			// pair became routable iff both legs of some orientation exist.
+			if (dsu != spath.Unreachable && dvt != spath.Unreachable) ||
+				(dsv != spath.Unreachable && dut != spath.Unreachable) {
+				return true
+			}
+			continue
+		}
+		slack := repairSlack * (rt.Cost + 1)
+		if dsu != spath.Unreachable && dvt != spath.Unreachable && dsu+ed.W+dvt <= rt.Cost+slack {
+			return true
+		}
+		if dsv != spath.Unreachable && dut != spath.Unreachable && dsv+ed.W+dut <= rt.Cost+slack {
+			return true
+		}
+	}
+	return false
+}
+
+// ensureSolvers grows the writer's pooled solver set to n and rebinds each
+// to the epoch's view. Pooled solvers keep their Dijkstra scratch, labels,
+// and dead-path masks across epochs; Rebind refreshes only what the view
+// change invalidates instead of reallocating per plan.
+func (e *Engine) ensureSolvers(n int, fv *graph.FailureView) {
+	for len(e.solvers) < n {
+		s := core.NewSparseSolver(e.base, fv)
+		s.SetCostIndex(e.costIndex)
+		e.solvers = append(e.solvers, s)
+	}
+	for _, s := range e.solvers[:n] {
+		s.Rebind(fv)
+	}
+}
+
+// incrementalPlan builds plan(key) from the previous epoch's plan instead
+// of from scratch. Classification walks the surviving plan once:
+//
+//   - pairs whose primary left the failed-set (downCount hit zero) drop
+//     out and fall back to canonical;
+//   - pairs whose served route crosses a newly-failed edge are stale and
+//     re-solved;
+//   - pairs a repaired edge could improve (or tie) are re-solved — unless
+//     FaultSkipRepairRescan injects exactly that omission;
+//   - every other surviving entry is reused verbatim: its winning offer
+//     chain is intact and no repaired edge can beat it, so a from-scratch
+//     solve would reproduce it bit-for-bit.
+//
+// Entering pairs plus the re-solve set then go through a work-stealing
+// fan-out of pooled bounded solvers: each source's true post-failure
+// distance row (the epoch oracle's tree, often adopted rather than
+// recomputed) prunes the decomposition search, and results land in
+// pre-sized slots — no locks on the assembly path. It returns the plan and
+// the changed pairs (re-solved ∪ leaving), which is exactly the set whose
+// rows and FEC entries the caller must rewrite.
+func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spath.Oracle, newlyDown []graph.EdgeID, entering, leaving []rbpc.Pair, repaired []graph.Edge, nh *netHandle) (*plan, []rbpc.Pair) {
+	t0 := time.Now()
+	downNew := make(map[graph.EdgeID]bool, len(newlyDown))
+	for _, ed := range newlyDown {
+		downNew[ed] = true
+	}
+	recompute := make(map[rbpc.Pair]bool, len(entering))
+	for _, pr := range entering {
+		recompute[pr] = true
+	}
+	routes := make(map[rbpc.Pair]*Route, len(e.prevPlan.routes)+len(entering))
+	reused := 0
+	for pr, rt := range e.prevPlan.routes {
+		if e.downCount[pr] == 0 || recompute[pr] {
+			continue // leaving (canonical fallback) or already queued
+		}
+		if rt != nil && routeUses(rt, downNew) {
+			e.inc.stale.Add(1)
+			recompute[pr] = true
+			continue
+		}
+		if e.cfg.Fault != FaultSkipRepairRescan && repairImproves(oracle, pr, rt, repaired) {
+			e.inc.improved.Add(1)
+			recompute[pr] = true
+			continue
+		}
+		routes[pr] = rt
+		reused++
+	}
+	e.inc.pairsReused.Add(int64(reused))
+	e.inc.pairsRecomputed.Add(int64(len(recompute)))
+	e.inc.affectedNs.Add(time.Since(t0).Nanoseconds())
+
+	if len(recompute) > 0 {
+		t1 := time.Now()
+		bySrc := make(map[graph.NodeID][]graph.NodeID)
+		for pr := range recompute {
+			bySrc[pr.Src] = append(bySrc[pr.Src], pr.Dst)
+		}
+		srcs := make([]graph.NodeID, 0, len(bySrc))
+		for s := range bySrc {
+			srcs = append(srcs, s)
+		}
+		sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
+		for _, s := range srcs {
+			d := bySrc[s]
+			sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+		}
+
+		type srcDecs struct {
+			decs []core.Decomposition
+			oks  []bool
+		}
+		out := make([]srcDecs, len(srcs))
+		workers := e.cfg.BuildWorkers
+		if workers > len(srcs) {
+			workers = len(srcs)
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		e.ensureSolvers(workers, fv)
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(solver *core.SparseSolver) {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(srcs) {
+						return
+					}
+					s := srcs[i]
+					// The oracle tree is the true post-failure distance
+					// row from s; it bounds the decomposition search and
+					// skips provably unreachable destinations outright.
+					bound := oracle.Tree(s).Dists()
+					decs, oks := solver.FromBounded(s, bySrc[s], bound, spath.Unreachable)
+					out[i] = srcDecs{decs, oks}
+				}
+			}(e.solvers[w])
+		}
+		wg.Wait()
+		e.inc.solveNs.Add(time.Since(t1).Nanoseconds())
+
+		// Serial resolution into LSPs, in sorted (src, dst) order so
+		// on-demand signaling on the epoch's net stays deterministic.
+		t2 := time.Now()
+		for i, s := range srcs {
+			for j, d := range bySrc[s] {
+				pr := rbpc.Pair{Src: s, Dst: d}
+				if !out[i].oks[j] {
+					routes[pr] = nil
+					continue
+				}
+				r, err := e.resolveRoute(out[i].decs[j], nh)
+				if err != nil {
+					routes[pr] = nil
+					continue
+				}
+				routes[pr] = r
+			}
+		}
+		e.inc.resolveNs.Add(time.Since(t2).Nanoseconds())
+	}
+
+	changed := make([]rbpc.Pair, 0, len(recompute)+len(leaving))
+	for pr := range recompute {
+		changed = append(changed, pr)
+	}
+	changed = append(changed, leaving...)
+	sort.Slice(changed, func(i, j int) bool {
+		if changed[i].Src != changed[j].Src {
+			return changed[i].Src < changed[j].Src
+		}
+		return changed[i].Dst < changed[j].Dst
+	})
+	return &plan{key: key, routes: routes}, changed
+}

@@ -47,13 +47,14 @@ func failedKey(failed []graph.EdgeID) string {
 }
 
 // affectedPairs returns the pairs whose primary crosses any failed link,
-// grouped by source, using the static primary->edge index (primaries never
-// change, so the index is built once).
+// grouped by source, using the static CSR primary->edge index (primaries
+// never change, so the index is built once).
 func (e *Engine) affectedPairs(failed []graph.EdgeID) map[graph.NodeID][]graph.NodeID {
 	seen := make(map[rbpc.Pair]bool)
 	bySrc := make(map[graph.NodeID][]graph.NodeID)
 	for _, ed := range failed {
-		for _, pr := range e.primariesByEdge[ed] {
+		for _, np := range e.pairIndex.Pairs(ed) {
+			pr := rbpc.Pair{Src: np.Src, Dst: np.Dst}
 			if !seen[pr] {
 				seen[pr] = true
 				bySrc[pr.Src] = append(bySrc[pr.Src], pr.Dst)
@@ -140,14 +141,15 @@ func (e *Engine) computePlan(failed []graph.EdgeID, net *netHandle) *plan {
 	return &plan{key: failedKey(failed), routes: routes}
 }
 
-// cachedPlan returns plan(failed), consulting the cache first. The bool
-// reports whether it was a hit.
-func (e *Engine) cachedPlan(failed []graph.EdgeID, net *netHandle) (*plan, bool) {
-	key := failedKey(failed)
-	if p, ok := e.planCache[key]; ok {
-		return p, true
-	}
-	p := e.computePlan(failed, net)
+// lookupPlan consults the failed-set plan cache.
+func (e *Engine) lookupPlan(key string) (*plan, bool) {
+	p, ok := e.planCache[key]
+	return p, ok
+}
+
+// storePlan caches a freshly built plan, evicting an arbitrary non-pristine
+// entry when the cache is at capacity.
+func (e *Engine) storePlan(p *plan) {
 	if e.cfg.PlanCacheCap > 0 && len(e.planCache) >= e.cfg.PlanCacheCap {
 		for k := range e.planCache {
 			if k == "" {
@@ -157,6 +159,5 @@ func (e *Engine) cachedPlan(failed []graph.EdgeID, net *netHandle) (*plan, bool)
 			break
 		}
 	}
-	e.planCache[key] = p
-	return p, false
+	e.planCache[p.key] = p
 }

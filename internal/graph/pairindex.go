@@ -1,0 +1,61 @@
+package graph
+
+// NodePair is an ordered source-destination pair, the unit of the
+// edge-usage indexes the online restoration engine maintains over the
+// canonical shortest-path forest.
+type NodePair struct {
+	Src, Dst NodeID
+}
+
+// PairIndex is a compact CSR-packed edge → pair-list index: for each edge
+// ID, the ordered pairs whose indexed path traverses it. It is the static
+// half of the engine's affected-set machinery — built once over the
+// canonical primary forest (primaries never change), it answers "which
+// pairs does failing edge e touch?" as one contiguous slice, with the
+// whole index living in two flat arrays instead of a map of slices.
+//
+// A PairIndex is immutable after construction and safe for concurrent use.
+//
+//rbpc:immutable
+type PairIndex struct {
+	off   []int32 // off[e]..off[e+1] bounds e's pairs in flat
+	flat  []NodePair
+	edges int
+}
+
+// BuildPairIndex packs per-edge pair lists into a PairIndex. edges is the
+// number of edge IDs the index must answer for (IDs ≥ edges return an
+// empty slice); lists maps edge ID → pairs and may omit edges no pair
+// uses. The pairs of each edge are stored in the order given — callers
+// wanting deterministic iteration sort before building.
+//
+//rbpc:ctor
+func BuildPairIndex(edges int, lists map[EdgeID][]NodePair) *PairIndex {
+	ix := &PairIndex{off: make([]int32, edges+1), edges: edges}
+	total := 0
+	for e, prs := range lists {
+		if int(e) < edges {
+			total += len(prs)
+		}
+	}
+	ix.flat = make([]NodePair, 0, total)
+	for e := 0; e < edges; e++ {
+		ix.flat = append(ix.flat, lists[EdgeID(e)]...)
+		ix.off[e+1] = int32(len(ix.flat))
+	}
+	return ix
+}
+
+// Pairs returns the pairs indexed under edge e. The returned slice is
+// shared index state: callers must not modify it.
+//
+//rbpc:hotpath
+func (ix *PairIndex) Pairs(e EdgeID) []NodePair {
+	if int(e) >= ix.edges {
+		return nil
+	}
+	return ix.flat[ix.off[e]:ix.off[e+1]]
+}
+
+// Len returns the total number of (edge, pair) entries.
+func (ix *PairIndex) Len() int { return len(ix.flat) }

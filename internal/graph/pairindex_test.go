@@ -1,0 +1,37 @@
+package graph
+
+import "testing"
+
+func TestPairIndexPacksLists(t *testing.T) {
+	lists := map[EdgeID][]NodePair{
+		0: {{1, 2}, {3, 4}},
+		2: {{5, 6}},
+		9: {{7, 8}}, // beyond edges: must be ignored
+	}
+	ix := BuildPairIndex(3, lists)
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ix.Len())
+	}
+	if got := ix.Pairs(0); len(got) != 2 || got[0] != (NodePair{1, 2}) || got[1] != (NodePair{3, 4}) {
+		t.Errorf("Pairs(0) = %v", got)
+	}
+	if got := ix.Pairs(1); len(got) != 0 {
+		t.Errorf("Pairs(1) = %v, want empty", got)
+	}
+	if got := ix.Pairs(2); len(got) != 1 || got[0] != (NodePair{5, 6}) {
+		t.Errorf("Pairs(2) = %v", got)
+	}
+	if got := ix.Pairs(9); got != nil {
+		t.Errorf("Pairs(9) = %v, want nil for out-of-range edge", got)
+	}
+}
+
+func TestPairIndexEmpty(t *testing.T) {
+	ix := BuildPairIndex(0, nil)
+	if ix.Len() != 0 {
+		t.Errorf("Len = %d, want 0", ix.Len())
+	}
+	if got := ix.Pairs(0); got != nil {
+		t.Errorf("Pairs(0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,105 @@
+package paths
+
+import (
+	"sort"
+
+	"rbpc/internal/graph"
+)
+
+// CostIndex is a compact, CSR-packed view of an Explicit's by-source
+// candidate lists re-sorted by ascending base-view cost. It exists for the
+// online engine's bounded base-path Dijkstra (core.SparseSolver): when the
+// true post-failure distances are known, a cost-sorted candidate scan can
+// stop at the first candidate that already exceeds the remaining bound,
+// turning the O(n) per-node scan of a dense base set into a handful of
+// probes.
+//
+// The packed layout (one offsets array, one flat SourcePath array) keeps
+// the per-node candidate walk on two cache-friendly slices instead of a
+// map of per-node slices. A CostIndex is immutable after construction and
+// safe for concurrent use; it shares the Explicit's path values (which are
+// themselves immutable once the set is built).
+//
+//rbpc:immutable
+type CostIndex struct {
+	off   []int32 // off[u]..off[u+1] bounds u's candidates in flat
+	flat  []SourcePath
+	costs []float64 // structure-of-arrays mirror of flat: flat[k].Cost
+	dsts  []int32   // flat[k].Path.Dst()
+	idx   []int32   // flat[k].Index (the dead-mask index)
+	order int
+}
+
+// NewCostIndex builds the cost-sorted index for b. Candidates of each
+// source are ordered by (Cost, Index): cost for the bounded scan's early
+// exit, insertion index as the deterministic tie-breaker so consumers get
+// a stable candidate order for a given base set.
+//
+//rbpc:ctor
+func NewCostIndex(b *Explicit) *CostIndex {
+	n := b.View().Order()
+	ci := &CostIndex{
+		off:   make([]int32, n+1),
+		flat:  make([]SourcePath, 0, b.Len()),
+		order: n,
+	}
+	for u := 0; u < n; u++ {
+		cands := b.FromSource(graph.NodeID(u))
+		start := len(ci.flat)
+		ci.flat = append(ci.flat, cands...)
+		seg := ci.flat[start:]
+		sort.Slice(seg, func(i, j int) bool {
+			if seg[i].Cost != seg[j].Cost {
+				return seg[i].Cost < seg[j].Cost
+			}
+			return seg[i].Index < seg[j].Index
+		})
+		ci.off[u+1] = int32(len(ci.flat))
+	}
+	// Hot columns for the bounded scan: the per-candidate fields the scan
+	// rejects on (cost, dead-mask index, destination) packed as flat
+	// parallel arrays, so a scan touches 16 bytes per candidate instead of
+	// a full SourcePath plus a pointer chase into its node slice. The Path
+	// itself is fetched via PathAt only for candidates that survive.
+	ci.costs = make([]float64, len(ci.flat))
+	ci.dsts = make([]int32, len(ci.flat))
+	ci.idx = make([]int32, len(ci.flat))
+	for k, sp := range ci.flat {
+		ci.costs[k] = sp.Cost
+		ci.dsts[k] = int32(sp.Path.Dst())
+		ci.idx[k] = int32(sp.Index)
+	}
+	return ci
+}
+
+// Columns exposes the structure-of-arrays hot columns: off[u]..off[u+1]
+// bounds node u's candidates; costs/dsts/idx are indexed by that flat
+// position and hold each candidate's base-view cost, path destination,
+// and dead-mask index. All four slices are shared index state — callers
+// must not modify them.
+//
+//rbpc:hotpath
+func (ci *CostIndex) Columns() (off []int32, costs []float64, dsts []int32, idx []int32) {
+	return ci.off, ci.costs, ci.dsts, ci.idx
+}
+
+// PathAt returns the path of the candidate at flat position k (the
+// indexing Columns uses).
+//
+//rbpc:hotpath
+func (ci *CostIndex) PathAt(k int32) graph.Path { return ci.flat[k].Path }
+
+// Order returns the order of the base set's view.
+func (ci *CostIndex) Order() int { return ci.order }
+
+// Len returns the total number of indexed candidates.
+func (ci *CostIndex) Len() int { return len(ci.flat) }
+
+// FromSourceByCost returns u's stored paths sorted by ascending (Cost,
+// Index). The returned slice is shared index state: callers must not
+// modify it.
+//
+//rbpc:hotpath
+func (ci *CostIndex) FromSourceByCost(u graph.NodeID) []SourcePath {
+	return ci.flat[ci.off[u]:ci.off[u+1]]
+}

@@ -1,0 +1,84 @@
+package paths
+
+import (
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/graph"
+)
+
+func TestCostIndexSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomConnected(rng, 12, 20, 4)
+	var sources []graph.NodeID
+	for i := 0; i < g.Order(); i++ {
+		sources = append(sources, graph.NodeID(i))
+	}
+	ex := Corollary4Extend(FromSources(NewAllShortest(g), sources), g)
+	ci := NewCostIndex(ex)
+	if ci.Order() != g.Order() {
+		t.Fatalf("Order = %d, want %d", ci.Order(), g.Order())
+	}
+	total := 0
+	for u := 0; u < g.Order(); u++ {
+		sorted := ci.FromSourceByCost(graph.NodeID(u))
+		orig := ex.FromSource(graph.NodeID(u))
+		if len(sorted) != len(orig) {
+			t.Fatalf("node %d: %d sorted candidates, want %d", u, len(sorted), len(orig))
+		}
+		total += len(sorted)
+		seen := make(map[int]bool, len(orig))
+		for i, sp := range sorted {
+			if sp.Path.Src() != graph.NodeID(u) {
+				t.Fatalf("node %d: candidate %d starts at %d", u, i, sp.Path.Src())
+			}
+			if i > 0 {
+				prev := sorted[i-1]
+				if sp.Cost < prev.Cost || (sp.Cost == prev.Cost && sp.Index < prev.Index) {
+					t.Fatalf("node %d: candidates %d,%d out of (Cost,Index) order", u, i-1, i)
+				}
+			}
+			seen[sp.Index] = true
+		}
+		for _, sp := range orig {
+			if !seen[sp.Index] {
+				t.Fatalf("node %d: candidate index %d missing from cost index", u, sp.Index)
+			}
+		}
+	}
+	if ci.Len() != total || ci.Len() != ex.Len() {
+		t.Errorf("Len = %d, want %d (= set size %d)", ci.Len(), total, ex.Len())
+	}
+}
+
+func TestDeadUnderIntoReusesScratch(t *testing.T) {
+	g := square()
+	ex := FromSources(NewAllShortest(g), []graph.NodeID{0, 1, 2, 3})
+	fv := graph.FailEdges(g, 0)
+	want := ex.DeadUnder(fv)
+
+	scratch := make([]bool, ex.Len())
+	for i := range scratch {
+		scratch[i] = true // stale garbage the call must clear
+	}
+	got := ex.DeadUnderInto(fv, scratch)
+	if &got[0] != &scratch[0] {
+		t.Error("DeadUnderInto did not reuse the provided scratch")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mask length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mask[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Undersized scratch: must allocate, not panic or truncate.
+	small := ex.DeadUnderInto(fv, make([]bool, 0, 1))
+	for i := range want {
+		if small[i] != want[i] {
+			t.Fatalf("fresh mask[%d] = %v, want %v", i, small[i], want[i])
+		}
+	}
+}

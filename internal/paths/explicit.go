@@ -101,7 +101,21 @@ func (b *Explicit) FromSource(s graph.NodeID) []SourcePath { return b.bySrc[s] }
 // consumers doing many survival checks against one failure view (the
 // sparse decomposer) can trade a per-check edge scan for one bit load.
 func (b *Explicit) DeadUnder(fv *graph.FailureView) []bool {
-	dead := make([]bool, len(b.paths))
+	return b.DeadUnderInto(fv, nil)
+}
+
+// DeadUnderInto is DeadUnder writing into caller-owned scratch: if dead
+// has capacity for Len() entries it is cleared and reused, otherwise a
+// fresh mask is allocated. Consumers that rebuild their mask once per
+// failure view (the online engine's pooled sparse solvers, rebound every
+// epoch) use it to avoid a Len()-sized allocation per epoch.
+func (b *Explicit) DeadUnderInto(fv *graph.FailureView, dead []bool) []bool {
+	if cap(dead) >= len(b.paths) {
+		dead = dead[:len(b.paths)]
+		clear(dead)
+	} else {
+		dead = make([]bool, len(b.paths))
+	}
 	for _, e := range fv.RemovedEdges() {
 		for _, idx := range b.byEdge[e] {
 			dead[idx] = true

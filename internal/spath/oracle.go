@@ -180,6 +180,75 @@ func (o *Oracle) Precompute(sources []graph.NodeID, workers int) int {
 	return len(todo)
 }
 
+// adoptSlack scales the float-noise margin AdoptFrom allows when deciding
+// whether a restored edge could tie an existing distance: near-ties are
+// conservatively treated as disturbances and the tree is recomputed.
+const adoptSlack = 1e-9
+
+// AdoptFrom seeds o with every cached tree of prev that provably remains
+// the canonical shortest-path tree under o's view, which must differ from
+// prev's exactly by failing the `removed` edges and restoring the
+// `repaired` ones (weights and endpoints as in the underlying graph). A
+// tree carries over when it uses no removed edge (so its paths — and
+// therefore all distances — survive) and no repaired edge improves or
+// ties a distance at its endpoints (so no new parent candidate appears
+// anywhere, by induction over the restored edges). Trees failing either
+// test are simply not adopted; the oracle recomputes them on demand.
+//
+// It returns the number of trees adopted. This is what makes incremental
+// epoch builds cheap for the distance oracle: across a small failure
+// burst almost every cached tree is reusable as-is.
+func (o *Oracle) AdoptFrom(prev *Oracle, removed []graph.EdgeID, repaired []graph.Edge) int {
+	if prev == nil {
+		return 0
+	}
+	down := make(map[graph.EdgeID]bool, len(removed))
+	for _, e := range removed {
+		down[e] = true
+	}
+	prev.mu.RLock()
+	cands := make([]*Tree, 0, len(prev.trees))
+	for _, e := range prev.trees {
+		cands = append(cands, e.tree)
+	}
+	prev.mu.RUnlock()
+
+	keep := cands[:0]
+	for _, t := range cands {
+		if t.UsesAny(down) {
+			continue
+		}
+		ok := true
+		for _, e := range repaired {
+			if t.DisturbedBy(e, adoptSlack*(1+e.W)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, t)
+		}
+	}
+
+	adopted := 0
+	o.mu.Lock()
+	for _, t := range keep {
+		if _, dup := o.trees[t.Source]; dup {
+			continue
+		}
+		if o.cap > 0 {
+			for len(o.trees) >= o.cap {
+				o.evictOneLocked()
+			}
+		}
+		o.trees[t.Source] = &oracleEntry{tree: t}
+		o.ring = append(o.ring, t.Source)
+		adopted++
+	}
+	o.mu.Unlock()
+	return adopted
+}
+
 // Dist returns the shortest-path distance from s to d, or Unreachable.
 func (o *Oracle) Dist(s, d graph.NodeID) float64 {
 	return o.Tree(s).Dist(d)

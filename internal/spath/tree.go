@@ -37,6 +37,15 @@ type Tree struct {
 //rbpc:hotpath
 func (t *Tree) Dist(v graph.NodeID) float64 { return t.dist[v] }
 
+// Dists returns the tree's full distance row, indexed by node ID, with
+// Unreachable at unreached nodes. The slice aliases the tree's internal
+// storage — callers must not modify it. It exists so bulk consumers (the
+// incremental epoch builder feeds these rows to bounded solvers as pruning
+// bounds) avoid a per-node accessor call and a defensive copy.
+//
+//rbpc:hotpath
+func (t *Tree) Dists() []float64 { return t.dist }
+
 // Hops returns the hop count of the tree path to v. It is meaningful only
 // if Reached(v).
 //
@@ -105,6 +114,37 @@ func newTree(n int, src graph.NodeID) *Tree {
 		t.parentE[i] = -1
 	}
 	return t
+}
+
+// UsesAny reports whether any edge of the set is a tree edge — the scan
+// behind incremental tree adoption: a shortest-path tree that avoids every
+// newly-failed edge keeps all its distances when those edges go down
+// (removal only deletes losing candidates, and the surviving tree paths
+// already achieve the old minima).
+func (t *Tree) UsesAny(removed map[graph.EdgeID]bool) bool {
+	for v := range t.parentE {
+		if e := t.parentE[v]; e >= 0 && removed[e] {
+			return true
+		}
+	}
+	return false
+}
+
+// DisturbedBy reports whether restoring edge e could alter the canonical
+// tree: true when, against the tree's distances, the edge improves or ties
+// the label at either endpoint (within slack, to absorb float noise — a
+// near-tie conservatively counts as disturbed). If no restored edge
+// disturbs a tree and no failed edge is a tree edge, a fresh solve over
+// the new view reproduces the tree bit-for-bit: distances are unchanged by
+// induction over the added edges, and a strictly-worse edge is never a
+// parent candidate under the deterministic tie-break.
+func (t *Tree) DisturbedBy(e graph.Edge, slack float64) bool {
+	dx, dy := t.dist[e.U], t.dist[e.V]
+	if dx == Unreachable && dy == Unreachable {
+		// One edge cannot connect the source to a fully unreached component.
+		return false
+	}
+	return dx+e.W <= dy+slack || dy+e.W <= dx+slack
 }
 
 // betterParent reports whether candidate (hops, parent node, parent edge)

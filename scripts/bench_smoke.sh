@@ -1,0 +1,31 @@
+#!/bin/sh
+# Bench smoke: exercise the serving benchmark and the incremental
+# epoch-builder churn benchmark at reduced scale, on GOMAXPROCS 1 and 4,
+# so both the single-core and the parallel writer pipeline get covered.
+#
+# Timings are reported, never gated — machines differ. The job fails only
+# on build errors or on correctness signals: rbpc-serve -strict exits
+# non-zero if any query was dropped or answered unroutable.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${BENCH_SMOKE_DIR:-$(mktemp -d)}"
+echo "bench smoke: writing BENCH_*.json into $out"
+
+go build ./cmd/rbpc-serve ./cmd/rbpc-bench
+
+for procs in 1 4; do
+    echo
+    echo "== GOMAXPROCS=$procs: rbpc-serve, reduced-scale AS, strict =="
+    GOMAXPROCS=$procs go run ./cmd/rbpc-serve \
+        -topology as -scale 0.02 -qps 20000 -duration 2s \
+        -strict -bench-dir "$out"
+
+    echo
+    echo "== GOMAXPROCS=$procs: rbpc-bench -engine, reduced-scale churn =="
+    GOMAXPROCS=$procs go run ./cmd/rbpc-bench \
+        -engine -engine-scale 0.02 -engine-steps 12 -bench-dir "$out"
+done
+
+echo
+echo "bench smoke OK"
