@@ -8,14 +8,29 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
+
+// gatedStages are the stage metrics -compare-fail-pct hard-fails on: the
+// hot-path timings whose regressions the bench-smoke CI job exists to
+// catch. Lower is better for all of them.
+var gatedStages = []string{
+	"stage_solve_seconds",
+	"stage_assemble_seconds",
+	"epoch_build_p99_seconds",
+}
 
 // runCompare loads an old BENCH_*.json record, resolves the current record
 // of the same name (from dir, the old file's directory if dir is empty),
 // and prints an old -> new delta for every numeric field. Seconds-like
 // fields get a percentage so regressions jump out in CI logs; string
 // fields are printed only when they differ (e.g. a Go version bump).
-func runCompare(out io.Writer, oldPath, dir string) error {
+//
+// When failPct > 0, a gated stage metric (gatedStages) that regressed by
+// more than failPct percent fails the compare with an error naming every
+// offending metric, so CI can gate on real hot-path regressions while
+// ignoring noise in the informational fields.
+func runCompare(out io.Writer, oldPath, dir string, failPct float64) error {
 	old, err := loadRecord(oldPath)
 	if err != nil {
 		return err
@@ -45,6 +60,7 @@ func runCompare(out io.Writer, oldPath, dir string) error {
 	}
 	sort.Strings(keys)
 
+	var regressed []string
 	for _, k := range keys {
 		ov, oldHas := old[k]
 		nv, curHas := cur[k]
@@ -58,8 +74,14 @@ func runCompare(out io.Writer, oldPath, dir string) error {
 			nf, nNum := nv.(float64)
 			if oNum && nNum {
 				line := fmt.Sprintf("  %-28s %v -> %v", k, of, nf)
+				var pct float64
 				if of != 0 && of != nf {
-					line += fmt.Sprintf("  (%+.1f%%)", 100*(nf-of)/math.Abs(of))
+					pct = 100 * (nf - of) / math.Abs(of)
+					line += fmt.Sprintf("  (%+.1f%%)", pct)
+				}
+				if failPct > 0 && pct > failPct && isGated(k) {
+					line += "  REGRESSED"
+					regressed = append(regressed, fmt.Sprintf("%s %+.1f%% (limit %+.1f%%)", k, pct, failPct))
 				}
 				fmt.Fprintln(out, line)
 			} else if fmt.Sprint(ov) != fmt.Sprint(nv) {
@@ -67,7 +89,19 @@ func runCompare(out io.Writer, oldPath, dir string) error {
 			}
 		}
 	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("gated stage regressions: %s", strings.Join(regressed, "; "))
+	}
 	return nil
+}
+
+func isGated(key string) bool {
+	for _, g := range gatedStages {
+		if g == key {
+			return true
+		}
+	}
+	return false
 }
 
 func loadRecord(path string) (map[string]interface{}, error) {

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"rbpc/internal/engine"
@@ -48,13 +50,70 @@ type engineChurnRecord struct {
 	StageSolveSec    float64 `json:"stage_solve_seconds"`
 	StageResolveSec  float64 `json:"stage_resolve_seconds"`
 	StageAssembleSec float64 `json:"stage_assemble_seconds"`
+
+	// Sweep holds one entry per -engine-sweep GOMAXPROCS value, each a
+	// fresh engine driven through the identical schedule.
+	Sweep []engineSweepEntry `json:"gomaxprocs_sweep,omitempty"`
+}
+
+// engineSweepEntry is one GOMAXPROCS point of the churn sweep.
+type engineSweepEntry struct {
+	MaxProcs         int     `json:"gomaxprocs"`
+	Seconds          float64 `json:"seconds"`
+	BuildP50Secs     float64 `json:"epoch_build_p50_seconds"`
+	BuildP99Secs     float64 `json:"epoch_build_p99_seconds"`
+	StageSolveSec    float64 `json:"stage_solve_seconds"`
+	StageAssembleSec float64 `json:"stage_assemble_seconds"`
+}
+
+// parseProcsList parses a comma-separated GOMAXPROCS list ("1,2,4,8").
+// An empty string means no sweep.
+func parseProcsList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var procs []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad GOMAXPROCS sweep value %q (want positive integers, e.g. 1,2,4,8)", f)
+		}
+		procs = append(procs, n)
+	}
+	return procs, nil
+}
+
+// churnOnce drives a fresh engine over the event schedule synchronously and
+// returns the wall time of the flushed loop plus the engine's final stats.
+func churnOnce(sys *rbpc.System, events []failure.Event) (time.Duration, engine.Stats, error) {
+	eng, err := engine.New(sys.Export(), engine.Config{})
+	if err != nil {
+		return 0, engine.Stats{}, fmt.Errorf("engine: %w", err)
+	}
+	defer eng.Close()
+	// Retire setup garbage before the clock starts: marking the
+	// few-hundred-MB provisioned heap takes on the order of a second at one
+	// P, and letting that cycle land mid-loop would charge setup's GC debt
+	// to whichever build stage it interrupts.
+	runtime.GC()
+	start := time.Now()
+	for _, ev := range events {
+		if ev.Repair {
+			eng.Repair(ev.Edge)
+		} else {
+			eng.Fail(ev.Edge)
+		}
+		eng.Flush()
+	}
+	elapsed := time.Since(start)
+	return elapsed, eng.Stats(), nil
 }
 
 // runEngineChurn provisions the AS stand-in at the given scale, drives the
 // online engine through a seeded churn schedule synchronously (fail/repair
 // + flush per event), and reports where the epoch-build time went. It
 // returns an error instead of exiting so -compare can still run.
-func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, full bool) error {
+func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, full bool, sweep []int) error {
 	g := topology.PaperAS(seed, scale)
 	fmt.Fprintf(out, "engine churn: AS stand-in, %d nodes, %d links, %d events (max %d down)\n",
 		g.Order(), g.Size(), steps, maxDown)
@@ -66,25 +125,39 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 	}
 	fmt.Fprintf(out, "provisioned in %v\n", time.Since(t).Round(time.Millisecond))
 
-	eng, err := engine.New(sys.Export(), engine.Config{})
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	defer eng.Close()
-
 	events := failure.ChurnSchedule(g, steps, maxDown, rand.New(rand.NewSource(seed)))
-	start := time.Now()
-	for _, ev := range events {
-		if ev.Repair {
-			eng.Repair(ev.Edge)
-		} else {
-			eng.Fail(ev.Edge)
-		}
-		eng.Flush()
+	elapsed, st, err := churnOnce(sys, events)
+	if err != nil {
+		return err
 	}
-	elapsed := time.Since(start)
 
-	st := eng.Stats()
+	// The sweep re-runs the identical schedule on a fresh engine per
+	// GOMAXPROCS value, restoring the ambient setting afterwards.
+	var sweepRecs []engineSweepEntry
+	if len(sweep) > 0 {
+		ambient := runtime.GOMAXPROCS(0)
+		for _, procs := range sweep {
+			runtime.GOMAXPROCS(procs)
+			sElapsed, sSt, err := churnOnce(sys, events)
+			if err != nil {
+				runtime.GOMAXPROCS(ambient)
+				return err
+			}
+			sInc := sSt.Incremental
+			sweepRecs = append(sweepRecs, engineSweepEntry{
+				MaxProcs:         procs,
+				Seconds:          sElapsed.Seconds(),
+				BuildP50Secs:     sSt.EpochBuild.P50.Seconds(),
+				BuildP99Secs:     sSt.EpochBuild.P99.Seconds(),
+				StageSolveSec:    time.Duration(sInc.SolveNanos).Seconds(),
+				StageAssembleSec: time.Duration(sInc.AssembleNanos).Seconds(),
+			})
+			fmt.Fprintf(out, "sweep GOMAXPROCS=%d: %v total (build p50 %v, p99 %v; solve %v, assemble %v)\n",
+				procs, sElapsed.Round(time.Millisecond), sSt.EpochBuild.P50, sSt.EpochBuild.P99,
+				time.Duration(sInc.SolveNanos), time.Duration(sInc.AssembleNanos))
+		}
+		runtime.GOMAXPROCS(ambient)
+	}
 	inc := st.Incremental
 	hitRate := 0.0
 	if st.PlanCacheHits+st.PlanCacheMiss > 0 {
@@ -129,6 +202,8 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		StageSolveSec:    time.Duration(inc.SolveNanos).Seconds(),
 		StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 		StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
+
+		Sweep: sweepRecs,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -17,6 +17,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rbpc"
@@ -79,8 +80,25 @@ func main() {
 	engineScale := flag.Float64("engine-scale", 0.1, "AS stand-in scale for the -engine churn benchmark")
 	engineSteps := flag.Int("engine-steps", 40, "churn events for the -engine benchmark")
 	engineMaxDown := flag.Int("engine-max-down", 4, "concurrently-down link bound for the -engine benchmark")
+	engineSweep := flag.String("engine-sweep", "", "comma-separated GOMAXPROCS values to additionally run the -engine churn benchmark at (e.g. 1,2,4,8)")
 	compare := flag.String("compare", "", "compare an old BENCH_*.json against the current record of the same name and print deltas")
+	compareFailPct := flag.Float64("compare-fail-pct", 0, "with -compare: exit non-zero if a gated stage metric regressed by more than this percentage (0 = report only)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if !*all && *table == 0 && *figure == 0 && !*ablations && !*engineRun && *compare == "" {
 		*all = true
@@ -96,15 +114,20 @@ func main() {
 	bench := benchWriter{dir: *benchDir, seed: *seed, full: fullScale}
 
 	if *engineRun {
+		sweep, err := parseProcsList(*engineSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench:", err)
+			os.Exit(2)
+		}
 		fmt.Println("=== Engine: incremental epoch builds under churn (AS stand-in) ===")
-		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, fullScale); err != nil {
+		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, fullScale, sweep); err != nil {
 			fmt.Fprintln(os.Stderr, "rbpc-bench: engine churn:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
 	}
 	if *compare != "" {
-		if err := runCompare(os.Stdout, *compare, *benchDir); err != nil {
+		if err := runCompare(os.Stdout, *compare, *benchDir, *compareFailPct); err != nil {
 			fmt.Fprintln(os.Stderr, "rbpc-bench: compare:", err)
 			os.Exit(1)
 		}

@@ -15,6 +15,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"rbpc/internal/engine"
@@ -67,6 +69,175 @@ type engineBench struct {
 	StageSolveSec    float64 `json:"stage_solve_seconds"`
 	StageResolveSec  float64 `json:"stage_resolve_seconds"`
 	StageAssembleSec float64 `json:"stage_assemble_seconds"`
+
+	// Sweep holds one entry per -sweep GOMAXPROCS value, each a fresh
+	// engine re-running the identical window.
+	Sweep []serveSweepEntry `json:"gomaxprocs_sweep,omitempty"`
+}
+
+// serveSweepEntry is one GOMAXPROCS point of the serving sweep: the same
+// open-loop window re-run on a fresh engine at a pinned processor count.
+type serveSweepEntry struct {
+	MaxProcs   int     `json:"gomaxprocs"`
+	QPS        float64 `json:"qps"`
+	Dropped    int64   `json:"dropped"`
+	Unroutable int64   `json:"unroutable"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// windowOpts parameterizes one measured serving window.
+type windowOpts struct {
+	qps       float64
+	duration  time.Duration
+	workers   int
+	queue     int
+	batch     int
+	failEvery time.Duration
+	maxDown   int
+	coalesce  time.Duration
+	seed      int64
+}
+
+// windowResult is the scrape of one serving window after queue drain.
+type windowResult struct {
+	elapsed   time.Duration
+	st        engine.Stats
+	linksDown int
+}
+
+// runWindow builds a fresh engine over the provisioned system and drives it
+// through one measured open-loop window: a churn injector walks the seeded
+// schedule while generators submit query bursts on a fixed arrival
+// schedule, never waiting for answers. Returns after the residual queue has
+// drained so the scrape covers every accepted query.
+func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, error) {
+	workers := o.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eng, err := engine.New(sys.Export(), engine.Config{
+		Workers:        workers,
+		QueueDepth:     o.queue,
+		CoalesceWindow: o.coalesce,
+		WarmOracle:     false, // serving reads rows, not the oracle
+	})
+	if err != nil {
+		return windowResult{}, fmt.Errorf("engine: %w", err)
+	}
+	defer eng.Close()
+
+	// Failure injector: one churn event per tick, schedule long enough to
+	// outlast the window.
+	stopChurn := make(chan struct{})
+	churnDone := make(chan struct{})
+	if o.failEvery > 0 {
+		steps := int(o.duration / o.failEvery)
+		events := failure.ChurnSchedule(g, steps+1, o.maxDown, rand.New(rand.NewSource(o.seed)))
+		go func() {
+			defer close(churnDone)
+			tick := time.NewTicker(o.failEvery)
+			defer tick.Stop()
+			for _, ev := range events {
+				select {
+				case <-stopChurn:
+					return
+				case <-tick.C:
+				}
+				if ev.Repair {
+					eng.Repair(ev.Edge)
+				} else {
+					eng.Fail(ev.Edge)
+				}
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+
+	// Open-loop load: generators submit on a fixed arrival schedule,
+	// batching catch-up when the OS timer lags, and never waiting for
+	// answers. Everything due at a wakeup goes out as one SubmitBatch —
+	// one timestamp and one channel operation per burst — so generator
+	// overhead stays flat as qps climbs. SubmitBatch sheds whole bursts
+	// when the target shard is full.
+	nGens := runtime.GOMAXPROCS(0) / 2
+	if nGens < 1 {
+		nGens = 1
+	}
+	perGen := o.qps / float64(nGens)
+	interval := time.Duration(float64(time.Second) / perGen)
+	genDone := make(chan struct{}, nGens)
+	start := time.Now()
+	deadline := start.Add(o.duration)
+	n := g.Order()
+	for gen := 0; gen < nGens; gen++ {
+		go func(seed int64) {
+			defer func() { genDone <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			sent := 0
+			for {
+				now := time.Now()
+				if now.After(deadline) {
+					return
+				}
+				due := int(now.Sub(start)/interval) + 1
+				for sent < due {
+					take := due - sent
+					if take > o.batch {
+						take = o.batch
+					}
+					pairs := make([]rbpc.Pair, 0, take)
+					for i := 0; i < take; i++ {
+						src := graph.NodeID(rng.Intn(n))
+						dst := graph.NodeID(rng.Intn(n))
+						if src == dst {
+							continue
+						}
+						pairs = append(pairs, rbpc.Pair{Src: src, Dst: dst})
+					}
+					sent += take
+					// The engine owns pairs from here; the next burst
+					// allocates fresh.
+					eng.SubmitBatch(pairs)
+				}
+				next := start.Add(time.Duration(sent) * interval)
+				if d := time.Until(next); d > 0 {
+					time.Sleep(d)
+				}
+			}
+		}(o.seed + int64(gen) + 1000)
+	}
+	for gen := 0; gen < nGens; gen++ {
+		<-genDone
+	}
+	close(stopChurn)
+	<-churnDone
+	eng.Flush()
+	elapsed := time.Since(start)
+	// Let workers drain the residual queue before scraping.
+	for eng.Stats().QueueDepth > 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	return windowResult{
+		elapsed:   elapsed,
+		st:        eng.Stats(),
+		linksDown: len(eng.Snapshot().Failed()),
+	}, nil
+}
+
+// parseProcsList parses a comma-separated GOMAXPROCS list ("1,2,4,8").
+func parseProcsList(s string) ([]int, error) {
+	var procs []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad GOMAXPROCS sweep value %q (want positive integers, e.g. 1,2,4,8)", f)
+		}
+		procs = append(procs, n)
+	}
+	return procs, nil
 }
 
 func buildTopology(kind string, scale float64, seed int64) (*graph.Graph, error) {
@@ -94,12 +265,14 @@ func main() {
 		closure   = flag.Bool("closure", false, "provision the full subpath closure (quadratic; small topologies only)")
 		qps       = flag.Float64("qps", 150_000, "target open-loop query rate")
 		duration  = flag.Duration("duration", 3*time.Second, "measured serving window")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "engine query workers")
-		queue     = flag.Int("queue", 8192, "engine query queue depth")
+		workers   = flag.Int("workers", 0, "engine query workers (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 8192, "engine query queue depth (split across worker shards)")
+		batch     = flag.Int("batch", 1024, "max queries per submitted burst")
 		failEvery = flag.Duration("fail-every", 50*time.Millisecond, "interval between injected churn events (0 = no churn)")
 		maxDown   = flag.Int("max-down", 3, "max links concurrently down during churn")
 		coalesce  = flag.Duration("coalesce", time.Millisecond, "writer coalesce window for failure bursts")
 		benchDir  = flag.String("bench-dir", "", "write BENCH_engine.json into this directory")
+		sweep     = flag.String("sweep", "", "comma-separated GOMAXPROCS values to additionally run the serving window at (e.g. 1,2,4,8)")
 		strict    = flag.Bool("strict", false, "exit non-zero if any query was dropped or answered unroutable (CI smoke gate)")
 	)
 	flag.Parse()
@@ -121,98 +294,24 @@ func main() {
 	provisionTime := time.Since(provStart)
 	fmt.Printf("done in %v (%d LSPs)\n", provisionTime.Round(time.Millisecond), sys.Net().NumLSPs())
 
-	eng, err := engine.New(sys.Export(), engine.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CoalesceWindow: *coalesce,
-		WarmOracle:     false, // serving reads rows, not the oracle
-	})
+	opts := windowOpts{
+		qps:       *qps,
+		duration:  *duration,
+		workers:   *workers,
+		queue:     *queue,
+		batch:     *batch,
+		failEvery: *failEvery,
+		maxDown:   *maxDown,
+		coalesce:  *coalesce,
+		seed:      *seed,
+	}
+	res, err := runWindow(g, sys, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "rbpc-serve: engine:", err)
+		fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
 		os.Exit(1)
 	}
-	defer eng.Close()
-
-	// Failure injector: one churn event per tick, schedule long enough to
-	// outlast the window.
-	stopChurn := make(chan struct{})
-	churnDone := make(chan struct{})
-	if *failEvery > 0 {
-		steps := int(*duration / *failEvery)
-		events := failure.ChurnSchedule(g, steps+1, *maxDown, rand.New(rand.NewSource(*seed)))
-		go func() {
-			defer close(churnDone)
-			tick := time.NewTicker(*failEvery)
-			defer tick.Stop()
-			for _, ev := range events {
-				select {
-				case <-stopChurn:
-					return
-				case <-tick.C:
-				}
-				if ev.Repair {
-					eng.Repair(ev.Edge)
-				} else {
-					eng.Fail(ev.Edge)
-				}
-			}
-		}()
-	} else {
-		close(churnDone)
-	}
-
-	// Open-loop load: generators submit on a fixed arrival schedule,
-	// batching catch-up when the OS timer lags, and never waiting for
-	// answers. Submit sheds (drops) when the queue is full.
-	nGens := runtime.GOMAXPROCS(0) / 2
-	if nGens < 1 {
-		nGens = 1
-	}
-	perGen := *qps / float64(nGens)
-	interval := time.Duration(float64(time.Second) / perGen)
-	genDone := make(chan struct{}, nGens)
-	start := time.Now()
-	deadline := start.Add(*duration)
-	n := g.Order()
-	for gen := 0; gen < nGens; gen++ {
-		go func(seed int64) {
-			defer func() { genDone <- struct{}{} }()
-			rng := rand.New(rand.NewSource(seed))
-			sent := 0
-			for {
-				now := time.Now()
-				if now.After(deadline) {
-					return
-				}
-				due := int(now.Sub(start)/interval) + 1
-				for ; sent < due; sent++ {
-					src := graph.NodeID(rng.Intn(n))
-					dst := graph.NodeID(rng.Intn(n))
-					if src == dst {
-						continue
-					}
-					eng.Submit(src, dst)
-				}
-				next := start.Add(time.Duration(sent) * interval)
-				if d := time.Until(next); d > 0 {
-					time.Sleep(d)
-				}
-			}
-		}(*seed + int64(gen) + 1000)
-	}
-	for gen := 0; gen < nGens; gen++ {
-		<-genDone
-	}
-	close(stopChurn)
-	<-churnDone
-	eng.Flush()
-	elapsed := time.Since(start)
-	// Let workers drain the residual queue before scraping.
-	for eng.Stats().QueueDepth > 0 {
-		time.Sleep(time.Millisecond)
-	}
-
-	st := eng.Stats()
+	st := res.st
+	elapsed := res.elapsed
 	served := st.Queries
 	achieved := float64(served) / elapsed.Seconds()
 	hitRate := 0.0
@@ -227,13 +326,48 @@ func main() {
 	fmt.Printf("epochs: %d published (build p50 %v, p99 %v), plan cache hit rate %.2f, %d on-demand LSPs\n",
 		st.Epochs, st.EpochBuild.P50, st.EpochBuild.P99, hitRate, st.OnDemandLSPs)
 	fmt.Printf("unroutable answers: %d; final epoch %d with %d links down\n",
-		st.Unroutable, st.Epoch, len(eng.Snapshot().Failed()))
+		st.Unroutable, st.Epoch, res.linksDown)
 	inc := st.Incremental
 	fmt.Printf("incremental: %d rows reused / %d recomputed (%d entering, %d leaving, %d stale, %d repair-improved), %d trees adopted\n",
 		inc.PairsReused, inc.PairsRecomputed, inc.Entering, inc.Leaving, inc.StaleRoutes, inc.RepairImproved, inc.TreesAdopted)
 	fmt.Printf("build stages: affected %v  solve %v  resolve %v  assemble %v\n",
 		time.Duration(inc.AffectedNanos), time.Duration(inc.SolveNanos),
 		time.Duration(inc.ResolveNanos), time.Duration(inc.AssembleNanos))
+
+	// GOMAXPROCS sweep: re-run the identical window on a fresh engine per
+	// processor count, restoring the ambient setting afterwards.
+	var sweepRecs []serveSweepEntry
+	if *sweep != "" {
+		procsList, err := parseProcsList(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
+			os.Exit(2)
+		}
+		ambient := runtime.GOMAXPROCS(0)
+		for _, procs := range procsList {
+			runtime.GOMAXPROCS(procs)
+			sOpts := opts
+			sOpts.workers = 0 // track the pinned GOMAXPROCS
+			sres, err := runWindow(g, sys, sOpts)
+			if err != nil {
+				runtime.GOMAXPROCS(ambient)
+				fmt.Fprintln(os.Stderr, "rbpc-serve: sweep:", err)
+				os.Exit(1)
+			}
+			sQPS := float64(sres.st.Queries) / sres.elapsed.Seconds()
+			sweepRecs = append(sweepRecs, serveSweepEntry{
+				MaxProcs:   procs,
+				QPS:        sQPS,
+				Dropped:    sres.st.Dropped,
+				Unroutable: sres.st.Unroutable,
+				P50Seconds: sres.st.QueryLatency.P50.Seconds(),
+				P99Seconds: sres.st.QueryLatency.P99.Seconds(),
+			})
+			fmt.Printf("sweep GOMAXPROCS=%d: %.0f qps (%d dropped, p50 %v, p99 %v)\n",
+				procs, sQPS, sres.st.Dropped, sres.st.QueryLatency.P50, sres.st.QueryLatency.P99)
+		}
+		runtime.GOMAXPROCS(ambient)
+	}
 
 	if *benchDir != "" {
 		rec := engineBench{
@@ -274,6 +408,8 @@ func main() {
 			StageSolveSec:    time.Duration(inc.SolveNanos).Seconds(),
 			StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 			StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
+
+			Sweep: sweepRecs,
 		}
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {

@@ -70,6 +70,18 @@ type ByCostColumns interface {
 	PathAt(k int32) graph.Path
 }
 
+// LiveColumns is a pre-filtered candidate source (see paths.LiveIndex):
+// per source, the cost-sorted columns already restricted to paths that
+// survive the solver's failure view. With one installed (SetLiveIndex) the
+// scan needs no per-candidate liveness test at all — the filtering was
+// paid once per epoch, only for sources the failure delta touched. The
+// caller owns the contract that the index's failure state matches the
+// solver's view.
+type LiveColumns interface {
+	LiveFromSource(u graph.NodeID) (costs []float64, dsts []int32, keys []int32)
+	PathAt(k int32) graph.Path
+}
+
 // SparseSolver runs minimum-cost restoration-path searches on the
 // "base-path graph" (surviving base paths and surviving bare edges as
 // arcs) for one failure view, amortizing across calls everything that
@@ -92,16 +104,50 @@ type SparseSolver struct {
 	ciCost []float64
 	ciDst  []int32
 	ciIdx  []int32
-	dead   []bool // nil unless base implements DeadIndexed
+	lc     LiveColumns // nil unless installed with SetLiveIndex
+	// lcShadowsArcs records that the live index attests edge-completeness:
+	// every usable arc is preceded in the candidate scan by a live 1-hop
+	// base path of identical cost, so the raw-edge scan can only produce
+	// offers that lose the first-offer-wins tie and is skipped wholesale.
+	lcShadowsArcs bool
+	dead          []bool // nil unless base implements DeadIndexed
 
-	dist     []float64
-	comps    []int32
-	prev     []int32
+	// kern is the compiled flat form of fv (CSR + removal bitsets); when
+	// available the raw-edge scan iterates it directly instead of paying a
+	// visitor closure call per arc.
+	kern    graph.Kernel
+	hasKern bool
+
+	// Dijkstra scratch, validity-stamped by generation: a lab entry is
+	// meaningful only where its gen matches curGen. Starting a search is
+	// one counter increment instead of an O(n) clear — the per-source setup
+	// cost of a batched multi-target solve is the nodes it actually visits.
+	// prevComp lives apart from lab: a Component is several words and is
+	// written once per committed offer, while lab is read on every scanned
+	// candidate and wants the densest possible packing.
+	lab      []sparseLabel
+	curGen   uint32
 	prevComp []Component
-	settled  []bool
-	isTarget []bool
-	boundAdj []float64 // bound[v]+boundSlack(bound[v]), filled per bounded search
 	pq       sparseHeap
+}
+
+// sparseLabel packs one node's Dijkstra scratch — distance label, component
+// count, predecessor, generation stamp, flags, and the search's
+// slack-adjusted bound for the node — into 32 bytes so the hot candidate
+// test (bound rejection + offer) touches a single cache line where parallel
+// arrays cost several misses per scanned candidate.
+//
+// bnd sits outside the generation-stamp contract: a bounded search fills it
+// for every node up front (sequentially, before the frontier runs), and the
+// stamp/offer resets preserve it.
+type sparseLabel struct {
+	dist     float64
+	bnd      float64
+	gen      uint32
+	prev     int32
+	comps    int32
+	settled  bool
+	isTarget bool
 }
 
 // NewSparseSolver builds a solver for repeated decompositions against fv.
@@ -111,18 +157,15 @@ func NewSparseSolver(base paths.Base, fv *graph.FailureView) *SparseSolver {
 		base:     base,
 		fv:       fv,
 		orig:     base.View(),
-		dist:     make([]float64, n),
-		comps:    make([]int32, n),
-		prev:     make([]int32, n),
+		lab:      make([]sparseLabel, n),
 		prevComp: make([]Component, n),
-		settled:  make([]bool, n),
-		isTarget: make([]bool, n),
 	}
 	ss.bs, ss.hasSrc = base.(BySource)
 	ss.ab, ss.hasAll = base.(AllBetween)
 	if di, ok := base.(DeadIndexed); ok {
 		ss.dead = di.DeadUnder(fv)
 	}
+	ss.kern, ss.hasKern = graph.CompileView(fv)
 	return ss
 }
 
@@ -132,21 +175,24 @@ func NewSparseSolver(base paths.Base, fv *graph.FailureView) *SparseSolver {
 // The online engine's worker pool holds one solver per worker across
 // epochs and rebinds instead of rebuilding.
 func (ss *SparseSolver) Rebind(fv *graph.FailureView) {
-	if n := fv.Order(); n != len(ss.dist) {
-		ss.dist = make([]float64, n)
-		ss.comps = make([]int32, n)
-		ss.prev = make([]int32, n)
+	if n := fv.Order(); n != len(ss.lab) {
+		ss.lab = make([]sparseLabel, n)
+		ss.curGen = 0
 		ss.prevComp = make([]Component, n)
-		ss.settled = make([]bool, n)
-		ss.isTarget = make([]bool, n)
 	}
 	ss.fv = fv
-	switch di := ss.base.(type) {
-	case DeadIndexedInto:
-		ss.dead = di.DeadUnderInto(fv, ss.dead)
-	case DeadIndexed:
-		ss.dead = di.DeadUnder(fv)
+	// With a live index installed the dead mask is never consulted, and
+	// rebuilding it would be the exact O(paths) per-epoch cost the live
+	// index exists to avoid.
+	if ss.lc == nil {
+		switch di := ss.base.(type) {
+		case DeadIndexedInto:
+			ss.dead = di.DeadUnderInto(fv, ss.dead)
+		case DeadIndexed:
+			ss.dead = di.DeadUnder(fv)
+		}
 	}
+	ss.kern, ss.hasKern = graph.CompileView(fv)
 }
 
 // SetCostIndex installs a cost-sorted candidate source built over the same
@@ -164,6 +210,30 @@ func (ss *SparseSolver) SetCostIndex(ci ByCost) {
 	} else {
 		ss.cc = nil
 		ss.ciOff, ss.ciCost, ss.ciDst, ss.ciIdx = nil, nil, nil, nil
+	}
+}
+
+// SetLiveIndex installs a pre-filtered candidate source whose failure state
+// the caller keeps in sync with the solver's view (see paths.LiveIndex).
+// It takes precedence over a cost index: the candidate scan walks the live
+// columns with no per-candidate dead test. Results are identical to the
+// dead-mask scan — filtering removes exactly the candidates the mask would
+// reject, preserving the (cost, insertion index) order of the rest.
+// Passing nil uninstalls it and restores the dead mask from the current
+// view.
+func (ss *SparseSolver) SetLiveIndex(lc LiveColumns) {
+	ss.lc = lc
+	ss.lcShadowsArcs = false
+	if ec, ok := lc.(interface{ EdgeComplete() bool }); ok {
+		ss.lcShadowsArcs = ec.EdgeComplete()
+	}
+	if lc == nil {
+		switch di := ss.base.(type) {
+		case DeadIndexedInto:
+			ss.dead = di.DeadUnderInto(ss.fv, ss.dead)
+		case DeadIndexed:
+			ss.dead = di.DeadUnder(ss.fv)
+		}
 	}
 }
 
@@ -201,7 +271,7 @@ func DecomposeSparseFrom(base paths.Base, fv *graph.FailureView, s graph.NodeID,
 
 // From runs one multi-destination search. See DecomposeSparseFrom.
 func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decomposition, []bool) {
-	return ss.search(s, dsts, nil, 0)
+	return ss.search(s, dsts, nil, nil, 0)
 }
 
 // FromBounded is From pruned by known true distances: bound[v] must be the
@@ -222,15 +292,46 @@ func (ss *SparseSolver) From(s graph.NodeID, dsts []graph.NodeID) ([]Decompositi
 // the affected radius).
 func (ss *SparseSolver) FromBounded(s graph.NodeID, dsts []graph.NodeID, bound []float64, inf float64) ([]Decomposition, []bool) {
 	if len(bound) < ss.fv.Order() {
-		return ss.search(s, dsts, nil, 0) // malformed bound: fall back to exact unbounded search
+		return ss.search(s, dsts, nil, nil, 0) // malformed bound: fall back to exact unbounded search
 	}
-	return ss.search(s, dsts, bound, inf)
+	return ss.search(s, dsts, bound, nil, inf)
+}
+
+// FromBoundedEllipse is FromBounded additionally armed with reverse
+// distances toward the destination set: rev[v] must be a lower bound on
+// (in practice, exactly) the post-failure shortest distance from v to the
+// nearest requested destination that is reachable from s and distinct
+// from it — for an undirected view, min over those d of Tree(d).Dist(v).
+//
+// Forward and reverse distances together confine the search to the
+// "ellipse" of nodes that can lie on some optimal concatenation: any v
+// with bound[v] + rev[v] beyond the farthest destination's bound is
+// useless, and every offer into it is dropped by writing a -Inf bound
+// into its label at fill time — zero extra work in the candidate scans.
+// The prune is closed under optimal offers (a node able to make an
+// optimal-cost or within-slack offer into a useful node is, by the
+// triangle inequality, itself useful, with a 2x slack margin absorbing
+// the float association noise between the two SSSP runs), so the label
+// evolution on surviving nodes — values, tie-breaks, pop order — is
+// identical to FromBounded and the returned decompositions stay
+// bit-identical. Dijkstra stops settling the whole forward ball of the
+// farthest destination and settles only the optimal-path band.
+func (ss *SparseSolver) FromBoundedEllipse(s graph.NodeID, dsts []graph.NodeID, bound, rev []float64, inf float64) ([]Decomposition, []bool) {
+	n := ss.fv.Order()
+	if len(bound) < n {
+		return ss.search(s, dsts, nil, nil, 0) // malformed bound: fall back to exact unbounded search
+	}
+	if len(rev) < n {
+		return ss.search(s, dsts, bound, nil, inf) // malformed rev: plain bounded search
+	}
+	return ss.search(s, dsts, bound, rev, inf)
 }
 
 // search is the shared multi-destination Dijkstra over the base-path
 // graph. bound == nil runs it unbounded (From); otherwise offers beyond
-// bound[v] are pruned (FromBounded).
-func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []float64, inf float64) ([]Decomposition, []bool) {
+// bound[v] are pruned (FromBounded), and with rev also set, nodes off
+// every optimal path are pruned entirely (FromBoundedEllipse).
+func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound, rev []float64, inf float64) ([]Decomposition, []bool) {
 	decs := make([]Decomposition, len(dsts))
 	oks := make([]bool, len(dsts))
 	if len(dsts) == 0 {
@@ -242,27 +343,15 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 		return decs, oks
 	}
 
-	// Reset scratch.
-	const unset = -1
-	for i := 0; i < n; i++ {
-		ss.dist[i] = -1 // -1 == infinity marker
-		ss.prev[i] = unset
-		ss.settled[i] = false
-		ss.isTarget[i] = false
+	// Reset scratch by advancing the search generation: entries stamped
+	// with an older generation are treated as untouched. On the rare
+	// uint32 wrap, invalidate every stamp explicitly.
+	ss.curGen++
+	if ss.curGen == 0 {
+		clear(ss.lab)
+		ss.curGen = 1
 	}
 	ss.pq = ss.pq[:0]
-	if bound != nil {
-		// Hoist the slack adjustment out of the candidate scan: the inner
-		// loops compare against bound[v]+boundSlack(bound[v]) once per
-		// candidate, and the scan visits each node many times.
-		if len(ss.boundAdj) < n {
-			ss.boundAdj = make([]float64, n)
-		}
-		for i := 0; i < n; i++ {
-			b := bound[i]
-			ss.boundAdj[i] = b + boundSlack(b)
-		}
-	}
 
 	// Pending destinations still to settle; s==d pairs are trivially done,
 	// and destinations the bound proves unreachable need no settling.
@@ -279,8 +368,9 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 		if bound != nil && bound[d] >= inf {
 			continue
 		}
-		if !ss.isTarget[d] {
-			ss.isTarget[d] = true
+		ss.stamp(d)
+		if !ss.lab[d].isTarget {
+			ss.lab[d].isTarget = true
 			pending++
 		}
 		if bound != nil && bound[d] > maxBound {
@@ -293,37 +383,100 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 	// Every node on an optimal concatenation to a pending destination sits
 	// within maxTotal of s; offers beyond it cannot influence any result.
 	maxTotal := math.Inf(1)
-	if bound != nil {
+	bounded := bound != nil
+	if bounded {
 		maxTotal = maxBound + boundSlack(maxBound)
+		// Materialize each node's slack-adjusted bound once, into the label
+		// itself: the candidate scans test it per candidate, the fill is one
+		// FMA per node versus one per scanned candidate (the same float
+		// expression, so every accept/reject decision is unchanged), and
+		// co-locating it with the label halves the random loads per
+		// surviving candidate.
+		if rev != nil {
+			// Ellipse prune (see FromBoundedEllipse): a node whose forward
+			// plus reverse distance exceeds the farthest pending bound by
+			// more than twice the slack cannot sit on any optimal
+			// concatenation, nor feed one even a within-slack transient
+			// offer; a -Inf bound makes every scan reject it for free.
+			cut := maxTotal + boundSlack(maxBound)
+			ninf := math.Inf(-1)
+			for v, b := range bound[:n] {
+				if b+rev[v] > cut {
+					ss.lab[v].bnd = ninf
+				} else {
+					ss.lab[v].bnd = b + boundSlack(b)
+				}
+			}
+		} else {
+			for v, b := range bound[:n] {
+				ss.lab[v].bnd = b + boundSlack(b)
+			}
+		}
 	}
 
 	pq := &ss.pq
-	ss.dist[s] = 0
-	ss.comps[s] = 0
+	ss.stamp(s)
+	ss.lab[s].dist = 0
+	ss.lab[s].comps = 0
 	pq.push(sparseItem{node: s, cost: 0, comps: 0})
 
 	for len(*pq) > 0 {
 		it := pq.pop()
 		u := it.node
-		if ss.settled[u] || it.cost != ss.dist[u] || it.comps != ss.comps[u] {
+		lu := &ss.lab[u]
+		if lu.settled || it.cost != lu.dist || it.comps != lu.comps {
 			continue
 		}
-		ss.settled[u] = true
-		if ss.isTarget[u] {
+		lu.settled = true
+		if lu.isTarget {
 			pending--
 			if pending == 0 {
 				break
 			}
 		}
-		du := ss.dist[u]
+		du := lu.dist
+		cu := lu.comps
 		// Candidate 1: surviving base paths out of u. Considered before
 		// raw edges so that at equal (cost, components) a pre-provisioned
 		// base path wins over a bare edge — a bare-edge component would
 		// need a fresh 1-hop LSP.
 		switch {
+		case ss.lc != nil:
+			// Hottest path: the live index's columns hold only surviving
+			// candidates, so the scan is pure cost/bound rejection — no
+			// liveness test, and the path value is fetched only for offers
+			// that actually improve a label.
+			lcCosts, lcDsts, lcKeys := ss.lc.LiveFromSource(u)
+			if bounded {
+				for j, c := range lcCosts {
+					total := du + c
+					if total > maxTotal {
+						break // cheapest-first: every later candidate is dearer
+					}
+					v := graph.NodeID(lcDsts[j])
+					l := &ss.lab[v]
+					if total > l.bnd {
+						continue
+					}
+					if tc := cu + 1; offerLab(l, ss.curGen, total, tc) {
+						l.dist = total
+						l.comps = tc
+						l.prev = int32(u)
+						ss.prevComp[v] = Component{Kind: KindBasePath, Path: ss.lc.PathAt(lcKeys[j])}
+						pq.push(sparseItem{node: v, cost: total, comps: tc})
+					}
+				}
+				break
+			}
+			for j, c := range lcCosts {
+				v := graph.NodeID(lcDsts[j])
+				if total, tc := du+c, cu+1; ss.offer(v, total, tc) {
+					ss.commit(u, v, total, tc, Component{Kind: KindBasePath, Path: ss.lc.PathAt(lcKeys[j])})
+				}
+			}
 		case ss.ciOff != nil && ss.dead != nil:
-			// Hottest path: structure-of-arrays scan over the cost index's
-			// rejection columns. Identical candidate order and identical
+			// Structure-of-arrays scan over the cost index's rejection
+			// columns. Identical candidate order and identical
 			// accept/reject decisions as the SourcePath walk below — only
 			// the memory traffic per rejected candidate changes.
 			end := ss.ciOff[u+1]
@@ -336,10 +489,12 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 					continue
 				}
 				v := graph.NodeID(ss.ciDst[k])
-				if bound != nil && du+c > ss.boundAdj[v] {
+				if bounded && du+c > ss.lab[v].bnd {
 					continue
 				}
-				ss.relax(u, v, c, 1, Component{Kind: KindBasePath, Path: ss.cc.PathAt(k)})
+				if total, tc := du+c, cu+1; ss.offer(v, total, tc) {
+					ss.commit(u, v, total, tc, Component{Kind: KindBasePath, Path: ss.cc.PathAt(k)})
+				}
 			}
 		case ss.ci != nil && ss.dead != nil:
 			for _, sp := range ss.ci.FromSourceByCost(u) {
@@ -350,7 +505,7 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 					continue
 				}
 				v := sp.Path.Dst()
-				if bound != nil && du+sp.Cost > bound[v]+boundSlack(bound[v]) {
+				if bounded && du+sp.Cost > ss.lab[v].bnd {
 					continue
 				}
 				ss.relax(u, v, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
@@ -364,7 +519,7 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 				if !fv.NodeUsable(v) || !paths.Survives(sp.Path, fv) {
 					continue
 				}
-				if bound != nil && du+sp.Cost > bound[v]+boundSlack(bound[v]) {
+				if bounded && du+sp.Cost > ss.lab[v].bnd {
 					continue
 				}
 				ss.relax(u, v, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
@@ -375,7 +530,7 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 					continue
 				}
 				v := sp.Path.Dst()
-				if bound != nil && (du+sp.Cost > maxTotal || du+sp.Cost > bound[v]+boundSlack(bound[v])) {
+				if bounded && (du+sp.Cost > maxTotal || du+sp.Cost > ss.lab[v].bnd) {
 					continue
 				}
 				ss.relax(u, v, sp.Cost, 1, Component{Kind: KindBasePath, Path: sp.Path})
@@ -386,7 +541,7 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 				if !fv.NodeUsable(vv) {
 					continue
 				}
-				if bound != nil && (du+sp.Cost > maxTotal || du+sp.Cost > bound[vv]+boundSlack(bound[vv])) {
+				if bounded && (du+sp.Cost > maxTotal || du+sp.Cost > ss.lab[vv].bnd) {
 					continue
 				}
 				if paths.Survives(sp.Path, fv) {
@@ -416,28 +571,59 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 				}
 			}
 		}
-		// Candidate 2: surviving raw edges out of u.
-		fv.VisitArcs(u, func(a graph.Arc) bool {
-			e := fv.Edge(a.Edge)
-			if bound != nil && (du+e.W > maxTotal || du+e.W > ss.boundAdj[a.To]) {
-				return true
+		// Candidate 2: surviving raw edges out of u. The compiled kernel
+		// iterates the flat CSR adjacency with bitset removal tests — same
+		// arcs in the same order as the visitor interface, minus a closure
+		// call per arc; the 2-node component is built only for accepted
+		// offers. With an edge-complete live index installed the whole scan
+		// is skipped: every usable arc's offer was already made (and won or
+		// lost) by its same-cost 1-hop base path in Candidate 1, so the arc
+		// offer can only tie and lose first-offer-wins.
+		if ss.lcShadowsArcs {
+			continue
+		}
+		if ss.hasKern {
+			for _, a := range ss.kern.CSR.Arcs(u) {
+				if !ss.kern.ArcUsable(a) {
+					continue
+				}
+				total := du + a.W
+				if bounded && (total > maxTotal || total > ss.lab[a.To].bnd) {
+					continue
+				}
+				if tc := cu + 1; ss.offer(a.To, total, tc) {
+					ss.commit(u, a.To, total, tc, Component{Kind: KindEdge, Path: graph.Path{
+						Nodes: []graph.NodeID{u, a.To},
+						Edges: []graph.EdgeID{a.Edge},
+					}})
+				}
 			}
-			comp := Component{Kind: KindEdge, Path: graph.Path{
-				Nodes: []graph.NodeID{u, a.To},
-				Edges: []graph.EdgeID{a.Edge},
-			}}
-			ss.relax(u, a.To, e.W, 1, comp)
-			return true
-		})
+		} else {
+			fv.VisitArcs(u, func(a graph.Arc) bool {
+				e := fv.Edge(a.Edge)
+				if bounded && (du+e.W > maxTotal || du+e.W > ss.lab[a.To].bnd) {
+					return true
+				}
+				comp := Component{Kind: KindEdge, Path: graph.Path{
+					Nodes: []graph.NodeID{u, a.To},
+					Edges: []graph.EdgeID{a.Edge},
+				}}
+				ss.relax(u, a.To, e.W, 1, comp)
+				return true
+			})
+		}
 	}
 
 	for i, d := range dsts {
-		if d == s || !fv.NodeUsable(d) || ss.dist[d] < 0 || !ss.settled[d] {
+		if d == s || !fv.NodeUsable(d) {
+			continue
+		}
+		if l := &ss.lab[d]; l.gen != ss.curGen || l.dist < 0 || !l.settled {
 			continue
 		}
 		// Reconstruct components back from d.
 		var rev []Component
-		for at := d; at != s; at = graph.NodeID(ss.prev[at]) {
+		for at := d; at != s; at = graph.NodeID(ss.lab[at].prev) {
 			rev = append(rev, ss.prevComp[at])
 		}
 		dec := Decomposition{Components: make([]Component, len(rev))}
@@ -449,15 +635,64 @@ func (ss *SparseSolver) search(s graph.NodeID, dsts []graph.NodeID, bound []floa
 	return decs, oks
 }
 
+// stamp brings v's scratch entries into the current search generation,
+// resetting them to the untouched state if they carry an older stamp.
+//
+//rbpc:hotpath
+func (ss *SparseSolver) stamp(v graph.NodeID) {
+	l := &ss.lab[v]
+	if l.gen != ss.curGen {
+		l.gen = ss.curGen
+		l.dist = -1 // -1 == infinity marker
+		l.prev = -1
+		l.settled = false
+		l.isTarget = false
+		// l.bnd is deliberately preserved: it is per-search fill state
+		// outside the generation contract.
+	}
+}
+
+// offerLab reports whether a label of (total, tc) improves l — the Dijkstra
+// acceptance test, shared by every candidate scan so the tie-break stays
+// identical across them. A node first touched this search always accepts
+// (its label is infinity), without re-reading the marker it just wrote.
+//
+//rbpc:hotpath
+func offerLab(l *sparseLabel, curGen uint32, total float64, tc int32) bool {
+	if l.gen != curGen {
+		l.gen = curGen
+		l.dist = -1
+		l.prev = -1
+		l.settled = false
+		l.isTarget = false
+		return true
+	}
+	return l.dist < 0 || total < l.dist || (total == l.dist && tc < l.comps)
+}
+
+// offer is offerLab addressed by node ID, for the scans that have not
+// already loaded the label.
+//
+//rbpc:hotpath
+func (ss *SparseSolver) offer(v graph.NodeID, total float64, tc int32) bool {
+	return offerLab(&ss.lab[v], ss.curGen, total, tc)
+}
+
+// commit installs an accepted offer on v and pushes it on the frontier.
+func (ss *SparseSolver) commit(u, v graph.NodeID, total float64, tc int32, comp Component) {
+	l := &ss.lab[v]
+	l.dist = total
+	l.comps = tc
+	l.prev = int32(u)
+	ss.prevComp[v] = comp
+	ss.pq.push(sparseItem{node: v, cost: total, comps: tc})
+}
+
 func (ss *SparseSolver) relax(u, v graph.NodeID, cost float64, nc int32, comp Component) {
-	total := ss.dist[u] + cost
-	tc := ss.comps[u] + nc
-	if ss.dist[v] < 0 || total < ss.dist[v] || (total == ss.dist[v] && tc < ss.comps[v]) {
-		ss.dist[v] = total
-		ss.comps[v] = tc
-		ss.prev[v] = int32(u)
-		ss.prevComp[v] = comp
-		ss.pq.push(sparseItem{node: v, cost: total, comps: tc})
+	total := ss.lab[u].dist + cost
+	tc := ss.lab[u].comps + nc
+	if ss.offer(v, total, tc) {
+		ss.commit(u, v, total, tc, comp)
 	}
 }
 

@@ -107,6 +107,11 @@ type Engine struct {
 	lspOf     map[string]*mpls.LSP
 	pairIndex *graph.PairIndex // failed link -> pairs whose primary crosses it
 	costIndex *paths.CostIndex // cost-sorted candidate order for bounded solves
+	// live is the persistent filtered form of costIndex: per-source column
+	// segments holding only currently-surviving candidates, carried across
+	// epochs and refiltered only for sources the failure delta touched.
+	// Updated once per published transition; read-only during solve fan-out.
+	live      *paths.LiveIndex
 	canonical [][]*Route
 	planCache map[string]*plan
 	prevPlan  *plan
@@ -122,11 +127,15 @@ type Engine struct {
 	onDemand int64
 	inc      incCounters
 
-	events  chan writerMsg
-	queries chan queryReq
-	done    chan struct{}
-	wg      sync.WaitGroup
-	closed  sync.Once
+	events chan writerMsg
+	// queries is sharded one channel per worker so concurrent submitters
+	// never serialize on a single channel lock: each Submit/SubmitBatch
+	// lands on exactly one shard and each worker drains exactly one.
+	queries   []chan queryReq
+	submitSeq atomic.Uint64
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closed    sync.Once
 
 	mQueries    metrics.Counter
 	mUnroutable metrics.Counter
@@ -147,6 +156,9 @@ type writerMsg struct {
 type queryReq struct {
 	src, dst graph.NodeID
 	at       time.Time
+	// batch, when non-nil, carries a whole burst of pairs stamped with one
+	// timestamp and served from one snapshot load; src/dst are unused.
+	batch []rbpc.Pair
 }
 
 // netHandle wraps the epoch's writable network clone for plan resolution.
@@ -172,18 +184,20 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 	}
 
 	n := p.Graph.Order()
+	costIndex := paths.NewCostIndex(p.Base)
 	e := &Engine{
 		g:         p.Graph,
 		base:      p.Base,
 		cfg:       cfg,
 		lspOf:     p.LSPs,
-		costIndex: paths.NewCostIndex(p.Base),
+		costIndex: costIndex,
+		live:      paths.NewLiveIndex(p.Base, costIndex),
 		canonical: make([][]*Route, n),
 		planCache: map[string]*plan{"": emptyPlan},
 		prevPlan:  emptyPlan,
 		downCount: make(map[rbpc.Pair]int),
 		events:    make(chan writerMsg, 256),
-		queries:   make(chan queryReq, cfg.QueueDepth),
+		queries:   make([]chan queryReq, cfg.Workers),
 		done:      make(chan struct{}),
 	}
 
@@ -242,7 +256,14 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 
 	e.wg.Add(1)
 	go e.writer()
+	// Each worker owns one shard; per-shard depth splits QueueDepth so the
+	// configured bound stays the total in-flight budget.
+	depth := cfg.QueueDepth / cfg.Workers
+	if depth < 1 {
+		depth = 1
+	}
 	for w := 0; w < cfg.Workers; w++ {
+		e.queries[w] = make(chan queryReq, depth)
 		e.wg.Add(1)
 		go e.queryWorker(uint64(w))
 	}
@@ -277,14 +298,17 @@ func (e *Engine) Dist(src, dst graph.NodeID) float64 {
 }
 
 // Submit enqueues an async query for the worker pool. It reports false —
-// without blocking — when the queue is full (the open-loop load shed).
+// without blocking — when the target shard is full (the open-loop load
+// shed). Shards are chosen round-robin so steady load spreads across all
+// workers.
 //
 //rbpc:hotpath
 func (e *Engine) Submit(src, dst graph.NodeID) bool {
 	key := uint64(src)*0x9e3779b1 + uint64(dst)
 	e.mSubmitted.Add(key, 1)
+	shard := e.submitSeq.Add(1) % uint64(len(e.queries))
 	select {
-	case e.queries <- queryReq{src: src, dst: dst, at: time.Now()}:
+	case e.queries[shard] <- queryReq{src: src, dst: dst, at: time.Now()}:
 		return true
 	default:
 		e.mDropped.Add(key, 1)
@@ -292,13 +316,41 @@ func (e *Engine) Submit(src, dst graph.NodeID) bool {
 	}
 }
 
+// SubmitBatch enqueues a whole burst of queries with one timestamp and one
+// channel operation; the receiving worker serves the entire burst from a
+// single snapshot load. The engine takes ownership of pairs — the caller
+// must not reuse the slice. Returns the number of queries accepted: the
+// burst is admitted or shed as a unit, so the result is len(pairs) or 0.
+//
+//rbpc:hotpath
+func (e *Engine) SubmitBatch(pairs []rbpc.Pair) int {
+	if len(pairs) == 0 {
+		return 0
+	}
+	key := e.submitSeq.Add(1)
+	e.mSubmitted.Add(key, int64(len(pairs)))
+	shard := key % uint64(len(e.queries))
+	select {
+	case e.queries[shard] <- queryReq{at: time.Now(), batch: pairs}:
+		return len(pairs)
+	default:
+		e.mDropped.Add(key, int64(len(pairs)))
+		return 0
+	}
+}
+
 func (e *Engine) queryWorker(id uint64) {
 	defer e.wg.Done()
+	ch := e.queries[id]
 	for {
 		select {
 		case <-e.done:
 			return
-		case q := <-e.queries:
+		case q := <-ch:
+			if q.batch != nil {
+				e.serveBatch(id, q)
+				continue
+			}
 			res := e.Query(q.src, q.dst)
 			e.mLatency.Record(id, time.Since(q.at))
 			if e.cfg.OnResult != nil {
@@ -306,6 +358,30 @@ func (e *Engine) queryWorker(id uint64) {
 			}
 		}
 	}
+}
+
+// serveBatch answers a submitted burst: one snapshot load and one latency
+// record cover every pair, so the per-query cost is a row lookup plus an
+// amortized share of the channel and clock overhead. (Not hotpath-annotated:
+// the optional OnResult callback is a dynamic call the checker cannot
+// verify; the per-candidate work is all in annotated callees.)
+func (e *Engine) serveBatch(id uint64, q queryReq) {
+	s := e.snap.Load()
+	var unroutable int64
+	for _, pr := range q.batch {
+		r := s.rows[pr.Src][pr.Dst]
+		if r == nil && pr.Src != pr.Dst {
+			unroutable++
+		}
+		if e.cfg.OnResult != nil {
+			e.cfg.OnResult(Result{Src: pr.Src, Dst: pr.Dst, Route: r, Snap: s})
+		}
+	}
+	e.mQueries.Add(id, int64(len(q.batch)))
+	if unroutable != 0 {
+		e.mUnroutable.Add(id, unroutable)
+	}
+	e.mLatency.RecordN(id, time.Since(q.at), int64(len(q.batch)))
 }
 
 // Fail injects a link failure. The epoch including it is published
@@ -352,6 +428,16 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
+// queueLen sums the in-flight queue entries across all worker shards.
+// Batched entries count once — it measures backlog pressure, not queries.
+func (e *Engine) queueLen() int {
+	n := 0
+	for _, ch := range e.queries {
+		n += len(ch)
+	}
+	return n
+}
+
 // Stats scrapes the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := e.snap.Load()
@@ -362,7 +448,7 @@ func (e *Engine) Stats() Stats {
 		Unroutable:    e.mUnroutable.Load(),
 		Submitted:     e.mSubmitted.Load(),
 		Dropped:       e.mDropped.Load(),
-		QueueDepth:    len(e.queries),
+		QueueDepth:    e.queueLen(),
 		Epochs:        e.mEpochs.Load(),
 		PlanCacheHits: e.mCacheHits.Load(),
 		PlanCacheMiss: e.mCacheMiss.Load(),
@@ -516,6 +602,12 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	e.inc.entering.Add(int64(len(entering)))
 	e.inc.leaving.Add(int64(len(leaving)))
 
+	// Carry the persistent live candidate index across the transition. Like
+	// the downCount bookkeeping above, this runs on every published epoch —
+	// cache hits and fault paths included — so the index always mirrors the
+	// serving snapshot's failed-set when the next solve fan-out reads it.
+	e.live.Update(newlyDown, repairedIDs)
+
 	// The net lineage is linear: always clone the latest snapshot's net,
 	// so ILM rows of LSPs signaled on demand in any earlier epoch persist
 	// (cached plans rely on this).
@@ -556,9 +648,14 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 		if p, ok := e.lookupPlan(key); ok {
 			pl, hit = p, true
 		} else {
-			pl, changed = e.incrementalPlan(key, fv, oracle, newlyDown, entering, leaving, repaired, nh)
+			var aliased bool
+			pl, changed, aliased = e.incrementalPlan(key, fv, oracle, newlyDown, entering, leaving, repaired, nh)
 			e.storePlan(pl)
 			delta = true
+			// A repair-only burst canonicalized to the previous plan counts
+			// as a cache hit: the lookup was answered from existing state
+			// with no solve.
+			hit = aliased
 		}
 	}
 	if hit {
@@ -575,40 +672,78 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 		// (copy-on-write), rewriting only the pairs whose route changed —
 		// recomputed plan entries and pairs leaving the plan. Reused plan
 		// entries are already in the previous rows by construction.
+		//
+		// The rewrite fans out by source, lock-free: changed is
+		// (src, dst)-sorted, so contiguous spans partition it by source,
+		// and a worker owning a span writes only rows[src] (one disjoint
+		// top-level slot) and router src's FEC table (router-granular
+		// copy-on-write; counters are atomic). The WaitGroup below is the
+		// single publication barrier — every slot write happens before the
+		// snapshot pointer store, and no reader sees a partial epoch
+		// because readers only ever traverse the published pointer.
 		rows = make([][]*Route, len(prev.rows))
 		copy(rows, prev.rows)
-		touched := make(map[graph.NodeID][]*Route)
-		row := func(src graph.NodeID) []*Route {
-			r, ok := touched[src]
-			if !ok {
-				r = make([]*Route, len(prev.rows[src]))
-				copy(r, prev.rows[src])
-				touched[src] = r
-				rows[src] = r
-			}
-			return r
+		type srcSpan struct {
+			src    graph.NodeID
+			lo, hi int
 		}
-		for _, pr := range changed {
-			if rt, covered := pl.routes[pr]; covered {
-				row(pr.Src)[pr.Dst] = rt
-			} else {
-				row(pr.Src)[pr.Dst] = e.canonical[pr.Src][pr.Dst]
+		var spans []srcSpan
+		for lo := 0; lo < len(changed); {
+			hi := lo + 1
+			for hi < len(changed) && changed[hi].Src == changed[lo].Src {
+				hi++
+			}
+			spans = append(spans, srcSpan{src: changed[lo].Src, lo: lo, hi: hi})
+			lo = hi
+		}
+		applySpan := func(sp srcSpan) {
+			row := make([]*Route, len(prev.rows[sp.src]))
+			copy(row, prev.rows[sp.src])
+			for _, pr := range changed[sp.lo:sp.hi] {
+				if rt, covered := pl.routes[pr]; covered {
+					row[pr.Dst] = rt
+				} else {
+					row[pr.Dst] = e.canonical[pr.Src][pr.Dst]
+				}
+			}
+			rows[sp.src] = row
+			// Forwarding plane: only changed pairs need their FEC
+			// rewritten; reused routes kept their entries in the cloned net.
+			for _, pr := range changed[sp.lo:sp.hi] {
+				if _, covered := pl.routes[pr]; !covered && e.cfg.Fault == FaultSkipFECRewrite {
+					continue // injected defect: leaving pairs keep stale labels
+				}
+				if rt := row[pr.Dst]; rt == nil {
+					net.ClearFEC(pr.Src, pr.Dst)
+				} else {
+					net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{Stack: rt.Stack, OutEdge: mpls.LocalProcess})
+				}
 			}
 		}
-		// Forwarding plane: only changed pairs need their FEC rewritten;
-		// reused routes kept their entries in the cloned net.
-		for _, pr := range changed {
-			if _, covered := pl.routes[pr]; !covered && e.cfg.Fault == FaultSkipFECRewrite {
-				continue // injected defect: leaving pairs keep stale labels
+		if workers := min(e.cfg.BuildWorkers, len(spans)); workers > 1 {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(spans) {
+							return
+						}
+						applySpan(spans[i])
+					}
+				}()
 			}
-			if rt := rows[pr.Src][pr.Dst]; rt == nil {
-				net.ClearFEC(pr.Src, pr.Dst)
-			} else {
-				net.SetFEC(pr.Src, pr.Dst, mpls.FECEntry{Stack: rt.Stack, OutEdge: mpls.LocalProcess})
+			wg.Wait() // publication barrier: all slot writes precede the snap.Store below
+		} else {
+			for _, sp := range spans {
+				applySpan(sp)
 			}
 		}
-		for s := range touched {
-			warmSrcs = append(warmSrcs, s)
+		for _, sp := range spans {
+			warmSrcs = append(warmSrcs, sp.src)
 		}
 	} else {
 		// Full apply (cache hits, reference mode, fault paths): fresh

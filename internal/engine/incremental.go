@@ -105,6 +105,46 @@ func routeUses(rt *Route, down map[graph.EdgeID]bool) bool {
 	return false
 }
 
+// revBound assembles the reverse-distance row for one source's batched
+// solve: rev[v] = min over the source's live destinations d (d ≠ s,
+// reachable per bound) of the post-failure distance from v to d. The
+// graph is undirected, so that distance is Tree(d).Dist(v), and the
+// destination trees are memoized in the epoch oracle alongside the source
+// trees (destinations recur across sources, and repair pricing roots
+// trees at edge endpoints anyway). A single live destination aliases its
+// tree's distance row outright — no copy; several min-combine into the
+// worker-owned scratch. Returns nil when no destination needs a search.
+func revBound(oracle *spath.Oracle, s graph.NodeID, dsts []graph.NodeID, bound []float64, scratch *[]float64) []float64 {
+	var rev []float64
+	owned := false // rev points into the scratch, safe to mutate
+	for _, d := range dsts {
+		if d == s || bound[d] >= spath.Unreachable {
+			continue
+		}
+		td := oracle.Tree(d).Dists()
+		if rev == nil {
+			rev = td
+			continue
+		}
+		if !owned {
+			// Second live destination: move the aliased first row into
+			// the scratch before combining.
+			if len(*scratch) < len(rev) {
+				*scratch = make([]float64, len(rev))
+			}
+			copy((*scratch)[:len(rev)], rev)
+			rev = (*scratch)[:len(rev)]
+			owned = true
+		}
+		for v, dv := range td[:len(rev)] {
+			if dv < rev[v] {
+				rev[v] = dv
+			}
+		}
+	}
+	return rev
+}
+
 // repairImproves reports whether some repaired edge could hand pr a
 // restoration route at least as good as rt (or, for an unroutable pair,
 // any route at all). The bound d(s,x)+w+d(y,t) over both orientations of
@@ -149,6 +189,10 @@ func (e *Engine) ensureSolvers(n int, fv *graph.FailureView) {
 	for len(e.solvers) < n {
 		s := core.NewSparseSolver(e.base, fv)
 		s.SetCostIndex(e.costIndex)
+		// The writer keeps e.live in sync with every published failed-set,
+		// so pooled solvers can skip the per-epoch dead-mask rebuild and the
+		// per-candidate liveness test entirely.
+		s.SetLiveIndex(e.live)
 		e.solvers = append(e.solvers, s)
 	}
 	for _, s := range e.solvers[:n] {
@@ -176,7 +220,13 @@ func (e *Engine) ensureSolvers(n int, fv *graph.FailureView) {
 // pre-sized slots — no locks on the assembly path. It returns the plan and
 // the changed pairs (re-solved ∪ leaving), which is exactly the set whose
 // rows and FEC entries the caller must rewrite.
-func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spath.Oracle, newlyDown []graph.EdgeID, entering, leaving []rbpc.Pair, repaired []graph.Edge, nh *netHandle) (*plan, []rbpc.Pair) {
+//
+// A repair-only burst that classification proves changes nothing — no pair
+// entering, leaving, stale, or repair-improvable — canonicalizes to the
+// previous plan verbatim: the new plan is the previous routes map aliased
+// under the new failed-set key, reported as aliased=true so the caller can
+// account it a plan-cache hit (the lookup was satisfied without a solve).
+func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spath.Oracle, newlyDown []graph.EdgeID, entering, leaving []rbpc.Pair, repaired []graph.Edge, nh *netHandle) (_ *plan, changedPairs []rbpc.Pair, aliased bool) {
 	t0 := time.Now()
 	downNew := make(map[graph.EdgeID]bool, len(newlyDown))
 	for _, ed := range newlyDown {
@@ -208,6 +258,27 @@ func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spat
 	e.inc.pairsReused.Add(int64(reused))
 	e.inc.pairsRecomputed.Add(int64(len(recompute)))
 	e.inc.affectedNs.Add(time.Since(t0).Nanoseconds())
+
+	// Repair-only burst with nothing to re-solve: the new plan is derived
+	// entirely from cached state — surviving entries reused verbatim,
+	// leaving pairs dropped to canonical — and no solver runs, so the
+	// lookup is accounted a plan-cache hit (the canonical failed-set key
+	// was answered without a solve). When nothing left the plan either,
+	// the previous routes map itself is aliased under the new key instead
+	// of keeping the copy.
+	if len(newlyDown) == 0 && len(entering) == 0 && len(recompute) == 0 {
+		if len(leaving) == 0 {
+			return &plan{key: key, routes: e.prevPlan.routes}, nil, true
+		}
+		changed := append([]rbpc.Pair(nil), leaving...)
+		sort.Slice(changed, func(i, j int) bool {
+			if changed[i].Src != changed[j].Src {
+				return changed[i].Src < changed[j].Src
+			}
+			return changed[i].Dst < changed[j].Dst
+		})
+		return &plan{key: key, routes: routes}, changed, true
+	}
 
 	if len(recompute) > 0 {
 		t1 := time.Now()
@@ -244,6 +315,7 @@ func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spat
 			wg.Add(1)
 			go func(solver *core.SparseSolver) {
 				defer wg.Done()
+				var revScratch []float64
 				for {
 					i := int(cursor.Add(1)) - 1
 					if i >= len(srcs) {
@@ -253,8 +325,20 @@ func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spat
 					// The oracle tree is the true post-failure distance
 					// row from s; it bounds the decomposition search and
 					// skips provably unreachable destinations outright.
+					// The targets' own trees (memoized in the same epoch
+					// oracle, shared across sources) give the reverse
+					// distances that confine the search to the
+					// optimal-path ellipse instead of the whole forward
+					// ball of the farthest target.
 					bound := oracle.Tree(s).Dists()
-					decs, oks := solver.FromBounded(s, bySrc[s], bound, spath.Unreachable)
+					rev := revBound(oracle, s, bySrc[s], bound, &revScratch)
+					var decs []core.Decomposition
+					var oks []bool
+					if rev != nil {
+						decs, oks = solver.FromBoundedEllipse(s, bySrc[s], bound, rev, spath.Unreachable)
+					} else {
+						decs, oks = solver.FromBounded(s, bySrc[s], bound, spath.Unreachable)
+					}
 					out[i] = srcDecs{decs, oks}
 				}
 			}(e.solvers[w])
@@ -294,5 +378,5 @@ func (e *Engine) incrementalPlan(key string, fv *graph.FailureView, oracle *spat
 		}
 		return changed[i].Dst < changed[j].Dst
 	})
-	return &plan{key: key, routes: routes}, changed
+	return &plan{key: key, routes: routes}, changed, false
 }

@@ -84,9 +84,21 @@ func (h *Histogram) Record(key uint64, d time.Duration) {
 	h.buckets[bucketOf(d)].Add(key, 1)
 }
 
-// Summary is a scrape-time digest of a Histogram. Quantile values are the
-// upper bound of the bucket containing the quantile, so they overestimate
-// by at most 2x (one power-of-two bucket).
+// RecordN adds n observations of the same duration with a single bucket
+// increment — the batched-query path records one amortized latency for a
+// whole burst without paying one atomic per query.
+//
+//rbpc:hotpath
+func (h *Histogram) RecordN(key uint64, d time.Duration, n int64) {
+	h.buckets[bucketOf(d)].Add(key, n)
+}
+
+// Summary is a scrape-time digest of a Histogram. Quantile values are
+// interpolated within the containing power-of-two bucket (each of the
+// bucket's observations gets an equal slice, and the ranked observation
+// is placed at its slice midpoint), so reported percentiles move smoothly
+// with the data instead of snapping to bucket bounds. Max remains the
+// upper bound of the highest non-empty bucket.
 type Summary struct {
 	Count int64
 	P50   time.Duration
@@ -101,6 +113,15 @@ func upperBound(i int) time.Duration {
 		return time.Duration(1<<63 - 1)
 	}
 	return time.Duration(uint64(1) << uint(i))
+}
+
+// lowerBound returns the bottom of bucket i in nanoseconds (bucket 0
+// starts at zero).
+func lowerBound(i int) time.Duration {
+	if i == 0 {
+		return 0
+	}
+	return time.Duration(uint64(1) << uint(i-1))
 }
 
 // Summarize digests the histogram's current contents. Concurrent Records
@@ -132,10 +153,18 @@ func quantile(counts []int64, total int64, q float64) time.Duration {
 	}
 	var seen int64
 	for i, c := range counts {
-		seen += c
-		if seen > rank {
-			return upperBound(i)
+		if seen+c > rank {
+			// The ranked observation is the (rank-seen)'th of this
+			// bucket's c observations. Give each an equal slice of the
+			// bucket's span and report the slice midpoint — a one-bucket
+			// histogram then reports its center instead of its top, and
+			// quantiles move with the within-bucket population rather
+			// than snapping to power-of-two bounds.
+			lo, hi := float64(lowerBound(i)), float64(upperBound(i))
+			frac := (float64(rank-seen) + 0.5) / float64(c)
+			return time.Duration(lo + (hi-lo)*frac)
 		}
+		seen += c
 	}
 	return upperBound(len(counts) - 1)
 }

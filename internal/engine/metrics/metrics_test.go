@@ -62,12 +62,14 @@ func TestHistogramSummary(t *testing.T) {
 	if s.Count != 111 {
 		t.Fatalf("Count = %d, want 111", s.Count)
 	}
-	// Bucket upper bounds overestimate by at most 2x.
-	if s.P50 < time.Microsecond || s.P50 > 2*time.Microsecond {
-		t.Errorf("P50 = %v, want ~1µs", s.P50)
+	// Interpolated quantiles land inside the power-of-two bucket containing
+	// the ranked observation, so they are within 2x of the true value on
+	// either side.
+	if s.P50 < time.Microsecond/2 || s.P50 > 2*time.Microsecond {
+		t.Errorf("P50 = %v, want within 2x of 1µs", s.P50)
 	}
-	if s.P99 < time.Millisecond || s.P99 > 2*time.Millisecond {
-		t.Errorf("P99 = %v, want ~1ms", s.P99)
+	if s.P99 < time.Millisecond/2 || s.P99 > 2*time.Millisecond {
+		t.Errorf("P99 = %v, want within 2x of 1ms", s.P99)
 	}
 	if s.Max < time.Second || s.Max > 2*time.Second {
 		t.Errorf("Max = %v, want ~1s", s.Max)

@@ -13,8 +13,8 @@ import "slices"
 //
 // Semantics:
 //
-//   - ILM and FEC maps are shared until written; the first write to a
-//     router's table (on either lineage) copies that table.
+//   - ILM maps and FEC slices are shared until written; the first write to
+//     a router's table (on either lineage) copies that table.
 //   - The LSP registry is likewise shared until written. *LSP values
 //     themselves are immutable after establishment and stay shared.
 //   - Link up/down state, label allocators, and statistics are copied
@@ -42,6 +42,7 @@ func (n *Network) Clone() *Network {
 			ID:        r.ID,
 			ilm:       r.ilm,
 			fec:       r.fec,
+			fecCount:  r.fecCount,
 			sharedILM: true,
 			sharedFEC: true,
 			nextLabel: r.nextLabel,

@@ -175,8 +175,9 @@ func imageOf(n *Network) tableImage {
 		for l, e := range r.ilm {
 			img.ilm[i][l] = ILMEntry{Out: append([]Label(nil), e.Out...), OutEdge: e.OutEdge, LSP: e.LSP}
 		}
-		img.fec[i] = make(map[graph.NodeID]FECEntry, len(r.fec))
-		for d, e := range r.fec {
+		img.fec[i] = make(map[graph.NodeID]FECEntry, r.fecCount)
+		for _, d := range r.FECDests() {
+			e, _ := r.FECEntryFor(d)
 			img.fec[i][d] = FECEntry{Stack: append([]Label(nil), e.Stack...), OutEdge: e.OutEdge}
 		}
 	}

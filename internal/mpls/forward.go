@@ -54,7 +54,7 @@ func (p *Packet) Top() (Label, bool) {
 // consults its FEC table, pushes the configured stack and forwards. This
 // is how traffic enters the MPLS cloud.
 func (n *Network) SendIP(src, dst graph.NodeID) (*Packet, error) {
-	fe, ok := n.routers[src].fec[dst]
+	fe, ok := n.routers[src].FECEntryFor(dst)
 	if !ok {
 		return nil, fmt.Errorf("router %d, dst %d: %w", src, dst, ErrNoRoute)
 	}

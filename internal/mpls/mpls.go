@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"maps"
+	"slices"
 	"sync/atomic"
 
 	"rbpc/internal/graph"
@@ -66,10 +67,20 @@ type Router struct {
 	ID graph.NodeID
 
 	ilm map[Label]ILMEntry
-	fec map[graph.NodeID]FECEntry
+	// fec is the dense FEC table, indexed by destination node ID (the FEC
+	// key domain is exactly the node space); nil marks an absent row. A
+	// flat slice of pointers instead of a map makes the copy-on-write
+	// un-share after a Clone one pointer-array memmove instead of a rehash
+	// of every row, and keeping 8-byte slots (the entries themselves are
+	// immutable once installed and stay shared across lineages) keeps that
+	// memmove small — the difference between an epoch assembly that
+	// touches hundreds of routers paying microseconds versus milliseconds
+	// per router. The slice grows on demand when the topology gains nodes.
+	fec      []*FECEntry
+	fecCount int
 
-	// sharedILM/sharedFEC mark the maps as shared with a Clone of the
-	// network: the next write copies the map first (copy-on-write at
+	// sharedILM/sharedFEC mark the tables as shared with a Clone of the
+	// network: the next write copies the table first (copy-on-write at
 	// router granularity), so the other lineage keeps its view.
 	sharedILM bool
 	sharedFEC bool
@@ -78,11 +89,11 @@ type Router struct {
 	freeList  []Label
 }
 
-func newRouter(id graph.NodeID) *Router {
+func newRouter(id graph.NodeID, order int) *Router {
 	return &Router{
 		ID:        id,
 		ilm:       make(map[Label]ILMEntry),
-		fec:       make(map[graph.NodeID]FECEntry),
+		fec:       make([]*FECEntry, order),
 		nextLabel: 16, // labels 0-15 are reserved in real MPLS
 	}
 }
@@ -114,11 +125,15 @@ func (r *Router) writableILM() map[Label]ILMEntry {
 	return r.ilm
 }
 
-// writableFEC is writableILM for the FEC table.
-func (r *Router) writableFEC() map[graph.NodeID]FECEntry {
+// writableFEC un-shares the FEC table if a Clone holds a reference and
+// ensures it spans at least dst+1 slots. All FEC writes must go through it.
+func (r *Router) writableFEC(dst graph.NodeID) []*FECEntry {
 	if r.sharedFEC {
-		r.fec = maps.Clone(r.fec)
+		r.fec = slices.Clone(r.fec)
 		r.sharedFEC = false
+	}
+	if int(dst) >= len(r.fec) {
+		r.fec = append(r.fec, make([]*FECEntry, int(dst)+1-len(r.fec))...)
 	}
 	return r.fec
 }
@@ -141,21 +156,25 @@ func (r *Router) ILMEntryFor(l Label) (ILMEntry, bool) {
 //
 //rbpc:hotpath
 func (r *Router) FECEntryFor(dst graph.NodeID) (FECEntry, bool) {
-	e, ok := r.fec[dst]
-	return e, ok
+	if int(dst) >= len(r.fec) || r.fec[dst] == nil {
+		return FECEntry{}, false
+	}
+	return *r.fec[dst], true
 }
 
-// FECSize returns the number of FEC rows.
+// FECSize returns the number of installed FEC rows.
 //
 //rbpc:hotpath
-func (r *Router) FECSize() int { return len(r.fec) }
+func (r *Router) FECSize() int { return r.fecCount }
 
 // FECDests returns the destinations the router has FEC rows for, in
-// unspecified order.
+// ascending order.
 func (r *Router) FECDests() []graph.NodeID {
-	out := make([]graph.NodeID, 0, len(r.fec))
-	for d := range r.fec {
-		out = append(out, d)
+	out := make([]graph.NodeID, 0, r.fecCount)
+	for d, p := range r.fec {
+		if p != nil {
+			out = append(out, graph.NodeID(d))
+		}
 	}
 	return out
 }
@@ -234,7 +253,7 @@ func NewNetwork(g *graph.Graph) *Network {
 		nextLSP: 1,
 	}
 	for i := range n.routers {
-		n.routers[i] = newRouter(graph.NodeID(i))
+		n.routers[i] = newRouter(graph.NodeID(i), g.Order())
 	}
 	for i := range n.edgeUp {
 		n.edgeUp[i] = true
@@ -288,17 +307,26 @@ func (n *Network) RepairEdge(e graph.EdgeID) { n.edgeUp[e] = true }
 // SetFEC installs (or replaces) the FEC row for dst at router id. This is
 // the entirety of source-router RBPC's data-plane action.
 func (n *Network) SetFEC(id, dst graph.NodeID, e FECEntry) {
-	n.routers[id].writableFEC()[dst] = e
+	r := n.routers[id]
+	slots := r.writableFEC(dst)
+	if slots[dst] == nil {
+		r.fecCount++
+	}
+	slots[dst] = &e
 	n.stats.fecUpdates.Add(1)
 }
 
 // ClearFEC removes the FEC row for dst at router id, if any; subsequent
 // traffic for dst entering at id is dropped (no route).
 func (n *Network) ClearFEC(id, dst graph.NodeID) {
-	if _, ok := n.routers[id].fec[dst]; ok {
-		delete(n.routers[id].writableFEC(), dst)
-		n.stats.fecUpdates.Add(1)
+	r := n.routers[id]
+	if int(dst) >= len(r.fec) || r.fec[dst] == nil {
+		return
 	}
+	slots := r.writableFEC(dst)
+	slots[dst] = nil
+	r.fecCount--
+	n.stats.fecUpdates.Add(1)
 }
 
 // ReplaceILM replaces the ILM row for label l at router id — local RBPC's

@@ -170,6 +170,44 @@ func (b *Explicit) AllBetween(s, d graph.NodeID) []graph.Path {
 	return out
 }
 
+// IndicesThroughEdge returns the set positions (see SourcePath.Index) of
+// the stored paths traversing e. Shared index state — callers must not
+// modify the slice.
+//
+//rbpc:hotpath
+func (b *Explicit) IndicesThroughEdge(e graph.EdgeID) []int { return b.byEdge[e] }
+
+// SourceOf returns the source node of the stored path at position idx.
+func (b *Explicit) SourceOf(idx int) graph.NodeID { return b.paths[idx].Src() }
+
+// EdgeComplete reports whether the set contains the 1-hop path over every
+// usable arc of its view (both orientations of every link, as the EdgeLSPs
+// provisioning policy installs). When it holds, a decomposer scanning base
+// candidates cheapest-first never needs a separate raw-edge scan: each
+// usable arc's offer is preceded by a same-cost 1-hop base-path offer to
+// the same node, so the arc's offer always loses the first-offer-wins
+// tie-break and can be skipped without touching any label or tie-break.
+func (b *Explicit) EdgeComplete() bool {
+	n := b.view.Order()
+	for u := 0; u < n; u++ {
+		src := graph.NodeID(u)
+		complete := true
+		b.view.VisitArcs(src, func(a graph.Arc) bool {
+			for _, idx := range b.byPairAll[pairKey{src, a.To}] {
+				if e := b.paths[idx].Edges; len(e) == 1 && e[0] == a.Edge {
+					return true
+				}
+			}
+			complete = false
+			return false
+		})
+		if !complete {
+			return false
+		}
+	}
+	return true
+}
+
 // ThroughEdge returns the base paths traversing edge e.
 func (b *Explicit) ThroughEdge(e graph.EdgeID) []graph.Path {
 	idxs := b.byEdge[e]

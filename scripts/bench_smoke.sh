@@ -1,11 +1,20 @@
 #!/bin/sh
 # Bench smoke: exercise the serving benchmark and the incremental
 # epoch-builder churn benchmark at reduced scale, on GOMAXPROCS 1 and 4,
-# so both the single-core and the parallel writer pipeline get covered.
+# plus a multi-core serving stage at GOMAXPROCS 8 — the batched-submit
+# path only shows its contention behaviour with more workers than cores
+# stay quiet on.
 #
-# Timings are reported, never gated — machines differ. The job fails only
-# on build errors or on correctness signals: rbpc-serve -strict exits
-# non-zero if any query was dropped or answered unroutable.
+# Timings are reported, never gated across machines — machines differ.
+# Two things fail the job beyond build errors:
+#   - correctness signals: rbpc-serve -strict exits non-zero if any query
+#     was dropped or answered unroutable;
+#   - the same-machine regression gate: the churn benchmark runs twice
+#     back to back and -compare-fail-pct hard-fails if stage_solve,
+#     stage_assemble, or epoch_build_p99 regressed by more than 100%
+#     between the two runs. Back-to-back runs on one machine sit well
+#     inside that band, so a trip means a real (order-of-magnitude
+#     category) regression or a nondeterministic slow path.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -26,6 +35,23 @@ for procs in 1 4; do
     GOMAXPROCS=$procs go run ./cmd/rbpc-bench \
         -engine -engine-scale 0.02 -engine-steps 12 -bench-dir "$out"
 done
+
+echo
+echo "== GOMAXPROCS=8: rbpc-serve, multi-core batched submit, strict =="
+GOMAXPROCS=8 go run ./cmd/rbpc-serve \
+    -topology as -scale 0.02 -qps 40000 -duration 2s \
+    -strict -bench-dir "$out"
+
+echo
+echo "== regression gate: same-machine churn double-run, -compare-fail-pct 100 =="
+baseline="$out/baseline"
+mkdir -p "$baseline"
+cp "$out/BENCH_engine_churn.json" "$baseline/BENCH_engine_churn.json"
+GOMAXPROCS=4 go run ./cmd/rbpc-bench \
+    -engine -engine-scale 0.02 -engine-steps 12 -bench-dir "$out"
+go run ./cmd/rbpc-bench \
+    -compare "$baseline/BENCH_engine_churn.json" -bench-dir "$out" \
+    -compare-fail-pct 100
 
 echo
 echo "bench smoke OK"
