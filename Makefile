@@ -41,9 +41,10 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkSSSPKernel -benchmem ./internal/spath/
 
 # Serving benchmark: the online engine under open-loop load with failure
-# churn; writes BENCH_engine.json into the repo root.
+# churn, sharded across 4 pair-space shards with a shard-count sweep;
+# writes BENCH_engine.json into the repo root.
 serve-bench:
-	$(GO) run ./cmd/rbpc-serve -topology as -scale 0.1 -qps 165000 -duration 3s -bench-dir .
+	$(GO) run ./cmd/rbpc-serve -topology as -scale 0.1 -qps 165000 -duration 3s -shards 4 -shard-sweep 1,2,4 -bench-dir .
 
 # Reduced-scale benchmark smoke for CI: rbpc-serve (strict: any dropped or
 # unroutable query fails) and rbpc-bench -engine on GOMAXPROCS 1 and 4, a

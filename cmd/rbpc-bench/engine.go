@@ -13,7 +13,9 @@ import (
 
 	"rbpc/internal/engine"
 	"rbpc/internal/failure"
+	"rbpc/internal/graph"
 	"rbpc/internal/rbpc"
+	"rbpc/internal/shard"
 	"rbpc/internal/topology"
 )
 
@@ -39,6 +41,13 @@ type engineChurnRecord struct {
 	BuildP99Secs float64 `json:"epoch_build_p99_seconds"`
 	CacheHitRate float64 `json:"plan_cache_hit_rate"`
 
+	// Sharding telemetry: shard count (1 = single engine), provisioned
+	// hot sources (0 = all), and resident vs dense routing-matrix bytes.
+	Shards        int   `json:"shards"`
+	HotSources    int   `json:"hot_sources"`
+	PlanRowBytes  int64 `json:"plan_row_bytes"`
+	DenseRowBytes int64 `json:"dense_row_bytes"`
+
 	RowsReused       int64   `json:"rows_reused"`
 	RowsRecomputed   int64   `json:"rows_recomputed"`
 	AffectedEntering int64   `json:"affected_entering"`
@@ -54,6 +63,9 @@ type engineChurnRecord struct {
 	// Sweep holds one entry per -engine-sweep GOMAXPROCS value, each a
 	// fresh engine driven through the identical schedule.
 	Sweep []engineSweepEntry `json:"gomaxprocs_sweep,omitempty"`
+	// ShardSweep holds one entry per -engine-shard-sweep shard count,
+	// each a fresh coordinator driven through the identical schedule.
+	ShardSweep []engineShardSweepEntry `json:"shard_sweep,omitempty"`
 }
 
 // engineSweepEntry is one GOMAXPROCS point of the churn sweep.
@@ -64,6 +76,15 @@ type engineSweepEntry struct {
 	BuildP99Secs     float64 `json:"epoch_build_p99_seconds"`
 	StageSolveSec    float64 `json:"stage_solve_seconds"`
 	StageAssembleSec float64 `json:"stage_assemble_seconds"`
+}
+
+// engineShardSweepEntry is one shard-count point of the churn sweep.
+type engineShardSweepEntry struct {
+	Shards       int     `json:"shards"`
+	Seconds      float64 `json:"seconds"`
+	BuildP50Secs float64 `json:"epoch_build_p50_seconds"`
+	BuildP99Secs float64 `json:"epoch_build_p99_seconds"`
+	PlanRowBytes int64   `json:"plan_row_bytes"`
 }
 
 // parseProcsList parses a comma-separated GOMAXPROCS list ("1,2,4,8").
@@ -83,14 +104,38 @@ func parseProcsList(s string) ([]int, error) {
 	return procs, nil
 }
 
-// churnOnce drives a fresh engine over the event schedule synchronously and
-// returns the wall time of the flushed loop plus the engine's final stats.
-func churnOnce(sys *rbpc.System, events []failure.Event) (time.Duration, engine.Stats, error) {
-	eng, err := engine.New(sys.Export(), engine.Config{})
-	if err != nil {
-		return 0, engine.Stats{}, fmt.Errorf("engine: %w", err)
+// churnOnce drives a fresh engine — or, when shards > 0, a fresh
+// multi-shard coordinator — over the event schedule synchronously and
+// returns the wall time of the flushed loop plus the final merged stats
+// (a single engine's stats are lifted into the merged shape).
+func churnOnce(sys *rbpc.System, events []failure.Event, shards int) (time.Duration, shard.Stats, error) {
+	var fail, repair func(graph.EdgeID)
+	var flush func()
+	var scrape func() shard.Stats
+	if shards > 0 {
+		c, err := shard.New(sys.Export(), shard.Config{Shards: shards})
+		if err != nil {
+			return 0, shard.Stats{}, fmt.Errorf("shard coordinator: %w", err)
+		}
+		defer c.Close()
+		fail, repair, flush, scrape = c.Fail, c.Repair, c.Flush, c.Stats
+	} else {
+		eng, err := engine.New(sys.Export(), engine.Config{})
+		if err != nil {
+			return 0, shard.Stats{}, fmt.Errorf("engine: %w", err)
+		}
+		defer eng.Close()
+		fail, repair, flush = eng.Fail, eng.Repair, eng.Flush
+		scrape = func() shard.Stats {
+			st := eng.Stats()
+			return shard.Stats{
+				Shards: 1, Epoch: st.Epoch, Epochs: st.Epochs,
+				PlanCacheHits: st.PlanCacheHits, PlanCacheMiss: st.PlanCacheMiss,
+				RowBytes: st.RowBytes, DenseRowBytes: st.DenseRowBytes,
+				EpochBuild: st.EpochBuild, Incremental: st.Incremental,
+			}
+		}
 	}
-	defer eng.Close()
 	// Retire setup garbage before the clock starts: marking the
 	// few-hundred-MB provisioned heap takes on the order of a second at one
 	// P, and letting that cycle land mid-loop would charge setup's GC debt
@@ -99,34 +144,44 @@ func churnOnce(sys *rbpc.System, events []failure.Event) (time.Duration, engine.
 	start := time.Now()
 	for _, ev := range events {
 		if ev.Repair {
-			eng.Repair(ev.Edge)
+			repair(ev.Edge)
 		} else {
-			eng.Fail(ev.Edge)
+			fail(ev.Edge)
 		}
-		eng.Flush()
+		flush()
 	}
 	elapsed := time.Since(start)
-	return elapsed, eng.Stats(), nil
+	return elapsed, scrape(), nil
 }
 
 // runEngineChurn provisions the AS stand-in at the given scale, drives the
 // online engine through a seeded churn schedule synchronously (fail/repair
 // + flush per event), and reports where the epoch-build time went. It
 // returns an error instead of exiting so -compare can still run.
-func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, full bool, sweep []int) error {
+func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, full bool, sweep []int, shards, hotSources int, shardSweep []int) error {
 	g := topology.PaperAS(seed, scale)
 	fmt.Fprintf(out, "engine churn: AS stand-in, %d nodes, %d links, %d events (max %d down)\n",
 		g.Order(), g.Size(), steps, maxDown)
 
+	rcfg := rbpc.Config{EdgeLSPs: true}
+	if hotSources > 0 && hotSources < g.Order() {
+		srcs := make([]graph.NodeID, hotSources)
+		for i := range srcs {
+			srcs[i] = graph.NodeID(i)
+		}
+		rcfg.Sources = srcs
+		fmt.Fprintf(out, "hot set: %d of %d sources\n", hotSources, g.Order())
+	}
+
 	t := time.Now()
-	sys, err := rbpc.NewSystem(g, rbpc.Config{EdgeLSPs: true})
+	sys, err := rbpc.NewSystem(g, rcfg)
 	if err != nil {
 		return fmt.Errorf("provision: %w", err)
 	}
 	fmt.Fprintf(out, "provisioned in %v\n", time.Since(t).Round(time.Millisecond))
 
 	events := failure.ChurnSchedule(g, steps, maxDown, rand.New(rand.NewSource(seed)))
-	elapsed, st, err := churnOnce(sys, events)
+	elapsed, st, err := churnOnce(sys, events, shards)
 	if err != nil {
 		return err
 	}
@@ -138,7 +193,7 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		ambient := runtime.GOMAXPROCS(0)
 		for _, procs := range sweep {
 			runtime.GOMAXPROCS(procs)
-			sElapsed, sSt, err := churnOnce(sys, events)
+			sElapsed, sSt, err := churnOnce(sys, events, shards)
 			if err != nil {
 				runtime.GOMAXPROCS(ambient)
 				return err
@@ -158,6 +213,25 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		}
 		runtime.GOMAXPROCS(ambient)
 	}
+
+	// Shard-count sweep: the identical schedule on a fresh coordinator
+	// per shard count.
+	var shardSweepRecs []engineShardSweepEntry
+	for _, count := range shardSweep {
+		sElapsed, sSt, err := churnOnce(sys, events, count)
+		if err != nil {
+			return err
+		}
+		shardSweepRecs = append(shardSweepRecs, engineShardSweepEntry{
+			Shards:       count,
+			Seconds:      sElapsed.Seconds(),
+			BuildP50Secs: sSt.EpochBuild.P50.Seconds(),
+			BuildP99Secs: sSt.EpochBuild.P99.Seconds(),
+			PlanRowBytes: sSt.RowBytes,
+		})
+		fmt.Fprintf(out, "sweep shards=%d: %v total (build p50 %v, p99 %v; resident rows %d bytes)\n",
+			count, sElapsed.Round(time.Millisecond), sSt.EpochBuild.P50, sSt.EpochBuild.P99, sSt.RowBytes)
+	}
 	inc := st.Incremental
 	hitRate := 0.0
 	if st.PlanCacheHits+st.PlanCacheMiss > 0 {
@@ -170,6 +244,14 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 	fmt.Fprintf(out, "build stages: affected %v  solve %v  resolve %v  assemble %v\n",
 		time.Duration(inc.AffectedNanos), time.Duration(inc.SolveNanos),
 		time.Duration(inc.ResolveNanos), time.Duration(inc.AssembleNanos))
+	if shards > 0 {
+		ratio := 0.0
+		if st.RowBytes > 0 {
+			ratio = float64(st.DenseRowBytes) / float64(st.RowBytes)
+		}
+		fmt.Fprintf(out, "shards: %d; resident rows %d bytes vs dense %d (%.1fx)\n",
+			st.Shards, st.RowBytes, st.DenseRowBytes, ratio)
+	}
 
 	if dir == "" {
 		return nil
@@ -191,6 +273,11 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		BuildP99Secs: st.EpochBuild.P99.Seconds(),
 		CacheHitRate: hitRate,
 
+		Shards:        st.Shards,
+		HotSources:    hotSources,
+		PlanRowBytes:  st.RowBytes,
+		DenseRowBytes: st.DenseRowBytes,
+
 		RowsReused:       inc.PairsReused,
 		RowsRecomputed:   inc.PairsRecomputed,
 		AffectedEntering: inc.Entering,
@@ -203,7 +290,8 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 		StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
 
-		Sweep: sweepRecs,
+		Sweep:      sweepRecs,
+		ShardSweep: shardSweepRecs,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

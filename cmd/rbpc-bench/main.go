@@ -81,6 +81,9 @@ func main() {
 	engineSteps := flag.Int("engine-steps", 40, "churn events for the -engine benchmark")
 	engineMaxDown := flag.Int("engine-max-down", 4, "concurrently-down link bound for the -engine benchmark")
 	engineSweep := flag.String("engine-sweep", "", "comma-separated GOMAXPROCS values to additionally run the -engine churn benchmark at (e.g. 1,2,4,8)")
+	engineShards := flag.Int("engine-shards", 0, "run the -engine churn benchmark through the multi-shard coordinator with N shards (0 = single engine)")
+	engineHot := flag.Int("engine-hot-sources", 0, "provision only the first N sources for the -engine benchmark (0 = all)")
+	engineShardSweep := flag.String("engine-shard-sweep", "", "comma-separated shard counts to additionally run the -engine churn benchmark at (e.g. 1,2,4,8)")
 	compare := flag.String("compare", "", "compare an old BENCH_*.json against the current record of the same name and print deltas")
 	compareFailPct := flag.Float64("compare-fail-pct", 0, "with -compare: exit non-zero if a gated stage metric regressed by more than this percentage (0 = report only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
@@ -119,8 +122,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rbpc-bench:", err)
 			os.Exit(2)
 		}
+		shardSweep, err := parseProcsList(*engineShardSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench:", err)
+			os.Exit(2)
+		}
 		fmt.Println("=== Engine: incremental epoch builds under churn (AS stand-in) ===")
-		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, fullScale, sweep); err != nil {
+		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, fullScale, sweep, *engineShards, *engineHot, shardSweep); err != nil {
 			fmt.Fprintln(os.Stderr, "rbpc-bench: engine churn:", err)
 			os.Exit(1)
 		}

@@ -23,8 +23,71 @@ import (
 	"rbpc/internal/failure"
 	"rbpc/internal/graph"
 	"rbpc/internal/rbpc"
+	"rbpc/internal/shard"
 	"rbpc/internal/topology"
 )
+
+// backend abstracts the system under load: a single engine, or the
+// multi-shard coordinator when -shards > 0. Both expose the same
+// fan-in/fan-out surface the window driver needs.
+type backend interface {
+	Fail(e graph.EdgeID)
+	Repair(e graph.EdgeID)
+	SubmitBatch(pairs []rbpc.Pair) int
+	Flush()
+	// Drain blocks until every accepted query has been answered — the
+	// scrape after it covers the full window, no residual queue.
+	Drain()
+	Close()
+	LinksDown() int
+	Scrape() shard.Stats
+}
+
+type engineBackend struct{ e *engine.Engine }
+
+func (b engineBackend) Fail(e graph.EdgeID)               { b.e.Fail(e) }
+func (b engineBackend) Repair(e graph.EdgeID)             { b.e.Repair(e) }
+func (b engineBackend) SubmitBatch(pairs []rbpc.Pair) int { return b.e.SubmitBatch(pairs) }
+func (b engineBackend) Flush()                            { b.e.Flush() }
+func (b engineBackend) Drain()                            { b.e.Drain() }
+func (b engineBackend) Close()                            { b.e.Close() }
+func (b engineBackend) LinksDown() int                    { return len(b.e.Snapshot().Failed()) }
+
+// Scrape lifts the single engine's stats into the merged shape so the
+// report code has one spelling.
+func (b engineBackend) Scrape() shard.Stats {
+	st := b.e.Stats()
+	return shard.Stats{
+		Shards:        1,
+		Epoch:         st.Epoch,
+		Queries:       st.Queries,
+		Unroutable:    st.Unroutable,
+		Submitted:     st.Submitted,
+		Dropped:       st.Dropped,
+		QueueDepth:    st.QueueDepth,
+		Epochs:        st.Epochs,
+		PlanCacheHits: st.PlanCacheHits,
+		PlanCacheMiss: st.PlanCacheMiss,
+		OnDemandLSPs:  st.OnDemandLSPs,
+		RowBytes:      st.RowBytes,
+		DenseRowBytes: st.DenseRowBytes,
+		QueryLatency:  st.QueryLatency,
+		EpochBuild:    st.EpochBuild,
+		Incremental:   st.Incremental,
+		PerShard:      []engine.Stats{st},
+	}
+}
+
+type shardBackend struct{ c *shard.Coordinator }
+
+func (b shardBackend) Fail(e graph.EdgeID)               { b.c.Fail(e) }
+func (b shardBackend) Repair(e graph.EdgeID)             { b.c.Repair(e) }
+func (b shardBackend) SubmitBatch(pairs []rbpc.Pair) int { return b.c.SubmitBatch(pairs) }
+func (b shardBackend) Flush()                            { b.c.Flush() }
+func (b shardBackend) Drain()                            { b.c.Drain() }
+func (b shardBackend) Close()                            { b.c.Close() }
+func (b shardBackend) LinksDown() int                    { return len(b.c.Shard(0).Snapshot().Failed()) }
+func (b shardBackend) Scrape() shard.Stats               { return b.c.Stats() }
 
 // engineBench is the BENCH_engine.json payload: the rbpc-bench stage
 // record (name/seconds/seed/full_scale/gomaxprocs/go_version) plus the
@@ -56,6 +119,17 @@ type engineBench struct {
 	OnDemandLSPs int64   `json:"on_demand_lsps"`
 	ProvisionSec float64 `json:"provision_seconds"`
 
+	// Sharding telemetry: shard count (1 = single engine), provisioned hot
+	// sources (0 = all), resident vs dense routing-matrix bytes, and the
+	// cold tier's counters.
+	Shards        int   `json:"shards"`
+	HotSources    int   `json:"hot_sources"`
+	PlanRowBytes  int64 `json:"plan_row_bytes"`
+	DenseRowBytes int64 `json:"dense_row_bytes"`
+	ColdQueries   int64 `json:"cold_queries"`
+	ColdShed      int64 `json:"cold_shed"`
+	ColdPromoted  int64 `json:"cold_promotions"`
+
 	// Incremental epoch-builder telemetry: how much of each epoch was
 	// reused versus recomputed, and where the build time went.
 	RowsReused       int64   `json:"rows_reused"`
@@ -73,6 +147,9 @@ type engineBench struct {
 	// Sweep holds one entry per -sweep GOMAXPROCS value, each a fresh
 	// engine re-running the identical window.
 	Sweep []serveSweepEntry `json:"gomaxprocs_sweep,omitempty"`
+	// ShardSweep holds one entry per -shard-sweep shard count, each a
+	// fresh coordinator re-running the identical window.
+	ShardSweep []shardSweepEntry `json:"shard_sweep,omitempty"`
 }
 
 // serveSweepEntry is one GOMAXPROCS point of the serving sweep: the same
@@ -86,44 +163,77 @@ type serveSweepEntry struct {
 	P99Seconds float64 `json:"p99_seconds"`
 }
 
+// shardSweepEntry is one shard-count point of the shard sweep.
+type shardSweepEntry struct {
+	Shards       int     `json:"shards"`
+	QPS          float64 `json:"qps"`
+	Dropped      int64   `json:"dropped"`
+	Unroutable   int64   `json:"unroutable"`
+	P50Seconds   float64 `json:"p50_seconds"`
+	P99Seconds   float64 `json:"p99_seconds"`
+	BuildP99Secs float64 `json:"epoch_build_p99_seconds"`
+	PlanRowBytes int64   `json:"plan_row_bytes"`
+}
+
 // windowOpts parameterizes one measured serving window.
 type windowOpts struct {
-	qps       float64
-	duration  time.Duration
-	workers   int
-	queue     int
-	batch     int
-	failEvery time.Duration
-	maxDown   int
-	coalesce  time.Duration
-	seed      int64
+	qps          float64
+	duration     time.Duration
+	workers      int
+	queue        int
+	batch        int
+	failEvery    time.Duration
+	maxDown      int
+	coalesce     time.Duration
+	seed         int64
+	shards       int // 0 = single engine
+	planCacheMax int
+	cold         shard.ColdConfig
 }
 
 // windowResult is the scrape of one serving window after queue drain.
 type windowResult struct {
 	elapsed   time.Duration
-	st        engine.Stats
+	st        shard.Stats
 	linksDown int
 }
 
-// runWindow builds a fresh engine over the provisioned system and drives it
-// through one measured open-loop window: a churn injector walks the seeded
-// schedule while generators submit query bursts on a fixed arrival
-// schedule, never waiting for answers. Returns after the residual queue has
-// drained so the scrape covers every accepted query.
+// runWindow builds a fresh backend over the provisioned system and drives
+// it through one measured open-loop window: a churn injector walks the
+// seeded schedule while generators submit query bursts on a fixed arrival
+// schedule, never waiting for answers. Returns after the residual queue
+// has drained so the scrape covers every accepted query.
 func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, error) {
 	workers := o.workers
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	eng, err := engine.New(sys.Export(), engine.Config{
+	ecfg := engine.Config{
 		Workers:        workers,
 		QueueDepth:     o.queue,
 		CoalesceWindow: o.coalesce,
+		PlanCacheCap:   o.planCacheMax,
 		WarmOracle:     false, // serving reads rows, not the oracle
-	})
-	if err != nil {
-		return windowResult{}, fmt.Errorf("engine: %w", err)
+	}
+	var eng backend
+	if o.shards > 0 {
+		// Per-shard workers/queue: the shards together get the configured
+		// budget, not o.shards times it.
+		ecfg.Workers = (workers + o.shards - 1) / o.shards
+		if o.queue > 0 {
+			ecfg.QueueDepth = (o.queue + o.shards - 1) / o.shards
+		}
+		c, err := shard.New(sys.Export(), shard.Config{Shards: o.shards, Engine: ecfg, Cold: o.cold})
+		if err != nil {
+			return windowResult{}, fmt.Errorf("shard coordinator: %w", err)
+		}
+		eng = shardBackend{c}
+	} else {
+		e, err := engine.New(sys.Export(), ecfg)
+		if err != nil {
+			return windowResult{}, fmt.Errorf("engine: %w", err)
+		}
+		eng = engineBackend{e}
 	}
 	defer eng.Close()
 
@@ -215,15 +325,15 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 	<-churnDone
 	eng.Flush()
 	elapsed := time.Since(start)
-	// Let workers drain the residual queue before scraping.
-	for eng.Stats().QueueDepth > 0 {
-		time.Sleep(time.Millisecond)
-	}
+	// Drain is a real barrier over every worker queue — unlike the old
+	// QueueDepth poll it cannot scrape between a dequeue and the answer,
+	// so the metrics cover every accepted query.
+	eng.Drain()
 
 	return windowResult{
 		elapsed:   elapsed,
-		st:        eng.Stats(),
-		linksDown: len(eng.Snapshot().Failed()),
+		st:        eng.Scrape(),
+		linksDown: eng.LinksDown(),
 	}, nil
 }
 
@@ -246,6 +356,8 @@ func buildTopology(kind string, scale float64, seed int64) (*graph.Graph, error)
 		return topology.PaperAS(seed, scale), nil
 	case "isp":
 		return topology.PaperISP(seed), nil
+	case "internet":
+		return topology.PaperInternet(seed, scale), nil
 	case "waxman":
 		n := int(400 * scale)
 		if n < 16 {
@@ -253,14 +365,14 @@ func buildTopology(kind string, scale float64, seed int64) (*graph.Graph, error)
 		}
 		return topology.Waxman(n, 0.8, 0.5, seed), nil
 	default:
-		return nil, fmt.Errorf("unknown topology %q (want as, isp, or waxman)", kind)
+		return nil, fmt.Errorf("unknown topology %q (want as, isp, internet, or waxman)", kind)
 	}
 }
 
 func main() {
 	var (
-		topo      = flag.String("topology", "as", "topology: as, isp, or waxman")
-		scale     = flag.Float64("scale", 0.1, "topology scale factor (as/waxman)")
+		topo      = flag.String("topology", "as", "topology: as, isp, internet, or waxman")
+		scale     = flag.Float64("scale", 0.1, "topology scale factor (as/internet/waxman)")
 		seed      = flag.Int64("seed", 1, "deterministic seed for topology and churn")
 		closure   = flag.Bool("closure", false, "provision the full subpath closure (quadratic; small topologies only)")
 		qps       = flag.Float64("qps", 150_000, "target open-loop query rate")
@@ -274,8 +386,22 @@ func main() {
 		benchDir  = flag.String("bench-dir", "", "write BENCH_engine.json into this directory")
 		sweep     = flag.String("sweep", "", "comma-separated GOMAXPROCS values to additionally run the serving window at (e.g. 1,2,4,8)")
 		strict    = flag.Bool("strict", false, "exit non-zero if any query was dropped or answered unroutable (CI smoke gate)")
+
+		shards     = flag.Int("shards", 0, "shard the pair space across N coordinator shards (0 = single engine)")
+		shardSweep = flag.String("shard-sweep", "", "comma-separated shard counts to additionally run the window at (e.g. 1,2,4,8)")
+		hotSources = flag.Int("hot-sources", 0, "provision only the first N sources (0 = all); other pairs answer on demand via the cold tier (needs -shards)")
+		planCache  = flag.Int("plan-cache-max", 0, "bound the per-engine failed-set plan cache to N plans, CLOCK-evicted (0 = unbounded)")
+
+		coldWorkers = flag.Int("cold-workers", 0, "cold-tier solver pool size (0 = default)")
+		coldQueue   = flag.Int("cold-queue", 0, "cold-tier admission queue depth; beyond it cold queries shed (0 = default)")
+		coldCache   = flag.Int("cold-cache", 0, "cold-tier promoted-answer cache capacity (0 = default)")
+		coldPromote = flag.Int("cold-promote-after", 0, "hits before a cold answer is promoted into the cache (0 = default)")
 	)
 	flag.Parse()
+	if *hotSources > 0 && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: -hot-sources needs -shards (the cold tier lives in the coordinator)")
+		os.Exit(2)
+	}
 
 	g, err := buildTopology(*topo, *scale, *seed)
 	if err != nil {
@@ -284,9 +410,22 @@ func main() {
 	}
 	fmt.Printf("topology %s: %d nodes, %d links\n", *topo, g.Order(), g.Size())
 
+	rcfg := rbpc.Config{SubpathClosure: *closure, EdgeLSPs: true}
+	if *hotSources > 0 && *hotSources < g.Order() {
+		// The hot set is the first N sources — deterministic, and on the
+		// generated topologies node IDs carry no locality, so it behaves
+		// like a uniform sample of the pair space.
+		srcs := make([]graph.NodeID, *hotSources)
+		for i := range srcs {
+			srcs[i] = graph.NodeID(i)
+		}
+		rcfg.Sources = srcs
+		fmt.Printf("hot set: %d of %d sources (cold pairs answer on demand)\n", *hotSources, g.Order())
+	}
+
 	fmt.Print("provisioning RBPC system... ")
 	provStart := time.Now()
-	sys, err := rbpc.NewSystem(g, rbpc.Config{SubpathClosure: *closure, EdgeLSPs: true})
+	sys, err := rbpc.NewSystem(g, rcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rbpc-serve: provision:", err)
 		os.Exit(1)
@@ -295,15 +434,23 @@ func main() {
 	fmt.Printf("done in %v (%d LSPs)\n", provisionTime.Round(time.Millisecond), sys.Net().NumLSPs())
 
 	opts := windowOpts{
-		qps:       *qps,
-		duration:  *duration,
-		workers:   *workers,
-		queue:     *queue,
-		batch:     *batch,
-		failEvery: *failEvery,
-		maxDown:   *maxDown,
-		coalesce:  *coalesce,
-		seed:      *seed,
+		qps:          *qps,
+		duration:     *duration,
+		workers:      *workers,
+		queue:        *queue,
+		batch:        *batch,
+		failEvery:    *failEvery,
+		maxDown:      *maxDown,
+		coalesce:     *coalesce,
+		seed:         *seed,
+		shards:       *shards,
+		planCacheMax: *planCache,
+		cold: shard.ColdConfig{
+			Workers:      *coldWorkers,
+			Queue:        *coldQueue,
+			CacheCap:     *coldCache,
+			PromoteAfter: *coldPromote,
+		},
 	}
 	res, err := runWindow(g, sys, opts)
 	if err != nil {
@@ -333,6 +480,15 @@ func main() {
 	fmt.Printf("build stages: affected %v  solve %v  resolve %v  assemble %v\n",
 		time.Duration(inc.AffectedNanos), time.Duration(inc.SolveNanos),
 		time.Duration(inc.ResolveNanos), time.Duration(inc.AssembleNanos))
+	if *shards > 0 {
+		ratio := 0.0
+		if st.RowBytes > 0 {
+			ratio = float64(st.DenseRowBytes) / float64(st.RowBytes)
+		}
+		fmt.Printf("shards: %d; resident rows %d bytes vs dense %d (%.1fx); cold: %d queries, %d solved, %d shed, %d promotions\n",
+			st.Shards, st.RowBytes, st.DenseRowBytes, ratio,
+			st.Cold.Queries, st.Cold.Solved, st.Cold.Shed, st.Cold.Promotions)
+	}
 
 	// GOMAXPROCS sweep: re-run the identical window on a fresh engine per
 	// processor count, restoring the ambient setting afterwards.
@@ -369,6 +525,40 @@ func main() {
 		runtime.GOMAXPROCS(ambient)
 	}
 
+	// Shard-count sweep: the identical window on a fresh coordinator per
+	// shard count (1 runs the coordinator too, isolating ring overhead).
+	var shardSweepRecs []shardSweepEntry
+	if *shardSweep != "" {
+		counts, err := parseProcsList(*shardSweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
+			os.Exit(2)
+		}
+		for _, count := range counts {
+			sOpts := opts
+			sOpts.shards = count
+			sres, err := runWindow(g, sys, sOpts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "rbpc-serve: shard sweep:", err)
+				os.Exit(1)
+			}
+			sQPS := float64(sres.st.Queries) / sres.elapsed.Seconds()
+			shardSweepRecs = append(shardSweepRecs, shardSweepEntry{
+				Shards:       count,
+				QPS:          sQPS,
+				Dropped:      sres.st.Dropped,
+				Unroutable:   sres.st.Unroutable,
+				P50Seconds:   sres.st.QueryLatency.P50.Seconds(),
+				P99Seconds:   sres.st.QueryLatency.P99.Seconds(),
+				BuildP99Secs: sres.st.EpochBuild.P99.Seconds(),
+				PlanRowBytes: sres.st.RowBytes,
+			})
+			fmt.Printf("sweep shards=%d: %.0f qps (%d dropped, p50 %v, p99 %v, build p99 %v)\n",
+				count, sQPS, sres.st.Dropped, sres.st.QueryLatency.P50,
+				sres.st.QueryLatency.P99, sres.st.EpochBuild.P99)
+		}
+	}
+
 	if *benchDir != "" {
 		rec := engineBench{
 			Name:      "engine",
@@ -397,6 +587,14 @@ func main() {
 			OnDemandLSPs: st.OnDemandLSPs,
 			ProvisionSec: provisionTime.Seconds(),
 
+			Shards:        st.Shards,
+			HotSources:    *hotSources,
+			PlanRowBytes:  st.RowBytes,
+			DenseRowBytes: st.DenseRowBytes,
+			ColdQueries:   st.Cold.Queries,
+			ColdShed:      st.Cold.Shed,
+			ColdPromoted:  st.Cold.Promotions,
+
 			RowsReused:       inc.PairsReused,
 			RowsRecomputed:   inc.PairsRecomputed,
 			AffectedEntering: inc.Entering,
@@ -409,7 +607,8 @@ func main() {
 			StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 			StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
 
-			Sweep: sweepRecs,
+			Sweep:      sweepRecs,
+			ShardSweep: shardSweepRecs,
 		}
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {

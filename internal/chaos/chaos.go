@@ -26,6 +26,14 @@
 //     builder's contract: reuse is legal only when a from-scratch build
 //     would reproduce the snapshot exactly.
 //
+// Sharded cases (Config.Shards > 0) run the multi-shard coordinator
+// (internal/shard) as the system under test: the same schedule fans out
+// to every shard, queries route by ring ownership with per-shard epoch
+// monotonicity, and flush barriers check every shard's failed-set
+// against the event model (catching an event-skewed shard) before
+// comparing the merged cross-shard view bit-for-bit against the same
+// single-writer FullRebuild reference.
+//
 // Failing schedules are shrunk to a minimal event sequence by delta
 // debugging (Shrink) and emitted as a replayable corpus file that
 // cmd/rbpc-chaos re-runs deterministically.
@@ -44,6 +52,7 @@ import (
 	"rbpc/internal/graph"
 	"rbpc/internal/paths"
 	"rbpc/internal/rbpc"
+	"rbpc/internal/shard"
 	"rbpc/internal/sim"
 	"rbpc/internal/topology"
 )
@@ -67,6 +76,16 @@ type Config struct {
 	// Fault injects a deliberate engine defect (engine.FaultNone = the
 	// production engine). The harness must catch every injectable fault.
 	Fault engine.Fault
+	// Shards, when positive, runs the multi-shard coordinator
+	// (internal/shard) as the system under test instead of a single
+	// engine: the same event stream fans out to every shard, queries
+	// route by ring ownership, and flush barriers compare the merged
+	// cross-shard view bit-for-bit against the single-writer FullRebuild
+	// reference. Zero tests the single engine.
+	Shards int
+	// ShardFault injects a deliberate coordinator defect (sharded runs
+	// only). The harness must catch every injectable shard fault too.
+	ShardFault shard.Fault
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +118,8 @@ type Case struct {
 	MaxDown        int   // informational
 	CoalesceWindow time.Duration
 	Fault          engine.Fault
+	Shards         int // 0 = single engine under test
+	ShardFault     shard.Fault
 	Schedule       failure.Schedule
 }
 
@@ -117,6 +138,8 @@ func Generate(cfg Config) (Case, error) {
 		MaxDown:        cfg.MaxDown,
 		CoalesceWindow: cfg.CoalesceWindow,
 		Fault:          cfg.Fault,
+		Shards:         cfg.Shards,
+		ShardFault:     cfg.ShardFault,
 		Schedule:       failure.ChaosSchedule(w.g, cfg.Steps, cfg.MaxDown, rand.New(rand.NewSource(cfg.Seed))),
 	}, nil
 }
@@ -130,7 +153,8 @@ type Violation struct {
 	Epoch uint64
 	// Kind names the oracle: optimality, theorem-bound,
 	// interleaving-bound, membership, monotonicity, flush-agreement,
-	// chain, dead-edge, forwarding, unroutable-but-connected, equivalence.
+	// chain, dead-edge, forwarding, unroutable-but-connected,
+	// equivalence, torn-view.
 	Kind string
 	// Detail is the human-readable specifics.
 	Detail string
@@ -202,15 +226,32 @@ func (c Case) Run() (Report, error) {
 		return Report{}, err
 	}
 	var epochs atomic.Int64
-	eng, err := engine.New(w.sys.Export(), engine.Config{
+	ecfg := engine.Config{
 		CoalesceWindow: c.CoalesceWindow,
 		Fault:          c.Fault,
 		OnEpoch:        func(*engine.Snapshot) { epochs.Add(1) },
-	})
-	if err != nil {
-		return Report{}, err
 	}
-	defer eng.Close()
+	// The system under test: a single engine, or — when the case is
+	// sharded — the multi-shard coordinator fed through the same schedule.
+	var eng *engine.Engine
+	var coord *shard.Coordinator
+	if c.Shards > 0 {
+		coord, err = shard.New(w.sys.Export(), shard.Config{
+			Shards: c.Shards,
+			Fault:  c.ShardFault,
+			Engine: ecfg,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		defer coord.Close()
+	} else {
+		eng, err = engine.New(w.sys.Export(), ecfg)
+		if err != nil {
+			return Report{}, err
+		}
+		defer eng.Close()
+	}
 
 	// The equivalence oracle's reference: a correct engine fed the same
 	// event stream, rebuilding every plan from scratch. Flush barriers
@@ -244,25 +285,57 @@ func (c Case) Run() (Report, error) {
 			}
 			switch st.Kind {
 			case failure.StepFail:
-				eng.Fail(st.Edge)
+				if coord != nil {
+					coord.Fail(st.Edge)
+				} else {
+					eng.Fail(st.Edge)
+				}
 				ref.Fail(st.Edge)
 				model[st.Edge] = true
 				rep.Churn++
 			case failure.StepRepair:
-				eng.Repair(st.Edge)
+				if coord != nil {
+					coord.Repair(st.Edge)
+				} else {
+					eng.Repair(st.Edge)
+				}
 				ref.Repair(st.Edge)
 				delete(model, st.Edge)
 				rep.Churn++
 			case failure.StepQuery:
 				rep.Queries++
-				vio = ck.checkResult(i, eng.Query(st.Src, st.Dst))
+				if coord != nil {
+					vio = ck.checkResult(i, coord.Owner(st.Src), coord.Query(st.Src, st.Dst))
+				} else {
+					vio = ck.checkResult(i, 0, eng.Query(st.Src, st.Dst))
+				}
 				rep.Probes = ck.probes
 			case failure.StepFlush:
-				eng.Flush()
-				ref.Flush()
-				vio = ck.checkFlush(i, eng.Snapshot(), model)
-				if vio == nil {
-					vio = ck.checkEquivalence(i, eng.Snapshot(), ref.Snapshot())
+				if coord != nil {
+					coord.Flush()
+					ref.Flush()
+					// Per-shard flush agreement: every shard's snapshot must
+					// hold the full failed-set — this is the oracle that
+					// catches an event-skewed shard.
+					for s := 0; s < coord.Shards() && vio == nil; s++ {
+						vio = ck.checkFlush(i, s, coord.Shard(s).Snapshot(), model)
+					}
+					if vio == nil {
+						v, ok := coord.View()
+						if !ok {
+							vio = &Violation{Step: i, Kind: "torn-view",
+								Detail: "no consistent cross-shard view after flush"}
+						} else {
+							vio = ck.checkShardEquivalence(i, v, ref.Snapshot())
+						}
+					}
+				} else {
+					eng.Flush()
+					ref.Flush()
+					vio = ck.checkFlush(i, 0, eng.Snapshot(), model)
+					if vio == nil {
+						vio = ck.checkEquivalence(i, eng.Snapshot(), ref.Snapshot())
+					}
 				}
 			}
 		})

@@ -12,6 +12,7 @@ import (
 
 	"rbpc/internal/engine"
 	"rbpc/internal/failure"
+	"rbpc/internal/shard"
 )
 
 // Corpus format: a short header of "key value" lines fixing the world and
@@ -30,6 +31,12 @@ func WriteCase(w io.Writer, c Case) error {
 	fmt.Fprintf(bw, "max-down %d\n", c.MaxDown)
 	fmt.Fprintf(bw, "coalesce-us %d\n", c.CoalesceWindow.Microseconds())
 	fmt.Fprintf(bw, "fault %s\n", c.Fault)
+	// Sharded-run keys are omitted for single-engine cases so their files
+	// stay byte-identical to the pre-shard corpus format.
+	if c.Shards > 0 {
+		fmt.Fprintf(bw, "shards %d\n", c.Shards)
+		fmt.Fprintf(bw, "shard-fault %s\n", c.ShardFault)
+	}
 	fmt.Fprintln(bw, "schedule")
 	if err := bw.Flush(); err != nil {
 		return err
@@ -72,6 +79,14 @@ func ReadCase(r io.Reader) (Case, error) {
 			c.Fault = f
 			continue
 		}
+		if key == "shard-fault" {
+			f, err := shard.ParseFault(fields[1])
+			if err != nil {
+				return Case{}, fmt.Errorf("chaos: corpus line %d: %v", lineNo, err)
+			}
+			c.ShardFault = f
+			continue
+		}
 		n, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			return Case{}, fmt.Errorf("chaos: corpus line %d: %s: %v", lineNo, key, err)
@@ -87,6 +102,8 @@ func ReadCase(r io.Reader) (Case, error) {
 			c.MaxDown = int(n)
 		case "coalesce-us":
 			c.CoalesceWindow = time.Duration(n) * time.Microsecond
+		case "shards":
+			c.Shards = int(n)
 		default:
 			return Case{}, fmt.Errorf("chaos: corpus line %d: unknown key %q", lineNo, key)
 		}

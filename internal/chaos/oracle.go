@@ -9,6 +9,7 @@ import (
 	"rbpc/internal/engine"
 	"rbpc/internal/graph"
 	"rbpc/internal/paths"
+	"rbpc/internal/shard"
 )
 
 // costEps is the tolerance for cost comparisons. Topology weights are
@@ -24,7 +25,10 @@ type checker struct {
 	all  *paths.AllShortest // all-shortest base of the original graph (theorem DP)
 	base *paths.Explicit    // provisioned base set (membership oracle)
 
-	lastEpoch uint64
+	// lastEpoch tracks query-stream monotonicity per epoch sequence:
+	// key 0 for the single engine, the shard index in sharded runs (each
+	// shard publishes its own independent epoch counter).
+	lastEpoch map[int]uint64
 	probes    int
 
 	// Dijkstra scratch, reused across checks.
@@ -35,11 +39,12 @@ type checker struct {
 func newChecker(w *world) *checker {
 	n := w.g.Order()
 	return &checker{
-		g:    w.g,
-		all:  w.all,
-		base: w.sys.Base(),
-		dist: make([]float64, n),
-		done: make([]bool, n),
+		g:         w.g,
+		all:       w.all,
+		base:      w.sys.Base(),
+		lastEpoch: make(map[int]uint64),
+		dist:      make([]float64, n),
+		done:      make([]bool, n),
 	}
 }
 
@@ -83,8 +88,10 @@ func (ck *checker) bruteDist(down map[graph.EdgeID]bool, s, d graph.NodeID) floa
 
 // checkResult validates one served answer against the epoch it was
 // served from. All checks are relative to res.Snap, so they are sound
-// regardless of which epoch a racing query happened to observe.
-func (ck *checker) checkResult(step int, res engine.Result) *Violation {
+// regardless of which epoch a racing query happened to observe. sh is
+// the epoch-sequence key — 0 for a single engine, the owning shard's
+// index in sharded runs.
+func (ck *checker) checkResult(step, sh int, res engine.Result) *Violation {
 	snap := res.Snap
 	vio := func(kind, format string, args ...interface{}) *Violation {
 		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: kind,
@@ -94,10 +101,10 @@ func (ck *checker) checkResult(step int, res engine.Result) *Violation {
 	// Oracle (d), first half: the serial query stream must never walk
 	// backwards in epochs — the atomic snapshot swap makes published
 	// epochs immediately and permanently visible.
-	if snap.Epoch() < ck.lastEpoch {
-		return vio("monotonicity", "observed epoch %d after epoch %d", snap.Epoch(), ck.lastEpoch)
+	if snap.Epoch() < ck.lastEpoch[sh] {
+		return vio("monotonicity", "observed epoch %d after epoch %d", snap.Epoch(), ck.lastEpoch[sh])
 	}
-	ck.lastEpoch = snap.Epoch()
+	ck.lastEpoch[sh] = snap.Epoch()
 
 	failed := snap.Failed()
 	k := len(failed)
@@ -247,15 +254,81 @@ func (ck *checker) checkEquivalence(step int, got, want *engine.Snapshot) *Viola
 	return nil
 }
 
+// checkShardEquivalence is checkEquivalence for a sharded run: every
+// shard snapshot of the consistent view must carry the reference's
+// failed-set, every pair (answered by its owner shard) must match the
+// reference's routability, cost bits, and component path sequence, and
+// the sampled oracle distances — taken from the owning shard's snapshot —
+// must be bit-identical too.
+func (ck *checker) checkShardEquivalence(step int, v shard.View, want *engine.Snapshot) *Violation {
+	wf := want.Failed()
+	for s := 0; s < v.Shards(); s++ {
+		snap := v.Shard(s)
+		gf := snap.Failed()
+		agree := len(gf) == len(wf)
+		for i := 0; agree && i < len(gf); i++ {
+			agree = gf[i] == wf[i]
+		}
+		if !agree {
+			return &Violation{Step: step, Epoch: snap.Epoch(), Kind: "equivalence",
+				Detail: fmt.Sprintf("shard %d failed-set %v, reference %v", s, gf, wf)}
+		}
+	}
+	n := ck.g.Order()
+	for s := 0; s < n; s++ {
+		src := graph.NodeID(s)
+		snap := v.Snap(src)
+		vio := func(format string, args ...interface{}) *Violation {
+			return &Violation{Step: step, Epoch: snap.Epoch(), Kind: "equivalence",
+				Detail: fmt.Sprintf(format, args...)}
+		}
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			dst := graph.NodeID(d)
+			a, b := snap.Route(src, dst), want.Route(src, dst)
+			if (a == nil) != (b == nil) {
+				return vio("pair %d->%d routable %v, reference %v (failed %v)", s, d, a != nil, b != nil, wf)
+			}
+			if a == nil {
+				continue
+			}
+			if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) {
+				return vio("pair %d->%d cost %v, reference %v (failed %v)", s, d, a.Cost, b.Cost, wf)
+			}
+			if len(a.LSPs) != len(b.LSPs) {
+				return vio("pair %d->%d has %d components, reference %d", s, d, len(a.LSPs), len(b.LSPs))
+			}
+			for i := range a.LSPs {
+				if !a.LSPs[i].Path.Equal(b.LSPs[i].Path) {
+					return vio("pair %d->%d component %d path %v, reference %v", s, d, i, a.LSPs[i].Path, b.LSPs[i].Path)
+				}
+			}
+		}
+	}
+	for k := 0; k < 8; k++ {
+		src := graph.NodeID((step*5 + k*3) % n)
+		dst := graph.NodeID((step*7 + k*11 + 1) % n)
+		da, db := v.Snap(src).Oracle().Dist(src, dst), want.Oracle().Dist(src, dst)
+		if math.Float64bits(da) != math.Float64bits(db) {
+			return &Violation{Step: step, Epoch: v.Snap(src).Epoch(), Kind: "equivalence",
+				Detail: fmt.Sprintf("dist %d->%d = %v, reference %v (failed %v)", src, dst, da, db, wf)}
+		}
+	}
+	return nil
+}
+
 // checkFlush validates the snapshot after a flush barrier: oracle (d),
 // second half. Every event sent before the flush is reflected, so the
-// snapshot's failed-set must equal the reference model exactly.
-func (ck *checker) checkFlush(step int, snap *engine.Snapshot, model map[graph.EdgeID]bool) *Violation {
-	if snap.Epoch() < ck.lastEpoch {
+// snapshot's failed-set must equal the reference model exactly. sh keys
+// the epoch sequence as in checkResult.
+func (ck *checker) checkFlush(step, sh int, snap *engine.Snapshot, model map[graph.EdgeID]bool) *Violation {
+	if snap.Epoch() < ck.lastEpoch[sh] {
 		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: "monotonicity",
-			Detail: fmt.Sprintf("flushed epoch %d after epoch %d", snap.Epoch(), ck.lastEpoch)}
+			Detail: fmt.Sprintf("flushed epoch %d after epoch %d", snap.Epoch(), ck.lastEpoch[sh])}
 	}
-	ck.lastEpoch = snap.Epoch()
+	ck.lastEpoch[sh] = snap.Epoch()
 
 	failed := snap.Failed()
 	agree := len(failed) == len(model)

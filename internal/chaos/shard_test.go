@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/shard"
+)
+
+func shardedCfg() Config {
+	cfg := smokeCfg()
+	cfg.Shards = 3
+	return cfg
+}
+
+// TestShardedLockstepEquivalence: the production multi-shard coordinator
+// survives the chaos schedules with every oracle green — per-shard flush
+// agreement, per-shard epoch monotonicity, and bit-identical merged
+// views against the single-writer FullRebuild reference.
+func TestShardedLockstepEquivalence(t *testing.T) {
+	c, v, err := Hunt(shardedCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("sharded coordinator violated an oracle:\n%v\nschedule:\n%s", v, c.Schedule)
+	}
+}
+
+// TestHarnessCatchesEveryShardFault: the sharded harness's own
+// conformance proof — every injectable coordinator defect is caught,
+// the shrunk counterexample replays deterministically, and the corpus
+// encoding round-trips to an equally-failing sharded case.
+func TestHarnessCatchesEveryShardFault(t *testing.T) {
+	for _, f := range shard.Faults() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := shardedCfg()
+			cfg.ShardFault = f
+			c, v, err := Hunt(cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil {
+				t.Fatalf("harness did not catch injected shard fault %v within budget", f)
+			}
+			t.Logf("caught %v as %s (shrunk to %d steps)", f, v.Kind, len(c.Schedule))
+
+			for i := 0; i < 2; i++ {
+				_, err := c.Run()
+				var rv *Violation
+				if !errors.As(err, &rv) {
+					t.Fatalf("replay %d of shrunk case did not fail: %v", i, err)
+				}
+				if rv.Kind != v.Kind || rv.Step != v.Step {
+					t.Fatalf("replay %d diverged: got %v, want %v", i, rv, v)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := WriteCase(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			rc, err := ReadCase(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadCase: %v\ncorpus:\n%s", err, buf.String())
+			}
+			if !reflect.DeepEqual(rc, c) {
+				t.Fatalf("corpus round-trip changed the case:\ngot  %+v\nwant %+v", rc, c)
+			}
+			_, err = rc.Run()
+			var rv *Violation
+			if !errors.As(err, &rv) || rv.Kind != v.Kind {
+				t.Fatalf("decoded case does not reproduce: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardedEngineFaultsStillCaught: an engine-level defect inside a
+// shard is still caught through the sharded oracles (the skew proof must
+// not be the only working detector).
+func TestShardedEngineFaultsStillCaught(t *testing.T) {
+	cfg := shardedCfg()
+	cfg.Fault = engine.FaultDropEpoch
+	_, v, err := Hunt(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("drop-epoch inside a shard not caught by the sharded harness")
+	}
+}
+
+// TestShardedTraceDeterministic: sharded runs replay byte-identically
+// too.
+func TestShardedTraceDeterministic(t *testing.T) {
+	c, err := Generate(shardedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := c.Run()
+	r2, err2 := c.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("clean sharded case failed: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+		t.Fatal("two sharded runs produced different event traces")
+	}
+}

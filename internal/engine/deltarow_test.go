@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/topology"
+)
+
+// TestDeltaRowsMatchDense churns a delta-row engine and a dense engine in
+// lockstep and demands bit-identical answers at every quiescent point,
+// plus the memory accounting that justifies the mode.
+func TestDeltaRowsMatchDense(t *testing.T) {
+	g := topology.Waxman(16, 0.8, 0.5, 3)
+	dense, _ := newEngine(t, g, Config{})
+	delta, _ := newEngine(t, g, Config{DeltaRows: true})
+
+	rng := rand.New(rand.NewSource(11))
+	edges := g.Edges()
+	down := map[graph.EdgeID]bool{}
+	compare := func(tag string) {
+		t.Helper()
+		dense.Flush()
+		delta.Flush()
+		for s := 0; s < g.Order(); s++ {
+			for d := 0; d < g.Order(); d++ {
+				if s == d {
+					continue
+				}
+				src, dst := graph.NodeID(s), graph.NodeID(d)
+				want := dense.Query(src, dst).Route
+				got := delta.Query(src, dst).Route
+				if (got == nil) != (want == nil) {
+					t.Fatalf("%s: %d->%d routable mismatch: delta %v, dense %v",
+						tag, s, d, got != nil, want != nil)
+				}
+				if got == nil {
+					continue
+				}
+				if math.Float64bits(got.Cost) != math.Float64bits(want.Cost) {
+					t.Fatalf("%s: %d->%d cost %v != %v", tag, s, d, got.Cost, want.Cost)
+				}
+				for i := range got.LSPs {
+					if !got.LSPs[i].Path.Equal(want.LSPs[i].Path) {
+						t.Fatalf("%s: %d->%d component %d path mismatch", tag, s, d, i)
+					}
+				}
+			}
+		}
+	}
+
+	compare("initial")
+	for step := 0; step < 30; step++ {
+		e := edges[rng.Intn(len(edges))].ID
+		if down[e] {
+			delete(down, e)
+			dense.Repair(e)
+			delta.Repair(e)
+		} else if len(down) < 3 {
+			down[e] = true
+			dense.Fail(e)
+			delta.Fail(e)
+		}
+		if step%6 == 5 {
+			compare("churn")
+		}
+	}
+	compare("final")
+
+	// With every source hot the canonical matrix is fully materialized, so
+	// delta mode carries a small overlay overhead over dense — the memory
+	// win needs a hot set (TestDeltaRowsColdSource). Just check accounting.
+	resident, denseBytes := delta.Snapshot().RowBytes()
+	if resident == 0 || denseBytes == 0 {
+		t.Fatalf("row accounting missing: resident %d, dense %d", resident, denseBytes)
+	}
+	st := delta.Stats()
+	if st.RowBytes != resident || st.DenseRowBytes != denseBytes {
+		t.Fatalf("stats row bytes %d/%d disagree with snapshot %d/%d",
+			st.RowBytes, st.DenseRowBytes, resident, denseBytes)
+	}
+}
+
+// TestDeltaRowsColdSource checks that a source outside the provisioned
+// hot set is reported non-materialized and answers nil.
+func TestDeltaRowsColdSource(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 2)
+	sys, err := rbpc.NewSystem(g, rbpc.Config{
+		SubpathClosure: true, EdgeLSPs: true,
+		Sources: []graph.NodeID{0, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(sys.Export(), Config{DeltaRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	s := e.Snapshot()
+	if !s.Materialized(0) {
+		t.Fatal("hot source 0 not materialized")
+	}
+	if s.Materialized(9) {
+		t.Fatal("cold source 9 claims materialization")
+	}
+	if rt := e.Query(9, 3).Route; rt != nil {
+		t.Fatal("cold source answered from rows")
+	}
+	if rt := e.Query(0, 9).Route; rt == nil {
+		t.Fatal("hot source unroutable")
+	}
+	// 3 of 12 sources materialized: resident bytes must undercut the
+	// dense all-pairs matrix by a wide margin.
+	resident, dense := s.RowBytes()
+	if resident*2 >= dense {
+		t.Fatalf("hot-set resident %d bytes, dense %d — expected under half", resident, dense)
+	}
+}
+
+// TestPlanCacheClock unit-tests the bounded CLOCK cache: capacity is
+// enforced, the pristine plan survives eviction, recently-referenced
+// entries survive one hand pass.
+func TestPlanCacheClock(t *testing.T) {
+	pc := newPlanCache(2)
+	mk := func(key string) *plan { return &plan{key: key} }
+
+	if _, ok := pc.get(""); !ok {
+		t.Fatal("pristine plan missing")
+	}
+	pc.put(mk("1"))
+	pc.put(mk("2"))
+	if pc.size() != 3 { // pristine + 2
+		t.Fatalf("size %d, want 3", pc.size())
+	}
+
+	// Insert "3" at capacity: both residents carry reference bits, so the
+	// hand's first lap clears them and the second lap reclaims slot 0 —
+	// "1" goes, "2" survives with its bit cleared.
+	pc.put(mk("3"))
+	if pc.size() != 3 {
+		t.Fatalf("size %d after eviction, want 3", pc.size())
+	}
+	if _, ok := pc.get(""); !ok {
+		t.Fatal("pristine plan evicted")
+	}
+	if _, ok := pc.get("1"); ok {
+		t.Fatal("slot-0 entry 1 survived a full clearing lap")
+	}
+	if _, ok := pc.get("3"); !ok {
+		t.Fatal("fresh entry 3 missing")
+	}
+	// "3" holds a reference bit (set on insert and the get above); "2"'s
+	// was cleared by the sweep. The next insert must evict "2" and keep "3".
+	pc.put(mk("4"))
+	if _, ok := pc.get("3"); !ok {
+		t.Fatal("referenced entry 3 evicted before unreferenced 2")
+	}
+	if _, ok := pc.get("2"); ok {
+		t.Fatal("unreferenced entry 2 survived over referenced 3")
+	}
+	if _, ok := pc.get("4"); !ok {
+		t.Fatal("fresh entry 4 missing")
+	}
+
+	// Re-putting an existing key must not grow the ring.
+	pc.put(mk("3"))
+	if pc.size() != 3 {
+		t.Fatalf("size %d after duplicate put, want 3", pc.size())
+	}
+
+	// Unbounded cache never evicts.
+	un := newPlanCache(0)
+	for i := 0; i < 64; i++ {
+		un.put(mk(string(rune('a' + i))))
+	}
+	if un.size() != 65 {
+		t.Fatalf("unbounded cache size %d, want 65", un.size())
+	}
+}
+
+// TestPlanCacheBoundedChurn checks a bounded cache under real churn still
+// yields correct answers (evicted plans are just recomputed).
+func TestPlanCacheBoundedChurn(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 9)
+	bounded, _ := newEngine(t, g, Config{PlanCacheCap: 2})
+	ref, _ := newEngine(t, g, Config{})
+
+	edges := g.Edges()
+	rng := rand.New(rand.NewSource(5))
+	down := map[graph.EdgeID]bool{}
+	for step := 0; step < 40; step++ {
+		e := edges[rng.Intn(len(edges))].ID
+		if down[e] {
+			delete(down, e)
+			bounded.Repair(e)
+			ref.Repair(e)
+		} else if len(down) < 3 {
+			down[e] = true
+			bounded.Fail(e)
+			ref.Fail(e)
+		}
+	}
+	bounded.Flush()
+	ref.Flush()
+	for s := 0; s < g.Order(); s++ {
+		for d := 0; d < g.Order(); d++ {
+			if s == d {
+				continue
+			}
+			a := bounded.Query(graph.NodeID(s), graph.NodeID(d)).Route
+			b := ref.Query(graph.NodeID(s), graph.NodeID(d)).Route
+			if (a == nil) != (b == nil) {
+				t.Fatalf("%d->%d routable mismatch under bounded cache", s, d)
+			}
+			if a != nil && math.Float64bits(a.Cost) != math.Float64bits(b.Cost) {
+				t.Fatalf("%d->%d cost %v != %v under bounded cache", s, d, a.Cost, b.Cost)
+			}
+		}
+	}
+}
+
+// TestDrainWaitsForSubmitted checks Drain blocks until every accepted
+// async query has been answered.
+func TestDrainWaitsForSubmitted(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 9)
+	var answered atomic.Int64
+	e, _ := newEngine(t, g, Config{OnResult: func(Result) { answered.Add(1) }})
+
+	var pairs []rbpc.Pair
+	for s := 0; s < g.Order(); s++ {
+		for d := 0; d < g.Order(); d++ {
+			if s != d {
+				pairs = append(pairs, rbpc.Pair{Src: graph.NodeID(s), Dst: graph.NodeID(d)})
+			}
+		}
+	}
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		accepted += e.SubmitBatch(pairs)
+	}
+	e.Drain()
+	if got := answered.Load(); got != int64(accepted) {
+		t.Fatalf("accepted %d but only %d answered when Drain returned", accepted, got)
+	}
+}

@@ -43,6 +43,16 @@ type Config struct {
 	// BuildWorkers parallelizes per-source decomposition during plan
 	// computation. Default GOMAXPROCS.
 	BuildWorkers int
+	// DeltaRows selects the delta-encoded snapshot representation: every
+	// epoch shares one canonical matrix and carries per-source overlay
+	// rows holding only the destinations whose route diverges from it
+	// (the splice points), reconstructed on read by Snapshot.Route. In
+	// this mode sources absent from the provision's Routes are never
+	// materialized at all — Snapshot.Materialized reports false and a
+	// query returns nil — which is what lets a shard hold only its source
+	// slice (and a hot-set provision skip cold sources entirely). Dense
+	// mode (false, the default) keeps the flat [src][dst] matrix.
+	DeltaRows bool
 	// FullRebuild forces every epoch's plan to be computed from scratch,
 	// bypassing both the plan cache and the incremental affected-pair
 	// builder. It is the reference mode of the equivalence oracle: a
@@ -88,6 +98,10 @@ type Stats struct {
 	PlanCacheHits int64
 	PlanCacheMiss int64
 	OnDemandLSPs  int64
+	// RowBytes/DenseRowBytes are the current snapshot's resident routing
+	// matrix bytes and the dense all-pairs equivalent (Snapshot.RowBytes).
+	RowBytes      int64
+	DenseRowBytes int64
 	QueryLatency  metrics.Summary
 	EpochBuild    metrics.Summary
 	Incremental   IncrementalStats
@@ -113,7 +127,7 @@ type Engine struct {
 	// Updated once per published transition; read-only during solve fan-out.
 	live      *paths.LiveIndex
 	canonical [][]*Route
-	planCache map[string]*plan
+	planCache *planCache
 	prevPlan  *plan
 	// downCount tracks, per pair, how many edges of its canonical primary
 	// are currently down in the published snapshot. It is the membership
@@ -126,6 +140,13 @@ type Engine struct {
 	solvers  []*core.SparseSolver
 	onDemand int64
 	inc      incCounters
+	// canonBytes is the resident cost of the canonical matrix (top-level
+	// slice + every materialized row), fixed after New.
+	canonBytes int64
+	// rowBytes/denseBytes mirror the latest snapshot's accounting for
+	// lock-free scraping (written by the writer, read by Stats).
+	rowBytes   atomic.Int64
+	denseBytes atomic.Int64
 
 	events chan writerMsg
 	// queries is sharded one channel per worker so concurrent submitters
@@ -159,6 +180,9 @@ type queryReq struct {
 	// batch, when non-nil, carries a whole burst of pairs stamped with one
 	// timestamp and served from one snapshot load; src/dst are unused.
 	batch []rbpc.Pair
+	// drain, when non-nil, is a Drain barrier: the worker closes it after
+	// serving everything queued ahead of it. No query is attached.
+	drain chan struct{}
 }
 
 // netHandle wraps the epoch's writable network clone for plan resolution.
@@ -193,7 +217,7 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 		costIndex: costIndex,
 		live:      paths.NewLiveIndex(p.Base, costIndex),
 		canonical: make([][]*Route, n),
-		planCache: map[string]*plan{"": emptyPlan},
+		planCache: newPlanCache(cfg.PlanCacheCap),
 		prevPlan:  emptyPlan,
 		downCount: make(map[rbpc.Pair]int),
 		events:    make(chan writerMsg, 256),
@@ -221,9 +245,14 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 	}
 	e.pairIndex = graph.BuildPairIndex(p.Graph.Size(), lists)
 
-	// Canonical routing matrix from the provisioned routes.
-	for i := range e.canonical {
-		e.canonical[i] = make([]*Route, n)
+	// Canonical routing matrix from the provisioned routes. Dense mode
+	// allocates every row up front; delta mode allocates rows lazily from
+	// the routes actually provisioned, so sources outside a hot-set
+	// provision stay nil (non-materialized) and cost nothing.
+	if !cfg.DeltaRows {
+		for i := range e.canonical {
+			e.canonical[i] = make([]*Route, n)
+		}
 	}
 	for pr, lsps := range p.Routes {
 		stack, err := mpls.SelfStack(lsps)
@@ -234,7 +263,19 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 		for _, l := range lsps {
 			cost += l.Path.CostIn(p.Graph)
 		}
-		e.canonical[pr.Src][pr.Dst] = &Route{LSPs: lsps, Stack: stack, Cost: cost}
+		row := e.canonical[pr.Src]
+		if row == nil {
+			row = make([]*Route, n)
+			e.canonical[pr.Src] = row
+		}
+		row[pr.Dst] = &Route{LSPs: lsps, Stack: stack, Cost: cost}
+	}
+
+	e.canonBytes = int64(n) * 8
+	for _, row := range e.canonical {
+		if row != nil {
+			e.canonBytes += int64(len(row)) * 8
+		}
 	}
 
 	// Epoch 0: the pristine snapshot. The provision's network is cloned
@@ -246,9 +287,15 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 		fv:      graph.FailEdges(p.Graph),
 		net:     p.Net.Clone(),
 		oracle:  spath.NewOracle(graph.FailEdges(p.Graph)),
-		rows:    e.canonical,
 		created: time.Now(),
 	}
+	if cfg.DeltaRows {
+		s0.canon = e.canonical
+		s0.over = make([]*planRow, n)
+	} else {
+		s0.rows = e.canonical
+	}
+	s0.rowBytes, s0.denseBytes = e.accountRows(s0.rows, s0.over)
 	if cfg.OracleCap > 0 {
 		s0.oracle.SetCap(cfg.OracleCap)
 	}
@@ -282,7 +329,7 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 //rbpc:hotpath
 func (e *Engine) Query(src, dst graph.NodeID) Result {
 	s := e.snap.Load()
-	r := s.rows[src][dst]
+	r := s.Route(src, dst)
 	key := uint64(src)*0x9e3779b1 + uint64(dst)
 	e.mQueries.Add(key, 1)
 	if r == nil && src != dst {
@@ -347,6 +394,10 @@ func (e *Engine) queryWorker(id uint64) {
 		case <-e.done:
 			return
 		case q := <-ch:
+			if q.drain != nil {
+				close(q.drain)
+				continue
+			}
 			if q.batch != nil {
 				e.serveBatch(id, q)
 				continue
@@ -369,7 +420,7 @@ func (e *Engine) serveBatch(id uint64, q queryReq) {
 	s := e.snap.Load()
 	var unroutable int64
 	for _, pr := range q.batch {
-		r := s.rows[pr.Src][pr.Dst]
+		r := s.Route(pr.Src, pr.Dst)
 		if r == nil && pr.Src != pr.Dst {
 			unroutable++
 		}
@@ -421,6 +472,33 @@ func (e *Engine) Flush() {
 	}
 }
 
+// Drain blocks until every query submitted before the call has been
+// served: it enqueues a barrier on each worker shard (blocking if the
+// shard is full — drains never shed) and waits for all workers to pass
+// it. Queries submitted concurrently with Drain may or may not be
+// covered. Call before scraping final metrics so tail latencies of the
+// residual queue are recorded; returns immediately if the engine is
+// closed.
+func (e *Engine) Drain() {
+	barriers := make([]chan struct{}, len(e.queries))
+	for i, ch := range e.queries {
+		b := make(chan struct{})
+		select {
+		case ch <- queryReq{drain: b}:
+			barriers[i] = b
+		case <-e.done:
+			return
+		}
+	}
+	for _, b := range barriers {
+		select {
+		case <-b:
+		case <-e.done:
+			return
+		}
+	}
+}
+
 // Close stops the writer and workers. Queries against already-obtained
 // snapshots remain valid; Engine methods must not be called after Close.
 func (e *Engine) Close() {
@@ -453,6 +531,8 @@ func (e *Engine) Stats() Stats {
 		PlanCacheHits: e.mCacheHits.Load(),
 		PlanCacheMiss: e.mCacheMiss.Load(),
 		OnDemandLSPs:  atomic.LoadInt64(&e.onDemand),
+		RowBytes:      e.rowBytes.Load(),
+		DenseRowBytes: e.denseBytes.Load(),
 		QueryLatency:  e.mLatency.Summarize(),
 		EpochBuild:    e.mBuild.Summarize(),
 		Incremental:   e.inc.snapshot(),
@@ -666,6 +746,55 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 
 	assembleStart := time.Now()
 	var rows [][]*Route
+	var over []*planRow
+	var warmSrcs []graph.NodeID
+	if e.cfg.DeltaRows {
+		over, warmSrcs = e.assembleOverlay(prev, pl, changed, delta, net)
+	} else {
+		rows, warmSrcs = e.assembleDense(prev, pl, changed, delta, net)
+	}
+	e.inc.assembleNs.Add(time.Since(assembleStart).Nanoseconds())
+
+	if e.cfg.WarmOracle {
+		oracle.Precompute(warmSrcs, e.cfg.BuildWorkers)
+	}
+
+	var canon [][]*Route
+	if e.cfg.DeltaRows {
+		canon = e.canonical
+	}
+	resident, dense := e.accountRows(rows, over)
+	next := &Snapshot{
+		epoch:      prev.epoch + 1,
+		failed:     failed,
+		key:        key,
+		fv:         fv,
+		net:        net,
+		oracle:     oracle,
+		created:    time.Now(),
+		canon:      canon,
+		over:       over,
+		rows:       rows,
+		rowBytes:   resident,
+		denseBytes: dense,
+	}
+	e.prevPlan = pl
+	e.snap.Store(next)
+	e.mEpochs.Add(0, 1)
+	e.mBuild.Record(0, time.Since(start))
+	if e.cfg.OnEpoch != nil {
+		e.cfg.OnEpoch(next)
+	}
+}
+
+// assembleDense builds the dense serving matrix for the next epoch. The
+// delta path shares every untouched row of the previous snapshot
+// (copy-on-write) and rewrites only the changed pairs; the full path
+// (cache hits, reference mode, fault paths) starts from canonical rows
+// and applies the whole plan. Both rewrite the FEC entries of the pairs
+// they touch on the epoch's cloned net.
+func (e *Engine) assembleDense(prev *Snapshot, pl *plan, changed []rbpc.Pair, delta bool, net *mpls.Network) ([][]*Route, []graph.NodeID) {
+	var rows [][]*Route
 	var warmSrcs []graph.NodeID
 	if delta {
 		// Delta apply: share every untouched row of the previous snapshot
@@ -794,29 +923,24 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 			warmSrcs = append(warmSrcs, s)
 		}
 	}
-	e.inc.assembleNs.Add(time.Since(assembleStart).Nanoseconds())
+	return rows, warmSrcs
+}
 
-	if e.cfg.WarmOracle {
-		oracle.Precompute(warmSrcs, e.cfg.BuildWorkers)
+// accountRows computes the resident routing-matrix bytes of a snapshot
+// holding the given dense rows / overlay and the dense all-pairs
+// equivalent, mirroring both into the engine's scrape counters. Dense
+// mode holds the full matrix by construction; delta mode pays for
+// materialized canonical rows plus the overlay.
+func (e *Engine) accountRows(rows [][]*Route, over []*planRow) (resident, dense int64) {
+	n := int64(len(e.canonical))
+	dense = n*8 + n*n*8
+	resident = dense
+	if rows == nil {
+		resident = e.canonBytes + overlayBytes(over)
 	}
-
-	next := &Snapshot{
-		epoch:   prev.epoch + 1,
-		failed:  failed,
-		key:     key,
-		fv:      fv,
-		net:     net,
-		oracle:  oracle,
-		rows:    rows,
-		created: time.Now(),
-	}
-	e.prevPlan = pl
-	e.snap.Store(next)
-	e.mEpochs.Add(0, 1)
-	e.mBuild.Record(0, time.Since(start))
-	if e.cfg.OnEpoch != nil {
-		e.cfg.OnEpoch(next)
-	}
+	e.rowBytes.Store(resident)
+	e.denseBytes.Store(dense)
+	return resident, dense
 }
 
 // resolveRoute maps a decomposition onto LSPs via the shared resolver,

@@ -143,21 +143,82 @@ func (e *Engine) computePlan(failed []graph.EdgeID, net *netHandle) *plan {
 
 // lookupPlan consults the failed-set plan cache.
 func (e *Engine) lookupPlan(key string) (*plan, bool) {
-	p, ok := e.planCache[key]
-	return p, ok
+	return e.planCache.get(key)
 }
 
-// storePlan caches a freshly built plan, evicting an arbitrary non-pristine
-// entry when the cache is at capacity.
+// storePlan caches a freshly built plan, evicting by CLOCK when the cache
+// is at capacity.
 func (e *Engine) storePlan(p *plan) {
-	if e.cfg.PlanCacheCap > 0 && len(e.planCache) >= e.cfg.PlanCacheCap {
-		for k := range e.planCache {
-			if k == "" {
-				continue // never evict the pristine plan
-			}
-			delete(e.planCache, k)
-			break
-		}
-	}
-	e.planCache[p.key] = p
+	e.planCache.put(p)
 }
+
+// planCache is the bounded failed-set plan cache, owned by the writer
+// goroutine (no locking). Eviction is CLOCK: entries sit on a ring with a
+// reference bit set on every hit; the hand sweeps past recently-used
+// entries (clearing their bits) and reclaims the first un-referenced
+// slot, approximating LRU without per-access list surgery. The pristine
+// plan ("") lives outside the ring and is never evicted — "repair
+// everything" transitions must stay free at any capacity. cap <= 0 means
+// unbounded (the pre-existing default; small topologies and tests rely
+// on it).
+type planCache struct {
+	cap     int
+	entries map[string]*planEntry
+	ring    []*planEntry
+	hand    int
+}
+
+type planEntry struct {
+	p   *plan
+	ref bool
+}
+
+// newPlanCache builds the cache pre-seeded with the pristine plan.
+func newPlanCache(cap int) *planCache {
+	return &planCache{
+		cap:     cap,
+		entries: map[string]*planEntry{"": {p: emptyPlan}},
+	}
+}
+
+func (c *planCache) get(key string) (*plan, bool) {
+	ent, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	ent.ref = true
+	return ent.p, true
+}
+
+func (c *planCache) put(p *plan) {
+	if ent, ok := c.entries[p.key]; ok {
+		ent.p = p
+		ent.ref = true
+		return
+	}
+	ent := &planEntry{p: p, ref: true}
+	c.entries[p.key] = ent
+	if c.cap <= 0 || len(c.ring) < c.cap {
+		c.ring = append(c.ring, ent)
+		return
+	}
+	// At capacity: sweep the hand to the first entry whose reference bit
+	// is clear, evict it, and reuse its slot. Terminates within two laps —
+	// the first lap clears every bit. The new entry keeps its ref bit, so
+	// it survives the hand's next pass.
+	for {
+		victim := c.ring[c.hand]
+		if victim.ref {
+			victim.ref = false
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(c.entries, victim.p.key)
+		c.ring[c.hand] = ent
+		c.hand = (c.hand + 1) % len(c.ring)
+		return
+	}
+}
+
+// size reports resident plans, the pristine entry included.
+func (c *planCache) size() int { return len(c.entries) }

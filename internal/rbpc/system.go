@@ -43,6 +43,16 @@ type Config struct {
 	// so that the "k edges" of Theorem 2 are themselves pre-provisioned
 	// and multi-failure restoration stays signaling-free.
 	EdgeLSPs bool
+	// Sources, when non-nil, restricts per-pair provisioning to the hot
+	// set: base paths, primaries, routes, and FEC entries are installed
+	// only for pairs whose source is listed, turning the O(n²) all-pairs
+	// sweep into O(|Sources|·n). Pairs from unlisted sources have no
+	// precomputed state — Corollary 4 guarantees they can still be
+	// answered on demand from the base set (with EdgeLSPs the base stays
+	// edge-complete, so optimal-cost answers always exist). This is what
+	// makes full-scale topologies provisionable; the sharded serving
+	// layer's cold-pair path consumes it. Nil provisions every source.
+	Sources []graph.NodeID
 }
 
 // DefaultConfig enables both closures: full pre-provisioning, zero
@@ -102,9 +112,12 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 
 	all := paths.NewAllShortest(g)
 	n := g.Order()
-	sources := make([]graph.NodeID, n)
-	for i := range sources {
-		sources[i] = graph.NodeID(i)
+	sources := cfg.Sources
+	if sources == nil {
+		sources = make([]graph.NodeID, n)
+		for i := range sources {
+			sources[i] = graph.NodeID(i)
+		}
 	}
 	base := paths.FromSources(all, sources)
 	if cfg.SubpathClosure {
@@ -126,13 +139,13 @@ func NewSystem(g *graph.Graph, cfg Config) (*System, error) {
 		s.lspOf[p.Key()] = lsp
 	}
 
-	// Primary routes and FEC entries.
-	for si := 0; si < n; si++ {
+	// Primary routes and FEC entries, hot sources only.
+	for _, src := range sources {
 		for di := 0; di < n; di++ {
-			if si == di {
+			if graph.NodeID(di) == src {
 				continue
 			}
-			pr := Pair{graph.NodeID(si), graph.NodeID(di)}
+			pr := Pair{src, graph.NodeID(di)}
 			p, ok := base.Between(pr.Src, pr.Dst)
 			if !ok {
 				continue // disconnected pair

@@ -1,0 +1,377 @@
+package shard
+
+import (
+	"fmt"
+	"maps"
+	"runtime"
+	"sync"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/engine/metrics"
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/rbpc"
+)
+
+// Coordinator fronts N shard engines: it partitions the provisioned pair
+// space by ring ownership, routes queries and submissions to owners,
+// fans failure/repair bursts out to every shard, and merges per-shard
+// state into consistent cross-shard views and stats. It is the thin
+// layer — all serving and epoch building happens inside the shards; the
+// coordinator holds no hot-path locks (the only mutex guards the epoch
+// watermark table, touched once per published epoch).
+type Coordinator struct {
+	g     *graph.Graph
+	ring  *Ring
+	cfg   Config
+	shard []*engine.Engine
+	cold  *coldTier
+
+	mu sync.Mutex
+	// watermarks holds the highest epoch each shard has published, fed by
+	// the per-shard OnEpoch taps.
+	watermarks []uint64 //rbpc:guardedby mu
+}
+
+// New partitions the provision across cfg.Shards engines and starts
+// them. Each shard receives only the primaries and routes of the sources
+// it owns (its engines run delta-row mode, so unowned — and unprovisioned
+// cold — sources cost it nothing); graph, base set, and network are
+// shared (each engine clones the network copy-on-write). p.Failed must be
+// empty, as for engine.New.
+func New(p rbpc.Provision, cfg Config) (*Coordinator, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: config needs Shards >= 1, got %d", cfg.Shards)
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VNodes, cfg.RingSeed)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		g:          p.Graph,
+		ring:       ring,
+		cfg:        cfg,
+		shard:      make([]*engine.Engine, cfg.Shards),
+		watermarks: make([]uint64, cfg.Shards),
+	}
+
+	// Partition the per-pair state by owner. The shared LSP registry is
+	// cloned per shard: each engine signs on-demand LSPs into its own
+	// registry, and concurrent writers must not share a map.
+	primsBy := make([]map[rbpc.Pair]*mpls.LSP, cfg.Shards)
+	routesBy := make([]map[rbpc.Pair][]*mpls.LSP, cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		primsBy[i] = make(map[rbpc.Pair]*mpls.LSP)
+		routesBy[i] = make(map[rbpc.Pair][]*mpls.LSP)
+	}
+	for pr, lsp := range p.Primaries {
+		primsBy[ring.Owner(pr.Src)][pr] = lsp
+	}
+	for pr, lsps := range p.Routes {
+		routesBy[ring.Owner(pr.Src)][pr] = lsps
+	}
+
+	for i := 0; i < cfg.Shards; i++ {
+		sp := p
+		sp.Primaries = primsBy[i]
+		sp.Routes = routesBy[i]
+		sp.LSPs = maps.Clone(p.LSPs)
+
+		ecfg := cfg.Engine
+		ecfg.DeltaRows = true
+		idx := i
+		userTap := cfg.Engine.OnEpoch
+		ecfg.OnEpoch = func(s *engine.Snapshot) {
+			c.mu.Lock()
+			if s.Epoch() > c.watermarks[idx] {
+				c.watermarks[idx] = s.Epoch()
+			}
+			c.mu.Unlock()
+			if userTap != nil {
+				userTap(s)
+			}
+		}
+		eng, err := engine.New(sp, ecfg)
+		if err != nil {
+			for _, sh := range c.shard[:i] {
+				sh.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		c.shard[i] = eng
+	}
+
+	c.cold = newColdTier(p.Graph, p.Base, maps.Clone(p.LSPs), cfg.Cold, cfg.Engine.OnResult)
+	return c, nil
+}
+
+// Ring returns the routing ring (immutable; safe to share with remote
+// routers).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Shards returns the number of shard engines.
+func (c *Coordinator) Shards() int { return len(c.shard) }
+
+// Fail fans a link failure out to every shard (each needs full failure
+// knowledge to rebuild the rows it owns).
+func (c *Coordinator) Fail(ed graph.EdgeID) {
+	for i, sh := range c.shard {
+		if c.cfg.Fault == FaultSkewShard && i == 0 {
+			continue // injected defect: shard 0 never learns
+		}
+		sh.Fail(ed)
+	}
+}
+
+// Repair fans a link repair out to every shard.
+func (c *Coordinator) Repair(ed graph.EdgeID) {
+	for i, sh := range c.shard {
+		if c.cfg.Fault == FaultSkewShard && i == 0 {
+			continue
+		}
+		sh.Repair(ed)
+	}
+}
+
+// ApplyEvents fans a churn burst out to every shard; each shard's writer
+// coalesces it independently.
+func (c *Coordinator) ApplyEvents(evs []failure.Event) {
+	for _, ev := range evs {
+		if ev.Repair {
+			c.Repair(ev.Edge)
+		} else {
+			c.Fail(ev.Edge)
+		}
+	}
+}
+
+// Flush blocks until every event sent before the call is reflected in
+// every shard's published snapshot.
+func (c *Coordinator) Flush() {
+	for _, sh := range c.shard {
+		sh.Flush()
+	}
+}
+
+// Query answers synchronously, routed by ring ownership. Materialized
+// sources are a lock-free row read in the owner shard; cold sources go
+// through the admission-controlled on-demand tier against the owner's
+// current snapshot.
+//
+//rbpc:hotpath
+func (c *Coordinator) Query(src, dst graph.NodeID) engine.Result {
+	sh := c.shard[c.ring.Owner(src)]
+	s := sh.Snapshot()
+	if !s.Materialized(src) {
+		return c.cold.query(src, dst, s) //rbpc:allow hotpath -- cold-pair divert is the deliberate slow path
+	}
+	return sh.Query(src, dst)
+}
+
+// Submit enqueues one async query with the owner shard (or the cold
+// tier). Reports false when shed.
+func (c *Coordinator) Submit(src, dst graph.NodeID) bool {
+	sh := c.shard[c.ring.Owner(src)]
+	if s := sh.Snapshot(); !s.Materialized(src) {
+		return c.cold.submit(src, dst, s)
+	}
+	return sh.Submit(src, dst)
+}
+
+// SubmitBatch splits a burst by ring ownership and hands each owner its
+// sub-batch in one channel operation; pairs from non-materialized
+// sources are diverted to the cold tier's admission queue. The
+// coordinator takes ownership of pairs. Returns the number of queries
+// accepted (each sub-batch is admitted or shed as a unit by its shard).
+func (c *Coordinator) SubmitBatch(pairs []rbpc.Pair) int {
+	if len(pairs) == 0 {
+		return 0
+	}
+	buckets := make([][]rbpc.Pair, len(c.shard))
+	accepted := 0
+	for _, pr := range pairs {
+		w := c.ring.Owner(pr.Src)
+		snap := c.shard[w].Snapshot()
+		if coldPair(snap, pr) {
+			if c.cold.submit(pr.Src, pr.Dst, snap) {
+				accepted++
+			}
+			continue
+		}
+		buckets[w] = append(buckets[w], pr)
+	}
+	for i, b := range buckets {
+		if len(b) > 0 {
+			accepted += c.shard[i].SubmitBatch(b)
+		}
+	}
+	return accepted
+}
+
+// Shard returns shard i's engine — the chaos harness inspects per-shard
+// snapshots directly.
+func (c *Coordinator) Shard(i int) *engine.Engine { return c.shard[i] }
+
+// Watermark returns the low epoch watermark: every shard has published
+// at least this epoch.
+func (c *Coordinator) Watermark() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	low := c.watermarks[0]
+	for _, w := range c.watermarks[1:] {
+		if w < low {
+			low = w
+		}
+	}
+	return low
+}
+
+// View is a consistent cross-shard read: one snapshot per shard, all
+// agreeing on the failed-set, so a caller walking pairs across shards
+// never observes a torn epoch (shard A answering for failed-set X while
+// shard B answers for Y).
+//
+//rbpc:immutable
+type View struct {
+	ring  *Ring
+	snaps []*engine.Snapshot
+}
+
+// Shards returns the number of per-shard snapshots in the view.
+func (v View) Shards() int { return len(v.snaps) }
+
+// Snap returns the snapshot serving the source.
+func (v View) Snap(src graph.NodeID) *engine.Snapshot { return v.snaps[v.ring.Owner(src)] }
+
+// Shard returns shard i's snapshot.
+func (v View) Shard(i int) *engine.Snapshot { return v.snaps[i] }
+
+// Route answers a pair from the view (nil for unroutable or cold pairs).
+func (v View) Route(src, dst graph.NodeID) *engine.Route {
+	return v.Snap(src).Route(src, dst)
+}
+
+// View assembles a consistent cross-shard view. Between bursts (and
+// always after Flush) the first attempt succeeds; under concurrent churn
+// it retries while the shards' independently-coalesced epochs converge,
+// and reports ok=false with the latest (possibly torn) snapshots if they
+// fail to agree within the retry budget — which a correct deployment
+// only hits mid-burst, and an injected skew fault hits forever.
+func (c *Coordinator) View() (View, bool) {
+	const retries = 128
+	snaps := make([]*engine.Snapshot, len(c.shard))
+	for attempt := 0; attempt < retries; attempt++ {
+		for i, sh := range c.shard {
+			snaps[i] = sh.Snapshot()
+		}
+		if failedSetsAgree(snaps) {
+			return View{ring: c.ring, snaps: snaps}, true
+		}
+		runtime.Gosched()
+	}
+	return View{ring: c.ring, snaps: snaps}, false
+}
+
+func failedSetsAgree(snaps []*engine.Snapshot) bool {
+	first := snaps[0].Failed()
+	for _, s := range snaps[1:] {
+		f := s.Failed()
+		if len(f) != len(first) {
+			return false
+		}
+		for i := range f {
+			if f[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Drain blocks until every query submitted before the call has been
+// served by its shard or the cold tier.
+func (c *Coordinator) Drain() {
+	for _, sh := range c.shard {
+		sh.Drain()
+	}
+	c.cold.drain()
+}
+
+// Close stops every shard and the cold tier.
+func (c *Coordinator) Close() {
+	for _, sh := range c.shard {
+		sh.Close()
+	}
+	c.cold.close()
+}
+
+// Stats merges the shard scrapes: counters sum, latency percentiles take
+// the worst shard (per-shard histograms cannot be re-merged), RowBytes
+// sums residents while DenseRowBytes stays the single-engine dense
+// baseline the shards collectively replace.
+func (c *Coordinator) Stats() Stats {
+	st := Stats{
+		Shards:   len(c.shard),
+		Epoch:    c.Watermark(),
+		Cold:     c.cold.stats(),
+		PerShard: make([]engine.Stats, len(c.shard)),
+	}
+	for i, sh := range c.shard {
+		es := sh.Stats()
+		st.PerShard[i] = es
+		st.Queries += es.Queries
+		st.Unroutable += es.Unroutable
+		st.Submitted += es.Submitted
+		st.Dropped += es.Dropped
+		st.QueueDepth += es.QueueDepth
+		st.Epochs += es.Epochs
+		st.PlanCacheHits += es.PlanCacheHits
+		st.PlanCacheMiss += es.PlanCacheMiss
+		st.OnDemandLSPs += es.OnDemandLSPs
+		st.RowBytes += es.RowBytes
+		if es.DenseRowBytes > st.DenseRowBytes {
+			st.DenseRowBytes = es.DenseRowBytes
+		}
+		st.QueryLatency = maxSummary(st.QueryLatency, es.QueryLatency)
+		st.EpochBuild = maxSummary(st.EpochBuild, es.EpochBuild)
+		st.Incremental = sumIncremental(st.Incremental, es.Incremental)
+	}
+	st.Queries += st.Cold.Queries - st.Cold.Shed
+	st.Dropped += st.Cold.Shed
+	return st
+}
+
+func maxSummary(a, b metrics.Summary) metrics.Summary {
+	out := a
+	out.Count = a.Count + b.Count
+	if b.P50 > out.P50 {
+		out.P50 = b.P50
+	}
+	if b.P90 > out.P90 {
+		out.P90 = b.P90
+	}
+	if b.P99 > out.P99 {
+		out.P99 = b.P99
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+func sumIncremental(a, b engine.IncrementalStats) engine.IncrementalStats {
+	a.PairsReused += b.PairsReused
+	a.PairsRecomputed += b.PairsRecomputed
+	a.Entering += b.Entering
+	a.Leaving += b.Leaving
+	a.StaleRoutes += b.StaleRoutes
+	a.RepairImproved += b.RepairImproved
+	a.TreesAdopted += b.TreesAdopted
+	a.FullRebuilds += b.FullRebuilds
+	a.AffectedNanos += b.AffectedNanos
+	a.SolveNanos += b.SolveNanos
+	a.ResolveNanos += b.ResolveNanos
+	a.AssembleNanos += b.AssembleNanos
+	return a
+}

@@ -1,0 +1,136 @@
+// Package shard partitions the pair space by source across N independent
+// serving shards, each an internal/engine instance owning one slice of
+// the sources — the scale-out layer that takes the single-writer engine
+// to full-size topologies.
+//
+// The partition is by source because the incremental builder's
+// affected-pair sets already split cleanly along that axis: a failure's
+// affected pairs group by source, every serving row is per-source, and a
+// shard can therefore run its own writer, plan cache, and epoch sequence
+// over its slice without ever coordinating with its peers on the hot
+// path. A consistent-hash ring (virtual nodes, deterministic seed — see
+// Ring) routes queries and submissions to owners; the Coordinator fans
+// coalesced failure/repair bursts out to every shard (each needs full
+// failure knowledge to rebuild its rows), tracks per-shard epoch
+// watermarks, and exposes a merged snapshot view (View) that never
+// returns a torn cross-shard epoch.
+//
+// Shards run their engines in delta-row mode: snapshots share the
+// canonical matrix and carry only per-source divergence rows, and
+// sources outside the provisioned hot set are not materialized at all.
+// Queries for those cold pairs fall through to an admission-controlled
+// on-demand tier (see cold.go) that solves them straight from the base
+// set — Corollary 4 guarantees an optimal-cost concatenation exists for
+// any connected pair — and promotes answers that stay hot into a bounded
+// cache.
+//
+// Everything is in-process here; the ring/coordinator split is the
+// process boundary of a future multi-process deployment (the ring is a
+// pure function of its parameters, so remote processes agree on
+// ownership without coordination).
+package shard
+
+import (
+	"fmt"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/engine/metrics"
+	"rbpc/internal/graph"
+)
+
+// Fault injects a deliberate coordinator defect for the chaos harness's
+// shard-level conformance proofs. Production leaves FaultNone.
+type Fault int
+
+const (
+	// FaultNone is the production coordinator.
+	FaultNone Fault = iota
+	// FaultSkewShard drops every failure/repair event destined for shard
+	// 0, skewing its epoch state behind its peers — the torn-view defect
+	// the per-shard flush-agreement oracle must catch.
+	FaultSkewShard
+)
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultSkewShard:
+		return "skew-shard"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Faults lists every injectable coordinator fault.
+func Faults() []Fault { return []Fault{FaultSkewShard} }
+
+// ParseFault maps a Fault name back to its value.
+func ParseFault(name string) (Fault, error) {
+	for _, f := range append(Faults(), FaultNone) {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("shard: unknown fault %q", name)
+}
+
+// Config tunes the coordinator. The zero value of every field except
+// Shards selects a default.
+type Config struct {
+	// Shards is the number of independent shard engines (required, >= 1).
+	Shards int
+	// VNodes is the ring's virtual-node count per shard (default
+	// DefaultVNodes).
+	VNodes int
+	// RingSeed seeds the ring hash (default DefaultRingSeed). Part of the
+	// routing contract — all processes of a deployment must agree.
+	RingSeed uint64
+	// Engine is the per-shard engine configuration template. DeltaRows is
+	// forced on; OnEpoch is chained after the coordinator's watermark tap.
+	Engine engine.Config
+	// Cold tunes the on-demand tier for non-materialized sources.
+	Cold ColdConfig
+	// Fault injects a coordinator defect (chaos harness only).
+	Fault Fault
+}
+
+// Stats is a point-in-time scrape of the coordinator: sums of the shard
+// counters, the cold tier's counters, and the per-shard breakdown.
+type Stats struct {
+	Shards int
+	// Epoch is the low watermark: the highest epoch every shard has
+	// reached. Individual shards may be ahead.
+	Epoch uint64
+
+	Queries       int64
+	Unroutable    int64
+	Submitted     int64
+	Dropped       int64
+	QueueDepth    int
+	Epochs        int64
+	PlanCacheHits int64
+	PlanCacheMiss int64
+	OnDemandLSPs  int64
+
+	// RowBytes sums resident routing-matrix bytes across shards;
+	// DenseRowBytes is what ONE dense all-pairs engine would hold (the
+	// shards partition a single pair space, so the baseline is not
+	// summed). Their ratio is the delta-encoding + cold-pair saving.
+	RowBytes      int64
+	DenseRowBytes int64
+
+	// QueryLatency/EpochBuild take the worst shard per percentile — the
+	// conservative tail, since per-shard histograms cannot be re-merged.
+	QueryLatency metrics.Summary
+	EpochBuild   metrics.Summary
+	// Incremental sums the per-shard incremental builder counters.
+	Incremental engine.IncrementalStats
+	Cold        ColdStats
+	PerShard    []engine.Stats
+}
+
+// Owner returns the shard owning the source — exported for the chaos
+// harness, which partitions its reference checks the same way.
+func (c *Coordinator) Owner(src graph.NodeID) int { return c.ring.Owner(src) }

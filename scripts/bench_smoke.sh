@@ -43,12 +43,39 @@ GOMAXPROCS=8 go run ./cmd/rbpc-serve \
     -strict -bench-dir "$out"
 
 echo
+echo "== GOMAXPROCS=8: rbpc-serve, sharded (-shards 4) with hot set + cold tier, strict =="
+# The cold-tier queue must cover the window's worth of backlog when cold
+# solves arrive faster than the solver pool drains them: shed happens only
+# on a full admission queue, and the end-of-window Drain barrier absorbs
+# whatever is still queued, so a deep queue turns transient overload into
+# latency instead of strict-mode drops.
+GOMAXPROCS=8 go run ./cmd/rbpc-serve \
+    -topology as -scale 0.02 -qps 40000 -duration 2s \
+    -shards 4 -hot-sources 40 -plan-cache-max 256 \
+    -cold-queue 65536 -cold-cache 16384 -cold-promote-after 2 \
+    -strict -bench-dir "$out"
+
+echo
 echo "== regression gate: same-machine churn double-run, -compare-fail-pct 100 =="
 baseline="$out/baseline"
 mkdir -p "$baseline"
 cp "$out/BENCH_engine_churn.json" "$baseline/BENCH_engine_churn.json"
 GOMAXPROCS=4 go run ./cmd/rbpc-bench \
     -engine -engine-scale 0.02 -engine-steps 12 -bench-dir "$out"
+go run ./cmd/rbpc-bench \
+    -compare "$baseline/BENCH_engine_churn.json" -bench-dir "$out" \
+    -compare-fail-pct 100
+
+echo
+echo "== regression gate: sharded churn double-run (-engine-shards 4), -compare-fail-pct 100 =="
+GOMAXPROCS=8 go run ./cmd/rbpc-bench \
+    -engine -engine-scale 0.02 -engine-steps 12 \
+    -engine-shards 4 -engine-hot-sources 40 -engine-shard-sweep 1,2,4 \
+    -bench-dir "$baseline"
+GOMAXPROCS=8 go run ./cmd/rbpc-bench \
+    -engine -engine-scale 0.02 -engine-steps 12 \
+    -engine-shards 4 -engine-hot-sources 40 -engine-shard-sweep 1,2,4 \
+    -bench-dir "$out"
 go run ./cmd/rbpc-bench \
     -compare "$baseline/BENCH_engine_churn.json" -bench-dir "$out" \
     -compare-fail-pct 100
