@@ -13,13 +13,18 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The rbpc-lint invariant checkers (see internal/analysis and DESIGN.md §10):
-# whole-module direct mode first (one cross-package annotation index), then
-# the same binary through go vet's unit protocol, which also covers _test.go
-# files and caches per-package results.
+# Content-hash fact cache for direct-mode lint: warm runs with unchanged
+# sources re-parse and re-compile nothing (DESIGN.md §15).
+RBPC_LINT_CACHE ?= $(CURDIR)/.cache/rbpc-lint
+
+# The rbpc-lint invariant checkers (see internal/analysis and DESIGN.md
+# §10/§15): whole-module direct mode first (one cross-package annotation
+# index, compiler escape ground truth for allocprove, //rbpc:allow
+# staleness audit), then the same binary through go vet's unit protocol,
+# which also covers _test.go files and caches per-package results.
 lint:
 	$(GO) build -o bin/rbpc-lint ./cmd/rbpc-lint
-	./bin/rbpc-lint ./...
+	./bin/rbpc-lint -cache $(RBPC_LINT_CACHE) -unused-allow ./...
 	$(GO) vet -vettool=$(CURDIR)/bin/rbpc-lint ./...
 
 race:

@@ -1,5 +1,6 @@
 // Command rbpc-lint runs the repository's invariant checker suite (see
-// internal/analysis): immutable, hotpath, guardedby, and atomicmix.
+// internal/analysis): immutable, hotpath, guardedby, atomicmix,
+// lockorder, snapshotescape, deterministic, and allocprove.
 //
 // Two modes:
 //
@@ -16,6 +17,14 @@
 //	                                    dependency annotations from vet
 //	                                    facts files, and writes its own for
 //	                                    packages that depend on it.
+//
+// Whole-module flags:
+//
+//	-checkers a,b      run only the named checkers (default: all)
+//	-unused-allow      fail when a //rbpc:allow suppresses nothing
+//	-github            emit findings as GitHub Actions annotations
+//	-json              emit findings as JSON
+//	-cache DIR         content-hash fact cache (default $RBPC_LINT_CACHE)
 //
 // Exit status: 0 clean, 1 operational error, 2 diagnostics reported.
 package main
@@ -55,8 +64,12 @@ func main() {
 	// reply has to look like "name version stamp" for the build cache key.
 	versionFlag := flag.Bool("V", false, "print version and exit (vet tool protocol)")
 	jsonFlag := flag.Bool("json", false, "emit diagnostics as JSON")
+	githubFlag := flag.Bool("github", false, "emit diagnostics as GitHub Actions ::error annotations")
+	checkersFlag := flag.String("checkers", "", "comma-separated checker names to run (default: all)")
+	unusedAllowFlag := flag.Bool("unused-allow", false, "fail when a //rbpc:allow directive suppresses nothing")
+	cacheFlag := flag.String("cache", os.Getenv("RBPC_LINT_CACHE"), "fact cache directory (empty disables; default $RBPC_LINT_CACHE)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rbpc-lint [packages]   or   go vet -vettool=rbpc-lint [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: rbpc-lint [flags] [packages]   or   go vet -vettool=rbpc-lint [packages]\n")
 		flag.PrintDefaults()
 	}
 	// Accept -V=full without choking on the "full" value, and answer the
@@ -87,21 +100,76 @@ func main() {
 	if len(rest) == 0 {
 		rest = []string{"./..."}
 	}
-	os.Exit(direct(rest, *jsonFlag))
+	os.Exit(direct(rest, directOptions{
+		json:        *jsonFlag,
+		github:      *githubFlag,
+		checkers:    *checkersFlag,
+		unusedAllow: *unusedAllowFlag,
+		cacheDir:    *cacheFlag,
+	}))
+}
+
+type directOptions struct {
+	json        bool
+	github      bool
+	checkers    string
+	unusedAllow bool
+	cacheDir    string
 }
 
 // direct is whole-module mode.
-func direct(patterns []string, asJSON bool) int {
-	diags, err := analysis.AnalyzeModule(analysis.All, ".", patterns...)
+func direct(patterns []string, opts directOptions) int {
+	analyzers := analysis.All
+	if opts.checkers != "" {
+		var err error
+		analyzers, err = analysis.ByName(strings.Split(opts.checkers, ","))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbpc-lint: %v\n", err)
+			return 1
+		}
+	}
+	escapes := false
+	for _, a := range analyzers {
+		if a == analysis.AllocProve {
+			escapes = true
+		}
+	}
+	res, err := analysis.AnalyzeModuleOpts(analysis.ModuleOptions{
+		Dir:         ".",
+		Patterns:    patterns,
+		Analyzers:   analyzers,
+		Escapes:     escapes,
+		CacheDir:    opts.cacheDir,
+		UnusedAllow: opts.unusedAllow,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rbpc-lint: %v\n", err)
 		return 1
 	}
-	return report(diags, asJSON)
+	code := report(res.Diags, opts)
+	if opts.unusedAllow && len(res.StaleAllows) > 0 {
+		for _, a := range res.StaleAllows {
+			msg := fmt.Sprintf("%s: stale //rbpc:allow %s suppresses nothing; remove it", a.Site, a.Name)
+			if opts.github {
+				pos := strings.SplitN(a.Site, ":", 2)
+				line := ""
+				if len(pos) == 2 {
+					line = pos[1]
+				}
+				fmt.Printf("::error file=%s,line=%s::%s\n", pos[0], line, msg)
+			}
+			fmt.Fprintln(os.Stderr, msg)
+		}
+		fmt.Fprintf(os.Stderr, "rbpc-lint: %d stale allow(s)\n", len(res.StaleAllows))
+		if code == 0 {
+			code = 2
+		}
+	}
+	return code
 }
 
-func report(diags []analysis.Diagnostic, asJSON bool) int {
-	if asJSON {
+func report(diags []analysis.Diagnostic, opts directOptions) int {
+	if opts.json {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
@@ -114,6 +182,10 @@ func report(diags []analysis.Diagnostic, asJSON bool) int {
 		return 0
 	}
 	for _, d := range diags {
+		if opts.github {
+			fmt.Printf("::error file=%s,line=%d,col=%d::%s (%s)\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+		}
 		fmt.Fprintln(os.Stderr, d)
 	}
 	if len(diags) > 0 {
@@ -173,6 +245,7 @@ func vetUnit(cfgPath string) int {
 	// Own annotations plus every dependency's exported facts.
 	idx := analysis.NewIndex()
 	analysis.ScanPackage(fset, pkg.Files, pkg.Info, idx)
+	ownHotpath := len(idx.Hotpath) > 0 // before dep merge: is the escape compile worth it?
 	depPaths := make([]string, 0, len(cfg.PackageVetx))
 	for path := range cfg.PackageVetx {
 		depPaths = append(depPaths, path)
@@ -206,7 +279,25 @@ func vetUnit(cfgPath string) int {
 		return 0
 	}
 
-	diags := analysis.RunAnalyzers(analysis.All, fset, pkg.Files, pkg.Types, pkg.Info, idx)
+	// Compiler escape ground truth for allocprove: every dependency's
+	// export data is in the unit's PackageFile, so the unit compiles
+	// standalone. Skipped (allocprove stays silent) if the compile fails —
+	// e.g. cgo or assembly units the plain compiler can't build alone.
+	var escapes []analysis.Escape
+	if ownHotpath {
+		if importCfg, err := analysis.WriteImportCfg(os.TempDir(), cfg.PackageFile, cfg.ImportMap); err == nil {
+			if esc, err := analysis.CollectEscapes(analysis.EscapeConfig{
+				Dir: cfg.Dir, ImportPath: cfg.ImportPath, GoFiles: cfg.GoFiles, ImportCfg: importCfg,
+			}); err == nil {
+				escapes = esc
+			}
+			os.Remove(importCfg)
+		}
+	}
+
+	diags := analysis.RunAnalyzers(analysis.All, &analysis.Unit{
+		Fset: fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Escapes: escapes,
+	}, idx)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", relPos(d.Pos, cfg.Dir), d.Message, d.Analyzer)
 	}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"rbpc/internal/analysis"
+)
+
+// buildLint compiles the rbpc-lint binary into a test temp dir. The
+// build cache makes repeat builds cheap.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "rbpc-lint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building rbpc-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVetProtocolProbes pins the two probes cmd/go sends a vet tool
+// before handing it work: -V=full must answer "name version buildID=..."
+// (the build cache key), and -flags must answer the tool's vet-exposed
+// flag schema as JSON.
+func TestVetProtocolProbes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary build in -short mode")
+	}
+	bin := buildLint(t)
+
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	re := regexp.MustCompile(`^rbpc-lint version \S+ buildID=[0-9a-f]{32}/[0-9a-f]{32}\n$`)
+	if !re.Match(out) {
+		t.Errorf("-V=full output %q does not match %s", out, re)
+	}
+
+	out, err = exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []any
+	if err := json.Unmarshal(out, &flags); err != nil || len(flags) != 0 {
+		t.Errorf("-flags output %q, want the empty JSON list", out)
+	}
+}
+
+// TestVetCfgRoundTrip drives vet-tool mode directly with a hand-written
+// unit cfg: the tool must analyze the unit's files, report the injected
+// violation, and serialize the unit's facts to VetxOutput in the format
+// UnmarshalFacts reads back.
+func TestVetCfgRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary build in -short mode")
+	}
+	bin := buildLint(t)
+	dir := t.TempDir()
+
+	src := filepath.Join(dir, "p.go")
+	const pSrc = `package p
+
+//rbpc:deterministic
+func Sum(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`
+	if err := os.WriteFile(src, []byte(pSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	cfg, err := json.Marshal(map[string]any{
+		"ID":         "p",
+		"Dir":        dir,
+		"ImportPath": "p",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cfgPath, cfg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, cfgPath).CombinedOutput()
+	if err == nil {
+		t.Fatalf("vet unit exited 0, want findings; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "ranges over a map") {
+		t.Errorf("vet unit output lacks the map-range finding:\n%s", out)
+	}
+
+	facts, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+	idx, err := analysis.UnmarshalFacts(facts)
+	if err != nil {
+		t.Fatalf("round-tripping facts: %v", err)
+	}
+	if !idx.Deterministic["p.Sum"] {
+		t.Errorf("facts lost the deterministic mark on p.Sum: %s", facts)
+	}
+}
+
+// TestGoVetEndToEnd runs the real `go vet -vettool` pipeline over a
+// throwaway module: package a annotates an epoch-scoped type (and hides a
+// determinism violation in its _test.go file), package b stores a's type
+// in a global. The vet run must catch both — the b finding proves the
+// epochscoped fact crossed packages through the vetx files, the a_test.go
+// finding proves test files are covered.
+func TestGoVetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go vet pipeline in -short mode")
+	}
+	bin := buildLint(t)
+	mod := t.TempDir()
+
+	files := map[string]string{
+		"go.mod": "module vettest\n\ngo 1.22\n",
+		"a/a.go": `package a
+
+// Snap is one epoch's immutable view.
+//
+//rbpc:epochscoped
+type Snap struct {
+	N int
+}
+
+// New builds a Snap.
+func New(n int) *Snap { return &Snap{N: n} }
+`,
+		"a/a_test.go": `package a
+
+import (
+	"testing"
+	"time"
+)
+
+//rbpc:deterministic
+func replaySeed() int64 {
+	return time.Now().Unix()
+}
+
+func TestNew(t *testing.T) {
+	if New(int(replaySeed()/replaySeed())).N != 1 {
+		t.Fatal("want 1")
+	}
+}
+`,
+		"b/b.go": `package b
+
+import "vettest/a"
+
+var last *a.Snap
+
+// Stash caches the latest snapshot.
+func Stash(s *a.Snap) {
+	last = s
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(mod, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0, want findings; output:\n%s", out)
+	}
+	text := string(out)
+	for _, want := range []string{
+		"epoch-scoped", // snapshotescape fired in b...
+		"a.Snap",       // ...on the cross-package fact from a's vetx
+		"stored into package-level variable last",
+		"wall clock", // deterministic fired...
+		"a_test.go",  // ...inside a test file
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("go vet output lacks %q:\n%s", want, text)
+		}
+	}
+}

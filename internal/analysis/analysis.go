@@ -1,5 +1,5 @@
 // Package analysis is rbpc's invariant checker suite: a small, self-
-// contained go/analysis-style framework plus four custom analyzers that
+// contained go/analysis-style framework plus eight custom analyzers that
 // machine-check the hand-enforced invariants the online serving engine's
 // correctness and performance claims rest on.
 //
@@ -18,15 +18,27 @@
 //     functions that lock mu (intra-procedural; //rbpc:locked escape).
 //   - atomicmix: a field accessed via sync/atomic anywhere must never be
 //     accessed non-atomically elsewhere.
+//   - lockorder: the module-wide mutex-acquisition graph (built from the
+//     lock facts ScanPackage extracts) must be acyclic — no two lock
+//     classes ever acquired in both orders.
+//   - snapshotescape (//rbpc:epochscoped on a type): epoch-lifetime values
+//     may be read anywhere but never stored into fields, globals, or
+//     channels outside other epochscoped carriers.
+//   - deterministic (//rbpc:deterministic on a function or package
+//     clause): no map iteration, wall-clock reads, unseeded randomness,
+//     or float formatting — replay-critical code stays bit-reproducible.
+//   - allocprove: every //rbpc:hotpath claim cross-checked against the
+//     compiler's own escape analysis (go tool compile -m=2), so the
+//     no-alloc promise is compiler-verified instead of pattern-matched.
 //
 // The framework deliberately mirrors golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is built on the standard library only,
 // because this repository vendors no dependencies. Cross-package
-// information (which functions are hotpath, which fields are atomic) flows
-// through a string-keyed Index instead of typed Facts: in whole-module
-// mode (cmd/rbpc-lint ./...) the index is built over every package before
-// any analyzer runs; in `go vet -vettool` mode it is serialized to the
-// vet facts files.
+// information (which functions are hotpath, which fields are atomic,
+// which guards nest under which) flows through a string-keyed Index
+// instead of typed Facts: in whole-module mode (cmd/rbpc-lint ./...) the
+// index is built over every package before any analyzer runs; in
+// `go vet -vettool` mode it is serialized to the vet facts files.
 package analysis
 
 import (
@@ -35,6 +47,8 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Analyzer is one named invariant checker.
@@ -50,7 +64,30 @@ type Analyzer struct {
 }
 
 // All is the full rbpc-lint suite in reporting order.
-var All = []*Analyzer{Immutable, Hotpath, GuardedBy, AtomicMix}
+var All = []*Analyzer{
+	Immutable, Hotpath, GuardedBy, AtomicMix,
+	LockOrder, SnapshotEscape, Deterministic, AllocProve,
+}
+
+// ByName returns the analyzers matching the given names (in All's order),
+// or an error naming the first unknown one.
+func ByName(names []string) ([]*Analyzer, error) {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range All {
+		if want[a.Name] {
+			out = append(out, a)
+			delete(want, a.Name)
+		}
+	}
+	for n := range want {
+		return nil, fmt.Errorf("unknown checker %q", n)
+	}
+	return out, nil
+}
 
 // Diagnostic is one reported finding.
 type Diagnostic struct {
@@ -63,17 +100,43 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// Pass carries one analyzer's view of one package: its syntax, type
-// information, and the (possibly module-wide) annotation index.
+// Escape is one escape-analysis verdict parsed from the compiler's
+// -m=2 output: a value at File:Line:Col the compiler proved heap-bound.
+type Escape struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Msg is the compiler's own wording, e.g. "x escapes to heap" or
+	// "moved to heap: x".
+	Msg string `json:"msg"`
+}
+
+// Unit is one package's worth of checkable material: syntax, types, and
+// (when the driver ran the compiler) escape-analysis verdicts.
+type Unit struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// Escapes holds the compiler's escape-analysis verdicts for the
+	// unit's files. nil means escape analysis was not run (allocprove
+	// skips); an empty non-nil slice means it ran and proved the unit
+	// allocation-clean.
+	Escapes []Escape
+}
+
+// Pass carries one analyzer's view of one unit.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
-	// Index holds annotations and atomic-access facts for this package and
-	// every package it can see (the whole module in direct mode, this
-	// package plus its dependencies' facts in vettool mode).
+	// Escapes mirrors Unit.Escapes (nil when escape analysis wasn't run).
+	Escapes []Escape
+	// Index holds annotations and facts for this package and every
+	// package it can see (the whole module in direct mode, this package
+	// plus its dependencies' facts in vettool mode).
 	Index *Index
 
 	diags *[]Diagnostic
@@ -82,7 +145,12 @@ type Pass struct {
 // Reportf records a diagnostic at pos unless a //rbpc:allow comment on the
 // same source line suppresses this analyzer.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
+	p.ReportPosf(p.Fset.Position(pos), format, args...)
+}
+
+// ReportPosf is Reportf for positions that did not come from this pass's
+// FileSet (e.g. parsed back out of compiler output or serialized facts).
+func (p *Pass) ReportPosf(position token.Position, format string, args ...any) {
 	if p.Index.allowed(position, p.Analyzer.Name) {
 		return
 	}
@@ -93,23 +161,31 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzers runs each analyzer over the package and returns the
-// combined diagnostics sorted by position.
-func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
-	pkg *types.Package, info *types.Info, idx *Index) []Diagnostic {
+// RunAnalyzers runs each analyzer over the unit and returns the combined
+// diagnostics sorted by position and deduplicated.
+func RunAnalyzers(analyzers []*Analyzer, u *Unit, idx *Index) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
-			Fset:     fset,
-			Files:    files,
-			Pkg:      pkg,
-			Info:     info,
+			Fset:     u.Fset,
+			Files:    u.Files,
+			Pkg:      u.Pkg,
+			Info:     u.Info,
+			Escapes:  u.Escapes,
 			Index:    idx,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
+	return SortDiags(diags)
+}
+
+// SortDiags sorts diagnostics by file, line, column, analyzer, and message,
+// and drops exact duplicates. Drivers that aggregate several units (direct
+// mode over many packages, a package and its _test variant under go vet)
+// funnel everything through here so output never depends on load order.
+func SortDiags(diags []Diagnostic) []Diagnostic {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -121,7 +197,54 @@ func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
 	})
-	return diags
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// parsePosString parses a "file:line:col" (or "file:line") string back
+// into a token.Position. Serialized facts and compiler output carry
+// positions as strings; this is the inverse of Position.String for the
+// paths this module produces.
+func parsePosString(s string) token.Position {
+	pos := token.Position{Filename: s}
+	rest := s
+	for i := 0; i < 2; i++ {
+		c := strings.LastIndexByte(rest, ':')
+		if c < 0 {
+			break
+		}
+		n, err := strconv.Atoi(rest[c+1:])
+		if err != nil {
+			break
+		}
+		if pos.Line == 0 {
+			pos.Line = n
+		} else {
+			pos.Column = pos.Line
+			pos.Line = n
+		}
+		rest = rest[:c]
+		pos.Filename = rest
+	}
+	return pos
+}
+
+// funcBodySpan returns the file and line range of a function body,
+// for mapping position-keyed external facts (escape verdicts) back onto
+// declarations.
+func funcBodySpan(fset *token.FileSet, fd *ast.FuncDecl) (file string, from, to int) {
+	start := fset.Position(fd.Pos())
+	end := fset.Position(fd.End())
+	return start.Filename, start.Line, end.Line
 }

@@ -6,13 +6,16 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
-// The //rbpc:* annotation vocabulary (see DESIGN.md §10):
+// The //rbpc:* annotation vocabulary (see DESIGN.md §10 and §15):
 //
 //	//rbpc:immutable            on a type declaration
+//	//rbpc:epochscoped          on a type declaration (epoch-lifetime values)
 //	//rbpc:hotpath              on a function declaration
+//	//rbpc:deterministic        on a function declaration or package clause
 //	//rbpc:ctor                 on a function allowed to build annotated types
 //	//rbpc:locked               on a function whose callers hold the guard
 //	//rbpc:guardedby <field>    on a struct field
@@ -31,8 +34,17 @@ import (
 type Index struct {
 	// Immutable marks types annotated //rbpc:immutable.
 	Immutable map[string]bool `json:"immutable,omitempty"`
+	// EpochScoped marks types annotated //rbpc:epochscoped: values live
+	// exactly one epoch and may not be stored into fields, globals, or
+	// channels of unscoped types (the snapshotescape invariant).
+	EpochScoped map[string]bool `json:"epochscoped,omitempty"`
 	// Hotpath marks functions annotated //rbpc:hotpath.
 	Hotpath map[string]bool `json:"hotpath,omitempty"`
+	// Deterministic marks functions annotated //rbpc:deterministic.
+	Deterministic map[string]bool `json:"deterministic,omitempty"`
+	// DeterministicPkg marks whole packages whose package clause carries
+	// //rbpc:deterministic: every function in them is checked.
+	DeterministicPkg map[string]bool `json:"deterministicpkg,omitempty"`
 	// Ctor marks functions annotated //rbpc:ctor (build-phase writers).
 	Ctor map[string]bool `json:"ctor,omitempty"`
 	// Locked marks functions annotated //rbpc:locked (guard held by caller).
@@ -43,21 +55,67 @@ type Index struct {
 	// where it is accessed through a sync/atomic call.
 	Atomic map[string]string `json:"atomic,omitempty"`
 
+	// Acquires maps a function to every sync.Mutex/RWMutex acquisition
+	// site in its body (closures included — the function "may acquire"),
+	// the raw material of the lockorder transitive closure.
+	Acquires map[string][]LockSite `json:"acquires,omitempty"`
+	// LockCalls maps a function to the module-local functions it calls —
+	// the call edges lock acquisition flows through.
+	LockCalls map[string][]string `json:"lockcalls,omitempty"`
+	// LockEdges are direct nested acquisitions: Inner acquired at InnerPos
+	// while Outer (acquired at OuterPos) was still held.
+	LockEdges []LockEdge `json:"lockedges,omitempty"`
+	// HeldCalls are module-local calls made while a guard was held; the
+	// lockorder analyzer expands them against the callees' transitive
+	// acquisition sets.
+	HeldCalls []HeldCall `json:"heldcalls,omitempty"`
+
 	// allow maps "filename:line" to the analyzer names a //rbpc:allow
 	// comment on that line suppresses. Local to a package; not serialized.
 	allow map[string][]string
+	// allowUsed marks which (site, name) suppressions actually masked a
+	// diagnostic, feeding the -unused-allow staleness audit.
+	allowUsed map[string]map[string]bool
+}
+
+// LockSite is one mutex acquisition: the guard's index key and position.
+type LockSite struct {
+	Guard string `json:"guard"`
+	Pos   string `json:"pos"`
+}
+
+// LockEdge is a direct acquired-while-held relation between two guards.
+type LockEdge struct {
+	Outer    string `json:"outer"`
+	OuterPos string `json:"outerpos"`
+	Inner    string `json:"inner"`
+	InnerPos string `json:"innerpos"`
+}
+
+// HeldCall is a module-local call made while a guard was held.
+type HeldCall struct {
+	Guard    string `json:"guard"`
+	GuardPos string `json:"guardpos"`
+	Callee   string `json:"callee"`
+	CallPos  string `json:"callpos"`
 }
 
 // NewIndex returns an empty index.
 func NewIndex() *Index {
 	return &Index{
-		Immutable: map[string]bool{},
-		Hotpath:   map[string]bool{},
-		Ctor:      map[string]bool{},
-		Locked:    map[string]bool{},
-		Guard:     map[string]string{},
-		Atomic:    map[string]string{},
-		allow:     map[string][]string{},
+		Immutable:        map[string]bool{},
+		EpochScoped:      map[string]bool{},
+		Hotpath:          map[string]bool{},
+		Deterministic:    map[string]bool{},
+		DeterministicPkg: map[string]bool{},
+		Ctor:             map[string]bool{},
+		Locked:           map[string]bool{},
+		Guard:            map[string]string{},
+		Atomic:           map[string]string{},
+		Acquires:         map[string][]LockSite{},
+		LockCalls:        map[string][]string{},
+		allow:            map[string][]string{},
+		allowUsed:        map[string]map[string]bool{},
 	}
 }
 
@@ -68,8 +126,17 @@ func (idx *Index) Merge(o *Index) {
 	for k := range o.Immutable {
 		idx.Immutable[k] = true
 	}
+	for k := range o.EpochScoped {
+		idx.EpochScoped[k] = true
+	}
 	for k := range o.Hotpath {
 		idx.Hotpath[k] = true
+	}
+	for k := range o.Deterministic {
+		idx.Deterministic[k] = true
+	}
+	for k := range o.DeterministicPkg {
+		idx.DeterministicPkg[k] = true
 	}
 	for k := range o.Ctor {
 		idx.Ctor[k] = true
@@ -85,6 +152,72 @@ func (idx *Index) Merge(o *Index) {
 			idx.Atomic[k] = v
 		}
 	}
+	for k, sites := range o.Acquires {
+		idx.Acquires[k] = mergeLockSites(idx.Acquires[k], sites)
+	}
+	for k, callees := range o.LockCalls {
+		idx.LockCalls[k] = mergeStrings(idx.LockCalls[k], callees)
+	}
+	for _, e := range o.LockEdges {
+		if !containsLockEdge(idx.LockEdges, e) {
+			idx.LockEdges = append(idx.LockEdges, e)
+		}
+	}
+	for _, h := range o.HeldCalls {
+		if !containsHeldCall(idx.HeldCalls, h) {
+			idx.HeldCalls = append(idx.HeldCalls, h)
+		}
+	}
+}
+
+func mergeLockSites(dst, src []LockSite) []LockSite {
+	for _, s := range src {
+		dup := false
+		for _, d := range dst {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+func mergeStrings(dst, src []string) []string {
+	for _, s := range src {
+		dup := false
+		for _, d := range dst {
+			if d == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, s)
+		}
+	}
+	return dst
+}
+
+func containsLockEdge(edges []LockEdge, e LockEdge) bool {
+	for _, x := range edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+func containsHeldCall(calls []HeldCall, h HeldCall) bool {
+	for _, x := range calls {
+		if x == h {
+			return true
+		}
+	}
+	return false
 }
 
 // MarshalFacts serializes the shareable part of the index for a vet facts
@@ -107,12 +240,47 @@ func UnmarshalFacts(data []byte) (*Index, error) {
 }
 
 func (idx *Index) allowed(pos token.Position, analyzer string) bool {
-	for _, name := range idx.allow[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)] {
+	site := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+	for _, name := range idx.allow[site] {
 		if name == analyzer || name == "all" {
+			used := idx.allowUsed[site]
+			if used == nil {
+				used = map[string]bool{}
+				idx.allowUsed[site] = used
+			}
+			used[name] = true
 			return true
 		}
 	}
 	return false
+}
+
+// AllowAudit is the staleness report of one //rbpc:allow name: the site
+// ("file:line"), the analyzer name it names, and whether it suppressed
+// any diagnostic during the run.
+type AllowAudit struct {
+	Site string
+	Name string
+	Used bool
+}
+
+// AuditAllows lists every //rbpc:allow name the index scanned with its
+// usage. Meaningful only after the analyzers have run over every package
+// whose allows the index holds (whole-module direct mode).
+func (idx *Index) AuditAllows() []AllowAudit {
+	var out []AllowAudit
+	for site, names := range idx.allow {
+		for _, name := range names {
+			out = append(out, AllowAudit{Site: site, Name: name, Used: idx.allowUsed[site][name]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // TypeKey returns the index key of a named type.
@@ -231,6 +399,7 @@ func ScanPackage(fset *token.FileSet, files []*ast.File, info *types.Info, idx *
 		scanAllows(fset, f, idx)
 		scanDecls(f, info, idx)
 		scanAtomicAccesses(fset, f, info, idx)
+		scanLockFacts(fset, f, info, idx)
 	}
 }
 
@@ -254,6 +423,15 @@ func scanAllows(fset *token.FileSet, f *ast.File, idx *Index) {
 }
 
 func scanDecls(f *ast.File, info *types.Info, idx *Index) {
+	// A //rbpc:deterministic directive on the package clause marks every
+	// function of the package.
+	for _, dir := range groupDirectives(f.Doc) {
+		if dir[0] == "deterministic" {
+			if pkg := filePackage(f, info); pkg != "" {
+				idx.DeterministicPkg[pkg] = true
+			}
+		}
+	}
 	for _, decl := range f.Decls {
 		switch d := decl.(type) {
 		case *ast.FuncDecl:
@@ -265,6 +443,8 @@ func scanDecls(f *ast.File, info *types.Info, idx *Index) {
 				switch dir[0] {
 				case "hotpath":
 					idx.Hotpath[FuncKey(fn)] = true
+				case "deterministic":
+					idx.Deterministic[FuncKey(fn)] = true
 				case "ctor":
 					idx.Ctor[FuncKey(fn)] = true
 				case "locked":
@@ -290,8 +470,11 @@ func scanDecls(f *ast.File, info *types.Info, idx *Index) {
 					docs = append(docs, d.Doc)
 				}
 				for _, dir := range groupDirectives(docs...) {
-					if dir[0] == "immutable" {
+					switch dir[0] {
+					case "immutable":
 						idx.Immutable[TypeKey(tn)] = true
+					case "epochscoped":
+						idx.EpochScoped[TypeKey(tn)] = true
 					}
 				}
 				if st, ok := ts.Type.(*ast.StructType); ok {

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// cacheFormat is bumped whenever the entry layout or the meaning of any
+// fact changes; it invalidates every existing entry at once.
+const cacheFormat = "rbpc-lint-cache-v1"
+
+// cacheEntry is one package's cached lint state. Facts (phase 1) are
+// valid whenever Key matches the package's content key; Diags (phase 2)
+// additionally require DiagsKey to match the hash of the *module-wide*
+// merged fact index, because an annotation added in any package can
+// change every package's findings.
+type cacheEntry struct {
+	Key        string              `json:"key"`
+	Facts      json.RawMessage     `json:"facts"`
+	Allows     map[string][]string `json:"allows,omitempty"`
+	Escapes    []Escape            `json:"escapes,omitempty"`
+	HasEscapes bool                `json:"hasescapes,omitempty"`
+	DiagsKey   string              `json:"diagskey,omitempty"`
+	HasDiags   bool                `json:"hasdiags,omitempty"`
+	Diags      []Diagnostic        `json:"diags,omitempty"`
+	UsedAllows map[string][]string `json:"usedallows,omitempty"`
+}
+
+// factCache is a directory of per-package cacheEntry files keyed by
+// import path.
+type factCache struct {
+	dir string
+	mem map[string]*cacheEntry
+}
+
+func openFactCache(dir string) (*factCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lint cache: %v", err)
+	}
+	return &factCache{dir: dir, mem: map[string]*cacheEntry{}}, nil
+}
+
+func (c *factCache) file(importPath string) string {
+	sum := sha256.Sum256([]byte(importPath))
+	return filepath.Join(c.dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+func (c *factCache) load(importPath string) (*cacheEntry, bool) {
+	if e, ok := c.mem[importPath]; ok {
+		return e, e != nil
+	}
+	data, err := os.ReadFile(c.file(importPath))
+	if err != nil {
+		c.mem[importPath] = nil
+		return nil, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		c.mem[importPath] = nil
+		return nil, false
+	}
+	c.mem[importPath] = &e
+	return &e, true
+}
+
+func (c *factCache) store(importPath string, e *cacheEntry) {
+	c.mem[importPath] = e
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	tmp.Close()
+	os.Rename(tmp.Name(), c.file(importPath)) // atomic publish; failure = no cache
+}
+
+// cacheKeys computes every target's content key: a Merkle hash over the
+// checker configuration, the toolchain version, the package's own file
+// contents, and — transitively — the keys of its module-local imports
+// (escape analysis sees through inlined callees, so a dependency edit
+// must invalidate its importers). Returns nil when the cache is off.
+func cacheKeys(cache *factCache, targets []listedPackage, opts ModuleOptions) map[string]string {
+	if cache == nil {
+		return nil
+	}
+	byPath := map[string]*listedPackage{}
+	for i := range targets {
+		byPath[targets[i].ImportPath] = &targets[i]
+	}
+	keys := map[string]string{}
+	var keyOf func(path string) string
+	keyOf = func(path string) string {
+		if k, ok := keys[path]; ok {
+			return k
+		}
+		keys[path] = "" // cycle guard; import cycles are ill-formed anyway
+		t, ok := byPath[path]
+		if !ok {
+			// Outside the target set (stdlib): the toolchain version
+			// already feeds the hash below.
+			return ""
+		}
+		h := sha256.New()
+		fmt.Fprintln(h, cacheFormat, runtime.Version())
+		fmt.Fprintln(h, "escapes:", opts.Escapes)
+		for _, a := range opts.Analyzers {
+			fmt.Fprintln(h, "analyzer:", a.Name)
+		}
+		for _, gf := range t.GoFiles {
+			name := gf
+			if !filepath.IsAbs(name) {
+				name = filepath.Join(t.Dir, name)
+			}
+			data, err := os.ReadFile(name)
+			if err != nil {
+				fmt.Fprintln(h, "unreadable:", name)
+				continue
+			}
+			sum := sha256.Sum256(data)
+			fmt.Fprintln(h, "file:", gf, hex.EncodeToString(sum[:]))
+		}
+		imports := append([]string(nil), t.Imports...)
+		sort.Strings(imports)
+		for _, imp := range imports {
+			fmt.Fprintln(h, "import:", imp, keyOf(imp))
+		}
+		k := hex.EncodeToString(h.Sum(nil))
+		keys[path] = k
+		return k
+	}
+	for _, t := range targets {
+		keyOf(t.ImportPath)
+	}
+	return keys
+}
+
+// indexHash is the digest of a serialized index — the module-wide facts
+// fingerprint gating cached diagnostics.
+func indexHash(idx *Index) (string, error) {
+	data, err := idx.MarshalFacts()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// mergeLocal folds a same-module package index into idx including the
+// file-local parts Merge skips: allow sites and their usage.
+func (idx *Index) mergeLocal(o *Index) {
+	if o == nil {
+		return
+	}
+	idx.Merge(o)
+	for site, names := range o.allow {
+		idx.allow[site] = mergeStrings(idx.allow[site], names)
+	}
+	for site, used := range o.allowUsed {
+		for name := range used {
+			idx.markAllowUsed(site, name)
+		}
+	}
+}
+
+// replayUsedAllows re-applies cached suppression usage so the
+// -unused-allow audit stays accurate when diagnostics come from cache.
+func (idx *Index) replayUsedAllows(used map[string][]string) {
+	for site, names := range used {
+		for _, name := range names {
+			idx.markAllowUsed(site, name)
+		}
+	}
+}
+
+// usedAllowsFor extracts the usage records for the given allow sites (one
+// package's slice of the module-wide usage map), for caching.
+func (idx *Index) usedAllowsFor(allow map[string][]string) map[string][]string {
+	out := map[string][]string{}
+	for site := range allow {
+		used := idx.allowUsed[site]
+		if len(used) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(used))
+		for name := range used {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out[site] = names
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (idx *Index) markAllowUsed(site, name string) {
+	used := idx.allowUsed[site]
+	if used == nil {
+		used = map[string]bool{}
+		idx.allowUsed[site] = used
+	}
+	used[name] = true
+}

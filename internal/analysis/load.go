@@ -17,10 +17,15 @@ import (
 
 // LoadedPackage is one type-checked package ready for analysis.
 type LoadedPackage struct {
-	Path  string
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path string
+	// Dir is the package directory on disk.
+	Dir string
+	// GoFiles are the parsed file paths exactly as handed to the parser
+	// (dir-joined), so compiler escape output lines up with the FileSet.
+	GoFiles []string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
@@ -28,17 +33,17 @@ type listedPackage struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
-// LoadPackages loads and type-checks the packages matched by the patterns
-// (plus nothing else: dependencies are imported from compiler export data,
-// not re-parsed). It shells out to `go list -export`, so it works offline
-// against the local build cache, exactly like `go vet` does.
-func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, *token.FileSet, error) {
+// listModule shells out to `go list -export` for the patterns, returning
+// the target packages (metadata only — nothing parsed yet) and the export
+// data of every package in the dependency closure.
+func listModule(dir string, patterns ...string) ([]listedPackage, map[string]string, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -69,13 +74,23 @@ func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, *token.File
 			targets = append(targets, p)
 		}
 	}
+	return targets, exports, nil
+}
 
+// LoadPackages loads and type-checks the packages matched by the patterns
+// (plus nothing else: dependencies are imported from compiler export data,
+// not re-parsed). It shells out to `go list -export`, so it works offline
+// against the local build cache, exactly like `go vet` does.
+func LoadPackages(dir string, patterns ...string) ([]*LoadedPackage, *token.FileSet, error) {
+	targets, exports, err := listModule(dir, patterns...)
+	if err != nil {
+		return nil, nil, err
+	}
 	fset := token.NewFileSet()
 	imp := ExportDataImporter(fset, func(path string) (string, bool) {
 		f, ok := exports[path]
 		return f, ok
 	})
-
 	var loaded []*LoadedPackage
 	for _, t := range targets {
 		lp, err := CheckPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
@@ -105,6 +120,7 @@ func ExportDataImporter(fset *token.FileSet, resolve func(path string) (string, 
 // importer, returning the loaded package with full type information.
 func CheckPackage(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*LoadedPackage, error) {
 	var files []*ast.File
+	var names []string
 	for _, gf := range goFiles {
 		name := gf
 		if dir != "" && !filepath.IsAbs(gf) {
@@ -115,6 +131,7 @@ func CheckPackage(fset *token.FileSet, imp types.Importer, importPath, dir strin
 			return nil, fmt.Errorf("parse %s: %v", name, err)
 		}
 		files = append(files, f)
+		names = append(names, name)
 	}
 	info := NewInfo()
 	conf := types.Config{Importer: imp}
@@ -122,7 +139,7 @@ func CheckPackage(fset *token.FileSet, imp types.Importer, importPath, dir strin
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %v", importPath, err)
 	}
-	return &LoadedPackage{Path: importPath, Files: files, Types: pkg, Info: info}, nil
+	return &LoadedPackage{Path: importPath, Dir: dir, GoFiles: names, Files: files, Types: pkg, Info: info}, nil
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult.
@@ -137,23 +154,226 @@ func NewInfo() *types.Info {
 	}
 }
 
-// AnalyzeModule is the whole-module entry point cmd/rbpc-lint uses: load
-// every matched package, build the module-wide annotation index, then run
-// the analyzers over each package against that shared index. This is the
-// most precise mode — every cross-package edge (a hotpath call into
-// another package, an atomic access far from a plain one) is visible.
+// ModuleOptions configures a whole-module analysis run.
+type ModuleOptions struct {
+	// Dir is the module directory `go list` runs in.
+	Dir string
+	// Patterns are the package patterns (default ./...).
+	Patterns []string
+	// Analyzers is the checker set (default All).
+	Analyzers []*Analyzer
+	// Escapes runs the compiler's escape analysis per package so
+	// allocprove has ground truth. Requires the module to build.
+	Escapes bool
+	// CacheDir enables the content-hash fact cache rooted there
+	// (satellite: unchanged packages are neither re-parsed nor
+	// re-compiled on warm runs). Empty disables caching.
+	CacheDir string
+	// UnusedAllow audits //rbpc:allow staleness across the run.
+	UnusedAllow bool
+}
+
+// ModuleResult is a whole-module analysis outcome.
+type ModuleResult struct {
+	// Diags are the findings, position-sorted and deduplicated.
+	Diags []Diagnostic
+	// StaleAllows are //rbpc:allow names that suppressed nothing
+	// (populated only when ModuleOptions.UnusedAllow is set).
+	StaleAllows []AllowAudit
+}
+
+// AnalyzeModule is the legacy whole-module entry point: load every matched
+// package, build the module-wide annotation index, then run the analyzers
+// over each package against that shared index (no escape analysis, no
+// cache). Kept for tests; drivers use AnalyzeModuleOpts.
 func AnalyzeModule(analyzers []*Analyzer, dir string, patterns ...string) ([]Diagnostic, error) {
-	pkgs, fset, err := LoadPackages(dir, patterns...)
+	res, err := AnalyzeModuleOpts(ModuleOptions{Dir: dir, Patterns: patterns, Analyzers: analyzers})
 	if err != nil {
 		return nil, err
 	}
-	idx := NewIndex()
-	for _, p := range pkgs {
-		ScanPackage(fset, p.Files, p.Info, idx)
+	return res.Diags, nil
+}
+
+// AnalyzeModuleOpts is the whole-module entry point cmd/rbpc-lint uses.
+// This is the most precise mode — every cross-package edge (a hotpath
+// call into another package, a lock acquired three calls away, an atomic
+// access far from a plain one) is visible because the module-wide index
+// is complete before any analyzer runs.
+func AnalyzeModuleOpts(opts ModuleOptions) (*ModuleResult, error) {
+	if len(opts.Patterns) == 0 {
+		opts.Patterns = []string{"./..."}
 	}
+	if opts.Analyzers == nil {
+		opts.Analyzers = All
+	}
+	targets, exports, err := listModule(opts.Dir, opts.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var cache *factCache
+	if opts.CacheDir != "" {
+		cache, err = openFactCache(opts.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	keys := cacheKeys(cache, targets, opts)
+
+	// Lazy parse+typecheck: warm cache runs touch no source at all.
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	loaded := map[string]*LoadedPackage{}
+	load := func(t listedPackage) (*LoadedPackage, error) {
+		if lp, ok := loaded[t.ImportPath]; ok {
+			return lp, nil
+		}
+		lp, err := CheckPackage(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		loaded[t.ImportPath] = lp
+		return lp, nil
+	}
+
+	// A single importcfg over the whole closure serves every compile.
+	importCfg := ""
+	if opts.Escapes {
+		tmpDir, err := os.MkdirTemp("", "rbpc-lint-escapes-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmpDir)
+		importCfg, err = WriteImportCfg(tmpDir, exports, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 1: per-package facts (and escapes), cached by content key.
+	perPkg := map[string]*Index{}
+	escapes := map[string][]Escape{}
+	for _, t := range targets {
+		key := keys[t.ImportPath]
+		if cache != nil {
+			if e, ok := cache.load(t.ImportPath); ok && e.Key == key && (!opts.Escapes || e.HasEscapes) {
+				idx, err := UnmarshalFacts(e.Facts)
+				if err == nil {
+					idx.allow = e.Allows
+					if idx.allow == nil {
+						idx.allow = map[string][]string{}
+					}
+					perPkg[t.ImportPath] = idx
+					if opts.Escapes {
+						escapes[t.ImportPath] = nonNilEscapes(e.Escapes)
+					}
+					continue
+				}
+			}
+		}
+		lp, err := load(t)
+		if err != nil {
+			return nil, err
+		}
+		idx := NewIndex()
+		ScanPackage(fset, lp.Files, lp.Info, idx)
+		perPkg[t.ImportPath] = idx
+		if opts.Escapes {
+			esc, err := CollectEscapes(EscapeConfig{
+				Dir: lp.Dir, ImportPath: lp.Path, GoFiles: lp.GoFiles, ImportCfg: importCfg,
+			})
+			if err != nil {
+				return nil, err
+			}
+			escapes[t.ImportPath] = esc
+		}
+	}
+
+	// Merge into the module index; its serialized hash keys the diag
+	// phase, so an annotation change anywhere re-runs every analyzer.
+	module := NewIndex()
+	for _, t := range targets {
+		module.mergeLocal(perPkg[t.ImportPath])
+	}
+	factsHash, err := indexHash(module)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: diagnostics against the module index.
 	var diags []Diagnostic
-	for _, p := range pkgs {
-		diags = append(diags, RunAnalyzers(analyzers, fset, p.Files, p.Types, p.Info, idx)...)
+	fresh := map[string][]Diagnostic{}
+	for _, t := range targets {
+		key := keys[t.ImportPath]
+		if cache != nil {
+			if e, ok := cache.load(t.ImportPath); ok && e.Key == key && e.HasDiags && e.DiagsKey == factsHash &&
+				(!opts.Escapes || e.HasEscapes) {
+				diags = append(diags, e.Diags...)
+				module.replayUsedAllows(e.UsedAllows)
+				continue
+			}
+		}
+		lp, err := load(t)
+		if err != nil {
+			return nil, err
+		}
+		d := RunAnalyzers(opts.Analyzers, &Unit{
+			Fset: fset, Files: lp.Files, Pkg: lp.Types, Info: lp.Info, Escapes: escapes[t.ImportPath],
+		}, module)
+		diags = append(diags, d...)
+		fresh[t.ImportPath] = d
 	}
-	return diags, nil
+
+	if cache != nil {
+		for _, t := range targets {
+			d, recomputed := fresh[t.ImportPath]
+			if !recomputed {
+				continue // cached entry already current
+			}
+			idx := perPkg[t.ImportPath]
+			facts, err := idx.MarshalFacts()
+			if err != nil {
+				continue
+			}
+			esc, hasEsc := escapes[t.ImportPath]
+			cache.store(t.ImportPath, &cacheEntry{
+				Key:        keys[t.ImportPath],
+				Facts:      facts,
+				Allows:     idx.allow,
+				Escapes:    esc,
+				HasEscapes: hasEsc,
+				DiagsKey:   factsHash,
+				HasDiags:   true,
+				Diags:      nonNilDiags(d),
+				UsedAllows: module.usedAllowsFor(idx.allow),
+			})
+		}
+	}
+
+	res := &ModuleResult{Diags: SortDiags(diags)}
+	if opts.UnusedAllow {
+		for _, a := range module.AuditAllows() {
+			if !a.Used {
+				res.StaleAllows = append(res.StaleAllows, a)
+			}
+		}
+	}
+	return res, nil
+}
+
+func nonNilEscapes(e []Escape) []Escape {
+	if e == nil {
+		return []Escape{}
+	}
+	return e
+}
+
+func nonNilDiags(d []Diagnostic) []Diagnostic {
+	if d == nil {
+		return []Diagnostic{}
+	}
+	return d
 }

@@ -1,17 +1,22 @@
 package analysis
 
 import (
+	"go/token"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// TestModuleClean runs the full analyzer suite over the real module, so a
-// plain `go test ./...` enforces the annotated invariants even when the
-// lint gate is not run separately. It is the regression test for every
-// first-run finding the suite has ever flagged: reintroducing one (an
-// unprotected snapshot-field write, an allocation in a hotpath function,
-// an unlocked guarded-field access, a mixed atomic/plain access) fails
-// this test.
+// TestModuleClean runs the full analyzer suite over the real module —
+// including the compiler's escape analysis for allocprove and the
+// //rbpc:allow staleness audit — so a plain `go test ./...` enforces the
+// annotated invariants even when the lint gate is not run separately. It
+// is the regression test for every first-run finding the suite has ever
+// flagged: reintroducing one (an unprotected snapshot-field write, an
+// allocation in a hotpath function, a lock-order inversion, a stored
+// epoch-scoped snapshot, a map range in replay-critical code) fails this
+// test.
 func TestModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("skipping whole-module analysis in -short mode")
@@ -20,11 +25,163 @@ func TestModuleClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, err := AnalyzeModule(All, root, "./...")
+	res, err := AnalyzeModuleOpts(ModuleOptions{
+		Dir:         root,
+		Escapes:     true,
+		UnusedAllow: true,
+	})
 	if err != nil {
 		t.Fatalf("analyzing module: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range res.Diags {
 		t.Errorf("%s", d)
+	}
+	for _, a := range res.StaleAllows {
+		t.Errorf("stale suppression: //rbpc:allow %s at %s suppresses nothing", a.Name, a.Site)
+	}
+}
+
+// TestSortDiags pins the deterministic-diagnostics contract: output is
+// ordered by position (file, line, column), ties broken by analyzer then
+// message, and exact duplicates — the same finding reported by direct
+// mode and again by a vet unit — collapse to one.
+func TestSortDiags(t *testing.T) {
+	d := func(file string, line, col int, analyzer, msg string) Diagnostic {
+		return Diagnostic{
+			Pos:      token.Position{Filename: file, Line: line, Column: col},
+			Analyzer: analyzer,
+			Message:  msg,
+		}
+	}
+	in := []Diagnostic{
+		d("b.go", 2, 1, "hotpath", "m"),
+		d("a.go", 9, 3, "lockorder", "n"),
+		d("a.go", 9, 3, "lockorder", "n"), // exact duplicate: dropped
+		d("a.go", 9, 1, "deterministic", "q"),
+		d("a.go", 9, 1, "allocprove", "q"), // same position: analyzer breaks the tie
+		d("a.go", 2, 7, "hotpath", "z"),
+	}
+	got := SortDiags(in)
+	want := []Diagnostic{
+		d("a.go", 2, 7, "hotpath", "z"),
+		d("a.go", 9, 1, "allocprove", "q"),
+		d("a.go", 9, 1, "deterministic", "q"),
+		d("a.go", 9, 3, "lockorder", "n"),
+		d("b.go", 2, 1, "hotpath", "m"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("diag[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// writeTempModule lays out a throwaway single-package module for
+// whole-module analysis tests and returns its root.
+func writeTempModule(t *testing.T, aGo string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"a/a.go": aGo,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+const cacheModSrc = `package a
+
+import "time"
+
+// Stamp is replay-critical.
+//
+//rbpc:deterministic
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+//rbpc:hotpath
+func Grow(xs []int) []int {
+	return append(xs, 1) //rbpc:allow hotpath -- capacity preallocated by callers
+}
+`
+
+const cacheModFixedSrc = `package a
+
+// Stamp is replay-critical.
+//
+//rbpc:deterministic
+func Stamp() int64 {
+	return 0
+}
+
+//rbpc:hotpath
+func Grow(xs []int) []int {
+	return xs //rbpc:allow hotpath -- capacity preallocated by callers
+}
+`
+
+// TestModuleCache exercises the content-hash fact cache end to end: a
+// cold run computes and stores per-package facts and diagnostics, a warm
+// run replays them byte-identically (including the //rbpc:allow usage
+// needed by the staleness audit), and editing a source file invalidates
+// exactly that package's entry so the findings track the new content.
+func TestModuleCache(t *testing.T) {
+	mod := writeTempModule(t, cacheModSrc)
+	cacheDir := filepath.Join(t.TempDir(), "lintcache")
+	opts := ModuleOptions{Dir: mod, CacheDir: cacheDir, UnusedAllow: true}
+
+	cold, err := AnalyzeModuleOpts(opts)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	if len(cold.Diags) != 1 || !strings.Contains(cold.Diags[0].Message, "wall clock") {
+		t.Fatalf("cold run diags = %v, want the single time.Now finding", cold.Diags)
+	}
+	if len(cold.StaleAllows) != 0 {
+		t.Fatalf("cold run stale allows = %v, want none (the hotpath allow is used)", cold.StaleAllows)
+	}
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cold run left no cache entries (err=%v)", err)
+	}
+
+	warm, err := AnalyzeModuleOpts(opts)
+	if err != nil {
+		t.Fatalf("warm run: %v", err)
+	}
+	if len(warm.Diags) != 1 || warm.Diags[0] != cold.Diags[0] {
+		t.Fatalf("warm run diags = %v, want replay of %v", warm.Diags, cold.Diags)
+	}
+	if len(warm.StaleAllows) != 0 {
+		t.Fatalf("warm run stale allows = %v; allow usage was not replayed from the cache", warm.StaleAllows)
+	}
+
+	// Fix the violation and orphan the allow: the content hash must
+	// invalidate the entry, drop the finding, and surface the stale
+	// suppression.
+	if err := os.WriteFile(filepath.Join(mod, "a", "a.go"), []byte(cacheModFixedSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := AnalyzeModuleOpts(opts)
+	if err != nil {
+		t.Fatalf("post-edit run: %v", err)
+	}
+	if len(fixed.Diags) != 0 {
+		t.Fatalf("post-edit diags = %v, want none", fixed.Diags)
+	}
+	if len(fixed.StaleAllows) != 1 || fixed.StaleAllows[0].Name != "hotpath" {
+		t.Fatalf("post-edit stale allows = %v, want the orphaned hotpath allow", fixed.StaleAllows)
 	}
 }

@@ -1,0 +1,227 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotEscape enforces the epoch-lifetime discipline on types annotated
+// //rbpc:epochscoped (engine.Snapshot, the shard merged views): their
+// values may be loaded and read anywhere, but they must never be *stored*
+// where they could outlive the epoch — package-level variables, fields of
+// types that are not themselves epoch-scoped, or channels whose element
+// type is not epoch-scoped. This closes statically the torn-view hole the
+// chaos oracle only catches dynamically: a stale Snapshot squirreled into
+// a long-lived struct serves pre-failure plans after the epoch advanced.
+//
+// Sanctioned publication points are untouched: atomic.Pointer[T] is the
+// epoch hand-off primitive, and its Store is a method call, not a store
+// this analyzer polices. Epoch-scoped carriers compose: a field, composite
+// literal, or channel of another //rbpc:epochscoped type may hold scoped
+// values — the carrier itself is then subject to the same rules.
+var SnapshotEscape = &Analyzer{
+	Name: "snapshotescape",
+	Doc:  "epoch-scoped values must not be stored into long-lived locations",
+	Run:  runSnapshotEscape,
+}
+
+func runSnapshotEscape(pass *Pass) {
+	if len(pass.Index.EpochScoped) == 0 {
+		return
+	}
+	checkScopedDecls(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkScopedAssign(pass, n)
+			case *ast.SendStmt:
+				checkScopedSend(pass, n)
+			case *ast.CompositeLit:
+				checkScopedComposite(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// epochScoped reports whether t is (or directly carries) an epoch-scoped
+// value: the named type itself, or a pointer/slice/array/map of one.
+// Channels are conduits, not storage — sends are policed separately — and
+// atomic.Pointer is the sanctioned publish primitive. Other named types
+// are opaque here: their own declarations are checked where they appear.
+func epochScoped(idx *Index, t types.Type) bool {
+	for {
+		switch u := types.Unalias(t).(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			return epochScoped(idx, u.Key()) || epochScoped(idx, u.Elem())
+		case *types.Named:
+			return idx.EpochScoped[TypeKey(u.Obj())]
+		default:
+			return false
+		}
+	}
+}
+
+// checkScopedDecls flags the declaration-level escapes: a package-level
+// variable of a scoped-carrying type, and a scoped-carrying field declared
+// in a struct that is not itself epoch-scoped.
+func checkScopedDecls(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.ValueSpec:
+					if gd.Tok != token.VAR {
+						continue
+					}
+					for _, name := range sp.Names {
+						v, ok := pass.Info.Defs[name].(*types.Var)
+						if !ok || v.Parent() != pass.Pkg.Scope() {
+							continue
+						}
+						if epochScoped(pass.Index, v.Type()) {
+							pass.Reportf(name.Pos(),
+								"package-level variable %s holds epoch-scoped type %s; epoch-scoped values must not outlive their epoch",
+								name.Name, v.Type())
+						}
+					}
+				case *ast.TypeSpec:
+					tn, ok := pass.Info.Defs[sp.Name].(*types.TypeName)
+					if !ok || pass.Index.EpochScoped[TypeKey(tn)] {
+						continue
+					}
+					st, ok := sp.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						ft := pass.Info.TypeOf(field.Type)
+						if ft == nil || !epochScoped(pass.Index, ft) {
+							continue
+						}
+						pos := field.Pos()
+						if len(field.Names) > 0 {
+							pos = field.Names[0].Pos()
+						}
+						pass.Reportf(pos,
+							"field of epoch-scoped type %s declared in non-epoch-scoped struct %s; annotate %s //rbpc:epochscoped or drop the field",
+							ft, tn.Name(), tn.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkScopedAssign(pass *Pass, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		var valType types.Type
+		if len(as.Rhs) == len(as.Lhs) {
+			valType = pass.Info.TypeOf(as.Rhs[i])
+		} else {
+			valType = pass.Info.TypeOf(lhs) // multi-value call: trust the target's type
+		}
+		if valType == nil || !epochScoped(pass.Index, valType) {
+			continue
+		}
+		if loc, bad := longLivedTarget(pass, lhs); bad {
+			pass.Reportf(lhs.Pos(),
+				"epoch-scoped value of type %s stored into %s; epoch-scoped values must not outlive their epoch",
+				valType, loc)
+		}
+	}
+}
+
+// longLivedTarget classifies an assignment target: package-level
+// variables and fields of non-epoch-scoped types are long-lived,
+// locals and fields of epoch-scoped carriers are not. Index expressions
+// inherit the classification of their base.
+func longLivedTarget(pass *Pass, lhs ast.Expr) (string, bool) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		v, ok := pass.Info.ObjectOf(l).(*types.Var)
+		if ok && v.Parent() == pass.Pkg.Scope() {
+			return "package-level variable " + l.Name, true
+		}
+	case *ast.SelectorExpr:
+		sel, ok := pass.Info.Selections[l]
+		if ok && sel.Kind() == types.FieldVal {
+			if named := namedOf(sel.Recv()); named != nil {
+				key := TypeKey(named.Obj())
+				if !pass.Index.EpochScoped[key] {
+					return "field " + key + "." + l.Sel.Name + " of a non-epoch-scoped type", true
+				}
+				return "", false
+			}
+		}
+		// pkg.Var selector: a package-level variable of another package.
+		if v, ok := pass.Info.Uses[l.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return "package-level variable " + v.Pkg().Path() + "." + v.Name(), true
+		}
+	case *ast.IndexExpr:
+		return longLivedTarget(pass, l.X)
+	}
+	return "", false
+}
+
+func checkScopedSend(pass *Pass, send *ast.SendStmt) {
+	valType := pass.Info.TypeOf(send.Value)
+	if valType == nil || !epochScoped(pass.Index, valType) {
+		return
+	}
+	chType := pass.Info.TypeOf(send.Chan)
+	if chType == nil {
+		return
+	}
+	ch, ok := chType.Underlying().(*types.Chan)
+	if !ok {
+		return
+	}
+	if epochScoped(pass.Index, ch.Elem()) {
+		return // a channel of epoch-scoped carriers; receivers share the discipline
+	}
+	pass.Reportf(send.Pos(),
+		"epoch-scoped value of type %s sent on a channel of non-epoch-scoped element type %s",
+		valType, ch.Elem())
+}
+
+// checkScopedComposite flags a composite literal of a non-epoch-scoped
+// named struct type that captures an epoch-scoped value — the sneaky form
+// of a field store.
+func checkScopedComposite(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.Info.TypeOf(lit)
+	named := namedOf(t)
+	if named == nil {
+		return // slice/map/array literals are values; stores are checked at the store
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return
+	}
+	if pass.Index.EpochScoped[TypeKey(named.Obj())] {
+		return
+	}
+	for _, elt := range lit.Elts {
+		val := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			val = kv.Value
+		}
+		vt := pass.Info.TypeOf(val)
+		if vt != nil && epochScoped(pass.Index, vt) {
+			pass.Reportf(val.Pos(),
+				"epoch-scoped value of type %s captured by composite literal of non-epoch-scoped type %s",
+				vt, named.Obj().Name())
+		}
+	}
+}

@@ -25,11 +25,32 @@ func TestAtomicMixFixture(t *testing.T) {
 	RunFixture(t, fixture("atomicmix"), AtomicMix)
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	RunFixture(t, fixture("lockorder"), LockOrder)
+}
+
+func TestSnapshotEscapeFixture(t *testing.T) {
+	RunFixture(t, fixture("snapshotescape"), SnapshotEscape)
+}
+
+func TestDeterministicFixture(t *testing.T) {
+	RunFixture(t, fixture("deterministic"), Deterministic)
+}
+
+func TestDeterministicPkgFixture(t *testing.T) {
+	RunFixture(t, fixture("deterministicpkg"), Deterministic)
+}
+
+func TestAllocProveFixture(t *testing.T) {
+	RunFixture(t, fixture("allocprove"), AllocProve)
+}
+
 // TestSuiteNames pins the analyzer names: they are part of the
 // //rbpc:allow vocabulary, so renaming one silently disables suppressions.
 func TestSuiteNames(t *testing.T) {
 	want := map[string]bool{
 		"immutable": true, "hotpath": true, "guardedby": true, "atomicmix": true,
+		"lockorder": true, "snapshotescape": true, "deterministic": true, "allocprove": true,
 	}
 	if len(All) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(All), len(want))
@@ -52,6 +73,13 @@ func TestFactsRoundTrip(t *testing.T) {
 	idx.Locked["p.T.evictLocked"] = true
 	idx.Guard["p.T.trees"] = "mu"
 	idx.Atomic["p.T.n"] = "a.go:10:5"
+	idx.EpochScoped["p.Snap"] = true
+	idx.Deterministic["p.Shuffle"] = true
+	idx.DeterministicPkg["p/q"] = true
+	idx.Acquires["p.T.Get"] = []LockSite{{Guard: "p.T.mu", Pos: "a.go:20:2"}}
+	idx.LockCalls["p.T.Get"] = []string{"p.T.evictLocked"}
+	idx.LockEdges = []LockEdge{{Outer: "p.T.mu", OuterPos: "a.go:20:2", Inner: "p.U.mu", InnerPos: "a.go:21:2"}}
+	idx.HeldCalls = []HeldCall{{Guard: "p.T.mu", GuardPos: "a.go:20:2", Callee: "p.lockU", CallPos: "a.go:22:2"}}
 
 	data, err := idx.MarshalFacts()
 	if err != nil {
@@ -66,12 +94,26 @@ func TestFactsRoundTrip(t *testing.T) {
 		got.Atomic["p.T.n"] != "a.go:10:5" {
 		t.Errorf("facts did not survive the round trip: %+v", got)
 	}
+	if !got.EpochScoped["p.Snap"] || !got.Deterministic["p.Shuffle"] || !got.DeterministicPkg["p/q"] {
+		t.Errorf("scope/determinism facts did not survive the round trip: %+v", got)
+	}
+	if len(got.Acquires["p.T.Get"]) != 1 || got.Acquires["p.T.Get"][0].Guard != "p.T.mu" ||
+		len(got.LockCalls["p.T.Get"]) != 1 ||
+		len(got.LockEdges) != 1 || got.LockEdges[0].Inner != "p.U.mu" ||
+		len(got.HeldCalls) != 1 || got.HeldCalls[0].Callee != "p.lockU" {
+		t.Errorf("lock facts did not survive the round trip: %+v", got)
+	}
 
 	// Merging into an empty index preserves everything and stays usable.
 	merged := NewIndex()
 	merged.Merge(got)
 	if !merged.Immutable["p.T"] || merged.Guard["p.T.trees"] != "mu" {
 		t.Errorf("merge lost facts: %+v", merged)
+	}
+	// Merging twice must not duplicate slice-valued lock facts.
+	merged.Merge(got)
+	if len(merged.Acquires["p.T.Get"]) != 1 || len(merged.LockEdges) != 1 || len(merged.HeldCalls) != 1 {
+		t.Errorf("re-merge duplicated lock facts: %+v", merged)
 	}
 
 	// An empty facts file is valid (a package with no annotations).

@@ -1,0 +1,62 @@
+// Package allocprove exercises the compiler-verified no-alloc checker:
+// //rbpc:hotpath functions are cross-checked against `go tool compile
+// -m=2` escape verdicts. Sources are import-free so the fixture compiles
+// without an importcfg.
+package allocprove
+
+type point struct{ x, y int }
+
+var sink *point
+
+// leak returns the address of a local: the compiler moves p to the heap.
+//
+//rbpc:hotpath
+func leak() *point {
+	p := point{1, 2} // want "compiler-proven allocation"
+	return &p
+}
+
+// fresh heap-allocates explicitly.
+//
+//rbpc:hotpath
+func fresh() *point {
+	return &point{3, 4} // want "compiler-proven allocation"
+}
+
+// sum is allocation-free: everything stays on the stack.
+//
+//rbpc:hotpath
+func sum(ps []point) int {
+	total := 0
+	for i := range ps {
+		total += ps[i].x + ps[i].y
+	}
+	return total
+}
+
+// cold allocates freely but is not a hotpath: no finding.
+func cold() *point {
+	p := point{5, 6}
+	sink = &p
+	return sink
+}
+
+// die is an unconditional panic wrapper: crash-path only, exempt even
+// though formatting its message allocates.
+//
+//rbpc:hotpath
+func die(code int) {
+	panic("allocprove: fatal " + string(rune('0'+code)))
+}
+
+// guarded is allocation-free on the success path; the panic argument
+// escaping is crash-path only and must not be reported.
+//
+//rbpc:hotpath
+func guarded(ps []point, i int) int {
+	if i >= len(ps) {
+		die(i)
+		panic(i)
+	}
+	return ps[i].x
+}

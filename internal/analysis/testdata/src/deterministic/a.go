@@ -1,0 +1,48 @@
+// Package deterministic exercises the replay-reproducibility checker on
+// functions individually annotated //rbpc:deterministic.
+package deterministic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+//rbpc:deterministic
+func schedule(seed int64, weights map[string]float64) []string {
+	r := rand.New(rand.NewSource(seed)) // seeded constructor: fine
+	var out []string
+	for k := range weights { // want "ranges over a map"
+		out = append(out, k)
+	}
+	if r.Intn(10) > 5 { // method on an explicit *rand.Rand: fine
+		return nil
+	}
+	return out
+}
+
+//rbpc:deterministic
+func stamp() string {
+	t := time.Now() // want "reads the wall clock"
+	return t.String()
+}
+
+//rbpc:deterministic
+func draw() int {
+	return rand.Intn(6) // want "global rand source"
+}
+
+//rbpc:deterministic
+func format(x float64, n int) string {
+	_ = fmt.Sprintf("%d", n)    // integers format deterministically: fine
+	return fmt.Sprintf("%v", x) // want "formats a float"
+}
+
+// unmarked carries no annotation: free to do all of it.
+func unmarked(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s + rand.Intn(3) + int(time.Now().Unix())
+}

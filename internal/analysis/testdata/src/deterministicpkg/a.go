@@ -1,0 +1,21 @@
+// Package deterministicpkg exercises the package-clause form of the
+// directive: every function in the package is checked.
+//
+//rbpc:deterministic
+package deterministicpkg
+
+import "time"
+
+func anyFunc() int64 {
+	return time.Now().Unix() // want "reads the wall clock"
+}
+
+func pure(a, b int) int { return a + b }
+
+func sorted(keys []string, m map[string]int) []int {
+	out := make([]int, 0, len(keys))
+	for _, k := range keys { // slice range is ordered: fine
+		out = append(out, m[k])
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package snapshotescape exercises the epoch-lifetime checker: values of
+// //rbpc:epochscoped types may be read anywhere but never stored where
+// they outlive the epoch.
+package snapshotescape
+
+// Snap stands in for an epoch snapshot.
+//
+//rbpc:epochscoped
+type Snap struct{ rows []int }
+
+// View is an epoch-scoped carrier: holding snapshots inside it is fine,
+// because View itself obeys the same lifetime rules.
+//
+//rbpc:epochscoped
+type View struct{ snaps []*Snap }
+
+// holder is long-lived; parking a snapshot in it leaks the epoch.
+type holder struct {
+	cur *Snap // want "non-epoch-scoped struct"
+}
+
+var lastSnap *Snap // want "package-level variable"
+
+var sink any
+
+func keep(s *Snap) *Snap {
+	local := s // locals are epoch-scoped by construction: fine
+	sink = s   // want "stored into package-level variable"
+	return local
+}
+
+func stale(s *Snap) {
+	lastSnap = s // want "stored into package-level variable"
+}
+
+func channels(s *Snap, out chan any, scoped chan *Snap) {
+	out <- s    // want "sent on a channel"
+	scoped <- s // element type is epoch-scoped: fine
+}
+
+type box struct{ v any }
+
+func wrap(s *Snap) box {
+	return box{v: s} // want "captured by composite literal"
+}
+
+// result is an epoch-scoped carrier, so building one around a snapshot
+// is the sanctioned pattern (engine.Result, shard.coldReq).
+//
+//rbpc:epochscoped
+type result struct{ s *Snap }
+
+func publish(s *Snap) result {
+	return result{s: s}
+}
+
+func read(v *View) int {
+	n := 0
+	for _, s := range v.snaps {
+		n += len(s.rows)
+	}
+	return n
+}

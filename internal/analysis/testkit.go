@@ -49,9 +49,25 @@ func RunFixture(t *testing.T, fixtureDir string, analyzers ...*Analyzer) {
 		t.Fatalf("loading fixture: %v", err)
 	}
 
+	// The allocprove fixture needs compiler ground truth; its sources are
+	// import-free so `go tool compile` runs without an importcfg.
+	var escapes []Escape
+	for _, a := range analyzers {
+		if a == AllocProve {
+			escapes, err = CollectEscapes(EscapeConfig{
+				Dir: fixtureDir, ImportPath: "fixture", GoFiles: goFiles,
+			})
+			if err != nil {
+				t.Fatalf("collecting escapes: %v", err)
+			}
+		}
+	}
+
 	idx := NewIndex()
 	ScanPackage(fset, pkg.Files, pkg.Info, idx)
-	diags := RunAnalyzers(analyzers, fset, pkg.Files, pkg.Types, pkg.Info, idx)
+	diags := RunAnalyzers(analyzers, &Unit{
+		Fset: fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Escapes: escapes,
+	}, idx)
 
 	wants := collectWants(t, fset, fixtureDir, goFiles)
 	matched := make([]bool, len(wants))

@@ -124,7 +124,10 @@ type Case struct {
 }
 
 // Generate builds the Case for cfg: the seeded topology plus the seeded
-// chaos schedule over it.
+// chaos schedule over it. Same cfg -> identical case, always; replay and
+// shrinking depend on it.
+//
+//rbpc:deterministic
 func Generate(cfg Config) (Case, error) {
 	cfg = cfg.withDefaults()
 	w, err := universe(cfg.Nodes, cfg.TopoSeed)

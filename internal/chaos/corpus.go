@@ -21,7 +21,10 @@ import (
 // ignored throughout. The file is self-contained: cmd/rbpc-chaos -replay
 // re-runs it byte-for-byte deterministically.
 
-// WriteCase writes c in the corpus format.
+// WriteCase writes c in the corpus format, byte-stably: re-saving an
+// unchanged case must produce an identical file.
+//
+//rbpc:deterministic
 func WriteCase(w io.Writer, c Case) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, "# rbpc-chaos case")
@@ -45,6 +48,8 @@ func WriteCase(w io.Writer, c Case) error {
 }
 
 // ReadCase parses the corpus format.
+//
+//rbpc:deterministic
 func ReadCase(r io.Reader) (Case, error) {
 	sc := bufio.NewScanner(r)
 	var c Case

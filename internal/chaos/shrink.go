@@ -18,6 +18,8 @@ import (
 // nil violation means the input case did not fail on re-run (the
 // original failure was a non-deterministic scheduling race); the input
 // case is returned unchanged.
+//
+//rbpc:deterministic
 func Shrink(c Case) (Case, *Violation) {
 	fails := func(sched failure.Schedule) *Violation {
 		cand := c

@@ -75,7 +75,10 @@ type Config struct {
 	Fault Fault
 }
 
-// Result is one answered query.
+// Result is one answered query. It carries its answering Snapshot, so it
+// is epoch-scoped like the snapshot itself: consume it, don't store it.
+//
+//rbpc:epochscoped
 type Result struct {
 	Src, Dst graph.NodeID
 	// Route is nil when the pair was unroutable in the answering epoch.

@@ -32,9 +32,13 @@ type Route struct {
 // Snapshot is one epoch's immutable serving state. Everything reachable
 // from a Snapshot is frozen: readers may use it concurrently and hold it
 // across epochs (the writer never mutates a published snapshot, it builds
-// a successor and swaps the pointer).
+// a successor and swaps the pointer). It is also epoch-scoped: a reader
+// may hold one across a query, but parking it in a long-lived structure
+// serves stale routes forever — the only sanctioned long-lived holder is
+// the engine's atomic.Pointer (snapshotescape enforces this).
 //
 //rbpc:immutable
+//rbpc:epochscoped
 type Snapshot struct {
 	epoch  uint64
 	failed []graph.EdgeID // sorted

@@ -27,6 +27,8 @@ type Event struct {
 // consumer that applies the whole schedule lands back on the pristine
 // network; the returned slice therefore has length >= steps (steps chosen
 // events plus the final drain).
+//
+//rbpc:deterministic
 func ChurnSchedule(g *graph.Graph, steps, maxDown int, rng *rand.Rand) []Event {
 	if maxDown < 1 {
 		maxDown = 1

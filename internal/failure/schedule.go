@@ -97,7 +97,10 @@ func (s Schedule) Queries() int {
 
 // Encode writes the schedule in its line-oriented text form, one step per
 // line: "fail <edge>", "repair <edge>", "query <src> <dst>", "flush".
-// The format is the corpus format replayed by cmd/rbpc-chaos.
+// The format is the corpus format replayed by cmd/rbpc-chaos; encoding
+// must be byte-stable so corpus files diff cleanly across runs.
+//
+//rbpc:deterministic
 func (s Schedule) Encode(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, st := range s {
@@ -128,6 +131,8 @@ func (s Schedule) String() string {
 
 // DecodeSchedule parses the Encode format. Blank lines and '#' comments
 // are ignored.
+//
+//rbpc:deterministic
 func DecodeSchedule(r io.Reader) (Schedule, error) {
 	sc := bufio.NewScanner(r)
 	var s Schedule
@@ -198,6 +203,8 @@ func DecodeSchedule(r io.Reader) (Schedule, error) {
 // steps counts the churn events; the returned schedule is longer (queries,
 // flushes, drain). Same (g, steps, maxDown, rng seed) -> identical
 // schedule.
+//
+//rbpc:deterministic
 func ChaosSchedule(g *graph.Graph, steps, maxDown int, rng *rand.Rand) Schedule {
 	if maxDown < 1 {
 		maxDown = 1

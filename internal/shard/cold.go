@@ -76,6 +76,11 @@ type coldEntry struct {
 	ref bool
 }
 
+// coldReq is one queued cold-tier solve. It pins the querying shard's
+// snapshot for the duration of the solve, so it is epoch-scoped: it may
+// ride the admission queue but never rest anywhere longer-lived.
+//
+//rbpc:epochscoped
 type coldReq struct {
 	src, dst graph.NodeID
 	snap     *engine.Snapshot

@@ -233,6 +233,7 @@ func (c *Coordinator) Watermark() uint64 {
 // shard B answers for Y).
 //
 //rbpc:immutable
+//rbpc:epochscoped
 type View struct {
 	ring  *Ring
 	snaps []*engine.Snapshot

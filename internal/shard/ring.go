@@ -45,9 +45,12 @@ type Ring struct {
 
 // NewRing builds the ring for the (shards, vnodes, seed) triple. Virtual
 // node j of shard i sits at splitmix64(seed, i, j); sources route to the
-// first point clockwise of their own hash.
+// first point clockwise of their own hash. Every shard process must build
+// the identical ring from the triple, so construction is deterministic by
+// contract.
 //
 //rbpc:ctor
+//rbpc:deterministic
 func NewRing(shards, vnodes int, seed uint64) (*Ring, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("shard: ring needs at least one shard, got %d", shards)

@@ -24,9 +24,10 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> rbpc-lint (invariant checkers: immutable, hotpath, guardedby, atomicmix)"
+echo "==> rbpc-lint (invariant checkers: immutable, hotpath, guardedby, atomicmix,"
+echo "    lockorder, snapshotescape, deterministic, allocprove)"
 go build -o bin/rbpc-lint ./cmd/rbpc-lint
-./bin/rbpc-lint ./...
+./bin/rbpc-lint -cache "$(pwd)/.cache/rbpc-lint" -unused-allow ./...
 go vet -vettool="$(pwd)/bin/rbpc-lint" ./...
 
 echo "==> govulncheck (soft-fail if not installed)"
