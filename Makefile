@@ -52,9 +52,9 @@ serve-bench:
 	$(GO) run ./cmd/rbpc-serve -topology as -scale 0.1 -qps 165000 -duration 3s -shards 4 -shard-sweep 1,2,4 -bench-dir .
 
 # Reduced-scale benchmark smoke for CI: rbpc-serve (strict: any dropped or
-# unroutable query fails) and rbpc-bench -engine on GOMAXPROCS 1 and 4, a
-# multi-core serve stage at GOMAXPROCS 8, and a same-machine churn
-# double-run gated by -compare-fail-pct. Cross-machine timings are
-# reported, not gated.
+# unroutable query fails) and rbpc-bench -engine on GOMAXPROCS 1 and 4,
+# multi-core serve stages at GOMAXPROCS 8 (batched submit, hybrid
+# restoration switchover), and a same-machine churn double-run gated by
+# -compare-fail-pct. Cross-machine timings are reported, not gated.
 bench-smoke:
 	sh scripts/bench_smoke.sh

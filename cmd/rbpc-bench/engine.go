@@ -14,6 +14,7 @@ import (
 	"rbpc/internal/engine"
 	"rbpc/internal/failure"
 	"rbpc/internal/graph"
+	"rbpc/internal/probe"
 	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
 	"rbpc/internal/topology"
@@ -60,6 +61,12 @@ type engineChurnRecord struct {
 	StageResolveSec  float64 `json:"stage_resolve_seconds"`
 	StageAssembleSec float64 `json:"stage_assemble_seconds"`
 
+	// Schemes holds the four-way restoration-scheme comparison: the
+	// identical churn schedule re-run per scheme on a fresh single engine
+	// with the wall-clock time-to-restore prober attached to every
+	// failure. restore_p50_seconds is the comparison's headline metric;
+	// the local-plan quality counters are zero under the source scheme.
+	Schemes []schemeChurnEntry `json:"scheme_comparison,omitempty"`
 	// Sweep holds one entry per -engine-sweep GOMAXPROCS value, each a
 	// fresh engine driven through the identical schedule.
 	Sweep []engineSweepEntry `json:"gomaxprocs_sweep,omitempty"`
@@ -76,6 +83,22 @@ type engineSweepEntry struct {
 	BuildP99Secs     float64 `json:"epoch_build_p99_seconds"`
 	StageSolveSec    float64 `json:"stage_solve_seconds"`
 	StageAssembleSec float64 `json:"stage_assemble_seconds"`
+}
+
+// schemeChurnEntry is one scheme's row of the four-way comparison.
+type schemeChurnEntry struct {
+	Scheme            string  `json:"scheme"`
+	RestoreSamples    int64   `json:"restore_samples"`
+	RestoreP50Secs    float64 `json:"restore_p50_seconds"`
+	RestoreP99Secs    float64 `json:"restore_p99_seconds"`
+	RestoreMaxSecs    float64 `json:"restore_max_seconds"`
+	LocalBuildP50Secs float64 `json:"local_build_p50_seconds"`
+	LocalBuildP99Secs float64 `json:"local_build_p99_seconds"`
+	StretchMean       float64 `json:"stretch_mean_permille"`
+	DetourHopsMean    float64 `json:"detour_hops_mean"`
+	LocalPairs        int64   `json:"local_pairs"`
+	LocalUnrestorable int64   `json:"local_unrestorable"`
+	Converged         int64   `json:"converged_transitions"`
 }
 
 // engineShardSweepEntry is one shard-count point of the churn sweep.
@@ -152,6 +175,81 @@ func churnOnce(sys *rbpc.System, events []failure.Event, shards int) (time.Durat
 	}
 	elapsed := time.Since(start)
 	return elapsed, scrape(), nil
+}
+
+// engineProbe adapts a bare engine to the prober's backend surface.
+type engineProbe struct{ e *engine.Engine }
+
+func (p engineProbe) Query(src, dst graph.NodeID) engine.Result { return p.e.Query(src, dst) }
+func (p engineProbe) AffectedPairs(ed graph.EdgeID) []graph.NodePair {
+	return p.e.AffectedPairs(ed)
+}
+func (p engineProbe) RecordRestore(_ graph.NodeID, d time.Duration) { p.e.RecordRestore(d) }
+
+// runSchemeComparison re-runs the identical churn schedule once per
+// restoration scheme on a fresh single engine, timing every failure's
+// restoration with the shared prober. The failure-detection and per-hop
+// flood delays are fixed so hybrid's switchover horizon is the same
+// across runs.
+func runSchemeComparison(out *os.File, sys *rbpc.System, events []failure.Event) ([]schemeChurnEntry, error) {
+	flood := engine.FloodConfig{Detect: 2 * time.Millisecond, PerHop: 100 * time.Microsecond}
+	var recs []schemeChurnEntry
+	for _, sch := range engine.Schemes() {
+		eng, err := engine.New(sys.Export(), engine.Config{Scheme: sch, Flood: flood})
+		if err != nil {
+			return nil, fmt.Errorf("engine (%s): %w", sch, err)
+		}
+		runtime.GC()
+		for _, ev := range events {
+			if ev.Repair {
+				eng.Repair(ev.Edge)
+				eng.Flush()
+				continue
+			}
+			t0 := time.Now()
+			eng.Fail(ev.Edge)
+			probe.Restore(engineProbe{eng}, sch, ev.Edge, t0)
+			eng.Flush()
+		}
+		eng.Drain()
+		st := eng.Stats()
+		eng.Close()
+		recs = append(recs, schemeChurnEntry{
+			Scheme:            sch.String(),
+			RestoreSamples:    st.Restore.Count,
+			RestoreP50Secs:    st.Restore.P50.Seconds(),
+			RestoreP99Secs:    st.Restore.P99.Seconds(),
+			RestoreMaxSecs:    st.Restore.Max.Seconds(),
+			LocalBuildP50Secs: st.LocalBuild.P50.Seconds(),
+			LocalBuildP99Secs: st.LocalBuild.P99.Seconds(),
+			StretchMean:       st.Stretch.Mean,
+			DetourHopsMean:    st.DetourHops.Mean,
+			LocalPairs:        st.LocalPairs,
+			LocalUnrestorable: st.LocalUnrestorable,
+			Converged:         st.Converged,
+		})
+		fmt.Fprintf(out, "scheme %-6s: restore p50 %v  p99 %v (%d samples); stretch mean %.0f permille; %d local pairs (%d unrestorable); %d converged\n",
+			sch, st.Restore.P50, st.Restore.P99, st.Restore.Count,
+			st.Stretch.Mean, st.LocalPairs, st.LocalUnrestorable, st.Converged)
+	}
+	var hybrid, local *schemeChurnEntry
+	for i := range recs {
+		switch recs[i].Scheme {
+		case engine.SchemeHybrid.String():
+			hybrid = &recs[i]
+		case engine.SchemeLocal.String():
+			local = &recs[i]
+		}
+	}
+	if hybrid != nil && local != nil {
+		verdict := "<="
+		if hybrid.RestoreP50Secs > local.RestoreP50Secs {
+			verdict = ">"
+		}
+		fmt.Fprintf(out, "headline: hybrid restore p50 %.3fms %s local end-route %.3fms at equal churn\n",
+			hybrid.RestoreP50Secs*1e3, verdict, local.RestoreP50Secs*1e3)
+	}
+	return recs, nil
 }
 
 // runEngineChurn provisions the AS stand-in at the given scale, drives the
@@ -232,6 +330,14 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		fmt.Fprintf(out, "sweep shards=%d: %v total (build p50 %v, p99 %v; resident rows %d bytes)\n",
 			count, sElapsed.Round(time.Millisecond), sSt.EpochBuild.P50, sSt.EpochBuild.P99, sSt.RowBytes)
 	}
+	// Four-way restoration-scheme comparison over the same schedule —
+	// time-to-restore per scheme is the headline of the whole stage.
+	fmt.Fprintln(out, "scheme comparison (same schedule, fresh engine per scheme):")
+	schemeRecs, err := runSchemeComparison(out, sys, events)
+	if err != nil {
+		return err
+	}
+
 	inc := st.Incremental
 	hitRate := 0.0
 	if st.PlanCacheHits+st.PlanCacheMiss > 0 {
@@ -290,6 +396,7 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 		StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
 
+		Schemes:    schemeRecs,
 		Sweep:      sweepRecs,
 		ShardSweep: shardSweepRecs,
 	}

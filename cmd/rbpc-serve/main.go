@@ -17,11 +17,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"rbpc/internal/engine"
 	"rbpc/internal/failure"
 	"rbpc/internal/graph"
+	"rbpc/internal/probe"
 	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
 	"rbpc/internal/topology"
@@ -41,6 +43,12 @@ type backend interface {
 	Close()
 	LinksDown() int
 	Scrape() shard.Stats
+	// Query/AffectedPairs/RecordRestore are the time-to-restore prober's
+	// surface: synchronous reads of the serving snapshot plus the sink for
+	// observed failure-to-delivery wall-clock samples.
+	Query(src, dst graph.NodeID) engine.Result
+	AffectedPairs(e graph.EdgeID) []graph.NodePair
+	RecordRestore(src graph.NodeID, d time.Duration)
 }
 
 type engineBackend struct{ e *engine.Engine }
@@ -52,6 +60,12 @@ func (b engineBackend) Flush()                            { b.e.Flush() }
 func (b engineBackend) Drain()                            { b.e.Drain() }
 func (b engineBackend) Close()                            { b.e.Close() }
 func (b engineBackend) LinksDown() int                    { return len(b.e.Snapshot().Failed()) }
+
+func (b engineBackend) Query(src, dst graph.NodeID) engine.Result { return b.e.Query(src, dst) }
+func (b engineBackend) AffectedPairs(e graph.EdgeID) []graph.NodePair {
+	return b.e.AffectedPairs(e)
+}
+func (b engineBackend) RecordRestore(_ graph.NodeID, d time.Duration) { b.e.RecordRestore(d) }
 
 // Scrape lifts the single engine's stats into the merged shape so the
 // report code has one spelling.
@@ -73,8 +87,19 @@ func (b engineBackend) Scrape() shard.Stats {
 		DenseRowBytes: st.DenseRowBytes,
 		QueryLatency:  st.QueryLatency,
 		EpochBuild:    st.EpochBuild,
-		Incremental:   st.Incremental,
-		PerShard:      []engine.Stats{st},
+
+		Scheme:            st.Scheme,
+		Restore:           st.Restore,
+		LocalBuild:        st.LocalBuild,
+		Stretch:           st.Stretch,
+		DetourHops:        st.DetourHops,
+		LocalPairs:        st.LocalPairs,
+		LocalUnrestorable: st.LocalUnrestorable,
+		Converged:         st.Converged,
+		PendingTimers:     st.PendingTimers,
+
+		Incremental: st.Incremental,
+		PerShard:    []engine.Stats{st},
 	}
 }
 
@@ -88,6 +113,12 @@ func (b shardBackend) Drain()                            { b.c.Drain() }
 func (b shardBackend) Close()                            { b.c.Close() }
 func (b shardBackend) LinksDown() int                    { return len(b.c.Shard(0).Snapshot().Failed()) }
 func (b shardBackend) Scrape() shard.Stats               { return b.c.Stats() }
+
+func (b shardBackend) Query(src, dst graph.NodeID) engine.Result { return b.c.Query(src, dst) }
+func (b shardBackend) AffectedPairs(e graph.EdgeID) []graph.NodePair {
+	return b.c.AffectedPairs(e)
+}
+func (b shardBackend) RecordRestore(src graph.NodeID, d time.Duration) { b.c.RecordRestore(src, d) }
 
 // engineBench is the BENCH_engine.json payload: the rbpc-bench stage
 // record (name/seconds/seed/full_scale/gomaxprocs/go_version) plus the
@@ -118,6 +149,23 @@ type engineBench struct {
 	CacheHitRate float64 `json:"plan_cache_hit_rate"`
 	OnDemandLSPs int64   `json:"on_demand_lsps"`
 	ProvisionSec float64 `json:"provision_seconds"`
+
+	// Restoration-scheme telemetry: the configured scheme, the observed
+	// time-to-restore distribution (failure injection → delivering
+	// restored answer, the comparison's headline metric), and the local
+	// plan quality counters (zero under the source scheme).
+	Scheme            string  `json:"scheme"`
+	RestoreSamples    int64   `json:"restore_samples"`
+	RestoreP50Secs    float64 `json:"restore_p50_seconds"`
+	RestoreP99Secs    float64 `json:"restore_p99_seconds"`
+	RestoreMaxSecs    float64 `json:"restore_max_seconds"`
+	LocalBuildP50Secs float64 `json:"local_build_p50_seconds"`
+	LocalBuildP99Secs float64 `json:"local_build_p99_seconds"`
+	StretchMean       float64 `json:"stretch_mean_permille"`
+	DetourHopsMean    float64 `json:"detour_hops_mean"`
+	LocalPairs        int64   `json:"local_pairs"`
+	LocalUnrestorable int64   `json:"local_unrestorable"`
+	Converged         int64   `json:"converged_transitions"`
 
 	// Sharding telemetry: shard count (1 = single engine), provisioned hot
 	// sources (0 = all), resident vs dense routing-matrix bytes, and the
@@ -189,6 +237,8 @@ type windowOpts struct {
 	shards       int // 0 = single engine
 	planCacheMax int
 	cold         shard.ColdConfig
+	scheme       engine.Scheme
+	flood        engine.FloodConfig
 }
 
 // windowResult is the scrape of one serving window after queue drain.
@@ -213,6 +263,8 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 		QueueDepth:     o.queue,
 		CoalesceWindow: o.coalesce,
 		PlanCacheCap:   o.planCacheMax,
+		Scheme:         o.scheme,
+		Flood:          o.flood,
 		WarmOracle:     false, // serving reads rows, not the oracle
 	}
 	var eng backend
@@ -238,9 +290,11 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 	defer eng.Close()
 
 	// Failure injector: one churn event per tick, schedule long enough to
-	// outlast the window.
+	// outlast the window. Every failure also launches a time-to-restore
+	// probe — the headline metric of the scheme comparison.
 	stopChurn := make(chan struct{})
 	churnDone := make(chan struct{})
+	var probeWG sync.WaitGroup
 	if o.failEvery > 0 {
 		steps := int(o.duration / o.failEvery)
 		events := failure.ChurnSchedule(g, steps+1, o.maxDown, rand.New(rand.NewSource(o.seed)))
@@ -256,9 +310,15 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 				}
 				if ev.Repair {
 					eng.Repair(ev.Edge)
-				} else {
-					eng.Fail(ev.Edge)
+					continue
 				}
+				t0 := time.Now()
+				eng.Fail(ev.Edge)
+				probeWG.Add(1)
+				go func(ed graph.EdgeID) {
+					defer probeWG.Done()
+					probe.Restore(eng, o.scheme, ed, t0)
+				}(ev.Edge)
 			}
 		}()
 	} else {
@@ -323,6 +383,7 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 	}
 	close(stopChurn)
 	<-churnDone
+	probeWG.Wait()
 	eng.Flush()
 	elapsed := time.Since(start)
 	// Drain is a real barrier over every worker queue — unlike the old
@@ -383,6 +444,9 @@ func main() {
 		failEvery = flag.Duration("fail-every", 50*time.Millisecond, "interval between injected churn events (0 = no churn)")
 		maxDown   = flag.Int("max-down", 3, "max links concurrently down during churn")
 		coalesce  = flag.Duration("coalesce", time.Millisecond, "writer coalesce window for failure bursts")
+		schemeStr = flag.String("scheme", "source", "restoration scheme: source, local, bypass, or hybrid")
+		floodDet  = flag.Duration("flood-detect", 2*time.Millisecond, "modeled failure-detection delay before the link-state flood starts (hybrid switchover)")
+		floodHop  = flag.Duration("flood-hop", 100*time.Microsecond, "modeled per-hop link-state flood propagation delay (hybrid switchover)")
 		benchDir  = flag.String("bench-dir", "", "write BENCH_engine.json into this directory")
 		sweep     = flag.String("sweep", "", "comma-separated GOMAXPROCS values to additionally run the serving window at (e.g. 1,2,4,8)")
 		strict    = flag.Bool("strict", false, "exit non-zero if any query was dropped or answered unroutable (CI smoke gate)")
@@ -402,6 +466,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbpc-serve: -hot-sources needs -shards (the cold tier lives in the coordinator)")
 		os.Exit(2)
 	}
+	sch, err := engine.ParseScheme(*schemeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
+		os.Exit(2)
+	}
+	if sch != engine.SchemeSource && (*shards > 0 || *shardSweep != "" || *hotSources > 0) {
+		fmt.Fprintf(os.Stderr, "rbpc-serve: -scheme %s needs the single-engine path (-shards, -shard-sweep, and -hot-sources serve the source scheme only)\n", sch)
+		os.Exit(2)
+	}
 
 	g, err := buildTopology(*topo, *scale, *seed)
 	if err != nil {
@@ -409,6 +482,9 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Printf("topology %s: %d nodes, %d links\n", *topo, g.Order(), g.Size())
+	if sch != engine.SchemeSource {
+		fmt.Printf("restoration scheme: %s (flood detect %v, per-hop %v)\n", sch, *floodDet, *floodHop)
+	}
 
 	rcfg := rbpc.Config{SubpathClosure: *closure, EdgeLSPs: true}
 	if *hotSources > 0 && *hotSources < g.Order() {
@@ -445,6 +521,8 @@ func main() {
 		seed:         *seed,
 		shards:       *shards,
 		planCacheMax: *planCache,
+		scheme:       sch,
+		flood:        engine.FloodConfig{Detect: *floodDet, PerHop: *floodHop},
 		cold: shard.ColdConfig{
 			Workers:      *coldWorkers,
 			Queue:        *coldQueue,
@@ -474,6 +552,15 @@ func main() {
 		st.Epochs, st.EpochBuild.P50, st.EpochBuild.P99, hitRate, st.OnDemandLSPs)
 	fmt.Printf("unroutable answers: %d; final epoch %d with %d links down\n",
 		st.Unroutable, st.Epoch, res.linksDown)
+	if st.Restore.Count > 0 {
+		fmt.Printf("time-to-restore (%s): %d samples, p50 %v  p99 %v  max %v\n",
+			st.Scheme, st.Restore.Count, st.Restore.P50, st.Restore.P99, st.Restore.Max)
+	}
+	if st.Scheme != engine.SchemeSource {
+		fmt.Printf("local plans: build p50 %v p99 %v; %d affected pairs (%d unrestorable); stretch mean %.0f permille; detour hops mean %.1f max %d; %d transitions converged\n",
+			st.LocalBuild.P50, st.LocalBuild.P99, st.LocalPairs, st.LocalUnrestorable,
+			st.Stretch.Mean, st.DetourHops.Mean, st.DetourHops.Max, st.Converged)
+	}
 	inc := st.Incremental
 	fmt.Printf("incremental: %d rows reused / %d recomputed (%d entering, %d leaving, %d stale, %d repair-improved), %d trees adopted\n",
 		inc.PairsReused, inc.PairsRecomputed, inc.Entering, inc.Leaving, inc.StaleRoutes, inc.RepairImproved, inc.TreesAdopted)
@@ -587,6 +674,19 @@ func main() {
 			OnDemandLSPs: st.OnDemandLSPs,
 			ProvisionSec: provisionTime.Seconds(),
 
+			Scheme:            st.Scheme.String(),
+			RestoreSamples:    st.Restore.Count,
+			RestoreP50Secs:    st.Restore.P50.Seconds(),
+			RestoreP99Secs:    st.Restore.P99.Seconds(),
+			RestoreMaxSecs:    st.Restore.Max.Seconds(),
+			LocalBuildP50Secs: st.LocalBuild.P50.Seconds(),
+			LocalBuildP99Secs: st.LocalBuild.P99.Seconds(),
+			StretchMean:       st.Stretch.Mean,
+			DetourHopsMean:    st.DetourHops.Mean,
+			LocalPairs:        st.LocalPairs,
+			LocalUnrestorable: st.LocalUnrestorable,
+			Converged:         st.Converged,
+
 			Shards:        st.Shards,
 			HotSources:    *hotSources,
 			PlanRowBytes:  st.RowBytes,
@@ -625,6 +725,14 @@ func main() {
 
 	if *strict && (st.Dropped > 0 || st.Unroutable > 0) {
 		fmt.Fprintf(os.Stderr, "rbpc-serve: strict mode: %d dropped, %d unroutable\n", st.Dropped, st.Unroutable)
+		os.Exit(1)
+	}
+	if *strict && *failEvery > 0 && st.Restore.Count == 0 {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: strict mode: churn ran but the prober recorded no time-to-restore samples")
+		os.Exit(1)
+	}
+	if *strict && st.PendingTimers != 0 {
+		fmt.Fprintf(os.Stderr, "rbpc-serve: strict mode: %d switchover timers still pending after drain\n", st.PendingTimers)
 		os.Exit(1)
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"rbpc/internal/engine"
 	"rbpc/internal/failure"
 	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
 	"rbpc/internal/paths"
 	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
@@ -76,6 +77,21 @@ type Config struct {
 	// Fault injects a deliberate engine defect (engine.FaultNone = the
 	// production engine). The harness must catch every injectable fault.
 	Fault engine.Fault
+	// Scheme selects the restoration scheme of the engine under test
+	// (default engine.SchemeSource). The lockstep reference always runs
+	// the source scheme in FullRebuild mode; the oracles dispatch on the
+	// flavor of each served answer — source answers are held to the full
+	// optimality/theorem chain and bit-matched against the reference,
+	// local answers to an exact independent recomputation of their
+	// Section-4 construction. Sharded cases support SchemeSource only.
+	Scheme engine.Scheme
+	// FloodFrozen, for SchemeHybrid cases, freezes the modeled link-state
+	// flood (an effectively infinite per-hop delay): no source ever
+	// passes its horizon, so affected pairs keep serving their edge-bypass
+	// answers and the flush oracles exercise the bypass flavor. Without
+	// it hybrid cases run a zero-delay flood — flushed snapshots are
+	// converged and must be bit-identical to the source reference.
+	FloodFrozen bool
 	// Shards, when positive, runs the multi-shard coordinator
 	// (internal/shard) as the system under test instead of a single
 	// engine: the same event stream fans out to every shard, queries
@@ -118,6 +134,8 @@ type Case struct {
 	MaxDown        int   // informational
 	CoalesceWindow time.Duration
 	Fault          engine.Fault
+	Scheme         engine.Scheme
+	FloodFrozen    bool
 	Shards         int // 0 = single engine under test
 	ShardFault     shard.Fault
 	Schedule       failure.Schedule
@@ -141,6 +159,8 @@ func Generate(cfg Config) (Case, error) {
 		MaxDown:        cfg.MaxDown,
 		CoalesceWindow: cfg.CoalesceWindow,
 		Fault:          cfg.Fault,
+		Scheme:         cfg.Scheme,
+		FloodFrozen:    cfg.FloodFrozen,
 		Shards:         cfg.Shards,
 		ShardFault:     cfg.ShardFault,
 		Schedule:       failure.ChaosSchedule(w.g, cfg.Steps, cfg.MaxDown, rand.New(rand.NewSource(cfg.Seed))),
@@ -157,7 +177,7 @@ type Violation struct {
 	// Kind names the oracle: optimality, theorem-bound,
 	// interleaving-bound, membership, monotonicity, flush-agreement,
 	// chain, dead-edge, forwarding, unroutable-but-connected,
-	// equivalence, torn-view.
+	// equivalence, torn-view, local-exact, settle.
 	Kind string
 	// Detail is the human-readable specifics.
 	Detail string
@@ -196,6 +216,10 @@ type world struct {
 	g   *graph.Graph
 	sys *rbpc.System
 	all *paths.AllShortest
+	// prim is the pristine primary LSP per provisioned pair — the input
+	// of the local schemes' Section-4 constructions, which the oracle
+	// recomputes independently for every local-flavor answer.
+	prim map[rbpc.Pair]*mpls.LSP
 }
 
 var (
@@ -215,7 +239,7 @@ func universe(nodes int, topoSeed int64) (*world, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chaos: provisioning %d-node topology (seed %d): %w", nodes, topoSeed, err)
 	}
-	w := &world{g: g, sys: sys, all: paths.NewAllShortest(g)}
+	w := &world{g: g, sys: sys, all: paths.NewAllShortest(g), prim: sys.Export().Primaries}
 	worlds[key] = w
 	return w, nil
 }
@@ -228,11 +252,20 @@ func (c Case) Run() (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
+	if c.Shards > 0 && c.Scheme != engine.SchemeSource {
+		return Report{}, fmt.Errorf("chaos: sharded cases test the source scheme only (got %v)", c.Scheme)
+	}
 	var epochs atomic.Int64
 	ecfg := engine.Config{
+		Scheme:         c.Scheme,
 		CoalesceWindow: c.CoalesceWindow,
 		Fault:          c.Fault,
 		OnEpoch:        func(*engine.Snapshot) { epochs.Add(1) },
+	}
+	if c.Scheme == engine.SchemeHybrid && c.FloodFrozen {
+		// Freeze the flood: no router's horizon ever passes, so every
+		// flushed snapshot keeps serving its edge-bypass answers.
+		ecfg.Flood = engine.FloodConfig{Detect: time.Hour, PerHop: time.Hour}
 	}
 	// The system under test: a single engine, or — when the case is
 	// sharded — the multi-shard coordinator fed through the same schedule.
@@ -270,7 +303,7 @@ func (c Case) Run() (Report, error) {
 	}
 	defer ref.Close()
 
-	ck := newChecker(w)
+	ck := newChecker(w, c.Scheme)
 	rep := Report{Steps: len(c.Schedule)}
 	model := make(map[graph.EdgeID]bool) // reference failed-set of the event stream
 
@@ -338,6 +371,28 @@ func (c Case) Run() (Report, error) {
 					vio = ck.checkFlush(i, 0, eng.Snapshot(), model)
 					if vio == nil {
 						vio = ck.checkEquivalence(i, eng.Snapshot(), ref.Snapshot())
+					}
+				}
+			case failure.StepSettle:
+				// Settle: flush, then wait (real time) for the published
+				// snapshot to become time-invariant. Only a live hybrid
+				// flood takes nonzero time; a frozen flood never settles,
+				// so settle steps degrade to flush barriers there.
+				if coord != nil {
+					coord.Flush()
+				} else {
+					eng.Flush()
+				}
+				ref.Flush()
+				if eng != nil && !c.FloodFrozen {
+					deadline := time.Now().Add(5 * time.Second)
+					for !eng.Snapshot().Converged() {
+						if time.Now().After(deadline) {
+							vio = &Violation{Step: i, Epoch: eng.Snapshot().Epoch(), Kind: "settle",
+								Detail: "snapshot did not converge within 5s"}
+							break
+						}
+						time.Sleep(100 * time.Microsecond)
 					}
 				}
 			}

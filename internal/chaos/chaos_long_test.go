@@ -53,6 +53,39 @@ func TestLongConformanceCoalesced(t *testing.T) {
 	}
 }
 
+// TestLongSchemeConformance: every restoration scheme over long schedules
+// — local flavors held to the exact Section-4 recomputation, hybrid both
+// converged and flood-frozen.
+func TestLongSchemeConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos run")
+	}
+	for _, tc := range []struct {
+		name   string
+		scheme engine.Scheme
+		frozen bool
+	}{
+		{"local", engine.SchemeLocal, false},
+		{"bypass", engine.SchemeBypass, false},
+		{"hybrid-converged", engine.SchemeHybrid, false},
+		{"hybrid-frozen", engine.SchemeHybrid, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := longCfg()
+			cfg.Scheme = tc.scheme
+			cfg.FloodFrozen = tc.frozen
+			c, v, err := Hunt(cfg, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != nil {
+				t.Fatalf("%s engine violated an oracle:\n%v\nschedule:\n%s", tc.name, v, c.Schedule)
+			}
+		})
+	}
+}
+
 // TestLongHarnessCatchesEveryFault: fault detection at the long budget,
 // with shrunk counterexamples replaying deterministically.
 func TestLongHarnessCatchesEveryFault(t *testing.T) {
@@ -64,6 +97,11 @@ func TestLongHarnessCatchesEveryFault(t *testing.T) {
 		t.Run(f.String(), func(t *testing.T) {
 			cfg := longCfg()
 			cfg.Fault = f
+			if f == engine.FaultStaleBypass {
+				// The stale-bypass defect lives in the local-plan writer,
+				// which only runs under a local scheme.
+				cfg.Scheme = engine.SchemeBypass
+			}
 			c, v, err := Hunt(cfg, 8)
 			if err != nil {
 				t.Fatal(err)

@@ -39,6 +39,11 @@ func TestHarnessCatchesEveryFault(t *testing.T) {
 		t.Run(f.String(), func(t *testing.T) {
 			cfg := smokeCfg()
 			cfg.Fault = f
+			if f == engine.FaultStaleBypass {
+				// The stale-bypass defect lives in the local-plan writer,
+				// which only runs under a local scheme.
+				cfg.Scheme = engine.SchemeBypass
+			}
 			c, v, err := Hunt(cfg, 4)
 			if err != nil {
 				t.Fatal(err)
@@ -79,6 +84,78 @@ func TestHarnessCatchesEveryFault(t *testing.T) {
 				t.Fatalf("decoded case does not reproduce: %v", err)
 			}
 		})
+	}
+}
+
+// TestSchemeConformanceClean runs the production engine through the same
+// chaos schedules under every restoration scheme: the local flavors
+// checked by exact Section-4 recomputation, hybrid both converged
+// (zero-delay flood, flushed snapshots bit-identical to the source
+// reference) and frozen (no source ever switches, the bypass flavor
+// serves forever). Every oracle must stay green.
+func TestSchemeConformanceClean(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scheme engine.Scheme
+		frozen bool
+	}{
+		{"local", engine.SchemeLocal, false},
+		{"bypass", engine.SchemeBypass, false},
+		{"hybrid-converged", engine.SchemeHybrid, false},
+		{"hybrid-frozen", engine.SchemeHybrid, true},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := smokeCfg()
+			cfg.Scheme = tc.scheme
+			cfg.FloodFrozen = tc.frozen
+			c, v, err := Hunt(cfg, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != nil {
+				t.Fatalf("%s engine violated an oracle:\n%v\nschedule:\n%s", tc.name, v, c.Schedule)
+			}
+		})
+	}
+}
+
+// TestSchemeCorpusRoundTrip: scheme cases survive the corpus format, and
+// source-scheme files stay byte-identical to the pre-scheme format (no
+// scheme keys written).
+func TestSchemeCorpusRoundTrip(t *testing.T) {
+	cfg := smokeCfg()
+	cfg.Scheme = engine.SchemeHybrid
+	cfg.FloodFrozen = true
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCase(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := ReadCase(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCase: %v\ncorpus:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(rc, c) {
+		t.Fatalf("corpus round-trip changed the case:\ngot  %+v\nwant %+v", rc, c)
+	}
+
+	src, err := Generate(smokeCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := WriteCase(&sb, src); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scheme", "flood-frozen"} {
+		if bytes.Contains(sb.Bytes(), []byte(key)) {
+			t.Fatalf("source-scheme corpus carries %q key:\n%s", key, sb.String())
+		}
 	}
 }
 
@@ -145,11 +222,13 @@ func TestCorpusRejectsGarbage(t *testing.T) {
 		"nodes 12\n",                        // header only
 		"nodes 12\nwibble 3\nschedule\n",    // unknown key
 		"nodes 12\nfault lying\nschedule\n", // unknown fault
-		"nodes 12\nschedule\nexplode 1\n",   // unknown step
-		"schedule\nfail 1\n",                // missing nodes
-		"nodes twelve\nschedule\nfail 1\n",  // non-numeric value
-		"nodes 12 13\nschedule\nfail 1\n",   // extra operand
-		"nodes 12\nschedule\nquery 1\n",     // short query
+		"nodes 12\nscheme warp\nschedule\n", // unknown scheme
+		"nodes 12\nflood-frozen x\nschedule\nfail 1\n", // non-numeric flag
+		"nodes 12\nschedule\nexplode 1\n",              // unknown step
+		"schedule\nfail 1\n",                           // missing nodes
+		"nodes twelve\nschedule\nfail 1\n",             // non-numeric value
+		"nodes 12 13\nschedule\nfail 1\n",              // extra operand
+		"nodes 12\nschedule\nquery 1\n",                // short query
 	} {
 		if _, err := ReadCase(bytes.NewReader([]byte(bad))); err == nil {
 			t.Errorf("ReadCase accepted garbage %q", bad)

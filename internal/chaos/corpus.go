@@ -34,6 +34,14 @@ func WriteCase(w io.Writer, c Case) error {
 	fmt.Fprintf(bw, "max-down %d\n", c.MaxDown)
 	fmt.Fprintf(bw, "coalesce-us %d\n", c.CoalesceWindow.Microseconds())
 	fmt.Fprintf(bw, "fault %s\n", c.Fault)
+	// Scheme keys are omitted for source-scheme cases so their files stay
+	// byte-identical to the pre-scheme corpus format.
+	if c.Scheme != engine.SchemeSource {
+		fmt.Fprintf(bw, "scheme %s\n", c.Scheme)
+	}
+	if c.FloodFrozen {
+		fmt.Fprintln(bw, "flood-frozen 1")
+	}
 	// Sharded-run keys are omitted for single-engine cases so their files
 	// stay byte-identical to the pre-shard corpus format.
 	if c.Shards > 0 {
@@ -84,6 +92,14 @@ func ReadCase(r io.Reader) (Case, error) {
 			c.Fault = f
 			continue
 		}
+		if key == "scheme" {
+			s, err := engine.ParseScheme(fields[1])
+			if err != nil {
+				return Case{}, fmt.Errorf("chaos: corpus line %d: %v", lineNo, err)
+			}
+			c.Scheme = s
+			continue
+		}
 		if key == "shard-fault" {
 			f, err := shard.ParseFault(fields[1])
 			if err != nil {
@@ -107,6 +123,8 @@ func ReadCase(r io.Reader) (Case, error) {
 			c.MaxDown = int(n)
 		case "coalesce-us":
 			c.CoalesceWindow = time.Duration(n) * time.Microsecond
+		case "flood-frozen":
+			c.FloodFrozen = n != 0
 		case "shards":
 			c.Shards = int(n)
 		default:

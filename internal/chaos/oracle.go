@@ -8,7 +8,9 @@ import (
 	"rbpc/internal/core"
 	"rbpc/internal/engine"
 	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
 	"rbpc/internal/paths"
+	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
 )
 
@@ -25,6 +27,16 @@ type checker struct {
 	all  *paths.AllShortest // all-shortest base of the original graph (theorem DP)
 	base *paths.Explicit    // provisioned base set (membership oracle)
 
+	// scheme is the restoration scheme of the engine under test. Answer
+	// checks dispatch on each Route's own Via flavor; the scheme decides
+	// how a nil answer for a connected pair is judged (only edge-bypass
+	// may honestly fail one) and how flushed snapshots compare to the
+	// source-scheme reference.
+	scheme engine.Scheme
+	// prim is the pristine primary per pair — the input of the local
+	// schemes' Section-4 constructions, recomputed here independently.
+	prim map[rbpc.Pair]*mpls.LSP
+
 	// lastEpoch tracks query-stream monotonicity per epoch sequence:
 	// key 0 for the single engine, the shard index in sharded runs (each
 	// shard publishes its own independent epoch counter).
@@ -36,12 +48,14 @@ type checker struct {
 	done []bool
 }
 
-func newChecker(w *world) *checker {
+func newChecker(w *world, scheme engine.Scheme) *checker {
 	n := w.g.Order()
 	return &checker{
 		g:         w.g,
 		all:       w.all,
 		base:      w.sys.Base(),
+		scheme:    scheme,
+		prim:      w.prim,
 		lastEpoch: make(map[int]uint64),
 		dist:      make([]float64, n),
 		done:      make([]bool, n),
@@ -114,12 +128,40 @@ func (ck *checker) checkResult(step, sh int, res engine.Result) *Violation {
 	}
 
 	if res.Route == nil {
-		if res.Src != res.Dst && !math.IsInf(ck.bruteDist(down, res.Src, res.Dst), 1) {
-			return vio("unroutable-but-connected", "reported unroutable, but a path survives %v", failed)
+		if res.Src == res.Dst || math.IsInf(ck.bruteDist(down, res.Src, res.Dst), 1) {
+			return nil
 		}
-		return nil
+		// The pair is connected. Edge-bypass (and hybrid before its
+		// horizon) is the one flavor that may honestly fail a connected
+		// pair: a detour must exist around every down crossing of its
+		// primary, and a crossing whose endpoints the failures disconnect
+		// has none. Every other nil answer is a violation.
+		if ck.scheme == engine.SchemeBypass || ck.scheme == engine.SchemeHybrid {
+			lr, affected := snap.LocalRoutes()[rbpc.Pair{Src: res.Src, Dst: res.Dst}]
+			if affected && lr == nil && ck.bypassBlocked(down, res.Src, res.Dst) {
+				return nil
+			}
+		}
+		return vio("unroutable-but-connected", "reported unroutable, but a path survives %v", failed)
 	}
 	rt := res.Route
+
+	// Local-flavor answers (end-route and edge-bypass patches) carry a
+	// concrete path instead of source components; they are held to an
+	// exact independent recomputation of their Section-4 construction.
+	if rt.Via != engine.SchemeSource {
+		return ck.checkLocalResult(step, snap, down, res.Src, res.Dst, rt)
+	}
+
+	// A hybrid snapshot that has not converged serves honestly stale
+	// source answers: phase one carries the previous epoch's rows because
+	// the sources have not heard the flood yet. The fresh oracles for
+	// this failed-set are the local answers (checked above); the stale
+	// rows are only checked for chain continuity and, when the advertised
+	// path is still fully alive, data-plane delivery.
+	if snap.Scheme() == engine.SchemeHybrid && !snap.Converged() {
+		return ck.checkStaleSource(step, snap, down, res.Src, res.Dst, rt)
+	}
 
 	// Structural validity: the components chain src to dst and ride only
 	// links alive in this epoch.
@@ -177,9 +219,10 @@ func (ck *checker) checkResult(step, sh int, res engine.Result) *Violation {
 
 	// End-to-end forwarding on the epoch's own data plane: the installed
 	// label stacks must deliver, and on unit-weight topologies must walk
-	// exactly the served cost.
+	// exactly the served cost. DataPlane picks the plane the answer was
+	// served from (the phase-one net for pre-horizon hybrid sources).
 	ck.probes++
-	pkt, err := snap.Net().SendIP(res.Src, res.Dst)
+	pkt, err := snap.DataPlane(res.Src).SendIP(res.Src, res.Dst)
 	if err != nil {
 		return vio("forwarding", "data plane dropped the packet: %v", err)
 	}
@@ -192,16 +235,202 @@ func (ck *checker) checkResult(step, sh int, res engine.Result) *Violation {
 	return nil
 }
 
+// checkLocalResult validates an end-route or edge-bypass answer: a
+// structurally-sound path over alive links whose advertised cost equals
+// both the path's own cost and an exact independent recomputation of the
+// flavor's Section-4 construction, at or above the true post-failure
+// shortest distance, and whose patched data plane delivers the probe in
+// exactly the advertised number of hops.
+func (ck *checker) checkLocalResult(step int, snap *engine.Snapshot, down map[graph.EdgeID]bool, src, dst graph.NodeID, rt *engine.Route) *Violation {
+	vio := func(kind, format string, args ...interface{}) *Violation {
+		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: kind,
+			Detail: fmt.Sprintf("%d->%d ", src, dst) + fmt.Sprintf(format, args...)}
+	}
+	if rt.Via != engine.SchemeLocal && rt.Via != engine.SchemeBypass {
+		return vio("chain", "unknown answer flavor %v", rt.Via)
+	}
+	if len(rt.LSPs) != 0 || len(rt.Stack) != 0 {
+		return vio("chain", "local answer carries source components")
+	}
+	p := rt.Path
+	if len(p.Nodes) != len(p.Edges)+1 || p.Src() != src || p.Dst() != dst {
+		return vio("chain", "local path runs %v, want %d->%d", p.Nodes, src, dst)
+	}
+	var cost float64
+	for i, ed := range p.Edges {
+		e := ck.g.Edge(ed)
+		u, v := p.Nodes[i], p.Nodes[i+1]
+		if !(e.U == u && e.V == v) && !(e.U == v && e.V == u) {
+			return vio("chain", "hop %d rides link %d-%d, path says %d-%d", i, e.U, e.V, u, v)
+		}
+		if down[ed] {
+			return vio("dead-edge", "local path rides failed link %d (failed-set %v)", ed, snap.Failed())
+		}
+		cost += e.W
+	}
+	if math.Abs(cost-rt.Cost) > costEps {
+		return vio("local-exact", "advertised cost %v, but the served path costs %v", rt.Cost, cost)
+	}
+	if want := ck.bruteDist(down, src, dst); rt.Cost < want-costEps {
+		return vio("optimality", "served cost %v beats the post-failure shortest %v", rt.Cost, want)
+	}
+	lsp := ck.prim[rbpc.Pair{Src: src, Dst: dst}]
+	if lsp == nil {
+		return vio("local-exact", "local answer for a pair with no provisioned primary")
+	}
+	exact, ok := ck.localExactCost(rt.Via, down, lsp, dst)
+	if !ok {
+		return vio("local-exact", "the %v construction has no answer for this failed-set, yet one was served", rt.Via)
+	}
+	if math.Abs(rt.Cost-exact) > costEps {
+		return vio("local-exact", "served cost %v, independent %v recomputation says %v", rt.Cost, rt.Via, exact)
+	}
+	ck.probes++
+	pkt, err := snap.DataPlane(src).SendIP(src, dst)
+	// Before a hybrid snapshot converges, the source's FEC entry is its
+	// last pre-flood plan — possibly a previous transition's restoration
+	// plan, not the canonical primary this local answer patches — so the
+	// probe may honestly walk a different (patched) route than the
+	// advertised path. Delivery must still work unless some down link is
+	// non-bridgeable, in which case the patch that would carry the stale
+	// plan provably cannot exist.
+	if relaxed := snap.Scheme() == engine.SchemeHybrid && !snap.Converged(); relaxed {
+		if err != nil || pkt.At != dst {
+			for _, ed := range snap.Failed() {
+				e := ck.g.Edge(ed)
+				if math.IsInf(ck.bruteDist(down, e.U, e.V), 1) {
+					return nil
+				}
+			}
+			return vio("forwarding", "pre-horizon data plane did not deliver (at %v, err %v) with every failed link bridgeable", pkt, err)
+		}
+		return nil
+	}
+	if err != nil {
+		return vio("forwarding", "data plane dropped the packet: %v", err)
+	}
+	if pkt.At != dst {
+		return vio("forwarding", "data plane delivered to %d (label-stack rewrite broken)", pkt.At)
+	}
+	if pkt.Hops != p.Hops() {
+		return vio("forwarding", "data plane walked %d hops, served path has %d", pkt.Hops, p.Hops())
+	}
+	return nil
+}
+
+// checkStaleSource loosely validates a pre-convergence hybrid source
+// answer: the components must still chain src to dst, and when the
+// advertised path is fully alive the phase-one data plane must deliver.
+// A path riding a newly-down link is exactly the honest staleness the
+// hybrid scheme models — the patched ILM rows, not this answer, carry
+// the traffic until the source's horizon passes — so nothing further is
+// checked against this epoch.
+func (ck *checker) checkStaleSource(step int, snap *engine.Snapshot, down map[graph.EdgeID]bool, src, dst graph.NodeID, rt *engine.Route) *Violation {
+	vio := func(kind, format string, args ...interface{}) *Violation {
+		return &Violation{Step: step, Epoch: snap.Epoch(), Kind: kind,
+			Detail: fmt.Sprintf("%d->%d ", src, dst) + fmt.Sprintf(format, args...)}
+	}
+	at := src
+	stale := false
+	for i, l := range rt.LSPs {
+		if l.Path.Src() != at {
+			return vio("chain", "component %d starts at %d, want %d", i, l.Path.Src(), at)
+		}
+		for _, e := range l.Path.Edges {
+			if down[e] {
+				stale = true
+			}
+		}
+		at = l.Path.Dst()
+	}
+	if at != dst {
+		return vio("chain", "concatenation ends at %d", at)
+	}
+	if stale {
+		return nil
+	}
+	ck.probes++
+	pkt, err := snap.DataPlane(src).SendIP(src, dst)
+	if err != nil {
+		return vio("forwarding", "data plane dropped the packet: %v", err)
+	}
+	if pkt.At != dst {
+		return vio("forwarding", "data plane delivered to %d", pkt.At)
+	}
+	return nil
+}
+
+// localExactCost recomputes, independently of the engine, the cost the
+// flavor's Section-4 construction must serve for the pair with primary
+// lsp: end-route follows the primary to its first down crossing and
+// detours to the destination; edge-bypass keeps the primary and splices
+// every down crossing with a detour between its endpoints. Both detours
+// are post-failure shortest paths, so bruteDist (which shares no code
+// with the engine's solvers) makes the recomputation exact. ok is false
+// when the construction has no answer — a required detour's endpoints
+// are disconnected, or (end-route) the primary has no down crossing.
+func (ck *checker) localExactCost(via engine.Scheme, down map[graph.EdgeID]bool, lsp *mpls.LSP, dst graph.NodeID) (cost float64, ok bool) {
+	if via == engine.SchemeLocal {
+		var prefix float64
+		for i, e := range lsp.Path.Edges {
+			if down[e] {
+				d := ck.bruteDist(down, lsp.Path.Nodes[i], dst)
+				if math.IsInf(d, 1) {
+					return 0, false
+				}
+				return prefix + d, true
+			}
+			prefix += ck.g.Edge(e).W
+		}
+		return 0, false
+	}
+	for i, e := range lsp.Path.Edges {
+		if !down[e] {
+			cost += ck.g.Edge(e).W
+			continue
+		}
+		d := ck.bruteDist(down, lsp.Path.Nodes[i], lsp.Path.Nodes[i+1])
+		if math.IsInf(d, 1) {
+			return 0, false
+		}
+		cost += d
+	}
+	return cost, true
+}
+
+// bypassBlocked reports whether edge-bypass honestly cannot restore the
+// pair: its primary has a down crossing whose endpoints the failures
+// disconnect, so no detour exists. (With only connected crossings the
+// construction always succeeds, so a nil bypass answer for a connected
+// pair is a violation unless this holds.)
+func (ck *checker) bypassBlocked(down map[graph.EdgeID]bool, src, dst graph.NodeID) bool {
+	lsp := ck.prim[rbpc.Pair{Src: src, Dst: dst}]
+	if lsp == nil {
+		return false
+	}
+	_, ok := ck.localExactCost(engine.SchemeBypass, down, lsp, dst)
+	return !ok
+}
+
 // checkEquivalence compares the flushed snapshot of the engine under test
 // against the lockstep FullRebuild reference: same failed-set, and for
-// every pair the same routability, the same cost bits, and the same
-// component path sequences. Label stacks are deliberately excluded (label
-// numbers depend on signaling order, which the contract does not cover);
-// a deterministic per-flush sample of oracle distances is compared at the
-// bit level too. Intermediate epoch counts are not compared — the two
-// writers may coalesce bursts differently — but flushed serving state is
-// path-independent for a correct engine, which is exactly the property
-// the incremental builder must preserve.
+// every pair whose answer is source-flavored the same routability, the
+// same cost bits, and the same component path sequences. Label stacks are
+// deliberately excluded (label numbers depend on signaling order, which
+// the contract does not cover); a deterministic per-flush sample of
+// oracle distances is compared at the bit level too. Intermediate epoch
+// counts are not compared — the two writers may coalesce bursts
+// differently — but flushed serving state is path-independent for a
+// correct engine, which is exactly the property the incremental builder
+// must preserve.
+//
+// Local-flavor answers (end-route/edge-bypass schemes, or a hybrid whose
+// flood is frozen) cannot bit-match the source reference: they are held
+// instead to the exact Section-4 recomputation at or above the
+// reference's optimum, and a nil answer against a routable reference is
+// tolerated only for a provably blocked edge-bypass. A converged hybrid
+// serves source answers everywhere, so it must bit-match in full — the
+// machine check of the switchover property.
 func (ck *checker) checkEquivalence(step int, got, want *engine.Snapshot) *Violation {
 	vio := func(format string, args ...interface{}) *Violation {
 		return &Violation{Step: step, Epoch: got.Epoch(), Kind: "equivalence",
@@ -216,6 +445,10 @@ func (ck *checker) checkEquivalence(step int, got, want *engine.Snapshot) *Viola
 			return vio("failed-set %v, reference %v", gf, wf)
 		}
 	}
+	down := make(map[graph.EdgeID]bool, len(gf))
+	for _, e := range gf {
+		down[e] = true
+	}
 	n := ck.g.Order()
 	for s := 0; s < n; s++ {
 		for d := 0; d < n; d++ {
@@ -224,10 +457,32 @@ func (ck *checker) checkEquivalence(step int, got, want *engine.Snapshot) *Viola
 			}
 			src, dst := graph.NodeID(s), graph.NodeID(d)
 			a, b := got.Route(src, dst), want.Route(src, dst)
-			if (a == nil) != (b == nil) {
-				return vio("pair %d->%d routable %v, reference %v (failed %v)", s, d, a != nil, b != nil, gf)
+			if a == nil && b == nil {
+				continue
 			}
 			if a == nil {
+				if (ck.scheme == engine.SchemeBypass || ck.scheme == engine.SchemeHybrid) &&
+					ck.bypassBlocked(down, src, dst) {
+					continue
+				}
+				return vio("pair %d->%d routable false, reference true (failed %v)", s, d, gf)
+			}
+			if b == nil {
+				return vio("pair %d->%d routable true, reference false (failed %v)", s, d, gf)
+			}
+			if a.Via != engine.SchemeSource {
+				lsp := ck.prim[rbpc.Pair{Src: src, Dst: dst}]
+				if lsp == nil {
+					return vio("pair %d->%d local answer with no provisioned primary", s, d)
+				}
+				exact, ok := ck.localExactCost(a.Via, down, lsp, dst)
+				if !ok || math.Abs(a.Cost-exact) > costEps {
+					return vio("pair %d->%d local cost %v, independent %v recomputation says %v (failed %v)",
+						s, d, a.Cost, a.Via, exact, gf)
+				}
+				if a.Cost < b.Cost-costEps {
+					return vio("pair %d->%d local cost %v beats the reference optimum %v", s, d, a.Cost, b.Cost)
+				}
 				continue
 			}
 			if math.Float64bits(a.Cost) != math.Float64bits(b.Cost) {

@@ -73,6 +73,18 @@ type Config struct {
 	// Fault injects a deliberate writer defect (see Fault). Only the
 	// chaos conformance harness sets this; leave FaultNone in production.
 	Fault Fault
+	// Scheme selects the restoration scheme served online (see Scheme).
+	// The zero value is the source-router scheme, the engine's historical
+	// behavior.
+	Scheme Scheme
+	// Flood models link-state flood propagation delay; it only matters
+	// under SchemeHybrid, where it sets each source's switchover horizon.
+	// The zero value floods instantly (hybrid converges at publish).
+	Flood FloodConfig
+	// Clock, when non-nil, replaces the wall clock for hybrid switchover
+	// gating — deterministic switchover tests inject a fake clock here.
+	// Nil uses time.Now.
+	Clock func() time.Time
 }
 
 // Result is one answered query. It carries its answering Snapshot, so it
@@ -108,6 +120,31 @@ type Stats struct {
 	QueryLatency  metrics.Summary
 	EpochBuild    metrics.Summary
 	Incremental   IncrementalStats
+	// Scheme is the configured restoration scheme; the fields below it are
+	// only populated when it is not SchemeSource.
+	Scheme Scheme
+	// Restore is the distribution of observed time-to-restore: wall-clock
+	// from failure injection to a delivering restored answer, as recorded
+	// by the serving layer's prober via RecordRestore.
+	Restore metrics.Summary
+	// LocalBuild is the distribution of local-plan build+patch latency per
+	// transition — the time from epoch start until affected pairs have a
+	// serving local answer.
+	LocalBuild metrics.Summary
+	// Stretch accumulates served-cost / shortest-distance per affected
+	// pair, in permille (1000 = optimal).
+	Stretch metrics.AccSummary
+	// DetourHops accumulates the hop length of each installed ILM detour.
+	DetourHops metrics.AccSummary
+	// LocalPairs / LocalUnrestorable count affected pairs seen by local
+	// plan builds and the crossings/pairs no surviving detour could cover.
+	LocalPairs        int64
+	LocalUnrestorable int64
+	// Converged counts hybrid transitions whose switchover horizon has
+	// fully passed; PendingTimers is the number of still-armed switchover
+	// timers (0 after Drain or Close).
+	Converged     int64
+	PendingTimers int
 }
 
 // Engine serves restoration queries from immutable epoch snapshots while
@@ -122,8 +159,10 @@ type Engine struct {
 
 	// Writer-owned state (only the writer goroutine touches these after New).
 	lspOf     map[string]*mpls.LSP
-	pairIndex *graph.PairIndex // failed link -> pairs whose primary crosses it
-	costIndex *paths.CostIndex // cost-sorted candidate order for bounded solves
+	primaries map[rbpc.Pair]*mpls.LSP // canonical primary per provisioned pair
+	xbase     *paths.Explicit         // concrete base set (ThroughEdge scans)
+	pairIndex *graph.PairIndex        // failed link -> pairs whose primary crosses it
+	costIndex *paths.CostIndex        // cost-sorted candidate order for bounded solves
 	// live is the persistent filtered form of costIndex: per-source column
 	// segments holding only currently-surviving candidates, carried across
 	// epochs and refiltered only for sources the failure delta touched.
@@ -143,6 +182,20 @@ type Engine struct {
 	solvers  []*core.SparseSolver
 	onDemand int64
 	inc      incCounters
+	// Local-restoration writer state (Config.Scheme != SchemeSource):
+	// the ILM patches applied on the current epoch's net, the local plan
+	// serving it, and the shared empty overlay local epochs publish in
+	// delta-row mode.
+	ilmPatches mpls.PatchSet
+	prevLocal  *localPlan
+	emptyOver  []*planRow
+
+	// timers holds the armed hybrid switchover timers.
+	//
+	//rbpc:guardedby timerMu
+	timers  map[*time.Timer]struct{}
+	timerMu sync.Mutex
+
 	// canonBytes is the resident cost of the canonical matrix (top-level
 	// slice + every materialized row), fixed after New.
 	canonBytes int64
@@ -170,6 +223,14 @@ type Engine struct {
 	mCacheMiss  metrics.Counter
 	mLatency    metrics.Histogram
 	mBuild      metrics.Histogram
+
+	mRestore           metrics.Histogram
+	mLocalBuild        metrics.Histogram
+	mStretch           metrics.Acc
+	mDetourHops        metrics.Acc
+	mConverged         metrics.Counter
+	mLocalPairs        metrics.Counter
+	mLocalUnrestorable metrics.Counter
 }
 
 type writerMsg struct {
@@ -200,6 +261,9 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 	if len(p.Failed) != 0 {
 		return nil, fmt.Errorf("engine: provision has %d pre-existing failures; export a pristine system", len(p.Failed))
 	}
+	if cfg.Scheme < SchemeSource || cfg.Scheme > SchemeHybrid {
+		return nil, fmt.Errorf("engine: unknown scheme %d", int(cfg.Scheme))
+	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 4
 	}
@@ -217,6 +281,8 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 		base:      p.Base,
 		cfg:       cfg,
 		lspOf:     p.LSPs,
+		primaries: p.Primaries,
+		xbase:     p.Base,
 		costIndex: costIndex,
 		live:      paths.NewLiveIndex(p.Base, costIndex),
 		canonical: make([][]*Route, n),
@@ -291,10 +357,20 @@ func New(p rbpc.Provision, cfg Config) (*Engine, error) {
 		net:     p.Net.Clone(),
 		oracle:  spath.NewOracle(graph.FailEdges(p.Graph)),
 		created: time.Now(),
+		scheme:  cfg.Scheme,
+		clock:   cfg.Clock,
+	}
+	e.emptyOver = make([]*planRow, n)
+	if cfg.Scheme != SchemeSource {
+		// Pristine local state: no failures, no patches, and (hybrid)
+		// nothing to converge to — the epoch is trivially converged.
+		s0.local = emptyLocal
+		s0.srcReady = true
+		e.prevLocal = emptyLocal
 	}
 	if cfg.DeltaRows {
 		s0.canon = e.canonical
-		s0.over = make([]*planRow, n)
+		s0.over = e.emptyOver
 	} else {
 		s0.rows = e.canonical
 	}
@@ -483,6 +559,11 @@ func (e *Engine) Flush() {
 // residual queue are recorded; returns immediately if the engine is
 // closed.
 func (e *Engine) Drain() {
+	// Cancel pending hybrid switchover timers: a drain precedes metric
+	// scrapes and shutdown, and a timer firing after either is a stray
+	// goroutine touching engine state (the serving-side switchover needs
+	// no timer, so cancelling never changes an answer).
+	e.stopTimers()
 	barriers := make([]chan struct{}, len(e.queries))
 	for i, ch := range e.queries {
 		b := make(chan struct{})
@@ -505,6 +586,7 @@ func (e *Engine) Drain() {
 // Close stops the writer and workers. Queries against already-obtained
 // snapshots remain valid; Engine methods must not be called after Close.
 func (e *Engine) Close() {
+	e.stopTimers()
 	e.closed.Do(func() { close(e.done) })
 	e.wg.Wait()
 }
@@ -539,7 +621,33 @@ func (e *Engine) Stats() Stats {
 		QueryLatency:  e.mLatency.Summarize(),
 		EpochBuild:    e.mBuild.Summarize(),
 		Incremental:   e.inc.snapshot(),
+
+		Scheme:            e.cfg.Scheme,
+		Restore:           e.mRestore.Summarize(),
+		LocalBuild:        e.mLocalBuild.Summarize(),
+		Stretch:           e.mStretch.Summarize(),
+		DetourHops:        e.mDetourHops.Summarize(),
+		LocalPairs:        e.mLocalPairs.Load(),
+		LocalUnrestorable: e.mLocalUnrestorable.Load(),
+		Converged:         e.mConverged.Load(),
+		PendingTimers:     e.pendingTimers(),
 	}
+}
+
+// AffectedPairs returns the provisioned pairs whose canonical primary
+// crosses the link — the pairs whose service a failure of ed interrupts.
+// The index is static after New, so this is safe to call concurrently;
+// the serving layer's time-to-restore prober uses it to pick the pairs to
+// probe after injecting a failure. Callers must not modify the result.
+func (e *Engine) AffectedPairs(ed graph.EdgeID) []graph.NodePair {
+	return e.pairIndex.Pairs(ed)
+}
+
+// RecordRestore records one observed time-to-restore: the wall-clock from
+// failure injection until an affected pair's query returned a delivering
+// restored answer (Stats.Restore).
+func (e *Engine) RecordRestore(d time.Duration) {
+	e.mRestore.Record(0, d)
 }
 
 // writer is the single mutator: it drains failure events, coalesces
@@ -715,6 +823,23 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 	}
 
 	nh := &netHandle{net: net}
+
+	// Local restoration schemes: publish the local epoch. For SchemeLocal
+	// and SchemeBypass that is the whole transition; for SchemeHybrid it is
+	// phase one, and the source-plan build below publishes phase two on a
+	// fresh net clone (the phase-one snapshot owns net from here on — its
+	// ILM patches ride along in the copy-on-write lineage).
+	var snap1 *Snapshot
+	if e.cfg.Scheme != SchemeSource {
+		var done bool
+		snap1, done = e.publishLocal(prev, start, failed, key, fv, oracle, net, nh, newlyDown, repairedIDs)
+		if done {
+			return
+		}
+		net = net.Clone()
+		nh = &netHandle{net: net}
+	}
+
 	var pl *plan
 	var changed []rbpc.Pair
 	delta := false
@@ -767,8 +892,30 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 		canon = e.canonical
 	}
 	resident, dense := e.accountRows(rows, over)
+	epoch := prev.epoch + 1
+	// Hybrid phase two carries the phase-one snapshot's local serving
+	// state with srcReady set: source rows are ready, and each source
+	// switches to them as its flood horizon passes (Snapshot.Route gates
+	// per read).
+	var scheme Scheme
+	var local *localPlan
+	var horizon []time.Duration
+	var maxHorizon time.Duration
+	var detected time.Time
+	var clock func() time.Time
+	var localNet *mpls.Network
+	if snap1 != nil {
+		epoch = snap1.epoch + 1
+		scheme = SchemeHybrid
+		local = snap1.local
+		horizon = snap1.horizon
+		maxHorizon = snap1.maxHorizon
+		detected = snap1.detected
+		clock = snap1.clock
+		localNet = snap1.net
+	}
 	next := &Snapshot{
-		epoch:      prev.epoch + 1,
+		epoch:      epoch,
 		failed:     failed,
 		key:        key,
 		fv:         fv,
@@ -780,11 +927,22 @@ func (e *Engine) publish(downSet map[graph.EdgeID]bool) {
 		rows:       rows,
 		rowBytes:   resident,
 		denseBytes: dense,
+		scheme:     scheme,
+		local:      local,
+		horizon:    horizon,
+		maxHorizon: maxHorizon,
+		detected:   detected,
+		clock:      clock,
+		srcReady:   snap1 != nil,
+		localNet:   localNet,
 	}
 	e.prevPlan = pl
 	e.snap.Store(next)
 	e.mEpochs.Add(0, 1)
 	e.mBuild.Record(0, time.Since(start))
+	if snap1 != nil {
+		e.scheduleConvergence(snap1.maxHorizon)
+	}
 	if e.cfg.OnEpoch != nil {
 		e.cfg.OnEpoch(next)
 	}

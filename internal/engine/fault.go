@@ -38,6 +38,14 @@ const (
 	// unaffected, which is exactly what the incremental-vs-full
 	// equivalence oracle exists to catch.
 	FaultSkipRepairRescan
+	// FaultStaleBypass skips the local-plan rebuild on epoch transitions
+	// under the local restoration schemes (Config.Scheme != SchemeSource):
+	// the previous failed-set's ILM patches stay applied and its local
+	// routes keep being served. Newly affected pairs fall through to
+	// canonical rows crossing a dead link (dead-edge oracle violation) and
+	// repaired pairs keep detouring (optimality violation). Meaningless
+	// under SchemeSource, where no local plan exists to go stale.
+	FaultStaleBypass
 )
 
 // String implements fmt.Stringer; the names double as the CLI vocabulary
@@ -54,6 +62,8 @@ func (f Fault) String() string {
 		return "drop-epoch"
 	case FaultSkipRepairRescan:
 		return "skip-repair-rescan"
+	case FaultStaleBypass:
+		return "stale-bypass"
 	default:
 		return fmt.Sprintf("Fault(%d)", int(f))
 	}
@@ -61,7 +71,7 @@ func (f Fault) String() string {
 
 // Faults lists every injectable defect (FaultNone excluded).
 func Faults() []Fault {
-	return []Fault{FaultStalePlanOnRepair, FaultSkipFECRewrite, FaultDropEpoch, FaultSkipRepairRescan}
+	return []Fault{FaultStalePlanOnRepair, FaultSkipFECRewrite, FaultDropEpoch, FaultSkipRepairRescan, FaultStaleBypass}
 }
 
 // ParseFault maps a Fault name back to its value.

@@ -1,0 +1,43 @@
+package metrics
+
+import "sync/atomic"
+
+// Acc is a concurrent integer accumulator for small non-latency
+// quantities — path-stretch per-mille, detour hop counts — where exact
+// means and maxima matter more than quantiles (the log-bucketed Histogram
+// cannot tell stretch 1.0x from 1.4x). Add is a few atomics; Summarize is
+// scrape-time only.
+type Acc struct {
+	count atomic.Int64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Add records one observation. Observations must be non-negative (Max
+// starts at zero).
+func (a *Acc) Add(v int64) {
+	a.count.Add(1)
+	a.sum.Add(v)
+	for {
+		cur := a.max.Load()
+		if v <= cur || a.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// AccSummary is a scrape-time digest of an Acc.
+type AccSummary struct {
+	Count int64
+	Mean  float64
+	Max   int64
+}
+
+// Summarize digests the accumulator's current contents.
+func (a *Acc) Summarize() AccSummary {
+	s := AccSummary{Count: a.count.Load(), Max: a.max.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(a.sum.Load()) / float64(s.Count)
+	}
+	return s
+}

@@ -16,17 +16,26 @@ import (
 
 	"rbpc/internal/graph"
 	"rbpc/internal/mpls"
+	"rbpc/internal/rbpc"
 	"rbpc/internal/spath"
 )
 
-// Route is one served answer: the LSP concatenation currently restoring
-// the pair, its label stack as pushed by the source router, and its cost
-// in the original graph (which, by construction, is the true post-failure
-// shortest distance).
+// Route is one served answer. For source-scheme answers (Via ==
+// SchemeSource) it is the LSP concatenation currently restoring the pair,
+// its label stack as pushed by the source router, and its cost in the
+// original graph (which, by construction, is the true post-failure
+// shortest distance). For local-scheme answers (Via == SchemeLocal /
+// SchemeBypass) the source keeps pushing its canonical stack and the
+// restoration happens mid-path at patched ILM rows: LSPs and Stack are nil,
+// Path is the concrete walk the patched data plane delivers, and Cost is
+// that walk's cost — at least, and under the local schemes usually above,
+// the post-failure shortest distance.
 type Route struct {
 	LSPs  []*mpls.LSP
 	Stack []mpls.Label
 	Cost  float64
+	Via   Scheme
+	Path  graph.Path
 }
 
 // Snapshot is one epoch's immutable serving state. Everything reachable
@@ -70,6 +79,29 @@ type Snapshot struct {
 	denseBytes int64
 
 	created time.Time
+
+	// Local-restoration serving state (Config.Scheme != SchemeSource).
+	// local maps each affected pair to its locally restored answer and is
+	// consulted before the row matrices; under SchemeLocal/SchemeBypass it
+	// wins unconditionally, under SchemeHybrid only until the querying
+	// source's flood horizon passes (and only once srcReady marks the
+	// phase-two snapshot whose rows actually hold the source plan).
+	// horizon[src] is that source's switchover delay after detected, on
+	// the snapshot's clock (nil = wall clock); maxHorizon is the largest
+	// finite entry.
+	scheme     Scheme
+	local      *localPlan
+	horizon    []time.Duration
+	maxHorizon time.Duration
+	detected   time.Time
+	clock      func() time.Time
+	srcReady   bool
+	// localNet is the hybrid phase-one forwarding plane: canonical FEC
+	// entries over the patched ILM rows. Pre-horizon sources forward
+	// through it (they have not heard of the transition, so they still
+	// push canonical stacks); net above carries the phase-two source-plan
+	// FEC rewrites. Nil outside hybrid phase two.
+	localNet *mpls.Network
 }
 
 // Epoch returns the snapshot's sequence number (0 = pristine).
@@ -88,6 +120,19 @@ func (s *Snapshot) View() *graph.FailureView { return s.fv }
 // packet forwarding (reads); it must not be mutated.
 func (s *Snapshot) Net() *mpls.Network { return s.net }
 
+// DataPlane returns the forwarding plane src's traffic actually traverses
+// in this epoch. It differs from Net only in hybrid phase two for a
+// source whose flood horizon has not passed: that source still pushes its
+// canonical stack through the patched phase-one net — it has not heard of
+// the transition, so the source-plan FEC rewrites in Net haven't reached
+// it. Probes of a served answer should forward through DataPlane(src).
+func (s *Snapshot) DataPlane(src graph.NodeID) *mpls.Network {
+	if s.localNet != nil && !s.pastHorizon(src) {
+		return s.localNet
+	}
+	return s.net
+}
+
 // Oracle returns shortest-path distances in the epoch's failure view,
 // computed lazily per source and memoized. Safe for concurrent use.
 func (s *Snapshot) Oracle() *spath.Oracle { return s.oracle }
@@ -100,6 +145,17 @@ func (s *Snapshot) Oracle() *spath.Oracle { return s.oracle }
 //
 //rbpc:hotpath
 func (s *Snapshot) Route(src, dst graph.NodeID) *Route {
+	if s.local != nil {
+		if rt, ok := s.local.routes[rbpc.Pair{Src: src, Dst: dst}]; ok {
+			// Affected pair: the local answer wins until the source has
+			// both heard of the failure (its flood horizon passed) and a
+			// source plan to switch to (srcReady). A nil rt is a locally
+			// unrestorable pair — served as unroutable, faithfully.
+			if !s.srcReady || !s.pastHorizon(src) {
+				return rt
+			}
+		}
+	}
 	if s.rows != nil {
 		return s.rows[src][dst]
 	}
@@ -136,3 +192,61 @@ func (s *Snapshot) RowBytes() (resident, dense int64) {
 // Age reports how long this snapshot has been the serving epoch (time
 // since it was published).
 func (s *Snapshot) Age() time.Duration { return time.Since(s.created) }
+
+// pastHorizon reports whether src's flood horizon has passed: the modeled
+// link-state flood of this epoch's transition reached src, so it may act
+// on the full failed-set.
+//
+//rbpc:hotpath
+func (s *Snapshot) pastHorizon(src graph.NodeID) bool {
+	if int(src) >= len(s.horizon) {
+		return true
+	}
+	h := s.horizon[src]
+	if s.clock == nil {
+		return time.Since(s.detected) >= h
+	}
+	return s.clock().Sub(s.detected) >= h //rbpc:allow hotpath -- injectable test clock, production path is the time.Since branch above
+}
+
+// Scheme returns the restoration scheme this snapshot serves.
+func (s *Snapshot) Scheme() Scheme { return s.scheme }
+
+// HorizonPassed reports whether src's flood horizon for this epoch's
+// transition has passed — under SchemeHybrid, whether src serves the
+// source-router answer (given srcReady) rather than the local one. Always
+// true outside SchemeHybrid's two-phase window (horizon is nil).
+func (s *Snapshot) HorizonPassed(src graph.NodeID) bool { return s.pastHorizon(src) }
+
+// MaxHorizon returns the largest finite flood horizon of this epoch's
+// transition — when the last reachable router learns of it.
+func (s *Snapshot) MaxHorizon() time.Duration { return s.maxHorizon }
+
+// Converged reports whether this snapshot's answers are time-invariant
+// from here on. Source, local, and bypass epochs always are; a hybrid
+// epoch converges once its source rows are ready (phase two) and every
+// reachable router's flood horizon has passed. A converged hybrid
+// snapshot answers exactly like a source-scheme engine for every pair
+// whose source the flood reached.
+func (s *Snapshot) Converged() bool {
+	if s.scheme != SchemeHybrid {
+		return true
+	}
+	if !s.srcReady {
+		return false
+	}
+	if s.clock == nil {
+		return time.Since(s.detected) >= s.maxHorizon
+	}
+	return s.clock().Sub(s.detected) >= s.maxHorizon
+}
+
+// LocalRoutes returns the affected-pair local answers of this epoch (nil
+// outside the local schemes; a nil map value is a locally unrestorable
+// pair). Callers must not modify the map.
+func (s *Snapshot) LocalRoutes() map[rbpc.Pair]*Route {
+	if s.local == nil {
+		return nil
+	}
+	return s.local.routes
+}

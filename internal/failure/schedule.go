@@ -30,6 +30,12 @@ const (
 	// published snapshot, then checks the snapshot agrees with the
 	// reference model.
 	StepFlush
+	// StepSettle waits (in real time) until the published snapshot's
+	// restoration state is time-invariant — under the engine's hybrid
+	// scheme, until every reachable router's flood horizon has passed and
+	// the sources serve their final answers. A no-op for the other
+	// schemes, whose snapshots never change after publish.
+	StepSettle
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +49,8 @@ func (k StepKind) String() string {
 		return "query"
 	case StepFlush:
 		return "flush"
+	case StepSettle:
+		return "settle"
 	default:
 		return fmt.Sprintf("StepKind(%d)", int(k))
 	}
@@ -112,6 +120,8 @@ func (s Schedule) Encode(w io.Writer) error {
 			_, err = fmt.Fprintf(bw, "query %d %d\n", st.Src, st.Dst)
 		case StepFlush:
 			_, err = fmt.Fprintln(bw, "flush")
+		case StepSettle:
+			_, err = fmt.Fprintln(bw, "settle")
 		default:
 			err = fmt.Errorf("failure: encoding unknown step kind %v", st.Kind)
 		}
@@ -178,6 +188,11 @@ func DecodeSchedule(r io.Reader) (Schedule, error) {
 				return nil, fmt.Errorf("failure: line %d: flush takes no operands", lineNo)
 			}
 			st = Step{Kind: StepFlush}
+		case "settle":
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("failure: line %d: settle takes no operands", lineNo)
+			}
+			st = Step{Kind: StepSettle}
 		default:
 			return nil, fmt.Errorf("failure: line %d: unknown step %q", lineNo, fields[0])
 		}

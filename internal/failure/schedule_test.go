@@ -83,6 +83,24 @@ func TestScheduleRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSettleRoundTrip(t *testing.T) {
+	s := Schedule{
+		{Kind: StepFail, Edge: 2},
+		{Kind: StepSettle},
+		{Kind: StepQuery, Src: 0, Dst: 1},
+	}
+	dec, err := DecodeSchedule(strings.NewReader(s.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 || dec[1].Kind != StepSettle {
+		t.Fatalf("settle round-tripped to %+v", dec)
+	}
+	if got := StepSettle.String(); got != "settle" {
+		t.Fatalf("StepSettle.String() = %q", got)
+	}
+}
+
 func TestDecodeScheduleRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"explode 3",
@@ -90,6 +108,7 @@ func TestDecodeScheduleRejectsGarbage(t *testing.T) {
 		"fail x",
 		"query 1",
 		"flush now",
+		"settle 5",
 		"repair 1 2",
 	} {
 		if _, err := DecodeSchedule(strings.NewReader(bad)); err == nil {

@@ -1,0 +1,54 @@
+package mpls
+
+import "rbpc/internal/graph"
+
+// PatchSet records a batch of ILM row replacements so they can be undone
+// later — the bookkeeping behind locally-restored forwarding state. The
+// engine's writer patches failure-adjacent routers when a link goes down
+// (Section 4.2's local schemes) and must restore the canonical rows on
+// the next transition before computing fresh patches for the new
+// failed-set; a PatchSet is that record.
+//
+// Apply and RevertAll may run against different Networks: the engine's
+// net lineage is copy-on-write and linear, so a row replaced on epoch
+// N's clone is present (by cloning) on epoch N+1's clone, where RevertAll
+// restores the saved entry. A PatchSet is writer-owned state — it is not
+// safe for concurrent use.
+type PatchSet struct {
+	applied []ilmPatch
+}
+
+type ilmPatch struct {
+	router graph.NodeID
+	label  Label
+	prev   ILMEntry
+}
+
+// Apply replaces the ILM row for label at router with entry, recording
+// the displaced row for RevertAll. It fails if the router has no row for
+// the label (patches only ever replace live forwarding state).
+func (ps *PatchSet) Apply(n *Network, router graph.NodeID, label Label, entry ILMEntry) error {
+	prev, err := n.ReplaceILM(router, label, entry)
+	if err != nil {
+		return err
+	}
+	ps.applied = append(ps.applied, ilmPatch{router: router, label: label, prev: prev})
+	return nil
+}
+
+// RevertAll restores every recorded row on n, most recent first, and
+// clears the set. It panics if a patched row has vanished — the engine's
+// linear net lineage guarantees it cannot, so a miss is a lifecycle bug,
+// not a recoverable condition.
+func (ps *PatchSet) RevertAll(n *Network) {
+	for i := len(ps.applied) - 1; i >= 0; i-- {
+		p := ps.applied[i]
+		if _, err := n.ReplaceILM(p.router, p.label, p.prev); err != nil {
+			panic("mpls: reverting ILM patch: " + err.Error())
+		}
+	}
+	ps.applied = ps.applied[:0]
+}
+
+// Len returns the number of live (unreverted) patches.
+func (ps *PatchSet) Len() int { return len(ps.applied) }

@@ -1,0 +1,99 @@
+package mpls
+
+import (
+	"testing"
+
+	"rbpc/internal/graph"
+)
+
+// TestPatchSetApplyRevert: Apply replaces a live ILM row and records the
+// displaced entry; RevertAll restores it (on a later COW clone, matching
+// the engine's linear net lineage) and clears the set.
+func TestPatchSetApplyRevert(t *testing.T) {
+	g := line5()
+	n := NewNetwork(g)
+	lsp, err := n.EstablishLSP(pathOf(g, 0, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inLabel, ok := lsp.HopLabel(0) // label under which traffic is processed at router 1
+	if !ok {
+		t.Fatal("no hop label into router 1")
+	}
+	orig, ok := n.Router(1).ILMEntryFor(inLabel)
+	if !ok {
+		t.Fatal("router 1 has no row for the hop label")
+	}
+
+	var ps PatchSet
+	patched := ILMEntry{Out: nil, OutEdge: LocalProcess}
+	if err := ps.Apply(n, 1, inLabel, patched); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ps.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", ps.Len())
+	}
+	if got, _ := n.Router(1).ILMEntryFor(inLabel); got.OutEdge != LocalProcess || len(got.Out) != 0 {
+		t.Fatalf("patched row = %+v", got)
+	}
+
+	// Revert on a clone: the patch was applied on n, the restore lands on
+	// the next epoch's copy — exactly the engine's lifecycle.
+	n2 := n.Clone()
+	ps.RevertAll(n2)
+	if ps.Len() != 0 {
+		t.Fatalf("Len after revert = %d", ps.Len())
+	}
+	got, ok := n2.Router(1).ILMEntryFor(inLabel)
+	if !ok || got.OutEdge != orig.OutEdge || len(got.Out) != len(orig.Out) {
+		t.Fatalf("reverted row = %+v, want %+v", got, orig)
+	}
+	// The patched network is untouched by the revert (COW isolation).
+	if still, _ := n.Router(1).ILMEntryFor(inLabel); still.OutEdge != LocalProcess {
+		t.Fatalf("revert leaked into the patched clone: %+v", still)
+	}
+}
+
+// TestPatchSetApplyMissingRow: patching a label with no live row fails and
+// records nothing.
+func TestPatchSetApplyMissingRow(t *testing.T) {
+	g := line5()
+	n := NewNetwork(g)
+	var ps PatchSet
+	if err := ps.Apply(n, 1, Label(9999), ILMEntry{OutEdge: LocalProcess}); err == nil {
+		t.Fatal("Apply of a missing row succeeded")
+	}
+	if ps.Len() != 0 {
+		t.Fatalf("failed Apply recorded a patch: Len = %d", ps.Len())
+	}
+}
+
+// TestPatchSetRevertOrder: multiple patches revert most-recent-first, so
+// every recorded row comes back even across routers.
+func TestPatchSetRevertOrder(t *testing.T) {
+	g := line5()
+	n := NewNetwork(g)
+	lsp, err := n.EstablishLSP(pathOf(g, 0, 1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps PatchSet
+	for hop, router := range []graph.NodeID{1, 2} {
+		l, ok := lsp.HopLabel(hop)
+		if !ok {
+			t.Fatalf("no hop label %d", hop)
+		}
+		if err := ps.Apply(n, router, l, ILMEntry{OutEdge: LocalProcess}); err != nil {
+			t.Fatalf("Apply at %d: %v", router, err)
+		}
+	}
+	if ps.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ps.Len())
+	}
+	ps.RevertAll(n)
+	// Both rows must forward again: a packet over the LSP delivers.
+	pkt, err := n.SendOnLSPs(3, []*LSP{lsp})
+	if err != nil || pkt.At != 3 {
+		t.Fatalf("post-revert forwarding broken: pkt=%+v err=%v", pkt, err)
+	}
+}

@@ -1,0 +1,93 @@
+// Package probe measures wall-clock time-to-restore — the headline
+// metric of the restoration-scheme comparison. After a failure is
+// injected, the prober samples pairs whose primary LSP crossed the failed
+// link and polls the serving surface until an epoch that has reacted to
+// the failure returns an answer whose data-plane walk actually delivers;
+// the elapsed wall clock since injection is that pair's restoration
+// latency.
+//
+// The same prober drives every scheme, so the recorded distributions are
+// directly comparable: the source scheme pays the full recompute+publish
+// pipeline, the local flavors pay detection plus the local plan build,
+// and hybrid pays whichever of its two phases answers first.
+package probe
+
+import (
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/graph"
+)
+
+// Backend is the serving surface the prober reads: synchronous snapshot
+// queries, the static affected-pair index, and the sink for observed
+// restoration samples. Both the single engine and the multi-shard
+// coordinator satisfy it (the serving commands adapt them).
+type Backend interface {
+	Query(src, dst graph.NodeID) engine.Result
+	AffectedPairs(e graph.EdgeID) []graph.NodePair
+	RecordRestore(src graph.NodeID, d time.Duration)
+}
+
+// Prober tuning: affected pairs sampled per failure, the polling cadence,
+// and the give-up deadline per failure.
+const (
+	maxPairs = 4
+	step     = 100 * time.Microsecond
+	timeout  = 250 * time.Millisecond
+)
+
+// snapFailed reports whether the epoch's failed-set contains the edge —
+// the prober only times answers from epochs that have reacted to the
+// injected failure (the pre-failure epoch still serves the old rows, and
+// its data plane would happily forward across the dead link).
+func snapFailed(s *engine.Snapshot, ed graph.EdgeID) bool {
+	for _, f := range s.Failed() {
+		if f == ed {
+			return true
+		}
+	}
+	return false
+}
+
+// Restore measures one injected failure's time-to-restore: it samples up
+// to maxPairs affected pairs and, for each, polls the backend until an
+// epoch reflecting the failure returns an answer whose data-plane walk
+// delivers — the wall clock since t0 (the injection instant) is that
+// pair's restoration latency, recorded into the backend's Restore
+// histogram. A nil answer in a failure-aware epoch is final for every
+// scheme except hybrid (whose source-routed answer can still arrive once
+// the flood horizon passes), so those pairs are skipped rather than
+// timed out.
+func Restore(b Backend, scheme engine.Scheme, ed graph.EdgeID, t0 time.Time) {
+	pairs := b.AffectedPairs(ed)
+	if len(pairs) == 0 {
+		return
+	}
+	stride := len(pairs) / maxPairs
+	if stride < 1 {
+		stride = 1
+	}
+	deadline := t0.Add(timeout)
+	for i := 0; i < len(pairs) && i/stride < maxPairs; i += stride {
+		pr := pairs[i]
+		for {
+			res := b.Query(pr.Src, pr.Dst)
+			if snapFailed(res.Snap, ed) {
+				if res.Route != nil {
+					pkt, err := res.Snap.DataPlane(pr.Src).SendIP(pr.Src, pr.Dst)
+					if err == nil && pkt.At == pr.Dst {
+						b.RecordRestore(pr.Src, time.Since(t0))
+						break
+					}
+				} else if scheme != engine.SchemeHybrid {
+					break // unrestorable this epoch: disconnected or bypass-blocked
+				}
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(step)
+		}
+	}
+}

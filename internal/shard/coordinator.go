@@ -5,6 +5,7 @@ import (
 	"maps"
 	"runtime"
 	"sync"
+	"time"
 
 	"rbpc/internal/engine"
 	"rbpc/internal/engine/metrics"
@@ -213,6 +214,24 @@ func (c *Coordinator) SubmitBatch(pairs []rbpc.Pair) int {
 // snapshots directly.
 func (c *Coordinator) Shard(i int) *engine.Engine { return c.shard[i] }
 
+// AffectedPairs returns the provisioned pairs whose canonical primary
+// crosses the link. Each shard indexes only the sources it owns, so the
+// deployment's answer is the union — disjoint by ring ownership, so no
+// pair appears twice.
+func (c *Coordinator) AffectedPairs(ed graph.EdgeID) []graph.NodePair {
+	var out []graph.NodePair
+	for _, sh := range c.shard {
+		out = append(out, sh.AffectedPairs(ed)...)
+	}
+	return out
+}
+
+// RecordRestore records one observed time-to-restore on the shard owning
+// the pair's source, so the merged Stats.Restore reflects it.
+func (c *Coordinator) RecordRestore(src graph.NodeID, d time.Duration) {
+	c.shard[c.ring.Owner(src)].RecordRestore(d)
+}
+
 // Watermark returns the low epoch watermark: every shard has published
 // at least this epoch.
 func (c *Coordinator) Watermark() uint64 {
@@ -337,6 +356,15 @@ func (c *Coordinator) Stats() Stats {
 		st.QueryLatency = maxSummary(st.QueryLatency, es.QueryLatency)
 		st.EpochBuild = maxSummary(st.EpochBuild, es.EpochBuild)
 		st.Incremental = sumIncremental(st.Incremental, es.Incremental)
+		st.Scheme = es.Scheme
+		st.Restore = maxSummary(st.Restore, es.Restore)
+		st.LocalBuild = maxSummary(st.LocalBuild, es.LocalBuild)
+		st.Stretch = mergeAcc(st.Stretch, es.Stretch)
+		st.DetourHops = mergeAcc(st.DetourHops, es.DetourHops)
+		st.LocalPairs += es.LocalPairs
+		st.LocalUnrestorable += es.LocalUnrestorable
+		st.Converged += es.Converged
+		st.PendingTimers += es.PendingTimers
 	}
 	st.Queries += st.Cold.Queries - st.Cold.Shed
 	st.Dropped += st.Cold.Shed
@@ -354,6 +382,19 @@ func maxSummary(a, b metrics.Summary) metrics.Summary {
 	}
 	if b.P99 > out.P99 {
 		out.P99 = b.P99
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// mergeAcc combines two accumulator digests: counts sum, means are
+// count-weighted, maxima take the larger.
+func mergeAcc(a, b metrics.AccSummary) metrics.AccSummary {
+	out := metrics.AccSummary{Count: a.Count + b.Count, Max: a.Max}
+	if out.Count > 0 {
+		out.Mean = (a.Mean*float64(a.Count) + b.Mean*float64(b.Count)) / float64(out.Count)
 	}
 	if b.Max > out.Max {
 		out.Max = b.Max

@@ -125,6 +125,22 @@ type Stats struct {
 	// conservative tail, since per-shard histograms cannot be re-merged.
 	QueryLatency metrics.Summary
 	EpochBuild   metrics.Summary
+
+	// Scheme is the restoration scheme the shard template was configured
+	// with (all shards share it); the fields below it follow the
+	// engine.Stats fields of the same names. Restore/LocalBuild take the
+	// worst shard per percentile like the latency summaries above;
+	// Stretch/DetourHops are count-weighted across shards; the counters
+	// sum.
+	Scheme            engine.Scheme
+	Restore           metrics.Summary
+	LocalBuild        metrics.Summary
+	Stretch           metrics.AccSummary
+	DetourHops        metrics.AccSummary
+	LocalPairs        int64
+	LocalUnrestorable int64
+	Converged         int64
+	PendingTimers     int
 	// Incremental sums the per-shard incremental builder counters.
 	Incremental engine.IncrementalStats
 	Cold        ColdStats

@@ -8,7 +8,9 @@
 # Timings are reported, never gated across machines — machines differ.
 # Two things fail the job beyond build errors:
 #   - correctness signals: rbpc-serve -strict exits non-zero if any query
-#     was dropped or answered unroutable;
+#     was dropped or answered unroutable, if churn ran but the
+#     time-to-restore prober recorded nothing, or if switchover timers
+#     survived the end-of-window drain;
 #   - the same-machine regression gate: the churn benchmark runs twice
 #     back to back and -compare-fail-pct hard-fails if stage_solve,
 #     stage_assemble, or epoch_build_p99 regressed by more than 100%
@@ -40,6 +42,18 @@ echo
 echo "== GOMAXPROCS=8: rbpc-serve, multi-core batched submit, strict =="
 GOMAXPROCS=8 go run ./cmd/rbpc-serve \
     -topology as -scale 0.02 -qps 40000 -duration 2s \
+    -strict -bench-dir "$out"
+
+echo
+echo "== GOMAXPROCS=8: rbpc-serve, hybrid restoration scheme, strict =="
+# Hybrid switchover end to end: bypass answers served from the instant the
+# local plan publishes, source-routed plans swapped in per source as the
+# modeled flood horizon passes. Strict mode additionally requires the
+# time-to-restore prober to have recorded samples and every switchover
+# timer to be cancelled by the end-of-window drain.
+GOMAXPROCS=8 go run ./cmd/rbpc-serve \
+    -topology as -scale 0.02 -qps 40000 -duration 2s \
+    -scheme hybrid -flood-detect 2ms -flood-hop 100us \
     -strict -bench-dir "$out"
 
 echo
