@@ -7,8 +7,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"rbpc/internal/engine"
@@ -17,6 +19,7 @@ import (
 	"rbpc/internal/probe"
 	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
+	"rbpc/internal/shardrpc"
 	"rbpc/internal/topology"
 )
 
@@ -26,10 +29,14 @@ import (
 // churn schedule (no open-loop load — every epoch build is flushed and
 // timed on its own, so the numbers isolate the writer pipeline).
 type engineChurnRecord struct {
-	Name      string  `json:"name"`
-	Seconds   float64 `json:"seconds"`
-	Seed      int64   `json:"seed"`
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	Seed    int64   `json:"seed"`
+	// FullScale is derived from Scale (>= 1.0 is the paper's AS size) —
+	// the -full flag governs the table stages, not this one, so the
+	// recorded provenance matches the topology actually churned.
 	FullScale bool    `json:"full_scale"`
+	Scale     float64 `json:"scale"`
 	MaxProcs  int     `json:"gomaxprocs"`
 	GoVersion string  `json:"go_version"`
 
@@ -73,6 +80,27 @@ type engineChurnRecord struct {
 	// ShardSweep holds one entry per -engine-shard-sweep shard count,
 	// each a fresh coordinator driven through the identical schedule.
 	ShardSweep []engineShardSweepEntry `json:"shard_sweep,omitempty"`
+	// ProcessMode holds the -engine-shard-procs stage: the identical
+	// schedule driven through forked worker processes over the wire.
+	ProcessMode *processModeChurn `json:"process_mode,omitempty"`
+}
+
+// processModeChurn is the process-mode churn stage: every event a burst
+// broadcast plus a cross-process flush barrier, every epoch built inside
+// a worker process with its own GC. flush_p99_seconds is the
+// coordinator-observed barrier latency (burst applied, epochs rebuilt,
+// snapshot frames landed, acks read); the build percentiles are the
+// workers' own, merged over the wire.
+type processModeChurn struct {
+	ShardProcs    int     `json:"shard_procs"`
+	Seconds       float64 `json:"seconds"`
+	InprocSeconds float64 `json:"inproc_seconds"`
+	Epochs        int64   `json:"epochs"`
+	BuildP50Secs  float64 `json:"epoch_build_p50_seconds"`
+	BuildP99Secs  float64 `json:"epoch_build_p99_seconds"`
+	FlushP50Secs  float64 `json:"flush_p50_seconds"`
+	FlushP99Secs  float64 `json:"flush_p99_seconds"`
+	TornFrames    int64   `json:"torn_frames"`
 }
 
 // engineSweepEntry is one GOMAXPROCS point of the churn sweep.
@@ -177,6 +205,87 @@ func churnOnce(sys *rbpc.System, events []failure.Event, shards int) (time.Durat
 	return elapsed, scrape(), nil
 }
 
+// durPct returns the p-th percentile of a sorted duration slice.
+func durPct(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)-1) * p / 100)
+	return sorted[i]
+}
+
+// runProcChurn drives the identical schedule through a forked worker
+// fleet: one burst broadcast plus one cross-process flush barrier per
+// event. The fleet rebuilds the same AS provision from (scale, seed)
+// alone; the coordinator's stats scrape merges the workers' epoch-build
+// percentiles over the wire.
+func runProcChurn(out *os.File, sys *rbpc.System, events []failure.Event, scale float64, seed int64, hotSources, procs int, inproc time.Duration) (*processModeChurn, error) {
+	wo := shardrpc.WorkerOpts{
+		Topology:   "as",
+		Scale:      scale,
+		Seed:       seed,
+		HotSources: hotSources,
+		Shards:     procs,
+	}
+	var coordPtr atomic.Pointer[shardrpc.Coordinator]
+	fleet, err := shardrpc.NewFleet(wo, func(i int) {
+		if c := coordPtr.Load(); c != nil {
+			if err := c.Reattach(i); err != nil {
+				fmt.Fprintf(os.Stderr, "rbpc-bench: reattach worker %d: %v\n", i, err)
+			}
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	defer fleet.Close()
+	attachStart := time.Now()
+	coord, err := shardrpc.NewCoordinator(sys.Export(), shardrpc.Config{
+		Shards:     procs,
+		Dial:       fleet.Dial,
+		DialBudget: 5 * time.Minute, // workers re-provision before listening
+	})
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	defer coord.Close()
+	coordPtr.Store(coord)
+	fmt.Fprintf(out, "process mode: %d workers forked and attached in %v\n",
+		procs, time.Since(attachStart).Round(time.Millisecond))
+
+	runtime.GC()
+	flushes := make([]time.Duration, 0, len(events))
+	start := time.Now()
+	for _, ev := range events {
+		if ev.Repair {
+			coord.Repair(ev.Edge)
+		} else {
+			coord.Fail(ev.Edge)
+		}
+		f0 := time.Now()
+		coord.Flush()
+		flushes = append(flushes, time.Since(f0))
+	}
+	elapsed := time.Since(start)
+	st := coord.Stats()
+	sort.Slice(flushes, func(i, j int) bool { return flushes[i] < flushes[j] })
+	rec := &processModeChurn{
+		ShardProcs:    procs,
+		Seconds:       elapsed.Seconds(),
+		InprocSeconds: inproc.Seconds(),
+		Epochs:        st.Epochs,
+		BuildP50Secs:  st.EpochBuild.P50.Seconds(),
+		BuildP99Secs:  st.EpochBuild.P99.Seconds(),
+		FlushP50Secs:  durPct(flushes, 50).Seconds(),
+		FlushP99Secs:  durPct(flushes, 99).Seconds(),
+		TornFrames:    coord.Torn(),
+	}
+	fmt.Fprintf(out, "process mode: %v total vs %v in-process; flush barrier p50 %v p99 %v; build p99 %v; %d torn frames\n",
+		elapsed.Round(time.Millisecond), inproc.Round(time.Millisecond),
+		durPct(flushes, 50), durPct(flushes, 99), st.EpochBuild.P99, coord.Torn())
+	return rec, nil
+}
+
 // engineProbe adapts a bare engine to the prober's backend surface.
 type engineProbe struct{ e *engine.Engine }
 
@@ -256,7 +365,9 @@ func runSchemeComparison(out *os.File, sys *rbpc.System, events []failure.Event)
 // online engine through a seeded churn schedule synchronously (fail/repair
 // + flush per event), and reports where the epoch-build time went. It
 // returns an error instead of exiting so -compare can still run.
-func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, full bool, sweep []int, shards, hotSources int, shardSweep []int) error {
+// The recorded full_scale provenance derives from the scale actually
+// churned (-engine-scale 1.0 is the paper's AS size), not the -full flag.
+func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int, seed int64, sweep []int, shards, hotSources int, shardSweep []int, shardProcs int) error {
 	g := topology.PaperAS(seed, scale)
 	fmt.Fprintf(out, "engine churn: AS stand-in, %d nodes, %d links, %d events (max %d down)\n",
 		g.Order(), g.Size(), steps, maxDown)
@@ -330,6 +441,15 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		fmt.Fprintf(out, "sweep shards=%d: %v total (build p50 %v, p99 %v; resident rows %d bytes)\n",
 			count, sElapsed.Round(time.Millisecond), sSt.EpochBuild.P50, sSt.EpochBuild.P99, sSt.RowBytes)
 	}
+	// Process-mode stage: the identical schedule through a forked worker
+	// fleet over the wire transport.
+	var procRec *processModeChurn
+	if shardProcs > 0 {
+		procRec, err = runProcChurn(out, sys, events, scale, seed, hotSources, shardProcs, elapsed)
+		if err != nil {
+			return err
+		}
+	}
 	// Four-way restoration-scheme comparison over the same schedule —
 	// time-to-restore per scheme is the headline of the whole stage.
 	fmt.Fprintln(out, "scheme comparison (same schedule, fresh engine per scheme):")
@@ -366,7 +486,8 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		Name:      "engine_churn",
 		Seconds:   elapsed.Seconds(),
 		Seed:      seed,
-		FullScale: full,
+		FullScale: scale >= 1.0,
+		Scale:     scale,
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		GoVersion: runtime.Version(),
 
@@ -396,9 +517,10 @@ func runEngineChurn(out *os.File, dir string, scale float64, steps, maxDown int,
 		StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 		StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
 
-		Schemes:    schemeRecs,
-		Sweep:      sweepRecs,
-		ShardSweep: shardSweepRecs,
+		Schemes:     schemeRecs,
+		Sweep:       sweepRecs,
+		ShardSweep:  shardSweepRecs,
+		ProcessMode: procRec,
 	}
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"rbpc"
+	"rbpc/internal/shardrpc"
 )
 
 // benchRecord is the machine-readable timing of one pipeline stage,
@@ -84,10 +85,24 @@ func main() {
 	engineShards := flag.Int("engine-shards", 0, "run the -engine churn benchmark through the multi-shard coordinator with N shards (0 = single engine)")
 	engineHot := flag.Int("engine-hot-sources", 0, "provision only the first N sources for the -engine benchmark (0 = all)")
 	engineShardSweep := flag.String("engine-shard-sweep", "", "comma-separated shard counts to additionally run the -engine churn benchmark at (e.g. 1,2,4,8)")
+	engineShardProcs := flag.Int("engine-shard-procs", 0, "additionally run the -engine churn benchmark through N forked worker processes over the wire transport")
+	workerSpec := flag.String("worker", "", "run as a shard worker process with this spec (internal; set by -engine-shard-procs)")
 	compare := flag.String("compare", "", "compare an old BENCH_*.json against the current record of the same name and print deltas")
 	compareFailPct := flag.Float64("compare-fail-pct", 0, "with -compare: exit non-zero if a gated stage metric regressed by more than this percentage (0 = report only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	flag.Parse()
+
+	if *workerSpec != "" {
+		// Worker mode: this process is one shard of a fleet forked by
+		// -engine-shard-procs. It serves its socket until killed.
+		wo, err := shardrpc.ParseWorkerOpts(*workerSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-bench:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "rbpc-bench: worker:", shardrpc.RunWorker(wo))
+		os.Exit(1)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -128,7 +143,7 @@ func main() {
 			os.Exit(2)
 		}
 		fmt.Println("=== Engine: incremental epoch builds under churn (AS stand-in) ===")
-		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, fullScale, sweep, *engineShards, *engineHot, shardSweep); err != nil {
+		if err := runEngineChurn(os.Stdout, *benchDir, *engineScale, *engineSteps, *engineMaxDown, *seed, sweep, *engineShards, *engineHot, shardSweep, *engineShardProcs); err != nil {
 			fmt.Fprintln(os.Stderr, "rbpc-bench: engine churn:", err)
 			os.Exit(1)
 		}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rbpc/internal/engine"
@@ -26,6 +27,7 @@ import (
 	"rbpc/internal/probe"
 	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
+	"rbpc/internal/shardrpc"
 	"rbpc/internal/topology"
 )
 
@@ -120,6 +122,33 @@ func (b shardBackend) AffectedPairs(e graph.EdgeID) []graph.NodePair {
 }
 func (b shardBackend) RecordRestore(src graph.NodeID, d time.Duration) { b.c.RecordRestore(src, d) }
 
+// procBackend fronts the process-mode coordinator (-shard-procs): the
+// same serving surface with every query a wire round trip. It also
+// satisfies probe.ProbeBackend — the prober's delivery verdicts are
+// computed inside the owning worker process, whose data plane the
+// coordinator cannot walk locally.
+type procBackend struct{ c *shardrpc.Coordinator }
+
+func (b procBackend) Fail(e graph.EdgeID)               { b.c.Fail(e) }
+func (b procBackend) Repair(e graph.EdgeID)             { b.c.Repair(e) }
+func (b procBackend) SubmitBatch(pairs []rbpc.Pair) int { return b.c.SubmitBatch(pairs) }
+func (b procBackend) Flush()                            { b.c.Flush() }
+func (b procBackend) Drain()                            { b.c.Drain() }
+func (b procBackend) Close()                            { b.c.Close() }
+func (b procBackend) LinksDown() int                    { return b.c.LinksDown() }
+func (b procBackend) Scrape() shard.Stats               { return b.c.Stats() }
+
+func (b procBackend) Query(src, dst graph.NodeID) engine.Result { return b.c.Query(src, dst) }
+func (b procBackend) AffectedPairs(e graph.EdgeID) []graph.NodePair {
+	return b.c.AffectedPairs(e)
+}
+func (b procBackend) RecordRestore(src graph.NodeID, d time.Duration) { b.c.RecordRestore(src, d) }
+
+func (b procBackend) ProbeQuery(src, dst graph.NodeID, ed graph.EdgeID) probe.ProbeResult {
+	v := b.c.ProbeQuery(src, dst, ed)
+	return probe.ProbeResult{FailedContains: v.FailedContains, Routable: v.Routable, Delivered: v.Delivered}
+}
+
 // engineBench is the BENCH_engine.json payload: the rbpc-bench stage
 // record (name/seconds/seed/full_scale/gomaxprocs/go_version) plus the
 // serving metrics this binary exists to measure.
@@ -198,6 +227,30 @@ type engineBench struct {
 	// ShardSweep holds one entry per -shard-sweep shard count, each a
 	// fresh coordinator re-running the identical window.
 	ShardSweep []shardSweepEntry `json:"shard_sweep,omitempty"`
+	// ProcessMode holds the -shard-procs stage: the identical window
+	// re-served by forked worker processes over the wire transport.
+	ProcessMode *processModeBench `json:"process_mode,omitempty"`
+}
+
+// processModeBench records the process-mode serving window next to the
+// in-process baseline it is gated against (qps_ratio is the acceptance
+// number: process-mode must hold >= 0.8 of in-process throughput).
+type processModeBench struct {
+	ShardProcs     int     `json:"shard_procs"`
+	QPS            float64 `json:"qps"`
+	Dropped        int64   `json:"dropped"`
+	Unroutable     int64   `json:"unroutable"`
+	P50Seconds     float64 `json:"p50_seconds"`
+	P99Seconds     float64 `json:"p99_seconds"`
+	MaxSeconds     float64 `json:"max_seconds"`
+	BuildP99Secs   float64 `json:"epoch_build_p99_seconds"`
+	RestoreSamples int64   `json:"restore_samples"`
+	RestoreP99Secs float64 `json:"restore_p99_seconds"`
+	InprocQPS      float64 `json:"inproc_qps"`
+	QPSRatio       float64 `json:"qps_ratio"`
+	ColdQueries    int64   `json:"cold_queries"`
+	WorkerRestarts int64   `json:"worker_restarts"`
+	TornFrames     int64   `json:"torn_frames"`
 }
 
 // serveSweepEntry is one GOMAXPROCS point of the serving sweep: the same
@@ -239,6 +292,10 @@ type windowOpts struct {
 	cold         shard.ColdConfig
 	scheme       engine.Scheme
 	flood        engine.FloodConfig
+	// proc, when set, serves the window through the process-mode
+	// coordinator instead of building an in-process backend (shards is
+	// ignored; the coordinator's worker fleet is already running).
+	proc *shardrpc.Coordinator
 }
 
 // windowResult is the scrape of one serving window after queue drain.
@@ -268,7 +325,10 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 		WarmOracle:     false, // serving reads rows, not the oracle
 	}
 	var eng backend
-	if o.shards > 0 {
+	switch {
+	case o.proc != nil:
+		eng = procBackend{o.proc}
+	case o.shards > 0:
 		// Per-shard workers/queue: the shards together get the configured
 		// budget, not o.shards times it.
 		ecfg.Workers = (workers + o.shards - 1) / o.shards
@@ -280,7 +340,7 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 			return windowResult{}, fmt.Errorf("shard coordinator: %w", err)
 		}
 		eng = shardBackend{c}
-	} else {
+	default:
 		e, err := engine.New(sys.Export(), ecfg)
 		if err != nil {
 			return windowResult{}, fmt.Errorf("engine: %w", err)
@@ -317,7 +377,13 @@ func runWindow(g *graph.Graph, sys *rbpc.System, o windowOpts) (windowResult, er
 				probeWG.Add(1)
 				go func(ed graph.EdgeID) {
 					defer probeWG.Done()
-					probe.Restore(eng, o.scheme, ed, t0)
+					// Backends whose data plane lives in another process
+					// ship the whole restoration verdict over the wire.
+					if pb, ok := eng.(probe.ProbeBackend); ok {
+						probe.RestoreVia(pb, o.scheme, ed, t0)
+					} else {
+						probe.Restore(eng, o.scheme, ed, t0)
+					}
 				}(ev.Edge)
 			}
 		}()
@@ -411,25 +477,6 @@ func parseProcsList(s string) ([]int, error) {
 	return procs, nil
 }
 
-func buildTopology(kind string, scale float64, seed int64) (*graph.Graph, error) {
-	switch kind {
-	case "as":
-		return topology.PaperAS(seed, scale), nil
-	case "isp":
-		return topology.PaperISP(seed), nil
-	case "internet":
-		return topology.PaperInternet(seed, scale), nil
-	case "waxman":
-		n := int(400 * scale)
-		if n < 16 {
-			n = 16
-		}
-		return topology.Waxman(n, 0.8, 0.5, seed), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q (want as, isp, internet, or waxman)", kind)
-	}
-}
-
 func main() {
 	var (
 		topo      = flag.String("topology", "as", "topology: as, isp, internet, or waxman")
@@ -453,8 +500,14 @@ func main() {
 
 		shards     = flag.Int("shards", 0, "shard the pair space across N coordinator shards (0 = single engine)")
 		shardSweep = flag.String("shard-sweep", "", "comma-separated shard counts to additionally run the window at (e.g. 1,2,4,8)")
-		hotSources = flag.Int("hot-sources", 0, "provision only the first N sources (0 = all); other pairs answer on demand via the cold tier (needs -shards)")
+		hotSources = flag.Int("hot-sources", 0, "provision only the first N sources (0 = all); other pairs answer on demand via the cold tier (needs -shards or -shard-procs)")
 		planCache  = flag.Int("plan-cache-max", 0, "bound the per-engine failed-set plan cache to N plans, CLOCK-evicted (0 = unbounded)")
+
+		shardProcs = flag.Int("shard-procs", 0, "additionally serve the window from N forked worker processes over the wire transport (runs the in-process window at -shards N first as the baseline)")
+		workerSpec = flag.String("worker", "", "run as a shard worker process with this spec (internal; set by -shard-procs)")
+		dialBudget = flag.Duration("dial-budget", 2*time.Minute, "total budget for attaching or reattaching one worker process, provisioning included")
+		ackTimeout = flag.Duration("ack-timeout", 5*time.Second, "per-RPC round-trip timeout before a worker retry (then death) in process mode")
+		killAfter  = flag.Duration("kill-worker-after", 0, "kill worker 0 this long into the process-mode window (crash-recovery demo; 0 = never)")
 
 		coldWorkers = flag.Int("cold-workers", 0, "cold-tier solver pool size (0 = default)")
 		coldQueue   = flag.Int("cold-queue", 0, "cold-tier admission queue depth; beyond it cold queries shed (0 = default)")
@@ -462,8 +515,23 @@ func main() {
 		coldPromote = flag.Int("cold-promote-after", 0, "hits before a cold answer is promoted into the cache (0 = default)")
 	)
 	flag.Parse()
-	if *hotSources > 0 && *shards <= 0 {
-		fmt.Fprintln(os.Stderr, "rbpc-serve: -hot-sources needs -shards (the cold tier lives in the coordinator)")
+	if *workerSpec != "" {
+		// Worker mode: this process is one shard of a fleet. It serves its
+		// socket until the supervisor kills it.
+		wo, err := shardrpc.ParseWorkerOpts(*workerSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "rbpc-serve: worker:", shardrpc.RunWorker(wo))
+		os.Exit(1)
+	}
+	if *hotSources > 0 && *shards <= 0 && *shardProcs <= 0 {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: -hot-sources needs -shards or -shard-procs (the cold tier lives in the coordinator)")
+		os.Exit(2)
+	}
+	if *shardProcs > 0 && (*shards > 0 || *shardSweep != "") {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: -shard-procs picks its own in-process baseline; drop -shards / -shard-sweep")
 		os.Exit(2)
 	}
 	sch, err := engine.ParseScheme(*schemeStr)
@@ -471,12 +539,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
 		os.Exit(2)
 	}
-	if sch != engine.SchemeSource && (*shards > 0 || *shardSweep != "" || *hotSources > 0) {
-		fmt.Fprintf(os.Stderr, "rbpc-serve: -scheme %s needs the single-engine path (-shards, -shard-sweep, and -hot-sources serve the source scheme only)\n", sch)
+	if sch != engine.SchemeSource && (*shards > 0 || *shardSweep != "" || *hotSources > 0 || *shardProcs > 0) {
+		fmt.Fprintf(os.Stderr, "rbpc-serve: -scheme %s needs the single-engine path (-shards, -shard-sweep, -shard-procs, and -hot-sources serve the source scheme only)\n", sch)
 		os.Exit(2)
 	}
 
-	g, err := buildTopology(*topo, *scale, *seed)
+	g, err := topology.Build(*topo, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rbpc-serve:", err)
 		os.Exit(2)
@@ -529,6 +597,11 @@ func main() {
 			CacheCap:     *coldCache,
 			PromoteAfter: *coldPromote,
 		},
+	}
+	if *shardProcs > 0 {
+		// The main window is the in-process baseline the process-mode
+		// stage is measured against: same shard count, same partition.
+		opts.shards = *shardProcs
 	}
 	res, err := runWindow(g, sys, opts)
 	if err != nil {
@@ -646,6 +719,116 @@ func main() {
 		}
 	}
 
+	// Process mode: fork the worker fleet (this same binary, -worker),
+	// attach the wire coordinator, and re-run the identical window with
+	// every query a round trip over the Unix-socket transport.
+	var procRec *processModeBench
+	var procStats shard.Stats
+	if *shardProcs > 0 {
+		effWorkers := *workers
+		if effWorkers < 1 {
+			effWorkers = runtime.GOMAXPROCS(0)
+		}
+		// Per-process budgets: the fleet together gets the machine's
+		// worker/queue budget, mirroring the in-process per-shard split —
+		// each worker process is also pinned to its share of the CPUs so
+		// the baseline comparison is one machine vs the same machine.
+		per := (effWorkers + *shardProcs - 1) / *shardProcs
+		perQueue := 0
+		if *queue > 0 {
+			perQueue = (*queue + *shardProcs - 1) / *shardProcs
+		}
+		wo := shardrpc.WorkerOpts{
+			Topology:     *topo,
+			Scale:        *scale,
+			Seed:         *seed,
+			Closure:      *closure,
+			HotSources:   *hotSources,
+			Shards:       *shardProcs,
+			MaxProcs:     per,
+			Workers:      per,
+			Queue:        perQueue,
+			Coalesce:     *coalesce,
+			PlanCacheMax: *planCache,
+		}
+		fmt.Printf("\nforking %d worker processes (GOMAXPROCS %d each)... ", *shardProcs, per)
+		var coordPtr atomic.Pointer[shardrpc.Coordinator]
+		fleet, err := shardrpc.NewFleet(wo, func(i int) {
+			if c := coordPtr.Load(); c != nil {
+				if err := c.Reattach(i); err != nil {
+					fmt.Fprintf(os.Stderr, "rbpc-serve: reattach worker %d: %v\n", i, err)
+				}
+			}
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve: fleet:", err)
+			os.Exit(1)
+		}
+		defer fleet.Close()
+		attachStart := time.Now()
+		coord, err := shardrpc.NewCoordinator(sys.Export(), shardrpc.Config{
+			Shards:     *shardProcs,
+			Cold:       opts.cold,
+			Dial:       fleet.Dial,
+			DialBudget: *dialBudget,
+			AckTimeout: *ackTimeout,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve: coordinator:", err)
+			os.Exit(1)
+		}
+		coordPtr.Store(coord)
+		fmt.Printf("attached in %v\n", time.Since(attachStart).Round(time.Millisecond))
+		if *killAfter > 0 {
+			time.AfterFunc(*killAfter, func() {
+				fmt.Printf("killing worker 0 (crash-recovery demo)\n")
+				if err := fleet.Kill(0); err != nil {
+					fmt.Fprintln(os.Stderr, "rbpc-serve: kill worker 0:", err)
+				}
+			})
+		}
+		pOpts := opts
+		pOpts.shards = 0
+		pOpts.proc = coord
+		pres, err := runWindow(g, sys, pOpts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rbpc-serve: process window:", err)
+			os.Exit(1)
+		}
+		procStats = pres.st
+		pQPS := float64(pres.st.Queries) / pres.elapsed.Seconds()
+		ratio := 0.0
+		if achieved > 0 {
+			ratio = pQPS / achieved
+		}
+		fmt.Printf("process mode: %.0f qps over the wire vs %.0f in-process (%.2fx; %d dropped, p50 %v, p99 %v, build p99 %v)\n",
+			pQPS, achieved, ratio, pres.st.Dropped,
+			pres.st.QueryLatency.P50, pres.st.QueryLatency.P99, pres.st.EpochBuild.P99)
+		fmt.Printf("process mode: %d cold queries, %d worker restarts, %d torn frames\n",
+			pres.st.Cold.Queries, fleet.Restarts(), coord.Torn())
+		if pres.st.Restore.Count > 0 {
+			fmt.Printf("process mode time-to-restore: %d samples, p50 %v  p99 %v  max %v\n",
+				pres.st.Restore.Count, pres.st.Restore.P50, pres.st.Restore.P99, pres.st.Restore.Max)
+		}
+		procRec = &processModeBench{
+			ShardProcs:     *shardProcs,
+			QPS:            pQPS,
+			Dropped:        pres.st.Dropped,
+			Unroutable:     pres.st.Unroutable,
+			P50Seconds:     pres.st.QueryLatency.P50.Seconds(),
+			P99Seconds:     pres.st.QueryLatency.P99.Seconds(),
+			MaxSeconds:     pres.st.QueryLatency.Max.Seconds(),
+			BuildP99Secs:   pres.st.EpochBuild.P99.Seconds(),
+			RestoreSamples: pres.st.Restore.Count,
+			RestoreP99Secs: pres.st.Restore.P99.Seconds(),
+			InprocQPS:      achieved,
+			QPSRatio:       ratio,
+			ColdQueries:    pres.st.Cold.Queries,
+			WorkerRestarts: fleet.Restarts(),
+			TornFrames:     coord.Torn(),
+		}
+	}
+
 	if *benchDir != "" {
 		rec := engineBench{
 			Name:      "engine",
@@ -707,8 +890,9 @@ func main() {
 			StageResolveSec:  time.Duration(inc.ResolveNanos).Seconds(),
 			StageAssembleSec: time.Duration(inc.AssembleNanos).Seconds(),
 
-			Sweep:      sweepRecs,
-			ShardSweep: shardSweepRecs,
+			Sweep:       sweepRecs,
+			ShardSweep:  shardSweepRecs,
+			ProcessMode: procRec,
 		}
 		data, err := json.MarshalIndent(rec, "", "  ")
 		if err != nil {
@@ -733,6 +917,17 @@ func main() {
 	}
 	if *strict && st.PendingTimers != 0 {
 		fmt.Fprintf(os.Stderr, "rbpc-serve: strict mode: %d switchover timers still pending after drain\n", st.PendingTimers)
+		os.Exit(1)
+	}
+	// The process-mode window is gated like the main one (the crash demo
+	// is exempt: a killed worker legitimately sheds in-flight batches).
+	if *strict && procRec != nil && *killAfter <= 0 && (procStats.Dropped > 0 || procStats.Unroutable > 0) {
+		fmt.Fprintf(os.Stderr, "rbpc-serve: strict mode: process window: %d dropped, %d unroutable\n",
+			procStats.Dropped, procStats.Unroutable)
+		os.Exit(1)
+	}
+	if *strict && procRec != nil && *failEvery > 0 && procStats.Restore.Count == 0 {
+		fmt.Fprintln(os.Stderr, "rbpc-serve: strict mode: process window recorded no time-to-restore samples")
 		os.Exit(1)
 	}
 }

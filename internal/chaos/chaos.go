@@ -34,6 +34,18 @@
 // comparing the merged cross-shard view bit-for-bit against the same
 // single-writer FullRebuild reference.
 //
+// Process-mode cases (Config.Procs, sharded only) put the cross-process
+// transport (internal/shardrpc) under the same oracles: the worker fleet
+// runs in-process behind net.Pipe connections carrying the real length-
+// prefixed wire protocol, so every query crosses a full encode/decode
+// round trip, every churn event rides a burst frame, and every flush
+// barrier checks the coordinator's decoded replica snapshots — per-worker
+// failed-set agreement against the event model (catching a dropped or
+// torn burst), then the merged replica view bit-for-bit against the
+// FullRebuild reference. FaultTornFrame corrupts one burst frame on the
+// wire after its checksum is computed; the receiving worker must drop it
+// and the flush oracle must catch the divergence.
+//
 // Failing schedules are shrunk to a minimal event sequence by delta
 // debugging (Shrink) and emitted as a replayable corpus file that
 // cmd/rbpc-chaos re-runs deterministically.
@@ -43,6 +55,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +67,7 @@ import (
 	"rbpc/internal/paths"
 	"rbpc/internal/rbpc"
 	"rbpc/internal/shard"
+	"rbpc/internal/shardrpc"
 	"rbpc/internal/sim"
 	"rbpc/internal/topology"
 )
@@ -102,6 +116,16 @@ type Config struct {
 	// ShardFault injects a deliberate coordinator defect (sharded runs
 	// only). The harness must catch every injectable shard fault too.
 	ShardFault shard.Fault
+	// Procs, for sharded cases, serves the shards through the
+	// cross-process transport (internal/shardrpc) instead of the
+	// in-process coordinator: the same worker fleet runs behind net.Pipe
+	// connections carrying the real wire protocol, so the oracles check
+	// the full frame encode/decode, burst/ack, and replica-merge
+	// machinery. Requires Shards > 0.
+	Procs bool
+	// ProcFault injects a deliberate transport defect (process-mode runs
+	// only). The harness must catch every injectable transport fault too.
+	ProcFault shardrpc.Fault
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +162,8 @@ type Case struct {
 	FloodFrozen    bool
 	Shards         int // 0 = single engine under test
 	ShardFault     shard.Fault
+	Procs          bool // serve the shards over the shardrpc transport
+	ProcFault      shardrpc.Fault
 	Schedule       failure.Schedule
 }
 
@@ -163,6 +189,8 @@ func Generate(cfg Config) (Case, error) {
 		FloodFrozen:    cfg.FloodFrozen,
 		Shards:         cfg.Shards,
 		ShardFault:     cfg.ShardFault,
+		Procs:          cfg.Procs,
+		ProcFault:      cfg.ProcFault,
 		Schedule:       failure.ChaosSchedule(w.g, cfg.Steps, cfg.MaxDown, rand.New(rand.NewSource(cfg.Seed))),
 	}, nil
 }
@@ -177,7 +205,7 @@ type Violation struct {
 	// Kind names the oracle: optimality, theorem-bound,
 	// interleaving-bound, membership, monotonicity, flush-agreement,
 	// chain, dead-edge, forwarding, unroutable-but-connected,
-	// equivalence, torn-view, local-exact, settle.
+	// equivalence, torn-view, local-exact, settle, transport.
 	Kind string
 	// Detail is the human-readable specifics.
 	Detail string
@@ -255,6 +283,12 @@ func (c Case) Run() (Report, error) {
 	if c.Shards > 0 && c.Scheme != engine.SchemeSource {
 		return Report{}, fmt.Errorf("chaos: sharded cases test the source scheme only (got %v)", c.Scheme)
 	}
+	if c.Procs && c.Shards <= 0 {
+		return Report{}, fmt.Errorf("chaos: process-mode cases require Shards > 0")
+	}
+	if c.ProcFault != shardrpc.FaultNone && !c.Procs {
+		return Report{}, fmt.Errorf("chaos: proc-fault %v set on a non-process case", c.ProcFault)
+	}
 	var epochs atomic.Int64
 	ecfg := engine.Config{
 		Scheme:         c.Scheme,
@@ -267,11 +301,54 @@ func (c Case) Run() (Report, error) {
 		// flushed snapshot keeps serving its edge-bypass answers.
 		ecfg.Flood = engine.FloodConfig{Detect: time.Hour, PerHop: time.Hour}
 	}
-	// The system under test: a single engine, or — when the case is
-	// sharded — the multi-shard coordinator fed through the same schedule.
+	// The system under test: a single engine, the in-process multi-shard
+	// coordinator, or — when the case is process-mode — the shardrpc
+	// coordinator driving the worker fleet over pipe-backed wire
+	// connections.
 	var eng *engine.Engine
 	var coord *shard.Coordinator
-	if c.Shards > 0 {
+	var proc *shardrpc.Coordinator
+	if c.Procs {
+		prov := w.sys.Export()
+		wcfg := shardrpc.Config{
+			Shards: c.Shards,
+			Engine: ecfg,
+			Fault:  c.ProcFault,
+			// The schedule is the only clock: no background pings, and
+			// timeouts far beyond any run so a deliberately-dropped burst
+			// (FaultTornFrame) is caught by the flush oracle, not by an
+			// ack-timeout death racing it.
+			HealthEvery: -1,
+			AckTimeout:  time.Minute,
+			DialTimeout: time.Second,
+			DialBudget:  10 * time.Second,
+		}
+		workers := make([]*shardrpc.Worker, c.Shards)
+		for s := range workers {
+			workers[s], err = shardrpc.NewWorker(prov, s, wcfg)
+			if err != nil {
+				for _, wk := range workers[:s] {
+					wk.Close()
+				}
+				return Report{}, err
+			}
+		}
+		defer func() {
+			for _, wk := range workers {
+				wk.Close()
+			}
+		}()
+		wcfg.Dial = func(i int) (net.Conn, error) {
+			cc, wc := net.Pipe()
+			go workers[i].ServeConn(wc)
+			return cc, nil
+		}
+		proc, err = shardrpc.NewCoordinator(prov, wcfg)
+		if err != nil {
+			return Report{}, err
+		}
+		defer proc.Close()
+	} else if c.Shards > 0 {
 		coord, err = shard.New(w.sys.Export(), shard.Config{
 			Shards: c.Shards,
 			Fault:  c.ShardFault,
@@ -321,18 +398,24 @@ func (c Case) Run() (Report, error) {
 			}
 			switch st.Kind {
 			case failure.StepFail:
-				if coord != nil {
+				switch {
+				case proc != nil:
+					proc.Fail(st.Edge)
+				case coord != nil:
 					coord.Fail(st.Edge)
-				} else {
+				default:
 					eng.Fail(st.Edge)
 				}
 				ref.Fail(st.Edge)
 				model[st.Edge] = true
 				rep.Churn++
 			case failure.StepRepair:
-				if coord != nil {
+				switch {
+				case proc != nil:
+					proc.Repair(st.Edge)
+				case coord != nil:
 					coord.Repair(st.Edge)
-				} else {
+				default:
 					eng.Repair(st.Edge)
 				}
 				ref.Repair(st.Edge)
@@ -340,14 +423,46 @@ func (c Case) Run() (Report, error) {
 				rep.Churn++
 			case failure.StepQuery:
 				rep.Queries++
-				if coord != nil {
+				switch {
+				case proc != nil:
+					// Process mode checks the raw wire answer — the full
+					// epoch/failed-set/route as it crossed the transport —
+					// rather than the Result wrapper's snapshot view.
+					ans, qerr := proc.RemoteQuery(st.Src, st.Dst)
+					vio = ck.checkRemoteAnswer(i, proc.Owner(st.Src), st.Src, st.Dst, ans, qerr)
+				case coord != nil:
 					vio = ck.checkResult(i, coord.Owner(st.Src), coord.Query(st.Src, st.Dst))
-				} else {
+				default:
 					vio = ck.checkResult(i, 0, eng.Query(st.Src, st.Dst))
 				}
 				rep.Probes = ck.probes
 			case failure.StepFlush:
-				if coord != nil {
+				switch {
+				case proc != nil:
+					proc.Flush()
+					ref.Flush()
+					// Per-worker flush agreement on the decoded replicas:
+					// a burst dropped on the wire (torn frame) leaves its
+					// worker's failed-set behind the event model.
+					for s := 0; s < proc.Shards() && vio == nil; s++ {
+						snap := proc.Replica(s)
+						if snap == nil {
+							vio = &Violation{Step: i, Kind: "torn-view",
+								Detail: fmt.Sprintf("worker %d has no replica after flush", s)}
+						} else {
+							vio = ck.checkFlush(i, s, snap, model)
+						}
+					}
+					if vio == nil {
+						v, ok := proc.View()
+						if !ok {
+							vio = &Violation{Step: i, Kind: "torn-view",
+								Detail: "no consistent cross-process view after flush"}
+						} else {
+							vio = ck.checkShardEquivalence(i, v, ref.Snapshot())
+						}
+					}
+				case coord != nil:
 					coord.Flush()
 					ref.Flush()
 					// Per-shard flush agreement: every shard's snapshot must
@@ -365,7 +480,7 @@ func (c Case) Run() (Report, error) {
 							vio = ck.checkShardEquivalence(i, v, ref.Snapshot())
 						}
 					}
-				} else {
+				default:
 					eng.Flush()
 					ref.Flush()
 					vio = ck.checkFlush(i, 0, eng.Snapshot(), model)
@@ -378,9 +493,12 @@ func (c Case) Run() (Report, error) {
 				// snapshot to become time-invariant. Only a live hybrid
 				// flood takes nonzero time; a frozen flood never settles,
 				// so settle steps degrade to flush barriers there.
-				if coord != nil {
+				switch {
+				case proc != nil:
+					proc.Flush()
+				case coord != nil:
 					coord.Flush()
-				} else {
+				default:
 					eng.Flush()
 				}
 				ref.Flush()

@@ -13,6 +13,7 @@ import (
 	"rbpc/internal/engine"
 	"rbpc/internal/failure"
 	"rbpc/internal/shard"
+	"rbpc/internal/shardrpc"
 )
 
 // Corpus format: a short header of "key value" lines fixing the world and
@@ -47,6 +48,12 @@ func WriteCase(w io.Writer, c Case) error {
 	if c.Shards > 0 {
 		fmt.Fprintf(bw, "shards %d\n", c.Shards)
 		fmt.Fprintf(bw, "shard-fault %s\n", c.ShardFault)
+		// Process-mode keys are omitted for in-process sharded cases so
+		// their files stay byte-identical to the pre-transport format.
+		if c.Procs {
+			fmt.Fprintln(bw, "procs 1")
+			fmt.Fprintf(bw, "proc-fault %s\n", c.ProcFault)
+		}
 	}
 	fmt.Fprintln(bw, "schedule")
 	if err := bw.Flush(); err != nil {
@@ -108,6 +115,14 @@ func ReadCase(r io.Reader) (Case, error) {
 			c.ShardFault = f
 			continue
 		}
+		if key == "proc-fault" {
+			f, err := shardrpc.ParseFault(fields[1])
+			if err != nil {
+				return Case{}, fmt.Errorf("chaos: corpus line %d: %v", lineNo, err)
+			}
+			c.ProcFault = f
+			continue
+		}
 		n, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {
 			return Case{}, fmt.Errorf("chaos: corpus line %d: %s: %v", lineNo, key, err)
@@ -127,6 +142,8 @@ func ReadCase(r io.Reader) (Case, error) {
 			c.FloodFrozen = n != 0
 		case "shards":
 			c.Shards = int(n)
+		case "procs":
+			c.Procs = n != 0
 		default:
 			return Case{}, fmt.Errorf("chaos: corpus line %d: unknown key %q", lineNo, key)
 		}

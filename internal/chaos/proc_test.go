@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/shardrpc"
+)
+
+func procCfg() Config {
+	cfg := smokeCfg()
+	cfg.Shards = 3
+	cfg.Procs = true
+	return cfg
+}
+
+// TestProcLockstepEquivalence: the process-mode coordinator — real wire
+// frames over pipe transports, decoded replica snapshots — survives the
+// chaos schedules with every oracle green: per-worker flush agreement,
+// per-worker epoch monotonicity on the wire answers, and bit-identical
+// merged replica views against the single-writer FullRebuild reference.
+func TestProcLockstepEquivalence(t *testing.T) {
+	c, v, err := Hunt(procCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("process-mode coordinator violated an oracle:\n%v\nschedule:\n%s", v, c.Schedule)
+	}
+}
+
+// TestHarnessCatchesEveryProcFault: the transport harness's own
+// conformance proof — every injectable wire fault is caught, the shrunk
+// counterexample replays deterministically, and the corpus encoding
+// round-trips to an equally-failing process-mode case.
+func TestHarnessCatchesEveryProcFault(t *testing.T) {
+	for _, f := range shardrpc.Faults() {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := procCfg()
+			cfg.ProcFault = f
+			c, v, err := Hunt(cfg, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == nil {
+				t.Fatalf("harness did not catch injected transport fault %v within budget", f)
+			}
+			t.Logf("caught %v as %s (shrunk to %d steps)", f, v.Kind, len(c.Schedule))
+
+			for i := 0; i < 2; i++ {
+				_, err := c.Run()
+				var rv *Violation
+				if !errors.As(err, &rv) {
+					t.Fatalf("replay %d of shrunk case did not fail: %v", i, err)
+				}
+				if rv.Kind != v.Kind || rv.Step != v.Step {
+					t.Fatalf("replay %d diverged: got %v, want %v", i, rv, v)
+				}
+			}
+
+			var buf bytes.Buffer
+			if err := WriteCase(&buf, c); err != nil {
+				t.Fatal(err)
+			}
+			rc, err := ReadCase(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("ReadCase: %v\ncorpus:\n%s", err, buf.String())
+			}
+			if !reflect.DeepEqual(rc, c) {
+				t.Fatalf("corpus round-trip changed the case:\ngot  %+v\nwant %+v", rc, c)
+			}
+			_, err = rc.Run()
+			var rv *Violation
+			if !errors.As(err, &rv) || rv.Kind != v.Kind {
+				t.Fatalf("decoded case does not reproduce: %v", err)
+			}
+		})
+	}
+}
+
+// TestProcEngineFaultsStillCaught: an engine-level defect inside a
+// worker process is still caught through the wire — the decoded replica
+// snapshots and wire answers carry enough state for the oracles even
+// though no engine memory is shared.
+func TestProcEngineFaultsStillCaught(t *testing.T) {
+	cfg := procCfg()
+	cfg.Fault = engine.FaultDropEpoch
+	_, v, err := Hunt(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v == nil {
+		t.Fatal("drop-epoch inside a worker not caught through the transport")
+	}
+}
+
+// TestProcTraceDeterministic: process-mode runs replay byte-identically
+// too — the pipe transport adds no scheduling visible to the oracles.
+func TestProcTraceDeterministic(t *testing.T) {
+	c, err := Generate(procCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := c.Run()
+	r2, err2 := c.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("clean process-mode case failed: %v / %v", err1, err2)
+	}
+	if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+		t.Fatal("two process-mode runs produced different event traces")
+	}
+}
+
+// TestProcCorpusKeys: process-mode cases survive the corpus format, and
+// in-process sharded files stay byte-identical to the pre-transport
+// format (no procs keys written).
+func TestProcCorpusKeys(t *testing.T) {
+	c, err := Generate(procCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCase(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := ReadCase(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCase: %v\ncorpus:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(rc, c) {
+		t.Fatalf("corpus round-trip changed the case:\ngot  %+v\nwant %+v", rc, c)
+	}
+
+	sc, err := Generate(shardedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb bytes.Buffer
+	if err := WriteCase(&sb, sc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"procs", "proc-fault"} {
+		if bytes.Contains(sb.Bytes(), []byte(key)) {
+			t.Fatalf("in-process sharded corpus carries %q key:\n%s", key, sb.String())
+		}
+	}
+}

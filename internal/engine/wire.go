@@ -1,0 +1,372 @@
+// Snapshot wire codec: the engine-side serialization hooks of the
+// process-mode shard transport (internal/shardrpc). A delta-row snapshot
+// travels as its overlay only — epoch, failed-set, and the per-source
+// divergence rows. The canonical matrix is never shipped: it is a pure
+// function of the provision, so every process rebuilds it once from the
+// topology (SnapDecoder) and the wire carries just the splice points,
+// exactly the delta-row memory argument applied to the network.
+//
+// Costs cross the wire as raw Float64bits, so a decoded replica answers
+// with the same bits the worker served — the bit-identity the chaos
+// equivalence oracle demands. Label stacks do not cross: a replica is a
+// control-plane view (routability, costs, component paths); forwarding
+// state lives only in the worker that owns the shard's data plane.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/mpls"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/spath"
+)
+
+// AppendWire serializes the snapshot's delta-row serving state — epoch,
+// failed-set, and overlay rows — appending to buf (which may be nil) and
+// returning the extended slice. Only delta-row snapshots serialize; a
+// dense-mode snapshot has no overlay to ship and reports an error.
+func (s *Snapshot) AppendWire(buf []byte) ([]byte, error) {
+	if s.over == nil {
+		return nil, fmt.Errorf("engine: only delta-row snapshots serialize (dense matrix is not wire state)")
+	}
+	buf = wireU64(buf, s.epoch)
+	buf = wireU32(buf, uint32(len(s.failed)))
+	for _, e := range s.failed {
+		buf = wireU32(buf, uint32(e))
+	}
+	rows := 0
+	for _, pr := range s.over {
+		if pr != nil {
+			rows++
+		}
+	}
+	buf = wireU32(buf, uint32(rows))
+	for src, pr := range s.over {
+		if pr == nil {
+			continue
+		}
+		buf = wireU32(buf, uint32(src))
+		buf = wireU32(buf, uint32(len(pr.dsts)))
+		for i, d := range pr.dsts {
+			buf = wireU32(buf, uint32(d))
+			buf = AppendRouteWire(buf, pr.routes[i])
+		}
+	}
+	return buf, nil
+}
+
+// AppendRouteWire serializes one served route (nil encodes an unroutable
+// override): presence byte, cost bits, and the component path sequence.
+func AppendRouteWire(buf []byte, rt *Route) []byte {
+	if rt == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	buf = wireU64(buf, math.Float64bits(rt.Cost))
+	buf = wireU32(buf, uint32(len(rt.LSPs)))
+	for _, l := range rt.LSPs {
+		buf = wirePath(buf, l.Path)
+	}
+	return buf
+}
+
+// SnapDecoder rebuilds engine snapshots from their wire overlay. It holds
+// the shared canonical matrix — reconstructed once from the provision by
+// the same code path engine.New uses, so canonical rows (and their cost
+// bits) are identical to the worker's — plus the LSP registry that
+// resolves decoded component paths back to provisioned LSP identities.
+type SnapDecoder struct {
+	g         *graph.Graph
+	canon     [][]*Route
+	lspOf     map[string]*mpls.LSP
+	emptyOver []*planRow
+}
+
+// NewSnapDecoder builds the decoder for a provision. The provision must
+// be the full (unsliced) export of the deployment, so the decoder can
+// answer for any shard's sources.
+func NewSnapDecoder(p rbpc.Provision) (*SnapDecoder, error) {
+	n := p.Graph.Order()
+	d := &SnapDecoder{
+		g:         p.Graph,
+		canon:     make([][]*Route, n),
+		lspOf:     p.LSPs,
+		emptyOver: make([]*planRow, n),
+	}
+	for pr, lsps := range p.Routes {
+		stack, err := mpls.SelfStack(lsps)
+		if err != nil {
+			return nil, fmt.Errorf("engine: decoder route %v: %w", pr, err)
+		}
+		var cost float64
+		for _, l := range lsps {
+			cost += l.Path.CostIn(p.Graph)
+		}
+		row := d.canon[pr.Src]
+		if row == nil {
+			row = make([]*Route, n)
+			d.canon[pr.Src] = row
+		}
+		row[pr.Dst] = &Route{LSPs: lsps, Stack: stack, Cost: cost}
+	}
+	return d, nil
+}
+
+// Materialized reports whether the source has a canonical serving row.
+// In delta-row mode materialization is static — the overlay only ever
+// diverges provisioned rows — so this answers for every epoch, which is
+// what lets the process-mode coordinator divert cold pairs without
+// consulting any worker.
+func (d *SnapDecoder) Materialized(src graph.NodeID) bool {
+	return int(src) < len(d.canon) && d.canon[src] != nil
+}
+
+// Decode rebuilds a snapshot from AppendWire output: the shared canonical
+// matrix plus the decoded overlay, with a locally recomputed failure view
+// and distance oracle (deterministic, hence bit-identical to the
+// worker's). The input is untrusted — a truncated or corrupt frame
+// returns an error, never a panic — so the decoder is fuzzable.
+//
+//rbpc:ctor
+func (d *SnapDecoder) Decode(data []byte) (*Snapshot, error) {
+	c := wireCursor{data: data}
+	epoch := c.u64()
+	failed, err := d.decodeFailed(&c)
+	if err != nil {
+		return nil, err
+	}
+	n := d.g.Order()
+	rows := int(c.u32())
+	if rows < 0 || rows > n {
+		return nil, fmt.Errorf("engine: decode: %d overlay rows on a %d-node graph", rows, n)
+	}
+	over := make([]*planRow, n)
+	for r := 0; r < rows; r++ {
+		src := int(c.u32())
+		if c.err || src < 0 || src >= n {
+			return nil, fmt.Errorf("engine: decode: overlay row source out of range")
+		}
+		if over[src] != nil {
+			return nil, fmt.Errorf("engine: decode: duplicate overlay row for source %d", src)
+		}
+		cnt := int(c.u32())
+		if cnt < 1 || cnt > n || cnt*5 > c.remaining() {
+			return nil, fmt.Errorf("engine: decode: overlay row length %d implausible", cnt)
+		}
+		dsts := make([]graph.NodeID, cnt)
+		routes := make([]*Route, cnt)
+		for i := 0; i < cnt; i++ {
+			dst := int(c.u32())
+			if c.err || dst < 0 || dst >= n {
+				return nil, fmt.Errorf("engine: decode: overlay destination out of range")
+			}
+			if i > 0 && graph.NodeID(dst) <= dsts[i-1] {
+				return nil, fmt.Errorf("engine: decode: overlay destinations not strictly sorted")
+			}
+			dsts[i] = graph.NodeID(dst)
+			rt, err := d.decodeRoute(&c)
+			if err != nil {
+				return nil, err
+			}
+			routes[i] = rt
+		}
+		over[src] = newPlanRow(dsts, routes)
+	}
+	if c.err {
+		return nil, fmt.Errorf("engine: decode: truncated snapshot frame")
+	}
+	if c.remaining() != 0 {
+		return nil, fmt.Errorf("engine: decode: %d trailing bytes after snapshot", c.remaining())
+	}
+	snap := d.detached(failed, epoch)
+	snap.over = over
+	return snap, nil
+}
+
+// DecodeRouteWire decodes one AppendRouteWire route from the front of
+// data, returning the route and the number of bytes consumed — the entry
+// point the shardrpc answer codec uses for routes embedded in answer
+// frames.
+func (d *SnapDecoder) DecodeRouteWire(data []byte) (*Route, int, error) {
+	c := wireCursor{data: data}
+	rt, err := d.decodeRoute(&c)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rt, c.off, nil
+}
+
+// decodeRoute decodes one AppendRouteWire route against the decoder's
+// registry: provisioned components resolve to their registry LSPs (so
+// path identity — and the oracle's Path.Equal — is preserved), missing
+// ones ride as un-signaled LSP values, the same convention the cold tier
+// uses for on-demand answers.
+func (d *SnapDecoder) decodeRoute(c *wireCursor) (*Route, error) {
+	p := c.u8()
+	if c.err {
+		return nil, fmt.Errorf("engine: decode: truncated route")
+	}
+	switch p {
+	case 0:
+		return nil, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("engine: decode: bad route presence byte")
+	}
+	cost := math.Float64frombits(c.u64())
+	ncomp := int(c.u32())
+	if ncomp < 0 || ncomp*5 > c.remaining() {
+		return nil, fmt.Errorf("engine: decode: route component count %d implausible", ncomp)
+	}
+	lsps := make([]*mpls.LSP, ncomp)
+	for i := 0; i < ncomp; i++ {
+		p, err := d.decodePath(c)
+		if err != nil {
+			return nil, err
+		}
+		if l, ok := d.lspOf[p.Key()]; ok {
+			lsps[i] = l
+		} else {
+			lsps[i] = &mpls.LSP{Path: p}
+		}
+	}
+	if c.err {
+		return nil, fmt.Errorf("engine: decode: truncated route")
+	}
+	return &Route{LSPs: lsps, Cost: cost}, nil
+}
+
+// Detached builds a canonical-only snapshot for an arbitrary failed-set:
+// shared canonical rows, empty overlay, locally computed failure view and
+// oracle. The process-mode coordinator solves cold-tier queries against
+// one when the owning worker is down — Corollary 4 answers any source
+// from the base set, which is exactly what crash recovery leans on. The
+// failed slice must be sorted ascending; it is retained.
+func (d *SnapDecoder) Detached(failed []graph.EdgeID, epoch uint64) *Snapshot {
+	return d.detached(failed, epoch)
+}
+
+func (d *SnapDecoder) detached(failed []graph.EdgeID, epoch uint64) *Snapshot {
+	fv := graph.FailEdges(d.g, failed...)
+	return &Snapshot{
+		epoch:   epoch,
+		failed:  failed,
+		fv:      fv,
+		oracle:  spath.NewOracle(fv),
+		canon:   d.canon,
+		over:    d.emptyOver,
+		created: time.Now(),
+		scheme:  SchemeSource,
+	}
+}
+
+func (d *SnapDecoder) decodeFailed(c *wireCursor) ([]graph.EdgeID, error) {
+	cnt := int(c.u32())
+	if cnt < 0 || cnt > d.g.Size() || cnt*4 > c.remaining() {
+		return nil, fmt.Errorf("engine: decode: failed-set length %d implausible", cnt)
+	}
+	failed := make([]graph.EdgeID, cnt)
+	for i := 0; i < cnt; i++ {
+		e := int(c.u32())
+		if c.err || e < 0 || e >= d.g.Size() {
+			return nil, fmt.Errorf("engine: decode: failed edge out of range")
+		}
+		if i > 0 && graph.EdgeID(e) <= failed[i-1] {
+			return nil, fmt.Errorf("engine: decode: failed-set not strictly sorted")
+		}
+		failed[i] = graph.EdgeID(e)
+	}
+	if cnt == 0 {
+		failed = nil
+	}
+	return failed, nil
+}
+
+func (d *SnapDecoder) decodePath(c *wireCursor) (graph.Path, error) {
+	nn := int(c.u32())
+	if nn < 1 || (nn-1)*8+4 > c.remaining()+4 || nn > c.remaining()/4+1 {
+		return graph.Path{}, fmt.Errorf("engine: decode: path length %d implausible", nn)
+	}
+	nodes := make([]graph.NodeID, nn)
+	for i := range nodes {
+		v := int(c.u32())
+		if c.err || v < 0 || v >= d.g.Order() {
+			return graph.Path{}, fmt.Errorf("engine: decode: path node out of range")
+		}
+		nodes[i] = graph.NodeID(v)
+	}
+	edges := make([]graph.EdgeID, nn-1)
+	for i := range edges {
+		e := int(c.u32())
+		if c.err || e < 0 || e >= d.g.Size() {
+			return graph.Path{}, fmt.Errorf("engine: decode: path edge out of range")
+		}
+		edges[i] = graph.EdgeID(e)
+	}
+	return graph.Path{Nodes: nodes, Edges: edges}, nil
+}
+
+// wireCursor is a bounds-checked little-endian reader over one frame.
+// Reads past the end set err and return zero; callers check err once per
+// structure instead of per field.
+type wireCursor struct {
+	data []byte
+	off  int
+	err  bool
+}
+
+func (c *wireCursor) remaining() int { return len(c.data) - c.off }
+
+func (c *wireCursor) u8() byte {
+	if c.off+1 > len(c.data) {
+		c.err = true
+		return 0
+	}
+	v := c.data[c.off]
+	c.off++
+	return v
+}
+
+func (c *wireCursor) u32() uint32 {
+	if c.off+4 > len(c.data) {
+		c.err = true
+		return 0
+	}
+	b := c.data[c.off:]
+	c.off += 4
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (c *wireCursor) u64() uint64 {
+	if c.off+8 > len(c.data) {
+		c.err = true
+		return 0
+	}
+	b := c.data[c.off:]
+	c.off += 8
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func wireU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func wireU64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func wirePath(buf []byte, p graph.Path) []byte {
+	buf = wireU32(buf, uint32(len(p.Nodes)))
+	for _, u := range p.Nodes {
+		buf = wireU32(buf, uint32(u))
+	}
+	for _, e := range p.Edges {
+		buf = wireU32(buf, uint32(e))
+	}
+	return buf
+}

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/topology"
+)
+
+// snapsEqualBitwise asserts every pair of two snapshots answers
+// identically: routability, Float64bits of cost, and component path
+// sequences — the same identity the chaos shard-equivalence oracle
+// demands of process-mode replicas.
+func snapsEqualBitwise(t *testing.T, want, got *Snapshot, n int, tag string) {
+	t.Helper()
+	if want.Epoch() != got.Epoch() {
+		t.Fatalf("%s: epoch %d decoded as %d", tag, want.Epoch(), got.Epoch())
+	}
+	wf, gf := want.Failed(), got.Failed()
+	if len(wf) != len(gf) {
+		t.Fatalf("%s: failed-set %v decoded as %v", tag, wf, gf)
+	}
+	for i := range wf {
+		if wf[i] != gf[i] {
+			t.Fatalf("%s: failed-set %v decoded as %v", tag, wf, gf)
+		}
+	}
+	for s := 0; s < n; s++ {
+		src := graph.NodeID(s)
+		if want.Materialized(src) != got.Materialized(src) {
+			t.Fatalf("%s: source %d materialized mismatch", tag, s)
+		}
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			dst := graph.NodeID(d)
+			w, g := want.Route(src, dst), got.Route(src, dst)
+			if (w == nil) != (g == nil) {
+				t.Fatalf("%s: pair %d->%d routable %v decoded as %v", tag, s, d, w != nil, g != nil)
+			}
+			if w == nil {
+				continue
+			}
+			if math.Float64bits(w.Cost) != math.Float64bits(g.Cost) {
+				t.Fatalf("%s: pair %d->%d cost bits %x decoded as %x",
+					tag, s, d, math.Float64bits(w.Cost), math.Float64bits(g.Cost))
+			}
+			if len(w.LSPs) != len(g.LSPs) {
+				t.Fatalf("%s: pair %d->%d %d components decoded as %d", tag, s, d, len(w.LSPs), len(g.LSPs))
+			}
+			for i := range w.LSPs {
+				if !w.LSPs[i].Path.Equal(g.LSPs[i].Path) {
+					t.Fatalf("%s: pair %d->%d component %d path mismatch", tag, s, d, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotWireRoundTrip drives a delta-row engine through churn and
+// proves every published snapshot survives AppendWire/Decode bit-for-bit,
+// including the oracle distances a decoded replica recomputes locally.
+func TestSnapshotWireRoundTrip(t *testing.T) {
+	g := topology.Waxman(14, 0.8, 0.5, 41)
+	eng, sys := newEngine(t, g, Config{DeltaRows: true})
+	dec, err := NewSnapDecoder(sys.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Order()
+
+	var buf []byte
+	check := func(tag string) {
+		t.Helper()
+		snap := eng.Snapshot()
+		buf = buf[:0]
+		buf, err = snap.AppendWire(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		got, err := dec.Decode(buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tag, err)
+		}
+		snapsEqualBitwise(t, snap, got, n, tag)
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				w := snap.Oracle().Dist(graph.NodeID(s), graph.NodeID(d))
+				r := got.Oracle().Dist(graph.NodeID(s), graph.NodeID(d))
+				if math.Float64bits(w) != math.Float64bits(r) {
+					t.Fatalf("%s: oracle dist %d->%d bits %x decoded as %x",
+						tag, s, d, math.Float64bits(w), math.Float64bits(r))
+				}
+			}
+		}
+	}
+
+	check("pristine")
+	rng := rand.New(rand.NewSource(7))
+	down := make([]graph.EdgeID, 0, 4)
+	for round := 0; round < 6; round++ {
+		if len(down) > 2 {
+			i := rng.Intn(len(down))
+			eng.Repair(down[i])
+			down = append(down[:i], down[i+1:]...)
+		} else {
+			ed := graph.EdgeID(rng.Intn(g.Size()))
+			eng.Fail(ed)
+			seen := false
+			for _, e := range down {
+				seen = seen || e == ed
+			}
+			if !seen {
+				down = append(down, ed)
+			}
+		}
+		eng.Flush()
+		check("round")
+	}
+}
+
+// TestSnapDecoderDetached exercises the crash-recovery path: a detached
+// snapshot for an arbitrary failed-set answers canonical rows only, knows
+// the failure view, and reports the same materialization as the live
+// engine's provision.
+func TestSnapDecoderDetached(t *testing.T) {
+	g := topology.Waxman(12, 0.8, 0.5, 5)
+	eng, sys := newEngine(t, g, Config{DeltaRows: true})
+	dec, err := NewSnapDecoder(sys.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := graph.EdgeID(3)
+	snap := dec.Detached([]graph.EdgeID{ed}, 9)
+	if snap.Epoch() != 9 {
+		t.Fatalf("detached epoch %d", snap.Epoch())
+	}
+	if f := snap.Failed(); len(f) != 1 || f[0] != ed {
+		t.Fatalf("detached failed-set %v", f)
+	}
+	live := eng.Snapshot()
+	for s := 0; s < g.Order(); s++ {
+		src := graph.NodeID(s)
+		if dec.Materialized(src) != live.Materialized(src) {
+			t.Fatalf("source %d: decoder materialized %v, engine %v",
+				s, dec.Materialized(src), live.Materialized(src))
+		}
+		if !dec.Materialized(src) {
+			continue
+		}
+		for d := 0; d < g.Order(); d++ {
+			if s == d {
+				continue
+			}
+			dst := graph.NodeID(d)
+			w, got := live.Route(src, dst), snap.Route(src, dst)
+			if (w == nil) != (got == nil) {
+				t.Fatalf("pair %d->%d: canonical routable %v, detached %v", s, d, w != nil, got != nil)
+			}
+			if w != nil && math.Float64bits(w.Cost) != math.Float64bits(got.Cost) {
+				t.Fatalf("pair %d->%d: canonical cost bits differ", s, d)
+			}
+		}
+	}
+}
+
+// TestSnapshotWireDenseRefuses: dense snapshots have no overlay and must
+// refuse to serialize rather than silently ship an empty frame.
+func TestSnapshotWireDenseRefuses(t *testing.T) {
+	g := topology.Waxman(10, 0.8, 0.5, 2)
+	eng, _ := newEngine(t, g, Config{})
+	if _, err := eng.Snapshot().AppendWire(nil); err == nil {
+		t.Fatal("dense snapshot serialized")
+	}
+}
+
+// TestSnapDecoderRejectsCorrupt flips every byte of a valid frame and
+// feeds truncations of it; the decoder must error or succeed but never
+// panic, and the pristine frame must still decode after the abuse.
+func TestSnapDecoderRejectsCorrupt(t *testing.T) {
+	g := topology.Waxman(10, 0.8, 0.5, 8)
+	eng, sys := newEngine(t, g, Config{DeltaRows: true})
+	dec, err := NewSnapDecoder(sys.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Fail(1)
+	eng.Fail(4)
+	eng.Flush()
+	frame, err := eng.Snapshot().AppendWire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := dec.Decode(frame[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	mut := make([]byte, len(frame))
+	for i := range frame {
+		copy(mut, frame)
+		mut[i] ^= 0xff
+		dec.Decode(mut) // must not panic; errors are fine
+	}
+	if _, err := dec.Decode(frame); err != nil {
+		t.Fatalf("pristine frame stopped decoding: %v", err)
+	}
+}

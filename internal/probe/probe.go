@@ -50,6 +50,59 @@ func snapFailed(s *engine.Snapshot, ed graph.EdgeID) bool {
 	return false
 }
 
+// ProbeResult is one poll's restoration verdict for a pair, as computed
+// by whoever owns the serving state: whether the answering epoch's
+// failed-set contained the probed edge, whether the pair was routable,
+// and whether the data-plane walk delivered.
+type ProbeResult struct {
+	FailedContains bool
+	Routable       bool
+	Delivered      bool
+}
+
+// ProbeBackend is the serving surface for backends whose data plane
+// lives elsewhere — the process-mode coordinator cannot walk a remote
+// worker's MPLS network, so the whole verdict is computed at the owner
+// and shipped back, rather than read off a local snapshot.
+type ProbeBackend interface {
+	ProbeQuery(src, dst graph.NodeID, ed graph.EdgeID) ProbeResult
+	AffectedPairs(e graph.EdgeID) []graph.NodePair
+	RecordRestore(src graph.NodeID, d time.Duration)
+}
+
+// RestoreVia is Restore for ProbeBackends: the same sampling, polling,
+// and gating discipline, with the delivery verdict computed remotely.
+func RestoreVia(b ProbeBackend, scheme engine.Scheme, ed graph.EdgeID, t0 time.Time) {
+	pairs := b.AffectedPairs(ed)
+	if len(pairs) == 0 {
+		return
+	}
+	stride := len(pairs) / maxPairs
+	if stride < 1 {
+		stride = 1
+	}
+	deadline := t0.Add(timeout)
+	for i := 0; i < len(pairs) && i/stride < maxPairs; i += stride {
+		pr := pairs[i]
+		for {
+			res := b.ProbeQuery(pr.Src, pr.Dst, ed)
+			if res.FailedContains {
+				if res.Delivered {
+					b.RecordRestore(pr.Src, time.Since(t0))
+					break
+				}
+				if !res.Routable && scheme != engine.SchemeHybrid {
+					break // unrestorable this epoch: disconnected or bypass-blocked
+				}
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(step)
+		}
+	}
+}
+
 // Restore measures one injected failure's time-to-restore: it samples up
 // to maxPairs affected pairs and, for each, polls the backend until an
 // epoch reflecting the failure returns an answer whose data-plane walk

@@ -87,7 +87,7 @@ type coldReq struct {
 	reply    chan engine.Result // nil: async, answer goes to onResult
 }
 
-// coldTier is the admission-controlled on-demand solver pool. Cold
+// ColdTier is the admission-controlled on-demand solver pool. Cold
 // queries enter a bounded queue; workers answer them by a Corollary-4
 // base-set solve against the querying shard's snapshot failure view. The
 // base set is edge-complete under the provisioning defaults, so a solve
@@ -96,7 +96,7 @@ type coldReq struct {
 // stack: components missing from the registry are returned un-signaled
 // (control-plane answer), because establishing LSPs from reader threads
 // would race the shard writers' forwarding planes.
-type coldTier struct {
+type ColdTier struct {
 	g        *graph.Graph
 	base     *paths.Explicit
 	lspOf    map[string]*mpls.LSP // read-only after New; never written here
@@ -125,10 +125,12 @@ type coldTier struct {
 	hand  int                    //rbpc:guardedby mu
 }
 
-// newColdTier starts the solver pool.
-func newColdTier(g *graph.Graph, base *paths.Explicit, lspOf map[string]*mpls.LSP, cfg ColdConfig, onResult func(engine.Result)) *coldTier {
+// NewColdTier starts the solver pool. The registry must be a private
+// clone (workers read it concurrently with nobody writing); onResult
+// receives async answers (nil discards them).
+func NewColdTier(g *graph.Graph, base *paths.Explicit, lspOf map[string]*mpls.LSP, cfg ColdConfig, onResult func(engine.Result)) *ColdTier {
 	cfg = cfg.withDefaults()
-	t := &coldTier{
+	t := &ColdTier{
 		g:        g,
 		base:     base,
 		lspOf:    lspOf,
@@ -146,10 +148,10 @@ func newColdTier(g *graph.Graph, base *paths.Explicit, lspOf map[string]*mpls.LS
 	return t
 }
 
-// query answers a cold pair synchronously: admitted through the bounded
+// Query answers a cold pair synchronously: admitted through the bounded
 // queue, solved by the pool. A full queue sheds the query — the caller
 // gets a nil route, exactly as an overloaded engine shard sheds a Submit.
-func (t *coldTier) query(src, dst graph.NodeID, snap *engine.Snapshot) engine.Result {
+func (t *ColdTier) Query(src, dst graph.NodeID, snap *engine.Snapshot) engine.Result {
 	t.queries.Add(1)
 	reply := make(chan engine.Result, 1)
 	select {
@@ -166,9 +168,9 @@ func (t *coldTier) query(src, dst graph.NodeID, snap *engine.Snapshot) engine.Re
 	}
 }
 
-// submit enqueues a cold pair asynchronously; the answer goes to the
+// Submit enqueues a cold pair asynchronously; the answer goes to the
 // coordinator's OnResult callback. Reports false when shed.
-func (t *coldTier) submit(src, dst graph.NodeID, snap *engine.Snapshot) bool {
+func (t *ColdTier) Submit(src, dst graph.NodeID, snap *engine.Snapshot) bool {
 	t.queries.Add(1)
 	select {
 	case t.queue <- coldReq{src: src, dst: dst, snap: snap}:
@@ -179,7 +181,7 @@ func (t *coldTier) submit(src, dst graph.NodeID, snap *engine.Snapshot) bool {
 	}
 }
 
-func (t *coldTier) worker() {
+func (t *ColdTier) worker() {
 	defer t.wg.Done()
 	var solver *core.SparseSolver
 	boundKey := "\x00unbound"
@@ -200,7 +202,7 @@ func (t *coldTier) worker() {
 	}
 }
 
-func (t *coldTier) answer(solver **core.SparseSolver, boundKey *string, req coldReq) engine.Result {
+func (t *ColdTier) answer(solver **core.SparseSolver, boundKey *string, req coldReq) engine.Result {
 	key := coldKey{src: req.src, dst: req.dst, failed: failedSetKey(req.snap.Failed())}
 
 	t.mu.Lock()
@@ -235,7 +237,7 @@ func (t *coldTier) answer(solver **core.SparseSolver, boundKey *string, req cold
 // shared mutable state: provisioned components resolve through the
 // read-only registry, missing ones ride as un-signaled LSP values. The
 // label stack is built only when every component is provisioned.
-func (t *coldTier) routeFor(dec core.Decomposition) *engine.Route {
+func (t *ColdTier) routeFor(dec core.Decomposition) *engine.Route {
 	lsps := make([]*mpls.LSP, len(dec.Components))
 	signaled := true
 	for i, c := range dec.Components {
@@ -257,7 +259,7 @@ func (t *coldTier) routeFor(dec core.Decomposition) *engine.Route {
 
 // promote counts the answer toward promotion and caches it once the pair
 // has proven it stays hot.
-func (t *coldTier) promote(key coldKey, rt *engine.Route) {
+func (t *ColdTier) promote(key coldKey, rt *engine.Route) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.hits) > 4*t.cfg.CacheCap {
@@ -292,10 +294,10 @@ func (t *coldTier) promote(key coldKey, rt *engine.Route) {
 	}
 }
 
-// drain waits for the queue and all in-flight solves to finish. The
+// Drain waits for the queue and all in-flight solves to finish. The
 // idle condition must hold on two consecutive polls to cover the window
 // between a worker dequeuing a request and marking itself in-flight.
-func (t *coldTier) drain() {
+func (t *ColdTier) Drain() {
 	idle := 0
 	for idle < 2 {
 		select {
@@ -312,12 +314,12 @@ func (t *coldTier) drain() {
 	}
 }
 
-func (t *coldTier) close() {
+func (t *ColdTier) Close() {
 	close(t.done)
 	t.wg.Wait()
 }
 
-func (t *coldTier) stats() ColdStats {
+func (t *ColdTier) Stats() ColdStats {
 	return ColdStats{
 		Queries:      t.queries.Load(),
 		Shed:         t.shed.Load(),

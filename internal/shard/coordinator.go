@@ -27,7 +27,7 @@ type Coordinator struct {
 	ring  *Ring
 	cfg   Config
 	shard []*engine.Engine
-	cold  *coldTier
+	cold  *ColdTier
 
 	mu sync.Mutex
 	// watermarks holds the highest epoch each shard has published, fed by
@@ -57,27 +57,8 @@ func New(p rbpc.Provision, cfg Config) (*Coordinator, error) {
 		watermarks: make([]uint64, cfg.Shards),
 	}
 
-	// Partition the per-pair state by owner. The shared LSP registry is
-	// cloned per shard: each engine signs on-demand LSPs into its own
-	// registry, and concurrent writers must not share a map.
-	primsBy := make([]map[rbpc.Pair]*mpls.LSP, cfg.Shards)
-	routesBy := make([]map[rbpc.Pair][]*mpls.LSP, cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
-		primsBy[i] = make(map[rbpc.Pair]*mpls.LSP)
-		routesBy[i] = make(map[rbpc.Pair][]*mpls.LSP)
-	}
-	for pr, lsp := range p.Primaries {
-		primsBy[ring.Owner(pr.Src)][pr] = lsp
-	}
-	for pr, lsps := range p.Routes {
-		routesBy[ring.Owner(pr.Src)][pr] = lsps
-	}
-
-	for i := 0; i < cfg.Shards; i++ {
-		sp := p
-		sp.Primaries = primsBy[i]
-		sp.Routes = routesBy[i]
-		sp.LSPs = maps.Clone(p.LSPs)
+		sp := SliceProvision(p, ring, i)
 
 		ecfg := cfg.Engine
 		ecfg.DeltaRows = true
@@ -103,8 +84,36 @@ func New(p rbpc.Provision, cfg Config) (*Coordinator, error) {
 		c.shard[i] = eng
 	}
 
-	c.cold = newColdTier(p.Graph, p.Base, maps.Clone(p.LSPs), cfg.Cold, cfg.Engine.OnResult)
+	c.cold = NewColdTier(p.Graph, p.Base, maps.Clone(p.LSPs), cfg.Cold, cfg.Engine.OnResult)
 	return c, nil
+}
+
+// SliceProvision returns the provision slice shard i serves under the
+// ring: only the primaries and routes of the sources i owns, with a
+// private clone of the LSP registry (each shard engine signs on-demand
+// LSPs into its own registry, and concurrent writers must not share a
+// map). Graph, base set, and network stay shared. It is the single
+// definition of the shard partition — the in-process coordinator and
+// every remote worker process slice with it, so a worker rebuilt from
+// the same provision serves exactly the rows its in-process twin would.
+func SliceProvision(p rbpc.Provision, ring *Ring, i int) rbpc.Provision {
+	prims := make(map[rbpc.Pair]*mpls.LSP)
+	routes := make(map[rbpc.Pair][]*mpls.LSP)
+	for pr, lsp := range p.Primaries {
+		if ring.Owner(pr.Src) == i {
+			prims[pr] = lsp
+		}
+	}
+	for pr, lsps := range p.Routes {
+		if ring.Owner(pr.Src) == i {
+			routes[pr] = lsps
+		}
+	}
+	sp := p
+	sp.Primaries = prims
+	sp.Routes = routes
+	sp.LSPs = maps.Clone(p.LSPs)
+	return sp
 }
 
 // Ring returns the routing ring (immutable; safe to share with remote
@@ -165,7 +174,7 @@ func (c *Coordinator) Query(src, dst graph.NodeID) engine.Result {
 	sh := c.shard[c.ring.Owner(src)]
 	s := sh.Snapshot()
 	if !s.Materialized(src) {
-		return c.cold.query(src, dst, s) //rbpc:allow hotpath -- cold-pair divert is the deliberate slow path
+		return c.cold.Query(src, dst, s) //rbpc:allow hotpath -- cold-pair divert is the deliberate slow path
 	}
 	return sh.Query(src, dst)
 }
@@ -175,7 +184,7 @@ func (c *Coordinator) Query(src, dst graph.NodeID) engine.Result {
 func (c *Coordinator) Submit(src, dst graph.NodeID) bool {
 	sh := c.shard[c.ring.Owner(src)]
 	if s := sh.Snapshot(); !s.Materialized(src) {
-		return c.cold.submit(src, dst, s)
+		return c.cold.Submit(src, dst, s)
 	}
 	return sh.Submit(src, dst)
 }
@@ -195,7 +204,7 @@ func (c *Coordinator) SubmitBatch(pairs []rbpc.Pair) int {
 		w := c.ring.Owner(pr.Src)
 		snap := c.shard[w].Snapshot()
 		if coldPair(snap, pr) {
-			if c.cold.submit(pr.Src, pr.Dst, snap) {
+			if c.cold.Submit(pr.Src, pr.Dst, snap) {
 				accepted++
 			}
 			continue
@@ -258,6 +267,15 @@ type View struct {
 	snaps []*engine.Snapshot
 }
 
+// NewView assembles a view from per-shard snapshots routed by the ring.
+// The caller is responsible for the agreement discipline (only un-torn,
+// failed-set-agreeing snapshot sets make a consistent view) — the
+// process-mode coordinator builds its views here from the replica
+// snapshots its workers shipped over the wire.
+func NewView(ring *Ring, snaps []*engine.Snapshot) View {
+	return View{ring: ring, snaps: snaps}
+}
+
 // Shards returns the number of per-shard snapshots in the view.
 func (v View) Shards() int { return len(v.snaps) }
 
@@ -315,7 +333,7 @@ func (c *Coordinator) Drain() {
 	for _, sh := range c.shard {
 		sh.Drain()
 	}
-	c.cold.drain()
+	c.cold.Drain()
 }
 
 // Close stops every shard and the cold tier.
@@ -323,7 +341,7 @@ func (c *Coordinator) Close() {
 	for _, sh := range c.shard {
 		sh.Close()
 	}
-	c.cold.close()
+	c.cold.Close()
 }
 
 // Stats merges the shard scrapes: counters sum, latency percentiles take
@@ -331,15 +349,29 @@ func (c *Coordinator) Close() {
 // sums residents while DenseRowBytes stays the single-engine dense
 // baseline the shards collectively replace.
 func (c *Coordinator) Stats() Stats {
-	st := Stats{
-		Shards:   len(c.shard),
-		Epoch:    c.Watermark(),
-		Cold:     c.cold.stats(),
-		PerShard: make([]engine.Stats, len(c.shard)),
-	}
+	perShard := make([]engine.Stats, len(c.shard))
 	for i, sh := range c.shard {
-		es := sh.Stats()
-		st.PerShard[i] = es
+		perShard[i] = sh.Stats()
+	}
+	return MergeStats(perShard, c.Watermark(), c.cold.Stats())
+}
+
+// MergeStats folds per-shard engine scrapes into the deployment view:
+// counters sum, latency percentiles take the worst shard (per-shard
+// histograms cannot be re-merged), RowBytes sums residents while
+// DenseRowBytes stays the single-engine dense baseline the shards
+// collectively replace. Shared by the in-process coordinator and the
+// process-mode coordinator (internal/shardrpc), whose worker scrapes
+// arrive over the wire.
+func MergeStats(perShard []engine.Stats, epoch uint64, cold ColdStats) Stats {
+	st := Stats{
+		Shards:   len(perShard),
+		Epoch:    epoch,
+		Cold:     cold,
+		PerShard: perShard,
+	}
+	for i := range perShard {
+		es := perShard[i]
 		st.Queries += es.Queries
 		st.Unroutable += es.Unroutable
 		st.Submitted += es.Submitted

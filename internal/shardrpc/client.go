@@ -1,0 +1,525 @@
+package shardrpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/engine/metrics"
+	"rbpc/internal/rbpc"
+)
+
+// callKind distinguishes pending-table entries: RPCs park a waiter on a
+// channel; query batches are fire-and-forget at submit time and resolved
+// by the reader as answers stream back.
+type callKind int
+
+const (
+	callRPC callKind = iota
+	callBatch
+)
+
+type call struct {
+	kind callKind
+	// RPC fields.
+	done    chan struct{}
+	want    byte
+	payload []byte // copied reply payload
+	flags   byte
+	err     error
+	// Batch fields.
+	t0 time.Time
+	n  int
+}
+
+// queryMetrics are the coordinator-side serving counters: queries are
+// counted where the answers land (the reader goroutines), and latency is
+// batch submit to answer arrival — transport included, which is the
+// honest number for a cross-process deployment.
+type queryMetrics struct {
+	queries    metrics.Counter
+	unroutable metrics.Counter
+	dropped    metrics.Counter
+	latency    metrics.Histogram
+}
+
+// client drives one worker: a control connection (bursts, barriers,
+// stats; snapshot frames back) plus a pool of query connections, a
+// pending table demultiplexing replies by sequence number, and the
+// decoded replica snapshot the coordinator's View() merges.
+type client struct {
+	idx int
+	cfg Config
+	dec *engine.SnapDecoder
+	met *queryMetrics
+	// onEpoch observes every replica update (coordinator watermark, then
+	// the user tap).
+	onEpoch func(worker int, snap *engine.Snapshot)
+
+	mu       sync.Mutex
+	control  *Conn
+	query    []*Conn
+	pend     map[uint32]*call //rbpc:guardedby mu
+	inflight int              //rbpc:guardedby mu
+	gen      int              //rbpc:guardedby mu
+
+	seq     atomic.Uint32
+	next    atomic.Uint32
+	alive   atomic.Bool
+	replica atomic.Pointer[engine.Snapshot]
+	torn    atomic.Int64
+	// batchBuf is the reused query-batch encode buffer.
+	bmu      sync.Mutex
+	batchBuf []byte //rbpc:guardedby bmu
+}
+
+func newClient(idx int, cfg Config, dec *engine.SnapDecoder, met *queryMetrics,
+	onEpoch func(int, *engine.Snapshot)) *client {
+	return &client{
+		idx:     idx,
+		cfg:     cfg,
+		dec:     dec,
+		met:     met,
+		onEpoch: onEpoch,
+		pend:    make(map[uint32]*call),
+	}
+}
+
+// attach dials the worker's control and query connections, validates the
+// ring/topology contract from the hello, and waits for the priming
+// snapshot before declaring the worker alive — so a caller returning
+// from attach can immediately build whole views.
+func (c *client) attach(wantShards, wantVNodes int, wantSeed uint64, nodes, links int) error {
+	control, h, err := c.dialOne(roleControl)
+	if err != nil {
+		return err
+	}
+	if int(h.shards) != wantShards || int(h.vnodes) != wantVNodes || h.ringSeed != wantSeed {
+		control.Close()
+		return fmt.Errorf("shardrpc: worker %d ring contract (%d shards, %d vnodes, seed %#x) differs from coordinator (%d, %d, %#x)",
+			c.idx, h.shards, h.vnodes, h.ringSeed, wantShards, wantVNodes, wantSeed)
+	}
+	if int(h.shard) != c.idx || int(h.nodes) != nodes || int(h.links) != links {
+		control.Close()
+		return fmt.Errorf("shardrpc: worker %d hello claims shard %d of a %d-node/%d-link topology, want %d of %d/%d",
+			c.idx, h.shard, h.nodes, h.links, c.idx, nodes, links)
+	}
+	// The worker primes the replica right after the hello; read it
+	// synchronously so the attach postcondition is a current replica.
+	typ, _, _, payload, err := control.ReadFrame()
+	if err != nil {
+		control.Close()
+		return err
+	}
+	if typ != ftSnapshot {
+		control.Close()
+		return fmt.Errorf("shardrpc: worker %d sent frame %d before priming snapshot", c.idx, typ)
+	}
+	snap, err := c.dec.Decode(payload)
+	if err != nil {
+		control.Close()
+		return fmt.Errorf("shardrpc: worker %d priming snapshot: %w", c.idx, err)
+	}
+
+	pool := make([]*Conn, c.cfg.Conns)
+	for i := range pool {
+		qc, _, err := c.dialOne(roleQuery)
+		if err != nil {
+			control.Close()
+			for _, p := range pool[:i] {
+				p.Close()
+			}
+			return err
+		}
+		pool[i] = qc
+	}
+
+	c.mu.Lock()
+	c.control = control
+	c.query = pool
+	c.gen++
+	gen := c.gen
+	c.mu.Unlock()
+	c.storeReplica(snap)
+	c.alive.Store(true)
+
+	go c.reader(control, gen)
+	for _, qc := range pool {
+		go c.reader(qc, gen)
+	}
+	return nil
+}
+
+// dialOne opens and attaches one connection, returning the worker hello.
+func (c *client) dialOne(role byte) (*Conn, hello, error) {
+	nc, err := c.cfg.Dial(c.idx)
+	if err != nil {
+		return nil, hello{}, fmt.Errorf("shardrpc: dial worker %d: %w", c.idx, err)
+	}
+	conn := NewConn(nc)
+	if role == roleControl && c.idx == 0 && c.cfg.Fault == FaultTornFrame {
+		armTornFrame(conn)
+	}
+	if err := conn.WriteFrame(ftAttach, role, 0, nil); err != nil {
+		conn.Close()
+		return nil, hello{}, err
+	}
+	typ, _, _, payload, err := conn.ReadFrame()
+	if err != nil {
+		conn.Close()
+		return nil, hello{}, err
+	}
+	if typ != ftHello {
+		conn.Close()
+		return nil, hello{}, fmt.Errorf("shardrpc: worker %d replied frame %d to attach", c.idx, typ)
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		conn.Close()
+		return nil, hello{}, err
+	}
+	return conn, h, nil
+}
+
+// armTornFrame installs the write-side chaos fault: the next burst frame
+// leaving this connection is corrupted after its checksum is computed, so
+// the worker's Conn drops it as torn and silently misses the churn — the
+// divergence the conformance oracle must catch at the next flush.
+func armTornFrame(conn *Conn) {
+	fired := false
+	conn.corrupt = func(typ byte, payload []byte) {
+		if fired || typ != ftBurst || len(payload) == 0 {
+			return
+		}
+		fired = true
+		payload[len(payload)-1] ^= 0xff
+	}
+}
+
+// storeReplica publishes a decoded snapshot, refusing epoch regressions
+// (a tap frame can race the attach priming frame; newest wins).
+func (c *client) storeReplica(snap *engine.Snapshot) {
+	for {
+		cur := c.replica.Load()
+		if cur != nil && cur.Epoch() > snap.Epoch() {
+			return
+		}
+		if c.replica.CompareAndSwap(cur, snap) {
+			break
+		}
+	}
+	if c.onEpoch != nil {
+		c.onEpoch(c.idx, snap)
+	}
+}
+
+// reader drains one connection, demultiplexing by sequence number:
+// snapshot frames update the replica, answer batches settle into the
+// serving metrics, everything else resolves a parked RPC.
+func (c *client) reader(conn *Conn, gen int) {
+	key := uint64(c.idx)
+	for {
+		typ, flags, seq, payload, err := conn.ReadFrame()
+		if err != nil {
+			c.die(gen, err)
+			return
+		}
+		switch typ {
+		case ftSnapshot:
+			snap, derr := c.dec.Decode(payload)
+			if derr != nil {
+				c.die(gen, fmt.Errorf("shardrpc: worker %d snapshot: %w", c.idx, derr))
+				return
+			}
+			c.storeReplica(snap)
+		case ftAnswerBatch:
+			n, ok := answerBatchCount(payload)
+			if !ok {
+				c.die(gen, fmt.Errorf("shardrpc: worker %d sent malformed answer batch", c.idx))
+				return
+			}
+			ca := c.take(seq)
+			if ca == nil || ca.kind != callBatch {
+				continue // late answer after a timeout/death; already accounted
+			}
+			c.settleBatch(key, ca, payload, n)
+		default:
+			ca := c.take(seq)
+			if ca == nil || ca.kind != callRPC {
+				continue
+			}
+			if typ != ca.want {
+				ca.err = fmt.Errorf("shardrpc: worker %d replied frame %d, want %d", c.idx, typ, ca.want)
+			} else {
+				ca.payload = append(ca.payload[:0], payload...)
+				ca.flags = flags
+			}
+			close(ca.done)
+		}
+	}
+}
+
+// settleBatch folds one answer batch into the coordinator metrics: the
+// whole batch records one arrival latency (RecordN) and the per-answer
+// scan is a hot fixed-offset walk.
+func (c *client) settleBatch(key uint64, ca *call, payload []byte, n int) {
+	if n > ca.n {
+		n = ca.n // defensive: never credit more answers than were asked
+	}
+	unroutable := scanUnroutable(payload, n)
+	c.met.queries.Add(key, int64(n))
+	c.met.unroutable.Add(key, unroutable)
+	if d := time.Since(ca.t0); n > 0 {
+		c.met.latency.RecordN(key, d, int64(n))
+	}
+	if short := int64(ca.n - n); short > 0 {
+		c.met.dropped.Add(key, short)
+	}
+}
+
+// scanUnroutable counts the batch's unroutable answers — the hot half of
+// answer decoding (one flags byte per query, no allocation).
+//
+//rbpc:hotpath
+func scanUnroutable(payload []byte, n int) int64 {
+	var u int64
+	for i := 0; i < n; i++ {
+		flags, _ := answerAt(payload, i)
+		if flags&ansRoutable == 0 {
+			u++
+		}
+	}
+	return u
+}
+
+// take removes and returns the pending entry for seq (nil if unknown),
+// decrementing the in-flight budget for batch entries.
+func (c *client) take(seq uint32) *call {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ca := c.pend[seq]
+	if ca != nil {
+		delete(c.pend, seq)
+		if ca.kind == callBatch {
+			c.inflight--
+		}
+	}
+	return ca
+}
+
+// die marks the worker dead and fails everything pending. The generation
+// guard keeps a stale reader (from before a reattach) from killing the
+// fresh connections.
+func (c *client) die(gen int, cause error) {
+	c.mu.Lock()
+	if gen != c.gen {
+		c.mu.Unlock()
+		return
+	}
+	c.alive.Store(false)
+	control, pool := c.control, c.query
+	c.control, c.query = nil, nil
+	pend := c.pend
+	c.pend = make(map[uint32]*call)
+	c.inflight = 0
+	c.mu.Unlock()
+
+	if control != nil {
+		control.Close()
+	}
+	for _, qc := range pool {
+		qc.Close()
+	}
+	key := uint64(c.idx)
+	for _, ca := range pend {
+		switch ca.kind {
+		case callRPC:
+			ca.err = fmt.Errorf("shardrpc: worker %d died: %w", c.idx, cause)
+			close(ca.done)
+		case callBatch:
+			c.met.dropped.Add(key, int64(ca.n))
+		}
+	}
+}
+
+// controlConn returns the live control connection (nil when dead).
+func (c *client) controlConn() *Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.control
+}
+
+// queryConn picks the next pool connection round-robin.
+func (c *client) queryConn() *Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.query) == 0 {
+		return nil
+	}
+	return c.query[int(c.next.Add(1))%len(c.query)]
+}
+
+// rpc performs one round trip on conn with AckTimeout and bounded retry;
+// exhausting the budget declares the worker dead. Retries are safe for
+// every frame on this wire: bursts are idempotent at the engine (failing
+// a failed edge and repairing a repaired one are no-ops) and the rest are
+// reads or barriers.
+func (c *client) rpc(conn *Conn, typ, flags byte, payload []byte, want byte) (*call, error) {
+	if conn == nil {
+		return nil, fmt.Errorf("shardrpc: worker %d is down", c.idx)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		seq := c.seq.Add(1)
+		ca := &call{kind: callRPC, done: make(chan struct{}), want: want}
+		c.mu.Lock()
+		c.pend[seq] = ca
+		c.mu.Unlock()
+		if err := conn.WriteFrame(typ, flags, seq, payload); err != nil {
+			c.take(seq)
+			c.die(c.generation(), err)
+			return nil, err
+		}
+		select {
+		case <-ca.done:
+			if ca.err != nil {
+				return nil, ca.err
+			}
+			return ca, nil
+		case <-time.After(c.cfg.AckTimeout):
+			c.take(seq)
+			lastErr = fmt.Errorf("shardrpc: worker %d: frame %d timed out after %v", c.idx, typ, c.cfg.AckTimeout)
+		}
+	}
+	c.die(c.generation(), lastErr)
+	return nil, lastErr
+}
+
+func (c *client) generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// sendBatch encodes and writes one batch frame (hot fill into the reused
+// buffer) and registers its pending entry; answers settle asynchronously
+// in the reader. Returns false when the worker is dead, the in-flight
+// budget is exhausted, or the write fails — the caller accounts the
+// batch as dropped.
+func (c *client) sendBatch(pairs []rbpc.Pair) bool {
+	conn := c.queryConn()
+	if conn == nil {
+		return false
+	}
+	seq := c.seq.Add(1)
+	ca := &call{kind: callBatch, t0: time.Now(), n: len(pairs)}
+	c.mu.Lock()
+	if c.inflight >= c.cfg.Inflight {
+		c.mu.Unlock()
+		return false
+	}
+	c.inflight++
+	c.pend[seq] = ca
+	c.mu.Unlock()
+
+	c.bmu.Lock()
+	c.batchBuf = grow(c.batchBuf, queryBatchSize(len(pairs)))
+	fillQueryBatch(c.batchBuf, pairs)
+	err := conn.WriteFrame(ftQueryBatch, 0, seq, c.batchBuf)
+	c.bmu.Unlock()
+	if err != nil {
+		c.take(seq) // remove before die so the batch is not also counted there
+		c.die(c.generation(), err)
+		return false
+	}
+	return true
+}
+
+// remoteQuery performs one synchronous single-pair query (optionally with
+// a probe edge) and decodes the full answer.
+func (c *client) remoteQuery(src, dst uint32, probe uint32, hasProbe bool) (Answer, error) {
+	c.bmu.Lock()
+	c.batchBuf = grow(c.batchBuf, 12)
+	putU32(c.batchBuf, 0, src)
+	putU32(c.batchBuf, 4, dst)
+	if hasProbe {
+		putU32(c.batchBuf, 8, probe)
+	} else {
+		putU32(c.batchBuf, 8, noEdge)
+	}
+	payload := append([]byte(nil), c.batchBuf[:12]...)
+	c.bmu.Unlock()
+	ca, err := c.rpc(c.queryConn(), ftQuery, 0, payload, ftAnswer)
+	if err != nil {
+		return Answer{}, err
+	}
+	return decodeAnswer(ca.payload, c.dec)
+}
+
+// burst broadcasts churn events. The ack is awaited asynchronously — the
+// pending entry resolves when the worker confirms, and only a write
+// failure (dead transport) surfaces here; ordering against the following
+// flush is the control connection's FIFO.
+func (c *client) burst(payload []byte) error {
+	conn := c.controlConn()
+	if conn == nil {
+		return fmt.Errorf("shardrpc: worker %d is down", c.idx)
+	}
+	seq := c.seq.Add(1)
+	ca := &call{kind: callRPC, done: make(chan struct{}), want: ftBurstAck}
+	c.mu.Lock()
+	c.pend[seq] = ca
+	c.mu.Unlock()
+	go func() {
+		select {
+		case <-ca.done:
+		case <-time.After(c.cfg.AckTimeout * time.Duration(c.cfg.Retries+1)):
+			if c.take(seq) != nil {
+				c.die(c.generation(), fmt.Errorf("shardrpc: worker %d never acked burst", c.idx))
+			}
+		}
+	}()
+	if err := conn.WriteFrame(ftBurst, 0, seq, payload); err != nil {
+		c.die(c.generation(), err)
+		return err
+	}
+	return nil
+}
+
+// flush runs the barrier RPC and returns the worker's post-barrier epoch.
+func (c *client) flush() (uint64, error) {
+	ca, err := c.rpc(c.controlConn(), ftFlush, 0, nil, ftFlushAck)
+	if err != nil {
+		return 0, err
+	}
+	if len(ca.payload) != 8 {
+		return 0, fmt.Errorf("shardrpc: worker %d flush ack is %d bytes", c.idx, len(ca.payload))
+	}
+	return getU64(ca.payload, 0), nil
+}
+
+func (c *client) drain() error {
+	_, err := c.rpc(c.controlConn(), ftDrain, 0, nil, ftDrainAck)
+	return err
+}
+
+func (c *client) stats() (engine.Stats, error) {
+	ca, err := c.rpc(c.controlConn(), ftStats, 0, nil, ftStatsAck)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	return decodeStats(ca.payload)
+}
+
+func (c *client) ping() error {
+	_, err := c.rpc(c.controlConn(), ftPing, 0, nil, ftPong)
+	return err
+}
+
+// close tears the client down (used at coordinator shutdown; not a
+// worker death).
+func (c *client) close() {
+	c.die(c.generation(), fmt.Errorf("shardrpc: coordinator closed"))
+}

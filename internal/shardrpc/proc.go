@@ -1,0 +1,589 @@
+package shardrpc
+
+import (
+	"fmt"
+	"maps"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/engine/metrics"
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/shard"
+)
+
+// Coordinator is the process-mode front: the same serving surface as
+// shard.Coordinator (queries, batches, bursts, flush, views, stats),
+// served by remote workers over the wire instead of in-process engines.
+// It holds the full provision's canonical matrix (SnapDecoder) — so it
+// can route cold pairs and answer for crashed workers without any worker
+// round trip — plus the failed-set model it replays to replacement
+// workers on reattach.
+type Coordinator struct {
+	g    *graph.Graph
+	ring *shard.Ring
+	cfg  Config
+	dec  *engine.SnapDecoder
+	w    []*client
+	cold *shard.ColdTier
+	met  queryMetrics
+	// restore is the coordinator-side time-to-restore histogram (the
+	// prober records here; workers never see restoration samples).
+	restore metrics.Histogram
+	// pairIndex answers AffectedPairs from the full provision — the same
+	// index every engine builds for its slice, built once over the union.
+	pairIndex *graph.PairIndex
+
+	mu sync.Mutex
+	// model is the coordinator's own failed-set bookkeeping: the source
+	// of truth for resyncing replacement workers and for detached
+	// snapshots while a worker is down.
+	model map[graph.EdgeID]bool //rbpc:guardedby mu
+	// burstBuf is the reused burst encode buffer.
+	burstBuf []byte          //rbpc:guardedby mu
+	evsBuf   []failure.Event //rbpc:guardedby mu
+	// detached caches the canonical-only snapshot for the current model
+	// failed-set, rebuilt on churn — crash diversion and cold queries hit
+	// this instead of recomputing a failure view per query.
+	detached atomic.Pointer[engine.Snapshot]
+	epoch    atomic.Uint64 // coordinator's model epoch (bursts applied)
+
+	// buckets is the reused SubmitBatch partition.
+	buckets [][]rbpc.Pair //rbpc:guardedby bmu
+	bmu     sync.Mutex
+
+	closed atomic.Bool
+	health chan struct{}
+}
+
+// NewCoordinator builds the process-mode coordinator and attaches every
+// worker through cfg.Dial. The workers must already be listening; a
+// worker that cannot be attached within the dial budget fails
+// construction (post-construction crashes are survived, construction
+// requires a whole deployment).
+func NewCoordinator(p rbpc.Provision, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shardrpc: config needs Shards >= 1, got %d", cfg.Shards)
+	}
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("shardrpc: config needs a Dialer")
+	}
+	ring, err := shard.NewRing(cfg.Shards, cfg.VNodes, cfg.RingSeed)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := engine.NewSnapDecoder(p)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		g:       p.Graph,
+		ring:    ring,
+		cfg:     cfg,
+		dec:     dec,
+		w:       make([]*client, cfg.Shards),
+		model:   make(map[graph.EdgeID]bool),
+		buckets: make([][]rbpc.Pair, cfg.Shards),
+		health:  make(chan struct{}),
+	}
+	c.pairIndex = buildPairIndex(p)
+	c.detached.Store(dec.Detached(nil, 0))
+	c.cold = shard.NewColdTier(p.Graph, p.Base, maps.Clone(p.LSPs), cfg.Cold, cfg.Engine.OnResult)
+
+	for i := 0; i < cfg.Shards; i++ {
+		c.w[i] = newClient(i, cfg, dec, &c.met, c.replicaTap)
+		if err := c.attachWithin(i, cfg.DialBudget); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	if cfg.HealthEvery > 0 {
+		go c.healthLoop()
+	}
+	return c, nil
+}
+
+// buildPairIndex replicates the engine's static failed-link → affected
+// pairs index over the full provision (each worker only indexes its own
+// slice; the deployment view needs the union).
+func buildPairIndex(p rbpc.Provision) *graph.PairIndex {
+	lists := make(map[graph.EdgeID][]graph.NodePair)
+	for pr, lsp := range p.Primaries {
+		for _, ed := range lsp.Path.Edges {
+			lists[ed] = append(lists[ed], graph.NodePair{Src: pr.Src, Dst: pr.Dst})
+		}
+	}
+	for _, prs := range lists {
+		sort.Slice(prs, func(i, j int) bool {
+			if prs[i].Src != prs[j].Src {
+				return prs[i].Src < prs[j].Src
+			}
+			return prs[i].Dst < prs[j].Dst
+		})
+	}
+	return graph.BuildPairIndex(p.Graph.Size(), lists)
+}
+
+// replicaTap feeds decoded replica snapshots to the configured observer.
+func (c *Coordinator) replicaTap(worker int, snap *engine.Snapshot) {
+	if c.cfg.OnEpoch != nil {
+		c.cfg.OnEpoch(worker, snap)
+	}
+}
+
+// attachWithin dials and attaches worker i, retrying inside the budget.
+func (c *Coordinator) attachWithin(i int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		err := c.w[i].attach(c.cfg.Shards, c.cfg.VNodes, c.cfg.RingSeed, c.g.Order(), c.g.Size())
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shardrpc: worker %d: attach budget exhausted: %w", i, err)
+		}
+		time.Sleep(c.cfg.DialTimeout / 4)
+	}
+}
+
+// healthLoop pings every worker on the configured cadence; a failed ping
+// runs the full timeout/retry ladder inside rpc and marks the worker
+// dead, which is what diverts its sources to the cold tier.
+func (c *Coordinator) healthLoop() {
+	t := time.NewTicker(c.cfg.HealthEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.health:
+			return
+		case <-t.C:
+			for _, cl := range c.w {
+				if cl.alive.Load() {
+					go cl.ping()
+				}
+			}
+		}
+	}
+}
+
+// Ring returns the routing ring.
+func (c *Coordinator) Ring() *shard.Ring { return c.ring }
+
+// Shards returns the worker count.
+func (c *Coordinator) Shards() int { return len(c.w) }
+
+// Owner returns the index of the worker owning src's row.
+func (c *Coordinator) Owner(src graph.NodeID) int { return c.ring.Owner(src) }
+
+// Alive reports whether worker i currently has a live transport.
+func (c *Coordinator) Alive(i int) bool { return c.w[i].alive.Load() }
+
+// LinksDown reports how many links the coordinator model currently holds
+// failed (the serving loop's churn-balance observable).
+func (c *Coordinator) LinksDown() int { return len(c.detached.Load().Failed()) }
+
+// Replica returns worker i's latest decoded snapshot (nil before first
+// attach).
+func (c *Coordinator) Replica(i int) *engine.Snapshot { return c.w[i].replica.Load() }
+
+// Torn sums the torn frames every live connection has dropped — the
+// observable the torn-frame chaos fault asserts on.
+func (c *Coordinator) Torn() int64 {
+	var n int64
+	for _, cl := range c.w {
+		n += cl.torn.Load()
+	}
+	return n
+}
+
+// Fail broadcasts a link failure to every live worker and folds it into
+// the coordinator model.
+func (c *Coordinator) Fail(ed graph.EdgeID) { c.apply(failure.Event{Edge: ed}) }
+
+// Repair broadcasts a link repair.
+func (c *Coordinator) Repair(ed graph.EdgeID) { c.apply(failure.Event{Repair: true, Edge: ed}) }
+
+func (c *Coordinator) apply(ev failure.Event) {
+	c.mu.Lock()
+	c.evsBuf = append(c.evsBuf[:0], ev)
+	c.broadcastLocked(c.evsBuf)
+	c.mu.Unlock()
+}
+
+// ApplyEvents broadcasts a whole churn burst in one frame per worker.
+func (c *Coordinator) ApplyEvents(evs []failure.Event) {
+	if len(evs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.broadcastLocked(evs)
+	c.mu.Unlock()
+}
+
+// broadcastLocked updates the model, refreshes the detached snapshot,
+// and ships the burst. Callers hold c.mu.
+//
+//rbpc:locked
+func (c *Coordinator) broadcastLocked(evs []failure.Event) {
+	for _, ev := range evs {
+		if ev.Repair {
+			delete(c.model, ev.Edge)
+		} else {
+			c.model[ev.Edge] = true
+		}
+	}
+	ep := c.epoch.Add(1)
+	c.detached.Store(c.dec.Detached(c.modelFailedLocked(), ep))
+	c.burstBuf = appendBurst(c.burstBuf[:0], evs)
+	for _, cl := range c.w {
+		if cl.alive.Load() {
+			cl.burst(c.burstBuf)
+		}
+	}
+}
+
+// modelFailedLocked snapshots the model failed-set, sorted ascending.
+// Callers hold c.mu.
+//
+//rbpc:locked
+func (c *Coordinator) modelFailedLocked() []graph.EdgeID {
+	if len(c.model) == 0 {
+		return nil
+	}
+	out := make([]graph.EdgeID, 0, len(c.model))
+	for e := range c.model {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Flush is the cross-process barrier: every live worker runs its engine
+// flush and acks with its post-barrier epoch; because each worker's
+// snapshot frames precede its flush ack on the same connection, returning
+// from Flush means every live replica reflects every event sent before
+// the call.
+func (c *Coordinator) Flush() {
+	for _, cl := range c.w {
+		if cl.alive.Load() {
+			cl.flush()
+		}
+	}
+}
+
+// Query answers synchronously. Materialized sources of live workers take
+// a batch-free single-query round trip; cold sources and crashed
+// workers' sources go through the admission-controlled cold tier against
+// the coordinator's detached snapshot of the current failed-set.
+func (c *Coordinator) Query(src, dst graph.NodeID) engine.Result {
+	owner := c.ring.Owner(src)
+	cl := c.w[owner]
+	if !c.dec.Materialized(src) || !cl.alive.Load() {
+		return c.cold.Query(src, dst, c.detached.Load())
+	}
+	t0 := time.Now()
+	ans, err := cl.remoteQuery(uint32(src), uint32(dst), 0, false)
+	key := uint64(owner)
+	if err != nil {
+		// The worker died mid-query: divert this one to the cold tier.
+		return c.cold.Query(src, dst, c.detached.Load())
+	}
+	c.met.queries.Add(key, 1)
+	c.met.latency.Record(key, time.Since(t0))
+	if ans.Route == nil {
+		c.met.unroutable.Add(key, 1)
+		return engine.Result{Src: src, Dst: dst, Snap: c.snapFor(owner, ans)}
+	}
+	return engine.Result{Src: src, Dst: dst, Route: ans.Route, Snap: c.snapFor(owner, ans)}
+}
+
+// snapFor resolves the snapshot to attach to a query result: the decoded
+// replica when it matches the answering epoch, else a detached snapshot
+// of the answer's failed-set (the replica frame may still be in flight).
+func (c *Coordinator) snapFor(owner int, ans Answer) *engine.Snapshot {
+	if rep := c.w[owner].replica.Load(); rep != nil && rep.Epoch() == ans.Epoch {
+		return rep
+	}
+	return c.dec.Detached(ans.Failed, ans.Epoch)
+}
+
+// ProbeQuery asks the owning worker for the full restoration verdict of
+// one pair under one probe edge: whether the answering epoch knew the
+// failure, whether the pair is routable, and whether the worker's own
+// data-plane walk delivered. While the owner is down the cold tier
+// answers, and delivery equals routability — the control-plane answer is
+// restoration; the data plane died with the worker process.
+func (c *Coordinator) ProbeQuery(src, dst graph.NodeID, ed graph.EdgeID) ProbeVerdict {
+	owner := c.ring.Owner(src)
+	cl := c.w[owner]
+	if !c.dec.Materialized(src) || !cl.alive.Load() {
+		snap := c.detached.Load()
+		res := c.cold.Query(src, dst, snap)
+		contains := false
+		for _, f := range snap.Failed() {
+			if f == ed {
+				contains = true
+				break
+			}
+		}
+		return ProbeVerdict{
+			FailedContains: contains,
+			Routable:       res.Route != nil,
+			Delivered:      res.Route != nil,
+		}
+	}
+	ans, err := cl.remoteQuery(uint32(src), uint32(dst), uint32(ed), true)
+	if err != nil {
+		return ProbeVerdict{}
+	}
+	return ProbeVerdict{
+		FailedContains: ans.FailedContains,
+		Routable:       ans.Routable,
+		Delivered:      ans.Delivered,
+	}
+}
+
+// ProbeVerdict is the prober-facing answer of ProbeQuery (see
+// probe.RestoreVia).
+type ProbeVerdict struct {
+	FailedContains bool
+	Routable       bool
+	Delivered      bool
+}
+
+// RemoteQuery exposes the raw single-query RPC — the chaos lockstep
+// oracle checks the full wire answer (epoch, failed-set, route) rather
+// than the Result wrapper.
+func (c *Coordinator) RemoteQuery(src, dst graph.NodeID) (Answer, error) {
+	return c.w[c.ring.Owner(src)].remoteQuery(uint32(src), uint32(dst), 0, false)
+}
+
+// SubmitBatch partitions the batch by ring ownership and ships one frame
+// per owning worker; cold pairs and dead workers' pairs divert to the
+// cold tier per pair. Returns the number of queries accepted (a worker's
+// sub-batch is accepted or shed as a unit by the in-flight budget).
+func (c *Coordinator) SubmitBatch(pairs []rbpc.Pair) int {
+	if len(pairs) == 0 {
+		return 0
+	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	for i := range c.buckets {
+		c.buckets[i] = c.buckets[i][:0]
+	}
+	accepted := 0
+	detached := c.detached.Load()
+	for _, pr := range pairs {
+		w := c.ring.Owner(pr.Src)
+		if !c.dec.Materialized(pr.Src) || !c.w[w].alive.Load() {
+			if c.cold.Submit(pr.Src, pr.Dst, detached) {
+				accepted++
+			}
+			continue
+		}
+		c.buckets[w] = append(c.buckets[w], pr)
+	}
+	for i, b := range c.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if c.w[i].sendBatch(b) {
+			accepted += len(b)
+		} else {
+			c.met.dropped.Add(uint64(i), int64(len(b)))
+		}
+	}
+	return accepted
+}
+
+// Submit enqueues one async query (the single-pair convenience over
+// SubmitBatch's machinery).
+func (c *Coordinator) Submit(src, dst graph.NodeID) bool {
+	w := c.ring.Owner(src)
+	if !c.dec.Materialized(src) || !c.w[w].alive.Load() {
+		return c.cold.Submit(src, dst, c.detached.Load())
+	}
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	c.buckets[w] = append(c.buckets[w][:0], rbpc.Pair{Src: src, Dst: dst})
+	if c.w[w].sendBatch(c.buckets[w]) {
+		return true
+	}
+	c.met.dropped.Add(uint64(w), 1)
+	return false
+}
+
+// AffectedPairs answers from the coordinator's full-provision index.
+func (c *Coordinator) AffectedPairs(ed graph.EdgeID) []graph.NodePair {
+	return c.pairIndex.Pairs(ed)
+}
+
+// RecordRestore records one observed time-to-restore coordinator-side.
+func (c *Coordinator) RecordRestore(src graph.NodeID, d time.Duration) {
+	c.restore.Record(uint64(c.ring.Owner(src)), d)
+}
+
+// Watermark returns the low epoch watermark across live replicas.
+func (c *Coordinator) Watermark() uint64 {
+	var low uint64
+	set := false
+	for _, cl := range c.w {
+		rep := cl.replica.Load()
+		if rep == nil {
+			return 0
+		}
+		if !set || rep.Epoch() < low {
+			low, set = rep.Epoch(), true
+		}
+	}
+	return low
+}
+
+// View assembles a consistent cross-shard view from the decoded
+// replicas, with the same un-torn discipline as the in-process
+// coordinator: all replicas must agree on the failed-set, retried while
+// snapshot frames land, ok=false if agreement never arrives (a dead
+// worker, or the torn-frame fault's silently-diverged replica).
+func (c *Coordinator) View() (shard.View, bool) {
+	const retries = 128
+	snaps := make([]*engine.Snapshot, len(c.w))
+	for attempt := 0; attempt < retries; attempt++ {
+		ok := true
+		for i, cl := range c.w {
+			snaps[i] = cl.replica.Load()
+			ok = ok && snaps[i] != nil && cl.alive.Load()
+		}
+		if ok && replicasAgree(snaps) {
+			return shard.NewView(c.ring, snaps), true
+		}
+		runtime.Gosched()
+	}
+	return shard.NewView(c.ring, snaps), false
+}
+
+func replicasAgree(snaps []*engine.Snapshot) bool {
+	first := snaps[0].Failed()
+	for _, s := range snaps[1:] {
+		f := s.Failed()
+		if len(f) != len(first) {
+			return false
+		}
+		for i := range f {
+			if f[i] != first[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Reattach dials a replacement for worker i (the supervisor calls this
+// after respawning the process) and resyncs it: a fresh worker is
+// pristine, so the coordinator replays its entire model failed-set as
+// one burst and flushes, after which the worker serves current epochs
+// and its sources leave the cold tier.
+func (c *Coordinator) Reattach(i int) error {
+	if err := c.attachWithin(i, c.cfg.DialBudget); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	failed := c.modelFailedLocked()
+	c.mu.Unlock()
+	if len(failed) > 0 {
+		evs := make([]failure.Event, len(failed))
+		for j, ed := range failed {
+			evs[j] = failure.Event{Edge: ed}
+		}
+		buf := appendBurst(nil, evs)
+		if err := c.w[i].burst(buf); err != nil {
+			return err
+		}
+	}
+	if _, err := c.w[i].flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Drain blocks until every query submitted before the call has been
+// answered or the submitting worker has died (its pending batches are
+// accounted dropped by the death path).
+func (c *Coordinator) Drain() {
+	for _, cl := range c.w {
+		if cl.alive.Load() {
+			cl.drain()
+		}
+	}
+	c.drainAnswers()
+	c.cold.Drain()
+}
+
+// drainAnswers waits for in-flight answer batches to settle (the worker
+// has served them — drain acked — but the frames may still be crossing).
+func (c *Coordinator) drainAnswers() {
+	deadline := time.Now().Add(c.cfg.AckTimeout)
+	for time.Now().Before(deadline) {
+		busy := false
+		for _, cl := range c.w {
+			cl.mu.Lock()
+			busy = busy || cl.inflight > 0
+			cl.mu.Unlock()
+		}
+		if !busy {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Close tears down every worker connection and the cold tier. Worker
+// processes are owned by the supervisor (the serve command), not the
+// coordinator.
+func (c *Coordinator) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	close(c.health)
+	for _, cl := range c.w {
+		if cl != nil {
+			cl.close()
+		}
+	}
+	if c.cold != nil {
+		c.cold.Close()
+	}
+}
+
+// Stats scrapes every live worker's engine stats over the wire, merges
+// them exactly like the in-process coordinator, then overlays the
+// coordinator-side serving counters (queries are counted where answers
+// land, and latency includes the transport — the honest process-mode
+// number). Dead workers contribute zeros.
+func (c *Coordinator) Stats() shard.Stats {
+	perShard := make([]engine.Stats, len(c.w))
+	for i, cl := range c.w {
+		if !cl.alive.Load() {
+			continue
+		}
+		if st, err := cl.stats(); err == nil {
+			perShard[i] = st
+		}
+	}
+	st := shard.MergeStats(perShard, c.Watermark(), c.cold.Stats())
+	st.Queries += c.met.queries.Load()
+	st.Unroutable += c.met.unroutable.Load()
+	st.Dropped += c.met.dropped.Load()
+	if s := c.met.latency.Summarize(); s.Count > 0 {
+		st.QueryLatency = s
+	}
+	if s := c.restore.Summarize(); s.Count > 0 {
+		st.Restore = s
+	}
+	return st
+}

@@ -1,0 +1,453 @@
+package shardrpc
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/shard"
+	"rbpc/internal/topology"
+)
+
+// pipeFarm runs a full worker fleet in-process over net.Pipe — the same
+// transport the chaos harness drives. Dial hands the coordinator one end
+// and serves the other on a fresh goroutine, exactly like a socket
+// accept loop would.
+type pipeFarm struct {
+	workers []*Worker
+	mu      sync.Mutex
+	dead    map[int]bool
+}
+
+func newPipeFarm(t testing.TB, p rbpc.Provision, cfg Config) *pipeFarm {
+	t.Helper()
+	f := &pipeFarm{workers: make([]*Worker, cfg.Shards), dead: make(map[int]bool)}
+	for i := 0; i < cfg.Shards; i++ {
+		w, err := NewWorker(p, i, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.workers[i] = w
+		t.Cleanup(w.Close)
+	}
+	return f
+}
+
+func (f *pipeFarm) dial(i int) (net.Conn, error) {
+	f.mu.Lock()
+	dead := f.dead[i]
+	w := f.workers[i]
+	f.mu.Unlock()
+	if dead {
+		return nil, net.ErrClosed
+	}
+	cc, wc := net.Pipe()
+	go w.ServeConn(wc)
+	return cc, nil
+}
+
+// kill simulates a worker-process crash: new dials are refused and the
+// live control pipe is severed, which the coordinator's reader observes
+// as an immediate connection death.
+func (f *pipeFarm) kill(i int) {
+	f.mu.Lock()
+	f.dead[i] = true
+	w := f.workers[i]
+	f.mu.Unlock()
+	if c := w.control.Load(); c != nil {
+		c.Close()
+	}
+}
+
+func (f *pipeFarm) revive(i int) {
+	f.mu.Lock()
+	f.dead[i] = false
+	f.mu.Unlock()
+}
+
+func testConfig(f *pipeFarm, shards int) Config {
+	return Config{
+		Shards:      shards,
+		Dial:        f.dial,
+		AckTimeout:  2 * time.Second,
+		DialTimeout: 100 * time.Millisecond,
+		DialBudget:  2 * time.Second,
+		HealthEvery: -1, // deterministic tests drive liveness themselves
+	}
+}
+
+func buildProvision(t testing.TB, n int, seed int64) rbpc.Provision {
+	t.Helper()
+	g := topology.Waxman(n, 0.8, 0.5, seed)
+	sys, err := rbpc.NewSystem(g, rbpc.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.Export()
+}
+
+// TestProcMatchesInProcess drives the process-mode coordinator and an
+// in-process shard.Coordinator through identical churn and asserts
+// bit-identical serving: every pair's routability, cost bits, and
+// component paths agree after every flush, and the merged views agree on
+// the failed-set.
+func TestProcMatchesInProcess(t *testing.T) {
+	const shards = 3
+	p := buildProvision(t, 16, 11)
+	farm := newPipeFarm(t, p, Config{Shards: shards})
+	cfg := testConfig(farm, shards)
+	proc, err := NewCoordinator(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Close()
+	ref, err := shard.New(p, shard.Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	n := p.Graph.Order()
+	check := func(tag string) {
+		t.Helper()
+		pv, ok := proc.View()
+		if !ok {
+			t.Fatalf("%s: process view torn", tag)
+		}
+		rv, ok := ref.View()
+		if !ok {
+			t.Fatalf("%s: reference view torn", tag)
+		}
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				src, dst := graph.NodeID(s), graph.NodeID(d)
+				w, g := rv.Route(src, dst), pv.Route(src, dst)
+				if (w == nil) != (g == nil) {
+					t.Fatalf("%s: pair %d->%d routable %v, process %v", tag, s, d, w != nil, g != nil)
+				}
+				if w == nil {
+					continue
+				}
+				if math.Float64bits(w.Cost) != math.Float64bits(g.Cost) {
+					t.Fatalf("%s: pair %d->%d cost bits diverge", tag, s, d)
+				}
+				if len(w.LSPs) != len(g.LSPs) {
+					t.Fatalf("%s: pair %d->%d component count %d vs %d", tag, s, d, len(w.LSPs), len(g.LSPs))
+				}
+				for i := range w.LSPs {
+					if !w.LSPs[i].Path.Equal(g.LSPs[i].Path) {
+						t.Fatalf("%s: pair %d->%d component %d diverges", tag, s, d, i)
+					}
+				}
+			}
+		}
+	}
+
+	check("pristine")
+	churn := []struct {
+		repair bool
+		edge   graph.EdgeID
+	}{
+		{false, 2}, {false, 7}, {true, 2}, {false, 11}, {false, 3}, {true, 7}, {true, 11},
+	}
+	for _, ev := range churn {
+		if ev.repair {
+			proc.Repair(ev.edge)
+			ref.Repair(ev.edge)
+		} else {
+			proc.Fail(ev.edge)
+			ref.Fail(ev.edge)
+		}
+		proc.Flush()
+		ref.Flush()
+		check("churn")
+	}
+
+	// Synchronous single queries agree with the view too (and carry the
+	// answering epoch + failed-set on the wire).
+	for s := 0; s < n; s++ {
+		src := graph.NodeID(s)
+		if !proc.dec.Materialized(src) {
+			continue
+		}
+		dst := graph.NodeID((s + 1) % n)
+		if src == dst {
+			continue
+		}
+		ans, err := proc.RemoteQuery(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Query(src, dst)
+		if (want.Route == nil) != (ans.Route == nil) {
+			t.Fatalf("remote query %d->%d routable mismatch", src, dst)
+		}
+		if want.Route != nil &&
+			math.Float64bits(want.Route.Cost) != math.Float64bits(ans.Route.Cost) {
+			t.Fatalf("remote query %d->%d cost bits mismatch", src, dst)
+		}
+	}
+}
+
+// TestProcSubmitBatchAndStats pushes async batches through the wire and
+// checks the merged stats account them: accepted queries settle into
+// Queries (+ Unroutable consistency) after Drain.
+func TestProcSubmitBatchAndStats(t *testing.T) {
+	const shards = 2
+	p := buildProvision(t, 12, 3)
+	farm := newPipeFarm(t, p, Config{Shards: shards})
+	proc, err := NewCoordinator(p, testConfig(farm, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Close()
+
+	n := p.Graph.Order()
+	var pairs []rbpc.Pair
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				pairs = append(pairs, rbpc.Pair{Src: graph.NodeID(s), Dst: graph.NodeID(d)})
+			}
+		}
+	}
+	accepted := proc.SubmitBatch(pairs)
+	if accepted == 0 {
+		t.Fatal("no queries accepted")
+	}
+	proc.Drain()
+	st := proc.Stats()
+	if st.Queries < int64(accepted) {
+		t.Fatalf("stats count %d queries, %d were accepted", st.Queries, accepted)
+	}
+	if st.Shards != shards {
+		t.Fatalf("stats report %d shards", st.Shards)
+	}
+	if st.QueryLatency.Count < int64(accepted) {
+		t.Fatalf("latency histogram holds %d samples, %d queries were accepted", st.QueryLatency.Count, accepted)
+	}
+}
+
+// TestProcWorkerCrashDivertsAndReattaches kills one worker, proves its
+// sources keep answering through the cold tier (routable pairs stay
+// routable, with the current failed-set honored), then reattaches a
+// replacement and proves full bit-identical service resumes, including
+// the replayed failed-set.
+func TestProcWorkerCrashDivertsAndReattaches(t *testing.T) {
+	const shards = 2
+	p := buildProvision(t, 14, 21)
+	farm := newPipeFarm(t, p, Config{Shards: shards})
+	cfg := testConfig(farm, shards)
+	cfg.AckTimeout = 200 * time.Millisecond
+	cfg.Retries = 1
+	proc, err := NewCoordinator(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Close()
+
+	ed := graph.EdgeID(5)
+	proc.Fail(ed)
+	proc.Flush()
+
+	const victim = 0
+	farm.kill(victim)
+	// The severed control pipe kills the reader immediately.
+	deadline := time.Now().Add(2 * time.Second)
+	for proc.Alive(victim) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if proc.Alive(victim) {
+		t.Fatal("worker never marked dead after its control connection died")
+	}
+	if _, ok := proc.View(); ok {
+		t.Fatal("view claims consistency with a dead worker")
+	}
+
+	// Victim-owned sources divert to the cold tier and still answer under
+	// the current failed-set.
+	n := p.Graph.Order()
+	served := 0
+	for s := 0; s < n && served < 4; s++ {
+		src := graph.NodeID(s)
+		if proc.ring.Owner(src) != victim || !proc.dec.Materialized(src) {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			if d == s {
+				continue
+			}
+			res := proc.Query(src, graph.NodeID(d))
+			if res.Route != nil {
+				served++
+				if len(res.Snap.Failed()) != 1 || res.Snap.Failed()[0] != ed {
+					t.Fatalf("cold answer served under failed-set %v, want [%d]", res.Snap.Failed(), ed)
+				}
+				break
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no victim-owned pair answered through the cold tier")
+	}
+	if st := proc.Stats(); st.Cold.Queries == 0 {
+		t.Fatal("cold tier shows no diverted queries")
+	}
+
+	// Replacement attaches: fresh worker, failed-set replayed, full
+	// service resumes bit-identically to an in-process reference.
+	farm.revive(victim)
+	if err := proc.Reattach(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !proc.Alive(victim) {
+		t.Fatal("worker not alive after reattach")
+	}
+	pv, ok := proc.View()
+	if !ok {
+		t.Fatal("view torn after reattach")
+	}
+	if f := pv.Shard(victim).Failed(); len(f) != 1 || f[0] != ed {
+		t.Fatalf("reattached worker serves failed-set %v, want [%d]", f, ed)
+	}
+	ref, err := shard.New(p, shard.Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	ref.Fail(ed)
+	ref.Flush()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			src, dst := graph.NodeID(s), graph.NodeID(d)
+			w, g := ref.Query(src, dst).Route, pv.Route(src, dst)
+			if w == nil && g == nil {
+				continue
+			}
+			// Cold-tier reference answers have no view entry; compare only
+			// materialized rows.
+			if !proc.dec.Materialized(src) {
+				continue
+			}
+			if (w == nil) != (g == nil) ||
+				(w != nil && math.Float64bits(w.Cost) != math.Float64bits(g.Cost)) {
+				t.Fatalf("pair %d->%d diverges after reattach", s, d)
+			}
+		}
+	}
+}
+
+// TestProcTornFrameCaught arms the torn-frame fault and proves the
+// transport detects and drops the corrupted burst (torn counter), the
+// victim worker silently misses the event, and the coordinator's view
+// refuses to merge the diverged replicas.
+func TestProcTornFrameCaught(t *testing.T) {
+	const shards = 2
+	p := buildProvision(t, 12, 9)
+	farm := newPipeFarm(t, p, Config{Shards: shards})
+	cfg := testConfig(farm, shards)
+	cfg.Fault = FaultTornFrame
+	proc, err := NewCoordinator(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Close()
+
+	proc.Fail(3)
+	proc.Flush()
+
+	if _, ok := proc.View(); ok {
+		t.Fatal("view merged despite a torn burst frame")
+	}
+	rep := proc.Replica(0)
+	if len(rep.Failed()) != 0 {
+		t.Fatalf("worker 0 replica knows failed-set %v despite torn burst", rep.Failed())
+	}
+	if rep := proc.Replica(1); len(rep.Failed()) != 1 {
+		t.Fatalf("worker 1 replica failed-set %v, want one edge", rep.Failed())
+	}
+	tornTotal := int64(0)
+	for _, w := range farm.workers {
+		if c := w.control.Load(); c != nil {
+			tornTotal += c.Torn()
+		}
+	}
+	if tornTotal != 1 {
+		t.Fatalf("worker side dropped %d torn frames, want exactly 1", tornTotal)
+	}
+}
+
+// TestProcContractMismatchRejected proves the hello handshake refuses a
+// worker built against a different ring.
+func TestProcContractMismatchRejected(t *testing.T) {
+	p := buildProvision(t, 10, 4)
+	wrong, err := NewWorker(p, 0, Config{Shards: 2, VNodes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrong.Close()
+	dial := func(int) (net.Conn, error) {
+		cc, wc := net.Pipe()
+		go wrong.ServeConn(wc)
+		return cc, nil
+	}
+	_, err = NewCoordinator(p, Config{
+		Shards: 2, Dial: dial,
+		DialTimeout: 50 * time.Millisecond, DialBudget: 200 * time.Millisecond,
+		HealthEvery: -1,
+	})
+	if err == nil {
+		t.Fatal("coordinator accepted a worker with a different vnode count")
+	}
+}
+
+// TestProcFlushBarrierOrdersReplicas hammers the burst→flush→view cycle:
+// after every flush the merged view must reflect exactly the events sent
+// before it (snapshot frames precede flush acks on the control
+// connection).
+func TestProcFlushBarrierOrdersReplicas(t *testing.T) {
+	const shards = 3
+	p := buildProvision(t, 12, 6)
+	farm := newPipeFarm(t, p, Config{Shards: shards})
+	proc, err := NewCoordinator(p, testConfig(farm, shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proc.Close()
+
+	model := map[graph.EdgeID]bool{}
+	edges := []graph.EdgeID{1, 4, 9, 4, 1, 2, 9, 2}
+	for _, ed := range edges {
+		if model[ed] {
+			proc.Repair(ed)
+			delete(model, ed)
+		} else {
+			proc.Fail(ed)
+			model[ed] = true
+		}
+		proc.Flush()
+		v, ok := proc.View()
+		if !ok {
+			t.Fatal("torn view immediately after flush")
+		}
+		got := v.Shard(0).Failed()
+		if len(got) != len(model) {
+			t.Fatalf("view failed-set %v, model has %d edges", got, len(model))
+		}
+		for _, e := range got {
+			if !model[e] {
+				t.Fatalf("view failed-set %v contains %d not in model", got, e)
+			}
+		}
+	}
+}

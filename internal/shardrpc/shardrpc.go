@@ -1,0 +1,167 @@
+// Package shardrpc moves the shard coordinator's workers out of process:
+// the same consistent-hash partition internal/shard serves from one
+// address space, served by N worker processes over a length-prefixed
+// binary protocol on Unix domain sockets. The ring, the slice each worker
+// owns (shard.SliceProvision), and the delta-row engines are byte-for-byte
+// the ones the in-process coordinator builds — the transport only carries
+// the traffic between them, so a process-mode deployment answers
+// bit-identically to `-shards N` (the chaos lockstep oracle proves it over
+// a pipe transport).
+//
+// Wire shape. Every frame is a fixed 20-byte header (magic, payload
+// length, sequence, type, flags, FNV-1a payload checksum) followed by the
+// payload, all little-endian, hand-rolled — no reflection, no JSON, and
+// reused buffers on both ends. The hot frames (query batches out, answer
+// batches back) encode and decode through fixed-offset //rbpc:hotpath
+// functions: zero allocations per query in the steady state, verified by
+// allocprove. Cold frames (bursts, snapshots, stats) take the ordinary
+// append path.
+//
+// Traffic. Fail/repair bursts broadcast to every worker on its control
+// connection; workers push each published epoch back as an overlay-only
+// snapshot frame (engine.Snapshot.AppendWire — the canonical forest is
+// rebuilt once per process from the topology and never shipped), so the
+// coordinator's View() merges decoded replicas exactly the way the
+// in-process coordinator merges atomic snapshot pointers, still refusing
+// torn (disagreeing) epochs. Flush is an explicit barrier frame: the
+// worker's engine taps OnEpoch on its writer goroutine, writing the
+// snapshot frame on the control connection before the flush ack, so a
+// flush ack guarantees the coordinator's replica is current. Query
+// batches fan out one frame per owning worker per batch and answers
+// demultiplex by sequence number over per-worker connection pools.
+//
+// Failure. Per-worker health checks, a configurable dial/ack timeout
+// with bounded retry, and crash diversion: while a worker is down its
+// sources are re-solved through the Corollary-4 cold tier against a
+// detached snapshot of the coordinator's failed-set model, until a
+// replacement process attaches and is resynced by replaying the current
+// failed-set as a burst.
+package shardrpc
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/shard"
+)
+
+// Fault selects a deliberate transport defect for the chaos harness.
+// Production uses FaultNone.
+type Fault int
+
+const (
+	// FaultNone is the correct transport.
+	FaultNone Fault = iota
+	// FaultTornFrame corrupts one burst frame on worker 0's control
+	// connection after the checksum is computed — the torn frame is
+	// dropped by the receiver, the worker silently misses churn, and its
+	// replica's failed-set disagrees at the next flush. The conformance
+	// oracle must catch the divergence.
+	FaultTornFrame
+)
+
+// String names the fault the way the chaos corpus spells it.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultTornFrame:
+		return "torn-frame"
+	}
+	return fmt.Sprintf("fault(%d)", int(f))
+}
+
+// Faults lists the injectable transport faults.
+func Faults() []Fault { return []Fault{FaultTornFrame} }
+
+// ParseFault resolves a fault name (as written by String).
+func ParseFault(name string) (Fault, error) {
+	switch name {
+	case "none", "":
+		return FaultNone, nil
+	case "torn-frame":
+		return FaultTornFrame, nil
+	}
+	return FaultNone, fmt.Errorf("shardrpc: unknown fault %q", name)
+}
+
+// Dialer opens a transport connection to one worker. The serve command
+// dials the worker's Unix socket; the chaos harness hands back one end of
+// a net.Pipe.
+type Dialer func(worker int) (net.Conn, error)
+
+// Config tunes the process-mode coordinator and its workers. Shards,
+// VNodes, and RingSeed are the routing contract — every process of a
+// deployment must agree, and the hello handshake rejects a worker built
+// against different parameters.
+type Config struct {
+	// Shards is the worker count (required, >= 1).
+	Shards int
+	// VNodes / RingSeed parameterize the consistent-hash ring (defaults
+	// shard.DefaultVNodes / shard.DefaultRingSeed).
+	VNodes   int
+	RingSeed uint64
+	// Engine is the per-worker engine template; DeltaRows is forced on
+	// (the snapshot wire format only ships overlays).
+	Engine engine.Config
+	// Cold tunes the coordinator-side on-demand tier, which answers both
+	// never-materialized sources and the sources of a crashed worker.
+	Cold shard.ColdConfig
+	// Dial opens a connection to a worker (required on the coordinator).
+	Dial Dialer
+	// DialTimeout bounds one dial attempt; DialBudget bounds the whole
+	// reattach loop for a replacement worker. Defaults 2s / 30s.
+	DialTimeout time.Duration
+	DialBudget  time.Duration
+	// AckTimeout bounds one RPC round trip; an RPC is retried up to
+	// Retries times before the worker is declared dead. Defaults 5s / 2.
+	AckTimeout time.Duration
+	Retries    int
+	// Conns is the query-connection pool size per worker, in addition to
+	// the control connection (default 2).
+	Conns int
+	// HealthEvery is the ping cadence per worker (default 1s; <0
+	// disables, which the deterministic chaos harness does).
+	HealthEvery time.Duration
+	// Inflight bounds un-acked query batches per worker; batches beyond
+	// it are shed at submit (counted dropped). Default 256.
+	Inflight int
+	// OnEpoch, when non-nil, observes every decoded replica snapshot in
+	// arrival order (the chaos flush oracle taps it).
+	OnEpoch func(worker int, snap *engine.Snapshot)
+	// Fault injects a transport defect (chaos harness only).
+	Fault Fault
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.VNodes == 0 {
+		cfg.VNodes = shard.DefaultVNodes
+	}
+	if cfg.RingSeed == 0 {
+		cfg.RingSeed = shard.DefaultRingSeed
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.DialBudget <= 0 {
+		cfg.DialBudget = 30 * time.Second
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 2
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 2
+	}
+	if cfg.HealthEvery == 0 {
+		cfg.HealthEvery = time.Second
+	}
+	if cfg.Inflight <= 0 {
+		cfg.Inflight = 256
+	}
+	return cfg
+}

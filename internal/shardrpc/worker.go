@@ -1,0 +1,291 @@
+package shardrpc
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/failure"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/shard"
+)
+
+// Worker serves one shard of the pair space out of its own process: the
+// same delta-row engine over the same shard.SliceProvision slice the
+// in-process coordinator would build, fronted by the wire protocol. One
+// control connection carries bursts, barriers, and stats, and returns
+// every published epoch as an overlay snapshot frame; query connections
+// serve batches straight off the engine's current snapshot, each on its
+// own goroutine (the pool the coordinator dials is the worker's
+// parallelism).
+type Worker struct {
+	idx int
+	g   *graph.Graph
+	eng *engine.Engine
+
+	// control is the connection the epoch tap pushes snapshot frames to;
+	// replaced on (re)attach.
+	control atomic.Pointer[Conn]
+	// snapMu serializes snapshot encoding: the tap runs on the engine's
+	// writer goroutine, the attach handshake on a connection goroutine,
+	// and both share snapBuf.
+	snapMu  sync.Mutex
+	snapBuf []byte //rbpc:guardedby snapMu
+
+	ringContract hello
+}
+
+// NewWorker builds the worker for shard idx of the deployment described
+// by cfg, slicing the full provision exactly the way shard.New does —
+// bit-identical engines are the whole point. The provision must be the
+// full export; the worker slices it itself so every process partitions
+// with the same ring.
+func NewWorker(p rbpc.Provision, idx int, cfg Config) (*Worker, error) {
+	cfg = cfg.withDefaults()
+	if idx < 0 || idx >= cfg.Shards {
+		return nil, fmt.Errorf("shardrpc: worker index %d outside %d shards", idx, cfg.Shards)
+	}
+	ring, err := shard.NewRing(cfg.Shards, cfg.VNodes, cfg.RingSeed)
+	if err != nil {
+		return nil, err
+	}
+	w := &Worker{
+		idx: idx,
+		g:   p.Graph,
+		ringContract: hello{
+			shard:    uint32(idx),
+			shards:   uint32(cfg.Shards),
+			vnodes:   uint32(cfg.VNodes),
+			ringSeed: cfg.RingSeed,
+			nodes:    uint32(p.Graph.Order()),
+			links:    uint32(p.Graph.Size()),
+		},
+	}
+
+	ecfg := cfg.Engine
+	ecfg.DeltaRows = true
+	userTap := cfg.Engine.OnEpoch
+	ecfg.OnEpoch = func(s *engine.Snapshot) {
+		w.pushSnapshot(s)
+		if userTap != nil {
+			userTap(s)
+		}
+	}
+	eng, err := engine.New(shard.SliceProvision(p, ring, idx), ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("shardrpc: worker %d engine: %w", idx, err)
+	}
+	w.eng = eng
+	return w, nil
+}
+
+// Engine exposes the worker's shard engine (tests and the chaos harness
+// inspect it).
+func (w *Worker) Engine() *engine.Engine { return w.eng }
+
+// Close stops the shard engine.
+func (w *Worker) Close() { w.eng.Close() }
+
+// pushSnapshot ships one published epoch to the coordinator as an
+// overlay frame. It runs synchronously on the engine's writer goroutine,
+// so on any one control connection snapshot frames precede the flush ack
+// of the barrier that observed them — the ordering View() leans on. A
+// write failure just drops the connection reference; the coordinator's
+// reader notices the death independently.
+func (w *Worker) pushSnapshot(s *engine.Snapshot) {
+	c := w.control.Load()
+	if c == nil {
+		return
+	}
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	buf, err := s.AppendWire(w.snapBuf[:0])
+	if err != nil {
+		return // dense-mode snapshots cannot happen here (DeltaRows forced)
+	}
+	w.snapBuf = buf
+	if err := c.WriteFrame(ftSnapshot, 0, 0, buf); err != nil {
+		w.control.CompareAndSwap(c, nil)
+	}
+}
+
+// Serve accepts connections until the listener closes. Each connection
+// self-identifies with an attach frame and is served on its own
+// goroutine.
+func (w *Worker) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go w.ServeConn(nc)
+	}
+}
+
+// ServeConn serves one coordinator connection to completion (its role is
+// declared by the first frame). The chaos harness calls this directly
+// with pipe ends.
+func (w *Worker) ServeConn(nc net.Conn) error {
+	c := NewConn(nc)
+	defer c.Close()
+	typ, role, _, _, err := c.ReadFrame()
+	if err != nil {
+		return err
+	}
+	if typ != ftAttach {
+		return fmt.Errorf("shardrpc: worker %d: first frame %d is not attach", w.idx, typ)
+	}
+	h := w.ringContract
+	h.epoch = w.eng.Snapshot().Epoch()
+	if err := c.WriteFrame(ftHello, 0, 0, appendHello(nil, h)); err != nil {
+		return err
+	}
+	switch role {
+	case roleControl:
+		w.control.Store(c)
+		// Prime the coordinator's replica so its view is whole before the
+		// first churn event.
+		w.pushSnapshot(w.eng.Snapshot())
+		return w.serveControl(c)
+	case roleQuery:
+		return w.serveQuery(c)
+	}
+	return fmt.Errorf("shardrpc: worker %d: unknown attach role %d", w.idx, role)
+}
+
+// serveControl handles bursts, barriers, stats, and health checks. All
+// replies echo the request sequence number.
+func (w *Worker) serveControl(c *Conn) error {
+	var (
+		evs      []failure.Event
+		ackBuf   []byte
+		statsBuf []byte
+	)
+	for {
+		typ, _, seq, payload, err := c.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case ftBurst:
+			evs = evs[:0]
+			if evs, err = decodeBurst(payload, evs); err != nil {
+				return err
+			}
+			w.eng.ApplyEvents(evs)
+			err = c.WriteFrame(ftBurstAck, 0, seq, nil)
+		case ftFlush:
+			w.eng.Flush()
+			ackBuf = grow(ackBuf, 8)
+			putU64(ackBuf, 0, w.eng.Snapshot().Epoch())
+			err = c.WriteFrame(ftFlushAck, 0, seq, ackBuf)
+		case ftDrain:
+			w.eng.Drain()
+			err = c.WriteFrame(ftDrainAck, 0, seq, nil)
+		case ftStats:
+			statsBuf = appendStats(statsBuf[:0], w.eng.Stats())
+			err = c.WriteFrame(ftStatsAck, 0, seq, statsBuf)
+		case ftPing:
+			err = c.WriteFrame(ftPong, 0, seq, nil)
+		default:
+			return fmt.Errorf("shardrpc: worker %d: frame %d on control connection", w.idx, typ)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// serveQuery answers query traffic on one pool connection: batches are
+// served inline off a single snapshot load (the pool's width, not a
+// queue, is the concurrency), single queries return the full route plus
+// the worker's own data-plane probe verdict.
+func (w *Worker) serveQuery(c *Conn) error {
+	var ansBuf []byte
+	order := w.g.Order()
+	for {
+		typ, _, seq, payload, err := c.ReadFrame()
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case ftQueryBatch:
+			n, ok := queryBatchCount(payload)
+			if !ok {
+				return fmt.Errorf("shardrpc: worker %d: malformed query batch", w.idx)
+			}
+			ansBuf = grow(ansBuf, answerBatchSize(n))
+			w.serveBatch(payload, ansBuf, n, order)
+			err = c.WriteFrame(ftAnswerBatch, 0, seq, ansBuf)
+		case ftQuery:
+			src, dst, probe, hasProbe, derr := decodeQuery(payload)
+			if derr != nil {
+				return derr
+			}
+			ansBuf = w.answerQuery(ansBuf[:0], src, dst, probe, hasProbe)
+			err = c.WriteFrame(ftAnswer, 0, seq, ansBuf)
+		case ftPing:
+			err = c.WriteFrame(ftPong, 0, seq, nil)
+		default:
+			return fmt.Errorf("shardrpc: worker %d: frame %d on query connection", w.idx, typ)
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// serveBatch fills the pre-grown answer buffer for one query batch from
+// one snapshot load: per pair a row lookup, a flags byte, and the raw
+// cost bits — the steady-state serving path, allocation-free end to end.
+//
+//rbpc:hotpath
+func (w *Worker) serveBatch(payload, ansBuf []byte, n, order int) {
+	snap := w.eng.Snapshot()
+	fillAnswerCount(ansBuf, n)
+	for i := 0; i < n; i++ {
+		src, dst := queryAt(payload, i)
+		var flags byte
+		var bits uint64
+		if int(src) < order && int(dst) < order && src != dst {
+			if rt := snap.Route(graph.NodeID(src), graph.NodeID(dst)); rt != nil {
+				flags = ansRoutable
+				bits = math.Float64bits(rt.Cost)
+			}
+		}
+		fillAnswerAt(ansBuf, i, flags, bits)
+	}
+}
+
+// answerQuery builds the full answer for a synchronous single query,
+// including the data-plane walk when a probe edge rides along — only the
+// worker owns the shard's real forwarding plane, so the delivery verdict
+// must be computed here, not at the coordinator.
+func (w *Worker) answerQuery(buf []byte, src, dst graph.NodeID, probe graph.EdgeID, hasProbe bool) []byte {
+	snap := w.eng.Snapshot()
+	a := Answer{Epoch: snap.Epoch(), Failed: snap.Failed()}
+	order := w.g.Order()
+	if int(src) < order && int(dst) < order && src != dst {
+		res := w.eng.Query(src, dst)
+		a.Route = res.Route
+		a.Routable = res.Route != nil
+	}
+	if hasProbe {
+		for _, f := range a.Failed {
+			if f == probe {
+				a.FailedContains = true
+				break
+			}
+		}
+		if a.Route != nil {
+			if pkt, err := snap.DataPlane(src).SendIP(src, dst); err == nil && pkt.At == dst {
+				a.Delivered = true
+			}
+		}
+	}
+	return appendAnswer(buf, a)
+}

@@ -1,0 +1,295 @@
+package shardrpc
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rbpc/internal/engine"
+	"rbpc/internal/graph"
+	"rbpc/internal/rbpc"
+	"rbpc/internal/topology"
+)
+
+// WorkerOpts is the complete description of one worker process's world:
+// enough to rebuild the coordinator's exact provision from scratch
+// (topology kind, scale, seed, closure, hot set), the ring contract
+// (shards, index), the engine tuning, and the socket to listen on.
+// Workers receive it as a single flag value — the spec is the whole
+// inter-process configuration channel, so a worker never reads state the
+// coordinator didn't spell out.
+type WorkerOpts struct {
+	Topology   string
+	Scale      float64
+	Seed       int64
+	Closure    bool
+	HotSources int
+
+	Shards int
+	Index  int
+	Socket string
+
+	MaxProcs     int // GOMAXPROCS inside the worker (0 = inherit)
+	Workers      int // engine query workers
+	Queue        int
+	Coalesce     time.Duration
+	PlanCacheMax int
+}
+
+// Encode renders the spec as a comma-separated k=v string — the value of
+// the serving binaries' -worker flag. Socket paths live in a fleet temp
+// directory and never contain commas.
+func (o WorkerOpts) Encode() string {
+	return strings.Join([]string{
+		"topo=" + o.Topology,
+		"scale=" + strconv.FormatFloat(o.Scale, 'g', -1, 64),
+		"seed=" + strconv.FormatInt(o.Seed, 10),
+		"closure=" + b2s(o.Closure),
+		"hot=" + strconv.Itoa(o.HotSources),
+		"shards=" + strconv.Itoa(o.Shards),
+		"index=" + strconv.Itoa(o.Index),
+		"socket=" + o.Socket,
+		"maxprocs=" + strconv.Itoa(o.MaxProcs),
+		"workers=" + strconv.Itoa(o.Workers),
+		"queue=" + strconv.Itoa(o.Queue),
+		"coalesce-us=" + strconv.FormatInt(o.Coalesce.Microseconds(), 10),
+		"plan-cache=" + strconv.Itoa(o.PlanCacheMax),
+	}, ",")
+}
+
+func b2s(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// ParseWorkerOpts inverts Encode.
+func ParseWorkerOpts(spec string) (WorkerOpts, error) {
+	var o WorkerOpts
+	for _, field := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return WorkerOpts{}, fmt.Errorf("shardrpc: worker spec field %q is not k=v", field)
+		}
+		var err error
+		switch k {
+		case "topo":
+			o.Topology = v
+		case "socket":
+			o.Socket = v
+		case "scale":
+			o.Scale, err = strconv.ParseFloat(v, 64)
+		case "seed":
+			o.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "closure":
+			o.Closure = v == "1"
+		case "hot":
+			o.HotSources, err = strconv.Atoi(v)
+		case "shards":
+			o.Shards, err = strconv.Atoi(v)
+		case "index":
+			o.Index, err = strconv.Atoi(v)
+		case "maxprocs":
+			o.MaxProcs, err = strconv.Atoi(v)
+		case "workers":
+			o.Workers, err = strconv.Atoi(v)
+		case "queue":
+			o.Queue, err = strconv.Atoi(v)
+		case "coalesce-us":
+			var us int64
+			us, err = strconv.ParseInt(v, 10, 64)
+			o.Coalesce = time.Duration(us) * time.Microsecond
+		case "plan-cache":
+			o.PlanCacheMax, err = strconv.Atoi(v)
+		default:
+			return WorkerOpts{}, fmt.Errorf("shardrpc: worker spec has unknown key %q", k)
+		}
+		if err != nil {
+			return WorkerOpts{}, fmt.Errorf("shardrpc: worker spec %s: %v", k, err)
+		}
+	}
+	if o.Topology == "" || o.Socket == "" || o.Shards < 1 {
+		return WorkerOpts{}, fmt.Errorf("shardrpc: worker spec %q missing topo/socket/shards", spec)
+	}
+	return o, nil
+}
+
+// RunWorker is the worker process's whole life: rebuild the provision the
+// coordinator described (bit-identical — same topology generator, same
+// seed, same hot set), slice it onto this index's shard engine, and serve
+// the socket until the process is killed. It never returns nil: the
+// supervisor kills workers, workers don't exit.
+func RunWorker(o WorkerOpts) error {
+	if o.MaxProcs > 0 {
+		runtime.GOMAXPROCS(o.MaxProcs)
+	}
+	g, err := topology.Build(o.Topology, o.Scale, o.Seed)
+	if err != nil {
+		return err
+	}
+	rcfg := rbpc.Config{SubpathClosure: o.Closure, EdgeLSPs: true}
+	if o.HotSources > 0 && o.HotSources < g.Order() {
+		srcs := make([]graph.NodeID, o.HotSources)
+		for i := range srcs {
+			srcs[i] = graph.NodeID(i)
+		}
+		rcfg.Sources = srcs
+	}
+	sys, err := rbpc.NewSystem(g, rcfg)
+	if err != nil {
+		return fmt.Errorf("shardrpc: worker %d provision: %w", o.Index, err)
+	}
+	cfg := Config{
+		Shards: o.Shards,
+		Engine: engine.Config{
+			Workers:        o.Workers,
+			QueueDepth:     o.Queue,
+			CoalesceWindow: o.Coalesce,
+			PlanCacheCap:   o.PlanCacheMax,
+			WarmOracle:     false,
+		},
+	}
+	w, err := NewWorker(sys.Export(), o.Index, cfg)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	// A leftover socket from a previous worker generation would make
+	// Listen fail; the path is ours by construction.
+	os.Remove(o.Socket)
+	l, err := net.Listen("unix", o.Socket)
+	if err != nil {
+		return err
+	}
+	return w.Serve(l)
+}
+
+// Fleet forks and supervises the worker processes of one deployment: the
+// same binary re-exec'd in -worker mode, one Unix socket per worker in a
+// private temp directory. A worker that dies while the fleet is open is
+// respawned and reported through onUp, so the coordinator can Reattach
+// and resync it; until then its sources divert to the cold tier.
+type Fleet struct {
+	opts WorkerOpts // template; Index and Socket filled per worker
+	dir  string
+	onUp func(worker int)
+
+	mu    sync.Mutex
+	procs []*exec.Cmd //rbpc:guardedby mu
+
+	restarts atomic.Int64
+	closing  atomic.Bool
+}
+
+// NewFleet spawns Shards worker processes from the template spec. onUp
+// (optional) is called from the watcher goroutine each time a crashed
+// worker has been respawned — the caller reattaches there. The listeners
+// come up asynchronously; the coordinator's dial retry loop absorbs the
+// startup window.
+func NewFleet(o WorkerOpts, onUp func(worker int)) (*Fleet, error) {
+	// Unix socket paths are capped at ~108 bytes; the system temp dir
+	// plus "rbpc-w*/w<N>.sock" stays well under it.
+	dir, err := os.MkdirTemp("", "rbpc-w")
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{opts: o, dir: dir, onUp: onUp, procs: make([]*exec.Cmd, o.Shards)}
+	for i := 0; i < o.Shards; i++ {
+		if err := f.spawn(i); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// Socket returns worker i's socket path.
+func (f *Fleet) Socket(i int) string {
+	return filepath.Join(f.dir, fmt.Sprintf("w%d.sock", i))
+}
+
+// Dial is the coordinator-facing Dialer over the fleet's sockets. One
+// attempt is bounded here; the coordinator's attach loop retries inside
+// its dial budget while a freshly-spawned worker provisions.
+func (f *Fleet) Dial(i int) (net.Conn, error) {
+	return net.DialTimeout("unix", f.Socket(i), 2*time.Second)
+}
+
+// Restarts counts workers respawned after a crash.
+func (f *Fleet) Restarts() int64 { return f.restarts.Load() }
+
+// Kill terminates worker i's process (the crash-recovery demo); the
+// watcher respawns it and fires onUp.
+func (f *Fleet) Kill(i int) error {
+	f.mu.Lock()
+	cmd := f.procs[i]
+	f.mu.Unlock()
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("shardrpc: fleet worker %d not running", i)
+	}
+	return cmd.Process.Kill()
+}
+
+// spawn forks worker i and installs its crash watcher.
+func (f *Fleet) spawn(i int) error {
+	wo := f.opts
+	wo.Index = i
+	wo.Socket = f.Socket(i)
+	cmd := exec.Command(os.Args[0], "-worker", wo.Encode())
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.procs[i] = cmd
+	f.mu.Unlock()
+	go f.watch(i, cmd)
+	return nil
+}
+
+// watch reaps worker i and respawns it unless the fleet is closing.
+func (f *Fleet) watch(i int, cmd *exec.Cmd) {
+	cmd.Wait()
+	if f.closing.Load() {
+		return
+	}
+	f.restarts.Add(1)
+	if err := f.spawn(i); err != nil {
+		fmt.Fprintf(os.Stderr, "shardrpc: fleet: respawn worker %d: %v\n", i, err)
+		return
+	}
+	if f.onUp != nil {
+		f.onUp(i)
+	}
+}
+
+// Close kills every worker and removes the socket directory. Idempotent.
+func (f *Fleet) Close() {
+	if f.closing.Swap(true) {
+		return
+	}
+	f.mu.Lock()
+	procs := append([]*exec.Cmd(nil), f.procs...)
+	f.mu.Unlock()
+	for _, cmd := range procs {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+	for _, cmd := range procs {
+		if cmd != nil {
+			cmd.Wait()
+		}
+	}
+	os.RemoveAll(f.dir)
+}

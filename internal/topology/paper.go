@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -218,4 +219,27 @@ func PaperInternet(seed int64, scale float64) *graph.Graph {
 	n := scaled(40377, scale, 80)
 	m := scaled(101659, scale, 2*80)
 	return PowerLawExtra(n, 2, m, seed)
+}
+
+// Build resolves a stand-in topology by name — the one spelling shared by
+// the serving commands and the shardrpc worker processes, which must
+// rebuild the coordinator's exact graph from (kind, scale, seed) alone.
+// isp ignores scale; waxman maps scale 1.0 to 400 nodes.
+func Build(kind string, scale float64, seed int64) (*graph.Graph, error) {
+	switch kind {
+	case "as":
+		return PaperAS(seed, scale), nil
+	case "isp":
+		return PaperISP(seed), nil
+	case "internet":
+		return PaperInternet(seed, scale), nil
+	case "waxman":
+		n := int(400 * scale)
+		if n < 16 {
+			n = 16
+		}
+		return Waxman(n, 0.8, 0.5, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want as, isp, internet, or waxman)", kind)
+	}
 }

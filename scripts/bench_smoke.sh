@@ -70,6 +70,18 @@ GOMAXPROCS=8 go run ./cmd/rbpc-serve \
     -strict -bench-dir "$out"
 
 echo
+echo "== GOMAXPROCS=8: rbpc-serve, process mode (-shard-procs 4), strict =="
+# Cross-process serving over the wire transport: the in-process -shards 4
+# window runs first as the baseline, then the same window is served by
+# four forked worker processes over Unix sockets. Strict mode gates both
+# windows on dropped/unroutable and on the prober recording samples
+# through the remote ProbeQuery path.
+GOMAXPROCS=8 go run ./cmd/rbpc-serve \
+    -topology as -scale 0.02 -qps 40000 -duration 2s \
+    -shard-procs 4 -plan-cache-max 256 \
+    -strict -bench-dir "$out"
+
+echo
 echo "== regression gate: same-machine churn double-run, -compare-fail-pct 100 =="
 baseline="$out/baseline"
 mkdir -p "$baseline"
@@ -81,14 +93,19 @@ go run ./cmd/rbpc-bench \
     -compare-fail-pct 100
 
 echo
-echo "== regression gate: sharded churn double-run (-engine-shards 4), -compare-fail-pct 100 =="
+echo "== regression gate: sharded churn double-run (-engine-shards 4, -engine-shard-procs 2), -compare-fail-pct 100 =="
+# The process-mode churn stage rides inside the gated double-run, so its
+# flush-barrier and merged build numbers are recorded on both sides of
+# the compare (the gate itself reads the top-level stage metrics).
 GOMAXPROCS=8 go run ./cmd/rbpc-bench \
     -engine -engine-scale 0.02 -engine-steps 12 \
     -engine-shards 4 -engine-hot-sources 40 -engine-shard-sweep 1,2,4 \
+    -engine-shard-procs 2 \
     -bench-dir "$baseline"
 GOMAXPROCS=8 go run ./cmd/rbpc-bench \
     -engine -engine-scale 0.02 -engine-steps 12 \
     -engine-shards 4 -engine-hot-sources 40 -engine-shard-sweep 1,2,4 \
+    -engine-shard-procs 2 \
     -bench-dir "$out"
 go run ./cmd/rbpc-bench \
     -compare "$baseline/BENCH_engine_churn.json" -bench-dir "$out" \
